@@ -1,0 +1,25 @@
+# Convenience targets for the CRAM-lens reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## full paper reproduction (~6 min, full BGP scale)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:      ## fast shape check on 2%-scale databases (~30 s)
+	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

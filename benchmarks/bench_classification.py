@@ -1,0 +1,60 @@
+"""Extension experiment: packet classification via the CRAM lens (§2.5).
+
+Applies the MASHUP idioms (I4 cutting, I5 coalescing, I1 ternary rows)
+to a synthetic 5-tuple ACL and compares against the flat-TCAM
+baseline.  Also demonstrates §2.6's caveat: exact-match (SRAM)
+expansion of port ranges is astronomically infeasible, so — unlike IP
+lookup — classification cannot trade its TCAM away.
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import Table
+from repro.chip import map_to_ideal_rmt
+from repro.classify import (
+    Classifier,
+    TcamClassifier,
+    TreeClassifier,
+    classifier_workload,
+    synthesize_classifier,
+)
+from repro.core.units import format_bits
+
+RULES = 1_200
+
+
+def build_all():
+    rules = synthesize_classifier(RULES, seed=31)
+    return (Classifier(rules), TcamClassifier(rules),
+            TreeClassifier(rules, stride=4, binth=16))
+
+
+def test_classification_renderings(benchmark):
+    oracle, flat, tree = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    flat_map = map_to_ideal_rmt(flat.layout())
+    tree_map = map_to_ideal_rmt(tree.layout())
+    table = Table(f"ACL renderings ({RULES} rules)",
+                  ["Rendering", "TCAM rows", "TCAM bits", "Blocks",
+                   "Stages", "Notes"])
+    table.add_row("Flat TCAM", flat.rows, format_bits(flat.table.tcam_bits()),
+                  flat_map.tcam_blocks, flat_map.stages, "one monolithic table")
+    table.add_row("Cut tree (I4+I5)", tree.leaf_rows,
+                  format_bits(tree.tcam_bits()), tree_map.tcam_blocks,
+                  tree_map.stages, f"depth {tree.depth()}, staged")
+    table.add_row("SRAM exact expansion", tree.exact_expansion_rows(),
+                  None, None, None, "infeasible (§2.6: random ports)")
+    emit("classification", table.render())
+
+    # Correctness against the linear-scan oracle.
+    packets = classifier_workload(oracle.rules, 500, seed=32)
+    for packet in packets:
+        want = oracle.classify(packet)
+        assert flat.classify(packet) == want
+        assert tree.classify(packet) == want
+
+    # Shape claims.
+    assert flat.rows == tree.leaf_rows  # port expansion is inherent (I1)
+    assert tree.tcam_bits() < flat.table.tcam_bits()  # narrower rows
+    assert tree.exact_expansion_rows() > 10**15  # SRAM rendering hopeless
+    assert tree_map.stages > flat_map.stages  # staged vs monolithic

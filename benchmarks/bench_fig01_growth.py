@@ -1,0 +1,32 @@
+"""Figure 1: BGP routing table growth, 2003-2033.
+
+Regenerates the growth series behind the paper's motivation: IPv4
+doubling per decade (linear within the observed window), IPv6 doubling
+every three years, with the 2033 projections of §1 (O1/O2).
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import Table
+from repro.datasets import growth_series, ipv4_table_size, ipv6_table_size
+
+
+def render_series():
+    table = Table("Figure 1: BGP table size (routes)",
+                  ["Year", "IPv4", "IPv6"])
+    for point in growth_series(2003, 2033):
+        if point.year % 5 == 0 or point.year == 2033:
+            table.add_row(point.year, point.ipv4_routes, point.ipv6_routes)
+    return table
+
+
+def test_fig01_growth_series(benchmark):
+    table = benchmark.pedantic(render_series, rounds=1, iterations=1)
+    emit("fig01_growth", table.render())
+
+    # O1: IPv4 ~930k today, ~2M by 2033 if doubling continues.
+    assert ipv4_table_size(2023) == 930_000
+    assert 1_800_000 <= ipv4_table_size(2033) <= 2_000_000
+    # O2: IPv6 ~190k today, >=0.5M by 2033 even under the linear slowdown.
+    assert ipv6_table_size(2023) == 190_000
+    assert ipv6_table_size(2033, "linear") >= 500_000

@@ -1,0 +1,42 @@
+"""Figure 8: IPv4 and IPv6 prefix-length distributions.
+
+Regenerates the histograms of the synthetic AS65000/AS131072 databases
+and checks the paper's observations P1 (major/minor spikes), P2 (few
+IPv4 prefixes shorter than 13 bits), and P3 (most IPv6 prefixes longer
+than 28 bits).
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import Table
+from repro.prefix import LengthDistribution
+
+
+def build_distribution(fib):
+    return LengthDistribution.from_prefixes(fib.prefixes(), fib.width)
+
+
+def render(dist, family):
+    table = Table(f"Figure 8 ({family}): prefix length distribution",
+                  ["Length", "Count", "Share"])
+    for length, count in dist.to_dict().items():
+        table.add_row(length, count, f"{count / dist.total:.2%}")
+    return table
+
+
+def test_fig08_ipv4_distribution(benchmark, fib_v4):
+    dist = benchmark.pedantic(build_distribution, args=(fib_v4,),
+                              rounds=1, iterations=1)
+    emit("fig08_ipv4", render(dist, "IPv4").render())
+    assert dist.major_spike() == 24  # P1 major
+    assert set(dist.spikes()) == {16, 20, 22, 24}  # P1 minors
+    assert dist.count_shorter_than(13) / dist.total < 0.001  # P2
+
+
+def test_fig08_ipv6_distribution(benchmark, fib_v6):
+    dist = benchmark.pedantic(build_distribution, args=(fib_v6,),
+                              rounds=1, iterations=1)
+    emit("fig08_ipv6", render(dist, "IPv6").render())
+    assert dist.major_spike() == 48  # P1 major
+    assert set(dist.spikes()) == {28, 32, 36, 40, 44, 48}  # P1 minors
+    assert dist.fraction_longer_than(27) > 0.9  # P3

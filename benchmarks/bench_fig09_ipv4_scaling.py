@@ -1,0 +1,60 @@
+"""Figure 9: RESAIL vs SAIL scaling (IPv4).
+
+Scales the AS65000 length histogram by a constant factor (§7.1) and
+maps RESAIL (ideal RMT + Tofino-2) and SAIL (ideal RMT) at each size.
+Paper frontiers: RESAIL ideal ~3.8M prefixes, RESAIL Tofino-2 ~2.25M,
+SAIL infeasible throughout.
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import (
+    Table,
+    ipv4_max_feasible,
+    ipv4_scaling_series,
+    render_scaling_figure,
+    sail_max_feasible,
+)
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+
+SCALES = [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+
+
+def test_fig09_ipv4_scaling(benchmark):
+    series = benchmark.pedantic(
+        lambda: ipv4_scaling_series(SCALES), rounds=1, iterations=1
+    )
+    table = Table(
+        "Figure 9: RESAIL vs SAIL scaling (IPv4) - SRAM pages (feasible?)",
+        ["DB size", "RESAIL/ideal", "RESAIL/Tofino-2", "SAIL/ideal"],
+    )
+    for i, scale in enumerate(SCALES):
+        def cell(name):
+            point = series[name][i]
+            return f"{point.sram_pages}{'' if point.feasible else ' (infeasible)'}"
+
+        table.add_row(series["RESAIL / Ideal RMT"][i].size,
+                      cell("RESAIL / Ideal RMT"),
+                      cell("RESAIL / Tofino-2"),
+                      cell("SAIL / Ideal RMT"))
+
+    ideal_max = ipv4_max_feasible(map_to_ideal_rmt)
+    tofino_max = ipv4_max_feasible(map_to_tofino2)
+    sail_max = sail_max_feasible(map_to_ideal_rmt)
+    frontier = (
+        f"Max feasible IPv4 database: RESAIL/ideal={ideal_max:,} "
+        f"(paper ~3.8M), RESAIL/Tofino-2={tofino_max:,} (paper ~2.25M), "
+        f"SAIL/ideal={sail_max:,} (paper: infeasible)"
+    )
+    chart = render_scaling_figure("Figure 9 (shape): SRAM pages vs size", series)
+    emit("fig09_ipv4_scaling", table.render() + "\n" + frontier + "\n\n" + chart)
+
+    # Shape claims (scale-independent: the series is analytic).
+    assert sail_max == 0
+    assert 3_000_000 <= ideal_max <= 4_600_000
+    assert 1_700_000 <= tofino_max <= 2_800_000
+    assert tofino_max < ideal_max
+    # Curves are monotone in database size.
+    for name in series:
+        pages = [p.sram_pages for p in series[name]]
+        assert pages == sorted(pages)

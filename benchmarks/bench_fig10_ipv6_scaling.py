@@ -1,0 +1,70 @@
+"""Figure 10: BSIC vs HI-BST scaling (IPv6, multiverse scaling).
+
+The base AS131072-like database occupies one 3-bit universe; §7.2
+replicates it into the others, scaling every BSIC table population
+uniformly.  Paper frontiers: BSIC ideal ~630k prefixes, BSIC Tofino-2
+~390k, HI-BST ~340k.
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import (
+    Table,
+    hibst_max_feasible,
+    ipv6_max_feasible,
+    ipv6_scaling_series,
+    render_scaling_figure,
+)
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+
+FACTORS = [1, 2, 3, 4, 6, 8]
+
+
+def test_fig10_ipv6_scaling(benchmark, bsic_v6, fib_v6, scale, full_scale):
+    base_layout = bsic_v6.layout()
+    base_size = len(fib_v6)
+    if not full_scale:
+        # Normalize a reduced sample to full-table size so the frontier
+        # numbers stay comparable to the paper's.
+        base_layout = base_layout.scaled(193_060 / base_size)
+        base_size = 193_060
+
+    series = benchmark.pedantic(
+        lambda: ipv6_scaling_series(base_layout, base_size, FACTORS),
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "Figure 10: BSIC vs HI-BST scaling (IPv6) - SRAM pages (feasible?)",
+        ["DB size", "BSIC/ideal", "BSIC/Tofino-2", "HI-BST/ideal"],
+    )
+    for i, _factor in enumerate(FACTORS):
+        def cell(name):
+            point = series[name][i]
+            return f"{point.sram_pages}{'' if point.feasible else ' (infeasible)'}"
+
+        table.add_row(series["BSIC / Ideal RMT"][i].size,
+                      cell("BSIC / Ideal RMT"),
+                      cell("BSIC / Tofino-2"),
+                      cell("HI-BST / Ideal RMT"))
+
+    bsic_ideal = ipv6_max_feasible(base_layout, base_size, map_to_ideal_rmt)
+    bsic_tofino = ipv6_max_feasible(base_layout, base_size, map_to_tofino2)
+    hibst = hibst_max_feasible(map_to_ideal_rmt)
+    frontier = (
+        f"Max feasible IPv6 database: BSIC/ideal={bsic_ideal:,} "
+        f"(paper ~630k), BSIC/Tofino-2={bsic_tofino:,} (paper ~390k), "
+        f"HI-BST/ideal={hibst:,} (paper ~340k)"
+    )
+    chart = render_scaling_figure("Figure 10 (shape): SRAM pages vs size", series)
+    emit("fig10_ipv6_scaling", table.render() + "\n" + frontier + "\n\n" + chart)
+
+    # Shape claims: both BSIC instances out-scale HI-BST; Tofino-2's
+    # doubled BST stages cost roughly half the ideal frontier.  (At
+    # reduced bench scale the BST depth is unrealistically shallow, so
+    # the Tofino-vs-ideal ordering is only asserted at full scale.)
+    assert 320_000 <= hibst <= 360_000
+    assert bsic_ideal > hibst
+    if full_scale:
+        assert bsic_tofino < bsic_ideal
+        assert 450_000 <= bsic_ideal <= 900_000
+        assert bsic_tofino > hibst * 0.9

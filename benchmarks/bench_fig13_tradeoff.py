@@ -1,0 +1,40 @@
+"""Figure 13: BSIC IPv6 latency-memory trade-off on an ideal RMT chip.
+
+Sweeps the initial slice size k.  The plain CRAM model predicts that
+larger k reduces steps (shallower BSTs); on the chip, the growing
+initial TCAM costs *stages*, so stages are minimized at an interior
+optimum — k=24 for AS131072-like tables (Appendix A.6).
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import Table, bsic_k_sweep, optimal_k
+
+KS = [16, 20, 24, 28, 32]
+
+
+def test_fig13_latency_memory_tradeoff(benchmark, fib_v6, full_scale):
+    points = benchmark.pedantic(lambda: bsic_k_sweep(fib_v6, KS),
+                                rounds=1, iterations=1)
+    table = Table(
+        "Figure 13: BSIC IPv6 trade-off vs k (ideal RMT)",
+        ["k", "CRAM steps", "Stages", "TCAM blocks", "SRAM pages",
+         "Initial entries"],
+    )
+    for p in points:
+        table.add_row(p.k, p.cram_steps, p.stages, p.tcam_blocks,
+                      p.sram_pages, p.initial_entries)
+    best = optimal_k(points)
+    emit("fig13_tradeoff", table.render() + f"\nOptimal k: {best} (paper: 24)")
+
+    by_k = {p.k: p for p in points}
+    # CRAM steps fall (or hold) as k grows: BSTs get shallower.
+    assert by_k[32].cram_steps <= by_k[16].cram_steps
+    # But the initial TCAM grows with k...
+    assert by_k[32].initial_entries > by_k[16].initial_entries
+    assert by_k[32].tcam_blocks > by_k[16].tcam_blocks
+    if full_scale:
+        # ...so stages bottom out at an interior k (paper: 24).
+        assert best in (20, 24, 28)
+        assert by_k[best].stages <= by_k[16].stages
+        assert by_k[best].stages <= by_k[32].stages

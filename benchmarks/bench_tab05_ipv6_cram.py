@@ -1,0 +1,41 @@
+"""Table 5: CRAM metrics for IPv6 (AS131072-like database).
+
+Paper values: MASHUP(20-12-16-16) 0.32 MB TCAM / 0.77 MB SRAM / 4
+steps; BSIC(k=24) 0.02 MB / 3.18 MB / 14.
+"""
+
+import pytest
+
+from _bench_utils import emit
+
+from repro.analysis import cram_metrics_table, select_best
+from repro.core import MB
+
+
+def test_tab05_ipv6_cram_metrics(benchmark, bsic_v6, mashup_v6, full_scale):
+    rows = benchmark.pedantic(
+        lambda: [(a.name, a.cram_metrics()) for a in (mashup_v6, bsic_v6)],
+        rounds=1, iterations=1,
+    )
+    emit("tab05_ipv6_cram",
+         cram_metrics_table("Table 5: CRAM metrics, IPv6 (AS131072)", rows).render())
+
+    metrics = dict(rows)
+    mashup = metrics[mashup_v6.name]
+    bsic = metrics[bsic_v6.name]
+
+    assert mashup.steps == 4
+
+    if full_scale:
+        # BSIC: ~0.02 MB TCAM (7k slices x 24b), ~3-4 MB SRAM, 13-16 steps.
+        assert bsic.tcam_bits == pytest.approx(0.02 * MB, rel=0.35)
+        assert bsic.sram_bits == pytest.approx(3.18 * MB, rel=0.35)
+        assert 13 <= bsic.steps <= 16
+        # §6.4 orderings: MASHUP needs far more TCAM; BSIC more SRAM/steps.
+        assert mashup.tcam_bits > 10 * bsic.tcam_bits
+        assert bsic.sram_bits > 2 * mashup.sram_bits
+        assert bsic.steps > 2 * mashup.steps
+
+        # The §6.4 selection rule picks BSIC for IPv6 (TCAM priority).
+        winner, _ = select_best(rows)
+        assert winner == bsic_v6.name

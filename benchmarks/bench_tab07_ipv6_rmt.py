@@ -1,0 +1,35 @@
+"""Table 7: ideal RMT mapping for IPv6 (AS131072-like database).
+
+Paper values: MASHUP 178 blocks / 47 pages / 8 stages; BSIC 15 / 211 /
+14.  BSIC's row reproduces almost exactly.
+"""
+
+from _bench_utils import emit
+
+from repro.analysis import chip_mapping_table
+from repro.chip import map_to_ideal_rmt
+
+
+def test_tab07_ipv6_ideal_rmt(benchmark, bsic_v6, mashup_v6, full_scale):
+    mappings = benchmark.pedantic(
+        lambda: [(a.name, map_to_ideal_rmt(a.layout()))
+                 for a in (mashup_v6, bsic_v6)],
+        rounds=1, iterations=1,
+    )
+    emit("tab07_ipv6_rmt",
+         chip_mapping_table("Table 7: ideal RMT mapping, IPv6 (AS131072)",
+                            mappings).render())
+
+    by_name = dict(mappings)
+    bsic = by_name[bsic_v6.name]
+    mashup = by_name[mashup_v6.name]
+
+    if full_scale:
+        # BSIC: paper 15 / 211 / 14; ours lands within a few units.
+        assert 12 <= bsic.tcam_blocks <= 22
+        assert 190 <= bsic.sram_pages <= 280
+        assert 13 <= bsic.stages <= 17
+        assert bsic.feasible
+        # MASHUP: TCAM-heavy, SRAM-light.
+        assert mashup.tcam_blocks > 8 * bsic.tcam_blocks
+        assert mashup.sram_pages < bsic.sram_pages / 2

@@ -1,0 +1,51 @@
+"""Table 8: IPv4 baseline comparison on chip models.
+
+Paper rows: RESAIL on Tofino-2 17/750/16 and on ideal RMT 2/556/9;
+SAIL (ideal) -/2313/33 (infeasible); logical TCAM (ideal) 1822/-/76
+(infeasible; capacity 245,760 entries); Tofino-2 pipe limit 480/1600/20.
+"""
+
+from _bench_utils import emit
+
+from repro.algorithms import logical_tcam_capacity
+from repro.analysis import chip_mapping_table
+from repro.chip import TOFINO2, map_to_ideal_rmt, map_to_tofino2
+
+
+def test_tab08_ipv4_baselines(benchmark, resail_v4, sail_v4, ltcam_v4,
+                              fib_v4, full_scale):
+    def build():
+        return {
+            "resail_tofino": map_to_tofino2(resail_v4.layout()),
+            "resail_ideal": map_to_ideal_rmt(resail_v4.layout()),
+            "sail_ideal": map_to_ideal_rmt(sail_v4.layout()),
+            "ltcam_ideal": map_to_ideal_rmt(ltcam_v4.layout()),
+        }
+
+    m = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("tab08_ipv4_baselines", chip_mapping_table(
+        "Table 8: baseline comparison, IPv4 (AS65000)",
+        [
+            (resail_v4.name, m["resail_tofino"]),
+            (resail_v4.name, m["resail_ideal"]),
+            ("SAIL", m["sail_ideal"]),
+            ("Logical TCAM", m["ltcam_ideal"]),
+            ("Tofino-2 Pipe Limit", TOFINO2.tcam_blocks, TOFINO2.sram_pages,
+             str(TOFINO2.stages), "-"),
+        ],
+    ).render())
+
+    if full_scale:
+        # RESAIL fits Tofino-2; SAIL and the logical TCAM do not fit at all.
+        assert m["resail_tofino"].feasible
+        assert m["resail_ideal"].feasible
+        assert not m["sail_ideal"].feasible
+        assert not m["ltcam_ideal"].feasible
+        # Headline ratios: ~900x fewer TCAM blocks than logical TCAM,
+        # ~4x fewer SRAM pages and stages than SAIL.
+        assert m["ltcam_ideal"].tcam_blocks > 500 * m["resail_ideal"].tcam_blocks
+        assert m["sail_ideal"].sram_pages > 3.5 * m["resail_ideal"].sram_pages
+        assert m["sail_ideal"].stages > 3 * m["resail_ideal"].stages
+        # Logical TCAM stage count ~76, capacity 245,760 < |AS65000|.
+        assert 70 <= m["ltcam_ideal"].stages <= 80
+        assert logical_tcam_capacity(32) == 245_760 < len(fib_v4)

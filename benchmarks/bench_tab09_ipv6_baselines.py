@@ -1,0 +1,54 @@
+"""Table 9: IPv6 baseline comparison on chip models.
+
+Paper rows: BSIC on Tofino-2 15/416/30 (fits via recirculation) and on
+ideal RMT 15/211/14; HI-BST (ideal) -/219/18; logical TCAM (ideal)
+762/-/32 (infeasible; capacity 122,880 entries).
+"""
+
+from _bench_utils import emit
+
+from repro.algorithms import logical_tcam_capacity
+from repro.analysis import chip_mapping_table
+from repro.chip import TOFINO2, map_to_ideal_rmt, map_to_tofino2
+
+
+def test_tab09_ipv6_baselines(benchmark, bsic_v6, hibst_v6, ltcam_v6,
+                              fib_v6, full_scale):
+    def build():
+        return {
+            "bsic_tofino": map_to_tofino2(bsic_v6.layout()),
+            "bsic_ideal": map_to_ideal_rmt(bsic_v6.layout()),
+            "hibst_ideal": map_to_ideal_rmt(hibst_v6.layout()),
+            "ltcam_ideal": map_to_ideal_rmt(ltcam_v6.layout()),
+        }
+
+    m = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("tab09_ipv6_baselines", chip_mapping_table(
+        "Table 9: baseline comparison, IPv6 (AS131072)",
+        [
+            (bsic_v6.name, m["bsic_tofino"]),
+            (bsic_v6.name, m["bsic_ideal"]),
+            ("HI-BST", m["hibst_ideal"]),
+            ("Logical TCAM", m["ltcam_ideal"]),
+            ("Tofino-2 Pipe Limit", TOFINO2.tcam_blocks, TOFINO2.sram_pages,
+             str(TOFINO2.stages), "-"),
+        ],
+    ).render())
+
+    if full_scale:
+        # BSIC fits Tofino-2 only by recirculating (§6.5.3).
+        assert m["bsic_tofino"].feasible
+        assert m["bsic_tofino"].recirculated
+        assert m["bsic_tofino"].stages > TOFINO2.stages
+        assert m["bsic_ideal"].feasible
+        # BSIC uses less SRAM and fewer stages than HI-BST, at a small
+        # TCAM cost (paper: 15 blocks).
+        assert m["bsic_ideal"].sram_pages <= m["hibst_ideal"].sram_pages * 1.1
+        assert m["bsic_ideal"].stages < m["hibst_ideal"].stages
+        assert 10 <= m["bsic_ideal"].tcam_blocks <= 25
+        assert m["hibst_ideal"].tcam_blocks == 0
+        # HI-BST fits today's table; the logical TCAM does not.
+        assert m["hibst_ideal"].feasible
+        assert not m["ltcam_ideal"].feasible
+        assert 28 <= m["ltcam_ideal"].stages <= 36
+        assert logical_tcam_capacity(64) == 122_880 < len(fib_v6)

@@ -1,0 +1,34 @@
+"""Table 11: predictive accuracy of the CRAM model for BSIC (IPv6).
+
+Paper rows (TCAM blocks / SRAM pages / steps-stages):
+CRAM 7.45 / 203.52 / 14 -> ideal RMT 15 / 211 / 14 -> Tofino-2 15 /
+416 / 30 (the ~2x SRAM/stage growth comes from 3-way branching costing
+two Tofino-2 stages per BST level, §8).
+"""
+
+import pytest
+
+from _bench_utils import emit
+
+from repro.analysis import Table, accuracy_report
+
+
+def test_tab11_bsic_accuracy(benchmark, bsic_v6, full_scale):
+    report = benchmark.pedantic(lambda: accuracy_report(bsic_v6),
+                                rounds=1, iterations=1)
+    table = Table("Table 11: CRAM predictive accuracy, BSIC (IPv6)",
+                  ["Model", "TCAM Blocks", "SRAM Pages", "Steps (Stages)"])
+    for row in report.rows:
+        table.add_row(row.model, row.tcam_blocks, row.sram_pages, row.steps)
+    emit("tab11_bsic_accuracy", table.render())
+
+    cram, ideal, tofino = report.rows
+    # CRAM steps equal ideal-RMT stages for BSIC (every level is one
+    # stage on the ideal chip) minus-or-equal small slack.
+    assert ideal.steps <= cram.steps + 2
+    if full_scale:
+        assert cram.sram_pages == pytest.approx(203.5, rel=0.25)
+        assert 12 <= ideal.steps <= 17
+        # Tofino-2 doubles BST stages and derates SRAM by ~2x.
+        assert 1.7 <= report.factor("sram_pages", "Ideal RMT", "Tofino-2") <= 2.2
+        assert 1.7 <= report.factor("steps", "Ideal RMT", "Tofino-2") <= 2.2

@@ -1,0 +1,80 @@
+"""Lookup throughput of the behavioural simulators (extra experiment).
+
+Not a paper table — the paper measures hardware resources, not Python
+speed — but a useful regression guard for the simulators themselves.
+Uses a reduced database so pytest-benchmark can run multiple rounds.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    Bsic,
+    Dxr,
+    HiBst,
+    LogicalTcam,
+    Mashup,
+    MultibitTrie,
+    Poptrie,
+    Resail,
+    Sail,
+)
+from repro.datasets import mixed_addresses, synthesize_as65000, synthesize_as131072
+
+N_ADDRESSES = 2_000
+
+
+@pytest.fixture(scope="module")
+def small_v4():
+    fib = synthesize_as65000(scale=0.01)
+    return fib, mixed_addresses(fib, N_ADDRESSES, seed=21)
+
+
+@pytest.fixture(scope="module")
+def small_v6():
+    fib = synthesize_as131072(scale=0.05)
+    return fib, mixed_addresses(fib, N_ADDRESSES, seed=22)
+
+
+def run_lookups(algo, addresses):
+    lookup = algo.lookup
+    total = 0
+    for address in addresses:
+        if lookup(address) is not None:
+            total += 1
+    return total
+
+
+@pytest.mark.parametrize("maker", [
+    pytest.param(lambda fib: Sail(fib), id="sail"),
+    pytest.param(lambda fib: Resail(fib, min_bmp=13), id="resail"),
+    pytest.param(lambda fib: Bsic(fib, k=16), id="bsic"),
+    pytest.param(lambda fib: Dxr(fib, k=16), id="dxr"),
+    pytest.param(lambda fib: MultibitTrie(fib, [16, 4, 4, 8]), id="multibit"),
+    pytest.param(lambda fib: Mashup(fib), id="mashup"),
+    pytest.param(lambda fib: Poptrie(fib, dp_bits=16), id="poptrie"),
+    pytest.param(lambda fib: HiBst(fib), id="hibst"),
+    pytest.param(lambda fib: LogicalTcam(fib), id="ltcam"),
+])
+def test_ipv4_lookup_throughput(benchmark, small_v4, maker):
+    fib, addresses = small_v4
+    algo = maker(fib)
+    hits = benchmark(run_lookups, algo, addresses)
+    assert hits > 0
+
+
+@pytest.mark.parametrize("maker", [
+    pytest.param(lambda fib: Bsic(fib, k=24), id="bsic"),
+    pytest.param(lambda fib: Mashup(fib), id="mashup"),
+    pytest.param(lambda fib: HiBst(fib), id="hibst"),
+])
+def test_ipv6_lookup_throughput(benchmark, small_v6, maker):
+    fib, addresses = small_v6
+    algo = maker(fib)
+    hits = benchmark(run_lookups, algo, addresses)
+    assert hits > 0
+
+
+def test_reference_trie_throughput(benchmark, small_v4):
+    fib, addresses = small_v4
+    hits = benchmark(run_lookups, fib, addresses)
+    assert hits > 0

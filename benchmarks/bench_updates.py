@@ -1,0 +1,92 @@
+"""Extension experiment: incremental update cost (Appendix A.3).
+
+The paper ranks update friendliness qualitatively: RESAIL and MASHUP
+update in place; BSIC must rebuild from an auxiliary database.  This
+bench measures the behavioural simulators under a BGP-like churn trace
+and checks that ranking — plus correctness after every change.
+"""
+
+import random
+import time
+
+from _bench_utils import emit
+
+from repro.algorithms import Bsic, Mashup, Resail
+from repro.analysis import Table
+from repro.datasets import synthesize_as65000, uniform_addresses
+from repro.prefix import Fib, Prefix
+
+CHURN = 60
+
+
+def churn_trace(seed: int):
+    rng = random.Random(seed)
+    inserted = []
+    trace = []
+    for _ in range(CHURN):
+        if inserted and rng.random() < 0.4:
+            trace.append(("delete", inserted.pop(rng.randrange(len(inserted))), 0))
+        else:
+            length = rng.choice([16, 20, 24, 24, 24, 28, 32])
+            prefix = Prefix.from_bits(rng.getrandbits(length), length, 32)
+            inserted.append(prefix)
+            trace.append(("insert", prefix, rng.randrange(256)))
+    # Deduplicate repeated inserts of the same prefix.
+    seen = set()
+    cleaned = []
+    live = set()
+    for op, prefix, hop in trace:
+        if op == "insert":
+            if prefix in live:
+                continue
+            live.add(prefix)
+        else:
+            if prefix not in live:
+                continue
+            live.discard(prefix)
+        cleaned.append((op, prefix, hop))
+    return cleaned
+
+
+def test_update_costs(benchmark):
+    base = synthesize_as65000(scale=0.002)
+    oracle = Fib(32, list(base))
+    algos = {
+        "RESAIL": Resail(oracle, min_bmp=13, hash_capacity=1 << 16),
+        "MASHUP": Mashup(oracle, (16, 4, 4, 8)),
+        "BSIC": Bsic(oracle, k=16),
+    }
+    trace = churn_trace(41)
+    probes = uniform_addresses(32, 64, seed=42)
+
+    def replay():
+        times = {name: 0.0 for name in algos}
+        for op, prefix, hop in trace:
+            for name, algo in algos.items():
+                start = time.perf_counter()
+                if op == "insert":
+                    algo.insert(prefix, hop)
+                else:
+                    algo.delete(prefix)
+                times[name] += time.perf_counter() - start
+            if op == "insert":
+                oracle.insert(prefix, hop)
+            else:
+                oracle.delete(prefix)
+            for address in probes:
+                want = oracle.lookup(address)
+                for name, algo in algos.items():
+                    assert algo.lookup(address) == want, (name, op, prefix)
+        return times
+
+    times = benchmark.pedantic(replay, rounds=1, iterations=1)
+    table = Table(f"Update cost over {len(trace)} BGP-like changes",
+                  ["Scheme", "Total (s)", "Per update (ms)"])
+    for name, seconds in sorted(times.items(), key=lambda kv: kv[1]):
+        table.add_row(name, f"{seconds:.3f}", f"{seconds / len(trace) * 1e3:.2f}")
+    emit("update_costs", table.render())
+
+    # Appendix A.3's ordering: RESAIL cheapest, BSIC costliest.
+    assert times["RESAIL"] < times["MASHUP"]
+    assert times["MASHUP"] < times["BSIC"] * 1.5  # both rebuild-flavoured here
+    assert times["RESAIL"] * 5 < times["BSIC"]

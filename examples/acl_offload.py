@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Offloading an ACL to the data plane via the CRAM lens (paper §2.5).
+
+A security team hands the network team a 5-tuple access-control list
+to enforce at line rate.  The CRAM question: what does it cost in chip
+resources, and do the IP-lookup idioms help?
+
+This example builds a synthetic enterprise ACL, renders it two ways —
+one monolithic TCAM versus a destination-cut decision tree with
+coalesced leaf tables (I4 + I5) — verifies both against the
+linear-scan oracle, and shows §2.6's caveat in the flesh: port ranges
+are the one field you can never afford to expand into SRAM.
+
+Run:  python examples/acl_offload.py
+"""
+
+from repro.chip import map_to_ideal_rmt
+from repro.classify import (
+    Classifier,
+    TcamClassifier,
+    TreeClassifier,
+    classifier_workload,
+    synthesize_classifier,
+)
+from repro.core.units import format_bits
+
+
+def main() -> None:
+    rules = synthesize_classifier(800, seed=99)
+    oracle = Classifier(rules)
+    print(f"ACL: {len(rules)} rules; "
+          f"{oracle.total_tcam_rows()} TCAM rows after port-range expansion "
+          f"(x{oracle.total_tcam_rows() / len(rules):.2f} blow-up)\n")
+
+    flat = TcamClassifier(rules)
+    tree = TreeClassifier(rules, stride=4, binth=16)
+
+    # Enforce some traffic and verify all renderings agree.
+    packets = classifier_workload(rules, 1000, seed=100)
+    permits = denies = 0
+    for packet in packets:
+        want = oracle.classify(packet)
+        assert flat.classify(packet) == want
+        assert tree.classify(packet) == want
+        if want is None or want == 0:
+            denies += 1
+        else:
+            permits += 1
+    print(f"Enforced 1,000 packets: {permits} matched an action, "
+          f"{denies} fell through/denied; flat and tree renderings agree "
+          "with the oracle on every packet.\n")
+
+    flat_map = map_to_ideal_rmt(flat.layout())
+    tree_map = map_to_ideal_rmt(tree.layout())
+    print("Resource comparison (ideal RMT):")
+    print(f"  flat TCAM : {flat.rows} rows, "
+          f"{format_bits(flat.table.tcam_bits())} of TCAM, "
+          f"{flat_map.tcam_blocks} blocks in {flat_map.stages} stage")
+    print(f"  cut tree  : {tree.leaf_rows} rows, "
+          f"{format_bits(tree.tcam_bits())} of TCAM, "
+          f"{tree_map.tcam_blocks} blocks across {tree_map.stages} stages "
+          f"(tree depth {tree.depth()})")
+    print("  The tree keeps row counts identical (range expansion is")
+    print("  inherent) but drops the destination bits each cut consumed")
+    print("  and bounds per-stage table sizes.\n")
+
+    print("And the idiom that does NOT transfer from IP lookup (§2.6):")
+    print(f"  exact-match (SRAM) rendering would need "
+          f"{tree.exact_expansion_rows():.2e} rows —")
+    print("  pseudo-random port/protocol bits are incompressible, so")
+    print("  classification keeps its TCAM while IP lookup can shed it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Capacity planning with the CRAM lens (the paper's §6.4 workflow).
+
+A network architect has to choose an IP lookup scheme for a new
+Tofino-2 deployment *before* writing any P4.  The CRAM model makes the
+choice from back-of-the-envelope metrics, then the chip mappings
+validate it — exactly the methodology the paper demonstrates.
+
+The scenario: a dual-stack edge router that must carry today's global
+tables and survive a decade of growth (§1's observations O1/O2).
+
+Run:  python examples/capacity_planning.py           (quick, 5% scale)
+      FULL=1 python examples/capacity_planning.py    (full BGP scale)
+"""
+
+import os
+
+from repro.algorithms import Bsic, Mashup, Resail
+from repro.analysis import cram_metrics_table, select_best
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+from repro.datasets import (
+    synthesize_as65000,
+    synthesize_as131072,
+    years_until_ipv4_exceeds,
+    years_until_ipv6_exceeds,
+)
+
+
+def pick(family: str, candidates) -> None:
+    rows = [(algo.name, algo.cram_metrics()) for algo in candidates]
+    print(cram_metrics_table(f"CRAM metrics ({family})", rows).render())
+    winner, rationale = select_best(rows)
+    print(f"\n-> CRAM pick for {family}: {winner}")
+    print(f"   {rationale}\n")
+
+    chosen = next(a for a in candidates if a.name == winner)
+    ideal = map_to_ideal_rmt(chosen.layout())
+    tofino = map_to_tofino2(chosen.layout())
+    print(f"   validation on ideal RMT : {ideal.describe()}"
+          f"  [{'fits' if ideal.feasible else 'DOES NOT FIT'}]")
+    print(f"   validation on Tofino-2  : {tofino.describe()}"
+          f"  [{'fits' if tofino.feasible else 'DOES NOT FIT'}]\n")
+
+
+def main() -> None:
+    scale = 1.0 if os.environ.get("FULL") else 0.05
+    print(f"Synthesizing databases at {scale:.0%} of current BGP scale...\n")
+    fib_v4 = synthesize_as65000(scale=scale)
+    fib_v6 = synthesize_as131072(scale=scale)
+
+    print(f"IPv4 table: {len(fib_v4):,} prefixes")
+    pick("IPv4", [Resail(fib_v4, min_bmp=13), Bsic(fib_v4, k=16),
+                  Mashup(fib_v4, (16, 4, 4, 8))])
+
+    print(f"IPv6 table: {len(fib_v6):,} prefixes")
+    pick("IPv6", [Bsic(fib_v6, k=24), Mashup(fib_v6, (20, 12, 16, 16))])
+
+    # Will the chosen designs survive a decade? (Paper abstract: RESAIL
+    # reaches 2.25M IPv4 prefixes on Tofino-2; BSIC 390k IPv6.)
+    print("Headroom against the growth trends of Figure 1:")
+    print(f"  IPv4 at RESAIL's 2.25M Tofino-2 capacity : "
+          f"{years_until_ipv4_exceeds(2_250_000):.1f} years of doubling-"
+          "per-decade growth")
+    print(f"  IPv6 at BSIC's 390k Tofino-2 capacity    : "
+          f"{years_until_ipv6_exceeds(390_000):.1f} years of doubling-"
+          "every-3-years growth (linear slowdown buys more)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Incremental route churn across the three new algorithms (App. A.3).
+
+BGP speakers apply a steady stream of announcements and withdrawals.
+This example replays a random churn trace against RESAIL, MASHUP, and
+BSIC simultaneously, verifying after every change that all three agree
+with the reference trie — and timing the update cost, which illustrates
+the paper's guidance: RESAIL and MASHUP update cheaply; BSIC's
+BST-level dependencies make updates costly (A.3.2).
+
+Run:  python examples/incremental_updates.py
+"""
+
+import random
+import time
+
+from repro.algorithms import Bsic, Mashup, Resail
+from repro.datasets import synthesize_as65000, uniform_addresses
+from repro.prefix import Prefix
+
+CHURN_STEPS = 120
+PROBES = 128
+
+
+def main() -> None:
+    rng = random.Random(2025)
+    fib = synthesize_as65000(scale=0.002)
+    print(f"Base table: {len(fib):,} prefixes; replaying {CHURN_STEPS} updates\n")
+
+    # Mutable copies: algorithms must not share the cached base FIB.
+    from repro.prefix import Fib
+
+    oracle = Fib(32, list(fib))
+    algos = {
+        "RESAIL": Resail(oracle, min_bmp=13, hash_capacity=1 << 16),
+        "MASHUP": Mashup(oracle, (16, 4, 4, 8)),
+        "BSIC": Bsic(oracle, k=16),
+    }
+    update_time = {name: 0.0 for name in algos}
+    probes = uniform_addresses(32, PROBES, seed=9)
+
+    live = dict(oracle)
+    inserted = []
+    announcements = withdrawals = 0
+    for step in range(CHURN_STEPS):
+        if inserted and rng.random() < 0.4:
+            prefix = inserted.pop(rng.randrange(len(inserted)))
+            withdrawals += 1
+            for name, algo in algos.items():
+                start = time.perf_counter()
+                algo.delete(prefix)
+                update_time[name] += time.perf_counter() - start
+            oracle.delete(prefix)
+            del live[prefix]
+        else:
+            length = rng.choice([13, 16, 20, 22, 24, 24, 24, 28, 32])
+            prefix = Prefix.from_bits(rng.getrandbits(length), length, 32)
+            if prefix in live:
+                continue
+            announcements += 1
+            inserted.append(prefix)
+            hop = rng.randrange(256)
+            for name, algo in algos.items():
+                start = time.perf_counter()
+                algo.insert(prefix, hop)
+                update_time[name] += time.perf_counter() - start
+            oracle.insert(prefix, hop)
+            live[prefix] = hop
+
+        for address in probes:
+            want = oracle.lookup(address)
+            for name, algo in algos.items():
+                got = algo.lookup(address)
+                assert got == want, (step, name, address, got, want)
+
+    print(f"Applied {announcements} announcements and {withdrawals} "
+          "withdrawals; all lookups stayed consistent.\n")
+    print("Total update time per algorithm (A.3's cost ordering):")
+    for name, seconds in sorted(update_time.items(), key=lambda kv: kv[1]):
+        per_update = seconds / CHURN_STEPS * 1e3
+        print(f"  {name:8s} {seconds:7.3f} s  ({per_update:7.2f} ms/update)")
+    print("\nRESAIL touches two memories per update; MASHUP edits one trie "
+          "node;\nBSIC rebuilds structures from its auxiliary database — "
+          "which is why the\npaper recommends RESAIL/MASHUP when update "
+          "rate matters (A.3.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""IPv6 scaling study: how far do BSIC and HI-BST stretch? (paper §7.2)
+
+Replays the multiverse-scaling experiment: the base AS131072-like
+table occupies one 3-bit universe, so copying it into the other
+universes grows every table population uniformly — the worst case for
+TCAM, SRAM, and stages alike.  The study sweeps the k parameter too
+(Appendix A.6), showing why k=24 is the sweet spot.
+
+Run:  python examples/ipv6_scaling_study.py          (quick, 5% scale)
+      FULL=1 python examples/ipv6_scaling_study.py   (full BGP scale)
+"""
+
+import os
+
+from repro.algorithms import Bsic
+from repro.analysis import (
+    Table,
+    bsic_k_sweep,
+    hibst_max_feasible,
+    ipv6_max_feasible,
+    ipv6_scaling_series,
+    optimal_k,
+)
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+from repro.datasets import synthesize_as131072
+
+FULL_SIZE = 193_060
+
+
+def main() -> None:
+    scale = 1.0 if os.environ.get("FULL") else 0.05
+    fib = synthesize_as131072(scale=scale)
+    print(f"Base IPv6 table: {len(fib):,} prefixes "
+          f"({scale:.0%} of current BGP scale)\n")
+
+    # --- Appendix A.6: the k trade-off -------------------------------
+    points = bsic_k_sweep(fib, ks=[16, 20, 24, 28, 32])
+    sweep = Table("BSIC k sweep (ideal RMT)",
+                  ["k", "CRAM steps", "Stages", "TCAM blocks", "SRAM pages"])
+    for p in points:
+        sweep.add_row(p.k, p.cram_steps, p.stages, p.tcam_blocks, p.sram_pages)
+    print(sweep.render())
+    best_k = optimal_k(points)
+    print(f"-> stages are minimized at k={best_k} (paper: 24); larger k "
+          "buys shallower BSTs\n   but pays for them in initial-TCAM "
+          "stages, so there is no latency-memory trade-off.\n")
+
+    # --- §7.2: multiverse scaling ------------------------------------
+    bsic = Bsic(fib, k=24)
+    base_layout = bsic.layout()
+    base_size = len(fib)
+    if scale < 1.0:
+        base_layout = base_layout.scaled(FULL_SIZE / base_size)
+        base_size = FULL_SIZE
+
+    series = ipv6_scaling_series(base_layout, base_size, [1, 2, 4, 8])
+    growth = Table("Multiverse scaling (SRAM pages; * = infeasible)",
+                   ["DB size", "BSIC/ideal", "BSIC/Tofino-2", "HI-BST/ideal"])
+    for i in range(4):
+        def cell(name):
+            p = series[name][i]
+            return f"{p.sram_pages}{'' if p.feasible else ' *'}"
+        growth.add_row(series["BSIC / Ideal RMT"][i].size,
+                       cell("BSIC / Ideal RMT"), cell("BSIC / Tofino-2"),
+                       cell("HI-BST / Ideal RMT"))
+    print(growth.render())
+
+    print("\nFeasibility frontiers (largest database that still fits):")
+    print(f"  BSIC on ideal RMT : "
+          f"{ipv6_max_feasible(base_layout, base_size, map_to_ideal_rmt):,} "
+          "prefixes (paper ~630k)")
+    print(f"  BSIC on Tofino-2  : "
+          f"{ipv6_max_feasible(base_layout, base_size, map_to_tofino2):,} "
+          "prefixes (paper ~390k)")
+    print(f"  HI-BST on ideal   : {hibst_max_feasible(map_to_ideal_rmt):,} "
+          "prefixes (paper ~340k)")
+
+
+if __name__ == "__main__":
+    main()

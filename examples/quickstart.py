@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: build RESAIL over a synthetic BGP table and look up routes.
+
+Walks the package's core loop in under a minute:
+
+1. synthesize an AS65000-like IPv4 forwarding table,
+2. build RESAIL (the paper's IPv4 winner) over it,
+3. route some addresses and check them against the reference trie,
+4. read off the CRAM metrics and both chip mappings,
+5. apply a few incremental updates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algorithms import Resail
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+from repro.datasets import matching_addresses, synthesize_as65000
+from repro.prefix import format_address, parse_ipv4_address, parse_prefix
+
+
+def main() -> None:
+    # 1. A synthetic AS65000-like FIB (1% scale keeps this instant;
+    #    drop scale for the full ~930k-prefix table).
+    fib = synthesize_as65000(scale=0.01)
+    print(f"Synthetic FIB: {len(fib):,} IPv4 prefixes")
+
+    # 2. RESAIL with the paper's parameter (min_bmp=13, §6.3).
+    resail = Resail(fib, min_bmp=13)
+    print(f"Built {resail.name}")
+    for application in resail.idioms_applied():
+        print(f"  {application.describe()}")
+
+    # 3. Route traffic; the reference trie is the correctness oracle.
+    print("\nSample lookups:")
+    for address in matching_addresses(fib, 5, seed=1):
+        hop = resail.lookup(address)
+        assert hop == fib.lookup(address)
+        prefix = fib.lookup_prefix(address)
+        print(f"  {format_address(address, 32):>15}  ->  port {hop:<3} via {prefix}")
+    miss = parse_ipv4_address("203.0.113.99")
+    print(f"  {format_address(miss, 32):>15}  ->  {resail.lookup(miss)} (no route)")
+
+    # 4. The three-model hierarchy of §8: CRAM -> ideal RMT -> Tofino-2.
+    metrics = resail.cram_metrics()
+    print(f"\nCRAM metrics : {metrics.describe()}")
+    print(f"Ideal RMT    : {map_to_ideal_rmt(resail.layout()).describe()}")
+    print(f"Tofino-2     : {map_to_tofino2(resail.layout()).describe()}")
+
+    # 5. Incremental updates (Appendix A.3.1).
+    new_route = parse_prefix("198.51.100.0/24")
+    resail.insert(new_route, 42)
+    probe = parse_ipv4_address("198.51.100.7")
+    print(f"\nAfter insert {new_route}: {format_address(probe, 32)} -> "
+          f"port {resail.lookup(probe)}")
+    resail.delete(new_route)
+    print(f"After delete: {format_address(probe, 32)} -> {resail.lookup(probe)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists so ``pip install -e .`` works in offline environments without
+the ``wheel`` package (pip's legacy editable path runs
+``setup.py develop``, which needs only setuptools).  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

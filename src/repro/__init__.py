@@ -1,0 +1,56 @@
+"""Reproduction of "Scaling IP Lookup to Large Databases using the CRAM Lens".
+
+NSDI 2025 (Chang, Dogga, Fingerhut, Rios, Varghese).  The package
+provides:
+
+* :mod:`repro.core` — the CRAM machine model, metrics, and the eight
+  optimization idioms;
+* :mod:`repro.prefix` — the IP prefix substrate (tries, expansion,
+  ranges, distributions);
+* :mod:`repro.memory` — TCAM/SRAM/d-left behavioural simulators;
+* :mod:`repro.chip` — the ideal-RMT and Tofino-2 resource mappers;
+* :mod:`repro.datasets` — synthetic BGP databases and workloads;
+* :mod:`repro.algorithms` — RESAIL, BSIC, MASHUP, and the baselines
+  (SAIL, DXR, multibit tries, HI-BST, logical TCAM);
+* :mod:`repro.analysis` — the harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quick taste::
+
+    from repro.datasets import synthesize_as65000
+    from repro.algorithms import Resail
+    from repro.chip import map_to_tofino2
+
+    fib = synthesize_as65000(scale=0.01)
+    resail = Resail(fib, min_bmp=13)
+    assert resail.lookup(0x0A000001) == fib.lookup(0x0A000001)
+    print(resail.cram_metrics().describe())
+    print(map_to_tofino2(resail.layout()).describe())
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    algorithms,
+    analysis,
+    chip,
+    classify,
+    core,
+    datasets,
+    measure,
+    memory,
+    prefix,
+)
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "chip",
+    "classify",
+    "core",
+    "datasets",
+    "measure",
+    "memory",
+    "prefix",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Common interface for all IP-lookup algorithms.
+
+Every algorithm in this package — the paper's three contributions
+(RESAIL, BSIC, MASHUP) and the baselines (SAIL, DXR, multibit trie,
+HI-BST, logical TCAM) — implements :class:`LookupAlgorithm`:
+
+* :meth:`~LookupAlgorithm.lookup` — the behavioural longest-prefix
+  match, tested against the reference :class:`~repro.prefix.trie.Fib`;
+* :meth:`~LookupAlgorithm.cram_program` — the algorithm as an
+  executable CRAM model program, from which
+  :meth:`~LookupAlgorithm.cram_metrics` derives the §6.4 numbers;
+* :meth:`~LookupAlgorithm.layout` — the chip-independent table layout
+  that the ideal-RMT and Tofino-2 mappers consume (§6.2);
+* :meth:`~LookupAlgorithm.insert` / :meth:`~LookupAlgorithm.delete` —
+  incremental updates where the paper describes them (Appendix A.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..chip.layout import Layout
+from ..core.idioms import IdiomApplication
+from ..core.metrics import CramMetrics, measure
+from ..core.program import CramProgram
+from ..prefix.prefix import Prefix
+
+
+class UpdateUnsupported(NotImplementedError):
+    """The algorithm does not support this incremental update."""
+
+
+class LookupAlgorithm(abc.ABC):
+    """Base class for IP lookup algorithms."""
+
+    #: Human-readable name, e.g. ``"RESAIL (min_bmp=13)"``.
+    name: str
+    #: Address width (32 for IPv4, 64 for the IPv6 global-routing view).
+    width: int
+
+    @abc.abstractmethod
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix-match next hop for ``address`` (None = miss)."""
+
+    @abc.abstractmethod
+    def cram_program(self) -> CramProgram:
+        """The algorithm as a CRAM model program."""
+
+    @abc.abstractmethod
+    def layout(self) -> Layout:
+        """The chip-independent table layout for the chip mappers."""
+
+    def cram_metrics(self) -> CramMetrics:
+        """The §6.4 CRAM metrics (TCAM bits, SRAM bits, steps)."""
+        return measure(self.cram_program())
+
+    def idioms_applied(self) -> List[IdiomApplication]:
+        """Which optimization idioms this algorithm embodies."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Incremental updates (Appendix A.3); default: unsupported.
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        raise UpdateUnsupported(f"{self.name} does not support insert")
+
+    def delete(self, prefix: Prefix) -> None:
+        raise UpdateUnsupported(f"{self.name} does not support delete")
+
+    # ------------------------------------------------------------------
+    # Executing the CRAM program (model-vs-native equivalence checks)
+    # ------------------------------------------------------------------
+    def cram_initial_state(self) -> dict:
+        """Extra parser-provided registers beyond ``addr``."""
+        return {}
+
+    def cram_extract_hop(self, state: dict) -> Optional[int]:
+        """Read the final next hop out of the CRAM machine state."""
+        return state.get("hop")
+
+    def cram_lookup(self, address: int) -> Optional[int]:
+        """Run one lookup through the CRAM interpreter.
+
+        Must agree with :meth:`lookup` for every address — the tests
+        enforce it.  This is what makes the CRAM model in this package
+        a machine rather than a spreadsheet.
+        """
+        from ..core.interpreter import run
+
+        program = self.cram_program()
+        state = run(program, {"addr": address, **self.cram_initial_state()})
+        return self.cram_extract_hop(state)
+
+    # ------------------------------------------------------------------
+    def lookup_batch(self, addresses) -> List[Optional[int]]:
+        """Convenience vector form of :meth:`lookup`."""
+        lookup = self.lookup
+        return [lookup(a) for a in addresses]
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < (1 << self.width):
+            raise ValueError(
+                f"address {address:#x} outside the {self.width}-bit space"
+            )
+
+    def _check_prefix(self, prefix: Prefix) -> None:
+        if prefix.width != self.width:
+            raise ValueError(
+                f"prefix width {prefix.width} does not match algorithm width {self.width}"
+            )

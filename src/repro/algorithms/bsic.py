@@ -1,0 +1,339 @@
+"""BSIC: Binary Search with Initial CAM (§4).
+
+BSIC applies three idioms to DXR:
+
+* **I1 compress with TCAM** — the directly-indexed initial table
+  becomes a ternary table, so ``k`` can grow to the TCAM block width
+  (44 on Tofino-2) instead of DXR's direct-index ceiling of ~20; this
+  is what makes IPv6 (k=24) tractable;
+* **I8 memory fan-out** — the range table becomes per-slice binary
+  search *trees* whose levels are separate tables, each accessed at
+  most once per packet (at a ~2.9x memory cost over DXR's single
+  table, but far below duplicating it per probe);
+* **I4 strategic cutting** — ``k`` balances initial-TCAM size against
+  BST depth (Figure 13 explores the trade-off; 24 is optimal for
+  AS131072).
+
+The BST construction follows Appendix A.4: prefix suffixes expand to
+ranges completing the whole ``2**(width-k)`` space, uncovered
+intervals inherit the slice's own longest match (so a mis-directed
+address still resolves correctly), equal-hop neighbours merge, and
+right endpoints are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
+from ..core.idioms import Idiom, IdiomApplication
+from ..core.program import CramProgram
+from ..core.step import Step
+from ..core.table import exact_table, ternary_table
+from ..memory.tcam import TcamTable
+from ..prefix.prefix import Prefix
+from ..prefix.ranges import BstNode, expand_to_ranges, ranges_to_bst
+from ..prefix.trie import BinaryTrie, Fib
+from .base import LookupAlgorithm
+
+NEXT_HOP_BITS = 8
+#: BST child pointers are 24 bits: the §7.2 multiverse scaling grows a
+#: level table past 2**20 nodes well before the feasibility frontier,
+#: so 20-bit pointers (enough for today's tables) would cap the very
+#: scaling range the paper evaluates.
+POINTER_BITS = 24
+#: Initial-table result: 1 type bit + max(pointer, hop) bits.
+INITIAL_DATA_BITS = 1 + POINTER_BITS
+
+
+class BstForest:
+    """Per-level node storage for all of BSIC's BSTs (idiom I8).
+
+    Every BST node lives in the table of its level; pointers are
+    indices into the next level's table.  One lookup therefore touches
+    each level's table at most once — the memory fan-out that makes
+    binary search legal on RMT chips.
+    """
+
+    def __init__(self, endpoint_bits: int):
+        self.endpoint_bits = endpoint_bits
+        #: levels[d][i] = (endpoint, hop, left_index, right_index).
+        self.levels: List[List[Tuple[int, Optional[int], Optional[int], Optional[int]]]] = []
+
+    @property
+    def node_entry_bits(self) -> int:
+        """Endpoint + next hop + two child pointers (§4.2's four fields)."""
+        return self.endpoint_bits + NEXT_HOP_BITS + 2 * POINTER_BITS
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def level_sizes(self) -> List[int]:
+        return [len(level) for level in self.levels]
+
+    def total_nodes(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def add_tree(self, root: BstNode) -> int:
+        """Store a BST; returns the root's index in level 0."""
+        return self._place(root, 0)
+
+    def _place(self, node: BstNode, depth: int) -> int:
+        while len(self.levels) <= depth:
+            self.levels.append([])
+        left = self._place(node.left, depth + 1) if node.left else None
+        right = self._place(node.right, depth + 1) if node.right else None
+        index = len(self.levels[depth])
+        self.levels[depth].append((node.left_endpoint, node.next_hop, left, right))
+        return index
+
+    def search(self, root_index: int, key: int) -> Optional[int]:
+        """Algorithm 2's BST walk across the level tables."""
+        index: Optional[int] = root_index
+        level = 0
+        best: Optional[int] = None
+        while index is not None:
+            endpoint, hop, left, right = self.levels[level][index]
+            if key == endpoint:
+                return hop
+            if key > endpoint:
+                best = hop
+                index = right
+            else:
+                index = left
+            level += 1
+        return best
+
+    def node(self, level: int, index: int):
+        return self.levels[level][index]
+
+
+class Bsic(LookupAlgorithm):
+    """Behavioural BSIC for IPv4 (k=16) and IPv6 (k=24)."""
+
+    def __init__(self, fib: Fib, k: Optional[int] = None):
+        if k is None:
+            k = 16 if fib.width == 32 else 24
+        if not 1 <= k < fib.width:
+            raise ValueError(f"k {k} outside [1, {fib.width})")
+        self.width = fib.width
+        self.k = k
+        self.suffix_bits = fib.width - k
+        self.name = f"BSIC (k={k})"
+
+        #: All prefixes of length <= k (the slice defaults).
+        self._shorts = BinaryTrie(fib.width)
+        #: slice bits -> [(suffix prefix, hop)] for prefixes longer than k.
+        self._groups: Dict[int, List[Tuple[Prefix, int]]] = {}
+        #: slice bits -> exact /k next hop (case 2 bookkeeping).
+        self._exact_k: Dict[int, int] = {}
+
+        for prefix, hop in fib:
+            if prefix.length <= self.k:
+                self._shorts.insert(prefix, hop)
+                if prefix.length == self.k:
+                    self._exact_k[prefix.bits] = hop
+            else:
+                self._groups.setdefault(prefix.slice(0, self.k), []).append(
+                    (self._suffix_of(prefix), hop)
+                )
+        self._rebuild()
+
+    def _suffix_of(self, prefix: Prefix) -> Prefix:
+        return Prefix.from_bits(
+            prefix.bits & ((1 << (prefix.length - self.k)) - 1),
+            prefix.length - self.k,
+            self.suffix_bits,
+        )
+
+    def _slice_default(self, slice_bits: int) -> Optional[int]:
+        """LPM of the slice among prefixes of length <= k (Appendix A.4)."""
+        return self._shorts.lookup(slice_bits << self.suffix_bits)
+
+    def _rebuild(self) -> None:
+        """(Re)construct the initial TCAM and the BST forest.
+
+        Appendix A.3.2: BSIC updates are costly — they rebuild from the
+        auxiliary prefix database (`_shorts`, `_groups`).
+        """
+        self.initial: TcamTable[Tuple] = TcamTable(self.k, name="initial")
+        self.forest = BstForest(self.suffix_bits)
+        handled_slices = set()
+        for slice_bits, group in sorted(self._groups.items()):
+            ranges = expand_to_ranges(
+                group, self.suffix_bits, default_hop=self._slice_default(slice_bits)
+            )
+            root = self.forest.add_tree(ranges_to_bst(ranges))
+            self.initial.insert_prefix(
+                Prefix.from_bits(slice_bits, self.k, self.k), ("bst", root)
+            )
+            handled_slices.add(slice_bits)
+        for prefix, hop in self._shorts.items():
+            if prefix.length == self.k and prefix.bits in handled_slices:
+                continue  # its hop is inherited by the slice's BST ranges
+            self.initial.insert_prefix(
+                Prefix.from_bits(prefix.bits, prefix.length, self.k), ("hop", hop)
+            )
+
+    # ------------------------------------------------------------------
+    # Updates (Appendix A.3.2: rebuild the affected structures)
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        self._check_prefix(prefix)
+        if prefix.length <= self.k:
+            self._shorts.insert(prefix, next_hop)
+            if prefix.length == self.k:
+                self._exact_k[prefix.bits] = next_hop
+        else:
+            slice_bits = prefix.slice(0, self.k)
+            group = self._groups.setdefault(slice_bits, [])
+            suffix = self._suffix_of(prefix)
+            group[:] = [(s, h) for s, h in group if s != suffix]
+            group.append((suffix, next_hop))
+        self._rebuild()
+
+    def delete(self, prefix: Prefix) -> None:
+        self._check_prefix(prefix)
+        if prefix.length <= self.k:
+            self._shorts.delete(prefix)
+            if prefix.length == self.k:
+                self._exact_k.pop(prefix.bits, None)
+        else:
+            slice_bits = prefix.slice(0, self.k)
+            group = self._groups.get(slice_bits, [])
+            suffix = self._suffix_of(prefix)
+            kept = [(s, h) for s, h in group if s != suffix]
+            if len(kept) == len(group):
+                raise KeyError(str(prefix))
+            if kept:
+                self._groups[slice_bits] = kept
+            else:
+                del self._groups[slice_bits]
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Lookup (Algorithm 2)
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        self._check_address(address)
+        result = self.initial.search(address >> self.suffix_bits)
+        if result is None:
+            return None
+        kind, value = result
+        if kind == "hop":
+            return value
+        key = address & ((1 << self.suffix_bits) - 1)
+        return self.forest.search(value, key)
+
+    # ------------------------------------------------------------------
+    # CRAM model (Figure 6b: initial CAM + fanned-out BST levels)
+    # ------------------------------------------------------------------
+    def cram_program(self) -> CramProgram:
+        prog = CramProgram(
+            "BSIC", registers=["addr", "key", "ptr", "best", "done"]
+        )
+        initial = ternary_table(
+            "initial", self.k, len(self.initial), INITIAL_DATA_BITS,
+            key_selector=lambda s: s["addr"] >> self.suffix_bits,
+            backing=self.initial,
+        )
+
+        def init_act(state: dict, result) -> None:
+            state["key"] = state["addr"] & ((1 << self.suffix_bits) - 1)
+            if result is None:
+                state["done"] = 1
+            elif result[0] == "hop":
+                state["best"], state["done"] = result[1], 1
+            else:
+                state["ptr"] = result[1]
+
+        prog.add_step(Step("initial", table=initial, reads=["addr"],
+                           writes=["key", "ptr", "best", "done"],
+                           action=init_act))
+
+        previous = "initial"
+        for level in range(self.forest.depth):
+            table = exact_table(
+                f"bst_level_{level}", 0, len(self.forest.levels[level]),
+                self.forest.node_entry_bits,
+                key_selector=lambda s: None if s.get("done") or s.get("ptr") is None
+                else s["ptr"],
+                backing=lambda i, level=level: self.forest.node(level, i),
+            )
+
+            def act(state: dict, result) -> None:
+                if result is None:
+                    state["ptr"] = None
+                    return
+                endpoint, hop, left, right = result
+                if state["key"] == endpoint:
+                    state["best"], state["done"] = hop, 1
+                    state["ptr"] = None
+                elif state["key"] > endpoint:
+                    state["best"], state["ptr"] = hop, right
+                else:
+                    state["ptr"] = left
+
+            step = Step(f"bst_level_{level}", table=table,
+                        reads=["key", "ptr", "done", "best"],
+                        writes=["ptr", "best", "done"], action=act)
+            prog.add_step(step, after=[previous])
+            previous = step.name
+        return prog
+
+    def cram_extract_hop(self, state: dict) -> Optional[int]:
+        return state.get("best")
+
+    # ------------------------------------------------------------------
+    # Chip layout
+    # ------------------------------------------------------------------
+    def layout(self) -> Layout:
+        return bsic_layout_from_counts(
+            initial_entries=len(self.initial),
+            level_sizes=self.forest.level_sizes(),
+            k=self.k,
+            width=self.width,
+            name=self.name,
+        )
+
+    def idioms_applied(self) -> List[IdiomApplication]:
+        return [
+            IdiomApplication(Idiom.COMPRESS_WITH_TCAM, "initial table",
+                             "ternary slices instead of 2^k direct slots"),
+            IdiomApplication(Idiom.MEMORY_FAN_OUT, "range table",
+                             "per-level BST tables, one access each"),
+            IdiomApplication(Idiom.STRATEGIC_CUTTING, "k",
+                             "balances TCAM size against BST depth"),
+        ]
+
+
+def bsic_layout_from_counts(
+    initial_entries: int,
+    level_sizes: List[int],
+    k: int,
+    width: int,
+    name: Optional[str] = None,
+) -> Layout:
+    """BSIC's chip layout from table populations.
+
+    Exposed separately so the §7.2 multiverse scaling can scale the
+    populations analytically (universes are disjoint copies, so every
+    table grows by exactly the universe count).
+    """
+    endpoint_bits = width - k
+    node_bits = endpoint_bits + NEXT_HOP_BITS + 2 * POINTER_BITS
+    initial = LogicalTable(
+        "initial", MemoryKind.TCAM, entries=initial_entries, key_width=k,
+        data_width=INITIAL_DATA_BITS,
+    )
+    phases = [Phase("initial TCAM", [initial], dependent_alu_ops=1)]
+    for level, size in enumerate(level_sizes):
+        table = LogicalTable(
+            f"bst_level_{level}", MemoryKind.SRAM, entries=size, key_width=0,
+            data_width=node_bits,
+        )
+        # Compare-then-act: two dependent ALU ops — one ideal-RMT
+        # stage, two Tofino-2 stages (§6.5.3).
+        phases.append(Phase(f"BST level {level}", [table], dependent_alu_ops=2))
+    return Layout(name or f"BSIC (k={k})", phases)

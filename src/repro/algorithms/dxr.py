@@ -1,0 +1,200 @@
+"""DXR (Zec, Rizzo & Mikuc [89]): the range-search baseline (§4).
+
+DXR converts prefixes to sorted ranges and binary-searches them.  An
+initial lookup table directly indexed by the first ``k`` address bits
+(D16R: k=16) narrows the search to one slice's section of the global
+range table, after two optimizations: neighbouring ranges with equal
+next hops are merged, and right endpoints are discarded.
+
+DXR is fast *software*; on RMT chips its single range table would be
+accessed once per binary-search probe, violating the one-access-per-
+table rule — the paper's motivation for BSIC's memory fan-out (I8).
+:meth:`Dxr.layout` therefore returns the only legal RMT rendering,
+with the range table duplicated per search level (the "infeasible
+26.73 MB" §4.1 mentions); :attr:`Dxr.single_table_sram_bits` exposes
+the software footprint for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
+from ..core.program import CramProgram
+from ..core.step import Step
+from ..core.table import direct_index_table, exact_table
+from ..prefix.prefix import Prefix
+from ..prefix.ranges import RangeEntry, expand_to_ranges
+from ..prefix.trie import BinaryTrie, Fib
+from .base import LookupAlgorithm
+
+NEXT_HOP_BITS = 8
+POINTER_BITS = 20
+#: Initial-table slot: next hop or section pointer + length (paper: the
+#: D16R table is 0.25 MB = 2**16 x 32 bits).
+INITIAL_SLOT_BITS = 32
+
+
+class Dxr(LookupAlgorithm):
+    """Behavioural D-k-R with a single global range table."""
+
+    def __init__(self, fib: Fib, k: int = 16):
+        if not 1 <= k < fib.width:
+            raise ValueError(f"k {k} outside [1, {fib.width})")
+        self.width = fib.width
+        self.k = k
+        self.name = f"DXR (k={k})"
+        self.suffix_bits = fib.width - k
+
+        shorts = BinaryTrie(fib.width)
+        groups: Dict[int, List[Tuple[Prefix, int]]] = {}
+        exact_k: Dict[int, int] = {}
+        for prefix, hop in fib:
+            if prefix.length < self.k:
+                shorts.insert(prefix, hop)
+            elif prefix.length == self.k:
+                exact_k[prefix.bits] = hop
+                shorts.insert(prefix, hop)
+            else:
+                slice_bits = prefix.slice(0, self.k)
+                # Re-express the suffix in the (width - k)-bit space.
+                suffix = Prefix.from_bits(
+                    prefix.bits & ((1 << (prefix.length - self.k)) - 1),
+                    prefix.length - self.k,
+                    self.suffix_bits,
+                )
+                groups.setdefault(slice_bits, []).append((suffix, hop))
+
+        #: Global merged range table; sections are contiguous.
+        self.ranges: List[RangeEntry] = []
+        #: Slice -> ('hop', hop) | ('section', start, count) | None.
+        self.initial: List[Optional[Tuple]] = [None] * (1 << self.k)
+        for slice_bits in range(1 << self.k):
+            default = shorts.lookup(slice_bits << self.suffix_bits)
+            group = groups.get(slice_bits)
+            if not group:
+                if default is not None:
+                    self.initial[slice_bits] = ("hop", default)
+                continue
+            section = expand_to_ranges(group, self.suffix_bits, default_hop=default)
+            start = len(self.ranges)
+            self.ranges.extend(section)
+            self.initial[slice_bits] = ("section", start, len(section))
+
+        self.max_section = max(
+            (entry[2] for entry in self.initial if entry and entry[0] == "section"),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def search_depth(self) -> int:
+        """Binary-search probes needed for the largest section."""
+        return max(1, math.ceil(math.log2(self.max_section + 1))) if self.max_section else 0
+
+    @property
+    def single_table_sram_bits(self) -> int:
+        """Software DXR footprint: initial table + one range table."""
+        range_bits = len(self.ranges) * (self.suffix_bits + NEXT_HOP_BITS)
+        return (1 << self.k) * INITIAL_SLOT_BITS + range_bits
+
+    def lookup(self, address: int) -> Optional[int]:
+        self._check_address(address)
+        entry = self.initial[address >> self.suffix_bits]
+        if entry is None:
+            return None
+        if entry[0] == "hop":
+            return entry[1]
+        _tag, start, count = entry
+        key = address & ((1 << self.suffix_bits) - 1)
+        lo, hi = start, start + count - 1
+        best = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.ranges[mid].left <= key:
+                best = self.ranges[mid].next_hop
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    # ------------------------------------------------------------------
+    # CRAM model (Figure 6a: one range table, probed repeatedly)
+    # ------------------------------------------------------------------
+    def cram_program(self) -> CramProgram:
+        prog = CramProgram(
+            "DXR",
+            registers=["addr", "lo", "hi", "best", "done", "key"],
+        )
+        initial = direct_index_table(
+            "initial", self.k, INITIAL_SLOT_BITS,
+            key_selector=lambda s: s["addr"] >> self.suffix_bits,
+            backing=lambda i: self.initial[i],
+        )
+
+        def init_act(state: dict, result) -> None:
+            state["key"] = state["addr"] & ((1 << self.suffix_bits) - 1)
+            if result is None:
+                state["done"] = 1
+            elif result[0] == "hop":
+                state["best"], state["done"] = result[1], 1
+            else:
+                state["lo"], state["hi"] = result[1], result[1] + result[2] - 1
+
+        prog.add_step(Step("initial", table=initial, reads=["addr"],
+                           writes=["lo", "hi", "best", "done", "key"],
+                           action=init_act))
+
+        # ONE physical range table, probed once per search level — the
+        # RAM-model luxury that RMT chips disallow (idiom I8's target).
+        # Pointer-addressed: no stored keys, rows are endpoint + hop.
+        range_table = exact_table(
+            "ranges", 0, len(self.ranges),
+            self.suffix_bits + NEXT_HOP_BITS,
+            key_selector=lambda s: (
+                None if s.get("done") or s.get("lo") is None or s["lo"] > s["hi"]
+                else (s["lo"] + s["hi"]) // 2
+            ),
+            backing=lambda mid: self.ranges[mid],
+        )
+
+        def probe_act(state: dict, result) -> None:
+            if result is None:
+                return
+            mid = (state["lo"] + state["hi"]) // 2
+            if result.left <= state["key"]:
+                state["best"] = result.next_hop
+                state["lo"] = mid + 1
+            else:
+                state["hi"] = mid - 1
+
+        previous = "initial"
+        for level in range(self.search_depth):
+            step = Step(f"probe_{level}", table=range_table,
+                        reads=["lo", "hi", "key", "done", "best"],
+                        writes=["lo", "hi", "best"], action=probe_act)
+            prog.add_step(step, after=[previous])
+            previous = step.name
+        return prog
+
+    def cram_extract_hop(self, state: dict) -> Optional[int]:
+        return state.get("best")
+
+    # ------------------------------------------------------------------
+    # Chip layout: legal only with the range table duplicated per level
+    # ------------------------------------------------------------------
+    def layout(self) -> Layout:
+        initial = LogicalTable(
+            "initial", MemoryKind.SRAM, entries=1 << self.k, key_width=self.k,
+            data_width=INITIAL_SLOT_BITS, direct_index=True,
+        )
+        phases = [Phase("initial table", [initial], dependent_alu_ops=1)]
+        entry_bits = self.suffix_bits + NEXT_HOP_BITS
+        for level in range(self.search_depth):
+            duplicate = LogicalTable(
+                f"ranges (copy {level})", MemoryKind.SRAM,
+                entries=len(self.ranges), key_width=0, data_width=entry_bits,
+            )
+            phases.append(Phase(f"probe {level}", [duplicate], dependent_alu_ops=2))
+        return Layout(self.name, phases)

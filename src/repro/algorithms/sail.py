@@ -1,0 +1,275 @@
+"""SAIL (Yang et al. [83]): the IPv4 SRAM-only baseline (§3, §6.5.1).
+
+SAIL splits IP lookup by prefix *length*: a bitmap ``B_i`` of size
+``2**i`` records whether any length-``i`` prefix matches, and a
+directly-indexed next-hop array ``N_i`` holds the hops.  Lengths run
+up to the pivot level 24; longer prefixes are *pivot pushed* — expanded
+to 32 bits and stored in per-/24 chunks of 256 next hops reached
+through ``N_24``.
+
+The paper's §6.5.2 point is exactly this structure's cost: the
+directly-indexed arrays need ~32 MB (2313 SRAM pages, 33 ideal-RMT
+stages), far beyond the Tofino-2 envelope — the motivation for RESAIL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
+from ..core.idioms import IdiomApplication
+from ..core.program import CramProgram
+from ..core.step import Step
+from ..core.table import direct_index_table, exact_table
+from ..memory.sram import Bitmap, DirectIndexTable
+from ..prefix.distribution import LengthDistribution
+from ..prefix.prefix import IPV4_WIDTH, Prefix
+from ..prefix.trie import Fib
+from .base import LookupAlgorithm
+
+PIVOT_LEVEL = 24
+NEXT_HOP_BITS = 8
+CHUNK_SIZE = 1 << (IPV4_WIDTH - PIVOT_LEVEL)  # 256 expanded hops per chunk
+
+
+class Sail(LookupAlgorithm):
+    """Behavioural SAIL with pivot pushing."""
+
+    def __init__(self, fib: Fib):
+        if fib.width != IPV4_WIDTH:
+            raise ValueError("SAIL is an IPv4 scheme")
+        self.width = IPV4_WIDTH
+        self.name = "SAIL"
+        self.default_hop: Optional[int] = None
+        self.bitmaps: Dict[int, Bitmap] = {
+            i: Bitmap(i, name=f"B{i}") for i in range(1, PIVOT_LEVEL + 1)
+        }
+        self.arrays: Dict[int, DirectIndexTable] = {
+            i: DirectIndexTable(i, NEXT_HOP_BITS, name=f"N{i}")
+            for i in range(1, PIVOT_LEVEL + 1)
+        }
+        #: /24 slot -> 256 expanded next hops (pivot pushing).
+        self.chunks: Dict[int, List[Optional[int]]] = {}
+        self._long_prefixes = Fib(IPV4_WIDTH)  # source data for chunk rebuilds
+        for prefix, hop in fib:
+            self.insert(prefix, hop)
+
+    # ------------------------------------------------------------------
+    # Updates (SAIL supports straightforward incremental updates)
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        self._check_prefix(prefix)
+        if prefix.length == 0:
+            self.default_hop = next_hop
+            return
+        if prefix.length <= PIVOT_LEVEL:
+            self.bitmaps[prefix.length].set(prefix.bits)
+            self.arrays[prefix.length].store(prefix.bits, next_hop)
+            slot = prefix.bits
+            if prefix.length == PIVOT_LEVEL and slot in self.chunks:
+                self._rebuild_chunk(slot)
+            return
+        # Pivot pushing: the /24 slot owning this prefix gains a chunk.
+        self._long_prefixes.insert(prefix, next_hop)
+        slot = prefix.bits >> (prefix.length - PIVOT_LEVEL)
+        self.bitmaps[PIVOT_LEVEL].set(slot)
+        self._rebuild_chunk(slot)
+
+    def delete(self, prefix: Prefix) -> None:
+        self._check_prefix(prefix)
+        if prefix.length == 0:
+            self.default_hop = None
+            return
+        if prefix.length <= PIVOT_LEVEL:
+            if self.arrays[prefix.length].load(prefix.bits) is None:
+                raise KeyError(str(prefix))
+            self.arrays[prefix.length].clear_slot(prefix.bits)
+            if prefix.length == PIVOT_LEVEL and prefix.bits in self.chunks:
+                self._rebuild_chunk(prefix.bits)
+            else:
+                self.bitmaps[prefix.length].set(prefix.bits, False)
+            return
+        self._long_prefixes.delete(prefix)
+        slot = prefix.bits >> (prefix.length - PIVOT_LEVEL)
+        self._rebuild_chunk(slot)
+        if slot not in self.chunks and self.arrays[PIVOT_LEVEL].load(slot) is None:
+            self.bitmaps[PIVOT_LEVEL].set(slot, False)
+
+    def _rebuild_chunk(self, slot: int) -> None:
+        """Recompute the expanded hops of one /24 chunk (pivot pushing)."""
+        base = slot << (IPV4_WIDTH - PIVOT_LEVEL)
+        slot_hop = self.arrays[PIVOT_LEVEL].load(slot)
+        chunk: List[Optional[int]] = []
+        any_long = False
+        for offset in range(CHUNK_SIZE):
+            hop = self._long_prefixes.lookup(base | offset)
+            if hop is not None:
+                any_long = True
+            else:
+                hop = slot_hop
+            chunk.append(hop)
+        if any_long:
+            self.chunks[slot] = chunk
+        else:
+            self.chunks.pop(slot, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        self._check_address(address)
+        for i in range(PIVOT_LEVEL, 0, -1):
+            index = address >> (IPV4_WIDTH - i)
+            if self.bitmaps[i].test(index):
+                if i == PIVOT_LEVEL and index in self.chunks:
+                    hop = self.chunks[index][address & (CHUNK_SIZE - 1)]
+                    if hop is not None:
+                        return hop
+                    # Chunk slot holds no long match and no /24: fall
+                    # through to shorter lengths.
+                    continue
+                return self.arrays[i].load(index)
+        return self.default_hop
+
+    # ------------------------------------------------------------------
+    # CRAM model (Figure 5a: bitmap/array chain with data dependencies)
+    # ------------------------------------------------------------------
+    def cram_program(self) -> CramProgram:
+        prog = CramProgram("SAIL", registers=["addr", "hop", "done"])
+
+        def bitmap_step(i: int) -> Step:
+            table = direct_index_table(
+                f"B{i}", i, 1,
+                key_selector=lambda s, i=i: s["addr"] >> (IPV4_WIDTH - i),
+                backing=self.bitmaps[i].test,
+                default=False,
+            )
+
+            def act(state: dict, result, i=i) -> None:
+                state[f"hit_{i}"] = bool(result)
+
+            return Step(f"bitmap_{i}", table=table, reads=["addr"],
+                        writes=[f"hit_{i}"], action=act)
+
+        def array_step(i: int) -> Step:
+            def select(s: dict, i=i):
+                if not s.get(f"hit_{i}"):
+                    return None
+                index = s["addr"] >> (IPV4_WIDTH - i)
+                if i == PIVOT_LEVEL and index in self.chunks:
+                    return None  # handled by the chunk step
+                return index
+
+            table = direct_index_table(
+                f"N{i}", i, NEXT_HOP_BITS,
+                key_selector=select, backing=self.arrays[i].load,
+            )
+
+            def act(state: dict, result, i=i) -> None:
+                if not state.get("done") and state.get(f"hit_{i}") and result is not None:
+                    state["hop"] = result
+                    state["done"] = 1
+
+            return Step(f"array_{i}", table=table,
+                        reads=["addr", f"hit_{i}", "done", "hop"],
+                        writes=["hop", "done"], action=act)
+
+        def chunk_step() -> Step:
+            def select(s: dict):
+                if not s.get(f"hit_{PIVOT_LEVEL}"):
+                    return None
+                if (s["addr"] >> (IPV4_WIDTH - PIVOT_LEVEL)) not in self.chunks:
+                    return None
+                return s["addr"]
+
+            def load(address: int):
+                return self.chunks[address >> (IPV4_WIDTH - PIVOT_LEVEL)][
+                    address & (CHUNK_SIZE - 1)
+                ]
+
+            # Pointer-addressed chunk store: entries x 8 bits of SRAM,
+            # no stored keys (the chunk pointer is the address).
+            table = exact_table(
+                "N32-chunks", 0, len(self.chunks) * CHUNK_SIZE, NEXT_HOP_BITS,
+                key_selector=select, backing=load,
+            )
+
+            def act(state: dict, result) -> None:
+                if not state.get("done") and result is not None:
+                    state["hop"] = result
+                    state["done"] = 1
+
+            return Step("chunk_24", table=table,
+                        reads=["addr", f"hit_{PIVOT_LEVEL}", "done", "hop"],
+                        writes=["hop", "done"], action=act)
+
+        # RAM-model SAIL interleaves bitmap checks and array reads with
+        # early exits; the resulting writer chain on `hop` is the "large
+        # number of data dependencies" §3.1 observes.
+        for i in range(PIVOT_LEVEL, 0, -1):
+            prog.add_step(bitmap_step(i))
+            if i == PIVOT_LEVEL:
+                prog.add_step(chunk_step(), after=[f"bitmap_{i}"])
+            prog.add_step(array_step(i), after=[f"bitmap_{i}"])
+        prog.infer_dependencies()
+        return prog
+
+    def cram_extract_hop(self, state: dict) -> Optional[int]:
+        hop = state.get("hop")
+        return hop if hop is not None else self.default_hop
+
+    # ------------------------------------------------------------------
+    # Chip layout
+    # ------------------------------------------------------------------
+    def layout(self) -> Layout:
+        return sail_layout_from_counts(
+            chunk_count=len(self.chunks), name=self.name
+        )
+
+    def idioms_applied(self) -> List[IdiomApplication]:
+        return []  # SAIL is the pre-CRAM starting point
+
+
+def sail_layout_from_counts(chunk_count: int, name: str = "SAIL") -> Layout:
+    """SAIL's chip layout given the number of pivot-pushed chunks.
+
+    Bitmaps and arrays are structural (their size is ``2**i``
+    regardless of population); only the chunk store depends on the
+    database, which is why §7.1 can scale SAIL from the length
+    histogram alone.
+    """
+    bitmaps = [
+        LogicalTable(f"B{i}", MemoryKind.SRAM, entries=1 << i, key_width=i,
+                     data_width=1, direct_index=True, raw_bits=1 << i,
+                     unaligned_key=True)
+        for i in range(1, PIVOT_LEVEL + 1)
+    ]
+    arrays = [
+        LogicalTable(f"N{i}", MemoryKind.SRAM, entries=1 << i, key_width=i,
+                     data_width=NEXT_HOP_BITS, direct_index=True,
+                     raw_bits=(1 << i) * NEXT_HOP_BITS, unaligned_key=True)
+        for i in range(1, PIVOT_LEVEL + 1)
+    ]
+    phases = [
+        Phase("bitmaps", bitmaps, dependent_alu_ops=1),
+        Phase("resolve", [], dependent_alu_ops=2),
+        Phase("next-hop arrays", arrays, dependent_alu_ops=1),
+    ]
+    if chunk_count:
+        chunk_table = LogicalTable(
+            "N32-chunks", MemoryKind.SRAM, entries=chunk_count * CHUNK_SIZE,
+            key_width=0, data_width=NEXT_HOP_BITS,
+            raw_bits=chunk_count * CHUNK_SIZE * NEXT_HOP_BITS,
+        )
+        phases.append(Phase("pivot-pushed chunks", [chunk_table], dependent_alu_ops=1))
+    return Layout(name, phases)
+
+
+def sail_layout_from_distribution(dist: LengthDistribution, name: str = "SAIL") -> Layout:
+    """Analytic SAIL layout for the §7.1 scaling experiments.
+
+    Upper-bounds chunks at one per prefix longer than the pivot (each
+    long prefix pushes at most one /24 chunk; nesting only reduces the
+    count).
+    """
+    return sail_layout_from_counts(dist.count_longer_than(PIVOT_LEVEL), name)

@@ -1,0 +1,148 @@
+"""Virtual routing tables (VRFs) through the CRAM lens (§1 O3, idiom I5).
+
+Routers carry hundreds of VPN routing tables; the public BGP table is
+only a fraction of required capacity.  Naively, each VRF gets its own
+physical tables — and pays block/page *fragmentation* for every one of
+them (a 100-entry VRF still occupies a whole 512-entry TCAM block).
+
+Idiom I5 (table coalescing) fixes this exactly as it fixes MASHUP's
+node tables: extend every prefix with a fully-specified VRF tag and
+store all VRFs in one shared structure.  A prefix ``p/l`` of VRF ``v``
+becomes ``v . p`` of length ``tag_bits + l`` over a widened address
+space; lookups prepend the packet's VRF to its destination address.
+Longest-prefix-match semantics are preserved because tags are exact:
+entries of different VRFs can never match the same lookup key.
+
+:class:`VrfRouter` provides both renderings so their costs can be
+compared (see ``benchmarks/bench_vrf.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..chip.layout import Layout, Phase
+from ..prefix.prefix import Prefix
+from ..prefix.trie import Fib
+from .base import LookupAlgorithm
+from .logical_tcam import LogicalTcam
+
+#: Builds a lookup algorithm over a FIB of arbitrary width.
+AlgorithmFactory = Callable[[Fib], LookupAlgorithm]
+
+
+def tag_prefix(prefix: Prefix, vrf_id: int, tag_bits: int) -> Prefix:
+    """Extend ``prefix`` with its VRF tag as fully-specified top bits."""
+    if not 0 <= vrf_id < (1 << tag_bits):
+        raise ValueError(f"VRF id {vrf_id} does not fit in {tag_bits} tag bits")
+    return Prefix.from_bits(
+        (vrf_id << prefix.length) | prefix.bits,
+        tag_bits + prefix.length,
+        tag_bits + prefix.width,
+    )
+
+
+class VrfRouter:
+    """A multi-VRF router with coalesced (I5) physical tables.
+
+    ``factory`` builds the underlying lookup algorithm over the
+    combined, tag-widened FIB; it must accept arbitrary address widths
+    (the logical TCAM, BSIC, HI-BST, and the tries all do).  The
+    default is the logical TCAM — the rendering whose fragmentation
+    story is the crispest.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        max_vrfs: int,
+        factory: Optional[AlgorithmFactory] = None,
+    ):
+        if max_vrfs < 1:
+            raise ValueError("need at least one VRF")
+        self.width = width
+        self.tag_bits = max(1, math.ceil(math.log2(max_vrfs)))
+        self.max_vrfs = max_vrfs
+        self._factory = factory or LogicalTcam
+        self._vrfs: Dict[int, Fib] = {}
+        self._combined = Fib(self.tag_bits + width)
+        self._engine: Optional[LookupAlgorithm] = None
+
+    # ------------------------------------------------------------------
+    # VRF management
+    # ------------------------------------------------------------------
+    def add_vrf(self, vrf_id: int, fib: Fib) -> None:
+        """Install (or replace) a VRF's routing table."""
+        if fib.width != self.width:
+            raise ValueError(
+                f"VRF table width {fib.width} does not match router width {self.width}"
+            )
+        if not 0 <= vrf_id < self.max_vrfs:
+            raise ValueError(f"VRF id {vrf_id} outside [0, {self.max_vrfs})")
+        if vrf_id in self._vrfs:
+            self.remove_vrf(vrf_id)
+        self._vrfs[vrf_id] = fib
+        for prefix, hop in fib:
+            self._combined.insert(tag_prefix(prefix, vrf_id, self.tag_bits), hop)
+        self._engine = None  # rebuilt lazily
+
+    def remove_vrf(self, vrf_id: int) -> None:
+        fib = self._vrfs.pop(vrf_id)
+        for prefix, _hop in fib:
+            self._combined.delete(tag_prefix(prefix, vrf_id, self.tag_bits))
+        self._engine = None
+
+    def vrf_ids(self) -> List[int]:
+        return sorted(self._vrfs)
+
+    def total_prefixes(self) -> int:
+        return len(self._combined)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _ensure_engine(self) -> LookupAlgorithm:
+        if self._engine is None:
+            self._engine = self._factory(self._combined)
+        return self._engine
+
+    def lookup(self, vrf_id: int, address: int) -> Optional[int]:
+        """Route ``address`` within VRF ``vrf_id``."""
+        if vrf_id not in self._vrfs:
+            raise KeyError(f"unknown VRF {vrf_id}")
+        if not 0 <= address < (1 << self.width):
+            raise ValueError(f"address {address:#x} outside {self.width} bits")
+        return self._ensure_engine().lookup((vrf_id << self.width) | address)
+
+    # ------------------------------------------------------------------
+    # Accounting: coalesced vs per-VRF rendering
+    # ------------------------------------------------------------------
+    def coalesced_layout(self) -> Layout:
+        """One shared structure over the tag-widened FIB (idiom I5)."""
+        layout = self._ensure_engine().layout()
+        return Layout(f"VRFs coalesced ({len(self._vrfs)} tables)", layout.phases)
+
+    def separate_layouts(self) -> Layout:
+        """One physical structure per VRF — the fragmented rendering.
+
+        All per-VRF tables sit in parallel phases (a packet consults
+        only its own VRF), so the combined layout has one phase whose
+        tables are the union.
+        """
+        tables = []
+        for vrf_id, fib in sorted(self._vrfs.items()):
+            engine = self._factory(fib)
+            for phase in engine.layout().phases:
+                for table in phase.tables:
+                    tables.append(_renamed(table, f"vrf{vrf_id}_{table.name}"))
+        return Layout(
+            f"VRFs separate ({len(self._vrfs)} tables)",
+            [Phase("per-VRF tables", tables, dependent_alu_ops=1)],
+        )
+
+
+def _renamed(table, name: str):
+    from dataclasses import replace
+
+    return replace(table, name=name)

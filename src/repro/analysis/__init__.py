@@ -1,0 +1,58 @@
+"""Evaluation harness: comparisons, scaling, trade-offs, accuracy, reports."""
+
+from .accuracy import AccuracyReport, ModelRow, accuracy_report
+from .capacity import (
+    HeadroomReport,
+    decade_claim_holds,
+    ipv4_headroom,
+    ipv6_headroom,
+)
+from .compare import CandidateReport, evaluate, select_best
+from .figures import render_chart, render_scaling_figure
+from .report import (
+    Comparison,
+    Table,
+    chip_mapping_table,
+    cram_metrics_table,
+    render_comparisons,
+)
+from .scaling import (
+    ScalingPoint,
+    hibst_max_feasible,
+    ipv4_max_feasible,
+    ipv4_scaling_series,
+    ipv6_max_feasible,
+    ipv6_scaling_series,
+    sail_max_feasible,
+)
+from .tradeoff import TradeoffPoint, bsic_k_sweep, optimal_k
+
+__all__ = [
+    "HeadroomReport",
+    "decade_claim_holds",
+    "ipv4_headroom",
+    "ipv6_headroom",
+    "render_chart",
+    "render_scaling_figure",
+    "AccuracyReport",
+    "ModelRow",
+    "accuracy_report",
+    "CandidateReport",
+    "evaluate",
+    "select_best",
+    "Comparison",
+    "Table",
+    "chip_mapping_table",
+    "cram_metrics_table",
+    "render_comparisons",
+    "ScalingPoint",
+    "hibst_max_feasible",
+    "ipv4_max_feasible",
+    "ipv4_scaling_series",
+    "ipv6_max_feasible",
+    "ipv6_scaling_series",
+    "sail_max_feasible",
+    "TradeoffPoint",
+    "bsic_k_sweep",
+    "optimal_k",
+]

@@ -1,0 +1,67 @@
+"""CRAM model predictive accuracy (paper §8, Tables 10 and 11).
+
+The three models form a hierarchy of increasing detail: CRAM (raw bits
+and steps, fractional blocks/pages), ideal RMT (whole blocks/pages and
+stages), Tofino-2 (P4-level overheads).  This module lines an
+algorithm up across all three and computes the step-up factors the
+paper discusses (e.g. RESAIL's x1.35 SRAM and x1.78 stages from ideal
+RMT to Tofino-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..algorithms.base import LookupAlgorithm
+from ..chip.ideal_rmt import map_to_ideal_rmt
+from ..chip.tofino2 import map_to_tofino2
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """One row of Table 10/11."""
+
+    model: str
+    tcam_blocks: float
+    sram_pages: float
+    steps: float  # steps for CRAM, stages for the chip models
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """An algorithm across the model hierarchy."""
+
+    name: str
+    rows: List[ModelRow]
+
+    def row(self, model: str) -> ModelRow:
+        for row in self.rows:
+            if row.model == model:
+                return row
+        raise KeyError(model)
+
+    def factor(self, quantity: str, frm: str, to: str) -> float:
+        """Multiplicative step-up of ``quantity`` between two models."""
+        a = getattr(self.row(frm), quantity)
+        b = getattr(self.row(to), quantity)
+        if a == 0:
+            return float("inf") if b else 1.0
+        return b / a
+
+
+def accuracy_report(algorithm: LookupAlgorithm) -> AccuracyReport:
+    """Tables 10/11 for one algorithm."""
+    metrics = algorithm.cram_metrics()
+    layout = algorithm.layout()
+    ideal = map_to_ideal_rmt(layout)
+    tofino = map_to_tofino2(layout)
+    return AccuracyReport(
+        algorithm.name,
+        [
+            ModelRow("CRAM", round(metrics.tcam_blocks, 2),
+                     round(metrics.sram_pages, 2), metrics.steps),
+            ModelRow("Ideal RMT", ideal.tcam_blocks, ideal.sram_pages, ideal.stages),
+            ModelRow("Tofino-2", tofino.tcam_blocks, tofino.sram_pages, tofino.stages),
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Capacity headroom analysis — the paper's "next decade" claim, formalized.
+
+The abstract promises RESAIL's 2.25M-prefix Tofino-2 capacity is
+"likely sufficient for the next decade".  This module combines the §7
+feasibility frontiers with the Figure 1 growth models to compute, for
+any algorithm/chip pair, the year its capacity runs out — and
+therefore whether the decade claim holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datasets.growth import (
+    BASE_YEAR,
+    IPV4_2023,
+    IPV6_2023,
+    IPV4_DOUBLING_YEARS,
+    IPV6_DOUBLING_YEARS,
+)
+
+
+@dataclass(frozen=True)
+class HeadroomReport:
+    """When a capacity runs out under a growth model."""
+
+    scheme: str
+    family: str
+    capacity: int
+    exhaustion_year: Optional[float]  # None = already exceeded
+    years_of_headroom: float
+
+    @property
+    def lasts_a_decade(self) -> bool:
+        return self.years_of_headroom >= 10.0
+
+    def describe(self) -> str:
+        if self.exhaustion_year is None:
+            return (f"{self.scheme} ({self.family}): capacity {self.capacity:,} "
+                    "is already below today's table")
+        return (f"{self.scheme} ({self.family}): capacity {self.capacity:,} "
+                f"lasts until ~{self.exhaustion_year:.0f} "
+                f"({self.years_of_headroom:.1f} years of headroom)")
+
+
+def _exhaustion(capacity: int, base: int, doubling_years: float) -> Optional[float]:
+    if capacity <= base:
+        return None
+    return BASE_YEAR + doubling_years * math.log2(capacity / base)
+
+
+def ipv4_headroom(scheme: str, capacity: int) -> HeadroomReport:
+    """Headroom under the doubling-per-decade IPv4 trend (O1)."""
+    year = _exhaustion(capacity, IPV4_2023, IPV4_DOUBLING_YEARS)
+    return HeadroomReport(
+        scheme, "IPv4", capacity, year,
+        0.0 if year is None else year - BASE_YEAR,
+    )
+
+
+def ipv6_headroom(scheme: str, capacity: int,
+                  model: str = "doubling") -> HeadroomReport:
+    """Headroom under the IPv6 trend (O2): exponential or linear."""
+    if model == "doubling":
+        year = _exhaustion(capacity, IPV6_2023, IPV6_DOUBLING_YEARS)
+    elif model == "linear":
+        if capacity <= IPV6_2023:
+            year = None
+        else:
+            from ..datasets.growth import IPV6_LINEAR_SLOPE
+
+            year = BASE_YEAR + (capacity - IPV6_2023) / IPV6_LINEAR_SLOPE
+    else:
+        raise ValueError(f"unknown IPv6 growth model {model!r}")
+    return HeadroomReport(
+        scheme, f"IPv6/{model}", capacity, year,
+        0.0 if year is None else year - BASE_YEAR,
+    )
+
+
+def decade_claim_holds(ipv4_capacity: int, ipv6_capacity: int,
+                       ipv6_model: str = "linear") -> bool:
+    """The abstract's combined claim for a dual-stack deployment.
+
+    The paper argues IPv4 doubling-per-decade and an IPv6 *slowdown to
+    linear* (O2's conservative branch) — under those models both
+    capacities must survive 10 years.
+    """
+    v4 = ipv4_headroom("", ipv4_capacity)
+    v6 = ipv6_headroom("", ipv6_capacity, model=ipv6_model)
+    return v4.lasts_a_decade and v6.lasts_a_decade

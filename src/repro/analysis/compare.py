@@ -1,0 +1,90 @@
+"""Before/after-implementation comparisons (paper §6.4, §6.5).
+
+The paper's methodology: compute CRAM metrics for every candidate,
+pick winners *before* implementation (prioritizing TCAM, the scarce
+resource), then validate against the full chip mappings.  This module
+automates both steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..algorithms.base import LookupAlgorithm
+from ..chip.mapping import ChipMapping
+from ..chip.ideal_rmt import map_to_ideal_rmt
+from ..chip.tofino2 import map_to_tofino2
+from ..core.metrics import CramMetrics
+
+#: Tofino-2 has ~19x more SRAM than TCAM (§6.4), so TCAM dominates the
+#: §6.4 selection rule.
+SRAM_PER_TCAM_RATIO = 19
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """One algorithm's metrics across the three models (§8's hierarchy)."""
+
+    name: str
+    cram: CramMetrics
+    ideal_rmt: ChipMapping
+    tofino2: ChipMapping
+
+
+def evaluate(algorithm: LookupAlgorithm) -> CandidateReport:
+    """Run one algorithm through all three models."""
+    layout = algorithm.layout()
+    return CandidateReport(
+        name=algorithm.name,
+        cram=algorithm.cram_metrics(),
+        ideal_rmt=map_to_ideal_rmt(layout),
+        tofino2=map_to_tofino2(layout),
+    )
+
+
+def select_best(
+    candidates: Sequence[Tuple[str, CramMetrics]],
+) -> Tuple[str, str]:
+    """The §6.4 selection rule, returning (winner, rationale).
+
+    TCAM is weighted by its relative scarcity and 3x area cost; steps
+    break near-ties.  This reproduces the paper's choices: RESAIL for
+    IPv4 (beats MASHUP because MASHUP needs 100x its TCAM for only a
+    1.4x SRAM saving) and BSIC for IPv6 (16x less TCAM than MASHUP for
+    ~4x more SRAM and steps).
+    """
+    if not candidates:
+        raise ValueError("no candidates")
+
+    def cost(metrics: CramMetrics) -> float:
+        return metrics.tcam_bits * SRAM_PER_TCAM_RATIO + metrics.sram_bits
+
+    ranked = sorted(candidates, key=lambda kv: cost(kv[1]))
+    winner, metrics = ranked[0]
+    if len(ranked) == 1:
+        return winner, "only candidate"
+    runner, runner_metrics = ranked[1]
+    tcam_ratio = _ratio(runner_metrics.tcam_bits, metrics.tcam_bits)
+    sram_ratio = _ratio(metrics.sram_bits, runner_metrics.sram_bits)
+    if tcam_ratio >= 1:
+        edge = f"{winner} needs {tcam_ratio:.0f}x less TCAM than {runner}"
+        price = (f"at a {sram_ratio:.1f}x SRAM premium" if sram_ratio > 1
+                 else "and no SRAM premium")
+    elif sram_ratio > 0:
+        edge = (f"{winner} trades more TCAM than {runner} for "
+                f"{1 / sram_ratio:.1f}x less SRAM")
+        price = "which wins on total weighted cost"
+    else:
+        edge = f"{winner} has the lower TCAM-weighted total cost than {runner}"
+        price = ""
+    rationale = (
+        f"{edge} {price}; TCAM is ~{SRAM_PER_TCAM_RATIO}x scarcer on Tofino-2"
+    ).replace("  ", " ")
+    return winner, rationale
+
+
+def _ratio(a: float, b: float) -> float:
+    if b == 0:
+        return float("inf") if a else 1.0
+    return a / b

@@ -1,0 +1,73 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness emits the Figure 9/10/13 *data* as tables; this
+module renders the same series as terminal line charts so a reader can
+eyeball the shapes the paper plots — linear scaling curves, feasibility
+cut-offs, the k-sweep's interior optimum — without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+#: Marker characters cycled across series.
+_MARKS = "ox+*#@"
+
+
+def render_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one ASCII grid.
+
+    Points are scaled into a ``width x height`` character grid with the
+    origin bottom-left; each series uses its own marker; a legend maps
+    markers back to names.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = [title]
+    if y_label:
+        lines.append(f"[y: {y_label}]  max {y_hi:,.0f}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_line = f"[x: {x_label}]  " if x_label else ""
+    lines.append(f"{x_line}{x_lo:,.0f} .. {x_hi:,.0f}   (y min {y_lo:,.0f})")
+    for index, name in enumerate(series):
+        lines.append(f"  {_MARKS[index % len(_MARKS)]} = {name}")
+    return "\n".join(lines)
+
+
+def render_scaling_figure(
+    title: str,
+    scaling_series,
+    x_label: str = "database size (prefixes)",
+    y_label: str = "SRAM pages",
+) -> str:
+    """Render a Figure-9/10-style dict of ScalingPoint lists."""
+    series = {
+        name: [(p.size, p.sram_pages) for p in points]
+        for name, points in scaling_series.items()
+    }
+    return render_chart(title, series, x_label=x_label, y_label=y_label)

@@ -1,0 +1,123 @@
+"""Paper-style table rendering and paper-vs-measured records.
+
+Every benchmark regenerates one table or figure and renders it through
+this module so the output format matches the paper's presentation
+(e.g. "3.13 KB", "556 pages", "-" for unused resources) and so
+EXPERIMENTS.md can be assembled from uniform records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from ..core.units import format_bits
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A paper-style table: title, headers, rows of cells."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        rendered = [[_render_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def cram_metrics_table(title: str, entries) -> Table:
+    """Table 4/5 format: scheme, TCAM bits, SRAM bits, steps.
+
+    ``entries`` is a sequence of (name, CramMetrics).
+    """
+    table = Table(title, ["Scheme", "TCAM Bits", "SRAM Bits", "Steps"])
+    for name, metrics in entries:
+        table.add_row(
+            name,
+            format_bits(metrics.tcam_bits),
+            format_bits(metrics.sram_bits),
+            metrics.steps,
+        )
+    return table
+
+
+def chip_mapping_table(title: str, entries) -> Table:
+    """Table 6/7/8/9 format: scheme, TCAM blocks, SRAM pages, stages.
+
+    ``entries`` is a sequence of (name, ChipMapping-or-None tuple rows):
+    each row may also be a plain (name, blocks, pages, stages, chip)
+    tuple for pseudo-rows like the pipe limit.
+    """
+    table = Table(
+        title, ["Scheme", "TCAM Blocks", "SRAM Pages", "Stages", "Target Chip"]
+    )
+    for row in entries:
+        if len(row) == 2:
+            name, mapping = row
+            stages = mapping.stages
+            note = " (recirc.)" if mapping.recirculated else ""
+            table.add_row(
+                name,
+                mapping.tcam_blocks or None,
+                mapping.sram_pages or None,
+                f"{stages}{note}",
+                mapping.chip.name,
+            )
+        else:
+            table.add_row(*row)
+    return table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point for EXPERIMENTS.md."""
+
+    experiment: str
+    quantity: str
+    paper: Cell
+    measured: Cell
+    note: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.experiment}: {self.quantity}: paper={_render_cell(self.paper)} "
+            f"measured={_render_cell(self.measured)}"
+            + (f" ({self.note})" if self.note else "")
+        )
+
+
+def render_comparisons(comparisons: Sequence[Comparison]) -> str:
+    return "\n".join(c.render() for c in comparisons)

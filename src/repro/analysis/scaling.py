@@ -1,0 +1,193 @@
+"""Scalability analysis (paper §7, Figures 9 and 10).
+
+IPv4 (§7.1): RESAIL's and SAIL's resources depend only on the
+prefix-length histogram, so the sweep scales the AS65000 histogram by
+a constant factor and maps the analytic layouts.
+
+IPv6 (§7.2): multiverse scaling replicates AS131072 into the unused
+leading-bit universes; every BSIC table population grows by exactly
+the universe factor (the copies are disjoint and identically
+structured), so the sweep scales a measured base layout.  HI-BST
+scales analytically from its node count.
+
+Feasibility frontiers are located by bisection on the scale factor;
+a configuration is feasible when its mapping fits the chip envelope
+(using recirculation where the chip supports it, as the paper does
+for BSIC on Tofino-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..chip.ideal_rmt import map_to_ideal_rmt
+from ..chip.layout import Layout
+from ..chip.mapping import ChipMapping
+from ..chip.tofino2 import map_to_tofino2
+from ..datasets.bgp import ipv4_length_distribution
+from ..algorithms.hibst import hibst_layout_from_size
+from ..algorithms.resail import resail_layout_from_distribution
+from ..algorithms.sail import sail_layout_from_distribution
+
+Mapper = Callable[[Layout], ChipMapping]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a Figure 9/10 curve."""
+
+    size: int
+    tcam_blocks: int
+    sram_pages: int
+    stages: int
+    feasible: bool
+
+
+def _point(size: int, mapping: ChipMapping) -> ScalingPoint:
+    return ScalingPoint(
+        size, mapping.tcam_blocks, mapping.sram_pages, mapping.stages,
+        mapping.feasible,
+    )
+
+
+# ---------------------------------------------------------------------------
+# IPv4 (Figure 9)
+# ---------------------------------------------------------------------------
+
+
+def ipv4_scaling_series(
+    scales: Sequence[float],
+    min_bmp: int = 13,
+) -> Dict[str, List[ScalingPoint]]:
+    """RESAIL (ideal + Tofino-2) and SAIL (ideal) curves."""
+    series: Dict[str, List[ScalingPoint]] = {
+        "RESAIL / Ideal RMT": [],
+        "RESAIL / Tofino-2": [],
+        "SAIL / Ideal RMT": [],
+    }
+    for scale in scales:
+        dist = ipv4_length_distribution(scale)
+        size = dist.total
+        resail = resail_layout_from_distribution(dist, min_bmp)
+        sail = sail_layout_from_distribution(dist)
+        series["RESAIL / Ideal RMT"].append(_point(size, map_to_ideal_rmt(resail)))
+        series["RESAIL / Tofino-2"].append(_point(size, map_to_tofino2(resail)))
+        series["SAIL / Ideal RMT"].append(_point(size, map_to_ideal_rmt(sail)))
+    return series
+
+
+def ipv4_max_feasible(
+    mapper: Mapper,
+    min_bmp: int = 13,
+    hi_scale: float = 16.0,
+    tolerance: float = 0.005,
+) -> int:
+    """Largest feasible IPv4 database size by bisection on the scale."""
+
+    def feasible(scale: float) -> bool:
+        dist = ipv4_length_distribution(scale)
+        return mapper(resail_layout_from_distribution(dist, min_bmp)).feasible
+
+    return _bisect_size(
+        feasible,
+        size_of=lambda s: ipv4_length_distribution(s).total,
+        hi=hi_scale,
+        tolerance=tolerance,
+    )
+
+
+def sail_max_feasible(mapper: Mapper, hi_scale: float = 16.0) -> int:
+    """Largest feasible SAIL database (0 when even tiny tables overflow)."""
+
+    def feasible(scale: float) -> bool:
+        dist = ipv4_length_distribution(scale)
+        return mapper(sail_layout_from_distribution(dist)).feasible
+
+    if not feasible(1e-3):
+        return 0
+    return _bisect_size(
+        feasible,
+        size_of=lambda s: ipv4_length_distribution(s).total,
+        hi=hi_scale,
+    )
+
+
+# ---------------------------------------------------------------------------
+# IPv6 (Figure 10)
+# ---------------------------------------------------------------------------
+
+
+def ipv6_scaling_series(
+    bsic_base_layout: Layout,
+    base_size: int,
+    factors: Sequence[float],
+) -> Dict[str, List[ScalingPoint]]:
+    """BSIC (ideal + Tofino-2) and HI-BST (ideal) multiverse curves."""
+    series: Dict[str, List[ScalingPoint]] = {
+        "BSIC / Ideal RMT": [],
+        "BSIC / Tofino-2": [],
+        "HI-BST / Ideal RMT": [],
+    }
+    for factor in factors:
+        size = round(base_size * factor)
+        bsic = bsic_base_layout.scaled(factor)
+        hibst = hibst_layout_from_size(size)
+        series["BSIC / Ideal RMT"].append(_point(size, map_to_ideal_rmt(bsic)))
+        series["BSIC / Tofino-2"].append(_point(size, map_to_tofino2(bsic)))
+        series["HI-BST / Ideal RMT"].append(_point(size, map_to_ideal_rmt(hibst)))
+    return series
+
+
+def ipv6_max_feasible(
+    bsic_base_layout: Layout,
+    base_size: int,
+    mapper: Mapper,
+    hi_factor: float = 8.0,
+) -> int:
+    """Largest feasible IPv6 database under multiverse scaling."""
+
+    def feasible(factor: float) -> bool:
+        return mapper(bsic_base_layout.scaled(factor)).feasible
+
+    return _bisect_size(
+        feasible, size_of=lambda f: round(base_size * f), hi=hi_factor
+    )
+
+
+def hibst_max_feasible(mapper: Mapper, hi_size: int = 4_000_000) -> int:
+    """Largest feasible HI-BST database size."""
+
+    def feasible(size: float) -> bool:
+        return mapper(hibst_layout_from_size(round(size))).feasible
+
+    return _bisect_size(feasible, size_of=round, hi=float(hi_size))
+
+
+# ---------------------------------------------------------------------------
+# Bisection plumbing
+# ---------------------------------------------------------------------------
+
+
+def _bisect_size(
+    feasible: Callable[[float], bool],
+    size_of: Callable[[float], int],
+    hi: float,
+    lo: float = 0.0,
+    tolerance: float = 0.005,
+    max_iterations: int = 64,
+) -> int:
+    """Largest ``size_of(x)`` with ``feasible(x)``, x in (lo, hi]."""
+    if feasible(hi):
+        return size_of(hi)
+    best = 0.0
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            best = mid
+            lo = mid
+        else:
+            hi = mid
+    return size_of(best) if best else 0

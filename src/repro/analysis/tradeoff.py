@@ -1,0 +1,54 @@
+"""Latency-memory trade-off analysis (paper Figure 13, Appendix A.6).
+
+For BSIC the only tuning parameter is ``k``.  The plain CRAM model
+predicts that growing ``k`` reduces steps (shallower BSTs); on a real
+RMT chip, however, the initial TCAM's *stages* grow with its blocks,
+so stages are minimized at an interior optimum — k=24 for AS131072.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..algorithms.bsic import Bsic
+from ..chip.ideal_rmt import map_to_ideal_rmt
+from ..prefix.trie import Fib
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One k-sweep sample: CRAM steps vs ideal-RMT stages and memory."""
+
+    k: int
+    cram_steps: int
+    stages: int
+    tcam_blocks: int
+    sram_pages: int
+    initial_entries: int
+
+
+def bsic_k_sweep(fib: Fib, ks: Sequence[int]) -> List[TradeoffPoint]:
+    """Build BSIC at each ``k`` and map it to the ideal RMT chip."""
+    points: List[TradeoffPoint] = []
+    for k in ks:
+        bsic = Bsic(fib, k=k)
+        mapping = map_to_ideal_rmt(bsic.layout())
+        points.append(
+            TradeoffPoint(
+                k=k,
+                cram_steps=bsic.cram_metrics().steps,
+                stages=mapping.stages,
+                tcam_blocks=mapping.tcam_blocks,
+                sram_pages=mapping.sram_pages,
+                initial_entries=len(bsic.initial),
+            )
+        )
+    return points
+
+
+def optimal_k(points: Sequence[TradeoffPoint]) -> int:
+    """The k minimizing stages (memory breaks ties, as in the paper)."""
+    if not points:
+        raise ValueError("empty sweep")
+    return min(points, key=lambda p: (p.stages, p.sram_pages + p.tcam_blocks)).k

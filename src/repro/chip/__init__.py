@@ -1,0 +1,36 @@
+"""Chip models: resource specs, layouts, and the ideal-RMT/Tofino-2 mappers."""
+
+from .drmt import DRMT, map_to_drmt
+from .ideal_rmt import map_to_ideal_rmt
+from .layout import Layout, LogicalTable, MemoryKind, Phase
+from .mapping import (
+    ChipMapping,
+    PhaseAllocation,
+    TableAllocation,
+    allocate_table,
+    map_layout,
+    phase_stages,
+)
+from .specs import IDEAL_RMT, TOFINO2, TOFINO2_TCAM_KEY_WIDTH, ChipSpec
+from .tofino2 import map_to_tofino2
+
+__all__ = [
+    "DRMT",
+    "map_to_drmt",
+    "map_to_ideal_rmt",
+    "map_to_tofino2",
+    "Layout",
+    "LogicalTable",
+    "MemoryKind",
+    "Phase",
+    "ChipMapping",
+    "PhaseAllocation",
+    "TableAllocation",
+    "allocate_table",
+    "map_layout",
+    "phase_stages",
+    "IDEAL_RMT",
+    "TOFINO2",
+    "TOFINO2_TCAM_KEY_WIDTH",
+    "ChipSpec",
+]

@@ -1,0 +1,57 @@
+"""The dRMT chip model (§2, Appendix A.1).
+
+dRMT disaggregates memory from processing: match-action processors
+execute steps in any order against TCAM/SRAM relocated into a shared
+external pool.  Two consequences for mapping:
+
+* **Memory is pooled** — a table never "spills" across stages; only
+  the chip-wide block/page totals bound it.
+* **Latency follows the program**, not the memory: the number of
+  processor rounds equals the critical path of phases (with the same
+  per-round ALU depth rules as the ideal RMT chip), because a dRMT
+  processor does not need extra rounds just to reach more memory.
+
+The paper argues its RMT results carry over to dRMT since "RMT is a
+stricter version of dRMT with additional access restrictions" — this
+model lets that claim be checked: every layout's dRMT rounds are <=
+its ideal-RMT stages, with equality exactly when memory never spills.
+
+We give the dRMT pool the same totals as Tofino-2 so comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layout import Layout
+from .mapping import ChipMapping, PhaseAllocation, allocate_table
+from .specs import ChipSpec
+
+#: A dRMT chip with Tofino-2-sized memory pools.  ``stages`` here means
+#: processor rounds; per-stage memory quantities are meaningless for a
+#: pooled memory and are never consulted by the dRMT mapper.
+DRMT = ChipSpec(
+    name="dRMT",
+    stages=20,
+    tcam_blocks=480,
+    sram_pages=1600,
+    alu_ops_per_stage=2,
+    sram_word_utilization=1.0,
+)
+
+
+def map_to_drmt(layout: Layout) -> ChipMapping:
+    """Map a layout onto the dRMT model.
+
+    Each phase costs ``ceil(dependent_alu_ops / 2)`` rounds (min 1 when
+    it performs a lookup); memory contributes only to the pooled
+    totals.
+    """
+    phase_allocations: List[PhaseAllocation] = []
+    for phase in layout.phases:
+        tables = [allocate_table(t, DRMT.sram_word_utilization) for t in phase.tables]
+        alu_rounds = -(-phase.dependent_alu_ops // DRMT.alu_ops_per_stage)
+        rounds = max(1 if phase.tables else 0, alu_rounds, 1)
+        phase_allocations.append(PhaseAllocation(phase.name, tables, rounds))
+    return ChipMapping(layout.name, DRMT, phase_allocations)

@@ -1,0 +1,20 @@
+"""The ideal RMT chip model (§6.2).
+
+"An RMT chip with Tofino-2 specifications (same memory, number of
+stages, etc.) that can achieve 100% SRAM utilization and perform at
+least two dependent ALU operations per stage."  Resource utilization
+is obtained by the same simulation the paper uses: Tofino-2 SRAM page
+(128x1024b) and TCAM block (44x512b) sizes, tables partitioned across
+MAUs when they exceed per-stage memory, infeasible beyond 20 stages.
+"""
+
+from __future__ import annotations
+
+from .layout import Layout
+from .mapping import ChipMapping, map_layout
+from .specs import IDEAL_RMT
+
+
+def map_to_ideal_rmt(layout: Layout) -> ChipMapping:
+    """Map a layout onto the ideal RMT chip."""
+    return map_layout(layout, IDEAL_RMT)

@@ -1,0 +1,127 @@
+"""Chip-independent table layouts.
+
+A :class:`Layout` is the bridge between an algorithm and a chip model:
+an ordered list of :class:`Phase` objects, each holding the logical
+tables that are looked up in parallel at that point of the pipeline
+plus the depth of dependent ALU work the phase needs.  Chip models
+(:mod:`repro.chip.ideal_rmt`, :mod:`repro.chip.tofino2`) map a layout
+onto blocks, pages, and stages.
+
+Phases correspond to the waves of the algorithm's CRAM program DAG; a
+phase with no tables models pure computation (e.g. RESAIL's hash-key
+construction between the bitmap wave and the hash lookup).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class MemoryKind(enum.Enum):
+    TCAM = "tcam"
+    SRAM = "sram"
+
+
+@dataclass(frozen=True)
+class LogicalTable:
+    """One logical match table, described by shape only.
+
+    ``raw_bits`` marks bit-array tables (bitmaps): their footprint is
+    the bit count itself, they pack SRAM words perfectly, and they are
+    exempt from per-entry overheads.  ``direct_index`` marks exact
+    tables with ``entries == 2**key_width`` whose keys need no storage.
+    ``unaligned_key`` marks tables whose match key is built from
+    non-byte-aligned header slices; on Tofino-2 these need an extra
+    ternary bitmask table for bit extraction (§6.5.2).
+    """
+
+    name: str
+    kind: MemoryKind
+    entries: int
+    key_width: int
+    data_width: int
+    direct_index: bool = False
+    raw_bits: Optional[int] = None
+    unaligned_key: bool = False
+
+    def __post_init__(self) -> None:
+        if self.entries < 0 or self.key_width < 0 or self.data_width < 0:
+            raise ValueError(f"table {self.name}: negative dimension")
+        if self.kind is MemoryKind.TCAM and self.direct_index:
+            raise ValueError(f"table {self.name}: TCAM cannot be direct-indexed")
+        if self.direct_index and self.entries != (1 << self.key_width):
+            raise ValueError(
+                f"table {self.name}: direct index requires entries == 2**key_width"
+            )
+
+    @property
+    def sram_entry_bits(self) -> int:
+        """Bits per SRAM row: stored key (if any) plus data."""
+        if self.kind is MemoryKind.TCAM or self.direct_index:
+            return self.data_width
+        return self.key_width + self.data_width
+
+
+@dataclass
+class Phase:
+    """Tables looked up in parallel, plus this phase's dependent ALU depth.
+
+    ``dependent_alu_ops`` is the longest chain of dependent ALU
+    operations the phase performs after (or instead of) its lookups.
+    The ideal RMT chip executes at least two dependent ops per stage;
+    Tofino-2 executes one (§6.2, §6.5.3).
+    """
+
+    name: str
+    tables: List[LogicalTable] = field(default_factory=list)
+    dependent_alu_ops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dependent_alu_ops < 0:
+            raise ValueError(f"phase {self.name}: negative ALU depth")
+        if not self.tables and self.dependent_alu_ops == 0:
+            raise ValueError(f"phase {self.name}: empty phase")
+
+
+@dataclass
+class Layout:
+    """An algorithm's pipeline description, in execution order."""
+
+    name: str
+    phases: List[Phase]
+
+    def tables(self) -> List[LogicalTable]:
+        return [t for phase in self.phases for t in phase.tables]
+
+    def total_entries(self) -> int:
+        return sum(t.entries for t in self.tables())
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "Layout":
+        """Scale every table's entry count (and bitmap bits stay fixed).
+
+        Used by the scalability analyses (§7): multiverse scaling
+        multiplies the population of every BSIC/HI-BST table uniformly,
+        while bitmap capacities are structural and do not grow.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        phases = []
+        for phase in self.phases:
+            tables = [
+                LogicalTable(
+                    name=t.name,
+                    kind=t.kind,
+                    entries=t.entries if t.raw_bits is not None or t.direct_index
+                    else round(t.entries * factor),
+                    key_width=t.key_width,
+                    data_width=t.data_width,
+                    direct_index=t.direct_index,
+                    raw_bits=t.raw_bits,
+                    unaligned_key=t.unaligned_key,
+                )
+                for t in phase.tables
+            ]
+            phases.append(Phase(phase.name, tables, phase.dependent_alu_ops))
+        return Layout(name or f"{self.name} x{factor:g}", phases)

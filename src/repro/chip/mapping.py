@@ -1,0 +1,175 @@
+"""Mapping layouts onto chips: the shared allocation arithmetic.
+
+Both chip models follow the same process the paper describes in §6.2:
+convert each logical table into whole TCAM blocks and SRAM pages, then
+walk the layout's phases in order, charging each phase the stages its
+memory and its dependent ALU depth require.  A table larger than one
+stage's memory "is simply partitioned across multiple MAUs".
+
+The models differ only in their :class:`~repro.chip.specs.ChipSpec`
+parameters and in Tofino-2's P4-level overheads, applied by
+:mod:`repro.chip.tofino2` before this arithmetic runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.units import sram_pages_for_bits, tcam_blocks_for_table
+from .layout import Layout, LogicalTable, MemoryKind
+from .specs import ChipSpec
+
+
+@dataclass(frozen=True)
+class TableAllocation:
+    """Blocks/pages assigned to one logical table."""
+
+    table: LogicalTable
+    tcam_blocks: int
+    sram_pages: int
+
+
+@dataclass(frozen=True)
+class PhaseAllocation:
+    """Stage footprint of one phase."""
+
+    phase_name: str
+    tables: List[TableAllocation]
+    stages: int
+
+    @property
+    def tcam_blocks(self) -> int:
+        return sum(t.tcam_blocks for t in self.tables)
+
+    @property
+    def sram_pages(self) -> int:
+        return sum(t.sram_pages for t in self.tables)
+
+
+@dataclass(frozen=True)
+class ChipMapping:
+    """The result of mapping a layout onto a chip."""
+
+    layout_name: str
+    chip: ChipSpec
+    phases: List[PhaseAllocation]
+    recirculated: bool = False
+
+    @property
+    def tcam_blocks(self) -> int:
+        return sum(p.tcam_blocks for p in self.phases)
+
+    @property
+    def sram_pages(self) -> int:
+        return sum(p.sram_pages for p in self.phases)
+
+    @property
+    def stages(self) -> int:
+        return sum(p.stages for p in self.phases)
+
+    @property
+    def feasible(self) -> bool:
+        """Fits the chip's envelope, possibly via recirculation.
+
+        Recirculation doubles available stages at the cost of half the
+        switch ports (the paper fit BSIC's 30 Tofino-2 stages this
+        way); memory is shared between passes, so block/page limits
+        are unchanged.
+        """
+        stage_budget = self.chip.stages
+        if self.chip.supports_recirculation:
+            stage_budget *= 2
+        return (
+            self.tcam_blocks <= self.chip.tcam_blocks
+            and self.sram_pages <= self.chip.sram_pages
+            and self.stages <= stage_budget
+        )
+
+    @property
+    def fits_single_pass(self) -> bool:
+        return (
+            self.tcam_blocks <= self.chip.tcam_blocks
+            and self.sram_pages <= self.chip.sram_pages
+            and self.stages <= self.chip.stages
+        )
+
+    def describe(self) -> str:
+        note = " (recirculated)" if self.recirculated else ""
+        return (
+            f"{self.layout_name} on {self.chip.name}: "
+            f"{self.tcam_blocks} TCAM blocks, {self.sram_pages} SRAM pages, "
+            f"{self.stages} stages{note}"
+        )
+
+
+def allocate_table(
+    table: LogicalTable,
+    sram_word_utilization: float,
+) -> TableAllocation:
+    """Blocks/pages for one table at the given word utilization.
+
+    * TCAM tables: whole 44x512 blocks for the keys; associated data
+      lands in SRAM.
+    * Raw bit arrays (bitmaps): packed perfectly regardless of
+      utilization — a bitmap word is all payload, no action bits.
+    * Other SRAM tables: rows of ``sram_entry_bits``, derated by the
+      chip's word utilization before packing into pages.
+    """
+    blocks = 0
+    if table.kind is MemoryKind.TCAM:
+        blocks = tcam_blocks_for_table(table.entries, table.key_width)
+        data_bits = table.entries * table.data_width
+        pages = sram_pages_for_bits(_derate(data_bits, sram_word_utilization))
+        return TableAllocation(table, blocks, pages)
+    if table.raw_bits is not None:
+        return TableAllocation(table, 0, sram_pages_for_bits(table.raw_bits))
+    bits = table.entries * table.sram_entry_bits
+    return TableAllocation(table, 0, sram_pages_for_bits(_derate(bits, sram_word_utilization)))
+
+
+def _derate(bits: int, utilization: float) -> int:
+    if utilization <= 0 or utilization > 1:
+        raise ValueError(f"utilization {utilization} outside (0, 1]")
+    return -(-bits // 1) if utilization == 1.0 else int(-(-bits // utilization))
+
+
+def phase_stages(
+    allocation_tables: List[TableAllocation],
+    dependent_alu_ops: int,
+    chip: ChipSpec,
+) -> int:
+    """Stages one phase occupies.
+
+    Memory stages: enough stages to hold the phase's blocks and pages
+    at the chip's per-stage capacity.  ALU stages: a chain of
+    ``dependent_alu_ops`` dependent operations needs
+    ``ceil(ops / alu_ops_per_stage)`` stages, the first of which can be
+    the (last) memory stage — hence ``mem + alu - 1``.
+    """
+    blocks = sum(t.tcam_blocks for t in allocation_tables)
+    pages = sum(t.sram_pages for t in allocation_tables)
+    mem_stages = 0
+    if allocation_tables:
+        mem_stages = max(
+            1,
+            -(-blocks // chip.tcam_blocks_per_stage),
+            -(-pages // chip.sram_pages_per_stage),
+        )
+    alu_stages = -(-dependent_alu_ops // chip.alu_ops_per_stage) if dependent_alu_ops else 0
+    if mem_stages == 0:
+        return max(1, alu_stages)
+    return max(1, mem_stages + max(0, alu_stages - 1))
+
+
+def map_layout(layout: Layout, chip: ChipSpec) -> ChipMapping:
+    """Map every phase of ``layout`` onto ``chip`` in pipeline order."""
+    phase_allocations: List[PhaseAllocation] = []
+    for phase in layout.phases:
+        tables = [allocate_table(t, chip.sram_word_utilization) for t in phase.tables]
+        stages = phase_stages(tables, phase.dependent_alu_ops, chip)
+        phase_allocations.append(PhaseAllocation(phase.name, tables, stages))
+    mapping = ChipMapping(layout.name, chip, phase_allocations)
+    if chip.supports_recirculation and not mapping.fits_single_pass and mapping.feasible:
+        mapping = ChipMapping(layout.name, chip, phase_allocations, recirculated=True)
+    return mapping

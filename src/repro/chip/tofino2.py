@@ -1,0 +1,60 @@
+"""The Tofino-2 implementation model.
+
+The paper obtains its Tofino-2 numbers by compiling P4 programs with
+the proprietary Intel toolchain (§6.2).  We cannot run that toolchain,
+so this module is the substitution documented in DESIGN.md: an
+analytic model applying exactly the overheads the paper attributes to
+Tofino-2 when explaining its deltas from the ideal RMT chip:
+
+1. **Action bits** reserve part of every SRAM word, capping usable
+   SRAM word utilization at 50% (§6.5.2) — applied to every
+   entry-structured SRAM table.  Raw bit arrays (bitmaps) are exempt:
+   their words carry no per-entry action data, which is why RESAIL's
+   observed page growth (556 -> 750, x1.35) is well below x2.
+2. **One ALU level per stage** (§6.5.3): a compare-then-act pattern
+   like a BST level costs two stages instead of one.
+3. **Ternary bitmask tables**: extracting match keys from non-byte-
+   aligned header slices requires extra ternary tables, a small
+   additive TCAM cost (§6.5.2) — modelled as one TCAM block per table
+   flagged ``unaligned_key``.
+4. **Recirculation**: a program needing more than 20 stages can make a
+   second pass through the pipe, halving the usable switch ports
+   (§6.5.3); memory limits are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layout import Layout
+from .mapping import (
+    ChipMapping,
+    PhaseAllocation,
+    TableAllocation,
+    allocate_table,
+    phase_stages,
+)
+from .specs import TOFINO2
+
+
+def map_to_tofino2(layout: Layout) -> ChipMapping:
+    """Map a layout onto Tofino-2, applying the P4-level overheads."""
+    phase_allocations: List[PhaseAllocation] = []
+    for phase in layout.phases:
+        tables: List[TableAllocation] = []
+        for table in phase.tables:
+            allocation = allocate_table(table, TOFINO2.sram_word_utilization)
+            if table.unaligned_key:
+                # One ternary bitmask block for key extraction (§6.5.2).
+                allocation = TableAllocation(
+                    allocation.table,
+                    allocation.tcam_blocks + 1,
+                    allocation.sram_pages,
+                )
+            tables.append(allocation)
+        stages = phase_stages(tables, phase.dependent_alu_ops, TOFINO2)
+        phase_allocations.append(PhaseAllocation(phase.name, tables, stages))
+    mapping = ChipMapping(layout.name, TOFINO2, phase_allocations)
+    if not mapping.fits_single_pass and mapping.feasible:
+        mapping = ChipMapping(layout.name, TOFINO2, phase_allocations, recirculated=True)
+    return mapping

@@ -1,0 +1,29 @@
+"""Packet classification through the CRAM lens (paper §2.5).
+
+An extension application: the idioms that built MASHUP — strategic
+cutting (I4), table coalescing (I5), TCAM compression (I1) — applied
+to 5-tuple access-control classification, with a flat-TCAM baseline.
+"""
+
+from .rule import (
+    ANY_PORTS,
+    Classifier,
+    PacketHeader,
+    Rule,
+    range_to_prefixes,
+)
+from .ruleset import classifier_workload, synthesize_classifier
+from .tcam_classifier import TcamClassifier
+from .tree_classifier import TreeClassifier
+
+__all__ = [
+    "ANY_PORTS",
+    "Classifier",
+    "PacketHeader",
+    "Rule",
+    "range_to_prefixes",
+    "classifier_workload",
+    "synthesize_classifier",
+    "TcamClassifier",
+    "TreeClassifier",
+]

@@ -1,0 +1,126 @@
+"""Packet-classification rules (paper §2.5).
+
+A classifier rule matches the classic 5-tuple — source/destination
+prefixes, protocol (exact or any), and source/destination port ranges
+— and carries a priority and an action.  The highest-priority (lowest
+number) matching rule decides the packet's fate.
+
+Port ranges are the classification-specific twist for TCAM storage: a
+ternary row cannot express ``[lo, hi]`` directly, so each range is
+decomposed into the minimal set of covering prefixes
+(:func:`range_to_prefixes`) and a rule costs the *product* of its two
+ranges' prefix counts in TCAM rows — the expansion that §2.5's idiom
+balancing targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..prefix.prefix import Prefix
+
+PORT_BITS = 16
+PROTO_BITS = 8
+
+#: The full port range, matching anything.
+ANY_PORTS = (0, (1 << PORT_BITS) - 1)
+
+
+def range_to_prefixes(lo: int, hi: int, width: int = PORT_BITS) -> List[Prefix]:
+    """Minimal prefix cover of the integer range ``[lo, hi]``.
+
+    The classic greedy decomposition: repeatedly take the largest
+    aligned power-of-two block starting at ``lo``.  A ``[lo, hi]``
+    range over ``w`` bits needs at most ``2w - 2`` prefixes.
+
+    >>> [str(p) for p in range_to_prefixes(1, 6, width=3)]
+    ['0b001/3@3', '0b01/2@3', '0b10/2@3', '0b110/3@3']
+    """
+    if not 0 <= lo <= hi < (1 << width):
+        raise ValueError(f"range [{lo}, {hi}] outside {width} bits")
+    out: List[Prefix] = []
+    position = lo
+    while position <= hi:
+        # Largest block aligned at `position` that stays within [.., hi].
+        max_align = (position & -position).bit_length() - 1 if position else width
+        while max_align > 0 and position + (1 << max_align) - 1 > hi:
+            max_align -= 1
+        size_bits = max_align
+        out.append(Prefix.from_bits(position >> size_bits, width - size_bits, width))
+        position += 1 << size_bits
+    return out
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """The 5-tuple a classifier inspects."""
+
+    src_addr: int
+    dst_addr: int
+    protocol: int
+    src_port: int
+    dst_port: int
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One classifier rule.  Lower ``priority`` wins."""
+
+    priority: int
+    src: Prefix
+    dst: Prefix
+    protocol: Optional[int]  # None = any
+    src_ports: Tuple[int, int] = ANY_PORTS
+    dst_ports: Tuple[int, int] = ANY_PORTS
+    action: int = 0  # e.g. 0 = deny, 1 = permit, or a QoS class
+
+    def __post_init__(self) -> None:
+        for lo, hi in (self.src_ports, self.dst_ports):
+            if not 0 <= lo <= hi < (1 << PORT_BITS):
+                raise ValueError(f"bad port range [{lo}, {hi}]")
+        if self.protocol is not None and not 0 <= self.protocol < (1 << PROTO_BITS):
+            raise ValueError(f"bad protocol {self.protocol}")
+
+    def matches(self, packet: PacketHeader) -> bool:
+        return (
+            self.src.matches(packet.src_addr)
+            and self.dst.matches(packet.dst_addr)
+            and (self.protocol is None or self.protocol == packet.protocol)
+            and self.src_ports[0] <= packet.src_port <= self.src_ports[1]
+            and self.dst_ports[0] <= packet.dst_port <= self.dst_ports[1]
+        )
+
+    def tcam_rows(self) -> int:
+        """TCAM rows after port-range decomposition (the I1 cost)."""
+        return len(range_to_prefixes(*self.src_ports)) * len(
+            range_to_prefixes(*self.dst_ports)
+        )
+
+    @property
+    def key_bits(self) -> int:
+        """Ternary key width: both addresses, protocol, both ports."""
+        return self.src.width + self.dst.width + PROTO_BITS + 2 * PORT_BITS
+
+
+class Classifier:
+    """A priority-ordered rule list with a linear-scan reference match."""
+
+    def __init__(self, rules: List[Rule]):
+        self.rules = sorted(rules, key=lambda r: r.priority)
+        priorities = [r.priority for r in self.rules]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError("rule priorities must be unique")
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def classify(self, packet: PacketHeader) -> Optional[int]:
+        """Reference semantics: first (highest-priority) match wins."""
+        for rule in self.rules:
+            if rule.matches(packet):
+                return rule.action
+        return None
+
+    def total_tcam_rows(self) -> int:
+        return sum(rule.tcam_rows() for rule in self.rules)

@@ -1,0 +1,124 @@
+"""Synthetic classifier generation (ClassBench-flavoured).
+
+Real ACLs have structure the idioms exploit: rules cluster under a
+bounded set of destination aggregates (an enterprise protects its own
+prefixes), protocols concentrate on TCP/UDP, and port ranges come from
+a small vocabulary (exact well-known ports, ephemeral ranges, any).
+The generator reproduces those properties deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..prefix.prefix import IPV4_WIDTH, Prefix
+from .rule import ANY_PORTS, PacketHeader, Rule
+
+#: The port-range vocabulary with rough ClassBench weights.
+_PORT_CHOICES: List[Tuple[Tuple[int, int], float]] = [
+    (ANY_PORTS, 0.45),
+    ((80, 80), 0.12),
+    ((443, 443), 0.12),
+    ((53, 53), 0.06),
+    ((22, 22), 0.05),
+    ((0, 1023), 0.08),  # well-known block (prefix-friendly)
+    ((1024, 65535), 0.08),  # ephemeral block (prefix-friendly)
+    ((1024, 5000), 0.04),  # legacy ephemeral (expansion-heavy)
+]
+
+_PROTOCOLS: List[Tuple[Optional[int], float]] = [
+    (6, 0.55),  # TCP
+    (17, 0.25),  # UDP
+    (None, 0.15),  # any
+    (1, 0.05),  # ICMP
+]
+
+
+def _weighted(rng, choices):
+    weights = np.array([w for _c, w in choices])
+    index = rng.choice(len(choices), p=weights / weights.sum())
+    return choices[int(index)][0]
+
+
+def synthesize_classifier(
+    rules: int,
+    seed: int = 7,
+    dst_aggregates: Optional[int] = None,
+    width: int = IPV4_WIDTH,
+) -> List[Rule]:
+    """Generate ``rules`` classifier rules with realistic clustering.
+
+    Destination prefixes concentrate under ``dst_aggregates`` /16
+    aggregates (default ``max(4, rules // 24)``), sources are broad
+    (often wildcards), ports/protocols follow the vocabulary above.
+    """
+    if rules < 1:
+        raise ValueError("need at least one rule")
+    rng = np.random.default_rng(seed)
+    aggregates = dst_aggregates or max(4, rules // 24)
+    agg_values = rng.choice(1 << 16, size=aggregates, replace=False)
+
+    out: List[Rule] = []
+    for priority in range(rules):
+        # Destination: usually a /24..32 under an aggregate, sometimes
+        # the aggregate itself or a wildcard.
+        roll = rng.random()
+        if roll < 0.75:
+            agg = int(rng.choice(agg_values))
+            dst_len = int(rng.choice([24, 24, 26, 28, 32]))
+            suffix = int(rng.integers(0, 1 << (dst_len - 16)))
+            dst = Prefix.from_bits((agg << (dst_len - 16)) | suffix, dst_len, width)
+        elif roll < 0.92:
+            agg = int(rng.choice(agg_values))
+            dst = Prefix.from_bits(agg, 16, width)
+        else:
+            dst = Prefix.default(width)
+
+        # Source: wildcard-heavy.
+        roll = rng.random()
+        if roll < 0.55:
+            src = Prefix.default(width)
+        else:
+            src_len = int(rng.choice([8, 16, 24]))
+            src = Prefix.from_bits(int(rng.integers(0, 1 << src_len)), src_len, width)
+
+        out.append(Rule(
+            priority=priority,
+            src=src,
+            dst=dst,
+            protocol=_weighted(rng, _PROTOCOLS),
+            src_ports=ANY_PORTS if rng.random() < 0.8 else _weighted(rng, _PORT_CHOICES),
+            dst_ports=_weighted(rng, _PORT_CHOICES),
+            action=int(rng.integers(0, 8)),
+        ))
+    return out
+
+
+def classifier_workload(
+    rules: List[Rule], count: int, seed: int = 8, hit_fraction: float = 0.8
+) -> List[PacketHeader]:
+    """Packets drawn under the rules (hits) mixed with random noise."""
+    rng = np.random.default_rng(seed)
+    packets: List[PacketHeader] = []
+    for _ in range(count):
+        if rules and rng.random() < hit_fraction:
+            rule = rules[int(rng.integers(0, len(rules)))]
+            src = rule.src.value | int(
+                rng.integers(0, 1 << (rule.src.width - rule.src.length))
+            ) if rule.src.length < rule.src.width else rule.src.value
+            dst = rule.dst.value | int(
+                rng.integers(0, 1 << (rule.dst.width - rule.dst.length))
+            ) if rule.dst.length < rule.dst.width else rule.dst.value
+            proto = rule.protocol if rule.protocol is not None else int(rng.integers(0, 256))
+            sport = int(rng.integers(rule.src_ports[0], rule.src_ports[1] + 1))
+            dport = int(rng.integers(rule.dst_ports[0], rule.dst_ports[1] + 1))
+        else:
+            src = int(rng.integers(0, 1 << 32))
+            dst = int(rng.integers(0, 1 << 32))
+            proto = int(rng.integers(0, 256))
+            sport = int(rng.integers(0, 1 << 16))
+            dport = int(rng.integers(0, 1 << 16))
+        packets.append(PacketHeader(src, dst, proto, sport, dport))
+    return packets

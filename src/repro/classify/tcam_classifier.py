@@ -1,0 +1,78 @@
+"""Flat TCAM packet classifier — the single-resource baseline (§2.5).
+
+Every rule is expanded into ternary rows (port ranges decomposed into
+prefix covers, the source/destination/protocol fields wildcarded as
+declared) and loaded into one priority TCAM.  Fast, simple, and — like
+the logical-TCAM IP baseline — extravagant: a rule with two
+expansion-heavy port ranges can cost hundreds of rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
+from ..memory.tcam import TcamTable
+from ..prefix.prefix import Prefix
+from .rule import PORT_BITS, PROTO_BITS, PacketHeader, Rule, range_to_prefixes
+
+ACTION_BITS = 8
+
+
+class TcamClassifier:
+    """All rules in one ternary table, highest priority first."""
+
+    def __init__(self, rules: List[Rule]):
+        if not rules:
+            raise ValueError("empty classifier")
+        widths = {r.src.width for r in rules} | {r.dst.width for r in rules}
+        if len(widths) != 1:
+            raise ValueError("mixed address widths in one classifier")
+        self.addr_width = widths.pop()
+        self.key_width = 2 * self.addr_width + PROTO_BITS + 2 * PORT_BITS
+        self.rules = sorted(rules, key=lambda r: r.priority)
+        self.table: TcamTable[int] = TcamTable(self.key_width, name="acl")
+        self.rows = 0
+        for rule in self.rules:
+            self._install(rule)
+
+    def _field_vm(self, prefix: Prefix) -> tuple:
+        host = prefix.width - prefix.length
+        return prefix.value, (((1 << prefix.length) - 1) << host) if prefix.length else 0
+
+    def _install(self, rule: Rule) -> None:
+        src_v, src_m = self._field_vm(rule.src)
+        dst_v, dst_m = self._field_vm(rule.dst)
+        if rule.protocol is None:
+            proto_v, proto_m = 0, 0
+        else:
+            proto_v, proto_m = rule.protocol, (1 << PROTO_BITS) - 1
+        for sp in range_to_prefixes(*rule.src_ports):
+            sp_v, sp_m = self._field_vm(sp)
+            for dp in range_to_prefixes(*rule.dst_ports):
+                dp_v, dp_m = self._field_vm(dp)
+                value = self._pack(src_v, dst_v, proto_v, sp_v, dp_v)
+                mask = self._pack(src_m, dst_m, proto_m, sp_m, dp_m)
+                self.table.insert(value, mask, priority=rule.priority,
+                                  data=rule.action)
+                self.rows += 1
+
+    def _pack(self, src: int, dst: int, proto: int, sport: int, dport: int) -> int:
+        key = src
+        key = (key << self.addr_width) | dst
+        key = (key << PROTO_BITS) | proto
+        key = (key << PORT_BITS) | sport
+        key = (key << PORT_BITS) | dport
+        return key
+
+    def classify(self, packet: PacketHeader) -> Optional[int]:
+        key = self._pack(packet.src_addr, packet.dst_addr, packet.protocol,
+                         packet.src_port, packet.dst_port)
+        return self.table.search(key)
+
+    def layout(self) -> Layout:
+        table = LogicalTable(
+            "acl", MemoryKind.TCAM, entries=self.rows,
+            key_width=self.key_width, data_width=ACTION_BITS,
+        )
+        return Layout("TCAM classifier", [Phase("match", [table])])

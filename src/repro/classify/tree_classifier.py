@@ -1,0 +1,255 @@
+"""Decision-tree classifier with CRAM-coalesced leaves (§2.5).
+
+The MASHUP recipe applied to packet classification:
+
+* **I4 strategic cutting** — cut the rule set on destination-address
+  bits, stride by stride, until leaves hold at most ``binth`` rules
+  (rules too wild to push past a cut stay at the internal node);
+* **I5 table coalescing** — all rule lists at one tree depth merge
+  into a single tagged ternary table whose key drops the destination
+  bits the path already consumed;
+* **I1 compress with TCAM** — the rules stay ternary.  The SRAM
+  alternative (expanding every field exactly) is computed analytically
+  and is astronomically worse, confirming §2.6's observation that
+  near-random keys (ports!) defeat the compression idioms.
+
+Compared to the flat TCAM classifier the tree keeps the same *row*
+count (port expansion is inherent) but narrows rows by the consumed
+destination bits and — the operational win — bounds each table's size,
+letting a big ACL spread across pipeline stages instead of demanding
+one monolithic TCAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
+from ..core.idioms import tag_width
+from ..memory.tcam import TcamTable
+from ..prefix.prefix import Prefix
+from .rule import PORT_BITS, PROTO_BITS, PacketHeader, Rule, range_to_prefixes
+from .tcam_classifier import ACTION_BITS
+
+#: Stop cutting when a node holds this many rules or fewer.
+DEFAULT_BINTH = 16
+POINTER_BITS = 16
+
+
+class _Node:
+    __slots__ = ("depth_bits", "rules", "children", "stride")
+
+    def __init__(self, depth_bits: int):
+        self.depth_bits = depth_bits  # dst bits consumed so far
+        self.rules: List[Rule] = []
+        self.children: Dict[int, "_Node"] = {}
+        self.stride = 0
+
+
+class TreeClassifier:
+    """A destination-cut decision tree with per-depth leaf TCAMs."""
+
+    def __init__(self, rules: List[Rule], stride: int = 4,
+                 binth: int = DEFAULT_BINTH, max_depth_bits: int = 24):
+        if not rules:
+            raise ValueError("empty classifier")
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        self.addr_width = rules[0].dst.width
+        self.stride = stride
+        self.binth = binth
+        self.max_depth_bits = min(max_depth_bits, self.addr_width)
+        self.rules = sorted(rules, key=lambda r: r.priority)
+        self.root = _Node(0)
+        self.root.rules = list(self.rules)
+        self._split(self.root)
+        self._build_leaf_tables()
+
+    # ------------------------------------------------------------------
+    # Tree construction (I4)
+    # ------------------------------------------------------------------
+    def _split(self, node: _Node) -> None:
+        if len(node.rules) <= self.binth:
+            return
+        if node.depth_bits + self.stride > self.max_depth_bits:
+            return
+        node.stride = self.stride
+        spill: List[Rule] = []
+        buckets: Dict[int, List[Rule]] = {}
+        for rule in node.rules:
+            if rule.dst.length < node.depth_bits + self.stride:
+                spill.append(rule)
+                continue
+            slot = rule.dst.slice(node.depth_bits, self.stride)
+            buckets.setdefault(slot, []).append(rule)
+        if not buckets:
+            node.stride = 0
+            return
+        node.rules = spill
+        for slot, bucket in buckets.items():
+            child = _Node(node.depth_bits + self.stride)
+            child.rules = bucket
+            node.children[slot] = child
+            self._split(child)
+
+    def _nodes_by_depth(self) -> Dict[int, List[_Node]]:
+        levels: Dict[int, List[_Node]] = {}
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop()
+            levels.setdefault(node.depth_bits, []).append(node)
+            frontier.extend(node.children.values())
+        return dict(sorted(levels.items()))
+
+    # ------------------------------------------------------------------
+    # Leaf rendering (I5 per depth, I1 rows)
+    # ------------------------------------------------------------------
+    def _residual_width(self, depth_bits: int) -> int:
+        return (self.addr_width  # src, in full
+                + (self.addr_width - depth_bits)  # dst below the cut
+                + PROTO_BITS + 2 * PORT_BITS)
+
+    def _build_leaf_tables(self) -> None:
+        self.leaf_tables: Dict[int, TcamTable] = {}
+        self.leaf_tag_bits: Dict[int, int] = {}
+        self._leaf_tags: Dict[int, int] = {}
+        self.leaf_rows = 0
+        for depth_bits, nodes in self._nodes_by_depth().items():
+            holders = [n for n in nodes if n.rules]
+            if not holders:
+                continue
+            tag_bits = tag_width(len(holders))
+            key_width = tag_bits + self._residual_width(depth_bits)
+            table: TcamTable[int] = TcamTable(key_width, name=f"leaf_d{depth_bits}")
+            self.leaf_tables[depth_bits] = table
+            self.leaf_tag_bits[depth_bits] = tag_bits
+            for tag, node in enumerate(holders):
+                self._leaf_tags[id(node)] = tag
+                for rule in node.rules:
+                    self._install(table, depth_bits, tag_bits, tag, rule)
+
+    def _field_vm(self, prefix: Prefix) -> Tuple[int, int]:
+        host = prefix.width - prefix.length
+        mask = (((1 << prefix.length) - 1) << host) if prefix.length else 0
+        return prefix.value, mask
+
+    def _install(self, table: TcamTable, depth_bits: int, tag_bits: int,
+                 tag: int, rule: Rule) -> None:
+        src_v, src_m = self._field_vm(rule.src)
+        dst_v, dst_m = self._field_vm(rule.dst)
+        residual_dst = self.addr_width - depth_bits
+        dst_keep = (1 << residual_dst) - 1
+        dst_v &= dst_keep
+        dst_m &= dst_keep
+        if rule.protocol is None:
+            proto_v, proto_m = 0, 0
+        else:
+            proto_v, proto_m = rule.protocol, (1 << PROTO_BITS) - 1
+        residual = self._residual_width(depth_bits)
+        tag_mask = ((1 << tag_bits) - 1) << residual
+        for sp in range_to_prefixes(*rule.src_ports):
+            sp_v, sp_m = self._field_vm(sp)
+            for dp in range_to_prefixes(*rule.dst_ports):
+                dp_v, dp_m = self._field_vm(dp)
+                value = self._pack(depth_bits, src_v, dst_v, proto_v, sp_v, dp_v)
+                mask = self._pack(depth_bits, src_m, dst_m, proto_m, sp_m, dp_m)
+                table.insert((tag << residual) | value, tag_mask | mask,
+                             priority=rule.priority, data=rule.action)
+                self.leaf_rows += 1
+
+    def _pack(self, depth_bits: int, src: int, dst: int, proto: int,
+              sport: int, dport: int) -> int:
+        key = src
+        key = (key << (self.addr_width - depth_bits)) | dst
+        key = (key << PROTO_BITS) | proto
+        key = (key << PORT_BITS) | sport
+        key = (key << PORT_BITS) | dport
+        return key
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> Optional[int]:
+        """Walk the cut path; match each level's rules; best priority wins.
+
+        Semantics are identical to the flat linear scan, which the
+        tests verify packet for packet.
+        """
+        best: Optional[Tuple[int, int]] = None
+        node: Optional[_Node] = self.root
+        while node is not None:
+            if node.rules:
+                depth_bits = node.depth_bits
+                residual_dst = packet.dst_addr & ((1 << (self.addr_width - depth_bits)) - 1)
+                key = self._pack(depth_bits, packet.src_addr, residual_dst,
+                                 packet.protocol, packet.src_port,
+                                 packet.dst_port)
+                tag = self._leaf_tags[id(node)]
+                entry = self.leaf_tables[depth_bits].search_entry(
+                    (tag << self._residual_width(depth_bits)) | key
+                )
+                if entry is not None and (best is None or entry.priority < best[0]):
+                    best = (entry.priority, entry.data)
+            if node.stride == 0:
+                break
+            shift = self.addr_width - node.depth_bits - node.stride
+            slot = (packet.dst_addr >> shift) & ((1 << node.stride) - 1)
+            node = node.children.get(slot)
+        return best[1] if best else None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        def walk(node: _Node) -> int:
+            if not node.children:
+                return 1
+            return 1 + max(walk(c) for c in node.children.values())
+
+        return walk(self.root)
+
+    def tcam_bits(self) -> int:
+        """Total leaf-TCAM key bits (CRAM accounting)."""
+        return sum(t.tcam_bits() for t in self.leaf_tables.values())
+
+    def exact_expansion_rows(self) -> int:
+        """What an SRAM (exact-match) rendering would cost in rows.
+
+        Every wildcarded bit doubles the row count; port ranges
+        multiply by their size.  This is the §2.6 point: pseudo-random
+        fields make SRAM expansion astronomically infeasible.
+        """
+        total = 0
+        for rule in self.rules:
+            rows = 1
+            rows <<= (rule.src.width - rule.src.length)
+            rows <<= (rule.dst.width - rule.dst.length)
+            if rule.protocol is None:
+                rows <<= PROTO_BITS
+            rows *= rule.src_ports[1] - rule.src_ports[0] + 1
+            rows *= rule.dst_ports[1] - rule.dst_ports[0] + 1
+            total += rows
+        return total
+
+    def layout(self) -> Layout:
+        phases: List[Phase] = []
+        for depth_bits, nodes in self._nodes_by_depth().items():
+            tables: List[LogicalTable] = []
+            cut_entries = sum(1 << n.stride for n in nodes if n.stride)
+            if cut_entries:
+                tables.append(LogicalTable(
+                    f"cut_d{depth_bits}", MemoryKind.SRAM,
+                    entries=cut_entries, key_width=0,
+                    data_width=POINTER_BITS + 1,
+                ))
+            table = self.leaf_tables.get(depth_bits)
+            if table is not None:
+                tables.append(LogicalTable(
+                    f"leaf_d{depth_bits}", MemoryKind.TCAM,
+                    entries=len(table), key_width=table.key_width,
+                    data_width=ACTION_BITS,
+                ))
+            if tables:
+                phases.append(Phase(f"depth {depth_bits}", tables,
+                                    dependent_alu_ops=1))
+        return Layout("Tree classifier", phases)

@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Exposes the package's main workflows without writing Python:
+
+.. code-block:: console
+
+    $ python -m repro synthesize v4 --scale 0.01 --out fib.txt
+    $ python -m repro lookup --fib fib.txt --algorithm resail 10.1.2.3
+    $ python -m repro metrics --fib fib.txt --algorithm resail bsic mashup
+    $ python -m repro codegen --fib fib.txt --algorithm resail --out resail.p4
+    $ python -m repro growth --year 2033
+
+Algorithms are referenced by the lower-case names in
+:data:`ALGORITHM_FACTORIES`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .algorithms import (
+    Bsic,
+    Dxr,
+    HiBst,
+    LogicalTcam,
+    Mashup,
+    MultibitTrie,
+    Poptrie,
+    Resail,
+    Sail,
+)
+from .analysis import chip_mapping_table, cram_metrics_table, select_best
+from .chip import map_to_drmt, map_to_ideal_rmt, map_to_tofino2
+from .core.codegen import estimate_p4_effort, generate_p4_sketch
+from .datasets import (
+    ipv4_table_size,
+    ipv6_table_size,
+    synthesize_as65000,
+    synthesize_as131072,
+)
+from .datasets.io import load_fib, save_fib
+from .prefix import format_address, parse_ipv4_address, parse_ipv6_address
+from .prefix.trie import Fib
+
+ALGORITHM_FACTORIES: Dict[str, Callable[[Fib], object]] = {
+    "resail": lambda fib: Resail(fib),
+    "sail": lambda fib: Sail(fib),
+    "bsic": lambda fib: Bsic(fib),
+    "dxr": lambda fib: Dxr(fib, k=16),
+    "multibit": lambda fib: MultibitTrie(
+        fib, [16, 4, 4, 8] if fib.width == 32 else [20, 12, 16, 16]
+    ),
+    "mashup": lambda fib: Mashup(fib),
+    "poptrie": lambda fib: Poptrie(fib, dp_bits=16),
+    "hibst": lambda fib: HiBst(fib),
+    "ltcam": lambda fib: LogicalTcam(fib),
+}
+
+
+def _build(name: str, fib: Fib):
+    try:
+        factory = ALGORITHM_FACTORIES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from "
+            f"{', '.join(sorted(ALGORITHM_FACTORIES))}"
+        )
+    return factory(fib)
+
+
+def _parse_address(text: str, width: int) -> int:
+    return parse_ipv4_address(text) if width == 32 else parse_ipv6_address(text)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
+    fib = maker(scale=args.scale, seed=args.seed)
+    save_fib(fib, args.out)
+    print(f"wrote {len(fib):,} prefixes to {args.out}")
+    return 0
+
+
+def cmd_lookup(args: argparse.Namespace) -> int:
+    fib = load_fib(args.fib)
+    algo = _build(args.algorithm, fib)
+    status = 0
+    for text in args.addresses:
+        address = _parse_address(text, fib.width)
+        hop = algo.lookup(address)
+        prefix = fib.lookup_prefix(address)
+        if hop is None:
+            print(f"{format_address(address, fib.width)}: no route")
+            status = 1
+        else:
+            print(f"{format_address(address, fib.width)}: port {hop} via {prefix}")
+        if hop != fib.lookup(address):  # pragma: no cover - invariant
+            raise SystemExit("BUG: algorithm disagrees with reference trie")
+    return status
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    fib = load_fib(args.fib)
+    algos = [_build(name, fib) for name in args.algorithm]
+    rows = [(algo.name, algo.cram_metrics()) for algo in algos]
+    print(cram_metrics_table(f"CRAM metrics ({args.fib})", rows).render())
+    if len(rows) > 1:
+        winner, rationale = select_best(rows)
+        print(f"\nCRAM pick: {winner}\n  {rationale}")
+    mappings = []
+    for algo in algos:
+        layout = algo.layout()
+        mappings.append((algo.name, map_to_ideal_rmt(layout)))
+        mappings.append((algo.name, map_to_tofino2(layout)))
+        if args.drmt:
+            mappings.append((algo.name, map_to_drmt(layout)))
+    print()
+    print(chip_mapping_table("Chip mappings", mappings).render())
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    fib = load_fib(args.fib)
+    algo = _build(args.algorithm, fib)
+    sketch = generate_p4_sketch(algo.cram_program())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(sketch)
+        effort = estimate_p4_effort(algo.cram_program())
+        print(f"wrote {args.out}: {effort['tables']} tables, "
+              f"{effort['waves']} waves, "
+              f"{effort['todo_key_selectors']} key selectors and "
+              f"{effort['todo_opaque_actions']} actions left TODO")
+    else:
+        print(sketch)
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    from .prefix import aggregate, aggregation_ratio
+
+    fib = load_fib(args.fib)
+    result = aggregate(fib)
+    save_fib(result.fib, args.out)
+    note = (f" ({result.discard_hop} = discard/null routes)"
+            if result.used_discard else "")
+    print(f"aggregated {len(fib):,} -> {len(result):,} prefixes "
+          f"(x{aggregation_ratio(fib, result):.2f}) into {args.out}{note}")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """Print the reproduced tables/figures from a benchmark run."""
+    import pathlib
+
+    results_dir = pathlib.Path(args.dir)
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no results in {results_dir} - run: "
+              "pytest benchmarks/ --benchmark-only")
+        return 1
+    wanted = set(args.only or [])
+    shown = 0
+    for path in files:
+        if wanted and path.stem not in wanted:
+            continue
+        print(path.read_text().rstrip())
+        print("-" * 72)
+        shown += 1
+    if wanted and not shown:
+        print(f"no result matches {sorted(wanted)}; available: "
+              f"{', '.join(p.stem for p in files)}")
+        return 1
+    return 0
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    v4 = ipv4_table_size(args.year)
+    v6 = ipv6_table_size(args.year)
+    v6_linear = ipv6_table_size(args.year, "linear")
+    print(f"{args.year}: IPv4 ~{v4:,} routes (doubling/decade); "
+          f"IPv6 ~{v6:,} (doubling/3y) or ~{v6_linear:,} (linear slowdown)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRAM-lens IP lookup: synthesize tables, run lookups, "
+                    "estimate chip resources, emit P4 sketches.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="generate a synthetic BGP table")
+    p.add_argument("family", choices=["v4", "v6"])
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="fraction of current BGP scale (default 1.0)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--out", required=True, help="output FIB file")
+    p.set_defaults(func=cmd_synthesize, seed_default=True)
+
+    p = sub.add_parser("lookup", help="route addresses through an algorithm")
+    p.add_argument("--fib", required=True)
+    p.add_argument("--algorithm", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("addresses", nargs="+")
+    p.set_defaults(func=cmd_lookup)
+
+    p = sub.add_parser("metrics", help="CRAM metrics and chip mappings")
+    p.add_argument("--fib", required=True)
+    p.add_argument("--algorithm", nargs="+", default=["resail"],
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--drmt", action="store_true",
+                   help="include the dRMT model in the mappings")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("codegen", help="emit a P4 sketch of an algorithm")
+    p.add_argument("--fib", required=True)
+    p.add_argument("--algorithm", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--out", help="write to file instead of stdout")
+    p.set_defaults(func=cmd_codegen)
+
+    p = sub.add_parser("aggregate", help="ORTC-aggregate a routing table")
+    p.add_argument("--fib", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
+    p.add_argument("--year", type=int, default=2033)
+    p.set_defaults(func=cmd_growth)
+
+    p = sub.add_parser("results",
+                       help="print reproduced paper tables from a bench run")
+    p.add_argument("--dir", default="benchmarks/results")
+    p.add_argument("--only", nargs="*",
+                   help="result stems to show (e.g. tab04_ipv4_cram)")
+    p.set_defaults(func=cmd_results)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "seed_default", False) and args.seed is None:
+        args.seed = 65000 if args.family == "v4" else 131072
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro codegen ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

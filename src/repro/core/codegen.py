@@ -1,0 +1,150 @@
+"""P4-sketch generation from CRAM programs.
+
+The paper's workflow ends with hand-written P4 compiled by the Intel
+toolchain (§6.2).  This module automates the boilerplate half of that
+step: given a :class:`~repro.core.program.CramProgram`, it emits a
+P4-16-flavoured *sketch* — table declarations with match kinds, sizes,
+and action signatures, plus an ``apply`` block that respects the
+program's dependency waves (parallel steps are grouped under one
+comment; sequential waves follow pipeline order).
+
+The output is a design document, not a compilable program: key
+selectors and opaque step actions are summarized as TODO actions for a
+P4 engineer, exactly the part of the paper's flow that required "an
+expert with intimate knowledge of the product" (§8).  Emitting the
+mechanical 90% is what makes the CRAM-first workflow practical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .program import CramProgram
+from .step import Step
+from .table import MatchKind, TableSpec
+
+
+def _sanitize(name: str) -> str:
+    """Make an identifier P4-safe."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "t_" + cleaned
+    return cleaned.lower()
+
+
+def _render_expr(expr) -> str:
+    from .step import Assoc, Bin, Const, Reg, Un
+
+    if isinstance(expr, Reg):
+        return f"meta.{_sanitize(expr.name)}"
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Assoc):
+        return f"hit_data[{expr.index}]"
+    if isinstance(expr, Un):
+        return f"({expr.op}{_render_expr(expr.operand)})"
+    if isinstance(expr, Bin):
+        return f"({_render_expr(expr.left)} {expr.op} {_render_expr(expr.right)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _table_decl(table: TableSpec, register_width: int) -> List[str]:
+    name = _sanitize(table.name)
+    match = "ternary" if table.match_kind is MatchKind.TERNARY else (
+        "exact" if not table.is_direct_indexed else "exact /* direct-indexed */"
+    )
+    lines = [
+        f"table {name} {{",
+        "    key = {",
+        f"        meta.{name}_key : {match};  // {table.key_width} bits",
+        "    }",
+        "    actions = {",
+        f"        {name}_hit;  // returns {table.data_width} bits of data",
+        "        NoAction;",
+        "    }",
+        f"    size = {max(1, table.entries)};",
+        "    default_action = NoAction();",
+        "}",
+    ]
+    return lines
+
+
+def _statement_lines(step: Step) -> List[str]:
+    lines = []
+    for stmt in step.statements:
+        target = f"meta.{_sanitize(stmt.dest)}"
+        assignment = f"{target} = {_render_expr(stmt.expr)};"
+        if stmt.cond is not None:
+            lines.append(f"if ({_render_expr(stmt.cond)}) {{ {assignment} }}")
+        else:
+            lines.append(assignment)
+    if step.action is not None:
+        reads = ", ".join(sorted(step.reads)) or "-"
+        writes = ", ".join(sorted(step.writes)) or "-"
+        lines.append(f"// TODO(engineer): opaque action (reads: {reads}; "
+                     f"writes: {writes})")
+    return lines
+
+
+def generate_p4_sketch(program: CramProgram) -> str:
+    """Emit the P4-16-flavoured sketch for ``program``."""
+    program.validate()
+    out: List[str] = [
+        "// Auto-generated P4 sketch from CRAM program "
+        f"'{program.name}'.",
+        "// Tables and pipeline structure are mechanical; key selection",
+        "// and action bodies marked TODO need a P4 engineer.",
+        "",
+        "#include <core.p4>",
+        "",
+        "struct metadata_t {",
+    ]
+    for register in sorted(program.registers):
+        out.append(f"    bit<{program.register_width}> {_sanitize(register)};")
+    tables = []
+    seen = set()
+    for step in program.steps():
+        if step.table is not None and id(step.table) not in seen:
+            seen.add(id(step.table))
+            tables.append(step.table)
+            out.append(
+                f"    bit<{max(1, step.table.key_width)}> "
+                f"{_sanitize(step.table.name)}_key;"
+            )
+    out.append("}")
+    out.append("")
+
+    for table in tables:
+        out.extend(_table_decl(table, program.register_width))
+        out.append("")
+
+    out.append("apply {")
+    for wave_index, wave in enumerate(program.parallel_schedule()):
+        out.append(f"    // --- wave {wave_index + 1} "
+                   f"({'parallel' if len(wave) > 1 else 'sequential'}: "
+                   f"{len(wave)} step{'s' if len(wave) != 1 else ''}) ---")
+        for step_name in wave:
+            step = program.step(step_name)
+            out.append(f"    // step {step.name}")
+            if step.table is not None:
+                out.append(f"    // TODO(engineer): set "
+                           f"meta.{_sanitize(step.table.name)}_key")
+                out.append(f"    {_sanitize(step.table.name)}.apply();")
+            for line in _statement_lines(step):
+                out.append(f"    {line}")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def estimate_p4_effort(program: CramProgram) -> dict:
+    """Rough engineering-effort summary: what the sketch cannot generate."""
+    opaque = sum(1 for s in program.steps() if s.action is not None)
+    selectors = sum(1 for s in program.steps() if s.table is not None)
+    return {
+        "tables": len({id(s.table) for s in program.steps() if s.table}),
+        "steps": len(program.steps()),
+        "waves": len(program.parallel_schedule()),
+        "todo_key_selectors": selectors,
+        "todo_opaque_actions": opaque,
+    }

@@ -1,0 +1,114 @@
+"""The eight CRAM optimization idioms (§2.2).
+
+The idioms are design *strategies*; most of their substance lives in
+the algorithms that apply them.  This module gives them first-class
+identities (so algorithms can declare which idioms they embody and the
+reports in :mod:`repro.analysis` can cite them) plus the small
+quantitative decision rules the paper states:
+
+* I2's "expand to SRAM if expansion < 3x" rule
+  (:func:`prefer_sram`), used by MASHUP's node hybridization;
+* I5's tag-width arithmetic (:func:`tag_width`), used by MASHUP's
+  table coalescing.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+#: TCAM needs ~3x more transistors per bit than SRAM [82]; the paper
+#: adopts c = 3 as the expansion break-even constant for idiom I2.
+TCAM_AREA_FACTOR = 3
+
+
+class Idiom(enum.Enum):
+    """The eight optimization idioms, numbered as in the paper."""
+
+    COMPRESS_WITH_TCAM = 1  # I1: wildcard entries as single TCAM rows
+    EXPAND_TO_SRAM = 2  # I2: SRAM when expansion < 3x
+    COMPRESS_WITH_SRAM = 3  # I3: hash tables over direct indexing
+    STRATEGIC_CUTTING = 4  # I4: cut where shared prefixes end
+    TABLE_COALESCING = 5  # I5: merge sparse tables with tag bits
+    LOOK_ASIDE_TCAM = 6  # I6: special-case prefixes searched in parallel
+    STEP_REDUCTION = 7  # I7: consolidate independent lookups per stage
+    MEMORY_FAN_OUT = 8  # I8: split tables accessed multiple times
+
+    @property
+    def label(self) -> str:
+        return f"I{self.value}"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    Idiom.COMPRESS_WITH_TCAM: (
+        "Store wildcarded entries as single TCAM rows instead of their "
+        "SRAM prefix expansions."
+    ),
+    Idiom.EXPAND_TO_SRAM: (
+        "Replace a TCAM block with SRAM when the expanded form costs "
+        f"less than {TCAM_AREA_FACTOR}x the original TCAM entries."
+    ),
+    Idiom.COMPRESS_WITH_SRAM: (
+        "Prefer hashed SRAM over directly indexed arrays: RMT/dRMT "
+        "ASICs price both lookups identically."
+    ),
+    Idiom.STRATEGIC_CUTTING: (
+        "Cut at the bit position where shared prefixes end, storing the "
+        "repeated bits once (multibit-trie strides, BSIC's k)."
+    ),
+    Idiom.TABLE_COALESCING: (
+        "Merge minimally populated logical tables into shared physical "
+        "blocks/pages, differentiated by tag bits."
+    ),
+    Idiom.LOOK_ASIDE_TCAM: (
+        "Move uncommon entries (very short/long prefixes) into a "
+        "separate TCAM searched trivially in parallel."
+    ),
+    Idiom.STEP_REDUCTION: (
+        "Consolidate data-independent lookups into a single stage using "
+        "MAU parallelism."
+    ),
+    Idiom.MEMORY_FAN_OUT: (
+        "Split a multiply-accessed table so each per-packet access hits "
+        "a distinct table (one memory access per table per packet)."
+    ),
+}
+
+
+def prefer_sram(expanded_entries: int, tcam_entries: int, c: int = TCAM_AREA_FACTOR) -> bool:
+    """Idiom I2's decision rule.
+
+    Keep a node in SRAM when storing its prefix expansion costs less
+    than ``c`` times the TCAM entries it would otherwise need.  The
+    comparison is entry-for-entry at equal widths, mirroring the
+    paper's treatment of MASHUP trie nodes.
+    """
+    if tcam_entries < 0 or expanded_entries < 0:
+        raise ValueError("entry counts must be non-negative")
+    if tcam_entries == 0:
+        return True
+    return expanded_entries < c * tcam_entries
+
+
+def tag_width(logical_tables: int) -> int:
+    """Idiom I5: bits of tag needed to coalesce ``logical_tables`` tables."""
+    if logical_tables <= 0:
+        raise ValueError("need at least one logical table")
+    return max(0, math.ceil(math.log2(logical_tables)))
+
+
+@dataclass(frozen=True)
+class IdiomApplication:
+    """A record that an algorithm applied an idiom, for reporting."""
+
+    idiom: Idiom
+    where: str
+    effect: str
+
+    def describe(self) -> str:
+        return f"{self.idiom.label} @ {self.where}: {self.effect}"

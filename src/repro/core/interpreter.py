@@ -1,0 +1,60 @@
+"""Executing CRAM programs (§2.1's machine semantics).
+
+The CRAM model is not only an accounting sheet: a program with
+behavioural table backings and key selectors is an executable machine.
+The interpreter runs steps wave-by-wave along the dependency DAG —
+steps in the same wave see the same pre-wave register state, the
+model's notion of parallel execution — and is used by the tests to
+check that each algorithm's CRAM program computes exactly the same
+next hops as its native Python implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .program import CramProgram
+
+
+def run(program: CramProgram, initial_state: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute ``program`` from ``initial_state`` and return the final state.
+
+    ``initial_state`` plays the role of the parser output: a register
+    assignment.  Unknown registers are rejected so typos in tests fail
+    loudly rather than silently reading zero.
+    """
+    program.validate()
+    unknown = set(initial_state) - program.registers
+    if unknown:
+        raise KeyError(f"unknown registers in initial state: {sorted(unknown)}")
+    state: Dict[str, Any] = {name: None for name in program.registers}
+    state.update(initial_state)
+    for wave in program.parallel_schedule():
+        # Steps in one wave are data-independent (validate() guarantees
+        # it), so sequential execution within the wave is equivalent to
+        # parallel execution; we still snapshot to make the semantics
+        # obvious and to catch undeclared dependencies in action code.
+        snapshot = dict(state)
+        updates: Dict[str, Any] = {}
+        for step_name in wave:
+            step = program.step(step_name)
+            scratch = dict(snapshot)
+            step.execute(scratch)
+            for register in step.writes:
+                if scratch.get(register) != snapshot.get(register):
+                    updates[register] = scratch[register]
+            # Opaque actions may legitimately write a register to the
+            # value it already had; propagate declared writes as well.
+            for register in step.writes:
+                if register in scratch:
+                    updates.setdefault(register, scratch[register])
+        state.update(updates)
+    return state
+
+
+def run_packet(program: CramProgram, packet: bytes) -> bytes:
+    """Full parser -> steps -> deparser pipeline for raw packets."""
+    if program.parser is None or program.deparser is None:
+        raise RuntimeError(f"program {program.name} lacks a parser/deparser")
+    state = run(program, program.parser(packet))
+    return program.deparser(state)

@@ -1,0 +1,74 @@
+"""CRAM space/time metrics (§2.1) and their presentation (§6.4, §8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .program import CramProgram
+from .units import format_bits, sram_bits_to_pages, tcam_bits_to_blocks
+
+
+@dataclass(frozen=True)
+class CramMetrics:
+    """The three CRAM measures for one program.
+
+    * ``tcam_bits`` — sum of ``n_t * k_t`` over ternary tables,
+    * ``sram_bits`` — key bits of non-direct exact tables plus data
+      bits of every table,
+    * ``steps`` — nodes on the longest directed path of the DAG,
+    * ``register_bits`` — stateful register-match memory, counted
+      separately as §2.6 prescribes (zero for every algorithm here).
+    """
+
+    tcam_bits: int
+    sram_bits: int
+    steps: int
+    register_bits: int = 0
+
+    @property
+    def tcam_blocks(self) -> float:
+        """Fractional Tofino-2 TCAM blocks (Table 10/11 conversion)."""
+        return tcam_bits_to_blocks(self.tcam_bits)
+
+    @property
+    def sram_pages(self) -> float:
+        """Fractional Tofino-2 SRAM pages (Table 10/11 conversion)."""
+        return sram_bits_to_pages(self.sram_bits)
+
+    def describe(self) -> str:
+        return (
+            f"TCAM {format_bits(self.tcam_bits)}, "
+            f"SRAM {format_bits(self.sram_bits)}, "
+            f"{self.steps} steps"
+        )
+
+    def __add__(self, other: "CramMetrics") -> "CramMetrics":
+        """Combine metrics of independent programs (steps take the max)."""
+        return CramMetrics(
+            self.tcam_bits + other.tcam_bits,
+            self.sram_bits + other.sram_bits,
+            max(self.steps, other.steps),
+            self.register_bits + other.register_bits,
+        )
+
+
+def measure(program: CramProgram) -> CramMetrics:
+    """Compute the CRAM metrics of a (validated) program."""
+    program.validate()
+    tcam = 0
+    sram = 0
+    registers = 0
+    seen_ids = set()
+    tables = []
+    for table in program.tables():
+        # A table referenced by several steps (legal in the plain CRAM
+        # model, e.g. DXR's range table before memory fan-out) is one
+        # physical table and is counted once.
+        if id(table) not in seen_ids:
+            seen_ids.add(id(table))
+            tables.append(table)
+    for table in tables:
+        tcam += table.tcam_bits()
+        sram += table.sram_bits()
+        registers += table.register_bits
+    return CramMetrics(tcam, sram, program.critical_path_length(), registers)

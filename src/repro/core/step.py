@@ -1,0 +1,250 @@
+"""CRAM steps and the intra-step statement language (§2.1).
+
+A *step* optionally begins with one table lookup, followed by a
+sequence of guarded assignments ``if (cond): dest = expr`` with two
+restrictions from the paper:
+
+* ``expr`` contains at most one unary or binary operator;
+* no statement may read a register that an earlier statement in the
+  same step assigned — so all statements of a step can run in parallel.
+
+Expressions are tiny ASTs over registers (``Reg``), the current
+lookup's associated-data words (``Assoc``), and constants (``Const``).
+For algorithm code that would be awkward to express in the statement
+grammar, a step can instead carry an opaque ``action`` callable; such
+steps still participate fully in dependency/metric analysis through
+their declared ``reads``/``writes`` sets, but skip the intra-step
+parallelism check (the callable is trusted to be a faithful rendering
+of a legal statement list).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from .table import TableSpec
+
+# ---------------------------------------------------------------------------
+# Expression AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A reference to register ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Assoc:
+    """Word ``index`` of the current table lookup's associated data."""
+
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class Const:
+    """A ``w``-bit constant."""
+
+    value: int
+
+
+Operand = Union[Reg, Assoc, Const]
+
+_UNARY = {
+    "-": operator.neg,
+    "~": operator.invert,
+    "!": lambda a: int(not a),
+    "+": operator.pos,
+}
+
+_BINARY = {
+    "+": operator.add,
+    "-": operator.sub,
+    "<<": operator.lshift,
+    ">>": operator.rshift,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+@dataclass(frozen=True)
+class Un:
+    """A single unary operation."""
+
+    op: str
+    operand: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNARY:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Bin:
+    """A single binary operation."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+Expr = Union[Operand, Un, Bin]
+
+
+def expr_registers(expr: Expr) -> Set[str]:
+    """Registers read by an expression."""
+    if isinstance(expr, Reg):
+        return {expr.name}
+    if isinstance(expr, (Assoc, Const)):
+        return set()
+    if isinstance(expr, Un):
+        return expr_registers(expr.operand)
+    if isinstance(expr, Bin):
+        return expr_registers(expr.left) | expr_registers(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def eval_expr(expr: Expr, state: dict, assoc: Sequence[int]) -> int:
+    """Evaluate an expression against a register state and lookup data."""
+    if isinstance(expr, Reg):
+        value = state.get(expr.name)
+        return 0 if value is None else value
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Assoc):
+        return assoc[expr.index] if expr.index < len(assoc) else 0
+    if isinstance(expr, Un):
+        return _UNARY[expr.op](eval_expr(expr.operand, state, assoc))
+    if isinstance(expr, Bin):
+        return _BINARY[expr.op](
+            eval_expr(expr.left, state, assoc), eval_expr(expr.right, state, assoc)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``if (cond): dest = expr`` — cond may be ``None`` (always run)."""
+
+    dest: str
+    expr: Expr
+    cond: Optional[Expr] = None
+
+    def reads(self) -> Set[str]:
+        regs = expr_registers(self.expr)
+        if self.cond is not None:
+            regs |= expr_registers(self.cond)
+        return regs
+
+
+# ---------------------------------------------------------------------------
+# Steps
+# ---------------------------------------------------------------------------
+
+#: Opaque step behaviour: (state, lookup_result) -> None, mutating state.
+Action = Callable[[dict, Any], None]
+
+
+class Step:
+    """One node of a CRAM program's DAG."""
+
+    def __init__(
+        self,
+        name: str,
+        table: Optional[TableSpec] = None,
+        statements: Sequence[Statement] = (),
+        action: Optional[Action] = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+    ):
+        if statements and action is not None:
+            raise ValueError(f"step {name}: give statements or an action, not both")
+        self.name = name
+        self.table = table
+        self.statements: Tuple[Statement, ...] = tuple(statements)
+        self.action = action
+        self._validate_statements()
+
+        inferred_reads: Set[str] = set(reads)
+        inferred_writes: Set[str] = set(writes)
+        for stmt in self.statements:
+            inferred_reads |= stmt.reads()
+            inferred_writes.add(stmt.dest)
+        self.reads: FrozenSet[str] = frozenset(inferred_reads)
+        self.writes: FrozenSet[str] = frozenset(inferred_writes)
+
+    def _validate_statements(self) -> None:
+        """Enforce the paper's intra-step parallelism rule."""
+        written: Set[str] = set()
+        for stmt in self.statements:
+            overlap = stmt.reads() & written
+            if overlap:
+                raise ValueError(
+                    f"step {self.name}: statement reads {sorted(overlap)} "
+                    "written by an earlier statement in the same step"
+                )
+            written.add(stmt.dest)
+
+    def touches(self, register: str) -> bool:
+        return register in self.reads or register in self.writes
+
+    def conflicts_with(self, other: "Step") -> bool:
+        """True if the two steps must be ordered (write/read-write overlap)."""
+        return bool(
+            (self.writes & other.reads)
+            or (self.writes & other.writes)
+            or (self.reads & other.writes)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution (used by the interpreter)
+    # ------------------------------------------------------------------
+    def execute(self, state: dict) -> None:
+        result: Any = None
+        if self.table is not None:
+            if self.table.key_selector is None:
+                raise RuntimeError(
+                    f"step {self.name}: table {self.table.name} has no key selector"
+                )
+            key = self.table.key_selector(state)
+            if key is not None:
+                result = self.table.lookup(key)
+        if self.action is not None:
+            self.action(state, result)
+            return
+        assoc: Sequence[int]
+        if result is None:
+            assoc = ()
+        elif isinstance(result, (tuple, list)):
+            assoc = tuple(result)
+        else:
+            assoc = (result,)
+        # All statements read the pre-step state: evaluate first, commit after.
+        pending: List[Tuple[str, int]] = []
+        for stmt in self.statements:
+            if stmt.cond is not None and not eval_expr(stmt.cond, state, assoc):
+                continue
+            pending.append((stmt.dest, eval_expr(stmt.expr, state, assoc)))
+        for dest, value in pending:
+            state[dest] = value
+
+    def __repr__(self) -> str:
+        table = self.table.name if self.table else "-"
+        return f"Step({self.name}, table={table})"

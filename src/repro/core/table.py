@@ -1,0 +1,141 @@
+"""CRAM table specifications (§2.1).
+
+A CRAM table ``t`` has a match kind (exact or ternary), a key width
+``k_t``, a maximum entry count ``n_t``, and ``d_t`` bits of associated
+data.  Memory accounting rules from the paper:
+
+* ternary table: keys cost ``n_t * k_t`` **TCAM** bits (only the value
+  component of each (value, mask) pair is counted);
+* exact table: keys cost ``n_t * k_t`` **SRAM** bits, except in the
+  directly-indexed special case ``n_t == 2**k_t`` where the key is the
+  index and costs nothing;
+* both kinds: associated data costs ``n_t * d_t`` SRAM bits.
+
+A :class:`TableSpec` may optionally carry a *behavioural* backing table
+(from :mod:`repro.memory`) and a key-selector callable, which the CRAM
+interpreter uses to actually execute lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+class MatchKind(enum.Enum):
+    """The two CRAM match kinds."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"
+
+
+#: A key selector maps the register state to a key, or ``None`` to
+#: signal "skip this lookup" (e.g. a predicated table).
+KeySelector = Callable[[dict], Optional[int]]
+
+
+@dataclass
+class TableSpec:
+    """Shape (and optionally behaviour) of one CRAM table."""
+
+    name: str
+    match_kind: MatchKind
+    key_width: int
+    entries: int
+    data_width: int
+    default: Any = None
+    key_selector: Optional[KeySelector] = None
+    backing: Any = None  # TcamTable | DirectIndexTable | ExactMatchTable | ...
+    register_bits: int = 0  # stateful register-match memory (§2.6), counted apart
+
+    def __post_init__(self) -> None:
+        if self.key_width < 0:
+            raise ValueError(f"table {self.name}: negative key width")
+        if self.entries < 0:
+            raise ValueError(f"table {self.name}: negative entry count")
+        if self.data_width < 0:
+            raise ValueError(f"table {self.name}: negative data width")
+        if self.match_kind is MatchKind.TERNARY and self.key_width == 0:
+            raise ValueError(f"table {self.name}: ternary table needs a key")
+
+    # ------------------------------------------------------------------
+    # CRAM accounting
+    # ------------------------------------------------------------------
+    @property
+    def is_direct_indexed(self) -> bool:
+        """Exact table with ``n_t == 2**k_t``: key needs no storage."""
+        return self.match_kind is MatchKind.EXACT and self.entries == (1 << self.key_width)
+
+    def tcam_bits(self) -> int:
+        if self.match_kind is MatchKind.TERNARY:
+            return self.entries * self.key_width
+        return 0
+
+    def sram_bits(self) -> int:
+        data = self.entries * self.data_width
+        if self.match_kind is MatchKind.EXACT and not self.is_direct_indexed:
+            return data + self.entries * self.key_width
+        return data
+
+    # ------------------------------------------------------------------
+    # Behaviour (used by the interpreter)
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Any:
+        """Execute the lookup on the backing table.
+
+        Returns the matched associated data, or ``default`` on a miss.
+        """
+        if self.backing is None:
+            raise RuntimeError(f"table {self.name} has no behavioural backing")
+        if hasattr(self.backing, "search"):  # TcamTable
+            result = self.backing.search(key)
+        elif hasattr(self.backing, "load"):  # DirectIndexTable / ExactMatchTable
+            result = self.backing.load(key)
+        elif hasattr(self.backing, "lookup"):  # DLeftHashTable
+            result = self.backing.lookup(key)
+        elif hasattr(self.backing, "test"):  # Bitmap
+            result = self.backing.test(key)
+        elif callable(self.backing):
+            result = self.backing(key)
+        else:
+            raise TypeError(f"table {self.name}: unsupported backing {self.backing!r}")
+        return self.default if result is None else result
+
+
+def exact_table(name: str, key_width: int, entries: int, data_width: int, **kw) -> TableSpec:
+    """Convenience constructor for an exact-match :class:`TableSpec`."""
+    return TableSpec(name, MatchKind.EXACT, key_width, entries, data_width, **kw)
+
+
+def ternary_table(name: str, key_width: int, entries: int, data_width: int, **kw) -> TableSpec:
+    """Convenience constructor for a ternary :class:`TableSpec`."""
+    return TableSpec(name, MatchKind.TERNARY, key_width, entries, data_width, **kw)
+
+
+def direct_index_table(name: str, key_width: int, data_width: int, **kw) -> TableSpec:
+    """Exact table with ``2**key_width`` entries (free keys)."""
+    return TableSpec(name, MatchKind.EXACT, key_width, 1 << key_width, data_width, **kw)
+
+
+def register_table(name: str, entries: int, register_width: int, **kw) -> TableSpec:
+    """A stateful register-match table (§2.6).
+
+    P4 register arrays are the data plane's mutable state.  The CRAM
+    model incorporates them as an SRAM-backed exact table whose memory
+    is counted *separately* from regular TCAM/SRAM bits, exactly as
+    §2.6 prescribes: ``entries * register_width`` lands in
+    :attr:`TableSpec.register_bits`, and :class:`CramMetrics` reports
+    it in its own column.
+    """
+    # Index-addressed: no stored keys, no associated data — the whole
+    # footprint is the register state itself.
+    return TableSpec(
+        name,
+        MatchKind.EXACT,
+        key_width=0,
+        entries=entries,
+        data_width=0,
+        register_bits=entries * register_width,
+        **kw,
+    )

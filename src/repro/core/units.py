@@ -1,0 +1,85 @@
+"""Memory unit model: bits, KB/MB, Tofino-2 TCAM blocks and SRAM pages.
+
+The CRAM model measures raw bits (§2.1); the ideal-RMT and Tofino-2
+models measure hardware allocation units (§6.2, §8):
+
+* a TCAM block is 44 bits wide by 512 entries deep;
+* an SRAM page is 128 bits wide by 1024 words deep (16 KiB).
+
+Table 10/11 of the paper convert CRAM bits into *fractional* blocks and
+pages for uniform comparison; :func:`tcam_bits_to_blocks` and
+:func:`sram_bits_to_pages` are those conversions.
+"""
+
+from __future__ import annotations
+
+TCAM_BLOCK_WIDTH = 44  # bits per TCAM row (Tofino-2)
+TCAM_BLOCK_ENTRIES = 512  # rows per TCAM block
+SRAM_PAGE_WIDTH = 128  # bits per SRAM word (Tofino-2)
+SRAM_PAGE_WORDS = 1024  # words per SRAM page
+
+TCAM_BLOCK_BITS = TCAM_BLOCK_WIDTH * TCAM_BLOCK_ENTRIES
+SRAM_PAGE_BITS = SRAM_PAGE_WIDTH * SRAM_PAGE_WORDS
+
+KB = 1024 * 8  # bits per kilobyte
+MB = 1024 * KB  # bits per megabyte
+
+
+def tcam_bits_to_blocks(bits: int) -> float:
+    """Fractional TCAM blocks equivalent to ``bits`` (Table 10/11 style)."""
+    return bits / TCAM_BLOCK_BITS
+
+
+def sram_bits_to_pages(bits: int) -> float:
+    """Fractional SRAM pages equivalent to ``bits`` (Table 10/11 style)."""
+    return bits / SRAM_PAGE_BITS
+
+
+def tcam_blocks_for_table(entries: int, key_width: int) -> int:
+    """Whole TCAM blocks a ternary table of this shape occupies.
+
+    A table wider than one block gangs ``ceil(width/44)`` blocks side by
+    side; each gang holds 512 entries.  This is how a 64-bit IPv6 key
+    costs two blocks per 512 entries (§6.5.1's logical-TCAM capacities).
+    """
+    if entries == 0:
+        return 0
+    width_blocks = -(-key_width // TCAM_BLOCK_WIDTH)
+    depth_blocks = -(-entries // TCAM_BLOCK_ENTRIES)
+    return width_blocks * depth_blocks
+
+
+def sram_pages_for_table(entries: int, entry_bits: int) -> int:
+    """Whole SRAM pages a table of ``entries`` rows of ``entry_bits`` needs.
+
+    Rows are packed into 128-bit words: narrow rows share a word
+    (``floor(128 / entry_bits)`` per word), wide rows span several
+    words.  A table always occupies at least one page.
+    """
+    if entries == 0:
+        return 0
+    if entry_bits <= 0:
+        raise ValueError("entry bits must be positive for a populated table")
+    if entry_bits <= SRAM_PAGE_WIDTH:
+        per_word = SRAM_PAGE_WIDTH // entry_bits
+        words = -(-entries // per_word)
+    else:
+        words_per_entry = -(-entry_bits // SRAM_PAGE_WIDTH)
+        words = entries * words_per_entry
+    return -(-words // SRAM_PAGE_WORDS)
+
+
+def sram_pages_for_bits(bits: int) -> int:
+    """Whole pages for a raw bit array (bitmaps pack perfectly)."""
+    if bits == 0:
+        return 0
+    return -(-bits // SRAM_PAGE_BITS)
+
+
+def format_bits(bits: float) -> str:
+    """Human form matching the paper's tables: '3.13 KB', '8.58 MB'."""
+    if bits >= MB / 10:
+        return f"{bits / MB:.2f} MB"
+    if bits >= KB / 10:
+        return f"{bits / KB:.2f} KB"
+    return f"{bits:.0f} b"

@@ -1,0 +1,59 @@
+"""Synthetic BGP databases, growth models, scaling, and workloads."""
+
+from .bgp import (
+    AS65000_LENGTH_COUNTS,
+    AS131072_LENGTH_COUNTS,
+    DEFAULT_NEXT_HOPS,
+    IPV6_UNIVERSE_BITS,
+    ipv4_length_distribution,
+    ipv6_length_distribution,
+    small_example_fib,
+    synthesize_as65000,
+    synthesize_as131072,
+)
+from .growth import (
+    GrowthPoint,
+    growth_series,
+    ipv4_table_size,
+    ipv6_table_size,
+    years_until_ipv4_exceeds,
+    years_until_ipv6_exceeds,
+)
+from .io import FibFormatError, dumps_fib, load_fib, loads_fib, save_fib
+from .scaling import multiverse_scale, multiverse_sizes, scale_lengths
+from .workloads import (
+    deepest_match_addresses,
+    matching_addresses,
+    mixed_addresses,
+    uniform_addresses,
+)
+
+__all__ = [
+    "AS65000_LENGTH_COUNTS",
+    "AS131072_LENGTH_COUNTS",
+    "DEFAULT_NEXT_HOPS",
+    "IPV6_UNIVERSE_BITS",
+    "ipv4_length_distribution",
+    "ipv6_length_distribution",
+    "small_example_fib",
+    "synthesize_as65000",
+    "synthesize_as131072",
+    "GrowthPoint",
+    "growth_series",
+    "ipv4_table_size",
+    "ipv6_table_size",
+    "years_until_ipv4_exceeds",
+    "years_until_ipv6_exceeds",
+    "FibFormatError",
+    "dumps_fib",
+    "load_fib",
+    "loads_fib",
+    "save_fib",
+    "multiverse_scale",
+    "multiverse_sizes",
+    "scale_lengths",
+    "deepest_match_addresses",
+    "matching_addresses",
+    "mixed_addresses",
+    "uniform_addresses",
+]

@@ -1,0 +1,325 @@
+"""Synthetic BGP routing databases (paper §6.1, Figure 8).
+
+The paper evaluates on the AS65000 IPv4 table (~930k prefixes) and the
+AS131072 IPv6 table (~190k prefixes), both from September 2023.  Those
+snapshots are not redistributable, so this module synthesizes
+databases with the properties the paper's algorithms actually consume:
+
+* the **prefix-length distribution** of Figure 8 — major spike at /24
+  (IPv4) and /48 (IPv6), minor spikes at 16/20/22 and 28/32/36/40/44,
+  very few prefixes shorter than 13 (IPv4) or 28 (IPv6) bits, and a
+  small population of IPv4 prefixes longer than /24 (observations
+  P1-P3) — this is all RESAIL and SAIL depend on (§7.1);
+* realistic **value clustering** for the algorithms that also depend on
+  prefix values (BSIC, MASHUP): prefixes are allocated hierarchically
+  under a bounded set of provider slices, so that e.g. the ~190k IPv6
+  prefixes share only ~7k distinct /24 slices, matching the paper's
+  BSIC compression figures (§6.3);
+* the IPv6 **universe property**: every IPv6 prefix starts with the
+  same three bits, leaving the other seven 3-bit "universes" free for
+  the multiverse scaling of §7.2.
+
+Generation is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..prefix.distribution import LengthDistribution
+from ..prefix.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix
+from ..prefix.trie import Fib
+
+#: Number of distinct next-hop identifiers (fits the 8-bit next-hop
+#: encoding implied by the paper's memory accounting).
+DEFAULT_NEXT_HOPS = 256
+
+# ---------------------------------------------------------------------------
+# Reference prefix-length histograms (Figure 8, calibrated)
+# ---------------------------------------------------------------------------
+
+#: IPv4: ~930k prefixes.  Major spike at /24; minor spikes at /16, /20,
+#: /22 (>=2% of the table each); 475 prefixes shorter than /13; 800
+#: prefixes longer than /24 (calibrated to RESAIL's 3.13 KB look-aside
+#: TCAM: 800 entries x 32 bits).
+AS65000_LENGTH_COUNTS: Dict[int, int] = {
+    8: 20, 9: 15, 10: 40, 11: 100, 12: 300,
+    13: 600, 14: 1_200, 15: 2_000,
+    16: 40_000, 17: 8_000, 18: 14_000, 19: 18_000,
+    20: 55_000, 21: 15_000, 22: 90_000, 23: 18_000, 24: 667_000,
+    25: 250, 26: 150, 27: 100, 28: 100, 29: 100, 30: 50, 31: 20, 32: 30,
+}
+
+#: IPv6: ~190k prefixes over the 64-bit global-routing view.  Major
+#: spike at /48; minor spikes at /28, /32, /36, /40, /44; negligible
+#: population below /19.
+AS131072_LENGTH_COUNTS: Dict[int, int] = {
+    19: 100, 20: 800, 21: 150, 22: 300, 23: 250, 24: 500, 25: 350,
+    26: 400, 27: 450,
+    28: 6_000, 29: 2_500, 30: 3_000, 31: 2_000,
+    32: 18_000, 33: 2_200, 34: 1_800, 35: 1_500,
+    36: 9_000, 37: 1_300, 38: 1_200, 39: 1_100,
+    40: 12_000, 41: 1_500, 42: 1_300, 43: 1_400,
+    44: 14_000, 45: 2_000, 46: 2_500, 47: 3_500,
+    48: 95_000,
+    49: 1_200, 50: 900, 51: 500, 52: 600, 53: 300, 54: 200, 55: 150,
+    56: 1_800, 57: 100, 58: 80, 59: 60, 60: 250, 61: 40, 62: 50,
+    63: 30, 64: 700,
+}
+
+#: All synthetic IPv6 prefixes share these leading three bits, forming
+#: the single occupied "IPv6 universe" that §7.2's multiverse scaling
+#: replicates.  (The paper observes its AS131072 prefixes share their
+#: first three bits.)
+IPV6_UNIVERSE_BITS = 0b000
+
+#: Number of distinct provider slices the hierarchical generator uses.
+#: IPv4: ~36k distinct /16 slices (so BSIC's k=16 initial TCAM holds
+#: ~37k entries, Table 4).  IPv6: ~7k distinct /24 slices (paper §6.3:
+#: "over 190k prefixes into just 7k TCAM entries").
+IPV4_SLICE_LENGTH = 16
+IPV4_SLICE_COUNT = 44_000
+IPV6_SLICE_LENGTH = 24
+IPV6_SLICE_COUNT = 7_000
+
+
+def ipv4_length_distribution(scale: float = 1.0) -> LengthDistribution:
+    """The calibrated AS65000-like histogram, optionally scaled (§7.1)."""
+    counts = [0] * (IPV4_WIDTH + 1)
+    for length, count in AS65000_LENGTH_COUNTS.items():
+        counts[length] = round(count * scale)
+    return LengthDistribution(IPV4_WIDTH, tuple(counts))
+
+
+def ipv6_length_distribution(scale: float = 1.0) -> LengthDistribution:
+    """The calibrated AS131072-like histogram, optionally scaled."""
+    counts = [0] * (IPV6_WIDTH + 1)
+    for length, count in AS131072_LENGTH_COUNTS.items():
+        counts[length] = round(count * scale)
+    return LengthDistribution(IPV6_WIDTH, tuple(counts))
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical value generation
+# ---------------------------------------------------------------------------
+
+
+def _prf(x: int, j: int, salt: int) -> int:
+    """A cheap deterministic pseudo-random function (allocation palettes)."""
+    mixed = (x * 0x9E3779B97F4A7C15 + j * 0xC2B2AE3D27D4EB4F + salt) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 29
+    return (mixed * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+
+
+def _generate(
+    distribution: LengthDistribution,
+    width: int,
+    slice_length: int,
+    slice_count: int,
+    seed: int,
+    universe_bits: Optional[int] = None,
+    universe_width: int = 0,
+    next_hops: int = DEFAULT_NEXT_HOPS,
+    slice_zipf: float = 0.0,
+    cluster_levels: tuple = (),
+    cluster_fan: int = 2,
+    hop_palette: int = 3,
+) -> Fib:
+    """Hierarchical prefix generator.
+
+    Prefixes of length >= ``slice_length`` are drawn under a bounded
+    pool of provider slices; shorter prefixes are drawn directly.
+    ``universe_bits``/``universe_width`` pin the leading bits of every
+    prefix (the IPv6 universe property).
+
+    Three knobs make the *values* realistic (real BGP tables are far
+    from uniform, and BSIC/MASHUP resource use depends on it):
+
+    * ``slice_zipf`` — slice popularity follows a Zipf-like law, so a
+      few provider slices own thousands of prefixes (this produces
+      BSIC's deep worst-case BSTs, §6.4's step counts);
+    * ``cluster_levels``/``cluster_fan`` — below its slice, a prefix
+      funnels through at most ``cluster_fan`` sub-allocations at each
+      listed depth, modelling RIR->ISP->customer aggregation (this
+      produces the dense trie nodes MASHUP keeps in SRAM);
+    * ``hop_palette`` — prefixes under one slice draw from a small
+      per-slice next-hop palette (routes in one region exit through
+      few peers), which lets DXR/BSIC merge neighbouring ranges.
+    """
+    rng = np.random.default_rng(seed)
+
+    def with_universe(values: np.ndarray, length: int) -> np.ndarray:
+        if universe_width == 0:
+            return values
+        return (universe_bits << (length - universe_width)) | (
+            values & ((1 << (length - universe_width)) - 1)
+        )
+
+    # Provider slice pool (distinct slice_length-bit values).
+    pool_space = 1 << (slice_length - universe_width)
+    if slice_count > pool_space:
+        raise ValueError("slice pool larger than the slice space")
+    slice_values = rng.choice(pool_space, size=slice_count, replace=False)
+    slice_values = with_universe(slice_values.astype(object), slice_length)
+    slices = np.array(slice_values, dtype=np.uint64)
+
+    # Zipf-like slice popularity: slice i drawn with weight (i+1)^-z.
+    if slice_zipf > 0:
+        weights = (np.arange(1, len(slices) + 1, dtype=np.float64)) ** (-slice_zipf)
+        weights /= weights.sum()
+    else:
+        weights = None
+
+    fib = Fib(width)
+    salt = seed * 0x9E3779B9
+
+    def clustered_value(slice_bits: int, length: int, j_draws, tail: int) -> int:
+        """Funnel a draw through the slice's sub-allocations."""
+        value = slice_bits
+        prev = slice_length
+        for idx, level in enumerate(cluster_levels):
+            if level >= length:
+                break
+            sub_bits = level - prev
+            sub = _prf(value, int(j_draws[idx]) % cluster_fan, salt) & ((1 << sub_bits) - 1)
+            value = (value << sub_bits) | sub
+            prev = level
+        remaining = length - prev
+        if remaining:
+            value = (value << remaining) | (tail & ((1 << remaining) - 1))
+        return value
+
+    for length in range(width + 1):
+        want = distribution.count(length)
+        if want == 0:
+            continue
+        if length == slice_length:
+            # Prefixes at the slice length are the provider slices
+            # themselves: sample without replacement.
+            if want > len(slices):
+                raise ValueError(
+                    f"{want} length-{length} prefixes exceed the {len(slices)}-slice pool"
+                )
+            for value in sorted(int(v) for v in rng.choice(slices, size=want, replace=False)):
+                fib.insert(
+                    Prefix.from_bits(value, length, width),
+                    _prf(value, int(rng.integers(hop_palette)), salt) % next_hops,
+                )
+            continue
+        chosen: dict = {}
+        attempts = 0
+        while len(chosen) < want:
+            need = want - len(chosen)
+            batch = max(256, int(need * 1.3))
+            if length >= slice_length:
+                base = rng.choice(slices, size=batch, p=weights)
+                tails = rng.integers(0, 1 << 63, size=batch, dtype=np.uint64)
+                tails_hi = rng.integers(0, 1 << 63, size=batch, dtype=np.uint64)
+                jays = rng.integers(0, 1 << 30, size=(batch, max(1, len(cluster_levels)) + 1))
+                for b, t, th, js in zip(base, tails, tails_hi, jays):
+                    if len(chosen) >= want:
+                        break
+                    tail = (int(th) << 63) | int(t)
+                    value = clustered_value(int(b), length, js, tail)
+                    if value not in chosen:
+                        chosen[value] = _prf(int(b), int(js[-1]) % hop_palette, salt) % next_hops
+            else:
+                space_bits = length - universe_width
+                if space_bits <= 0:
+                    values = [universe_bits >> (universe_width - length)] if length else [0]
+                else:
+                    draws = rng.integers(
+                        0, 1 << min(space_bits, 63), size=batch, dtype=np.uint64
+                    )
+                    values = [
+                        int(with_universe(np.array([int(v)], dtype=object), length)[0])
+                        for v in draws
+                    ]
+                hops = rng.integers(0, next_hops, size=len(values))
+                for value, hop in zip(values, hops):
+                    if len(chosen) >= want:
+                        break
+                    chosen.setdefault(value, int(hop))
+            attempts += 1
+            if attempts > 1000:
+                raise RuntimeError(
+                    f"could not draw {want} distinct length-{length} prefixes"
+                )
+        for value in sorted(chosen):
+            fib.insert(Prefix.from_bits(value, length, width), chosen[value])
+    return fib
+
+
+#: Generated databases are memoized per (scale, seed) — benchmarks
+#: rebuild the same snapshot many times.  Treat the returned Fib as
+#: read-only (algorithms only read it).
+_FIB_CACHE: Dict[Tuple[str, float, int], Fib] = {}
+
+
+def synthesize_as65000(scale: float = 1.0, seed: int = 65000) -> Fib:
+    """Synthetic AS65000-like IPv4 FIB (~930k prefixes at scale 1.0).
+
+    ``scale`` applies the paper's constant-factor length scaling (§7.1)
+    at generation time, handy for fast tests (e.g. ``scale=0.01``).
+    The result is cached; treat it as read-only.
+    """
+    key = ("v4", scale, seed)
+    if key not in _FIB_CACHE:
+        _FIB_CACHE[key] = _generate(
+            ipv4_length_distribution(scale),
+            IPV4_WIDTH,
+            IPV4_SLICE_LENGTH,
+            max(16, int(IPV4_SLICE_COUNT * min(1.0, scale * 4))),
+            seed,
+            slice_zipf=0.3,
+            cluster_levels=(20,),
+            cluster_fan=2,
+        )
+    return _FIB_CACHE[key]
+
+
+def synthesize_as131072(scale: float = 1.0, seed: int = 131072) -> Fib:
+    """Synthetic AS131072-like IPv6 FIB (~190k prefixes at scale 1.0).
+
+    The result is cached; treat it as read-only.
+    """
+    key = ("v6", scale, seed)
+    if key not in _FIB_CACHE:
+        _FIB_CACHE[key] = _generate(
+            ipv6_length_distribution(scale),
+            IPV6_WIDTH,
+            IPV6_SLICE_LENGTH,
+            max(16, int(IPV6_SLICE_COUNT * min(1.0, scale * 4))),
+            seed,
+            universe_bits=IPV6_UNIVERSE_BITS,
+            universe_width=3,
+            slice_zipf=0.9,
+            cluster_levels=(32,),
+            cluster_fan=4,
+        )
+    return _FIB_CACHE[key]
+
+
+def small_example_fib() -> Fib:
+    """The paper's Table 1 routing table (8-bit toy addresses).
+
+    Next hops use the encoding A=0, B=1, C=2, D=3.
+    """
+    from ..prefix.prefix import from_bitstring  # local import to avoid cycle
+
+    entries = [
+        ("010100", 0),  # 1: 010100** -> A
+        ("011", 1),  # 2: 011***** -> B
+        ("100100", 2),  # 3: 100100** -> C
+        ("100101", 3),  # 4: 100101** -> D
+        ("10010100", 0),  # 5 -> A
+        ("10011010", 1),  # 6 -> B
+        ("10011011", 2),  # 7 -> C
+        ("10100011", 0),  # 8 -> A
+    ]
+    fib = Fib(8)
+    for bits, hop in entries:
+        fib.insert(from_bitstring(bits, 8), hop)
+    return fib

@@ -1,0 +1,108 @@
+"""Routing-table file I/O.
+
+A plain-text FIB format compatible with the common
+``<prefix> <next-hop>`` dumps produced by route collectors and by
+``ip route`` post-processing:
+
+.. code-block:: text
+
+    # comments and blank lines are ignored
+    10.0.0.0/8 1
+    2001:db8::/32 7
+
+IPv4 and IPv6 prefixes may not be mixed in one file (a FIB has one
+address family).  ``save_fib``/``load_fib`` round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..prefix.parse import parse_prefix
+from ..prefix.prefix import IPV4_WIDTH, IPV6_WIDTH
+from ..prefix.trie import Fib
+
+PathLike = Union[str, Path]
+
+
+class FibFormatError(ValueError):
+    """A malformed line in a FIB dump."""
+
+
+def load_fib(source: Union[PathLike, TextIO]) -> Fib:
+    """Read a FIB from a file path or text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse(handle, name=str(source))
+    return _parse(source, name=getattr(source, "name", "<stream>"))
+
+
+def loads_fib(text: str) -> Fib:
+    """Read a FIB from a string."""
+    return _parse(io.StringIO(text), name="<string>")
+
+
+def _parse(handle: TextIO, name: str) -> Fib:
+    fib = None
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise FibFormatError(
+                f"{name}:{lineno}: expected '<prefix> <next-hop>', got {raw!r}"
+            )
+        prefix_text, hop_text = parts
+        try:
+            prefix = parse_prefix(prefix_text)
+        except ValueError as exc:
+            raise FibFormatError(f"{name}:{lineno}: {exc}") from exc
+        try:
+            hop = int(hop_text)
+        except ValueError as exc:
+            raise FibFormatError(
+                f"{name}:{lineno}: next hop {hop_text!r} is not an integer"
+            ) from exc
+        if hop < 0:
+            raise FibFormatError(f"{name}:{lineno}: negative next hop {hop}")
+        if fib is None:
+            fib = Fib(prefix.width)
+        elif prefix.width != fib.width:
+            raise FibFormatError(
+                f"{name}:{lineno}: mixed address families "
+                f"({prefix.width}-bit prefix in a {fib.width}-bit table)"
+            )
+        fib.insert(prefix, hop)
+    if fib is None:
+        raise FibFormatError(f"{name}: empty routing table")
+    return fib
+
+
+def save_fib(fib: Fib, destination: Union[PathLike, TextIO]) -> None:
+    """Write a FIB as '<prefix> <next-hop>' lines, sorted."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _dump(fib, handle)
+        return
+    _dump(fib, destination)
+
+
+def dumps_fib(fib: Fib) -> str:
+    """Render a FIB to a string."""
+    out = io.StringIO()
+    _dump(fib, out)
+    return out.getvalue()
+
+
+def _dump(fib: Fib, handle: TextIO) -> None:
+    if fib.width not in (IPV4_WIDTH, IPV6_WIDTH):
+        raise ValueError(
+            f"only IPv4/IPv6 FIBs can be saved, not width {fib.width}"
+        )
+    family = "IPv4" if fib.width == IPV4_WIDTH else "IPv6 (64-bit routing view)"
+    handle.write(f"# {family} FIB, {len(fib)} prefixes\n")
+    for prefix, hop in fib:
+        handle.write(f"{prefix} {hop}\n")

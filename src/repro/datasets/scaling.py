@@ -1,0 +1,69 @@
+"""Database scaling models for the §7 scalability experiments.
+
+Two scaling regimes from the paper:
+
+* **Constant-factor length scaling** (§7.1, IPv4): RESAIL's and SAIL's
+  resource use depends only on the prefix-*length* histogram, so
+  larger databases are modelled by scaling every length count by a
+  constant factor — no synthetic prefixes needed.
+* **Multiverse scaling** (§7.2, IPv6): BSIC's resource use depends on
+  prefix *values*.  All base prefixes share their leading three bits
+  (one "universe"); copying the database into the other 3-bit
+  universes multiplies every table population uniformly while keeping
+  the per-universe structure identical — the worst case for the
+  initial TCAM, SRAM, and stages alike.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..prefix.distribution import LengthDistribution, scale_distribution
+from ..prefix.prefix import Prefix
+from ..prefix.trie import Fib
+
+
+def scale_lengths(distribution: LengthDistribution, factor: float) -> LengthDistribution:
+    """Constant-factor scaling of a length histogram (§7.1)."""
+    return scale_distribution(distribution, factor)
+
+
+def multiverse_scale(fib: Fib, universes: int, universe_width: int = 3) -> Fib:
+    """Replicate ``fib`` into ``universes`` distinct leading-bit universes.
+
+    The base database must occupy a single universe (all prefixes
+    agree on their top ``universe_width`` bits and are at least that
+    long).  Universe 0 keeps the original values; universe ``u`` maps
+    the leading bits to ``base_bits XOR u``.  Next hops are preserved,
+    so every universe routes identically — the uniform-distribution
+    assumption of multiverse scaling.
+    """
+    if not 1 <= universes <= (1 << universe_width):
+        raise ValueError(
+            f"universes must be in [1, {1 << universe_width}] for width {universe_width}"
+        )
+    entries = list(fib)
+    if not entries:
+        raise ValueError("cannot multiverse-scale an empty FIB")
+    width = fib.width
+    shift = width - universe_width
+    base_bits = entries[0][0].value >> shift
+    for prefix, _hop in entries:
+        if prefix.length < universe_width or (prefix.value >> shift) != base_bits:
+            raise ValueError(
+                f"prefix {prefix} does not live in universe {base_bits:#b}"
+            )
+
+    scaled = Fib(width)
+    universe_mask = ((1 << universe_width) - 1) << shift
+    for universe in range(universes):
+        flip = universe << shift
+        for prefix, hop in entries:
+            value = (prefix.value & ~universe_mask) | ((prefix.value ^ flip) & universe_mask)
+            scaled.insert(Prefix(value, prefix.length, width), hop)
+    return scaled
+
+
+def multiverse_sizes(base_size: int, max_universes: int = 8) -> List[int]:
+    """The database sizes multiverse scaling can produce."""
+    return [base_size * u for u in range(1, max_universes + 1)]

@@ -1,0 +1,81 @@
+"""Lookup workload generators.
+
+Address streams for correctness and throughput experiments.  All
+generators are deterministic for a given seed and return plain integer
+addresses of the FIB's width.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..prefix.trie import Fib
+
+
+def uniform_addresses(width: int, count: int, seed: int = 1) -> List[int]:
+    """Uniform random addresses over the whole space (mostly misses on
+    sparse tables — exercises the default/miss paths)."""
+    rng = np.random.default_rng(seed)
+    if width <= 63:
+        return rng.integers(0, 1 << width, size=count, dtype=np.uint64).tolist()
+    high = rng.integers(0, 1 << (width - 32), size=count, dtype=np.uint64)
+    low = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+    return [(int(h) << 32) | int(l) for h, l in zip(high, low)]
+
+
+def matching_addresses(fib: Fib, count: int, seed: int = 2) -> List[int]:
+    """Addresses drawn under random FIB prefixes (every lookup hits).
+
+    Each address picks a prefix uniformly and fills the host bits at
+    random, so the distribution of match lengths follows the FIB's
+    prefix-length distribution — the paper's workload assumption for
+    bitmap/hash structures.
+    """
+    prefixes = fib.prefixes()
+    if not prefixes:
+        raise ValueError("FIB is empty")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(prefixes), size=count)
+    addresses = []
+    for pick in picks:
+        prefix = prefixes[int(pick)]
+        host_bits = fib.width - prefix.length
+        host = int(rng.integers(0, 1 << min(host_bits, 63))) if host_bits else 0
+        if host_bits > 63:
+            host = (host << (host_bits - 63)) | int(rng.integers(0, 1 << (host_bits - 63)))
+        addresses.append(prefix.value | host)
+    return addresses
+
+
+def mixed_addresses(fib: Fib, count: int, hit_fraction: float = 0.9, seed: int = 3) -> List[int]:
+    """A hit/miss mix approximating edge-router traffic."""
+    if not 0 <= hit_fraction <= 1:
+        raise ValueError("hit_fraction outside [0, 1]")
+    hits = int(count * hit_fraction)
+    addresses = matching_addresses(fib, hits, seed) + uniform_addresses(
+        fib.width, count - hits, seed + 1
+    )
+    rng = np.random.default_rng(seed + 2)
+    rng.shuffle(addresses)
+    return addresses
+
+
+def deepest_match_addresses(fib: Fib, count: int, seed: int = 4) -> List[int]:
+    """Addresses under the *longest* prefixes (adversarial for tries and
+    length-based searches: every lookup walks the maximum depth)."""
+    prefixes = fib.prefixes()
+    if not prefixes:
+        raise ValueError("FIB is empty")
+    max_len = max(p.length for p in prefixes)
+    deepest = [p for p in prefixes if p.length == max_len]
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(deepest), size=count)
+    out = []
+    for pick in picks:
+        prefix = deepest[int(pick)]
+        host_bits = fib.width - prefix.length
+        host = int(rng.integers(0, 1 << host_bits)) if 0 < host_bits <= 63 else 0
+        out.append(prefix.value | host)
+    return out

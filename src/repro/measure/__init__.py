@@ -1,0 +1,5 @@
+"""In-network measurement through the CRAM lens (paper §2.5, §2.6)."""
+
+from .countmin import CountMinSketch, HeavyHitters
+
+__all__ = ["CountMinSketch", "HeavyHitters"]

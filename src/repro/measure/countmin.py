@@ -1,0 +1,173 @@
+"""Count-min sketch as a CRAM program (paper §2.5, §2.6).
+
+§2.5 lists measurement algorithms — "sketching", per-flow counters,
+heavy hitters [17, 68] — among the network applications the CRAM lens
+extends to.  This module builds the canonical example:
+
+* a :class:`CountMinSketch` whose ``d`` rows are CRAM *register-match
+  tables* (§2.6's stateful extension — their bits are accounted
+  separately from TCAM/SRAM);
+* the update touches all ``d`` rows **in one step** because the row
+  lookups are data-independent — idiom I7 (step reduction) applies to
+  measurement exactly as it does to RESAIL's bitmaps;
+* a :class:`HeavyHitters` detector in the style of [68]: flows whose
+  sketch estimate crosses a threshold are promoted into a small exact
+  flow table.
+
+The sketch also illustrates §2.6's caveat about pseudo-random keys:
+hash-distributed counters are incompressible, so the compression
+idioms (I1–I3) have nothing to grab — the memory is what it is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.metrics import CramMetrics, measure
+from ..core.program import CramProgram
+from ..core.step import Step
+from ..core.table import register_table
+
+_MIX = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x85EBCA6B27D4EB4F,
+    0xFF51AFD7ED558CCD,
+    0xD6E8FEB86659FD93,
+    0xA0761D6478BD642F,
+)
+
+
+class CountMinSketch:
+    """A d x w count-min sketch with CRAM accounting.
+
+    Standard guarantees: estimates never under-count, and with
+    ``w = ceil(e / epsilon)`` and ``d = ceil(ln(1 / delta))`` the
+    over-count exceeds ``epsilon * total`` with probability at most
+    ``delta``.
+    """
+
+    def __init__(self, width: int, depth: int = 4, counter_bits: int = 32,
+                 key_bits: int = 64, name: str = "cms"):
+        if not 1 <= depth <= len(_MIX):
+            raise ValueError(f"depth must be in [1, {len(_MIX)}]")
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self.key_bits = key_bits
+        self.name = name
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    @classmethod
+    def for_error(cls, epsilon: float, delta: float, **kw) -> "CountMinSketch":
+        """Size the sketch from the (epsilon, delta) guarantee."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1 / delta))
+        return cls(width=width, depth=max(1, depth), **kw)
+
+    # ------------------------------------------------------------------
+    def _index(self, key: int, row: int) -> int:
+        mixed = (key + row + 1) * _MIX[row] & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 31
+        return mixed % self.width
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count-min supports non-negative updates only")
+        cap = (1 << self.counter_bits) - 1
+        for row in range(self.depth):
+            index = self._index(key, row)
+            self.rows[row][index] = min(cap, self.rows[row][index] + count)
+        self.total += count
+
+    def query(self, key: int) -> int:
+        return min(self.rows[row][self._index(key, row)]
+                   for row in range(self.depth))
+
+    # ------------------------------------------------------------------
+    # CRAM model: one parallel update/query step + one combine step
+    # ------------------------------------------------------------------
+    def cram_program(self) -> CramProgram:
+        registers = ["key", "estimate"] + [f"row_{r}" for r in range(self.depth)]
+        prog = CramProgram(self.name, registers=registers)
+        row_steps = []
+        for row in range(self.depth):
+            spec = register_table(
+                f"{self.name}_row{row}", entries=self.width,
+                register_width=self.counter_bits,
+                key_selector=lambda s, row=row: self._index(s["key"], row),
+                backing=lambda i, row=row: self.rows[row][i],
+            )
+
+            def act(state: dict, result, row=row) -> None:
+                state[f"row_{row}"] = result
+
+            step = Step(f"row_{row}", table=spec, reads=["key"],
+                        writes=[f"row_{row}"], action=act)
+            prog.add_step(step)  # no inter-row edges: I7 parallelism
+            row_steps.append(step.name)
+
+        def combine(state: dict, _result) -> None:
+            state["estimate"] = min(
+                state[f"row_{r}"] for r in range(self.depth)
+            )
+
+        prog.add_step(Step("combine", reads=[f"row_{r}" for r in range(self.depth)],
+                           writes=["estimate"], action=combine), after=row_steps)
+        return prog
+
+    def cram_metrics(self) -> CramMetrics:
+        return measure(self.cram_program())
+
+    def register_bits(self) -> int:
+        return self.depth * self.width * self.counter_bits
+
+
+class HeavyHitters:
+    """Threshold heavy-hitter detection via sketch + exact promotion [68].
+
+    Flows are counted in the sketch; when a flow's estimate reaches
+    ``threshold`` it is promoted to a small exact table (capacity
+    bounded, evicting the coldest entry if full) whose counts are
+    precise from the moment of promotion.
+    """
+
+    def __init__(self, threshold: int, sketch: Optional[CountMinSketch] = None,
+                 table_capacity: int = 64):
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        if table_capacity < 1:
+            raise ValueError("table capacity must be positive")
+        self.threshold = threshold
+        self.sketch = sketch or CountMinSketch(width=1024, depth=4)
+        self.table_capacity = table_capacity
+        self.flows: Dict[int, int] = {}
+
+    def update(self, key: int, count: int = 1) -> None:
+        if key in self.flows:
+            self.flows[key] += count
+            return
+        self.sketch.update(key, count)
+        estimate = self.sketch.query(key)
+        if estimate >= self.threshold:
+            if len(self.flows) >= self.table_capacity:
+                coldest = min(self.flows, key=self.flows.get)
+                if self.flows[coldest] >= estimate:
+                    return  # table full of hotter flows; stay sketched
+                del self.flows[coldest]
+            self.flows[key] = estimate
+
+    def heavy_hitters(self) -> List[Tuple[int, int]]:
+        """(key, count) of detected heavy flows, hottest first."""
+        return sorted(self.flows.items(), key=lambda kv: -kv[1])
+
+    def is_heavy(self, key: int) -> bool:
+        return key in self.flows

@@ -1,0 +1,17 @@
+"""Hardware memory substrate: TCAM, SRAM table shapes, d-left hashing."""
+
+from .dleft import DLEFT_OVERHEAD, DLeftHashTable, dleft_cells
+from .sram import Bitmap, DirectIndexTable, ExactMatchTable
+from .tcam import TcamEntry, TcamTable, prefix_mask
+
+__all__ = [
+    "DLEFT_OVERHEAD",
+    "DLeftHashTable",
+    "dleft_cells",
+    "Bitmap",
+    "DirectIndexTable",
+    "ExactMatchTable",
+    "TcamEntry",
+    "TcamTable",
+    "prefix_mask",
+]

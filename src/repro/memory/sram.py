@@ -1,0 +1,137 @@
+"""Behavioural SRAM table simulators.
+
+Two shapes of SRAM table appear in the paper's algorithms:
+
+* :class:`DirectIndexTable` — an exact-match table with ``2**key_width``
+  entries, where the key *is* the index and therefore needs no storage
+  (the CRAM model's special case, §2.1).  SAIL's bitmaps and next-hop
+  arrays and DXR's initial lookup table are direct-indexed.
+* :class:`ExactMatchTable` — a hash-style exact-match table that stores
+  keys explicitly.  BSIC's BST-level tables and MASHUP's coalesced SRAM
+  nodes are exact-match tables.
+
+Bitmaps get a dedicated :class:`Bitmap` built on numpy so that the
+2**24-bit SAIL/RESAIL bitmaps are cheap to hold and to populate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+import numpy as np
+
+V = TypeVar("V")
+
+
+class DirectIndexTable(Generic[V]):
+    """SRAM table indexed directly by a ``key_width``-bit key.
+
+    CRAM accounting: keys cost nothing (``n == 2**k`` exact match);
+    data costs ``2**key_width * data_width`` SRAM bits whether or not a
+    slot is populated — that is precisely the waste idioms I1/I3 exist
+    to remove.
+    """
+
+    def __init__(self, key_width: int, data_width: int, name: str = "direct"):
+        if key_width < 0:
+            raise ValueError("key width must be non-negative")
+        self.key_width = key_width
+        self.data_width = data_width
+        self.name = name
+        self._slots: Dict[int, V] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def capacity(self) -> int:
+        return 1 << self.key_width
+
+    def store(self, index: int, data: V) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} outside table of 2^{self.key_width}")
+        self._slots[index] = data
+
+    def clear_slot(self, index: int) -> None:
+        self._slots.pop(index, None)
+
+    def load(self, index: int) -> Optional[V]:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} outside table of 2^{self.key_width}")
+        return self._slots.get(index)
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        return iter(sorted(self._slots.items()))
+
+    def sram_bits(self) -> int:
+        """Full directly-indexed footprint, populated or not."""
+        return self.capacity * self.data_width
+
+
+class ExactMatchTable(Generic[V]):
+    """SRAM exact-match table with explicitly stored keys.
+
+    CRAM accounting: ``entries * key_width`` SRAM bits for keys plus
+    ``entries * data_width`` for data.  The behavioural side is a dict —
+    RMT ASICs price hashed and direct SRAM lookups identically (idiom
+    I3), so no collision machinery is modelled here; use
+    :class:`repro.memory.dleft.DLeftHashTable` when the 25% d-left
+    overhead must be accounted.
+    """
+
+    def __init__(self, key_width: int, data_width: int, name: str = "exact"):
+        self.key_width = key_width
+        self.data_width = data_width
+        self.name = name
+        self._slots: Dict[int, V] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def store(self, key: int, data: V) -> None:
+        if not 0 <= key < (1 << self.key_width):
+            raise ValueError(f"key {key:#x} exceeds key width {self.key_width}")
+        self._slots[key] = data
+
+    def delete(self, key: int) -> None:
+        del self._slots[key]
+
+    def load(self, key: int) -> Optional[V]:
+        return self._slots.get(key)
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        return iter(sorted(self._slots.items()))
+
+    def sram_bits(self) -> int:
+        return len(self._slots) * (self.key_width + self.data_width)
+
+
+class Bitmap:
+    """A directly-indexed 1-bit-per-slot SRAM table (SAIL's ``B_i``)."""
+
+    def __init__(self, index_width: int, name: str = "bitmap"):
+        if index_width < 0:
+            raise ValueError("index width must be non-negative")
+        self.index_width = index_width
+        self.name = name
+        self._bits = np.zeros(1 << index_width, dtype=bool)
+
+    def __len__(self) -> int:
+        return int(self._bits.sum())
+
+    @property
+    def capacity(self) -> int:
+        return 1 << self.index_width
+
+    def set(self, index: int, value: bool = True) -> None:
+        self._bits[index] = value
+
+    def test(self, index: int) -> bool:
+        return bool(self._bits[index])
+
+    def set_many(self, indices) -> None:
+        self._bits[np.asarray(list(indices), dtype=np.int64)] = True
+
+    def sram_bits(self) -> int:
+        """One bit per slot, populated or not."""
+        return self.capacity

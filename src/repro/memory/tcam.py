@@ -1,0 +1,159 @@
+"""Behavioural ternary CAM (TCAM) simulator.
+
+A TCAM stores (value, mask, priority) entries and, for a search key,
+returns the associated data of the highest-priority entry whose masked
+value equals the masked key — in one "clock cycle" (one CRAM step).
+
+This simulator is used two ways:
+
+* *Behaviourally*, to execute lookups when testing the algorithms
+  end-to-end (the look-aside TCAM in RESAIL, the initial table in
+  BSIC, TCAM nodes in MASHUP, and the logical-TCAM baseline).
+* *Analytically*, to account memory exactly as the CRAM model does
+  (§2.1): ``entries * key_width`` TCAM bits for the match keys (only
+  the value component) and ``entries * data_width`` SRAM bits for the
+  associated data.
+
+Priority convention: **lower priority number wins**, matching physical
+TCAMs where the lowest-address matching row is returned.  For
+longest-prefix-match tables use :meth:`TcamTable.insert_prefix`, which
+assigns priorities so longer prefixes win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+from ..prefix.prefix import Prefix
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class TcamEntry(Generic[V]):
+    """One ternary row: key ``value`` under ``mask``, with ``priority``."""
+
+    value: int
+    mask: int
+    priority: int
+    data: V
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+
+class TcamTable(Generic[V]):
+    """A priority ternary match table over ``key_width``-bit keys."""
+
+    def __init__(self, key_width: int, name: str = "tcam"):
+        if key_width <= 0:
+            raise ValueError("key width must be positive")
+        self.key_width = key_width
+        self.name = name
+        self._entries: List[TcamEntry[V]] = []
+        # Search index: entries grouped by (priority, mask); within a
+        # group the masked value is an exact key.  Physical TCAMs match
+        # all rows in parallel; this index gives the simulator
+        # O(#distinct masks) searches instead of O(rows) while
+        # preserving lowest-priority-wins semantics.
+        self._groups: Dict[Tuple[int, int], Dict[int, TcamEntry[V]]] = {}
+        self._group_order: List[Tuple[int, int]] = []
+        self._index_fresh = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, value: int, mask: int, priority: int, data: V) -> None:
+        """Insert a raw ternary entry."""
+        limit = 1 << self.key_width
+        if not (0 <= value < limit and 0 <= mask < limit):
+            raise ValueError("value/mask exceed key width")
+        if (value & ~mask) & (limit - 1):
+            raise ValueError("value has set bits outside the mask")
+        self._entries.append(TcamEntry(value, mask, priority, data))
+        self._index_fresh = False
+
+    def insert_prefix(self, prefix: Prefix, data: V) -> None:
+        """Insert a prefix with LPM priority (longer prefix wins).
+
+        The prefix must be at most ``key_width`` bits wide; it matches
+        the *top* bits of the key, with the remainder wildcarded, just
+        as prefixes are loaded into a physical TCAM.
+        """
+        if prefix.width > self.key_width:
+            raise ValueError(
+                f"prefix width {prefix.width} exceeds key width {self.key_width}"
+            )
+        shift = self.key_width - prefix.width
+        host_bits = prefix.width - prefix.length
+        mask = (((1 << prefix.length) - 1) << host_bits) << shift
+        value = prefix.value << shift
+        self.insert(value, mask, priority=self.key_width - prefix.length, data=data)
+
+    def delete(self, value: int, mask: int) -> None:
+        """Remove the entry with exactly this value/mask; KeyError if absent."""
+        for i, entry in enumerate(self._entries):
+            if entry.value == value and entry.mask == mask:
+                del self._entries[i]
+                self._index_fresh = False
+                return
+        raise KeyError(f"({value:#x}, {mask:#x})")
+
+    def delete_prefix(self, prefix: Prefix) -> None:
+        shift = self.key_width - prefix.width
+        host_bits = prefix.width - prefix.length
+        mask = (((1 << prefix.length) - 1) << host_bits) << shift
+        self.delete(prefix.value << shift, mask)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: int) -> Optional[V]:
+        """Highest-priority match for ``key``, or ``None`` on miss."""
+        entry = self.search_entry(key)
+        return entry.data if entry is not None else None
+
+    def search_entry(self, key: int) -> Optional[TcamEntry[V]]:
+        if not self._index_fresh:
+            self._rebuild_index()
+        for group_key in self._group_order:
+            _priority, mask = group_key
+            entry = self._groups[group_key].get(key & mask)
+            if entry is not None:
+                return entry
+        return None
+
+    def _rebuild_index(self) -> None:
+        self._groups = {}
+        for entry in self._entries:
+            group = self._groups.setdefault((entry.priority, entry.mask), {})
+            # First writer wins within a group: insertion order breaks
+            # priority ties, the usual software-managed TCAM convention.
+            group.setdefault(entry.value & entry.mask, entry)
+        self._group_order = sorted(self._groups)
+        self._index_fresh = True
+
+    # ------------------------------------------------------------------
+    # CRAM accounting (§2.1)
+    # ------------------------------------------------------------------
+    def tcam_bits(self) -> int:
+        """Match-key bits: entries x key width (value component only)."""
+        return len(self._entries) * self.key_width
+
+    def sram_bits(self, data_width: int) -> int:
+        """Associated-data bits at the given encoded data width."""
+        return len(self._entries) * data_width
+
+    def entries(self) -> List[TcamEntry[V]]:
+        return list(self._entries)
+
+
+def prefix_mask(length: int, width: int) -> int:
+    """The ``width``-bit mask selecting the top ``length`` bits."""
+    if not 0 <= length <= width:
+        raise ValueError(f"length {length} outside [0, {width}]")
+    return ((1 << length) - 1) << (width - length)

@@ -1,0 +1,186 @@
+"""Optimal route-table aggregation (ORTC, Draves et al. 1999).
+
+The paper's observation O4: every bit of forwarding memory saved makes
+room for other features, and every algorithm here scales with table
+size.  Aggregation is the control-plane complement — rewrite the FIB
+into the smallest prefix set with identical forwarding behaviour, then
+hand the result to any lookup scheme.
+
+The classic three passes over the binary trie:
+
+1. **Normalize**: leaf-push next hops so every node has zero or two
+   children and only leaves carry labels (uncovered regions carry the
+   distinguished *no-route* label).
+2. **Merge** bottom-up: a node's candidate set is the intersection of
+   its children's sets when non-empty, else their union.
+3. **Select** top-down: keep the inherited label when it is a
+   candidate; otherwise install one of the node's candidates.
+
+**Discard routes.**  Minimal labelings may assign a real next hop to an
+ancestor whose subtree contains uncovered territory; expressing that
+requires a *discard* (null) route for the uncovered part — exactly the
+``Null0`` routes operators deploy with aggregation in practice.  The
+:func:`aggregate` result reports the discard hop it reserved and
+whether any discard entries were emitted; its ``lookup`` translates
+discards back to "no route" so equivalence checks are one-liners.
+FIBs with a default route never need discards (nothing is uncovered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from .prefix import Prefix
+from .trie import Fib
+
+#: Internal label for uncovered regions during the passes.
+_NO_ROUTE = -1
+
+
+class _Node:
+    __slots__ = ("children", "hop", "candidates")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node"]] = [None, None]
+        self.hop: Optional[int] = None
+        self.candidates: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class AggregationResult:
+    """The aggregated FIB plus its discard-route bookkeeping."""
+
+    fib: Fib
+    discard_hop: int
+    used_discard: bool
+
+    def __len__(self) -> int:
+        return len(self.fib)
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Forwarding semantics of the aggregated table.
+
+        Discard entries mean "no route", exactly like a miss.
+        """
+        hop = self.fib.lookup(address)
+        return None if hop == self.discard_hop else hop
+
+
+def aggregate(fib: Fib, discard_hop: Optional[int] = None) -> AggregationResult:
+    """ORTC-aggregate ``fib``; returns the minimal equivalent table.
+
+    ``discard_hop`` reserves the next-hop value used for discard (null)
+    entries; by default one past the largest hop in use.
+    """
+    if discard_hop is None:
+        hops = fib.next_hops()
+        discard_hop = (max(hops) + 1) if hops else 0
+    elif discard_hop in set(fib.next_hops()):
+        raise ValueError(f"discard hop {discard_hop} is already a real next hop")
+
+    root = _build(fib)
+    _normalize(root, inherited=_NO_ROUTE)
+    _merge(root)
+    out = Fib(fib.width)
+    used = _select(root, inherited=_NO_ROUTE, prefix_bits=0, depth=0,
+                   width=fib.width, out=out, discard_hop=discard_hop)
+    return AggregationResult(out, discard_hop, used)
+
+
+def aggregation_ratio(before: Fib, result: AggregationResult) -> float:
+    """Size reduction factor (e.g. 930k -> 600k is ~1.55)."""
+    if len(result) == 0:
+        return float("inf") if len(before) else 1.0
+    return len(before) / len(result)
+
+
+# ---------------------------------------------------------------------------
+# Pass 0: private binary trie
+# ---------------------------------------------------------------------------
+
+
+def _build(fib: Fib) -> _Node:
+    root = _Node()
+    for prefix, hop in fib:
+        node = root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        node.hop = hop
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: normalize
+# ---------------------------------------------------------------------------
+
+
+def _normalize(node: _Node, inherited: int) -> None:
+    if node.hop is not None:
+        inherited = node.hop
+    if node.children[0] is None and node.children[1] is None:
+        node.hop = inherited
+        return
+    for bit in (0, 1):
+        if node.children[bit] is None:
+            node.children[bit] = _Node()
+    node.hop = None
+    for bit in (0, 1):
+        _normalize(node.children[bit], inherited)
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: candidate sets
+# ---------------------------------------------------------------------------
+
+
+def _merge(node: _Node) -> None:
+    if node.children[0] is None:  # leaf
+        node.candidates = frozenset((node.hop,))
+        return
+    for bit in (0, 1):
+        _merge(node.children[bit])
+    a = node.children[0].candidates
+    b = node.children[1].candidates
+    both = a & b
+    node.candidates = both if both else (a | b)
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: selection
+# ---------------------------------------------------------------------------
+
+
+def _select(
+    node: _Node,
+    inherited: int,
+    prefix_bits: int,
+    depth: int,
+    width: int,
+    out: Fib,
+    discard_hop: int,
+) -> bool:
+    used_discard = False
+    chosen = inherited
+    if inherited not in node.candidates:
+        # Must install here.  Prefer a real hop (fewer discard
+        # entries); the no-route label becomes a discard entry when it
+        # is the only option — a real ancestor label covering an
+        # uncovered region.
+        real = [c for c in node.candidates if c != _NO_ROUTE]
+        chosen = min(real) if real else _NO_ROUTE
+        if chosen == _NO_ROUTE:
+            out.insert(Prefix.from_bits(prefix_bits, depth, width), discard_hop)
+            used_discard = True
+        else:
+            out.insert(Prefix.from_bits(prefix_bits, depth, width), chosen)
+    if node.children[0] is not None:
+        for bit in (0, 1):
+            if _select(node.children[bit], chosen,
+                       (prefix_bits << 1) | bit, depth + 1, width, out,
+                       discard_hop):
+                used_discard = True
+    return used_discard

@@ -1,0 +1,140 @@
+"""Prefix-length distribution analysis (paper §6.1, Figure 8).
+
+The paper's parameter choices — RESAIL's ``min_bmp``, BSIC's ``k``,
+MASHUP's strides — are all read off the database's prefix-length
+histogram: its major/minor spikes (P1) and the lengths below which few
+prefixes live (P2, P3).  This module computes those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .prefix import Prefix
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """A prefix-length histogram over a ``width``-bit family."""
+
+    width: int
+    counts: Tuple[int, ...]  # index = prefix length, 0..width
+
+    @classmethod
+    def from_prefixes(cls, prefixes: Iterable[Prefix], width: int) -> "LengthDistribution":
+        counts = [0] * (width + 1)
+        for prefix in prefixes:
+            if prefix.width != width:
+                raise ValueError(
+                    f"prefix width {prefix.width} does not match family width {width}"
+                )
+            counts[prefix.length] += 1
+        return cls(width, tuple(counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def count(self, length: int) -> int:
+        return self.counts[length]
+
+    def fraction_longer_than(self, length: int) -> float:
+        """Fraction of prefixes strictly longer than ``length``."""
+        if self.total == 0:
+            return 0.0
+        return sum(self.counts[length + 1 :]) / self.total
+
+    def count_longer_than(self, length: int) -> int:
+        return sum(self.counts[length + 1 :])
+
+    def count_shorter_than(self, length: int) -> int:
+        return sum(self.counts[:length])
+
+    # ------------------------------------------------------------------
+    # Spike analysis (observation P1)
+    # ------------------------------------------------------------------
+    def spikes(self, threshold: float = 0.02) -> List[int]:
+        """Lengths holding at least ``threshold`` of all prefixes.
+
+        With the default 2% threshold this returns the paper's spikes:
+        {16, 20, 22, 24} for AS65000-like IPv4 tables and
+        {28, 32, 36, 40, 44, 48} for AS131072-like IPv6 tables.
+        """
+        if self.total == 0:
+            return []
+        cutoff = threshold * self.total
+        return [length for length, c in enumerate(self.counts) if c >= cutoff]
+
+    def major_spike(self) -> int:
+        """The single most populated length (24 for IPv4, 48 for IPv6)."""
+        if self.total == 0:
+            raise ValueError("empty distribution has no spike")
+        return max(range(self.width + 1), key=lambda length: self.counts[length])
+
+    def shortest_significant_length(self, tail_fraction: float = 0.001) -> int:
+        """Smallest L such that prefixes shorter than L are under ``tail_fraction``.
+
+        This is the paper's rule for choosing RESAIL's ``min_bmp``
+        (§6.3, observation P2): pick the point below which so few
+        prefixes live that expanding them is cheap.
+        """
+        if self.total == 0:
+            return 0
+        budget = tail_fraction * self.total
+        running = 0
+        for length in range(self.width + 1):
+            if running + self.counts[length] > budget:
+                return length
+            running += self.counts[length]
+        return self.width
+
+    # ------------------------------------------------------------------
+    # Parameter advisors (paper §6.3)
+    # ------------------------------------------------------------------
+    def suggest_strides(self, levels: int = 4, max_first: int = 20) -> List[int]:
+        """Spike-mirroring stride vector for MASHUP.
+
+        Chooses cut points at the spike lengths so expansion is
+        minimized, decomposing an over-wide first stride (paper: IPv6's
+        32 becomes 20+12 because a 32-bit root node is too wide).
+        """
+        spikes = self.spikes() or [self.major_spike()]
+        cuts: List[int] = []
+        for spike in spikes:
+            if not cuts:
+                if spike <= max_first:
+                    cuts.append(spike)
+                else:
+                    cuts.extend([max_first, spike - max_first])
+            elif spike > cuts_total(cuts):
+                cuts.append(spike - cuts_total(cuts))
+        if cuts_total(cuts) < self.width:
+            cuts.append(self.width - cuts_total(cuts))
+        # Merge smallest trailing strides if we exceeded the level budget.
+        while len(cuts) > levels:
+            smallest = min(range(1, len(cuts)), key=lambda i: cuts[i])
+            merge_with = smallest - 1 if smallest > 1 else smallest + 1
+            lo, hi = sorted((smallest, merge_with))
+            cuts[lo : hi + 1] = [cuts[lo] + cuts[hi]]
+        return cuts
+
+    def to_dict(self) -> Dict[int, int]:
+        return {length: c for length, c in enumerate(self.counts) if c}
+
+
+def cuts_total(cuts: Sequence[int]) -> int:
+    return sum(cuts)
+
+
+def scale_distribution(dist: LengthDistribution, factor: float) -> LengthDistribution:
+    """Apply a constant scaling factor to all lengths (paper §7.1).
+
+    RESAIL's and SAIL's resource use depends only on per-length counts,
+    so IPv4 scaling experiments scale the histogram rather than
+    generating synthetic prefixes.
+    """
+    if factor < 0:
+        raise ValueError("scale factor must be non-negative")
+    scaled = tuple(round(c * factor) for c in dist.counts)
+    return LengthDistribution(dist.width, scaled)

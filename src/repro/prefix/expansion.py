@@ -1,0 +1,78 @@
+"""Controlled prefix expansion (Srinivasan & Varghese [70]).
+
+Expansion rewrites a prefix set so that only a chosen set of lengths
+remains, by replacing each prefix of a disallowed length with all of
+its descendants at the next allowed length.  Longest-match semantics
+are preserved by letting longer (more specific) originals win over the
+expansions of shorter ones.
+
+Used by: SAIL's pivot pushing (>24-bit prefixes expanded to 32),
+RESAIL's folding of prefixes shorter than ``min_bmp`` into
+``B_min_bmp``, and multibit-trie / MASHUP node construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .prefix import Prefix
+
+
+def expand_to_lengths(
+    entries: Iterable[Tuple[Prefix, int]],
+    allowed_lengths: Sequence[int],
+) -> List[Tuple[Prefix, int]]:
+    """Expand ``entries`` so every output prefix has an allowed length.
+
+    ``allowed_lengths`` must be sorted ascending.  Each input prefix is
+    expanded *up* to the smallest allowed length >= its own; inputs
+    whose length exceeds every allowed length are rejected (the caller
+    should have routed them elsewhere, e.g. into a look-aside TCAM).
+
+    Longest-match is preserved: when an expansion collides with an
+    entry derived from a longer original prefix, the longer original
+    wins.  Expansions of equal original length cannot collide because
+    the inputs are distinct.
+    """
+    allowed = sorted(allowed_lengths)
+    if not allowed:
+        raise ValueError("allowed_lengths must be non-empty")
+
+    # Process originals from longest to shortest so that, at each slot,
+    # the first writer is the most specific original — exactly the
+    # "flip a 0 bit only" rule the paper uses for RESAIL (§3.2).
+    ordered = sorted(entries, key=lambda kv: kv[0].length, reverse=True)
+    out: Dict[Prefix, Tuple[int, int]] = {}  # expanded -> (orig_len, hop)
+    for prefix, hop in ordered:
+        target = _target_length(prefix.length, allowed)
+        for expanded in prefix.expansions(target):
+            if expanded not in out:
+                out[expanded] = (prefix.length, hop)
+    return [(p, hop) for p, (_len, hop) in sorted(out.items(), key=lambda kv: kv[0].value)]
+
+
+def _target_length(length: int, allowed_sorted: Sequence[int]) -> int:
+    for candidate in allowed_sorted:
+        if candidate >= length:
+            return candidate
+    raise ValueError(
+        f"prefix length {length} exceeds every allowed length {list(allowed_sorted)}"
+    )
+
+
+def expansion_cost(
+    entries: Iterable[Tuple[Prefix, int]],
+    allowed_lengths: Sequence[int],
+) -> int:
+    """Number of expanded entries *before* de-duplication.
+
+    This is the raw storage blow-up a naive expansion pays; the MASHUP
+    hybridization rule (idiom I2) compares it against TCAM's 3x area
+    cost per original entry.
+    """
+    allowed = sorted(allowed_lengths)
+    total = 0
+    for prefix, _hop in entries:
+        target = _target_length(prefix.length, allowed)
+        total += 1 << (target - prefix.length)
+    return total

@@ -1,0 +1,84 @@
+"""Textual prefix and address parsing.
+
+Supports the notations used in the paper and in routing-table dumps:
+
+* dotted-quad IPv4 CIDR (``"10.1.2.0/23"``),
+* RFC-4291 IPv6 CIDR (``"2001:db8::/32"``), truncated to the 64-bit
+  global-routing view this package uses,
+* literal bit strings (``"0101*"`` or ``"0101"``) as in the paper's
+  worked examples (Tables 1–3).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Union
+
+from .prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, from_bitstring
+
+
+def parse_ipv4_prefix(text: str) -> Prefix:
+    """Parse ``"a.b.c.d/len"`` into a width-32 :class:`Prefix`."""
+    network = ipaddress.IPv4Network(text, strict=True)
+    return Prefix(int(network.network_address), network.prefixlen, IPV4_WIDTH)
+
+
+def parse_ipv6_prefix(text: str) -> Prefix:
+    """Parse an IPv6 CIDR into the 64-bit global-routing view.
+
+    Prefixes longer than 64 bits are rejected: they do not participate
+    in global routing (paper §1 O2) and none of the algorithms here
+    model them.
+    """
+    network = ipaddress.IPv6Network(text, strict=True)
+    if network.prefixlen > IPV6_WIDTH:
+        raise ValueError(
+            f"IPv6 prefix {text} longer than the 64-bit global-routing view"
+        )
+    value64 = int(network.network_address) >> 64
+    return Prefix(value64, network.prefixlen, IPV6_WIDTH)
+
+
+def parse_prefix(text: str, width: int = None) -> Prefix:
+    """Parse any supported prefix notation.
+
+    Bit strings (``"0101"``, ``"0101*"``, ``"*"``) require ``width``;
+    CIDR notations infer the family from the text.
+    """
+    stripped = text.strip()
+    if set(stripped) <= {"0", "1", "*"}:
+        if width is None:
+            raise ValueError("bitstring prefixes need an explicit width")
+        return from_bitstring(stripped.rstrip("*"), width)
+    if ":" in stripped:
+        return parse_ipv6_prefix(stripped)
+    return parse_ipv4_prefix(stripped)
+
+
+def parse_ipv4_address(text: str) -> int:
+    """Parse ``"a.b.c.d"`` into a 32-bit integer."""
+    return int(ipaddress.IPv4Address(text))
+
+
+def parse_ipv6_address(text: str) -> int:
+    """Parse an IPv6 address into its top 64 bits (global-routing view)."""
+    return int(ipaddress.IPv6Address(text)) >> 64
+
+
+def format_address(address: int, width: int) -> str:
+    """Format an integer address of the given width."""
+    if width == IPV4_WIDTH:
+        return str(ipaddress.IPv4Address(address))
+    if width == IPV6_WIDTH:
+        return str(ipaddress.IPv6Address(address << 64))
+    return format(address, f"0{width}b")
+
+
+PrefixLike = Union[str, Prefix]
+
+
+def as_prefix(value: PrefixLike, width: int = None) -> Prefix:
+    """Coerce a string or :class:`Prefix` to a :class:`Prefix`."""
+    if isinstance(value, Prefix):
+        return value
+    return parse_prefix(value, width)

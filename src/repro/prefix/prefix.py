@@ -1,0 +1,234 @@
+"""Immutable IP prefix values.
+
+A :class:`Prefix` is the unit every algorithm in this package consumes:
+an address family (width in bits), a prefix length, and the prefix's
+significant bits.  The representation is deliberately integer-based —
+no strings, no per-bit lists — because the lookup algorithms slice,
+shift, and compare prefixes millions of times while building large
+forwarding tables.
+
+Conventions used throughout the package:
+
+* Addresses are plain Python ints in ``[0, 2**width)``.
+* A prefix's ``value`` is stored *left-aligned* in ``width`` bits with
+  all bits below ``width - length`` forced to zero.  This makes
+  "does address ``a`` match prefix ``p``" a mask-and-compare and keeps
+  numeric ordering identical to lexicographic ordering of bit strings,
+  which the range-based algorithms (DXR, BSIC) rely on.
+* IPv4 prefixes have ``width == 32``.  IPv6 prefixes in this package
+  have ``width == 64`` because, as the paper notes (§1 O2), only the
+  first 64 bits of an IPv6 address are used for global routing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 64
+
+
+class Prefix:
+    """An immutable IP prefix: ``width`` total bits, top ``length`` significant.
+
+    >>> p = Prefix.from_bits(0b101, 3, width=8)   # 101***** / 3
+    >>> p.value
+    160
+    >>> p.matches(0b10110011)
+    True
+    >>> str(Prefix(0x0A000000, 8, 32))
+    '10.0.0.0/8'
+    """
+
+    __slots__ = ("value", "length", "width")
+
+    def __init__(self, value: int, length: int, width: int = IPV4_WIDTH):
+        if not 0 <= length <= width:
+            raise ValueError(f"prefix length {length} outside [0, {width}]")
+        if not 0 <= value < (1 << width):
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        host_bits = width - length
+        canonical = (value >> host_bits) << host_bits
+        if canonical != value:
+            raise ValueError(
+                f"value {value:#x} has nonzero bits below prefix length {length}"
+            )
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name, _value):  # pragma: no cover - guard only
+        raise AttributeError("Prefix is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits: int, length: int, width: int = IPV4_WIDTH) -> "Prefix":
+        """Build a prefix from its *right-aligned* significant bits.
+
+        ``bits`` holds the top ``length`` bits of the prefix in its low
+        ``length`` positions, e.g. ``from_bits(0b101, 3, 8)`` is the
+        prefix ``101*****``.
+        """
+        if not 0 <= length <= width:
+            raise ValueError(f"prefix length {length} outside [0, {width}]")
+        if length < width and bits >= (1 << length) and length > 0:
+            raise ValueError(f"bits {bits:#x} do not fit in {length} bits")
+        if length == 0 and bits != 0:
+            raise ValueError("a /0 prefix has no significant bits")
+        return cls(bits << (width - length), length, width)
+
+    @classmethod
+    def default(cls, width: int = IPV4_WIDTH) -> "Prefix":
+        """The zero-length (match-everything) prefix."""
+        return cls(0, 0, width)
+
+    # ------------------------------------------------------------------
+    # Bit access
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """The significant bits, right-aligned (inverse of :meth:`from_bits`)."""
+        return self.value >> (self.width - self.length)
+
+    def bit(self, i: int) -> int:
+        """Bit ``i`` of the prefix, counting from the most significant (0-based).
+
+        Only bits ``0 <= i < length`` are significant.
+        """
+        if not 0 <= i < self.length:
+            raise IndexError(f"bit {i} outside significant bits [0, {self.length})")
+        return (self.value >> (self.width - 1 - i)) & 1
+
+    def slice(self, start: int, nbits: int) -> int:
+        """Bits ``[start, start + nbits)`` of the padded value, MSB-first.
+
+        Unlike :meth:`bit` this may read past ``length`` — the padding
+        zeros — which is what multibit tries need when a short prefix is
+        expanded inside a wider stride.
+        """
+        if start < 0 or nbits < 0 or start + nbits > self.width:
+            raise IndexError(f"slice [{start}, {start + nbits}) outside {self.width} bits")
+        if nbits == 0:
+            return 0
+        return (self.value >> (self.width - start - nbits)) & ((1 << nbits) - 1)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def matches(self, address: int) -> bool:
+        """True if ``address`` falls under this prefix."""
+        host_bits = self.width - self.length
+        return (address >> host_bits) << host_bits == self.value
+
+    def is_prefix_of(self, other: "Prefix") -> bool:
+        """True if this prefix covers ``other`` (equal or shorter and matching)."""
+        if self.width != other.width or self.length > other.length:
+            return False
+        return other.truncate(self.length) == self
+
+    def truncate(self, length: int) -> "Prefix":
+        """The first ``length`` bits of this prefix (``length <= self.length``)."""
+        if length > self.length:
+            raise ValueError(f"cannot truncate /{self.length} to longer /{length}")
+        host_bits = self.width - length
+        return Prefix((self.value >> host_bits) << host_bits, length, self.width)
+
+    def child(self, bit_value: int) -> "Prefix":
+        """Extend by one bit (0 or 1)."""
+        if bit_value not in (0, 1):
+            raise ValueError("bit_value must be 0 or 1")
+        if self.length == self.width:
+            raise ValueError("prefix already at full width")
+        return Prefix.from_bits((self.bits << 1) | bit_value, self.length + 1, self.width)
+
+    def extend(self, extra_bits: int, nbits: int) -> "Prefix":
+        """Extend by ``nbits`` bits whose value is ``extra_bits``."""
+        if self.length + nbits > self.width:
+            raise ValueError("extension exceeds address width")
+        if not 0 <= extra_bits < (1 << nbits):
+            raise ValueError(f"{extra_bits:#x} does not fit in {nbits} bits")
+        return Prefix.from_bits((self.bits << nbits) | extra_bits, self.length + nbits, self.width)
+
+    # ------------------------------------------------------------------
+    # Range view (used by DXR / BSIC)
+    # ------------------------------------------------------------------
+    @property
+    def first_address(self) -> int:
+        """Smallest address covered by the prefix."""
+        return self.value
+
+    @property
+    def last_address(self) -> int:
+        """Largest address covered by the prefix."""
+        return self.value | ((1 << (self.width - self.length)) - 1)
+
+    def address_range(self) -> Tuple[int, int]:
+        """``(first, last)`` inclusive address range."""
+        return self.first_address, self.last_address
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def expansions(self, target_length: int) -> Iterator["Prefix"]:
+        """All prefixes of ``target_length`` covered by this prefix.
+
+        This is raw prefix expansion (Srinivasan & Varghese [70]); the
+        caller is responsible for longest-match conflict resolution.
+        """
+        if target_length < self.length:
+            raise ValueError("target length shorter than prefix")
+        if target_length > self.width:
+            raise ValueError("target length exceeds address width")
+        extra = target_length - self.length
+        base = self.bits << extra
+        for suffix in range(1 << extra):
+            yield Prefix.from_bits(base | suffix, target_length, self.width)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.length == other.length
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.length, self.width))
+
+    def __lt__(self, other: "Prefix") -> bool:
+        """Sort by (value, length): address order, shorter prefixes first."""
+        if self.width != other.width:
+            return self.width < other.width
+        return (self.value, self.length) < (other.value, other.length)
+
+    def __repr__(self) -> str:
+        return f"Prefix({self!s})"
+
+    def __str__(self) -> str:
+        if self.width == IPV4_WIDTH:
+            octets = [(self.value >> s) & 0xFF for s in (24, 16, 8, 0)]
+            return ".".join(map(str, octets)) + f"/{self.length}"
+        if self.width == IPV6_WIDTH:
+            groups = [(self.value >> s) & 0xFFFF for s in (48, 32, 16, 0)]
+            return ":".join(f"{g:x}" for g in groups) + f"::/{self.length}"
+        return f"0b{self.bits:0{self.length}b}/{self.length}@{self.width}"
+
+
+def bitstring(p: Prefix) -> str:
+    """The prefix as a literal bit string, e.g. ``'101'`` for 101*/3."""
+    if p.length == 0:
+        return ""
+    return format(p.bits, f"0{p.length}b")
+
+
+def from_bitstring(s: str, width: int = IPV4_WIDTH) -> Prefix:
+    """Parse a literal bit string like ``'0101'`` (paper's Table 1 notation)."""
+    if s and set(s) - {"0", "1"}:
+        raise ValueError(f"bitstring {s!r} contains non-binary characters")
+    return Prefix.from_bits(int(s, 2) if s else 0, len(s), width)

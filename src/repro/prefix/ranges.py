@@ -1,0 +1,172 @@
+"""Prefix-to-range expansion (DXR [89], paper Appendix A.4).
+
+Range-based IP lookup turns a set of prefixes over an ``m``-bit space
+into a sorted list of contiguous, non-overlapping intervals that cover
+the whole space, where each interval's next hop is the longest-prefix
+match of every address inside it.  Finding the LPM of an address then
+reduces to finding the interval containing it — a binary search over
+the interval *left endpoints* (right endpoints are implied by the next
+left endpoint and are discarded, DXR optimization 2).  Adjacent
+intervals with the same next hop are merged (DXR optimization 1).
+
+Intervals not covered by any prefix "inherit" a caller-supplied default
+next hop; in BSIC this is the longest match of the initial-table slice
+itself, so an address mis-directed to a BST by the initial TCAM still
+lands on its correct next hop (Appendix A.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .prefix import Prefix
+from .trie import BinaryTrie
+
+
+@dataclass(frozen=True)
+class RangeEntry:
+    """One interval of the completed range table.
+
+    ``left`` is the interval's left endpoint; the right endpoint is one
+    less than the next entry's ``left`` (or the top of the space for
+    the last entry).  ``next_hop`` is ``None`` for uncovered intervals
+    whose inherited default is also absent (the paper's "-").
+    """
+
+    left: int
+    next_hop: Optional[int]
+
+
+def expand_to_ranges(
+    entries: Iterable[Tuple[Prefix, int]],
+    width: int,
+    default_hop: Optional[int] = None,
+) -> List[RangeEntry]:
+    """Build the complete, merged, left-endpoint range table.
+
+    ``entries`` are prefixes over a ``width``-bit space (for BSIC these
+    are the *remaining* bits after the initial k-bit slice).  The result
+    always covers ``[0, 2**width)`` and always has at least one entry.
+
+    Reproduces Table 13 of the paper for its Table 3 example.
+    """
+    prefixes = list(entries)
+    trie = BinaryTrie(width)
+    for prefix, hop in prefixes:
+        if prefix.width != width:
+            raise ValueError(
+                f"prefix width {prefix.width} does not match range space {width}"
+            )
+        trie.insert(prefix, hop)
+
+    # Elementary interval boundaries: 0 plus every prefix's first
+    # address and one-past-last address.
+    top = 1 << width
+    boundaries = {0}
+    for prefix, _hop in prefixes:
+        first, last = prefix.address_range()
+        boundaries.add(first)
+        if last + 1 < top:
+            boundaries.add(last + 1)
+
+    merged: List[RangeEntry] = []
+    for left in sorted(boundaries):
+        hop = trie.lookup(left)
+        if hop is None:
+            hop = default_hop
+        if merged and merged[-1].next_hop == hop:
+            continue  # DXR optimization 1: merge equal neighbours
+        merged.append(RangeEntry(left, hop))
+    return merged
+
+
+def lookup_ranges(table: List[RangeEntry], key: int) -> Optional[int]:
+    """Reference binary search over a merged range table."""
+    lo, hi = 0, len(table) - 1
+    best = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if table[mid].left == key:
+            return table[mid].next_hop
+        if table[mid].left < key:
+            best = table[mid].next_hop
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def ranges_to_bst(table: List[RangeEntry]) -> "BstNode":
+    """Build a balanced BST from the left endpoints (paper Figure 12).
+
+    The median endpoint becomes the root so the tree depth is
+    ``ceil(log2(n + 1))`` — the quantity that determines BSIC's number
+    of BST levels, and hence its steps/stages.
+    """
+    if not table:
+        raise ValueError("range table must be non-empty")
+
+    def build(lo: int, hi: int) -> Optional[BstNode]:
+        if lo > hi:
+            return None
+        mid = (lo + hi) // 2
+        entry = table[mid]
+        return BstNode(
+            left_endpoint=entry.left,
+            next_hop=entry.next_hop,
+            left=build(lo, mid - 1),
+            right=build(mid + 1, hi),
+        )
+
+    return build(0, len(table) - 1)
+
+
+@dataclass
+class BstNode:
+    """A node of the range BST: endpoint, hop, and two children."""
+
+    left_endpoint: int
+    next_hop: Optional[int]
+    left: Optional["BstNode"]
+    right: Optional["BstNode"]
+
+    def depth(self) -> int:
+        """Height of the subtree in nodes (a leaf has depth 1)."""
+        left = self.left.depth() if self.left else 0
+        right = self.right.depth() if self.right else 0
+        return 1 + max(left, right)
+
+    def size(self) -> int:
+        left = self.left.size() if self.left else 0
+        right = self.right.size() if self.right else 0
+        return 1 + left + right
+
+    def search(self, key: int) -> Optional[int]:
+        """Reference BST search (Algorithm 2's inner loop)."""
+        node: Optional[BstNode] = self
+        best: Optional[int] = None
+        while node is not None:
+            if key == node.left_endpoint:
+                return node.next_hop
+            if key > node.left_endpoint:
+                best = node.next_hop
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def level_sizes(self) -> List[int]:
+        """Number of nodes at each level (level 0 is the root)."""
+        sizes: List[int] = []
+        frontier = [self]
+        while frontier:
+            sizes.append(len(frontier))
+            nxt: List[BstNode] = []
+            for node in frontier:
+                if node.left:
+                    nxt.append(node.left)
+                if node.right:
+                    nxt.append(node.right)
+            frontier = nxt
+        return sizes

@@ -1,0 +1,225 @@
+"""Binary (unibit) trie with longest-prefix match.
+
+This is the package's reference LPM implementation: every production
+algorithm (RESAIL, BSIC, MASHUP, and the baselines) is tested against
+it.  It is also the canonical in-memory form of a forwarding table
+(:class:`Fib`), from which the algorithms build their hardware-shaped
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .prefix import Prefix
+
+
+class _Node:
+    __slots__ = ("children", "next_hop", "has_entry")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node"]] = [None, None]
+        self.next_hop: Optional[int] = None
+        self.has_entry = False
+
+
+class BinaryTrie:
+    """A unibit trie mapping prefixes to next hops.
+
+    Next hops are small non-negative integers (port identifiers), as in
+    the paper's Table 1 where they are letters A–D.
+    """
+
+    def __init__(self, width: int):
+        self.width = width
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find(prefix)
+        return node is not None and node.has_entry
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        """Insert or overwrite a prefix→next-hop binding."""
+        self._check(prefix)
+        node = self._root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_entry:
+            self._count += 1
+        node.has_entry = True
+        node.next_hop = next_hop
+
+    def delete(self, prefix: Prefix) -> None:
+        """Remove a prefix; raises ``KeyError`` if absent.
+
+        Emptied nodes are pruned so the trie's node count tracks the
+        live database (this matters for long sequences of incremental
+        updates).
+        """
+        self._check(prefix)
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            nxt = node.children[bit]
+            if nxt is None:
+                raise KeyError(str(prefix))
+            path.append((node, bit))
+            node = nxt
+        if not node.has_entry:
+            raise KeyError(str(prefix))
+        node.has_entry = False
+        node.next_hop = None
+        self._count -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child.has_entry or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix-match next hop for ``address``, or ``None``."""
+        node = self._root
+        best = node.next_hop if node.has_entry else None
+        for i in range(self.width):
+            bit = (address >> (self.width - 1 - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_entry:
+                best = node.next_hop
+        return best
+
+    def lookup_prefix(self, address: int) -> Optional[Prefix]:
+        """The longest matching *prefix* for ``address``, or ``None``."""
+        node = self._root
+        best_len = 0 if self._root.has_entry else None
+        node = self._root
+        for i in range(self.width):
+            bit = (address >> (self.width - 1 - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_entry:
+                best_len = i + 1
+        if best_len is None:
+            return None
+        host_bits = self.width - best_len
+        return Prefix((address >> host_bits) << host_bits, best_len, self.width)
+
+    def get(self, prefix: Prefix) -> Optional[int]:
+        """Exact-prefix next hop (no LPM), or ``None``."""
+        node = self._find(prefix)
+        if node is None or not node.has_entry:
+            return None
+        return node.next_hop
+
+    def items(self) -> Iterator[Tuple[Prefix, int]]:
+        """All (prefix, next hop) bindings, in (value, length) order."""
+        stack: List[Tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        out: List[Tuple[Prefix, int]] = []
+        while stack:
+            node, bits, depth = stack.pop()
+            if node.has_entry:
+                out.append((Prefix.from_bits(bits, depth, self.width), node.next_hop))
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (bits << 1) | bit, depth + 1))
+        out.sort(key=lambda item: (item[0].value, item[0].length))
+        return iter(out)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check(self, prefix: Prefix) -> None:
+        if prefix.width != self.width:
+            raise ValueError(
+                f"prefix width {prefix.width} does not match trie width {self.width}"
+            )
+
+    def _find(self, prefix: Prefix) -> Optional[_Node]:
+        self._check(prefix)
+        node = self._root
+        for i in range(prefix.length):
+            node = node.children[prefix.bit(i)]
+            if node is None:
+                return None
+        return node
+
+
+class Fib:
+    """A forwarding information base: an ordered prefix→next-hop map.
+
+    ``Fib`` is the input type of every lookup-algorithm constructor in
+    :mod:`repro.algorithms`.  It wraps a :class:`BinaryTrie` (the
+    reference LPM) and keeps a plain dict for fast exact access and
+    iteration.
+    """
+
+    def __init__(self, width: int, entries: Iterable[Tuple[Prefix, int]] = ()):
+        self.width = width
+        self._trie = BinaryTrie(width)
+        self._entries: Dict[Prefix, int] = {}
+        for prefix, hop in entries:
+            self.insert(prefix, hop)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, int]]:
+        return iter(sorted(self._entries.items(), key=lambda kv: (kv[0].value, kv[0].length)))
+
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        if prefix.width != self.width:
+            raise ValueError(
+                f"prefix width {prefix.width} does not match FIB width {self.width}"
+            )
+        if next_hop < 0:
+            raise ValueError("next hops are non-negative port identifiers")
+        self._trie.insert(prefix, next_hop)
+        self._entries[prefix] = next_hop
+
+    def delete(self, prefix: Prefix) -> None:
+        self._trie.delete(prefix)
+        del self._entries[prefix]
+
+    def get(self, prefix: Prefix) -> Optional[int]:
+        return self._entries.get(prefix)
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Reference longest-prefix-match lookup."""
+        return self._trie.lookup(address)
+
+    def lookup_prefix(self, address: int) -> Optional[Prefix]:
+        return self._trie.lookup_prefix(address)
+
+    def prefixes(self) -> List[Prefix]:
+        return [p for p, _ in self]
+
+    def by_length(self) -> Dict[int, List[Tuple[Prefix, int]]]:
+        """Entries grouped by prefix length (ascending lengths)."""
+        grouped: Dict[int, List[Tuple[Prefix, int]]] = {}
+        for prefix, hop in self:
+            grouped.setdefault(prefix.length, []).append((prefix, hop))
+        return dict(sorted(grouped.items()))
+
+    def next_hops(self) -> List[int]:
+        """The distinct next-hop identifiers in use, sorted."""
+        return sorted(set(self._entries.values()))

@@ -1,0 +1,40 @@
+"""Shared fixtures: small deterministic FIBs and address workloads."""
+
+import pytest
+
+from repro.datasets import (
+    matching_addresses,
+    mixed_addresses,
+    small_example_fib,
+    synthesize_as65000,
+    synthesize_as131072,
+)
+
+
+@pytest.fixture(scope="session")
+def example_fib():
+    """The paper's Table 1 routing table (8-bit toy addresses)."""
+    return small_example_fib()
+
+
+@pytest.fixture(scope="session")
+def ipv4_fib():
+    """A ~4.6k-prefix synthetic AS65000 sample (deterministic)."""
+    return synthesize_as65000(scale=0.005)
+
+
+@pytest.fixture(scope="session")
+def ipv6_fib():
+    """A ~9.7k-prefix synthetic AS131072 sample (deterministic)."""
+    return synthesize_as131072(scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def ipv4_addresses(ipv4_fib):
+    """A hit/miss mix over the IPv4 sample."""
+    return mixed_addresses(ipv4_fib, 2000, hit_fraction=0.8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ipv6_addresses(ipv6_fib):
+    return mixed_addresses(ipv6_fib, 2000, hit_fraction=0.8, seed=12)

@@ -1,0 +1,177 @@
+"""Unit tests for the analysis harness (reports, scaling, trade-off, accuracy)."""
+
+import pytest
+
+from repro.algorithms import Bsic, Resail
+from repro.analysis import (
+    Comparison,
+    Table,
+    accuracy_report,
+    bsic_k_sweep,
+    chip_mapping_table,
+    cram_metrics_table,
+    hibst_max_feasible,
+    ipv4_max_feasible,
+    ipv4_scaling_series,
+    ipv6_max_feasible,
+    ipv6_scaling_series,
+    optimal_k,
+    render_comparisons,
+    sail_max_feasible,
+    select_best,
+)
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+from repro.core import CramMetrics
+
+
+class TestReportRendering:
+    def test_table_render(self):
+        table = Table("Demo", ["A", "B"])
+        table.add_row("x", 1200)
+        table.add_row("y", None)
+        text = table.render()
+        assert "Demo" in text
+        assert "1,200" in text
+        assert "-" in text  # None renders as the paper's dash
+
+    def test_row_arity_checked(self):
+        table = Table("Demo", ["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_cram_metrics_table(self):
+        out = cram_metrics_table(
+            "Table 4", [("RESAIL", CramMetrics(25_641, 71_968_358, 2))]
+        ).render()
+        assert "3.13 KB" in out
+        assert "8.58 MB" in out
+
+    def test_chip_mapping_table_with_pseudo_row(self):
+        mapping = map_to_ideal_rmt(
+            Resail.__new__(Resail) if False else _small_resail_layout()
+        )
+        out = chip_mapping_table("Table 8", [
+            ("RESAIL", mapping),
+            ("Tofino-2 Pipe Limit", 480, 1600, 20, "-"),
+        ]).render()
+        assert "Pipe Limit" in out
+        assert "Ideal RMT" in out
+
+    def test_comparisons_render(self):
+        text = render_comparisons([
+            Comparison("Table 4", "RESAIL SRAM", "8.58 MB", "8.58 MB"),
+            Comparison("Table 6", "stages", 9, 9, note="exact"),
+        ])
+        assert "paper=8.58 MB" in text
+        assert "(exact)" in text
+
+
+def _small_resail_layout():
+    from repro.algorithms.resail import resail_layout_from_counts
+
+    return resail_layout_from_counts(long_prefixes=100, hash_entries=10_000)
+
+
+class TestSelectBest:
+    def test_prefers_tcam_frugality(self):
+        winner, rationale = select_best([
+            ("tcam-hungry", CramMetrics(10_000_000, 1_000_000, 4)),
+            ("sram-hungry", CramMetrics(10_000, 12_000_000, 2)),
+        ])
+        assert winner == "sram-hungry"
+        assert "x less TCAM" in rationale or "TCAM" in rationale
+
+    def test_single_candidate(self):
+        winner, rationale = select_best([("only", CramMetrics(1, 1, 1))])
+        assert winner == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_best([])
+
+
+class TestIPv4Scaling:
+    def test_series_shapes(self):
+        series = ipv4_scaling_series([0.5, 1.0, 2.0])
+        assert set(series) == {"RESAIL / Ideal RMT", "RESAIL / Tofino-2",
+                               "SAIL / Ideal RMT"}
+        for points in series.values():
+            sizes = [p.size for p in points]
+            assert sizes == sorted(sizes)
+
+    def test_resail_pages_grow_monotonically(self):
+        series = ipv4_scaling_series([1.0, 2.0, 3.0])["RESAIL / Ideal RMT"]
+        pages = [p.sram_pages for p in series]
+        assert pages == sorted(pages)
+
+    def test_tofino_needs_more_than_ideal(self):
+        series = ipv4_scaling_series([1.0])
+        assert (series["RESAIL / Tofino-2"][0].sram_pages
+                > series["RESAIL / Ideal RMT"][0].sram_pages)
+
+    def test_sail_always_infeasible(self):
+        series = ipv4_scaling_series([0.5, 1.0])["SAIL / Ideal RMT"]
+        assert all(not p.feasible for p in series)
+        assert sail_max_feasible(map_to_ideal_rmt) == 0
+
+    def test_paper_figure9_frontiers(self):
+        """RESAIL scales to ~3.8M (ideal) / ~2.25M (Tofino-2) prefixes."""
+        ideal = ipv4_max_feasible(map_to_ideal_rmt)
+        tofino = ipv4_max_feasible(map_to_tofino2)
+        assert 3_000_000 <= ideal <= 4_600_000
+        assert 1_700_000 <= tofino <= 2_800_000
+        assert tofino < ideal
+
+
+class TestIPv6Scaling:
+    def test_series_and_frontiers(self, ipv6_fib):
+        bsic = Bsic(ipv6_fib)
+        base = bsic.layout()
+        series = ipv6_scaling_series(base, len(ipv6_fib), [1, 2, 4])
+        assert all(len(v) == 3 for v in series.values())
+        bsic_pts = series["BSIC / Ideal RMT"]
+        assert bsic_pts[2].sram_pages >= bsic_pts[0].sram_pages
+
+    def test_hibst_frontier_near_paper(self):
+        """Paper §7.2: HI-BST tops out around 340k prefixes."""
+        assert 320_000 <= hibst_max_feasible(map_to_ideal_rmt) <= 360_000
+
+    def test_bsic_out_scales_hibst(self, ipv6_fib):
+        bsic = Bsic(ipv6_fib)
+        scale = 193_060 / len(ipv6_fib)  # normalize sample to full size
+        base = bsic.layout().scaled(scale)
+        bsic_ideal = ipv6_max_feasible(base, 193_060, map_to_ideal_rmt)
+        hibst = hibst_max_feasible(map_to_ideal_rmt)
+        assert bsic_ideal > hibst
+
+
+class TestTradeoff:
+    def test_k_sweep_and_optimum(self, ipv6_fib):
+        points = bsic_k_sweep(ipv6_fib, ks=[16, 20, 24, 28])
+        assert [p.k for p in points] == [16, 20, 24, 28]
+        # CRAM steps fall with k (shallower BSTs)...
+        assert points[-1].cram_steps <= points[0].cram_steps
+        # ...but TCAM entries rise.
+        assert points[-1].initial_entries >= points[0].initial_entries
+        best = optimal_k(points)
+        assert best in {16, 20, 24, 28}
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_k([])
+
+
+class TestAccuracy:
+    def test_hierarchy_rows(self, ipv4_fib):
+        report = accuracy_report(Resail(ipv4_fib, min_bmp=13))
+        assert [r.model for r in report.rows] == ["CRAM", "Ideal RMT", "Tofino-2"]
+        cram, ideal, tofino = report.rows
+        assert cram.steps == 2
+        assert ideal.sram_pages >= cram.sram_pages * 0.95
+        assert tofino.sram_pages > ideal.sram_pages
+
+    def test_factors(self, ipv4_fib):
+        report = accuracy_report(Resail(ipv4_fib, min_bmp=13))
+        assert report.factor("sram_pages", "Ideal RMT", "Tofino-2") > 1.0
+        with pytest.raises(KeyError):
+            report.row("FPGA")

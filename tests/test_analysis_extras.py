@@ -1,0 +1,122 @@
+"""Tests for the capacity headroom analysis, ASCII figures, DAG export,
+the stride advisor, and the multiverse-prediction validation."""
+
+import pytest
+
+from repro.analysis import (
+    HeadroomReport,
+    decade_claim_holds,
+    ipv4_headroom,
+    ipv6_headroom,
+    ipv4_scaling_series,
+    render_chart,
+    render_scaling_figure,
+)
+from repro.datasets import ipv4_length_distribution, ipv6_length_distribution
+
+
+class TestHeadroom:
+    def test_paper_abstract_claim(self):
+        """RESAIL 2.25M IPv4 + BSIC 390k IPv6 last the decade (IPv6
+        under O2's conservative linear slowdown, as the paper argues)."""
+        assert ipv4_headroom("RESAIL", 2_250_000).years_of_headroom >= 10
+        assert ipv6_headroom("BSIC", 390_000, model="linear").years_of_headroom >= 6
+        assert decade_claim_holds(2_250_000, 500_000)
+
+    def test_exponential_ipv6_breaks_sooner(self):
+        doubling = ipv6_headroom("BSIC", 390_000, model="doubling")
+        linear = ipv6_headroom("BSIC", 390_000, model="linear")
+        assert doubling.years_of_headroom < linear.years_of_headroom
+        assert 2.5 < doubling.years_of_headroom < 4
+
+    def test_undersized_capacity(self):
+        report = ipv4_headroom("Logical TCAM", 245_760)
+        assert report.exhaustion_year is None
+        assert not report.lasts_a_decade
+        assert "already below" in report.describe()
+
+    def test_describe_mentions_year(self):
+        report = ipv4_headroom("RESAIL", 2_250_000)
+        assert "203" in report.describe()  # ~2035
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ipv6_headroom("x", 1_000_000, model="cubic")
+
+
+class TestAsciiFigures:
+    def test_render_chart_basics(self):
+        text = render_chart(
+            "demo",
+            {"up": [(0, 0), (10, 10)], "down": [(0, 10), (10, 0)]},
+            width=20, height=8, x_label="size", y_label="pages",
+        )
+        assert "demo" in text
+        assert "o = up" in text and "x = down" in text
+        assert text.count("\n") >= 10
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("demo", {"empty": []})
+
+    def test_render_scaling_figure(self):
+        series = ipv4_scaling_series([0.5, 1.0, 1.5])
+        text = render_scaling_figure("Figure 9", series)
+        assert "RESAIL / Ideal RMT" in text
+        assert "database size" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_chart("flat", {"c": [(0, 5), (10, 5)]})
+        assert "c" in text
+
+
+class TestRenderDot:
+    def test_dag_structure_exported(self, ipv4_fib):
+        from repro.algorithms import Resail
+
+        dot = Resail(ipv4_fib).cram_program().render_dot()
+        assert dot.startswith('digraph "RESAIL"')
+        assert '"bitmap_24" -> "hash"' in dot
+        assert "shape=box" in dot  # table steps
+        # Parallel bitmap steps have no edges among themselves.
+        assert '"bitmap_24" -> "bitmap_23"' not in dot
+
+
+class TestStrideAdvisor:
+    def test_ipv4_strides_mirror_spikes(self):
+        dist = ipv4_length_distribution()
+        strides = dist.suggest_strides(levels=4)
+        assert sum(strides) == 32
+        assert strides[0] == 16  # first cut at the /16 spike
+        boundaries = {sum(strides[: i + 1]) for i in range(len(strides))}
+        assert 24 in boundaries  # the major spike is a boundary
+
+    def test_ipv6_first_stride_capped(self):
+        dist = ipv6_length_distribution()
+        strides = dist.suggest_strides(levels=4, max_first=20)
+        assert sum(strides) == 64
+        assert strides[0] <= 20  # the paper's "32 is too wide" rule
+
+    def test_level_budget_respected(self):
+        dist = ipv4_length_distribution()
+        assert len(dist.suggest_strides(levels=3)) <= 3
+
+
+class TestMultiversePredictionValidation:
+    def test_scaled_layout_matches_actually_scaled_build(self, ipv6_fib):
+        """§7.2's premise, verified: multiverse-scaling the database and
+        analytically scaling the base layout agree table-for-table."""
+        from repro.algorithms import Bsic
+        from repro.datasets import multiverse_scale
+
+        base = Bsic(ipv6_fib, k=24)
+        predicted = base.layout().scaled(2.0)
+        actual = Bsic(multiverse_scale(ipv6_fib, 2), k=24).layout()
+
+        predicted_tables = {t.name: t.entries for p in predicted.phases
+                            for t in p.tables}
+        actual_tables = {t.name: t.entries for p in actual.phases
+                         for t in p.tables}
+        assert set(actual_tables) == set(predicted_tables)
+        for name, entries in actual_tables.items():
+            assert entries == predicted_tables[name], name

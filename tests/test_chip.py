@@ -1,0 +1,161 @@
+"""Unit tests for the chip models: layouts, ideal RMT, Tofino-2."""
+
+import pytest
+
+from repro.chip import (
+    IDEAL_RMT,
+    TOFINO2,
+    Layout,
+    LogicalTable,
+    MemoryKind,
+    Phase,
+    allocate_table,
+    map_to_ideal_rmt,
+    map_to_tofino2,
+    phase_stages,
+)
+
+
+def sram_table(entries, bits, **kw):
+    return LogicalTable("t", MemoryKind.SRAM, entries=entries, key_width=0,
+                        data_width=bits, **kw)
+
+
+def tcam_table(entries, key, data=8, **kw):
+    return LogicalTable("t", MemoryKind.TCAM, entries=entries, key_width=key,
+                        data_width=data, **kw)
+
+
+class TestSpecs:
+    def test_tofino2_pipe_limits_match_paper(self):
+        # Tables 8/9's "Tofino-2 Pipe Limit" row: 480 / 1600 / 20.
+        assert TOFINO2.tcam_blocks == 480
+        assert TOFINO2.sram_pages == 1600
+        assert TOFINO2.stages == 20
+        assert TOFINO2.tcam_blocks_per_stage == 24
+        assert TOFINO2.sram_pages_per_stage == 80
+
+    def test_ideal_rmt_differs_only_in_utilization_and_alu(self):
+        assert IDEAL_RMT.sram_word_utilization == 1.0
+        assert IDEAL_RMT.alu_ops_per_stage == 2
+        assert TOFINO2.sram_word_utilization == 0.5
+        assert TOFINO2.alu_ops_per_stage == 1
+
+
+class TestLogicalTable:
+    def test_direct_index_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            LogicalTable("t", MemoryKind.SRAM, entries=1000, key_width=10,
+                         data_width=8, direct_index=True)
+
+    def test_tcam_cannot_be_direct(self):
+        with pytest.raises(ValueError):
+            LogicalTable("t", MemoryKind.TCAM, entries=16, key_width=4,
+                         data_width=8, direct_index=True)
+
+    def test_entry_bits(self):
+        exact = LogicalTable("t", MemoryKind.SRAM, entries=10, key_width=25,
+                             data_width=8)
+        assert exact.sram_entry_bits == 33
+        direct = LogicalTable("t", MemoryKind.SRAM, entries=16, key_width=4,
+                              data_width=8, direct_index=True)
+        assert direct.sram_entry_bits == 8
+
+
+class TestAllocateTable:
+    def test_tcam_blocks_and_data_pages(self):
+        alloc = allocate_table(tcam_table(1000, 32), 1.0)
+        assert alloc.tcam_blocks == 2
+        assert alloc.sram_pages == 1  # 8000 data bits
+
+    def test_bitmap_exempt_from_utilization(self):
+        bitmap = sram_table(1 << 20, 1, raw_bits=1 << 20, direct_index=False)
+        assert allocate_table(bitmap, 1.0).sram_pages == 8
+        assert allocate_table(bitmap, 0.5).sram_pages == 8  # unchanged
+
+    def test_sram_derated_by_utilization(self):
+        table = sram_table(4096, 64)
+        assert allocate_table(table, 1.0).sram_pages == 2
+        assert allocate_table(table, 0.5).sram_pages == 4
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            allocate_table(sram_table(10, 8), 0.0)
+
+
+class TestPhaseStages:
+    def test_memory_partitioned_across_stages(self):
+        alloc = [allocate_table(sram_table(400 * 16 * 1024, 8), 1.0)]
+        # 400 pages at 80/stage -> 5 stages.
+        assert phase_stages(alloc, 1, IDEAL_RMT) == 5
+
+    def test_alu_only_phase(self):
+        assert phase_stages([], 2, IDEAL_RMT) == 1  # 2 ops, 2/stage
+        assert phase_stages([], 2, TOFINO2) == 2  # 1 op/stage
+
+    def test_bst_level_costs_double_on_tofino(self):
+        alloc = [allocate_table(sram_table(100, 88), TOFINO2.sram_word_utilization)]
+        assert phase_stages(alloc, 2, TOFINO2) == 2  # compare + act (§6.5.3)
+        alloc_ideal = [allocate_table(sram_table(100, 88), 1.0)]
+        assert phase_stages(alloc_ideal, 2, IDEAL_RMT) == 1
+
+    def test_tcam_blocks_limit_stages(self):
+        alloc = [allocate_table(tcam_table(480 * 512, 32), 1.0)]
+        assert phase_stages(alloc, 1, IDEAL_RMT) == 20  # 480 blocks / 24
+
+
+class TestMapLayout:
+    def make_layout(self, pages_big=False):
+        tables = [sram_table(16 * 1024 * (300 if pages_big else 1), 8)]
+        return Layout("demo", [
+            Phase("p1", tables, dependent_alu_ops=1),
+            Phase("p2", [], dependent_alu_ops=2),
+        ])
+
+    def test_phases_sum_sequentially(self):
+        mapping = map_to_ideal_rmt(self.make_layout())
+        assert mapping.stages == 2  # 1 memory stage + 1 ALU stage
+
+    def test_feasibility_bounds(self):
+        small = map_to_ideal_rmt(self.make_layout())
+        assert small.feasible
+        huge = map_to_ideal_rmt(Layout("x", [
+            Phase("p", [sram_table(1700 * 16 * 1024, 8)])
+        ]))
+        assert not huge.feasible  # 1700 pages > 1600
+
+    def test_recirculation_only_on_tofino(self):
+        # 25-stage program: infeasible on ideal RMT, recirculated on Tofino-2.
+        phases = [Phase(f"p{i}", [], dependent_alu_ops=1) for i in range(25)]
+        layout = Layout("deep", phases)
+        ideal = map_to_ideal_rmt(layout)
+        assert not ideal.feasible
+        tofino = map_to_tofino2(layout)
+        assert tofino.feasible
+        assert tofino.recirculated
+        assert not tofino.fits_single_pass
+
+    def test_unaligned_key_costs_tofino_tcam_block(self):
+        table = sram_table(1024, 32, unaligned_key=True)
+        layout = Layout("x", [Phase("p", [table])])
+        assert map_to_ideal_rmt(layout).tcam_blocks == 0
+        assert map_to_tofino2(layout).tcam_blocks == 1
+
+    def test_describe_mentions_chip(self):
+        assert "Ideal RMT" in map_to_ideal_rmt(self.make_layout()).describe()
+
+
+class TestLayoutScaled:
+    def test_scales_entries_not_bitmaps(self):
+        bitmap = sram_table(1 << 10, 1, raw_bits=1 << 10)
+        normal = sram_table(100, 8)
+        layout = Layout("x", [Phase("p", [bitmap, normal])])
+        scaled = layout.scaled(3.0)
+        t_bitmap, t_normal = scaled.phases[0].tables
+        assert t_bitmap.entries == 1 << 10  # structural
+        assert t_normal.entries == 300
+
+    def test_negative_factor_rejected(self):
+        layout = Layout("x", [Phase("p", [sram_table(10, 8)])])
+        with pytest.raises(ValueError):
+            layout.scaled(-1)

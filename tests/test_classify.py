@@ -1,0 +1,142 @@
+"""Unit tests for the packet-classification extension (§2.5)."""
+
+import pytest
+
+from repro.chip import map_to_ideal_rmt
+from repro.classify import (
+    ANY_PORTS,
+    Classifier,
+    PacketHeader,
+    Rule,
+    TcamClassifier,
+    TreeClassifier,
+    classifier_workload,
+    range_to_prefixes,
+    synthesize_classifier,
+)
+from repro.prefix import Prefix, parse_prefix
+
+P = parse_prefix
+
+
+class TestRangeToPrefixes:
+    def test_full_range_is_one_prefix(self):
+        out = range_to_prefixes(0, 65535)
+        assert len(out) == 1 and out[0].length == 0
+
+    def test_exact_port(self):
+        out = range_to_prefixes(443, 443)
+        assert len(out) == 1 and out[0].length == 16
+
+    def test_cover_is_exact_and_disjoint(self):
+        for lo, hi in [(1, 6), (0, 1023), (1024, 5000), (3, 3), (0, 65535)]:
+            prefixes = range_to_prefixes(lo, hi)
+            covered = []
+            for p in prefixes:
+                covered.extend(range(p.first_address, p.last_address + 1))
+            assert sorted(covered) == list(range(lo, hi + 1)), (lo, hi)
+
+    def test_worst_case_bound(self):
+        # [1, 2^w - 2] is the classic worst case: 2w - 2 prefixes.
+        out = range_to_prefixes(1, 65534)
+        assert len(out) <= 2 * 16 - 2
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(10, 5)
+
+
+class TestRule:
+    def make(self, **kw):
+        defaults = dict(priority=1, src=Prefix.default(32),
+                        dst=P("10.0.0.0/8"), protocol=6)
+        defaults.update(kw)
+        return Rule(**defaults)
+
+    def test_match_semantics(self):
+        rule = self.make(dst_ports=(80, 80))
+        hit = PacketHeader(1, 0x0A000001, 6, 1234, 80)
+        assert rule.matches(hit)
+        assert not rule.matches(PacketHeader(1, 0x0B000001, 6, 1234, 80))
+        assert not rule.matches(PacketHeader(1, 0x0A000001, 17, 1234, 80))
+        assert not rule.matches(PacketHeader(1, 0x0A000001, 6, 1234, 81))
+
+    def test_any_protocol(self):
+        rule = self.make(protocol=None)
+        assert rule.matches(PacketHeader(1, 0x0A000001, 200, 1, 1))
+
+    def test_tcam_rows_is_range_product(self):
+        rule = self.make(src_ports=(1, 6), dst_ports=(0, 1023))
+        assert rule.tcam_rows() == len(range_to_prefixes(1, 6)) * 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(dst_ports=(5, 1))
+        with pytest.raises(ValueError):
+            self.make(protocol=300)
+
+    def test_classifier_priority_order(self):
+        low = self.make(priority=5, action=1)
+        high = self.make(priority=1, action=2)
+        clf = Classifier([low, high])
+        assert clf.classify(PacketHeader(0, 0x0A000001, 6, 1, 1)) == 2
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError):
+            Classifier([self.make(priority=1), self.make(priority=1)])
+
+
+class TestSynthesizedClassifiers:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rules = synthesize_classifier(250, seed=11)
+        return (Classifier(rules), TcamClassifier(rules),
+                TreeClassifier(rules, stride=4, binth=8),
+                classifier_workload(rules, 600, seed=12))
+
+    def test_flat_tcam_matches_oracle(self, setup):
+        oracle, flat, _tree, packets = setup
+        for packet in packets:
+            assert flat.classify(packet) == oracle.classify(packet)
+
+    def test_tree_matches_oracle(self, setup):
+        oracle, _flat, tree, packets = setup
+        for packet in packets:
+            assert tree.classify(packet) == oracle.classify(packet)
+
+    def test_row_counts_match(self, setup):
+        oracle, flat, tree, _packets = setup
+        # Port expansion is inherent; the tree neither adds nor loses rows.
+        assert flat.rows == tree.leaf_rows == oracle.total_tcam_rows()
+
+    def test_tree_narrows_keys(self, setup):
+        _oracle, flat, tree, _packets = setup
+        assert tree.tcam_bits() < flat.table.tcam_bits()
+
+    def test_sram_rendering_is_infeasible(self, setup):
+        """§2.6: pseudo-random fields defeat exact-match expansion."""
+        _oracle, _flat, tree, _packets = setup
+        assert tree.exact_expansion_rows() > 10**12
+
+    def test_layouts_map(self, setup):
+        _oracle, flat, tree, _packets = setup
+        flat_map = map_to_ideal_rmt(flat.layout())
+        tree_map = map_to_ideal_rmt(tree.layout())
+        assert flat_map.stages == 1  # one monolithic table...
+        assert tree_map.stages > 1  # ...vs a staged pipeline
+        assert flat_map.tcam_blocks > 0 and tree_map.tcam_blocks > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TcamClassifier([])
+        with pytest.raises(ValueError):
+            TreeClassifier([])
+
+
+class TestWorkload:
+    def test_hit_fraction(self):
+        rules = synthesize_classifier(60, seed=4)
+        oracle = Classifier(rules)
+        packets = classifier_workload(rules, 400, seed=5, hit_fraction=1.0)
+        hits = sum(1 for p in packets if oracle.classify(p) is not None)
+        assert hits == 400

@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def fib_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "fib.txt"
+    assert main(["synthesize", "v4", "--scale", "0.002", "--out", str(path)]) == 0
+    return str(path)
+
+
+class TestSynthesize:
+    def test_writes_fib(self, fib_file, capsys):
+        from repro.datasets import load_fib
+
+        fib = load_fib(fib_file)
+        assert len(fib) > 1000
+
+    def test_ipv6(self, tmp_path, capsys):
+        path = tmp_path / "v6.txt"
+        assert main(["synthesize", "v6", "--scale", "0.005",
+                     "--out", str(path)]) == 0
+        from repro.datasets import load_fib
+
+        assert load_fib(path).width == 64
+
+
+class TestLookup:
+    def test_route_found(self, fib_file, capsys):
+        from repro.datasets import load_fib
+
+        fib = load_fib(fib_file)
+        prefix = fib.prefixes()[0]
+        from repro.prefix import format_address
+
+        address = format_address(prefix.value, 32)
+        assert main(["lookup", "--fib", fib_file, "--algorithm", "ltcam",
+                     address]) == 0
+        out = capsys.readouterr().out
+        assert "port" in out
+
+    def test_no_route_exit_code(self, fib_file, capsys):
+        assert main(["lookup", "--fib", fib_file, "203.0.113.99"]) == 1
+        assert "no route" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, fib_file):
+        with pytest.raises(SystemExit):
+            main(["lookup", "--fib", fib_file, "--algorithm", "quantum",
+                  "10.0.0.1"])
+
+
+class TestMetrics:
+    def test_single_algorithm(self, fib_file, capsys):
+        assert main(["metrics", "--fib", fib_file,
+                     "--algorithm", "resail"]) == 0
+        out = capsys.readouterr().out
+        assert "CRAM metrics" in out
+        assert "Ideal RMT" in out and "Tofino-2" in out
+
+    def test_selection_and_drmt(self, fib_file, capsys):
+        assert main(["metrics", "--fib", fib_file, "--drmt",
+                     "--algorithm", "resail", "mashup"]) == 0
+        out = capsys.readouterr().out
+        assert "CRAM pick" in out
+        assert "dRMT" in out
+
+
+class TestCodegen:
+    def test_stdout(self, fib_file, capsys):
+        assert main(["codegen", "--fib", fib_file,
+                     "--algorithm", "ltcam"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <core.p4>" in out
+
+    def test_file_output(self, fib_file, tmp_path, capsys):
+        out_path = tmp_path / "sketch.p4"
+        assert main(["codegen", "--fib", fib_file, "--algorithm", "ltcam",
+                     "--out", str(out_path)]) == 0
+        assert "table fib" in out_path.read_text()
+        assert "TODO" in capsys.readouterr().out
+
+
+class TestGrowth:
+    def test_projection(self, capsys):
+        assert main(["growth", "--year", "2033"]) == 0
+        out = capsys.readouterr().out
+        assert "1,860,000" in out
+
+
+class TestAggregate:
+    def test_roundtrip(self, fib_file, tmp_path, capsys):
+        out_path = tmp_path / "agg.txt"
+        assert main(["aggregate", "--fib", fib_file, "--out", str(out_path)]) == 0
+        assert "aggregated" in capsys.readouterr().out
+        from repro.datasets import load_fib
+
+        before = load_fib(fib_file)
+        after = load_fib(out_path)
+        assert len(after) <= len(before)
+
+
+class TestResults:
+    def test_prints_results(self, tmp_path, capsys):
+        (tmp_path / "tab04_demo.txt").write_text("Table 4 demo\nrow\n")
+        assert main(["results", "--dir", str(tmp_path)]) == 0
+        assert "Table 4 demo" in capsys.readouterr().out
+
+    def test_filter_and_missing(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("AAA\n")
+        (tmp_path / "b.txt").write_text("BBB\n")
+        assert main(["results", "--dir", str(tmp_path), "--only", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "AAA" in out and "BBB" not in out
+        assert main(["results", "--dir", str(tmp_path), "--only", "zzz"]) == 1
+
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main(["results", "--dir", str(tmp_path)]) == 1

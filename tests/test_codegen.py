@@ -1,0 +1,81 @@
+"""Unit tests for P4-sketch generation."""
+
+import pytest
+
+from repro.algorithms import LogicalTcam, Resail
+from repro.core import (
+    Bin,
+    Const,
+    CramProgram,
+    Reg,
+    Statement,
+    Step,
+    estimate_p4_effort,
+    generate_p4_sketch,
+    exact_table,
+    ternary_table,
+)
+
+
+def small_program():
+    prog = CramProgram("demo prog", registers=["addr", "color"])
+    table = ternary_table("my table!", 32, 10, 8,
+                          key_selector=lambda s: s["addr"])
+    prog.add_step(Step("classify", table=table, reads=["addr"],
+                       statements=[Statement("color", Const(1),
+                                             cond=Bin(">", Reg("addr"), Const(0)))]))
+    return prog
+
+
+class TestSketch:
+    def test_contains_table_decl(self):
+        sketch = generate_p4_sketch(small_program())
+        assert "table my_table_ {" in sketch
+        assert "ternary" in sketch
+        assert "size = 10;" in sketch
+        assert "#include <core.p4>" in sketch
+
+    def test_statement_rendering(self):
+        sketch = generate_p4_sketch(small_program())
+        assert "if ((meta.addr > 0)) { meta.color = 1; }" in sketch
+
+    def test_metadata_fields(self):
+        sketch = generate_p4_sketch(small_program())
+        assert "bit<64> addr;" in sketch
+        assert "bit<32> my_table__key;" in sketch
+
+    def test_waves_follow_dependencies(self):
+        prog = small_program()
+        prog.add_step(Step("after", reads=["color"], writes=["addr"],
+                           statements=[Statement("addr", Reg("color"))]),
+                      after=["classify"])
+        sketch = generate_p4_sketch(prog)
+        assert sketch.index("wave 1") < sketch.index("wave 2")
+
+    def test_opaque_actions_marked_todo(self, example_fib):
+        sketch = generate_p4_sketch(LogicalTcam(example_fib).cram_program())
+        assert "TODO(engineer): opaque action" in sketch
+
+    def test_sketch_for_real_algorithm(self, ipv4_fib):
+        resail = Resail(ipv4_fib)
+        sketch = generate_p4_sketch(resail.cram_program())
+        # Every bitmap and the hash table appear as tables.
+        for i in range(13, 25):
+            assert f"table b{i} " in sketch
+        assert "next_hop_hash" in sketch
+        assert "look_aside" in sketch
+
+    def test_shared_table_declared_once(self, ipv4_fib):
+        from repro.algorithms import Dxr
+
+        sketch = generate_p4_sketch(Dxr(ipv4_fib, k=16).cram_program())
+        assert sketch.count("table ranges {") == 1
+
+
+class TestEffort:
+    def test_effort_summary(self, example_fib):
+        prog = LogicalTcam(example_fib).cram_program()
+        effort = estimate_p4_effort(prog)
+        assert effort["tables"] == 1
+        assert effort["steps"] == 1
+        assert effort["todo_opaque_actions"] == 1

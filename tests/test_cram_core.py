@@ -1,0 +1,225 @@
+"""Unit tests for the CRAM model core: tables, steps, programs, metrics."""
+
+import pytest
+
+from repro.core import (
+    Assoc,
+    Bin,
+    Const,
+    CramMetrics,
+    CramProgram,
+    DependencyError,
+    MatchKind,
+    Reg,
+    Statement,
+    Step,
+    TableSpec,
+    Un,
+    direct_index_table,
+    exact_table,
+    measure,
+    ternary_table,
+)
+from repro.core.step import eval_expr
+
+
+class TestTableAccounting:
+    def test_ternary_keys_cost_tcam(self):
+        t = ternary_table("t", key_width=32, entries=100, data_width=8)
+        assert t.tcam_bits() == 3200
+        assert t.sram_bits() == 800  # associated data only
+
+    def test_exact_keys_cost_sram(self):
+        t = exact_table("t", key_width=25, entries=100, data_width=8)
+        assert t.tcam_bits() == 0
+        assert t.sram_bits() == 100 * (25 + 8)
+
+    def test_direct_index_keys_are_free(self):
+        t = direct_index_table("t", key_width=10, data_width=8)
+        assert t.is_direct_indexed
+        assert t.sram_bits() == 1024 * 8
+
+    def test_non_power_exact_not_direct(self):
+        t = exact_table("t", key_width=10, entries=1000, data_width=8)
+        assert not t.is_direct_indexed
+
+    def test_ternary_needs_key(self):
+        with pytest.raises(ValueError):
+            ternary_table("t", key_width=0, entries=1, data_width=1)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            exact_table("t", key_width=-1, entries=1, data_width=1)
+
+    def test_lookup_without_backing_raises(self):
+        t = exact_table("t", 4, 16, 8)
+        with pytest.raises(RuntimeError):
+            t.lookup(0)
+
+    def test_lookup_default_on_miss(self):
+        t = exact_table("t", 4, 16, 8, backing=lambda k: None, default=99)
+        assert t.lookup(3) == 99
+
+
+class TestExpressions:
+    def test_eval_operand_kinds(self):
+        state = {"r": 5}
+        assert eval_expr(Reg("r"), state, ()) == 5
+        assert eval_expr(Const(7), state, ()) == 7
+        assert eval_expr(Assoc(0), state, (9, 10)) == 9
+        assert eval_expr(Assoc(5), state, (9,)) == 0  # out of range -> 0
+
+    def test_unary_and_binary(self):
+        state = {"a": 6, "b": 2}
+        assert eval_expr(Bin("+", Reg("a"), Reg("b")), state, ()) == 8
+        assert eval_expr(Bin("<<", Reg("a"), Const(1)), state, ()) == 12
+        assert eval_expr(Bin("==", Reg("a"), Const(6)), state, ()) == 1
+        assert eval_expr(Un("!", Reg("a")), state, ()) == 0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Bin("**", Reg("a"), Reg("b"))
+        with pytest.raises(ValueError):
+            Un("sqrt", Reg("a"))
+
+    def test_none_register_reads_as_zero(self):
+        assert eval_expr(Reg("missing"), {}, ()) == 0
+
+
+class TestStepLegality:
+    def test_intra_step_dependency_rejected(self):
+        # Second statement reads what the first wrote: illegal (§2.1).
+        with pytest.raises(ValueError):
+            Step("s", statements=[
+                Statement("x", Const(1)),
+                Statement("y", Reg("x")),
+            ])
+
+    def test_parallel_statements_allowed(self):
+        step = Step("s", statements=[
+            Statement("x", Reg("a")),
+            Statement("y", Reg("a")),
+        ])
+        assert step.reads == {"a"}
+        assert step.writes == {"x", "y"}
+
+    def test_statements_and_action_exclusive(self):
+        with pytest.raises(ValueError):
+            Step("s", statements=[Statement("x", Const(1))], action=lambda s, r: None)
+
+    def test_statement_execution_snapshot_semantics(self):
+        # Both statements must see the pre-step state.
+        step = Step("s", statements=[
+            Statement("x", Bin("+", Reg("y"), Const(1))),
+            Statement("y", Bin("+", Reg("y"), Const(10))),
+        ])
+        state = {"x": 0, "y": 5}
+        step.execute(state)
+        assert state == {"x": 6, "y": 15}
+
+    def test_conditional_statement(self):
+        step = Step("s", statements=[
+            Statement("x", Const(1), cond=Bin(">", Reg("a"), Const(10))),
+        ])
+        state = {"a": 5, "x": 0}
+        step.execute(state)
+        assert state["x"] == 0
+        state = {"a": 50, "x": 0}
+        step.execute(state)
+        assert state["x"] == 1
+
+    def test_conflicts_with(self):
+        a = Step("a", reads=["r"], writes=["w"])
+        b = Step("b", reads=["w"], writes=[])
+        c = Step("c", reads=["r"], writes=[])
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)  # read-read is fine
+
+
+class TestProgramDag:
+    def make(self):
+        prog = CramProgram("p")
+        prog.add_step(Step("a", writes=["x"]))
+        prog.add_step(Step("b", reads=["x"], writes=["y"]))
+        prog.add_step(Step("c", reads=["x"], writes=["z"]))
+        return prog
+
+    def test_infer_dependencies_orders_conflicts(self):
+        prog = self.make()
+        prog.infer_dependencies()
+        prog.validate()
+        assert prog.critical_path_length() == 2  # a -> {b, c} in parallel
+
+    def test_unordered_conflict_rejected(self):
+        prog = self.make()
+        with pytest.raises(DependencyError):
+            prog.validate()
+
+    def test_cycle_rejected(self):
+        prog = self.make()
+        prog.add_dependency("a", "b")
+        with pytest.raises(DependencyError):
+            prog.add_dependency("b", "a")
+
+    def test_self_dependency_rejected(self):
+        prog = self.make()
+        with pytest.raises(ValueError):
+            prog.add_dependency("a", "a")
+
+    def test_duplicate_step_rejected(self):
+        prog = self.make()
+        with pytest.raises(ValueError):
+            prog.add_step(Step("a"))
+
+    def test_unknown_dependency_rejected(self):
+        prog = self.make()
+        with pytest.raises(KeyError):
+            prog.add_dependency("a", "nope")
+
+    def test_critical_path_and_schedule(self):
+        prog = self.make()
+        prog.infer_dependencies()
+        waves = prog.parallel_schedule()
+        assert waves == [["a"], ["b", "c"]]
+        assert prog.critical_path()[0] == "a"
+
+    def test_write_write_conflict_needs_order(self):
+        prog = CramProgram("p")
+        prog.add_step(Step("a", writes=["x"]))
+        prog.add_step(Step("b", writes=["x"]))
+        with pytest.raises(DependencyError):
+            prog.validate()
+        prog.add_dependency("a", "b")
+        prog.validate()
+
+
+class TestMetrics:
+    def test_measure_sums_tables(self):
+        prog = CramProgram("p")
+        t1 = ternary_table("t1", 32, 10, 8)
+        t2 = exact_table("t2", 16, 100, 8)
+        prog.add_step(Step("a", table=t1, writes=["x"]))
+        prog.add_step(Step("b", table=t2, reads=["x"]), after=["a"])
+        m = measure(prog)
+        assert m.tcam_bits == 320
+        assert m.sram_bits == 10 * 8 + 100 * 24
+        assert m.steps == 2
+
+    def test_shared_table_counted_once(self):
+        prog = CramProgram("p")
+        shared = exact_table("t", 16, 100, 8)
+        prog.add_step(Step("a", table=shared, writes=["x"]))
+        prog.add_step(Step("b", table=shared, reads=["x"], writes=["x"]), after=["a"])
+        m = measure(prog)
+        assert m.sram_bits == 100 * 24
+
+    def test_metrics_add_takes_max_steps(self):
+        a = CramMetrics(10, 20, 3)
+        b = CramMetrics(1, 2, 5)
+        c = a + b
+        assert (c.tcam_bits, c.sram_bits, c.steps) == (11, 22, 5)
+
+    def test_fractional_units(self):
+        m = CramMetrics(44 * 512, 128 * 1024, 1)
+        assert m.tcam_blocks == pytest.approx(1.0)
+        assert m.sram_pages == pytest.approx(1.0)

@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic BGP databases, growth model, and scaling."""
+
+import pytest
+
+from repro.datasets import (
+    AS65000_LENGTH_COUNTS,
+    AS131072_LENGTH_COUNTS,
+    growth_series,
+    ipv4_length_distribution,
+    ipv4_table_size,
+    ipv6_length_distribution,
+    ipv6_table_size,
+    multiverse_scale,
+    multiverse_sizes,
+    small_example_fib,
+    synthesize_as65000,
+    synthesize_as131072,
+    years_until_ipv4_exceeds,
+    years_until_ipv6_exceeds,
+)
+from repro.datasets.bgp import IPV6_UNIVERSE_BITS
+from repro.prefix import Fib, LengthDistribution, from_bitstring
+
+
+class TestHistograms:
+    def test_ipv4_totals_near_930k(self):
+        assert 920_000 <= sum(AS65000_LENGTH_COUNTS.values()) <= 940_000
+
+    def test_ipv6_totals_near_190k(self):
+        assert 185_000 <= sum(AS131072_LENGTH_COUNTS.values()) <= 200_000
+
+    def test_ipv4_spikes_match_paper(self):
+        dist = ipv4_length_distribution()
+        assert dist.major_spike() == 24
+        assert set(dist.spikes()) == {16, 20, 22, 24}
+
+    def test_ipv6_spikes_match_paper(self):
+        dist = ipv6_length_distribution()
+        assert dist.major_spike() == 48
+        assert set(dist.spikes()) == {28, 32, 36, 40, 44, 48}
+
+    def test_p2_few_ipv4_prefixes_below_13(self):
+        dist = ipv4_length_distribution()
+        assert dist.count_shorter_than(13) / dist.total < 0.001
+
+    def test_p3_majority_ipv6_longer_than_28(self):
+        dist = ipv6_length_distribution()
+        assert dist.fraction_longer_than(27) > 0.9
+
+    def test_ipv4_long_prefix_count_matches_resail_tcam(self):
+        # ~800 prefixes longer than /24 (RESAIL's 3.13 KB look-aside).
+        assert ipv4_length_distribution().count_longer_than(24) == 800
+
+    def test_scaled_histogram(self):
+        dist = ipv4_length_distribution(scale=0.5)
+        assert dist.total == pytest.approx(930_075 * 0.5, rel=0.01)
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        a = synthesize_as65000(scale=0.002, seed=7)
+        b = synthesize_as65000.__wrapped__(0.002, 7) if hasattr(
+            synthesize_as65000, "__wrapped__") else None
+        c = synthesize_as65000(scale=0.002, seed=7)
+        assert a is c  # cached
+        assert list(a) == list(synthesize_as65000(scale=0.002, seed=7))
+
+    def test_distribution_matches_target(self, ipv4_fib):
+        dist = LengthDistribution.from_prefixes(ipv4_fib.prefixes(), 32)
+        target = ipv4_length_distribution(scale=0.005)
+        for length in range(33):
+            assert dist.count(length) == target.count(length)
+
+    def test_ipv6_universe_property(self, ipv6_fib):
+        for prefix, _hop in ipv6_fib:
+            assert prefix.value >> 61 == IPV6_UNIVERSE_BITS
+
+    def test_value_clustering(self, ipv4_fib):
+        """Prefixes >= /16 concentrate under a bounded slice pool."""
+        slices = {p.value >> 16 for p in ipv4_fib.prefixes() if p.length >= 16}
+        longer = sum(1 for p in ipv4_fib.prefixes() if p.length >= 16)
+        assert len(slices) < longer / 2  # strong sharing
+
+    def test_slice_popularity_is_heavy_tailed(self, ipv6_fib):
+        from collections import Counter
+
+        counts = Counter(
+            p.value >> 40 for p in ipv6_fib.prefixes() if p.length >= 24
+        )
+        top = counts.most_common(1)[0][1]
+        mean = sum(counts.values()) / len(counts)
+        assert top > 10 * mean  # Zipf-like skew drives BSIC's worst case
+
+    def test_example_fib_is_paper_table1(self):
+        fib = small_example_fib()
+        assert len(fib) == 8
+        assert fib.get(from_bitstring("011", 8)) == 1  # entry 2 -> B
+        assert fib.get(from_bitstring("10100011", 8)) == 0  # entry 8 -> A
+
+
+class TestGrowth:
+    def test_2023_anchors(self):
+        assert ipv4_table_size(2023) == 930_000
+        assert ipv6_table_size(2023) == 190_000
+
+    def test_paper_2033_projections(self):
+        # §1: IPv4 could reach 2M by 2033; IPv6 half a million even if linear.
+        assert ipv4_table_size(2033) == pytest.approx(1_860_000, rel=0.01)
+        assert ipv6_table_size(2033, "linear") == pytest.approx(500_000, rel=0.01)
+        assert ipv6_table_size(2033) > 1_500_000  # exponential trend
+
+    def test_backward_extrapolation_reaches_2003_levels(self):
+        assert ipv4_table_size(2003, "linear") == pytest.approx(130_000, rel=0.05)
+        assert ipv6_table_size(2003) < 10_000
+
+    def test_series_monotonic(self):
+        series = growth_series(2003, 2033)
+        assert len(series) == 31
+        assert all(b.ipv4_routes >= a.ipv4_routes for a, b in zip(series, series[1:]))
+        assert all(b.ipv6_routes >= a.ipv6_routes for a, b in zip(series, series[1:]))
+
+    def test_years_until_capacity(self):
+        # RESAIL's 2.25M Tofino-2 capacity lasts ~12.7 years (the
+        # paper's "next decade" claim).
+        assert 10 < years_until_ipv4_exceeds(2_250_000) < 15
+        assert 2.5 < years_until_ipv6_exceeds(390_000) < 4
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ipv4_table_size(2030, "quadratic")
+
+
+class TestMultiverse:
+    def test_scales_by_integer_factor(self, ipv6_fib):
+        scaled = multiverse_scale(ipv6_fib, 4)
+        assert len(scaled) == 4 * len(ipv6_fib)
+
+    def test_universe_bits_distinct(self, ipv6_fib):
+        scaled = multiverse_scale(ipv6_fib, 8)
+        universes = {p.value >> 61 for p in scaled.prefixes()}
+        assert len(universes) == 8
+
+    def test_routing_preserved_within_base_universe(self, ipv6_fib, ipv6_addresses):
+        scaled = multiverse_scale(ipv6_fib, 2)
+        for addr in ipv6_addresses[:200]:
+            assert scaled.lookup(addr) == ipv6_fib.lookup(addr)
+
+    def test_rejects_out_of_range(self, ipv6_fib):
+        with pytest.raises(ValueError):
+            multiverse_scale(ipv6_fib, 9)
+
+    def test_rejects_multi_universe_base(self):
+        fib = Fib(8)
+        fib.insert(from_bitstring("000", 8), 1)
+        fib.insert(from_bitstring("111", 8), 2)
+        with pytest.raises(ValueError):
+            multiverse_scale(fib, 2)
+
+    def test_sizes_helper(self):
+        assert multiverse_sizes(190_000, 3) == [190_000, 380_000, 570_000]

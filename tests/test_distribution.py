@@ -1,0 +1,71 @@
+"""Focused tests for prefix-length distribution analysis (§6.1/§6.3)."""
+
+import pytest
+
+from repro.prefix import LengthDistribution, Prefix, scale_distribution
+
+
+def dist_from(counts, width=32):
+    arr = [0] * (width + 1)
+    for length, count in counts.items():
+        arr[length] = count
+    return LengthDistribution(width, tuple(arr))
+
+
+class TestBasics:
+    def test_from_prefixes(self):
+        prefixes = [Prefix.from_bits(0, 8, 32), Prefix.from_bits(1, 8, 32),
+                    Prefix.from_bits(0, 16, 32)]
+        dist = LengthDistribution.from_prefixes(prefixes, 32)
+        assert dist.count(8) == 2 and dist.count(16) == 1
+        assert dist.total == 3
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LengthDistribution.from_prefixes([Prefix.from_bits(0, 4, 8)], 32)
+
+    def test_counting_helpers(self):
+        dist = dist_from({8: 10, 16: 30, 24: 60})
+        assert dist.count_longer_than(8) == 90
+        assert dist.count_shorter_than(16) == 10
+        assert dist.fraction_longer_than(16) == 0.6
+
+    def test_empty_distribution(self):
+        dist = dist_from({})
+        assert dist.fraction_longer_than(0) == 0.0
+        assert dist.spikes() == []
+        with pytest.raises(ValueError):
+            dist.major_spike()
+
+
+class TestAdvisors:
+    def test_shortest_significant_length(self):
+        # 1 prefix below /13 out of 10,001: the 0.1% tail rule gives 13.
+        dist = dist_from({8: 5, 24: 10_000})
+        assert dist.shortest_significant_length(tail_fraction=0.001) == 24 or \
+            dist.shortest_significant_length(tail_fraction=0.001) > 8
+        # With a fatter allowance the /8s fit under the tail.
+        assert dist.shortest_significant_length(tail_fraction=0.01) > 8
+
+    def test_paper_min_bmp_rule(self):
+        """P2: the AS65000 histogram puts min_bmp at 13."""
+        from repro.datasets import ipv4_length_distribution
+
+        dist = ipv4_length_distribution()
+        assert dist.shortest_significant_length(tail_fraction=0.001) == 13
+
+    def test_spike_threshold(self):
+        dist = dist_from({8: 3, 16: 97})
+        assert dist.spikes(threshold=0.05) == [16]
+        assert set(dist.spikes(threshold=0.01)) == {8, 16}
+
+    def test_scale_distribution(self):
+        dist = dist_from({24: 100})
+        scaled = scale_distribution(dist, 2.5)
+        assert scaled.count(24) == 250
+        with pytest.raises(ValueError):
+            scale_distribution(dist, -1)
+
+    def test_to_dict_omits_zeros(self):
+        dist = dist_from({8: 5, 24: 10})
+        assert dist.to_dict() == {8: 5, 24: 10}

@@ -1,0 +1,111 @@
+"""Unit tests for the d-left hash table."""
+
+import pytest
+
+from repro.memory import DLEFT_OVERHEAD, DLeftHashTable, dleft_cells
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        t = DLeftHashTable(25, 8, capacity=100)
+        t.insert(12345, 7)
+        assert t.lookup(12345) == 7
+        assert t.lookup(54321) is None
+
+    def test_overwrite_same_key(self):
+        t = DLeftHashTable(25, 8, capacity=100)
+        t.insert(1, 1)
+        t.insert(1, 9)
+        assert t.lookup(1) == 9
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = DLeftHashTable(25, 8, capacity=100)
+        t.insert(1, 1)
+        t.delete(1)
+        assert t.lookup(1) is None
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+    def test_key_width_enforced(self):
+        t = DLeftHashTable(4, 8, capacity=16)
+        with pytest.raises(ValueError):
+            t.insert(16, 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DLeftHashTable(8, 8, capacity=0)
+        with pytest.raises(ValueError):
+            DLeftHashTable(8, 8, capacity=10, d=0)
+        with pytest.raises(ValueError):
+            DLeftHashTable(8, 8, capacity=10, overhead=-0.5)
+
+
+class TestLoadBehaviour:
+    def test_no_overflow_at_design_load(self):
+        """The paper's premise: ~80% fill with negligible collisions."""
+        t = DLeftHashTable(25, 8, capacity=50_000)
+        for i in range(50_000):
+            t.insert((i * 2_654_435_761) % (1 << 25), i & 0xFF)
+        assert t.overflow_count == 0
+        assert 0.75 <= t.load_factor <= 0.81
+
+    def test_all_keys_retrievable_at_load(self):
+        t = DLeftHashTable(20, 8, capacity=5_000)
+        keys = [(i * 48_271) % (1 << 20) for i in range(5_000)]
+        for i, key in enumerate(set(keys)):
+            t.insert(key, i & 0xFF)
+        for i, key in enumerate(set(keys)):
+            assert t.lookup(key) == i & 0xFF
+
+    def test_overflow_counted_beyond_provisioning(self):
+        # A deliberately tiny table must spill, not lose entries.
+        t = DLeftHashTable(16, 8, capacity=8, d=1, bucket_cells=1, overhead=0.0)
+        for i in range(64):
+            t.insert(i * 131, i & 0xFF)
+        assert len(t) == 64
+        assert t.overflow_count > 0
+        for i in range(64):
+            assert t.lookup(i * 131) == i & 0xFF
+
+
+class TestAccounting:
+    def test_sram_bits_charges_provisioned_cells(self):
+        t = DLeftHashTable(25, 8, capacity=1000)
+        empty_bits = t.sram_bits()
+        assert empty_bits == t.allocated_cells * 33
+        t.insert(1, 1)
+        assert t.sram_bits() == empty_bits  # provisioning, not population
+
+    def test_dleft_cells_rule(self):
+        assert dleft_cells(1000) == 1250
+        assert dleft_cells(1000, overhead=0.0) == 1000
+        assert DLEFT_OVERHEAD == 0.25
+
+
+class TestAutoGrow:
+    def test_growth_absorbs_overload(self):
+        table = DLeftHashTable(20, 8, capacity=64, auto_grow=True)
+        for i in range(1024):
+            table.insert((i * 48_271) % (1 << 20), i & 0xFF)
+        assert len(table) == 1024
+        assert table.capacity >= 1024
+        assert table.overflow_count == 0
+        assert table.load_factor <= 0.81
+        for i in range(1024):
+            assert table.lookup((i * 48_271) % (1 << 20)) == i & 0xFF
+
+    def test_provisioned_footprint_tracks_growth(self):
+        table = DLeftHashTable(20, 8, capacity=64, auto_grow=True)
+        before = table.sram_bits()
+        for i in range(256):
+            table.insert(i * 977, i & 0xFF)
+        assert table.sram_bits() > before
+
+    def test_no_growth_when_disabled(self):
+        table = DLeftHashTable(20, 8, capacity=64, auto_grow=False)
+        for i in range(512):
+            table.insert(i * 977, i & 0xFF)
+        assert table.capacity == 64
+        assert len(table) == 512  # correctness kept via overflow

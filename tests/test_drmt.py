@@ -1,0 +1,54 @@
+"""Unit tests for the dRMT chip model."""
+
+import pytest
+
+from repro.algorithms import Bsic, Resail, Sail
+from repro.chip import (
+    DRMT,
+    Layout,
+    LogicalTable,
+    MemoryKind,
+    Phase,
+    map_to_drmt,
+    map_to_ideal_rmt,
+)
+
+
+def sram_table(entries, bits):
+    return LogicalTable("t", MemoryKind.SRAM, entries=entries, key_width=0,
+                        data_width=bits)
+
+
+class TestDrmtModel:
+    def test_memory_never_adds_rounds(self):
+        """A huge table costs pool memory, not extra processor rounds."""
+        layout = Layout("big", [Phase("p", [sram_table(10_000_000, 8)])])
+        drmt = map_to_drmt(layout)
+        ideal = map_to_ideal_rmt(layout)
+        assert drmt.stages == 1
+        assert ideal.stages > 1  # RMT must partition across MAUs
+
+    def test_pool_totals_still_bound_feasibility(self):
+        layout = Layout("too-big", [Phase("p", [sram_table(1601 * 16 * 1024, 8)])])
+        assert not map_to_drmt(layout).feasible
+
+    def test_alu_depth_still_costs_rounds(self):
+        layout = Layout("alu", [Phase("p", [], dependent_alu_ops=4)])
+        assert map_to_drmt(layout).stages == 2  # 4 ops at 2/round
+
+    def test_drmt_never_slower_than_ideal_rmt(self, ipv4_fib):
+        """RMT is a stricter dRMT (§2): rounds <= stages for every algorithm."""
+        for algo in (Resail(ipv4_fib), Sail(ipv4_fib), Bsic(ipv4_fib, k=16)):
+            layout = algo.layout()
+            assert map_to_drmt(layout).stages <= map_to_ideal_rmt(layout).stages
+
+    def test_resail_on_drmt_matches_cram_steps_plus_keycon(self, ipv4_fib):
+        """With memory pooled, RESAIL's rounds track its step structure."""
+        resail = Resail(ipv4_fib)
+        drmt = map_to_drmt(resail.layout())
+        # bitmaps+TCAM round, key-construction round, hash round.
+        assert drmt.stages == 3
+
+    def test_spec_memory_matches_tofino2(self):
+        assert DRMT.tcam_blocks == 480
+        assert DRMT.sram_pages == 1600

@@ -1,0 +1,80 @@
+"""Unit tests for the DXR baseline."""
+
+import pytest
+
+from repro.algorithms import Dxr
+from repro.chip import map_to_ideal_rmt
+from repro.prefix import Fib, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+class TestLookup:
+    def test_exhaustive_on_example(self, example_fib):
+        dxr = Dxr(example_fib, k=4)
+        for addr in range(256):
+            assert dxr.lookup(addr) == example_fib.lookup(addr), addr
+
+    def test_matches_oracle(self, ipv4_fib, ipv4_addresses):
+        dxr = Dxr(ipv4_fib, k=16)
+        for addr in ipv4_addresses:
+            assert dxr.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_direct_hop_slices(self):
+        fib = Fib(32)
+        fib.insert(P("10.0.0.0/8"), 1)
+        dxr = Dxr(fib, k=16)
+        assert dxr.lookup(A("10.200.0.1")) == 1
+        assert dxr.lookup(A("11.0.0.1")) is None
+
+    def test_invalid_k(self, ipv4_fib):
+        with pytest.raises(ValueError):
+            Dxr(ipv4_fib, k=0)
+
+
+class TestStructure:
+    def test_sections_are_contiguous_and_sorted(self, example_fib):
+        dxr = Dxr(example_fib, k=4)
+        for entry in dxr.initial:
+            if entry and entry[0] == "section":
+                _tag, start, count = entry
+                lefts = [r.left for r in dxr.ranges[start:start + count]]
+                assert lefts == sorted(lefts)
+
+    def test_search_depth_covers_largest_section(self, ipv4_fib):
+        dxr = Dxr(ipv4_fib, k=16)
+        assert (1 << dxr.search_depth) > dxr.max_section
+
+    def test_single_table_footprint_smaller_than_fanout(self, ipv4_fib):
+        """One range table vs one copy per search level (§4.1's point)."""
+        dxr = Dxr(ipv4_fib, k=16)
+        range_bits = len(dxr.ranges) * (dxr.suffix_bits + 8)
+        duplicated = sum(
+            t.entries * t.sram_entry_bits
+            for phase in dxr.layout().phases[1:]
+            for t in phase.tables
+        )
+        assert dxr.search_depth >= 3
+        assert duplicated == dxr.search_depth * range_bits
+
+
+class TestModel:
+    def test_cram_program_equivalence(self, example_fib):
+        dxr = Dxr(example_fib, k=4)
+        for addr in range(0, 256, 3):
+            assert dxr.cram_lookup(addr) == dxr.lookup(addr)
+
+    def test_cram_counts_range_table_once(self, example_fib):
+        dxr = Dxr(example_fib, k=4)
+        metrics = dxr.cram_metrics()
+        # Initial table (2^4 x 32b) + ONE range table copy.
+        expected_ranges = len(dxr.ranges) * (4 + 8)
+        assert metrics.sram_bits == 16 * 32 + expected_ranges
+
+    def test_layout_duplicates_per_level(self, example_fib):
+        dxr = Dxr(example_fib, k=4)
+        layout = dxr.layout()
+        assert len(layout.phases) == 1 + dxr.search_depth
+        copies = [t for p in layout.phases[1:] for t in p.tables]
+        assert all(t.entries == len(dxr.ranges) for t in copies)

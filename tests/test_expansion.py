@@ -1,0 +1,59 @@
+"""Unit tests for controlled prefix expansion."""
+
+import pytest
+
+from repro.prefix import BinaryTrie, expand_to_lengths, expansion_cost, from_bitstring
+
+
+def P(s, width=8):
+    return from_bitstring(s, width)
+
+
+class TestExpandToLengths:
+    def test_single_prefix_expands(self):
+        out = expand_to_lengths([(P("1"), 5)], [3])
+        assert sorted(p.bits for p, _ in out) == [0b100, 0b101, 0b110, 0b111]
+        assert all(h == 5 for _, h in out)
+
+    def test_longer_original_wins_collisions(self):
+        # 1* -> expands over 10 and 11; the explicit 11/2 must win at 11.
+        out = dict(expand_to_lengths([(P("1"), 5), (P("11"), 7)], [2]))
+        assert out[P("10")] == 5
+        assert out[P("11")] == 7
+
+    def test_allowed_length_passthrough(self):
+        out = expand_to_lengths([(P("10"), 1)], [2, 4])
+        assert out == [(P("10"), 1)]
+
+    def test_expansion_to_next_allowed(self):
+        out = expand_to_lengths([(P("101"), 1)], [2, 4])
+        assert sorted(p.bits for p, _ in out) == [0b1010, 0b1011]
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            expand_to_lengths([(P("10101"), 1)], [2, 4])
+
+    def test_empty_allowed_rejected(self):
+        with pytest.raises(ValueError):
+            expand_to_lengths([(P("1"), 1)], [])
+
+    def test_preserves_lpm_semantics(self):
+        """Expansion must not change any address's longest match."""
+        entries = [(P("0"), 1), (P("01"), 2), (P("0110"), 3), (P("1011"), 4)]
+        original = BinaryTrie(8)
+        for p, h in entries:
+            original.insert(p, h)
+        expanded = BinaryTrie(8)
+        for p, h in expand_to_lengths(entries, [4]):
+            expanded.insert(p, h)
+        for addr in range(256):
+            assert expanded.lookup(addr) == original.lookup(addr), addr
+
+
+class TestExpansionCost:
+    def test_counts_raw_blowup(self):
+        assert expansion_cost([(P("1"), 1)], [3]) == 4
+        assert expansion_cost([(P("1"), 1), (P("111"), 2)], [3]) == 5
+
+    def test_zero_for_exact_lengths(self):
+        assert expansion_cost([(P("101"), 1)], [3]) == 1

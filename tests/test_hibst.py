@@ -1,0 +1,100 @@
+"""Unit tests for the HI-BST baseline."""
+
+import pytest
+
+from repro.algorithms import HiBst
+from repro.algorithms.hibst import NODE_BITS, _common_bits, hibst_layout_from_size
+from repro.chip import map_to_ideal_rmt
+from repro.prefix import Fib, from_bitstring, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+class TestCommonBits:
+    def test_basic(self):
+        assert _common_bits(0b1010, 0b1010, 4) == 4
+        assert _common_bits(0b1010, 0b1011, 4) == 3
+        assert _common_bits(0b0000, 0b1000, 4) == 0
+
+
+class TestLookup:
+    def test_exhaustive_on_example(self, example_fib):
+        hibst = HiBst(example_fib)
+        for addr in range(256):
+            assert hibst.lookup(addr) == example_fib.lookup(addr), addr
+
+    def test_nested_prefix_fallback(self):
+        """The predecessor-miss path: answer comes from an ancestor."""
+        fib = Fib(32)
+        fib.insert(P("10.0.0.0/8"), 1)
+        fib.insert(P("10.0.0.64/26"), 2)
+        hibst = HiBst(fib)
+        # Predecessor of 10.0.0.255 is the /26, which does not cover it.
+        assert hibst.lookup(A("10.0.0.255")) == 1
+        assert hibst.lookup(A("10.0.0.70")) == 2
+
+    def test_deep_nesting_chain(self):
+        fib = Fib(32)
+        for length, hop in [(4, 1), (8, 2), (12, 3), (16, 4)]:
+            fib.insert(P(f"16.0.0.0/{length}"), hop)
+        hibst = HiBst(fib)
+        assert hibst.lookup(A("16.0.0.1")) == 4
+        assert hibst.lookup(A("16.1.0.1")) == 3
+        assert hibst.lookup(A("16.255.0.1")) == 2
+        assert hibst.lookup(A("31.0.0.1")) == 1
+
+    def test_matches_oracle_ipv6(self, ipv6_fib, ipv6_addresses):
+        hibst = HiBst(ipv6_fib)
+        for addr in ipv6_addresses:
+            assert hibst.lookup(addr) == ipv6_fib.lookup(addr)
+
+    def test_empty(self):
+        hibst = HiBst(Fib(32))
+        assert hibst.lookup(0) is None
+
+
+class TestUpdates:
+    def test_insert_delete(self, example_fib):
+        hibst = HiBst(example_fib)
+        extra = from_bitstring("1111", 8)
+        hibst.insert(extra, 7)
+        assert hibst.lookup(0b11110000) == 7
+        hibst.delete(extra)
+        for addr in range(256):
+            assert hibst.lookup(addr) == example_fib.lookup(addr)
+        with pytest.raises(KeyError):
+            hibst.delete(extra)
+
+
+class TestModel:
+    def test_balanced_depth(self, ipv6_fib):
+        hibst = HiBst(ipv6_fib)
+        import math
+
+        assert len(hibst.levels) == math.ceil(math.log2(len(ipv6_fib) + 1))
+
+    def test_cram_program_equivalence(self, example_fib):
+        hibst = HiBst(example_fib)
+        for addr in range(0, 256, 3):
+            assert hibst.cram_lookup(addr) == hibst.lookup(addr)
+
+    def test_paper_scale_accounting(self):
+        """Paper Table 9: ~219 pages / 18 stages at ~190k prefixes."""
+        mapping = map_to_ideal_rmt(hibst_layout_from_size(190_000))
+        assert 200 <= mapping.sram_pages <= 235
+        assert mapping.stages == 18
+        assert mapping.feasible
+
+    def test_stage_ceiling_near_340k(self):
+        """Paper §7.2: HI-BST tops out around 340k prefixes.
+
+        Our exact ceiling is 339,244: levels 0..16 take one stage
+        each, the full level 17 takes two, and level 18 fits one stage
+        only up to 77,101 nodes.
+        """
+        assert map_to_ideal_rmt(hibst_layout_from_size(339_000)).feasible
+        assert not map_to_ideal_rmt(hibst_layout_from_size(345_000)).feasible
+
+    def test_node_bits_constant(self):
+        assert NODE_BITS == 136

@@ -1,0 +1,61 @@
+"""Unit tests for the optimization idioms module."""
+
+import pytest
+
+from repro.core import (
+    TCAM_AREA_FACTOR,
+    Idiom,
+    IdiomApplication,
+    prefer_sram,
+    tag_width,
+)
+
+
+class TestIdiomEnum:
+    def test_eight_idioms_numbered_like_the_paper(self):
+        assert len(Idiom) == 8
+        assert Idiom.COMPRESS_WITH_TCAM.value == 1
+        assert Idiom.MEMORY_FAN_OUT.value == 8
+        assert Idiom.LOOK_ASIDE_TCAM.label == "I6"
+
+    def test_descriptions_present(self):
+        for idiom in Idiom:
+            assert len(idiom.description) > 20
+
+
+class TestPreferSram:
+    def test_break_even_at_3x(self):
+        assert TCAM_AREA_FACTOR == 3
+        assert prefer_sram(expanded_entries=5, tcam_entries=2)  # 5 < 6
+        assert not prefer_sram(expanded_entries=6, tcam_entries=2)  # 6 == 6
+        assert not prefer_sram(expanded_entries=7, tcam_entries=2)
+
+    def test_empty_node_prefers_sram(self):
+        assert prefer_sram(0, 0)
+
+    def test_custom_factor(self):
+        assert prefer_sram(5, 2, c=10)
+        assert not prefer_sram(50, 2, c=10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            prefer_sram(-1, 2)
+
+
+class TestTagWidth:
+    def test_powers_of_two(self):
+        assert tag_width(1) == 0
+        assert tag_width(2) == 1
+        assert tag_width(3) == 2
+        assert tag_width(1024) == 10
+        assert tag_width(1025) == 11
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tag_width(0)
+
+
+def test_idiom_application_describe():
+    app = IdiomApplication(Idiom.LOOK_ASIDE_TCAM, "long prefixes", "no expansion")
+    assert "I6" in app.describe()
+    assert "long prefixes" in app.describe()

@@ -1,0 +1,83 @@
+"""Unit tests for the CRAM interpreter."""
+
+import pytest
+
+from repro.core import (
+    Assoc,
+    Bin,
+    Const,
+    CramProgram,
+    Reg,
+    Statement,
+    Step,
+    direct_index_table,
+    run,
+    run_packet,
+)
+
+
+def build_doubler():
+    """A two-step program: table lookup, then arithmetic on the result."""
+    prog = CramProgram("doubler", registers=["addr", "val", "out"])
+    table = direct_index_table(
+        "squares", 4, 8,
+        key_selector=lambda s: s["addr"] & 15,
+        backing=lambda k: k * k,
+    )
+    prog.add_step(Step("lookup", table=table, reads=["addr"], writes=["val"],
+                       statements=[Statement("val", Assoc(0))]))
+    prog.add_step(Step("double", reads=["val"], writes=["out"],
+                       statements=[Statement("out", Bin("+", Reg("val"), Reg("val")))]),
+                  after=["lookup"])
+    return prog
+
+
+class TestRun:
+    def test_sequential_dataflow(self):
+        state = run(build_doubler(), {"addr": 5})
+        assert state["val"] == 25
+        assert state["out"] == 50
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(KeyError):
+            run(build_doubler(), {"bogus": 1})
+
+    def test_parallel_steps_see_snapshot(self):
+        """Two parallel steps must both read the pre-wave value."""
+        prog = CramProgram("p", registers=["a", "x", "y"])
+        prog.add_step(Step("s1", reads=["a"], writes=["x"],
+                           statements=[Statement("x", Bin("+", Reg("a"), Const(1)))]))
+        prog.add_step(Step("s2", reads=["a"], writes=["y"],
+                           statements=[Statement("y", Bin("+", Reg("a"), Const(2)))]))
+        state = run(prog, {"a": 10})
+        assert (state["x"], state["y"]) == (11, 12)
+
+    def test_skipped_lookup_via_none_key(self):
+        prog = CramProgram("p", registers=["addr", "val"])
+        table = direct_index_table(
+            "t", 4, 8,
+            key_selector=lambda s: None,  # predicated off
+            backing=lambda k: 123,
+        )
+        prog.add_step(Step("lookup", table=table, reads=["addr"], writes=["val"],
+                           action=lambda s, r: s.__setitem__("val", r)))
+        assert run(prog, {"addr": 1})["val"] is None
+
+    def test_validates_before_running(self):
+        prog = CramProgram("p", registers=["x"])
+        prog.add_step(Step("a", writes=["x"]))
+        prog.add_step(Step("b", writes=["x"]))
+        with pytest.raises(Exception):
+            run(prog, {})
+
+
+class TestRunPacket:
+    def test_parser_deparser_pipeline(self):
+        prog = build_doubler()
+        prog.parser = lambda packet: {"addr": packet[0]}
+        prog.deparser = lambda state: bytes([state["out"] & 0xFF])
+        assert run_packet(prog, bytes([3])) == bytes([18])
+
+    def test_missing_parser_rejected(self):
+        with pytest.raises(RuntimeError):
+            run_packet(build_doubler(), b"\x00")

@@ -1,0 +1,82 @@
+"""Unit tests for FIB file I/O."""
+
+import io
+
+import pytest
+
+from repro.datasets import (
+    FibFormatError,
+    dumps_fib,
+    load_fib,
+    loads_fib,
+    save_fib,
+    synthesize_as131072,
+)
+from repro.prefix import Fib, parse_prefix
+
+
+class TestLoad:
+    def test_basic_parse(self):
+        fib = loads_fib("""
+            # a comment
+            10.0.0.0/8 1
+            10.1.0.0/16 2   # trailing comment
+        """)
+        assert len(fib) == 2
+        assert fib.get(parse_prefix("10.1.0.0/16")) == 2
+
+    def test_ipv6(self):
+        fib = loads_fib("2001:db8::/32 7\n")
+        assert fib.width == 64
+        assert len(fib) == 1
+
+    def test_rejects_mixed_families(self):
+        with pytest.raises(FibFormatError, match="mixed"):
+            loads_fib("10.0.0.0/8 1\n2001:db8::/32 2\n")
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(FibFormatError, match="expected"):
+            loads_fib("10.0.0.0/8\n")
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(FibFormatError):
+            loads_fib("10.0.0.1/8 1\n")  # host bits set
+
+    def test_rejects_bad_hop(self):
+        with pytest.raises(FibFormatError, match="not an integer"):
+            loads_fib("10.0.0.0/8 one\n")
+        with pytest.raises(FibFormatError, match="negative"):
+            loads_fib("10.0.0.0/8 -1\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(FibFormatError, match="empty"):
+            loads_fib("# nothing here\n")
+
+    def test_load_from_stream(self):
+        fib = load_fib(io.StringIO("10.0.0.0/8 1\n"))
+        assert len(fib) == 1
+
+
+class TestRoundTrip:
+    def test_ipv4_roundtrip(self, ipv4_fib):
+        text = dumps_fib(ipv4_fib)
+        again = loads_fib(text)
+        assert list(again) == list(ipv4_fib)
+
+    def test_ipv6_roundtrip(self):
+        fib = synthesize_as131072(scale=0.01)
+        again = loads_fib(dumps_fib(fib))
+        assert list(again) == list(fib)
+
+    def test_file_roundtrip(self, tmp_path, ipv4_fib):
+        path = tmp_path / "fib.txt"
+        save_fib(ipv4_fib, path)
+        assert list(load_fib(path)) == list(ipv4_fib)
+
+    def test_unsupported_width_rejected(self):
+        fib = Fib(8)
+        from repro.prefix import from_bitstring
+
+        fib.insert(from_bitstring("01", 8), 1)
+        with pytest.raises(ValueError, match="only IPv4/IPv6"):
+            dumps_fib(fib)

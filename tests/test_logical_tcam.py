@@ -1,0 +1,58 @@
+"""Unit tests for the logical TCAM baseline."""
+
+import pytest
+
+from repro.algorithms import LogicalTcam, logical_tcam_capacity, logical_tcam_layout
+from repro.chip import map_to_ideal_rmt
+from repro.prefix import from_bitstring, parse_prefix
+
+P = parse_prefix
+
+
+class TestLookup:
+    def test_exhaustive_on_example(self, example_fib):
+        ltcam = LogicalTcam(example_fib)
+        for addr in range(256):
+            assert ltcam.lookup(addr) == example_fib.lookup(addr), addr
+
+    def test_matches_oracle(self, ipv4_fib, ipv4_addresses):
+        ltcam = LogicalTcam(ipv4_fib)
+        for addr in ipv4_addresses[:500]:
+            assert ltcam.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_insert_delete(self, example_fib):
+        ltcam = LogicalTcam(example_fib)
+        ltcam.insert(from_bitstring("1111", 8), 7)
+        assert ltcam.lookup(0b11110000) == 7
+        ltcam.delete(from_bitstring("1111", 8))
+        assert ltcam.lookup(0b11110000) is None
+
+    def test_cram_program_equivalence(self, example_fib):
+        ltcam = LogicalTcam(example_fib)
+        for addr in range(0, 256, 5):
+            assert ltcam.cram_lookup(addr) == ltcam.lookup(addr)
+
+    def test_single_step(self, example_fib):
+        assert LogicalTcam(example_fib).cram_metrics().steps == 1
+
+
+class TestCapacity:
+    def test_paper_capacities(self):
+        # §6.5.2/§6.5.3: 245,760 IPv4 entries, 122,880 IPv6 entries.
+        assert logical_tcam_capacity(32) == 245_760
+        assert logical_tcam_capacity(64) == 122_880
+
+    def test_current_tables_do_not_fit(self):
+        # The paper's headline: today's BGP tables overflow pure TCAM.
+        v4 = map_to_ideal_rmt(logical_tcam_layout(930_000, 32))
+        assert not v4.feasible
+        assert v4.stages > 70  # paper: 76
+        v6 = map_to_ideal_rmt(logical_tcam_layout(190_000, 64))
+        assert not v6.feasible
+        assert v6.stages > 28  # paper: 32
+
+    def test_capacity_boundary_is_feasible(self):
+        at_cap = map_to_ideal_rmt(logical_tcam_layout(245_760, 32))
+        assert at_cap.tcam_blocks == 480
+        over = map_to_ideal_rmt(logical_tcam_layout(245_761, 32))
+        assert not over.feasible

@@ -1,0 +1,115 @@
+"""Unit tests for MASHUP."""
+
+import pytest
+
+from repro.algorithms import Mashup, MultibitTrie, default_strides
+from repro.chip import MemoryKind, map_to_ideal_rmt
+from repro.prefix import Fib, from_bitstring, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+class TestHybridization:
+    def test_default_strides(self):
+        assert default_strides(32) == (16, 4, 4, 8)
+        assert default_strides(64) == (20, 12, 16, 16)
+        with pytest.raises(ValueError):
+            default_strides(128)
+
+    def test_sparse_nodes_become_tcam(self):
+        # One prefix in a 4-bit-stride node: 16 slots vs 1 TCAM entry.
+        fib = Fib(8)
+        fib.insert(from_bitstring("1010", 8), 1)
+        mashup = Mashup(fib, [4, 4])
+        kinds = mashup.level_kinds[0]
+        assert len(kinds["tcam"]) == 1
+        assert not kinds["sram"]
+
+    def test_dense_nodes_stay_sram(self):
+        # A fully populated 2-bit node: 4 slots vs 4 entries -> SRAM.
+        fib = Fib(8)
+        for i in range(4):
+            fib.insert(from_bitstring(format(i, "02b"), 8), i)
+        mashup = Mashup(fib, [2, 6])
+        kinds = mashup.level_kinds[0]
+        assert len(kinds["sram"]) == 1
+        assert not kinds["tcam"]
+
+    def test_area_factor_extremes(self, example_fib):
+        all_sram = Mashup(example_fib, [2, 1, 2, 3], area_factor=10**9)
+        assert all(not k["tcam"] for k in all_sram.level_kinds)
+        all_tcam = Mashup(example_fib, [2, 1, 2, 3], area_factor=0)
+        assert all(not k["sram"] for k in all_tcam.level_kinds)
+        for addr in range(256):
+            assert all_sram.lookup(addr) == example_fib.lookup(addr)
+            assert all_tcam.lookup(addr) == example_fib.lookup(addr)
+
+
+class TestLookup:
+    def test_exhaustive_on_example(self, example_fib):
+        mashup = Mashup(example_fib, [2, 1, 2, 3])
+        for addr in range(256):
+            assert mashup.lookup(addr) == example_fib.lookup(addr), addr
+
+    def test_matches_oracle_ipv4(self, ipv4_fib, ipv4_addresses):
+        mashup = Mashup(ipv4_fib)
+        for addr in ipv4_addresses:
+            assert mashup.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_matches_oracle_ipv6(self, ipv6_fib, ipv6_addresses):
+        mashup = Mashup(ipv6_fib)
+        for addr in ipv6_addresses[:500]:
+            assert mashup.lookup(addr) == ipv6_fib.lookup(addr)
+
+    def test_matches_plain_multibit(self, ipv4_fib, ipv4_addresses):
+        """Hybridization must be behaviour-preserving."""
+        mashup = Mashup(ipv4_fib)
+        trie = MultibitTrie(ipv4_fib, list(default_strides(32)))
+        for addr in ipv4_addresses[:500]:
+            assert mashup.lookup(addr) == trie.lookup(addr)
+
+
+class TestUpdates:
+    def test_insert_delete(self, example_fib):
+        mashup = Mashup(example_fib, [2, 1, 2, 3])
+        extra = from_bitstring("1111", 8)
+        mashup.insert(extra, 7)
+        assert mashup.lookup(0b11110101) == 7
+        mashup.delete(extra)
+        for addr in range(256):
+            assert mashup.lookup(addr) == example_fib.lookup(addr)
+
+
+class TestModel:
+    def test_steps_equal_levels(self, example_fib):
+        mashup = Mashup(example_fib, [2, 1, 2, 3])
+        assert mashup.cram_metrics().steps == 4  # paper Tables 4/5
+
+    def test_cram_program_equivalence(self, example_fib):
+        mashup = Mashup(example_fib, [2, 1, 2, 3])
+        for addr in range(256):
+            assert mashup.cram_lookup(addr) == mashup.lookup(addr), addr
+
+    def test_hybrid_beats_pure_sram_on_memory(self, ipv4_fib):
+        mashup = Mashup(ipv4_fib)
+        trie = MultibitTrie(ipv4_fib, list(default_strides(32)))
+        hybrid = map_to_ideal_rmt(mashup.layout())
+        pure = map_to_ideal_rmt(trie.layout())
+        assert hybrid.sram_pages < pure.sram_pages
+
+    def test_coalescing_reduces_fragmentation(self, ipv4_fib):
+        coalesced = map_to_ideal_rmt(Mashup(ipv4_fib, coalesce=True).layout())
+        fragmented = map_to_ideal_rmt(Mashup(ipv4_fib, coalesce=False).layout())
+        assert coalesced.tcam_blocks < fragmented.tcam_blocks
+        assert coalesced.sram_pages <= fragmented.sram_pages
+
+    def test_idioms_declared(self, example_fib):
+        labels = {a.idiom.label for a in Mashup(example_fib, [2, 1, 2, 3]).idioms_applied()}
+        assert labels == {"I1", "I2", "I4", "I5"}
+
+    def test_tcam_entries_match_accounting(self, ipv4_fib):
+        mashup = Mashup(ipv4_fib)
+        for level, kinds in enumerate(mashup.level_kinds):
+            expected = sum(n.tcam_items() for n in kinds["tcam"])
+            assert len(mashup.tcam_levels[level]) == expected

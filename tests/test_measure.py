@@ -1,0 +1,140 @@
+"""Unit + property tests for the measurement extension (§2.5/§2.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run
+from repro.measure import CountMinSketch, HeavyHitters
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        truth = {}
+        for i in range(500):
+            key = (i * 7) % 40
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.query(key) >= count
+
+    def test_exact_when_roomy(self):
+        # Far more counters than keys: collisions are negligible.
+        sketch = CountMinSketch(width=4096, depth=4)
+        for key, count in [(1, 10), (2, 20), (3, 5)]:
+            sketch.update(key, count)
+        assert sketch.query(1) == 10
+        assert sketch.query(2) == 20
+        assert sketch.query(99) == 0
+
+    def test_for_error_sizing(self):
+        sketch = CountMinSketch.for_error(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 272  # e / 0.01
+        assert sketch.depth >= 5  # ln(100)
+
+    def test_epsilon_guarantee_statistically(self):
+        import random
+
+        rng = random.Random(3)
+        sketch = CountMinSketch.for_error(epsilon=0.05, delta=0.05)
+        truth = {}
+        for _ in range(5000):
+            key = rng.randrange(2000)
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        bound = 0.05 * sketch.total
+        violations = sum(
+            1 for key, count in truth.items()
+            if sketch.query(key) - count > bound
+        )
+        assert violations / len(truth) <= 0.05
+
+    def test_counter_saturation(self):
+        sketch = CountMinSketch(width=8, depth=1, counter_bits=4)
+        sketch.update(1, 100)
+        assert sketch.query(1) == 15  # clamped, never wrapped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=99)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_error(epsilon=2, delta=0.1)
+        sketch = CountMinSketch(width=8)
+        with pytest.raises(ValueError):
+            sketch.update(1, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 10)),
+                    max_size=60))
+    def test_property_lower_bound(self, updates):
+        sketch = CountMinSketch(width=32, depth=3)
+        truth = {}
+        for key, count in updates:
+            sketch.update(key, count)
+            truth[key] = truth.get(key, 0) + count
+        for key, count in truth.items():
+            assert sketch.query(key) >= count
+
+
+class TestCramIntegration:
+    def test_update_then_cram_query(self):
+        sketch = CountMinSketch(width=256, depth=3)
+        for _ in range(7):
+            sketch.update(42)
+        program = sketch.cram_program()
+        state = run(program, {"key": 42})
+        assert state["estimate"] == sketch.query(42) == 7
+
+    def test_one_parallel_step_plus_combine(self):
+        """I7: the d row reads share a step; combine follows."""
+        sketch = CountMinSketch(width=64, depth=4)
+        program = sketch.cram_program()
+        waves = program.parallel_schedule()
+        assert len(waves) == 2
+        assert len(waves[0]) == 4
+
+    def test_register_accounting(self):
+        sketch = CountMinSketch(width=1024, depth=4, counter_bits=32)
+        metrics = sketch.cram_metrics()
+        assert metrics.register_bits == 4 * 1024 * 32
+        assert metrics.tcam_bits == 0
+        assert metrics.sram_bits == 0
+        assert metrics.steps == 2
+
+
+class TestHeavyHitters:
+    def test_detects_heavy_flow(self):
+        hh = HeavyHitters(threshold=50, sketch=CountMinSketch(2048, 4))
+        for _ in range(100):
+            hh.update(7)
+        for key in range(200):
+            hh.update(1000 + key)
+        assert hh.is_heavy(7)
+        assert not hh.is_heavy(1003)
+        top_key, top_count = hh.heavy_hitters()[0]
+        assert top_key == 7
+        assert top_count >= 100
+
+    def test_exact_counting_after_promotion(self):
+        hh = HeavyHitters(threshold=10, sketch=CountMinSketch(2048, 4))
+        for _ in range(25):
+            hh.update(5)
+        assert dict(hh.heavy_hitters())[5] == 25
+
+    def test_capacity_eviction(self):
+        hh = HeavyHitters(threshold=2, table_capacity=2,
+                          sketch=CountMinSketch(4096, 4))
+        for key, reps in [(1, 5), (2, 6), (3, 50)]:
+            for _ in range(reps):
+                hh.update(key)
+        assert hh.is_heavy(3)
+        assert len(hh.flows) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(threshold=0)
+        with pytest.raises(ValueError):
+            HeavyHitters(threshold=1, table_capacity=0)

@@ -1,0 +1,124 @@
+"""Unit tests for the multibit trie."""
+
+import pytest
+
+from repro.algorithms import MultibitTrie
+from repro.algorithms.multibit import TrieNode
+from repro.chip import map_to_ideal_rmt
+from repro.prefix import Fib, from_bitstring, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+class TestTrieNode:
+    def test_segment_expansion_precedence(self):
+        node = TrieNode(stride=3, level=0)
+        node.set_segment(0b1, 1, hop=1)  # covers 100..111
+        node.set_segment(0b11, 2, hop=2)  # covers 110..111
+        assert node.hop_at(0b100) == 1
+        assert node.hop_at(0b110) == 2
+        assert node.hop_at(0b000) is None
+
+    def test_remove_segment_restores_shorter(self):
+        node = TrieNode(stride=3, level=0)
+        node.set_segment(0b1, 1, hop=1)
+        node.set_segment(0b11, 2, hop=2)
+        node.remove_segment(0b11, 2)
+        assert node.hop_at(0b110) == 1
+        with pytest.raises(KeyError):
+            node.remove_segment(0b11, 2)
+
+    def test_expanded_slots_matches_hop_at(self):
+        node = TrieNode(stride=4, level=0)
+        node.set_segment(0b10, 2, hop=5)
+        node.set_segment(0b1011, 4, hop=6)
+        slots = node.expanded_slots()
+        for slot in range(16):
+            assert slots.get(slot) == node.hop_at(slot)
+
+    def test_tcam_items_merges_full_segment_with_child(self):
+        node = TrieNode(stride=2, level=0)
+        node.set_segment(0b10, 2, hop=1)
+        node.children[0b10] = TrieNode(stride=2, level=1)
+        assert node.tcam_items() == 1  # shared entry
+        node.children[0b11] = TrieNode(stride=2, level=1)
+        assert node.tcam_items() == 2
+
+    def test_segment_length_bounds(self):
+        node = TrieNode(stride=3, level=0)
+        with pytest.raises(ValueError):
+            node.set_segment(0, 0, hop=1)
+        with pytest.raises(ValueError):
+            node.set_segment(0, 4, hop=1)
+
+
+class TestTrie:
+    def test_strides_must_cover_width(self, ipv4_fib):
+        with pytest.raises(ValueError):
+            MultibitTrie(ipv4_fib, [16, 8])
+        with pytest.raises(ValueError):
+            MultibitTrie(ipv4_fib, [16, 8, 8, -0])
+
+    def test_exhaustive_on_example(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        for addr in range(256):
+            assert trie.lookup(addr) == example_fib.lookup(addr), addr
+
+    def test_matches_oracle(self, ipv4_fib, ipv4_addresses):
+        trie = MultibitTrie(ipv4_fib, [16, 4, 4, 8])
+        for addr in ipv4_addresses:
+            assert trie.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_default_route(self):
+        fib = Fib(32)
+        fib.insert(P("0.0.0.0/0"), 9)
+        trie = MultibitTrie(fib, [16, 16])
+        assert trie.lookup(A("200.0.0.1")) == 9
+
+    def test_insert_delete_roundtrip(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        extra = from_bitstring("1111", 8)
+        trie.insert(extra, 7)
+        assert trie.lookup(0b11110000) == 7
+        trie.delete(extra)
+        for addr in range(256):
+            assert trie.lookup(addr) == example_fib.lookup(addr)
+
+    def test_delete_prunes_empty_nodes(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        nodes_before = sum(len(l) for l in trie.nodes_by_level())
+        deep = from_bitstring("11111111", 8)
+        trie.insert(deep, 7)
+        trie.delete(deep)
+        assert sum(len(l) for l in trie.nodes_by_level()) == nodes_before
+
+    def test_delete_missing_raises(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        with pytest.raises(KeyError):
+            trie.delete(from_bitstring("11", 8))
+
+
+class TestModel:
+    def test_steps_equal_levels(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        assert trie.cram_metrics().steps == 4
+
+    def test_cram_program_equivalence(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        for addr in range(0, 256, 3):
+            assert trie.cram_lookup(addr) == trie.lookup(addr)
+
+    def test_memory_charges_full_nodes(self, example_fib):
+        trie = MultibitTrie(example_fib, [2, 1, 2, 3])
+        levels = trie.nodes_by_level()
+        expected = sum(
+            len(nodes) * (1 << stride)
+            for nodes, stride in zip(levels, trie.strides)
+        )
+        assert trie.layout().total_entries() == expected
+
+    def test_wide_stride_accounting_explodes(self, ipv6_fib):
+        """The §5 motivation: naive IPv6 multibit tries are infeasible."""
+        trie = MultibitTrie(ipv6_fib, [20, 12, 16, 16])
+        assert not map_to_ideal_rmt(trie.layout()).feasible

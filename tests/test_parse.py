@@ -1,0 +1,66 @@
+"""Unit tests for repro.prefix.parse."""
+
+import pytest
+
+from repro.prefix import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Prefix,
+    as_prefix,
+    format_address,
+    parse_ipv4_address,
+    parse_ipv4_prefix,
+    parse_ipv6_address,
+    parse_ipv6_prefix,
+    parse_prefix,
+)
+
+
+class TestIPv4:
+    def test_parse_prefix(self):
+        p = parse_ipv4_prefix("10.1.2.0/23")
+        assert p.width == IPV4_WIDTH
+        assert p.length == 23
+        assert str(p) == "10.1.2.0/23"
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            parse_ipv4_prefix("10.1.2.3/23")
+
+    def test_parse_address(self):
+        assert parse_ipv4_address("10.0.0.1") == 0x0A000001
+
+    def test_format_address(self):
+        assert format_address(0x0A000001, IPV4_WIDTH) == "10.0.0.1"
+
+
+class TestIPv6:
+    def test_parse_prefix_truncates_to_64(self):
+        p = parse_ipv6_prefix("2001:db8::/32")
+        assert p.width == IPV6_WIDTH
+        assert p.length == 32
+        assert p.value == 0x2001_0DB8_0000_0000
+
+    def test_rejects_longer_than_64(self):
+        with pytest.raises(ValueError):
+            parse_ipv6_prefix("2001:db8::/96")
+
+    def test_parse_address_top_64(self):
+        assert parse_ipv6_address("2001:db8::1") == 0x2001_0DB8_0000_0000
+
+
+class TestGeneric:
+    def test_parse_prefix_dispatch(self):
+        assert parse_prefix("10.0.0.0/8").width == IPV4_WIDTH
+        assert parse_prefix("2001:db8::/32").width == IPV6_WIDTH
+
+    def test_bitstring_needs_width(self):
+        with pytest.raises(ValueError):
+            parse_prefix("0101")
+        p = parse_prefix("0101*", width=8)
+        assert p.length == 4 and p.width == 8
+
+    def test_as_prefix_passthrough(self):
+        p = Prefix.from_bits(1, 1, 8)
+        assert as_prefix(p) is p
+        assert as_prefix("10.0.0.0/8") == parse_ipv4_prefix("10.0.0.0/8")

@@ -1,0 +1,155 @@
+"""Unit tests for repro.prefix.prefix."""
+
+import pytest
+
+from repro.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, bitstring, from_bitstring
+
+
+class TestConstruction:
+    def test_from_bits_left_aligns(self):
+        p = Prefix.from_bits(0b101, 3, width=8)
+        assert p.value == 0b10100000
+        assert p.length == 3
+        assert p.bits == 0b101
+
+    def test_rejects_nonzero_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix(0b10100001, 3, 8)
+
+    def test_rejects_bits_wider_than_length(self):
+        with pytest.raises(ValueError):
+            Prefix.from_bits(0b1111, 3, 8)
+
+    def test_rejects_length_beyond_width(self):
+        with pytest.raises(ValueError):
+            Prefix.from_bits(0, 9, 8)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, -1, 8)
+
+    def test_default_prefix(self):
+        p = Prefix.default(8)
+        assert p.length == 0
+        assert p.matches(0) and p.matches(255)
+
+    def test_zero_length_with_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.from_bits(1, 0, 8)
+
+    def test_immutable(self):
+        p = Prefix.from_bits(1, 1, 8)
+        with pytest.raises(AttributeError):
+            p.value = 0
+
+
+class TestBitAccess:
+    def test_bit_indexing_msb_first(self):
+        p = Prefix.from_bits(0b101, 3, 8)
+        assert [p.bit(i) for i in range(3)] == [1, 0, 1]
+
+    def test_bit_out_of_range(self):
+        p = Prefix.from_bits(0b101, 3, 8)
+        with pytest.raises(IndexError):
+            p.bit(3)
+
+    def test_slice_within_length(self):
+        p = Prefix.from_bits(0b110101, 6, 8)
+        assert p.slice(0, 2) == 0b11
+        assert p.slice(2, 4) == 0b0101
+
+    def test_slice_reads_zero_padding(self):
+        p = Prefix.from_bits(0b11, 2, 8)
+        assert p.slice(0, 8) == 0b11000000
+
+    def test_slice_bounds(self):
+        p = Prefix.from_bits(0b11, 2, 8)
+        with pytest.raises(IndexError):
+            p.slice(4, 5)
+
+    def test_empty_slice(self):
+        assert Prefix.from_bits(0b11, 2, 8).slice(3, 0) == 0
+
+
+class TestRelations:
+    def test_matches(self):
+        p = Prefix.from_bits(0b0101, 4, 8)
+        assert p.matches(0b01010000)
+        assert p.matches(0b01011111)
+        assert not p.matches(0b01100000)
+
+    def test_is_prefix_of(self):
+        short = Prefix.from_bits(0b01, 2, 8)
+        long = Prefix.from_bits(0b0110, 4, 8)
+        assert short.is_prefix_of(long)
+        assert short.is_prefix_of(short)
+        assert not long.is_prefix_of(short)
+
+    def test_is_prefix_of_different_width(self):
+        assert not Prefix.from_bits(1, 1, 8).is_prefix_of(Prefix.from_bits(1, 1, 16))
+
+    def test_truncate(self):
+        p = Prefix.from_bits(0b0110, 4, 8)
+        assert p.truncate(2) == Prefix.from_bits(0b01, 2, 8)
+        with pytest.raises(ValueError):
+            p.truncate(5)
+
+    def test_child_and_extend(self):
+        p = Prefix.from_bits(0b01, 2, 8)
+        assert p.child(1) == Prefix.from_bits(0b011, 3, 8)
+        assert p.extend(0b10, 2) == Prefix.from_bits(0b0110, 4, 8)
+        with pytest.raises(ValueError):
+            p.child(2)
+        with pytest.raises(ValueError):
+            Prefix.from_bits(0, 8, 8).child(0)
+
+    def test_address_range(self):
+        p = Prefix.from_bits(0b01, 2, 8)
+        assert p.address_range() == (0b01000000, 0b01111111)
+
+    def test_full_length_range_is_single_address(self):
+        p = Prefix.from_bits(0xAB, 8, 8)
+        assert p.address_range() == (0xAB, 0xAB)
+
+
+class TestExpansion:
+    def test_expansions_enumerates_descendants(self):
+        p = Prefix.from_bits(0b1, 1, 4)
+        got = sorted(x.bits for x in p.expansions(3))
+        assert got == [0b100, 0b101, 0b110, 0b111]
+
+    def test_expansion_to_same_length(self):
+        p = Prefix.from_bits(0b10, 2, 4)
+        assert list(p.expansions(2)) == [p]
+
+    def test_expansion_shorter_rejected(self):
+        with pytest.raises(ValueError):
+            list(Prefix.from_bits(0b10, 2, 4).expansions(1))
+
+
+class TestOrderingAndDisplay:
+    def test_sort_order_value_then_length(self):
+        a = Prefix.from_bits(0b0, 1, 8)
+        b = Prefix.from_bits(0b00, 2, 8)
+        c = Prefix.from_bits(0b1, 1, 8)
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_ipv4_str(self):
+        assert str(Prefix(0x0A000000, 8, IPV4_WIDTH)) == "10.0.0.0/8"
+
+    def test_ipv6_str(self):
+        p = Prefix(0x2001_0DB8_0000_0000, 32, IPV6_WIDTH)
+        assert str(p) == "2001:db8:0:0::/32"
+
+    def test_bitstring_roundtrip(self):
+        p = from_bitstring("010100", 8)
+        assert bitstring(p) == "010100"
+        assert from_bitstring(bitstring(p), 8) == p
+
+    def test_bitstring_rejects_junk(self):
+        with pytest.raises(ValueError):
+            from_bitstring("01a", 8)
+
+    def test_hash_equality(self):
+        assert hash(from_bitstring("01", 8)) == hash(from_bitstring("01", 8))
+        assert from_bitstring("01", 8) != from_bitstring("01", 16)

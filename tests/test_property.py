@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants exercised:
+  * the binary trie is a faithful map + LPM oracle against a model dict;
+  * prefix expansion preserves longest-match semantics exactly;
+  * range expansion + BST search equals trie LPM over the full space;
+  * TCAM prefix search equals trie LPM;
+  * d-left stores and retrieves arbitrary key/value sets;
+  * bit marking is a bijection on (bits, length);
+  * RESAIL/BSIC/MASHUP equal the oracle on arbitrary small FIBs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import Bsic, Mashup, Resail, bit_mark, unmark
+from repro.memory import DLeftHashTable, TcamTable
+from repro.prefix import (
+    BinaryTrie,
+    Fib,
+    Prefix,
+    expand_to_lengths,
+    expand_to_ranges,
+    ranges_to_bst,
+)
+
+WIDTH = 8
+
+
+@st.composite
+def prefixes(draw, width=WIDTH, min_len=0):
+    length = draw(st.integers(min_len, width))
+    bits = draw(st.integers(0, (1 << length) - 1)) if length else 0
+    return Prefix.from_bits(bits, length, width)
+
+
+@st.composite
+def entry_lists(draw, width=WIDTH, min_len=0, max_size=24):
+    raw = draw(st.lists(
+        st.tuples(prefixes(width, min_len), st.integers(0, 15)),
+        max_size=max_size,
+    ))
+    seen, out = set(), []
+    for prefix, hop in raw:
+        if prefix not in seen:
+            seen.add(prefix)
+            out.append((prefix, hop))
+    return out
+
+
+def reference_lpm(entries, address):
+    best = None
+    for prefix, hop in entries:
+        if prefix.matches(address):
+            if best is None or prefix.length > best[0]:
+                best = (prefix.length, hop)
+    return best[1] if best else None
+
+
+class TestTrieProperties:
+    @given(entry_lists(), st.integers(0, 255))
+    def test_trie_lpm_matches_linear_scan(self, entries, address):
+        trie = BinaryTrie(WIDTH)
+        for prefix, hop in entries:
+            trie.insert(prefix, hop)
+        assert trie.lookup(address) == reference_lpm(entries, address)
+
+    @given(entry_lists())
+    def test_insert_delete_all_leaves_empty(self, entries):
+        trie = BinaryTrie(WIDTH)
+        for prefix, hop in entries:
+            trie.insert(prefix, hop)
+        for prefix, _hop in entries:
+            trie.delete(prefix)
+        assert len(trie) == 0
+        assert all(trie.lookup(a) is None for a in range(0, 256, 17))
+
+
+class TestExpansionProperties:
+    @given(entry_lists(min_len=0), st.integers(0, 255))
+    def test_expansion_preserves_lpm(self, entries, address):
+        expanded = expand_to_lengths(entries, [2, 5, 8])
+        before = BinaryTrie(WIDTH)
+        after = BinaryTrie(WIDTH)
+        for p, h in entries:
+            before.insert(p, h)
+        for p, h in expanded:
+            after.insert(p, h)
+        assert after.lookup(address) == before.lookup(address)
+
+    @given(entry_lists(min_len=0))
+    def test_expansion_lengths_are_allowed(self, entries):
+        for prefix, _hop in expand_to_lengths(entries, [2, 5, 8]):
+            assert prefix.length in (2, 5, 8)
+
+
+class TestRangeProperties:
+    @given(entry_lists(min_len=1), st.integers(0, 255))
+    def test_bst_search_equals_lpm(self, entries, address):
+        table = expand_to_ranges(entries, WIDTH, default_hop=None)
+        bst = ranges_to_bst(table)
+        assert bst.search(address) == reference_lpm(entries, address)
+
+    @given(entry_lists(min_len=1))
+    def test_ranges_cover_space_sorted_and_merged(self, entries):
+        table = expand_to_ranges(entries, WIDTH)
+        assert table[0].left == 0
+        lefts = [r.left for r in table]
+        assert lefts == sorted(set(lefts))
+        for a, b in zip(table, table[1:]):
+            assert a.next_hop != b.next_hop  # fully merged
+
+
+class TestTcamProperties:
+    @given(entry_lists(min_len=0), st.integers(0, 255))
+    def test_tcam_prefix_search_is_lpm(self, entries, address):
+        tcam = TcamTable(WIDTH)
+        for prefix, hop in entries:
+            tcam.insert_prefix(prefix, hop)
+        assert tcam.search(address) == reference_lpm(entries, address)
+
+
+class TestDleftProperties:
+    @given(st.dictionaries(st.integers(0, (1 << 20) - 1), st.integers(0, 255),
+                           max_size=200))
+    def test_stores_arbitrary_maps(self, mapping):
+        table = DLeftHashTable(20, 8, capacity=max(1, len(mapping)))
+        for key, value in mapping.items():
+            table.insert(key, value)
+        for key, value in mapping.items():
+            assert table.lookup(key) == value
+        assert len(table) == len(mapping)
+
+
+class TestBitMarkingProperties:
+    @given(st.integers(0, 24).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(0, (1 << n) - 1 if n else 0))
+    ))
+    def test_bijection(self, args):
+        length, bits = args
+        assert unmark(bit_mark(bits, length)) == (bits, length)
+
+
+class TestAlgorithmProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(entry_lists(max_size=16))
+    def test_bsic_equals_oracle(self, entries):
+        fib = Fib(WIDTH, entries)
+        bsic = Bsic(fib, k=4)
+        for address in range(0, 256, 5):
+            assert bsic.lookup(address) == fib.lookup(address)
+
+    @settings(max_examples=25, deadline=None)
+    @given(entry_lists(max_size=16))
+    def test_mashup_equals_oracle(self, entries):
+        fib = Fib(WIDTH, entries)
+        mashup = Mashup(fib, [3, 2, 3])
+        for address in range(0, 256, 5):
+            assert mashup.lookup(address) == fib.lookup(address)
+
+    @settings(max_examples=20, deadline=None)
+    @given(entry_lists(width=32, min_len=1, max_size=12))
+    def test_resail_equals_oracle(self, entries):
+        fib = Fib(32, entries)
+        resail = Resail(fib, min_bmp=13, hash_capacity=1 << 16)
+        probes = [p.value | (0x5A5A5A5A >> p.length if p.length < 32 else 0)
+                  for p, _ in entries] + [0, 0xFFFFFFFF, 0x0A0A0A0A]
+        for address in probes:
+            address &= 0xFFFFFFFF
+            assert resail.lookup(address) == fib.lookup(address)

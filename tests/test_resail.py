@@ -1,0 +1,183 @@
+"""Unit tests for RESAIL."""
+
+import pytest
+
+from repro.algorithms import Resail, bit_mark, unmark
+from repro.algorithms.resail import (
+    resail_layout_from_counts,
+    resail_layout_from_distribution,
+)
+from repro.chip import map_to_ideal_rmt, map_to_tofino2
+from repro.datasets import ipv4_length_distribution
+from repro.prefix import Fib, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+@pytest.fixture()
+def small_resail():
+    fib = Fib(32)
+    fib.insert(P("10.0.0.0/8"), 1)  # shorter than min_bmp: expanded
+    fib.insert(P("10.1.0.0/16"), 2)
+    fib.insert(P("10.1.2.0/24"), 3)
+    fib.insert(P("10.1.2.128/25"), 4)  # look-aside TCAM
+    fib.insert(P("10.1.2.192/27"), 5)  # look-aside TCAM, nested
+    return fib, Resail(fib, min_bmp=13)
+
+
+class TestBitMarking:
+    def test_paper_table2_example(self):
+        # 011 with pivot 6: append 1, shift left 3 -> 0111000.
+        assert bit_mark(0b011, 3, pivot=6) == 0b0111000
+
+    def test_unmark_roundtrip(self):
+        for length in range(25):
+            bits = (1 << length) - 1 if length else 0
+            key = bit_mark(bits, length)
+            assert unmark(key) == (bits, length)
+
+    def test_keys_unique_across_lengths(self):
+        # 0/1 and 00/2 and 000/3 must not collide.
+        keys = {bit_mark(0, n) for n in range(25)}
+        assert len(keys) == 25
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            bit_mark(0, 25)
+        with pytest.raises(ValueError):
+            unmark(0)
+
+
+class TestLookup:
+    def test_hierarchy_and_lookaside(self, small_resail):
+        fib, resail = small_resail
+        for text in ["10.9.9.9", "10.1.9.9", "10.1.2.5", "10.1.2.130",
+                     "10.1.2.200", "11.0.0.1"]:
+            assert resail.lookup(A(text)) == fib.lookup(A(text)), text
+
+    def test_short_prefix_expansion(self, small_resail):
+        fib, resail = small_resail
+        # The /8 is shorter than min_bmp=13: served via expansion slots.
+        assert resail.lookup(A("10.200.0.1")) == 1
+
+    def test_matches_oracle(self, ipv4_fib, ipv4_addresses):
+        resail = Resail(ipv4_fib, min_bmp=13)
+        for addr in ipv4_addresses:
+            assert resail.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_min_bmp_zero_no_expansion(self, ipv4_fib, ipv4_addresses):
+        resail = Resail(ipv4_fib, min_bmp=0)
+        for addr in ipv4_addresses[:400]:
+            assert resail.lookup(addr) == ipv4_fib.lookup(addr)
+
+    def test_invalid_min_bmp(self, ipv4_fib):
+        with pytest.raises(ValueError):
+            Resail(ipv4_fib, min_bmp=25)
+
+    def test_rejects_ipv6(self):
+        with pytest.raises(ValueError):
+            Resail(Fib(64))
+
+
+class TestUpdates:
+    def test_insert_normal_length(self, small_resail):
+        fib, resail = small_resail
+        resail.insert(P("10.2.0.0/16"), 7)
+        assert resail.lookup(A("10.2.1.1")) == 7
+
+    def test_insert_delete_lookaside(self, small_resail):
+        fib, resail = small_resail
+        resail.insert(P("10.1.2.129/32"), 9)
+        assert resail.lookup(A("10.1.2.129")) == 9
+        resail.delete(P("10.1.2.129/32"))
+        assert resail.lookup(A("10.1.2.129")) == 4
+
+    def test_delete_restores_expansion_fallback(self, small_resail):
+        fib, resail = small_resail
+        resail.delete(P("10.1.0.0/16"))
+        assert resail.lookup(A("10.1.9.9")) == 1  # /8 expansion again
+
+    def test_short_prefix_precedence_on_insert_order(self):
+        """A short prefix inserted after a longer one must not clobber it."""
+        fib = Fib(32)
+        resail = Resail(fib, min_bmp=13, hash_capacity=4096)
+        resail.insert(P("10.1.0.0/16"), 2)
+        resail.insert(P("10.0.0.0/8"), 1)  # expansion must skip /16 region
+        assert resail.lookup(A("10.1.0.1")) == 2
+        assert resail.lookup(A("10.2.0.1")) == 1
+
+    def test_delete_short_refills_from_shorter(self):
+        fib = Fib(32)
+        resail = Resail(fib, min_bmp=13, hash_capacity=65536)
+        resail.insert(P("10.0.0.0/8"), 1)
+        resail.insert(P("10.128.0.0/9"), 2)
+        assert resail.lookup(A("10.200.0.1")) == 2
+        resail.delete(P("10.128.0.0/9"))
+        assert resail.lookup(A("10.200.0.1")) == 1
+        resail.delete(P("10.0.0.0/8"))
+        assert resail.lookup(A("10.200.0.1")) is None
+
+    def test_delete_min_bmp_prefix_with_short_cover(self):
+        fib = Fib(32)
+        resail = Resail(fib, min_bmp=13, hash_capacity=65536)
+        resail.insert(P("10.0.0.0/8"), 1)
+        resail.insert(P("10.8.0.0/13"), 3)
+        assert resail.lookup(A("10.8.0.1")) == 3
+        resail.delete(P("10.8.0.0/13"))
+        assert resail.lookup(A("10.8.0.1")) == 1
+
+    def test_delete_missing_raises(self, small_resail):
+        _fib, resail = small_resail
+        with pytest.raises(KeyError):
+            resail.delete(P("99.0.0.0/16"))
+
+
+class TestModel:
+    def test_two_steps(self, small_resail):
+        _fib, resail = small_resail
+        assert resail.cram_metrics().steps == 2  # the paper's headline
+
+    def test_cram_program_equivalence(self, small_resail):
+        fib, resail = small_resail
+        for text in ["10.9.9.9", "10.1.2.130", "10.1.2.200", "11.0.0.1",
+                     "10.1.2.5", "10.200.0.1"]:
+            assert resail.cram_lookup(A(text)) == resail.lookup(A(text)), text
+
+    def test_idioms_declared(self, small_resail):
+        _fib, resail = small_resail
+        labels = {app.idiom.label for app in resail.idioms_applied()}
+        assert labels == {"I3", "I6", "I7"}
+
+    def test_layout_matches_paper_shape(self):
+        layout = resail_layout_from_distribution(ipv4_length_distribution(), 13)
+        ideal = map_to_ideal_rmt(layout)
+        # Paper Table 6: 2 TCAM blocks, ~556 SRAM pages, 9 stages.
+        assert ideal.tcam_blocks == 2
+        assert 500 <= ideal.sram_pages <= 600
+        assert ideal.stages == 9
+        assert ideal.feasible
+
+    def test_tofino_costs_more_but_fits(self):
+        layout = resail_layout_from_distribution(ipv4_length_distribution(), 13)
+        ideal = map_to_ideal_rmt(layout)
+        tofino = map_to_tofino2(layout)
+        assert tofino.sram_pages > ideal.sram_pages
+        assert tofino.stages > ideal.stages
+        assert tofino.tcam_blocks > ideal.tcam_blocks  # bitmask tables
+        assert tofino.feasible
+
+    def test_min_bmp_tradeoff(self):
+        """Larger min_bmp: fewer bitmaps (parallel lookups), more SRAM."""
+        dist = ipv4_length_distribution()
+        lo = map_to_ideal_rmt(resail_layout_from_distribution(dist, 13))
+        hi = map_to_ideal_rmt(resail_layout_from_distribution(dist, 20))
+        lo_tables = len(resail_layout_from_distribution(dist, 13).phases[0].tables)
+        hi_tables = len(resail_layout_from_distribution(dist, 20).phases[0].tables)
+        assert hi_tables < lo_tables
+        assert hi.sram_pages > lo.sram_pages  # expansion inflates the hash
+
+    def test_layout_from_counts_hash_provisioning(self):
+        layout = resail_layout_from_counts(long_prefixes=100, hash_entries=1000)
+        hash_table = layout.phases[-1].tables[0]
+        assert hash_table.entries == 1250  # d-left 25% overhead

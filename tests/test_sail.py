@@ -1,0 +1,116 @@
+"""Unit tests for the SAIL baseline."""
+
+import pytest
+
+from repro.algorithms import Sail
+from repro.algorithms.sail import PIVOT_LEVEL, sail_layout_from_distribution
+from repro.chip import map_to_ideal_rmt
+from repro.datasets import ipv4_length_distribution
+from repro.prefix import Fib, parse_prefix
+
+P = parse_prefix
+A = lambda s: int.from_bytes(bytes(map(int, s.split("."))), "big")
+
+
+@pytest.fixture()
+def small_sail():
+    fib = Fib(32)
+    fib.insert(P("10.0.0.0/8"), 1)
+    fib.insert(P("10.1.0.0/16"), 2)
+    fib.insert(P("10.1.2.0/24"), 3)
+    fib.insert(P("10.1.2.128/25"), 4)  # pivot-pushed
+    fib.insert(P("10.1.2.192/27"), 5)  # pivot-pushed, nested
+    return fib, Sail(fib)
+
+
+class TestLookup:
+    def test_length_hierarchy(self, small_sail):
+        fib, sail = small_sail
+        assert sail.lookup(A("10.9.9.9")) == 1
+        assert sail.lookup(A("10.1.9.9")) == 2
+        assert sail.lookup(A("10.1.2.5")) == 3
+        assert sail.lookup(A("11.0.0.1")) is None
+
+    def test_pivot_pushing_long_prefixes(self, small_sail):
+        fib, sail = small_sail
+        assert sail.lookup(A("10.1.2.130")) == 4
+        assert sail.lookup(A("10.1.2.200")) == 5
+        assert sail.lookup(A("10.1.2.130")) == fib.lookup(A("10.1.2.130"))
+
+    def test_chunk_without_covering_24(self):
+        # A long prefix with no /24 above it: misses inside the chunk
+        # must fall through to shorter lengths.
+        fib = Fib(32)
+        fib.insert(P("10.0.0.0/8"), 1)
+        fib.insert(P("10.1.2.128/25"), 4)
+        sail = Sail(fib)
+        assert sail.lookup(A("10.1.2.130")) == 4
+        assert sail.lookup(A("10.1.2.5")) == 1  # chunk slot empty -> /8
+
+    def test_default_route(self):
+        fib = Fib(32)
+        fib.insert(P("0.0.0.0/0"), 9)
+        sail = Sail(fib)
+        assert sail.lookup(A("200.1.1.1")) == 9
+
+    def test_matches_oracle(self, ipv4_fib, ipv4_addresses):
+        sail = Sail(ipv4_fib)
+        for addr in ipv4_addresses:
+            assert sail.lookup(addr) == ipv4_fib.lookup(addr)
+
+
+class TestUpdates:
+    def test_insert_then_delete_roundtrip(self, small_sail):
+        fib, sail = small_sail
+        sail.insert(P("10.2.0.0/16"), 7)
+        assert sail.lookup(A("10.2.1.1")) == 7
+        sail.delete(P("10.2.0.0/16"))
+        assert sail.lookup(A("10.2.1.1")) == 1
+
+    def test_delete_long_prefix_rebuilds_chunk(self, small_sail):
+        fib, sail = small_sail
+        sail.delete(P("10.1.2.192/27"))
+        assert sail.lookup(A("10.1.2.200")) == 4
+        sail.delete(P("10.1.2.128/25"))
+        assert sail.lookup(A("10.1.2.200")) == 3
+
+    def test_delete_24_under_chunk(self, small_sail):
+        fib, sail = small_sail
+        sail.delete(P("10.1.2.0/24"))
+        assert sail.lookup(A("10.1.2.5")) == 2  # falls back to /16
+        assert sail.lookup(A("10.1.2.130")) == 4  # chunk intact
+
+    def test_delete_missing_raises(self, small_sail):
+        _fib, sail = small_sail
+        with pytest.raises(KeyError):
+            sail.delete(P("99.0.0.0/8"))
+
+
+class TestModel:
+    def test_cram_program_equivalence(self, small_sail):
+        fib, sail = small_sail
+        for addr in [A("10.9.9.9"), A("10.1.2.130"), A("10.1.2.200"),
+                     A("11.0.0.1"), A("10.1.2.5")]:
+            assert sail.cram_lookup(addr) == sail.lookup(addr)
+
+    def test_cram_metrics_dominated_by_arrays(self, small_sail):
+        _fib, sail = small_sail
+        metrics = sail.cram_metrics()
+        assert metrics.tcam_bits == 0  # SRAM-only scheme
+        # Bitmaps (2^25 - 2) + arrays (8 * (2^25 - 2)) dominate: ~36 MB.
+        assert metrics.sram_bits > 36 * 8 * 2**20 * 0.95
+
+    def test_layout_exceeds_tofino2(self):
+        # The §6.5.2 claim: SAIL cannot fit an RMT chip.
+        layout = sail_layout_from_distribution(ipv4_length_distribution())
+        mapping = map_to_ideal_rmt(layout)
+        assert not mapping.feasible
+        assert mapping.sram_pages > 2000  # paper: 2313
+        assert mapping.stages > 20  # paper: 33
+
+    def test_layout_chunks_scale_with_long_prefixes(self):
+        dist = ipv4_length_distribution()
+        layout = sail_layout_from_distribution(dist)
+        chunk_phase = layout.phases[-1]
+        assert chunk_phase.name == "pivot-pushed chunks"
+        assert chunk_phase.tables[0].entries == 800 * 256

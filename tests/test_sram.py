@@ -1,0 +1,83 @@
+"""Unit tests for the SRAM table simulators."""
+
+import pytest
+
+from repro.memory import Bitmap, DirectIndexTable, ExactMatchTable
+
+
+class TestDirectIndexTable:
+    def test_store_load(self):
+        t = DirectIndexTable(4, 8)
+        t.store(3, 42)
+        assert t.load(3) == 42
+        assert t.load(4) is None
+
+    def test_bounds(self):
+        t = DirectIndexTable(4, 8)
+        with pytest.raises(IndexError):
+            t.store(16, 1)
+        with pytest.raises(IndexError):
+            t.load(-1)
+
+    def test_clear_slot(self):
+        t = DirectIndexTable(4, 8)
+        t.store(3, 42)
+        t.clear_slot(3)
+        assert t.load(3) is None
+        t.clear_slot(3)  # idempotent
+
+    def test_sram_bits_charges_full_capacity(self):
+        t = DirectIndexTable(10, 8)
+        assert t.sram_bits() == 1024 * 8  # populated or not
+        t.store(0, 1)
+        assert t.sram_bits() == 1024 * 8
+
+    def test_items_sorted(self):
+        t = DirectIndexTable(4, 8)
+        t.store(5, 1)
+        t.store(2, 2)
+        assert list(t.items()) == [(2, 2), (5, 1)]
+
+
+class TestExactMatchTable:
+    def test_store_load_delete(self):
+        t = ExactMatchTable(16, 8)
+        t.store(0xABCD, 7)
+        assert t.load(0xABCD) == 7
+        t.delete(0xABCD)
+        assert t.load(0xABCD) is None
+        with pytest.raises(KeyError):
+            t.delete(0xABCD)
+
+    def test_key_width_enforced(self):
+        t = ExactMatchTable(8, 8)
+        with pytest.raises(ValueError):
+            t.store(0x100, 1)
+
+    def test_sram_bits_counts_keys_and_data(self):
+        t = ExactMatchTable(16, 8)
+        t.store(1, 1)
+        t.store(2, 2)
+        assert t.sram_bits() == 2 * (16 + 8)
+
+
+class TestBitmap:
+    def test_set_test(self):
+        b = Bitmap(8)
+        assert not b.test(5)
+        b.set(5)
+        assert b.test(5)
+        b.set(5, False)
+        assert not b.test(5)
+
+    def test_set_many_and_len(self):
+        b = Bitmap(8)
+        b.set_many([1, 3, 5])
+        assert len(b) == 3
+        assert b.test(3)
+
+    def test_sram_bits_is_capacity(self):
+        assert Bitmap(20).sram_bits() == 1 << 20
+
+    def test_capacity(self):
+        assert Bitmap(0).capacity == 1

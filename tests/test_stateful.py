@@ -1,0 +1,83 @@
+"""Stateful data-plane operations in the CRAM model (§2.6).
+
+Builds a per-prefix packet counter: an LPM step resolves a route, then
+a register-match step increments that route's counter.  Verifies (a)
+the machine semantics — counters accumulate across packets, and (b)
+the accounting — register bits are counted separately from TCAM/SRAM.
+"""
+
+import pytest
+
+from repro.core import (
+    CramProgram,
+    Step,
+    measure,
+    register_table,
+    run,
+    ternary_table,
+)
+from repro.memory import TcamTable
+from repro.prefix import parse_ipv4_prefix
+
+
+@pytest.fixture()
+def counter_program():
+    routes = TcamTable(32, name="fib")
+    routes.insert_prefix(parse_ipv4_prefix("10.0.0.0/8"), 0)
+    routes.insert_prefix(parse_ipv4_prefix("10.1.0.0/16"), 1)
+    counters = [0, 0]
+
+    prog = CramProgram("counted-lpm", registers=["addr", "route", "count"])
+    fib = ternary_table("fib", 32, len(routes), 8,
+                        key_selector=lambda s: s["addr"], backing=routes)
+    prog.add_step(Step("lpm", table=fib, reads=["addr"], writes=["route"],
+                       action=lambda s, r: s.__setitem__("route", r)))
+
+    def bump(state: dict, result) -> None:
+        if state["route"] is not None:
+            counters[state["route"]] += 1
+            state["count"] = counters[state["route"]]
+
+    regs = register_table(
+        "per-route counters", entries=len(counters), register_width=64,
+        key_selector=lambda s: s.get("route"),
+        backing=lambda i: counters[i],
+    )
+    prog.add_step(Step("count", table=regs, reads=["route"],
+                       writes=["count"], action=bump), after=["lpm"])
+    return prog, counters
+
+
+class TestStatefulSemantics:
+    def test_counters_accumulate(self, counter_program):
+        prog, counters = counter_program
+        for _ in range(3):
+            run(prog, {"addr": 0x0A000001})  # 10.0.0.1 -> route 0
+        run(prog, {"addr": 0x0A010001})  # 10.1.0.1 -> route 1
+        assert counters == [3, 1]
+
+    def test_miss_does_not_count(self, counter_program):
+        prog, counters = counter_program
+        run(prog, {"addr": 0x0B000001})
+        assert counters == [0, 0]
+
+    def test_final_state_carries_count(self, counter_program):
+        prog, _counters = counter_program
+        state = run(prog, {"addr": 0x0A000001})
+        assert state["count"] == 1
+
+
+class TestStatefulAccounting:
+    def test_register_bits_counted_separately(self, counter_program):
+        prog, _counters = counter_program
+        metrics = measure(prog)
+        assert metrics.register_bits == 2 * 64
+        # The register table contributes nothing to plain SRAM/TCAM.
+        assert metrics.tcam_bits == 2 * 32  # the FIB only
+        assert metrics.sram_bits == 2 * 8  # the FIB's next hops only
+
+    def test_register_table_shape(self):
+        spec = register_table("r", entries=1024, register_width=32)
+        assert spec.register_bits == 1024 * 32
+        assert spec.sram_bits() == 0
+        assert spec.tcam_bits() == 0

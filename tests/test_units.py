@@ -1,0 +1,77 @@
+"""Unit tests for the memory unit model."""
+
+import pytest
+
+from repro.core import (
+    KB,
+    MB,
+    SRAM_PAGE_BITS,
+    TCAM_BLOCK_BITS,
+    format_bits,
+    sram_bits_to_pages,
+    sram_pages_for_bits,
+    sram_pages_for_table,
+    tcam_bits_to_blocks,
+    tcam_blocks_for_table,
+)
+
+
+class TestGeometry:
+    def test_block_and_page_bits(self):
+        assert TCAM_BLOCK_BITS == 44 * 512
+        assert SRAM_PAGE_BITS == 128 * 1024
+        assert SRAM_PAGE_BITS == 16 * KB  # a page is 16 KB
+
+    def test_fractional_conversions(self):
+        assert tcam_bits_to_blocks(TCAM_BLOCK_BITS) == 1.0
+        assert sram_bits_to_pages(SRAM_PAGE_BITS // 2) == 0.5
+
+
+class TestTcamBlocks:
+    def test_entries_pack_512_per_block(self):
+        assert tcam_blocks_for_table(512, 32) == 1
+        assert tcam_blocks_for_table(513, 32) == 2
+        assert tcam_blocks_for_table(0, 32) == 0
+
+    def test_wide_keys_gang_blocks(self):
+        # 64-bit IPv6 keys need two 44-bit block columns (§6.5.3).
+        assert tcam_blocks_for_table(512, 64) == 2
+        assert tcam_blocks_for_table(1024, 64) == 4
+
+    def test_paper_logical_tcam_capacities(self):
+        # Tables 8/9: 480 blocks cap pure TCAM at 245,760 IPv4 entries
+        # and 122,880 IPv6 entries.
+        assert tcam_blocks_for_table(245_760, 32) == 480
+        assert tcam_blocks_for_table(245_761, 32) == 481
+        assert tcam_blocks_for_table(122_880, 64) == 480
+
+
+class TestSramPages:
+    def test_narrow_rows_share_words(self):
+        # 33-bit rows: 3 per 128-bit word.
+        assert sram_pages_for_table(3 * 1024, 33) == 1
+        assert sram_pages_for_table(3 * 1024 + 1, 33) == 2
+
+    def test_wide_rows_span_words(self):
+        # 200-bit rows need 2 words each.
+        assert sram_pages_for_table(512, 200) == 1
+        assert sram_pages_for_table(1025, 200) == 3  # 2050 words
+
+    def test_zero_entries(self):
+        assert sram_pages_for_table(0, 64) == 0
+
+    def test_invalid_entry_bits(self):
+        with pytest.raises(ValueError):
+            sram_pages_for_table(1, 0)
+
+    def test_raw_bits_pack_perfectly(self):
+        assert sram_pages_for_bits(SRAM_PAGE_BITS) == 1
+        assert sram_pages_for_bits(SRAM_PAGE_BITS + 1) == 2
+        assert sram_pages_for_bits(0) == 0
+
+
+class TestFormat:
+    def test_paper_style_rendering(self):
+        assert format_bits(3.13 * KB) == "3.13 KB"
+        assert format_bits(8.58 * MB) == "8.58 MB"
+        assert format_bits(12) == "12 b"

@@ -1,0 +1,113 @@
+"""Incremental update tests (Appendix A.3): algorithms under churn.
+
+A randomized insert/delete storm runs against every updatable
+algorithm; after each mutation the algorithm must agree with a
+reference trie maintained in parallel.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    Bsic,
+    HiBst,
+    LogicalTcam,
+    Mashup,
+    MultibitTrie,
+    Resail,
+    Sail,
+    UpdateUnsupported,
+)
+from repro.prefix import Fib, Prefix
+
+
+def random_prefix(rng, width, min_len=1):
+    length = rng.randrange(min_len, width + 1)
+    bits = rng.getrandbits(length) if length else 0
+    return Prefix.from_bits(bits, length, width)
+
+
+def churn(algo, fib, width, steps, rng, probe_addresses):
+    live = dict(fib)
+    for _ in range(steps):
+        prefix = random_prefix(rng, width)
+        if prefix in live and rng.random() < 0.45:
+            algo.delete(prefix)
+            fib.delete(prefix)
+            del live[prefix]
+        else:
+            hop = rng.randrange(32)
+            algo.insert(prefix, hop)
+            fib.insert(prefix, hop)
+            live[prefix] = hop
+        for addr in probe_addresses:
+            assert algo.lookup(addr) == fib.lookup(addr), (prefix, addr)
+
+
+IPV4_UPDATABLE = [
+    ("SAIL", Sail),
+    ("RESAIL", lambda fib: Resail(fib, hash_capacity=1 << 15)),
+    ("BSIC", lambda fib: Bsic(fib, k=8)),
+    ("multibit", lambda fib: MultibitTrie(fib, [8, 8, 8, 8])),
+    ("MASHUP", lambda fib: Mashup(fib, [8, 8, 8, 8])),
+    ("HI-BST", HiBst),
+    ("logical TCAM", LogicalTcam),
+]
+
+
+@pytest.mark.parametrize("name,maker", IPV4_UPDATABLE,
+                         ids=[n for n, _ in IPV4_UPDATABLE])
+def test_update_storm_ipv4(name, maker):
+    rng = random.Random(42)
+    fib = Fib(32)
+    algo = maker(fib)
+    probes = [rng.getrandbits(32) for _ in range(64)]
+    # Seed some probes under prefixes we will insert, by probing after
+    # each step anyway; 80 mutations keeps the slowest rebuilds quick.
+    churn(algo, fib, 32, 80, rng, probes)
+
+
+def test_resail_update_storm_respects_min_bmp_expansion():
+    """Churn concentrated on short prefixes (the expansion machinery)."""
+    rng = random.Random(7)
+    fib = Fib(32)
+    algo = Resail(fib, min_bmp=13, hash_capacity=1 << 16)
+    live = {}
+    probes = [rng.getrandbits(32) for _ in range(64)]
+    for _ in range(120):
+        length = rng.choice([4, 6, 8, 10, 12, 13, 14, 20, 24, 28, 32])
+        prefix = Prefix.from_bits(rng.getrandbits(length), length, 32)
+        if prefix in live and rng.random() < 0.5:
+            algo.delete(prefix)
+            fib.delete(prefix)
+            del live[prefix]
+        else:
+            hop = rng.randrange(64)
+            algo.insert(prefix, hop)
+            fib.insert(prefix, hop)
+            live[prefix] = hop
+        for addr in probes:
+            assert algo.lookup(addr) == fib.lookup(addr)
+
+
+def test_base_class_reports_unsupported():
+    from repro.algorithms.base import LookupAlgorithm
+
+    class Stub(LookupAlgorithm):
+        name, width = "stub", 8
+
+        def lookup(self, address):
+            return None
+
+        def cram_program(self):
+            raise NotImplementedError
+
+        def layout(self):
+            raise NotImplementedError
+
+    stub = Stub()
+    with pytest.raises(UpdateUnsupported):
+        stub.insert(Prefix.from_bits(0, 1, 8), 1)
+    with pytest.raises(UpdateUnsupported):
+        stub.delete(Prefix.from_bits(0, 1, 8))

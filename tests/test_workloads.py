@@ -1,0 +1,56 @@
+"""Unit tests for lookup workload generators."""
+
+import pytest
+
+from repro.datasets import (
+    deepest_match_addresses,
+    matching_addresses,
+    mixed_addresses,
+    uniform_addresses,
+)
+from repro.prefix import Fib
+
+
+class TestUniform:
+    def test_range_and_count(self):
+        addrs = uniform_addresses(32, 1000, seed=1)
+        assert len(addrs) == 1000
+        assert all(0 <= a < (1 << 32) for a in addrs)
+
+    def test_wide_addresses(self):
+        addrs = uniform_addresses(64, 100, seed=1)
+        assert all(0 <= a < (1 << 64) for a in addrs)
+        assert any(a >> 32 for a in addrs)
+
+    def test_deterministic(self):
+        assert uniform_addresses(32, 50, seed=3) == uniform_addresses(32, 50, seed=3)
+
+
+class TestMatching:
+    def test_every_address_hits(self, ipv4_fib):
+        for addr in matching_addresses(ipv4_fib, 500):
+            assert ipv4_fib.lookup(addr) is not None
+
+    def test_empty_fib_rejected(self):
+        with pytest.raises(ValueError):
+            matching_addresses(Fib(32), 10)
+
+
+class TestMixed:
+    def test_hit_fraction_respected(self, ipv4_fib):
+        addrs = mixed_addresses(ipv4_fib, 1000, hit_fraction=0.9, seed=4)
+        hits = sum(1 for a in addrs if ipv4_fib.lookup(a) is not None)
+        assert hits >= 850  # 900 guaranteed hits, misses may also hit
+
+    def test_invalid_fraction(self, ipv4_fib):
+        with pytest.raises(ValueError):
+            mixed_addresses(ipv4_fib, 10, hit_fraction=1.5)
+
+
+class TestDeepest:
+    def test_matches_longest_prefixes(self, ipv4_fib):
+        max_len = max(p.length for p in ipv4_fib.prefixes())
+        for addr in deepest_match_addresses(ipv4_fib, 200):
+            prefix = ipv4_fib.lookup_prefix(addr)
+            assert prefix is not None
+            assert prefix.length == max_len
