@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples clean
+.PHONY: install test ci bench bench-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+ci: test          ## what .github/workflows/ci.yml runs: tests + churn smoke
+	$(PYTHON) -m repro churn --smoke --algo resail --seed 7
+	$(PYTHON) -m repro churn --smoke --algo bsic --seed 7
 
 bench:            ## full paper reproduction (~6 min, full BGP scale)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,51 +1,40 @@
 """Extension experiment: incremental update cost (Appendix A.3).
 
 The paper ranks update friendliness qualitatively: RESAIL and MASHUP
-update in place; BSIC must rebuild from an auxiliary database.  This
-bench measures the behavioural simulators under a BGP-like churn trace
-and checks that ranking — plus correctness after every change.
+update in place; BSIC must rebuild from an auxiliary database.  Two
+benches check that ranking:
+
+* ``test_update_costs`` replays one BGP-like churn trace (from the
+  shared :mod:`repro.control.churn` generator — announcements,
+  withdrawals, next-hop modifies, flap storms) against the raw
+  structures and times each scheme.
+* ``test_managed_churn_fault_ranking`` drives the same schemes through
+  the managed runtime with every fault injector armed, and checks the
+  rebuild-fallback ranking: the in-place schemes absorb the churn
+  without planned rebuilds, while BSIC's rebuild discipline costs one
+  reconstruction per batch — and nobody ever diverges from the oracle.
 """
 
-import random
 import time
 
 from _bench_utils import emit
 
 from repro.algorithms import Bsic, Mashup, Resail
 from repro.analysis import Table
+from repro.control import (
+    ALL_FAULTS,
+    ANNOUNCE,
+    CALM,
+    ChurnGenerator,
+    FaultPlan,
+    Health,
+    ManagedFib,
+    churn_trace,
+)
 from repro.datasets import synthesize_as65000, uniform_addresses
-from repro.prefix import Fib, Prefix
+from repro.prefix import Fib
 
 CHURN = 60
-
-
-def churn_trace(seed: int):
-    rng = random.Random(seed)
-    inserted = []
-    trace = []
-    for _ in range(CHURN):
-        if inserted and rng.random() < 0.4:
-            trace.append(("delete", inserted.pop(rng.randrange(len(inserted))), 0))
-        else:
-            length = rng.choice([16, 20, 24, 24, 24, 28, 32])
-            prefix = Prefix.from_bits(rng.getrandbits(length), length, 32)
-            inserted.append(prefix)
-            trace.append(("insert", prefix, rng.randrange(256)))
-    # Deduplicate repeated inserts of the same prefix.
-    seen = set()
-    cleaned = []
-    live = set()
-    for op, prefix, hop in trace:
-        if op == "insert":
-            if prefix in live:
-                continue
-            live.add(prefix)
-        else:
-            if prefix not in live:
-                continue
-            live.discard(prefix)
-        cleaned.append((op, prefix, hop))
-    return cleaned
 
 
 def test_update_costs(benchmark):
@@ -56,27 +45,30 @@ def test_update_costs(benchmark):
         "MASHUP": Mashup(oracle, (16, 4, 4, 8)),
         "BSIC": Bsic(oracle, k=16),
     }
-    trace = churn_trace(41)
+    # The ops are valid by construction (withdrawals name live routes),
+    # so they can be applied directly to the raw structures.
+    trace = churn_trace(base, CHURN, seed=41, profile=CALM)
     probes = uniform_addresses(32, 64, seed=42)
 
     def replay():
         times = {name: 0.0 for name in algos}
-        for op, prefix, hop in trace:
+        for op in trace:
+            prefix = op.resolve()
             for name, algo in algos.items():
                 start = time.perf_counter()
-                if op == "insert":
-                    algo.insert(prefix, hop)
+                if op.action == ANNOUNCE:
+                    algo.insert(prefix, op.next_hop)
                 else:
                     algo.delete(prefix)
                 times[name] += time.perf_counter() - start
-            if op == "insert":
-                oracle.insert(prefix, hop)
+            if op.action == ANNOUNCE:
+                oracle.insert(prefix, op.next_hop)
             else:
                 oracle.delete(prefix)
             for address in probes:
                 want = oracle.lookup(address)
                 for name, algo in algos.items():
-                    assert algo.lookup(address) == want, (name, op, prefix)
+                    assert algo.lookup(address) == want, (name, op.render())
         return times
 
     times = benchmark.pedantic(replay, rounds=1, iterations=1)
@@ -90,3 +82,61 @@ def test_update_costs(benchmark):
     assert times["RESAIL"] < times["MASHUP"]
     assert times["MASHUP"] < times["BSIC"] * 1.5  # both rebuild-flavoured here
     assert times["RESAIL"] * 5 < times["BSIC"]
+
+
+def test_managed_churn_fault_ranking(benchmark):
+    """Managed churn with all faults: in-place schemes stay in place,
+    BSIC pays a planned rebuild per batch, nobody diverges."""
+    base = synthesize_as65000(scale=0.002)
+    schemes = [
+        ("RESAIL", lambda fib: Resail(fib, min_bmp=13, hash_capacity=1 << 16)),
+        ("MASHUP", lambda fib: Mashup(fib, (16, 4, 4, 8))),
+        ("BSIC", lambda fib: Bsic(fib, k=16)),
+    ]
+    ops, batch_size, seed = 400, 25, 17
+
+    def run():
+        results = {}
+        for name, factory in schemes:
+            managed = ManagedFib(
+                factory, base,
+                faults=FaultPlan.build(sorted(ALL_FAULTS), seed=seed),
+                check_seed=seed,
+            )
+            generator = ChurnGenerator(base, seed=seed)
+            for batch in generator.batches(ops, batch_size):
+                managed.apply_batch(batch)
+            managed.log.check_accounting()
+            results[name] = managed
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(f"Managed churn, {ops} ops + all faults",
+                  ["Scheme", "Applied", "Rebuilt", "Rolled back",
+                   "Planned/recovery rebuilds", "Health"])
+    for name, managed in results.items():
+        log = managed.log
+        table.add_row(
+            name,
+            str(log.count("batch_applied")),
+            str(log.count("batch_rebuilt")),
+            str(log.count("batch_rolled_back")),
+            f"{log.count('rebuild_planned')}/{log.count('rebuild_recovery')}",
+            str(managed.health),
+        )
+    emit("update_fault_ranking", table.render())
+
+    for name, managed in results.items():
+        assert managed.log.count("violation") == 0, name
+        assert managed.health is not Health.FAILED, name
+
+    # The paper's update disciplines, observable in the event logs:
+    # in-place schemes never take a *planned* rebuild, while BSIC's
+    # rebuild discipline reconstructs once per batch.
+    for name in ("RESAIL", "MASHUP"):
+        assert results[name].log.count("rebuild_planned") == 0, name
+        assert results[name].log.count("batch_applied") > 0, name
+    bsic_log = results["BSIC"].log
+    assert bsic_log.count("rebuild_planned") == bsic_log.batches_total
+    assert bsic_log.count("batch_applied") == 0

@@ -1,6 +1,12 @@
 """IP lookup algorithms: the paper's contributions and all baselines."""
 
-from .base import LookupAlgorithm, UpdateUnsupported
+from .base import (
+    UPDATE_IN_PLACE,
+    UPDATE_REBUILD,
+    UPDATE_UNSUPPORTED,
+    LookupAlgorithm,
+    UpdateUnsupported,
+)
 from .bsic import Bsic, BstForest, bsic_layout_from_counts
 from .dxr import Dxr
 from .hibst import HiBst, hibst_layout_from_size
@@ -21,6 +27,9 @@ from .vrf import VrfRouter, tag_prefix
 __all__ = [
     "LookupAlgorithm",
     "UpdateUnsupported",
+    "UPDATE_IN_PLACE",
+    "UPDATE_REBUILD",
+    "UPDATE_UNSUPPORTED",
     "Bsic",
     "BstForest",
     "bsic_layout_from_counts",

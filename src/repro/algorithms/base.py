@@ -18,6 +18,7 @@ HI-BST, logical TCAM) — implements :class:`LookupAlgorithm`:
 from __future__ import annotations
 
 import abc
+import copy
 from typing import List, Optional
 
 from ..chip.layout import Layout
@@ -28,7 +29,19 @@ from ..prefix.prefix import Prefix
 
 
 class UpdateUnsupported(NotImplementedError):
-    """The algorithm does not support this incremental update."""
+    """The algorithm does not support this incremental update.
+
+    The managed runtime (:class:`repro.control.ManagedFib`) treats this
+    as the signal to fall back to a full rebuild from its oracle FIB;
+    algorithms must raise exactly this type — never a bare
+    ``NotImplementedError`` and never a silently wrong structure.
+    """
+
+
+#: The three update disciplines of Appendix A.3.
+UPDATE_IN_PLACE = "in_place"      # true incremental updates (RESAIL, MASHUP)
+UPDATE_REBUILD = "rebuild"        # insert/delete work but rebuild internally (BSIC)
+UPDATE_UNSUPPORTED = "unsupported"  # insert/delete raise UpdateUnsupported
 
 
 class LookupAlgorithm(abc.ABC):
@@ -38,6 +51,11 @@ class LookupAlgorithm(abc.ABC):
     name: str
     #: Address width (32 for IPv4, 64 for the IPv6 global-routing view).
     width: int
+    #: How the scheme takes route updates (Appendix A.3): one of
+    #: :data:`UPDATE_IN_PLACE`, :data:`UPDATE_REBUILD`,
+    #: :data:`UPDATE_UNSUPPORTED`.  The managed runtime routes whole
+    #: batches through a single rebuild for the latter two.
+    update_strategy: str = UPDATE_UNSUPPORTED
 
     @abc.abstractmethod
     def lookup(self, address: int) -> Optional[int]:
@@ -63,10 +81,44 @@ class LookupAlgorithm(abc.ABC):
     # Incremental updates (Appendix A.3); default: unsupported.
     # ------------------------------------------------------------------
     def insert(self, prefix: Prefix, next_hop: int) -> None:
-        raise UpdateUnsupported(f"{self.name} does not support insert")
+        raise UpdateUnsupported(
+            f"{self.name} does not support insert; rebuild from the FIB "
+            "(ManagedFib does this automatically)"
+        )
 
     def delete(self, prefix: Prefix) -> None:
-        raise UpdateUnsupported(f"{self.name} does not support delete")
+        raise UpdateUnsupported(
+            f"{self.name} does not support delete; rebuild from the FIB "
+            "(ManagedFib does this automatically)"
+        )
+
+    @property
+    def supports_updates(self) -> bool:
+        """True if :meth:`insert`/:meth:`delete` are usable at all."""
+        return self.update_strategy != UPDATE_UNSUPPORTED
+
+    # ------------------------------------------------------------------
+    # Transactional hooks (used by repro.control.runtime.ManagedFib)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "LookupAlgorithm":
+        """A control-plane snapshot for transactional rollback.
+
+        The default deep copy is correct for every behavioural
+        simulator in this package (they hold only plain containers);
+        algorithms with cheaper copy-on-write state may override.
+        """
+        return copy.deepcopy(self)
+
+    def begin_update_batch(self) -> None:
+        """Called before a batch of insert/delete calls.
+
+        Algorithms that re-derive expensive structures per update
+        (e.g. MASHUP's hybridization) may defer that work until
+        :meth:`end_update_batch`.
+        """
+
+    def end_update_batch(self) -> None:
+        """Called after a successful batch of insert/delete calls."""
 
     # ------------------------------------------------------------------
     # Executing the CRAM program (model-vs-native equivalence checks)

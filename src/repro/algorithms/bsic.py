@@ -34,7 +34,7 @@ from ..memory.tcam import TcamTable
 from ..prefix.prefix import Prefix
 from ..prefix.ranges import BstNode, expand_to_ranges, ranges_to_bst
 from ..prefix.trie import BinaryTrie, Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_REBUILD, LookupAlgorithm
 
 NEXT_HOP_BITS = 8
 #: BST child pointers are 24 bits: the §7.2 multiverse scaling grows a
@@ -111,6 +111,11 @@ class BstForest:
 
 class Bsic(LookupAlgorithm):
     """Behavioural BSIC for IPv4 (k=16) and IPv6 (k=24)."""
+
+    #: Appendix A.3.2: every update rebuilds from the auxiliary
+    #: database, so a managed runtime should batch updates and rebuild
+    #: once per batch rather than calling insert/delete per route.
+    update_strategy = UPDATE_REBUILD
 
     def __init__(self, fib: Fib, k: Optional[int] = None):
         if k is None:

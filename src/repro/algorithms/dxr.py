@@ -27,7 +27,7 @@ from ..core.table import direct_index_table, exact_table
 from ..prefix.prefix import Prefix
 from ..prefix.ranges import RangeEntry, expand_to_ranges
 from ..prefix.trie import BinaryTrie, Fib
-from .base import LookupAlgorithm
+from .base import LookupAlgorithm, UpdateUnsupported
 
 NEXT_HOP_BITS = 8
 POINTER_BITS = 20
@@ -98,6 +98,23 @@ class Dxr(LookupAlgorithm):
         """Software DXR footprint: initial table + one range table."""
         range_bits = len(self.ranges) * (self.suffix_bits + NEXT_HOP_BITS)
         return (1 << self.k) * INITIAL_SLOT_BITS + range_bits
+
+    # ------------------------------------------------------------------
+    # Updates: unsupported — DXR's merged, right-endpoint-discarded
+    # range table cannot take a single route in place; the managed
+    # runtime rebuilds from the FIB instead.
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        raise UpdateUnsupported(
+            f"{self.name}: the merged range table has no in-place insert; "
+            "rebuild from the FIB"
+        )
+
+    def delete(self, prefix: Prefix) -> None:
+        raise UpdateUnsupported(
+            f"{self.name}: the merged range table has no in-place delete; "
+            "rebuild from the FIB"
+        )
 
     def lookup(self, address: int) -> Optional[int]:
         self._check_address(address)

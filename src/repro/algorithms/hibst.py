@@ -31,7 +31,7 @@ from ..core.step import Step
 from ..core.table import exact_table
 from ..prefix.prefix import Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_REBUILD, LookupAlgorithm
 
 NEXT_HOP_BITS = 8
 POINTER_BITS = 20
@@ -56,6 +56,9 @@ class _Node:
 
 class HiBst(LookupAlgorithm):
     """Behavioural HI-BST over any address family (the paper uses IPv6)."""
+
+    #: Updates rebalance by rebuilding the whole balanced tree.
+    update_strategy = UPDATE_REBUILD
 
     def __init__(self, fib: Fib):
         self.width = fib.width

@@ -19,13 +19,15 @@ from ..core.units import TCAM_BLOCK_ENTRIES, TCAM_BLOCK_WIDTH
 from ..memory.tcam import TcamTable
 from ..prefix.prefix import Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_IN_PLACE, LookupAlgorithm
 
 NEXT_HOP_BITS = 8
 
 
 class LogicalTcam(LookupAlgorithm):
     """All prefixes in one priority-ordered ternary table."""
+
+    update_strategy = UPDATE_IN_PLACE
 
     def __init__(self, fib: Fib):
         self.width = fib.width

@@ -38,7 +38,7 @@ from ..core.table import exact_table, ternary_table
 from ..memory.tcam import TcamTable
 from ..prefix.prefix import Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_IN_PLACE, LookupAlgorithm
 from .multibit import SLOT_BITS, MultibitTrie, TrieNode
 
 DEFAULT_IPV4_STRIDES = (16, 4, 4, 8)
@@ -60,6 +60,8 @@ def default_strides(width: int) -> Tuple[int, ...]:
 class Mashup(LookupAlgorithm):
     """Behavioural MASHUP over a hybridized, coalesced multibit trie."""
 
+    update_strategy = UPDATE_IN_PLACE
+
     def __init__(
         self,
         fib: Fib,
@@ -74,6 +76,7 @@ class Mashup(LookupAlgorithm):
         self.coalesce = coalesce
         self.name = f"MASHUP ({'-'.join(map(str, strides))})"
         self._trie = MultibitTrie(fib, strides)
+        self._in_batch = False
         self._hybridize()
 
     # ------------------------------------------------------------------
@@ -162,10 +165,22 @@ class Mashup(LookupAlgorithm):
     # ------------------------------------------------------------------
     def insert(self, prefix: Prefix, next_hop: int) -> None:
         self._trie.insert(prefix, next_hop)
-        self._hybridize()
+        if not self._in_batch:
+            self._hybridize()
 
     def delete(self, prefix: Prefix) -> None:
         self._trie.delete(prefix)
+        if not self._in_batch:
+            self._hybridize()
+
+    def begin_update_batch(self) -> None:
+        """Defer re-hybridization until the whole batch has landed —
+        the trie absorbs each update in place; the hybrid rendering is
+        derived state that only the final trie needs."""
+        self._in_batch = True
+
+    def end_update_batch(self) -> None:
+        self._in_batch = False
         self._hybridize()
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from ..core.step import Step
 from ..core.table import exact_table
 from ..prefix.prefix import Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_IN_PLACE, LookupAlgorithm
 
 NEXT_HOP_BITS = 8
 POINTER_BITS = 20
@@ -116,6 +116,8 @@ class TrieNode:
 
 class MultibitTrie(LookupAlgorithm):
     """A fixed-stride multibit trie with incremental updates."""
+
+    update_strategy = UPDATE_IN_PLACE
 
     def __init__(self, fib: Fib, strides: Sequence[int]):
         if sum(strides) != fib.width:

@@ -30,8 +30,9 @@ from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.program import CramProgram
 from ..core.step import Step
 from ..core.table import exact_table
+from ..prefix.prefix import Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import LookupAlgorithm, UpdateUnsupported
 
 STRIDE = 6
 NEXT_HOP_BITS = 16  # poptrie stores 16-bit leaves
@@ -135,6 +136,22 @@ class Poptrie(LookupAlgorithm):
         for offset, child_index in enumerate(child_indexes):
             assert child_index == node.child_base + offset
         return index
+
+    # ------------------------------------------------------------------
+    # Updates: unsupported — the packed node/leaf arrays and popcount
+    # bases shift under any mutation; rebuild from the FIB instead.
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        raise UpdateUnsupported(
+            f"{self.name}: packed popcount arrays have no in-place insert; "
+            "rebuild from the FIB"
+        )
+
+    def delete(self, prefix: Prefix) -> None:
+        raise UpdateUnsupported(
+            f"{self.name}: packed popcount arrays have no in-place delete; "
+            "rebuild from the FIB"
+        )
 
     # ------------------------------------------------------------------
     # Lookup

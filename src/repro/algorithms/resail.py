@@ -35,7 +35,7 @@ from ..memory.tcam import TcamTable
 from ..prefix.distribution import LengthDistribution
 from ..prefix.prefix import IPV4_WIDTH, Prefix
 from ..prefix.trie import BinaryTrie, Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_IN_PLACE, LookupAlgorithm
 
 PIVOT_LEVEL = 24
 NEXT_HOP_BITS = 8
@@ -65,6 +65,8 @@ def unmark(key: int, pivot: int = PIVOT_LEVEL) -> Tuple[int, int]:
 
 class Resail(LookupAlgorithm):
     """Behavioural RESAIL with incremental updates (Appendix A.3.1)."""
+
+    update_strategy = UPDATE_IN_PLACE
 
     def __init__(self, fib: Fib, min_bmp: int = DEFAULT_MIN_BMP,
                  hash_capacity: Optional[int] = None):
@@ -152,9 +154,14 @@ class Resail(LookupAlgorithm):
                 self._refill_slot(expanded.bits)
 
     def _claim_slot(self, slot: int, origin_length: int, next_hop: int) -> None:
-        """Expansion slot ownership: longer originals win (§3.2)."""
+        """Expansion slot ownership: longer originals win (§3.2).
+
+        An equal-length claim comes from the *same* prefix (a slot has one
+        ancestor per length), i.e. a next-hop modify — it must fall through
+        and overwrite the stored hop.
+        """
         current = self._slot_origin.get(slot)
-        if current is not None and current >= origin_length:
+        if current is not None and current > origin_length:
             return
         self._slot_origin[slot] = origin_length
         self.bitmaps[self.min_bmp].set(slot)

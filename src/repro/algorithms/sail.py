@@ -25,7 +25,7 @@ from ..memory.sram import Bitmap, DirectIndexTable
 from ..prefix.distribution import LengthDistribution
 from ..prefix.prefix import IPV4_WIDTH, Prefix
 from ..prefix.trie import Fib
-from .base import LookupAlgorithm
+from .base import UPDATE_IN_PLACE, LookupAlgorithm
 
 PIVOT_LEVEL = 24
 NEXT_HOP_BITS = 8
@@ -34,6 +34,8 @@ CHUNK_SIZE = 1 << (IPV4_WIDTH - PIVOT_LEVEL)  # 256 expanded hops per chunk
 
 class Sail(LookupAlgorithm):
     """Behavioural SAIL with pivot pushing."""
+
+    update_strategy = UPDATE_IN_PLACE
 
     def __init__(self, fib: Fib):
         if fib.width != IPV4_WIDTH:

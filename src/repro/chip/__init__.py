@@ -12,13 +12,14 @@ from .mapping import (
     phase_stages,
 )
 from .specs import IDEAL_RMT, TOFINO2, TOFINO2_TCAM_KEY_WIDTH, ChipSpec
-from .tofino2 import map_to_tofino2
+from .tofino2 import map_to_tofino2, tofino2_fit_report
 
 __all__ = [
     "DRMT",
     "map_to_drmt",
     "map_to_ideal_rmt",
     "map_to_tofino2",
+    "tofino2_fit_report",
     "Layout",
     "LogicalTable",
     "MemoryKind",

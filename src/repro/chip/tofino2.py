@@ -24,7 +24,7 @@ Tofino-2 when explaining its deltas from the ideal RMT chip:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from .layout import Layout
 from .mapping import (
@@ -58,3 +58,42 @@ def map_to_tofino2(layout: Layout) -> ChipMapping:
     if not mapping.fits_single_pass and mapping.feasible:
         mapping = ChipMapping(layout.name, TOFINO2, phase_allocations, recirculated=True)
     return mapping
+
+
+def tofino2_fit_report(
+    layout: Layout,
+    tcam_blocks: Optional[int] = None,
+    sram_pages: Optional[int] = None,
+    stage_budget: Optional[int] = None,
+) -> Tuple["ChipMapping", List[str]]:
+    """Map a layout onto Tofino-2 and report every exceeded limit.
+
+    The managed FIB runtime's capacity guard calls this after each
+    update batch; limits default to the full chip envelope
+    (recirculation doubling the stage budget) but can be tightened to
+    model a layout sharing the pipe with other programs.
+
+    Returns the mapping plus a list of human-readable reasons, empty
+    when the layout fits.
+    """
+    if tcam_blocks is None:
+        tcam_blocks = TOFINO2.tcam_blocks
+    if sram_pages is None:
+        sram_pages = TOFINO2.sram_pages
+    if stage_budget is None:
+        stage_budget = TOFINO2.stages * 2  # one recirculation allowed
+    mapping = map_to_tofino2(layout)
+    reasons: List[str] = []
+    if mapping.tcam_blocks > tcam_blocks:
+        reasons.append(
+            f"TCAM blocks {mapping.tcam_blocks} > budget {tcam_blocks}"
+        )
+    if mapping.sram_pages > sram_pages:
+        reasons.append(
+            f"SRAM pages {mapping.sram_pages} > budget {sram_pages}"
+        )
+    if mapping.stages > stage_budget:
+        reasons.append(
+            f"stages {mapping.stages} > budget {stage_budget}"
+        )
+    return mapping, reasons

@@ -180,6 +180,74 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Drive an algorithm through managed BGP-like churn (robustness)."""
+    from .control import (
+        ALL_FAULTS,
+        CapacityGuard,
+        ChurnGenerator,
+        FaultPlan,
+        Health,
+        ManagedFib,
+        PROFILES,
+        RuntimePolicy,
+    )
+
+    if args.smoke:
+        args.ops = 200
+        args.faults = "all"
+
+    if args.fib:
+        base = load_fib(args.fib)
+    else:
+        maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
+        base = maker(scale=args.scale)
+
+    if args.faults == "all":
+        fault_names = sorted(ALL_FAULTS)
+    elif args.faults in ("none", ""):
+        fault_names = []
+    else:
+        fault_names = [n.strip() for n in args.faults.split(",") if n.strip()]
+    try:
+        plan = FaultPlan.build(fault_names, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    guard = CapacityGuard(tcam_blocks=args.tcam_budget,
+                          sram_pages=args.sram_budget)
+    policy = RuntimePolicy(rebuild_budget=args.rebuild_budget)
+    managed = ManagedFib(
+        lambda fib: _build(args.algo, fib),
+        base,
+        policy=policy,
+        guard=guard,
+        faults=plan,
+        check_seed=args.seed,
+    )
+    generator = ChurnGenerator(base, seed=args.seed,
+                               profile=PROFILES[args.profile])
+    print(f"churn: algo={args.algo} family={args.family} "
+          f"base={len(base)} prefixes ops={args.ops} batch={args.batch} "
+          f"seed={args.seed} profile={args.profile} "
+          f"faults={','.join(fault_names) or 'none'}")
+    for batch in generator.batches(args.ops, args.batch):
+        managed.apply_batch(batch)
+        if managed.health is Health.FAILED:
+            break
+    managed.log.check_accounting()
+    print(managed.log.summary())
+    print(f"final: health={managed.health} table={len(managed)} prefixes "
+          f"simulated_backoff={managed.simulated_backoff_s * 1000:.3f}ms")
+    if managed.minimal_repro is not None:
+        label = ("minimal repro: " if managed.log.count("repro_shrunk")
+                 else "repro trace (replay could not reproduce; unshrunk): ")
+        print(label + " ".join(op.render() for op in managed.minimal_repro))
+    failed = (managed.health is Health.FAILED
+              or managed.log.count("violation") > 0)
+    return 1 if failed else 0
+
+
 def cmd_growth(args: argparse.Namespace) -> int:
     v4 = ipv4_table_size(args.year)
     v6 = ipv6_table_size(args.year)
@@ -236,6 +304,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fib", required=True)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser(
+        "churn",
+        help="run managed BGP-like churn with fault injection",
+        description="Wrap an algorithm in the managed FIB runtime and "
+                    "drive it with seeded BGP-like churn, optionally "
+                    "injecting faults; prints a deterministic event-log "
+                    "summary and exits nonzero on FAILED health or any "
+                    "differential violation.",
+    )
+    p.add_argument("--algo", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--family", choices=["v4", "v6"], default="v4")
+    p.add_argument("--fib", help="FIB file to start from (overrides "
+                                 "--family/--scale synthesis)")
+    p.add_argument("--scale", type=float, default=0.001,
+                   help="synthetic table scale (default 0.001, ~930 routes)")
+    p.add_argument("--ops", type=int, default=1000)
+    p.add_argument("--batch", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", choices=["calm", "default", "stormy"],
+                   default="default")
+    p.add_argument("--faults", default="none",
+                   help="'all', 'none', or comma-separated fault names")
+    p.add_argument("--rebuild-budget", type=int, default=64)
+    p.add_argument("--tcam-budget", type=int, default=None,
+                   help="tighten the TCAM-block capacity guard")
+    p.add_argument("--sram-budget", type=int, default=None,
+                   help="tighten the SRAM-page capacity guard")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI smoke mode: 200 ops, all faults")
+    p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
     p.add_argument("--year", type=int, default=2033)

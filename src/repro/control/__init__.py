@@ -1,0 +1,74 @@
+"""The control plane around the lookup structures.
+
+The paper's algorithms answer "how do we look up"; this package
+answers "how do we keep the structure correct while the table churns":
+a managed runtime with transactional update batches, rebuild fallback,
+capacity guards, and differential checking, plus the seeded churn and
+fault generators the benchmarks and robustness tests drive it with.
+"""
+
+from .check import (
+    DifferentialChecker,
+    Violation,
+    make_failure_predicate,
+    replay,
+    shrink_trace,
+)
+from .churn import (
+    ANNOUNCE,
+    CALM,
+    DEFAULT,
+    PROFILES,
+    STORMY,
+    WITHDRAW,
+    ChurnGenerator,
+    ChurnProfile,
+    UpdateOp,
+    churn_trace,
+)
+from .events import Event, EventLog
+from .faults import (
+    ALL_FAULTS,
+    BucketOverflowFault,
+    DuplicateWithdrawFault,
+    FaultInjector,
+    FaultPlan,
+    GhostWithdrawFault,
+    MalformedPrefixFault,
+    MidUpdateExceptionFault,
+    SimulatedFault,
+)
+from .runtime import CapacityGuard, Health, ManagedFib, RuntimePolicy
+
+__all__ = [
+    "ANNOUNCE",
+    "WITHDRAW",
+    "CALM",
+    "DEFAULT",
+    "STORMY",
+    "PROFILES",
+    "ChurnGenerator",
+    "ChurnProfile",
+    "UpdateOp",
+    "churn_trace",
+    "Event",
+    "EventLog",
+    "ALL_FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "SimulatedFault",
+    "MalformedPrefixFault",
+    "GhostWithdrawFault",
+    "DuplicateWithdrawFault",
+    "MidUpdateExceptionFault",
+    "BucketOverflowFault",
+    "DifferentialChecker",
+    "Violation",
+    "replay",
+    "make_failure_predicate",
+    "shrink_trace",
+    "CapacityGuard",
+    "Health",
+    "ManagedFib",
+    "RuntimePolicy",
+]

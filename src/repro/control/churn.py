@@ -1,0 +1,298 @@
+"""Deterministic BGP-like churn generation.
+
+Real routing tables do not receive uniform random updates: BGP feeds
+mix announcements and withdrawals roughly 2:1, next-hop changes
+re-announce existing prefixes, unstable links *flap* (the same prefix
+announced and withdrawn in quick succession), and provider outages
+withdraw whole swaths of correlated prefixes at once.  The paper's
+update discipline (Appendix A.3) is judged against exactly this kind
+of traffic, so the benchmarks and the robustness tests share one
+generator instead of each hand-rolling a trace.
+
+Everything is driven by a single ``random.Random(seed)``; the same
+seed always yields the same operation stream.  Prefix lengths are
+drawn from the calibrated AS65000 / AS131072 histograms in
+:mod:`repro.datasets.bgp`, so churn traffic has the same length mix
+as the tables it lands on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..datasets.bgp import AS65000_LENGTH_COUNTS, AS131072_LENGTH_COUNTS
+from ..prefix.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, PrefixError
+from ..prefix.trie import Fib
+
+ANNOUNCE = "announce"
+WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One routing update.
+
+    A well-formed op carries a :class:`Prefix`.  Fault injectors build
+    *malformed* ops instead: ``prefix`` is ``None`` and ``raw`` holds
+    the (bits, length, width) triple exactly as it arrived off the
+    wire; :meth:`resolve` then raises :class:`PrefixError`, which the
+    managed runtime must absorb without corrupting the FIB.
+    """
+
+    action: str  # ANNOUNCE or WITHDRAW
+    prefix: Optional[Prefix] = None
+    next_hop: Optional[int] = None
+    raw: Optional[Tuple[int, int, int]] = None
+    fault: Optional[str] = None  # name of the injector that made this op
+
+    def resolve(self) -> Prefix:
+        """The op's prefix, validating raw bits if present."""
+        if self.raw is not None:
+            return Prefix.from_bits(*self.raw)
+        if self.prefix is None:
+            raise PrefixError("update op carries no prefix")
+        return self.prefix
+
+    def render(self) -> str:
+        if self.raw is not None:
+            bits, length, width = self.raw
+            what = f"raw({bits:#x}/{length}@{width})"
+        else:
+            what = str(self.prefix)
+        if self.action == ANNOUNCE:
+            return f"+{what}->{self.next_hop}"
+        return f"-{what}"
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Mix of update behaviours, as probabilities per generated op.
+
+    The defaults model a moderately unstable feed: two announcements
+    for each withdrawal, a sixth of announcements being next-hop
+    modifies of live routes, and occasional flap storms / correlated
+    withdraws.  Events that need live state (withdraw, modify) fall
+    back to fresh announcements while the table is empty.
+    """
+
+    withdraw: float = 0.30
+    modify: float = 0.12
+    flap_storm: float = 0.01
+    correlated_withdraw: float = 0.005
+    flap_length: Tuple[int, int] = (4, 10)  # inclusive range of storm ops
+    correlated_slice: int = 16  # withdraw everything under one /16
+    correlated_cap: int = 32  # ... up to this many prefixes
+
+    def validate(self) -> None:
+        if not 0 <= self.withdraw + self.modify <= 1:
+            raise ValueError("withdraw + modify probabilities exceed 1")
+
+
+#: Stable profile for smoke tests: no storms, light withdrawal.
+CALM = ChurnProfile(withdraw=0.2, modify=0.1, flap_storm=0.0,
+                    correlated_withdraw=0.0)
+#: Default realistic mix.
+DEFAULT = ChurnProfile()
+#: Hostile mix for stress runs: heavy withdrawal and frequent storms.
+STORMY = ChurnProfile(withdraw=0.4, modify=0.1, flap_storm=0.05,
+                      correlated_withdraw=0.02)
+
+PROFILES: Dict[str, ChurnProfile] = {
+    "calm": CALM,
+    "default": DEFAULT,
+    "stormy": STORMY,
+}
+
+
+class _LiveSet:
+    """The generator's view of currently-announced prefixes.
+
+    Supports O(1) membership, O(1) uniform random choice, and O(1)
+    removal (swap-with-last), all deterministic under a seeded rng.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[Prefix, int]]):
+        self._hops: Dict[Prefix, int] = {}
+        self._order: List[Prefix] = []
+        self._index: Dict[Prefix, int] = {}
+        for prefix, hop in entries:
+            self.announce(prefix, hop)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._hops
+
+    def hop(self, prefix: Prefix) -> int:
+        return self._hops[prefix]
+
+    def announce(self, prefix: Prefix, hop: int) -> None:
+        if prefix not in self._hops:
+            self._index[prefix] = len(self._order)
+            self._order.append(prefix)
+        self._hops[prefix] = hop
+
+    def withdraw(self, prefix: Prefix) -> None:
+        i = self._index.pop(prefix)
+        last = self._order.pop()
+        if last is not prefix:
+            self._order[i] = last
+            self._index[last] = i
+        del self._hops[prefix]
+
+    def choose(self, rng: random.Random) -> Prefix:
+        return self._order[rng.randrange(len(self._order))]
+
+
+def _length_weights(width: int) -> Tuple[List[int], List[int]]:
+    counts = AS65000_LENGTH_COUNTS if width == IPV4_WIDTH else AS131072_LENGTH_COUNTS
+    if width not in (IPV4_WIDTH, IPV6_WIDTH):
+        # Toy widths: uniform over [1, width].
+        return list(range(1, width + 1)), [1] * width
+    lengths = sorted(length for length in counts if length <= width)
+    return lengths, [counts[length] for length in lengths]
+
+
+class ChurnGenerator:
+    """A seeded stream of BGP-like :class:`UpdateOp` values.
+
+    The generator tracks its own live set (seeded from ``base``), so
+    every op it emits is *valid by construction*: withdrawals name
+    live prefixes, announcements of new prefixes do not collide, and
+    modifies change the next hop of live routes.  Invalid traffic is
+    the business of :mod:`repro.control.faults`, which mutates batches
+    after generation — keeping "realistic churn" and "hostile input"
+    separately controllable.
+    """
+
+    def __init__(
+        self,
+        base: Fib,
+        seed: int = 0,
+        profile: ChurnProfile = DEFAULT,
+        next_hops: int = 256,
+    ):
+        profile.validate()
+        self.width = base.width
+        self.profile = profile
+        self.next_hops = next_hops
+        self._rng = random.Random(seed)
+        self._live = _LiveSet(list(base))
+        self._lengths, self._weights = _length_weights(base.width)
+        self._pending: List[UpdateOp] = []
+
+    # ------------------------------------------------------------------
+    # Op construction
+    # ------------------------------------------------------------------
+    def _fresh_prefix(self) -> Prefix:
+        rng = self._rng
+        while True:
+            length = rng.choices(self._lengths, self._weights)[0]
+            bits = rng.getrandbits(length) if length else 0
+            prefix = Prefix.from_bits(bits, length, self.width)
+            if prefix not in self._live:
+                return prefix
+
+    def _announce_new(self) -> UpdateOp:
+        prefix = self._fresh_prefix()
+        hop = self._rng.randrange(self.next_hops)
+        self._live.announce(prefix, hop)
+        return UpdateOp(ANNOUNCE, prefix, hop)
+
+    def _withdraw_live(self) -> UpdateOp:
+        prefix = self._live.choose(self._rng)
+        self._live.withdraw(prefix)
+        return UpdateOp(WITHDRAW, prefix)
+
+    def _modify_live(self) -> UpdateOp:
+        prefix = self._live.choose(self._rng)
+        old = self._live.hop(prefix)
+        hop = self._rng.randrange(self.next_hops)
+        if hop == old:
+            hop = (hop + 1) % self.next_hops
+        self._live.announce(prefix, hop)
+        return UpdateOp(ANNOUNCE, prefix, hop)
+
+    def _flap_storm(self) -> List[UpdateOp]:
+        """One unstable route announced/withdrawn several times."""
+        rng = self._rng
+        lo, hi = self.profile.flap_length
+        flaps = rng.randint(lo, hi)
+        prefix = self._fresh_prefix()
+        ops: List[UpdateOp] = []
+        for i in range(flaps):
+            if i % 2 == 0:
+                hop = rng.randrange(self.next_hops)
+                self._live.announce(prefix, hop)
+                ops.append(UpdateOp(ANNOUNCE, prefix, hop))
+            else:
+                self._live.withdraw(prefix)
+                ops.append(UpdateOp(WITHDRAW, prefix))
+        return ops
+
+    def _correlated_withdraw(self) -> List[UpdateOp]:
+        """A provider outage: withdraw live prefixes under one slice."""
+        rng = self._rng
+        victim = self._live.choose(self._rng)
+        slice_len = min(self.profile.correlated_slice, victim.length)
+        parent = victim.truncate(slice_len)
+        doomed = [
+            p for p in self._live._order
+            if p.length >= slice_len and parent.is_prefix_of(p)
+        ]
+        doomed.sort(key=lambda p: (p.value, p.length))
+        if len(doomed) > self.profile.correlated_cap:
+            doomed = rng.sample(doomed, self.profile.correlated_cap)
+            doomed.sort(key=lambda p: (p.value, p.length))
+        ops = []
+        for prefix in doomed:
+            self._live.withdraw(prefix)
+            ops.append(UpdateOp(WITHDRAW, prefix))
+        return ops
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def next_op(self) -> UpdateOp:
+        if self._pending:
+            return self._pending.pop(0)
+        rng, profile = self._rng, self.profile
+        roll = rng.random()
+        if roll < profile.flap_storm:
+            self._pending = self._flap_storm()
+            return self._pending.pop(0)
+        roll = rng.random()
+        if roll < profile.correlated_withdraw and len(self._live):
+            self._pending = self._correlated_withdraw()
+            if self._pending:
+                return self._pending.pop(0)
+        roll = rng.random()
+        if roll < profile.withdraw and len(self._live):
+            return self._withdraw_live()
+        if roll < profile.withdraw + profile.modify and len(self._live):
+            return self._modify_live()
+        return self._announce_new()
+
+    def ops(self, count: int) -> Iterator[UpdateOp]:
+        for _ in range(count):
+            yield self.next_op()
+
+    def batches(self, total_ops: int, batch_size: int) -> Iterator[List[UpdateOp]]:
+        """``total_ops`` operations chunked into batches of ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        emitted = 0
+        while emitted < total_ops:
+            size = min(batch_size, total_ops - emitted)
+            yield [self.next_op() for _ in range(size)]
+            emitted += size
+
+
+def churn_trace(base: Fib, count: int, seed: int = 0,
+                profile: ChurnProfile = DEFAULT) -> List[UpdateOp]:
+    """A materialized churn trace (convenience for benchmarks)."""
+    gen = ChurnGenerator(base, seed=seed, profile=profile)
+    return list(gen.ops(count))

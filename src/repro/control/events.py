@@ -1,0 +1,138 @@
+"""Structured event log for the managed FIB runtime.
+
+Every interesting control-plane action — a batch landing, a rollback,
+a rebuild, a capacity-guard trip, a health transition — is recorded as
+an :class:`Event` and tallied in a counter.  Two properties matter:
+
+* **Determinism** — two runs with the same seeds must produce
+  byte-identical :meth:`EventLog.summary` output, so the log carries
+  no wall-clock timestamps; ordering comes from batch indices.
+* **Auditability** — the robustness tests assert *accounting
+  identities* over the counters, e.g. every batch ends in exactly one
+  of applied / rolled back / rebuilt, and every injected fault is
+  either absorbed at validation or recovered by rollback/rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Batch outcomes — exactly one is recorded per batch.
+BATCH_OUTCOMES = ("batch_applied", "batch_rebuilt", "batch_rolled_back")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One control-plane event.
+
+    ``fields`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    events render deterministically and hash/compare cleanly.
+    """
+
+    kind: str
+    batch: Optional[int] = None
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def render(self) -> str:
+        where = f"@{self.batch}" if self.batch is not None else ""
+        extras = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"{self.kind}{where}" + (f" [{extras}]" if extras else "")
+
+
+class EventLog:
+    """An append-only event log with counters.
+
+    The runtime records; benchmarks and tests assert.  ``counters``
+    maps event kinds to occurrence counts (plus a few derived keys the
+    runtime maintains, like per-fault-name tallies under
+    ``fault:<name>``).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.counters: Counter = Counter()
+
+    def record(self, kind: str, batch: Optional[int] = None, **fields) -> Event:
+        event = Event(kind, batch, tuple(sorted(fields.items())))
+        self.events.append(event)
+        self.counters[kind] += 1
+        return event
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+    def of_kind(self, kind: str) -> Iterator[Event]:
+        return (e for e in self.events if e.kind == kind)
+
+    # ------------------------------------------------------------------
+    # Accounting identities
+    # ------------------------------------------------------------------
+    @property
+    def batches_total(self) -> int:
+        return self.count("batch")
+
+    @property
+    def batches_accounted(self) -> int:
+        """applied + rolled back + rebuilt — must equal ``batches_total``."""
+        return sum(self.count(kind) for kind in BATCH_OUTCOMES)
+
+    def check_accounting(self) -> None:
+        """Raise ``AssertionError`` if any accounting identity is broken."""
+        if self.batches_accounted != self.batches_total:
+            raise AssertionError(
+                f"batch accounting broken: {self.batches_total} batches but "
+                f"{self.batches_accounted} outcomes "
+                f"({ {k: self.count(k) for k in BATCH_OUTCOMES} })"
+            )
+        injected = self.count("fault_injected")
+        handled = self.count("fault_absorbed") + self.count("fault_recovered")
+        if injected != handled:
+            raise AssertionError(
+                f"fault accounting broken: {injected} injected but "
+                f"{handled} absorbed/recovered"
+            )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def health_transitions(self) -> List[str]:
+        return [
+            f"{e.get('old')}->{e.get('new')}@{e.batch}"
+            for e in self.of_kind("health")
+        ]
+
+    def summary(self) -> str:
+        """A deterministic, byte-stable run summary."""
+        c = self.count
+        lines = [
+            "=== managed FIB event log ===",
+            f"batches: {self.batches_total} "
+            f"(applied {c('batch_applied')}, rebuilt {c('batch_rebuilt')}, "
+            f"rolled back {c('batch_rolled_back')})",
+            f"ops: applied {c('op_applied')}, absorbed {c('op_absorbed')}",
+            f"rollbacks: {c('rollback')}  retries: {c('retry')}  "
+            f"rebuilds: planned {c('rebuild_planned')}, "
+            f"recovery {c('rebuild_recovery')}",
+            f"faults: injected {c('fault_injected')}, "
+            f"absorbed {c('fault_absorbed')}, recovered {c('fault_recovered')}",
+            f"guard: trips {c('guard_trip')}, clears {c('guard_clear')}",
+            f"violations: {c('violation')}",
+        ]
+        fault_keys = sorted(k for k in self.counters if k.startswith("fault:"))
+        if fault_keys:
+            lines.append(
+                "fault mix: "
+                + ", ".join(f"{k[6:]} {self.counters[k]}" for k in fault_keys)
+            )
+        transitions = self.health_transitions()
+        if transitions:
+            lines.append("health transitions: " + ", ".join(transitions))
+        return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Pluggable fault injection for the managed FIB runtime.
+
+Two families of faults, matching the two places real systems break:
+
+* **Trace faults** corrupt the update stream before it reaches the
+  runtime — malformed prefixes off the wire, withdrawals of routes
+  that were never announced, the same withdrawal delivered twice.
+  The runtime must *absorb* these at validation without corrupting
+  the table.
+* **Runtime faults** fire inside the data-structure update itself —
+  a transient mid-update exception (lock timeout, parity hiccup) or a
+  persistent one (a d-left bucket overflowing, which only a rebuild
+  with fresh provisioning clears).  The runtime must *recover* via
+  retry or rebuild-fallback.
+
+Every injector owns a private ``random.Random(f"{name}:{seed}")``, so
+adding or removing one fault never perturbs another's decisions and a
+given (fault set, seed) pair replays identically.  Fault decisions for
+a batch are fixed when the batch is armed, not when ops execute —
+otherwise a retry would re-roll the dice and transient faults could
+never be retried deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..prefix.prefix import Prefix
+from .churn import ANNOUNCE, WITHDRAW, UpdateOp
+
+
+class SimulatedFault(Exception):
+    """An injected runtime failure.
+
+    ``transient`` faults clear on retry (the runtime's backoff policy
+    handles them); persistent faults reproduce on every in-place
+    attempt and only a rebuild clears them.
+    """
+
+    def __init__(self, fault_name: str, message: str, transient: bool):
+        super().__init__(f"[{fault_name}] {message}")
+        self.fault_name = fault_name
+        self.transient = transient
+
+
+class FaultInjector:
+    """Base class: a named, seeded, per-batch fault source."""
+
+    name: str = "fault"
+    #: Probability that this injector fires on a given batch.
+    rate: float = 0.25
+
+    def __init__(self, seed: int, rate: Optional[float] = None):
+        if rate is not None:
+            self.rate = rate
+        self.rng = random.Random(f"{self.name}:{seed}")
+
+    # Trace faults override this: return the (possibly mutated) batch.
+    # Injected ops must carry ``fault=self.name`` so the runtime can
+    # attribute absorptions.
+    def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
+        return batch
+
+    # Runtime faults override these.  ``arm`` fixes the batch's fault
+    # decisions; ``should_raise`` is consulted per in-place op attempt
+    # and must be a pure function of the armed state.
+    def arm(self, batch_index: int, batch: List[UpdateOp]) -> bool:
+        return False
+
+    def should_raise(self, attempt: int, op_index: int) -> Optional[SimulatedFault]:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Trace faults
+# ---------------------------------------------------------------------------
+
+
+class MalformedPrefixFault(FaultInjector):
+    """Wire garbage: an announcement whose prefix cannot be built.
+
+    ``UpdateOp.raw`` carries the bogus (bits, length, width) triple;
+    resolving it raises :class:`~repro.prefix.prefix.PrefixError`.
+    """
+
+    name = "malformed_prefix"
+
+    def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
+        if self.rng.random() >= self.rate or not batch:
+            return batch
+        width = 32
+        for op in batch:
+            if op.prefix is not None:
+                width = op.prefix.width
+                break
+        bad = self.rng.choice([
+            (self.rng.getrandbits(width + 4) | (1 << width), width, width),
+            (1, 0, width),          # /0 with significant bits
+            (0, width + 1, width),  # length beyond the address width
+            (0, -2, width),         # negative length
+            (0b1111, 2, width),     # more bits than the length holds
+        ])
+        op = UpdateOp(ANNOUNCE, None, self.rng.randrange(256), raw=bad,
+                      fault=self.name)
+        at = self.rng.randrange(len(batch) + 1)
+        return batch[:at] + [op] + batch[at:]
+
+
+class GhostWithdrawFault(FaultInjector):
+    """A withdrawal for a route that was never announced."""
+
+    name = "ghost_withdraw"
+
+    def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
+        if self.rng.random() >= self.rate or not batch:
+            return batch
+        width = 32
+        for op in batch:
+            if op.prefix is not None:
+                width = op.prefix.width
+                break
+        # A /31-or-longer prefix is vanishingly unlikely to be live in
+        # the synthetic tables; build one from the injector's own rng.
+        length = width - 1
+        ghost = Prefix.from_bits(self.rng.getrandbits(length), length, width)
+        op = UpdateOp(WITHDRAW, ghost, fault=self.name)
+        at = self.rng.randrange(len(batch) + 1)
+        return batch[:at] + [op] + batch[at:]
+
+
+class DuplicateWithdrawFault(FaultInjector):
+    """The same withdrawal delivered twice in one batch."""
+
+    name = "duplicate_withdraw"
+
+    def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
+        if self.rng.random() >= self.rate:
+            return batch
+        withdraw_at = [i for i, op in enumerate(batch)
+                       if op.action == WITHDRAW and op.fault is None]
+        if not withdraw_at:
+            return batch
+        i = self.rng.choice(withdraw_at)
+        dup = UpdateOp(WITHDRAW, batch[i].prefix, fault=self.name)
+        at = self.rng.randrange(i + 1, len(batch) + 1)
+        return batch[:at] + [dup] + batch[at:]
+
+
+# ---------------------------------------------------------------------------
+# Runtime faults
+# ---------------------------------------------------------------------------
+
+
+class MidUpdateExceptionFault(FaultInjector):
+    """A transient exception partway through applying a batch.
+
+    Fires once on the first in-place attempt of an armed batch, at a
+    fixed op position; retries sail past it.  Exercises the runtime's
+    snapshot-rollback plus retry-with-backoff path.
+    """
+
+    name = "mid_update_exception"
+
+    def __init__(self, seed: int, rate: Optional[float] = None):
+        super().__init__(seed, rate)
+        self._armed_at: Optional[int] = None
+
+    def arm(self, batch_index: int, batch: List[UpdateOp]) -> bool:
+        self._armed_at = None
+        if batch and self.rng.random() < self.rate:
+            self._armed_at = self.rng.randrange(len(batch))
+            return True
+        return False
+
+    def should_raise(self, attempt: int, op_index: int) -> Optional[SimulatedFault]:
+        if attempt == 0 and op_index == self._armed_at:
+            return SimulatedFault(
+                self.name, f"update engine fault at op {op_index}", transient=True
+            )
+        return None
+
+
+class BucketOverflowFault(FaultInjector):
+    """A d-left hash bucket overflows mid-batch.
+
+    Persistent: every in-place attempt of an armed batch hits the same
+    full bucket, so retries cannot help and the runtime must fall back
+    to a recovery rebuild (which re-provisions the hash table).  This
+    simulates the overflow RESAIL's look-aside TCAM normally hides
+    (§5.3) when the TCAM itself is at capacity.
+    """
+
+    name = "bucket_overflow"
+
+    def __init__(self, seed: int, rate: Optional[float] = None):
+        super().__init__(seed, rate)
+        self._armed_at: Optional[int] = None
+
+    def arm(self, batch_index: int, batch: List[UpdateOp]) -> bool:
+        self._armed_at = None
+        announce_at = [i for i, op in enumerate(batch)
+                       if op.action == ANNOUNCE and op.fault is None]
+        if announce_at and self.rng.random() < self.rate:
+            self._armed_at = self.rng.choice(announce_at)
+            return True
+        return False
+
+    def should_raise(self, attempt: int, op_index: int) -> Optional[SimulatedFault]:
+        if op_index == self._armed_at:
+            return SimulatedFault(
+                self.name, f"d-left bucket full inserting op {op_index}",
+                transient=False,
+            )
+        return None
+
+
+#: Registry, in a fixed order so "--faults all" is deterministic.
+ALL_FAULTS: Dict[str, Type[FaultInjector]] = {
+    cls.name: cls
+    for cls in (
+        MalformedPrefixFault,
+        GhostWithdrawFault,
+        DuplicateWithdrawFault,
+        MidUpdateExceptionFault,
+        BucketOverflowFault,
+    )
+}
+
+
+class FaultPlan:
+    """An ordered set of injectors sharing a base seed.
+
+    The runtime drives it per batch: :meth:`mutate` first (trace
+    faults), then :meth:`arm` (runtime faults), then
+    :meth:`should_raise` per op attempt during in-place application.
+    """
+
+    def __init__(self, injectors: Sequence[FaultInjector]):
+        self.injectors = list(injectors)
+
+    @classmethod
+    def build(cls, names: Sequence[str], seed: int,
+              rate: Optional[float] = None) -> "FaultPlan":
+        unknown = [n for n in names if n not in ALL_FAULTS]
+        if unknown:
+            raise ValueError(
+                f"unknown faults {unknown}; available: {sorted(ALL_FAULTS)}"
+            )
+        return cls([ALL_FAULTS[n](seed, rate) for n in names])
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls([])
+
+    def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
+        for injector in self.injectors:
+            batch = injector.mutate(batch_index, batch)
+        return batch
+
+    def arm(self, batch_index: int, batch: List[UpdateOp]) -> List[str]:
+        """Fix runtime-fault decisions; returns the names that armed."""
+        return [
+            injector.name
+            for injector in self.injectors
+            if injector.arm(batch_index, batch)
+        ]
+
+    def should_raise(self, attempt: int, op_index: int) -> Optional[SimulatedFault]:
+        for injector in self.injectors:
+            fault = injector.should_raise(attempt, op_index)
+            if fault is not None:
+                return fault
+        return None

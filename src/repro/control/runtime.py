@@ -1,0 +1,499 @@
+"""The managed FIB runtime: transactional updates over any algorithm.
+
+:class:`ManagedFib` wraps a :class:`~repro.algorithms.base.LookupAlgorithm`
+in the control loop a production switch would run around it:
+
+* **Transactional batches.**  Each update batch lands on a snapshot
+  work copy; the committed structure and the oracle FIB only advance
+  when the whole batch succeeds.  A mid-batch failure rolls everything
+  back (oracle via an undo journal, structure by discarding the copy).
+* **Rebuild fallback.**  Algorithms whose update discipline is
+  ``rebuild`` or ``unsupported`` (Appendix A.3) are rebuilt from the
+  oracle once per batch — a *planned* rebuild that does not degrade
+  health.  In-place algorithms that hit a persistent fault fall back
+  to a *recovery* rebuild, bounded by the policy's rebuild budget.
+* **Retry with backoff.**  Transient faults retry up to
+  ``max_retries`` times with exponential (simulated, never slept)
+  backoff.
+* **Capacity guards.**  After each landed batch the Tofino-2 mapping
+  is re-derived via :func:`~repro.chip.tofino2.tofino2_fit_report`; a
+  hard trip (TCAM blocks / SRAM pages / stages over budget) rolls the
+  batch back, a soft trip (d-left overflow cells in use) forces a
+  recovery rebuild.  The runtime is never HEALTHY while a guard trips.
+* **Differential checking.**  Every landed batch is probed against the
+  oracle; a divergence triggers one recovery rebuild, and if it
+  persists the runtime goes FAILED and shrinks the accumulated trace
+  to a minimal reproduction.
+
+Accounting invariant, asserted by the tests: every batch ends in
+exactly one of *applied*, *rebuilt*, or *rolled back*, and every
+injected fault is either *absorbed* at validation or *recovered* by
+retry/rollback/rebuild.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import (
+    UPDATE_IN_PLACE,
+    LookupAlgorithm,
+    UpdateUnsupported,
+)
+from ..chip.tofino2 import tofino2_fit_report
+from ..prefix.prefix import Prefix, PrefixError
+from ..prefix.trie import Fib
+from .check import (
+    DifferentialChecker,
+    Violation,
+    make_failure_predicate,
+    shrink_trace,
+)
+from .churn import ANNOUNCE, UpdateOp
+from .events import EventLog
+from .faults import FaultPlan, SimulatedFault
+
+
+class Health(str, enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    REBUILDING = "rebuilding"
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # deterministic rendering in event logs
+        return self.value
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """Tunables for the managed runtime's failure handling."""
+
+    #: In-place retries after a transient fault (total attempts = +1).
+    max_retries: int = 2
+    #: First backoff interval, seconds; doubles per retry.  Backoff is
+    #: *simulated* (accumulated, never slept) to keep runs fast and
+    #: deterministic.
+    backoff_base: float = 0.001
+    #: Recovery rebuilds allowed before the runtime goes FAILED.
+    #: Planned rebuilds (rebuild/unsupported disciplines) are free.
+    rebuild_budget: int = 64
+    #: Consecutive clean batches needed to leave DEGRADED.
+    degraded_window: int = 3
+    #: Differential-check every Nth batch (1 = every batch, 0 = never).
+    check_every: int = 1
+    #: Capacity-guard inspection every Nth batch (0 = never).
+    guard_every: int = 1
+    #: Shrink the trace to a minimal repro when going FAILED.
+    shrink_on_failure: bool = True
+    max_shrink_evals: int = 200
+
+
+@dataclass(frozen=True)
+class CapacityGuard:
+    """Resource envelope the committed structure must fit.
+
+    ``None`` budgets default to the full Tofino-2 envelope (one
+    recirculation); tighter values model sharing the pipe with other
+    programs.  ``dleft_overflow_limit`` is the *soft* guard: overflow
+    cells in use beyond it mean the d-left provisioning no longer fits
+    its design load and the structure should be re-provisioned.
+    """
+
+    tcam_blocks: Optional[int] = None
+    sram_pages: Optional[int] = None
+    stage_budget: Optional[int] = None
+    dleft_overflow_limit: int = 0
+
+    def inspect(self, algo: LookupAlgorithm) -> Tuple[List[str], List[str]]:
+        """``(hard_reasons, soft_reasons)`` for the current structure."""
+        hard: List[str] = []
+        soft: List[str] = []
+        try:
+            layout = algo.layout()
+        except Exception:
+            layout = None  # no layout -> nothing to map
+        if layout is not None:
+            _, reasons = tofino2_fit_report(
+                layout, self.tcam_blocks, self.sram_pages, self.stage_budget
+            )
+            hard.extend(reasons)
+        hash_table = getattr(algo, "hash_table", None)
+        overflow = getattr(hash_table, "overflow_count", 0)
+        if overflow > self.dleft_overflow_limit:
+            soft.append(
+                f"d-left overflow cells {overflow} > limit "
+                f"{self.dleft_overflow_limit}"
+            )
+        return hard, soft
+
+
+class ManagedFib:
+    """A lookup structure plus the control loop that keeps it honest."""
+
+    def __init__(
+        self,
+        factory: Callable[[Fib], LookupAlgorithm],
+        base: Fib,
+        policy: Optional[RuntimePolicy] = None,
+        guard: Optional[CapacityGuard] = None,
+        faults: Optional[FaultPlan] = None,
+        check_seed: int = 0,
+    ):
+        self.factory = factory
+        self.policy = policy or RuntimePolicy()
+        self.guard = guard or CapacityGuard()
+        self.faults = faults or FaultPlan.none()
+        self.log = EventLog()
+        self.oracle = Fib(base.width, list(base))
+        self.algo = factory(Fib(base.width, list(base)))
+        self._base = Fib(base.width, list(base))
+        self.checker = DifferentialChecker(base.width, seed=check_seed)
+        self.health = Health.HEALTHY
+        self.simulated_backoff_s = 0.0
+        self.minimal_repro: Optional[List[UpdateOp]] = None
+        self._guard_tripped = False
+        self._recovery_rebuilds = 0
+        self._healthy_streak = 0
+        self._incident_flag = False
+        self._batch_index = -1
+        self._trace: List[UpdateOp] = []
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        return self.algo.lookup(address)
+
+    def __len__(self) -> int:
+        return len(self.oracle)
+
+    # ------------------------------------------------------------------
+    # Health plumbing
+    # ------------------------------------------------------------------
+    def _set_health(self, new: Health, batch: int) -> None:
+        if new is Health.HEALTHY and self._guard_tripped:
+            # Invariant: a tripped capacity guard pins us at DEGRADED.
+            new = Health.DEGRADED
+        if self.health is Health.FAILED:
+            return  # FAILED is terminal
+        if new is not self.health:
+            self.log.record("health", batch, old=str(self.health), new=str(new))
+            self.health = new
+
+    def _incident(self, batch: int) -> None:
+        self._healthy_streak = 0
+        self._incident_flag = True
+        self._set_health(Health.DEGRADED, batch)
+
+    # ------------------------------------------------------------------
+    # Oracle staging (undo journal)
+    # ------------------------------------------------------------------
+    def _stage(self, journal: List[Tuple[str, Prefix, Optional[int]]],
+               op: UpdateOp, prefix: Prefix) -> None:
+        prev = self.oracle.get(prefix)
+        if op.action == ANNOUNCE:
+            journal.append((ANNOUNCE, prefix, prev))
+            self.oracle.insert(prefix, op.next_hop)
+        else:
+            journal.append(("withdraw", prefix, prev))
+            self.oracle.delete(prefix)
+
+    def _unstage(self, journal: List[Tuple[str, Prefix, Optional[int]]]) -> None:
+        for action, prefix, prev in reversed(journal):
+            if action == ANNOUNCE:
+                if prev is None:
+                    self.oracle.delete(prefix)
+                else:
+                    self.oracle.insert(prefix, prev)
+            else:
+                self.oracle.insert(prefix, prev)
+        journal.clear()
+
+    # ------------------------------------------------------------------
+    # Batch application
+    # ------------------------------------------------------------------
+    def apply_batch(self, ops: Sequence[UpdateOp]) -> str:
+        """Apply one update batch; returns the outcome event kind."""
+        self._batch_index += 1
+        b = self._batch_index
+        self._incident_flag = False
+        self.log.record("batch", b, size=len(ops))
+
+        if self.health is Health.FAILED:
+            self.log.record("rollback", b, reason="runtime failed")
+            self.log.record("batch_rolled_back", b, reason="runtime failed")
+            return "batch_rolled_back"
+
+        # 1. Trace faults corrupt the stream; account each marked op.
+        ops = self.faults.mutate(b, list(ops))
+        for op in ops:
+            if op.fault is not None:
+                self.log.record("fault_injected", b, fault=op.fault)
+                self.log.counters[f"fault:{op.fault}"] += 1
+
+        # 2. Validation: absorb hostile input, stage the rest on the
+        #    oracle under an undo journal.
+        journal: List[Tuple[str, Prefix, Optional[int]]] = []
+        valid: List[Tuple[UpdateOp, Prefix]] = []
+        for op in ops:
+            reason = None
+            prefix = None
+            try:
+                prefix = op.resolve()
+            except PrefixError as exc:
+                reason = f"malformed prefix: {exc}"
+            if reason is None and prefix.width != self.oracle.width:
+                reason = f"width {prefix.width} != table width {self.oracle.width}"
+            if reason is None and op.action == ANNOUNCE and (
+                op.next_hop is None or op.next_hop < 0
+            ):
+                reason = f"bad next hop {op.next_hop}"
+            if reason is None and op.action != ANNOUNCE and prefix not in self.oracle:
+                reason = "withdraw of a route not in the table"
+            if reason is not None:
+                self.log.record("op_absorbed", b, op=op.render(), reason=reason)
+                if op.fault is not None:
+                    self.log.record("fault_absorbed", b, fault=op.fault)
+                continue
+            if op.fault is not None:
+                # An injected op that happens to be valid (e.g. a ghost
+                # withdraw colliding with a live route): it lands like
+                # any other op, which *is* absorbing it — account it so
+                # the injected == absorbed + recovered identity holds.
+                self.log.record("fault_absorbed", b, fault=op.fault,
+                                how="benign-applied")
+            self._stage(journal, op, prefix)
+            valid.append((op, prefix))
+
+        # 3. Arm runtime faults against the post-validation op list so
+        #    fault positions line up with the in-place apply loop.
+        armed = self.faults.arm(b, [op for op, _ in valid])
+        for name in armed:
+            self.log.record("fault_injected", b, fault=name)
+            self.log.counters[f"fault:{name}"] += 1
+
+        # 4. Land the batch on the structure.
+        outcome = None
+        new_algo = None
+        if self.algo.update_strategy == UPDATE_IN_PLACE:
+            new_algo, outcome = self._apply_in_place(b, valid, armed)
+        else:
+            # Planned per-batch rebuild (rebuild/unsupported discipline).
+            new_algo = self._rebuild(b, planned=True)
+            outcome = "batch_rebuilt"
+            for name in armed:
+                self.log.record("fault_recovered", b, fault=name, how="rebuild")
+
+        if new_algo is None:
+            # Recovery exhausted: roll the whole batch back.
+            self._unstage(journal)
+            self.log.record("batch_rolled_back", b, reason=outcome)
+            self._incident(b)
+            if outcome == "rebuild budget exhausted":
+                self._fail(b, reason=outcome)
+            return "batch_rolled_back"
+
+        # 5. Capacity guards.
+        if self.policy.guard_every and b % self.policy.guard_every == 0:
+            kept, outcome = self._enforce_guards(b, new_algo, valid, outcome)
+            if not kept:
+                # Armed runtime faults were already accounted when the
+                # in-place/rebuild path resolved them above.
+                self._unstage(journal)
+                self.log.record("batch_rolled_back", b, reason="capacity guard")
+                self._incident(b)
+                return "batch_rolled_back"
+            new_algo = kept if kept is not True else new_algo
+
+        # 6. Differential check against the staged oracle.
+        if self.policy.check_every and b % self.policy.check_every == 0:
+            checked = self._enforce_consistency(b, new_algo,
+                                                [p for _, p in valid])
+            if checked is None:
+                self._unstage(journal)
+                self.log.record("batch_rolled_back", b,
+                                reason="unrecoverable divergence")
+                self._fail(b, reason="differential check failed after rebuild",
+                           extra_ops=[op for op, _ in valid])
+                return "batch_rolled_back"
+            if checked is not True:
+                new_algo = checked
+                outcome = "batch_rebuilt"
+
+        # 7. Commit.
+        self.algo = new_algo
+        self._trace.extend(op for op, _ in valid)
+        for op, _ in valid:
+            self.log.record("op_applied", b, op=op.render())
+        self.log.record(outcome, b)
+        if not self._incident_flag and not self._guard_tripped:
+            self._healthy_streak += 1
+        if (
+            self.health is Health.DEGRADED
+            and not self._guard_tripped
+            and self._healthy_streak >= self.policy.degraded_window
+        ):
+            self._set_health(Health.HEALTHY, b)
+        elif self.health is Health.REBUILDING:
+            self._set_health(
+                Health.DEGRADED if self._guard_tripped else Health.HEALTHY, b
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # In-place application with retry/rebuild fallback
+    # ------------------------------------------------------------------
+    def _apply_in_place(
+        self,
+        b: int,
+        valid: List[Tuple[UpdateOp, Prefix]],
+        armed: List[str],
+    ) -> Tuple[Optional[LookupAlgorithm], str]:
+        last_fault: Optional[SimulatedFault] = None
+        for attempt in range(self.policy.max_retries + 1):
+            work = self.algo.snapshot()
+            try:
+                work.begin_update_batch()
+                for i, (op, prefix) in enumerate(valid):
+                    fault = self.faults.should_raise(attempt, i)
+                    if fault is not None:
+                        raise fault
+                    if op.action == ANNOUNCE:
+                        work.insert(prefix, op.next_hop)
+                    else:
+                        work.delete(prefix)
+                work.end_update_batch()
+            except SimulatedFault as fault:
+                last_fault = fault
+                self.log.record("rollback", b, fault=fault.fault_name,
+                                attempt=attempt)
+                self._incident(b)
+                if fault.transient and attempt < self.policy.max_retries:
+                    backoff = self.policy.backoff_base * (2 ** attempt)
+                    self.simulated_backoff_s += backoff
+                    self.log.record("retry", b, attempt=attempt + 1,
+                                    backoff_ms=round(backoff * 1000, 3))
+                    continue
+                break
+            except UpdateUnsupported:
+                # The algorithm refused mid-batch; fall back to rebuild.
+                self.log.record("rollback", b, reason="update unsupported",
+                                attempt=attempt)
+                last_fault = None
+                break
+            else:
+                # Success: the armed transient faults were ridden out.
+                for name in armed:
+                    self.log.record("fault_recovered", b, fault=name,
+                                    how="retry" if attempt else "clean-pass")
+                return work, "batch_applied"
+
+        # Retries exhausted or non-transient failure: recovery rebuild.
+        if self._recovery_rebuilds >= self.policy.rebuild_budget:
+            for name in armed:
+                self.log.record("fault_recovered", b, fault=name,
+                                how="rollback")
+            return None, "rebuild budget exhausted"
+        rebuilt = self._rebuild(b, planned=False)
+        for name in armed:
+            self.log.record("fault_recovered", b, fault=name, how="rebuild")
+        if last_fault is not None:
+            self._incident(b)
+        return rebuilt, "batch_rebuilt"
+
+    def _rebuild(self, b: int, planned: bool) -> LookupAlgorithm:
+        if planned:
+            self.log.record("rebuild_planned", b)
+        else:
+            previous = self.health
+            self._set_health(Health.REBUILDING, b)
+            self.log.record("rebuild_recovery", b)
+            self._recovery_rebuilds += 1
+            self._healthy_streak = 0
+            if previous is not Health.REBUILDING:
+                self._set_health(Health.DEGRADED, b)
+        return self.factory(Fib(self.oracle.width, list(self.oracle)))
+
+    # ------------------------------------------------------------------
+    # Guards and consistency
+    # ------------------------------------------------------------------
+    def _enforce_guards(self, b, new_algo, valid, outcome):
+        """Returns ``(keep, outcome)``; ``keep`` is False to roll back,
+        True to keep ``new_algo``, or a replacement structure."""
+        hard, soft = self.guard.inspect(new_algo)
+        if hard:
+            self._guard_tripped = True
+            self.log.record("guard_trip", b, severity="hard",
+                            reasons="; ".join(hard))
+            # Rolling back restores the last committed state; only
+            # clear the guard if that state actually fits (it may not,
+            # e.g. when the budget was tightened below the base load).
+            committed_hard, _ = self.guard.inspect(self.algo)
+            if not committed_hard:
+                self._guard_tripped = False
+                self.log.record("guard_clear", b, how="rollback")
+            return False, outcome
+        if soft:
+            self._guard_tripped = True
+            self.log.record("guard_trip", b, severity="soft",
+                            reasons="; ".join(soft))
+            self._incident(b)
+            if self._recovery_rebuilds < self.policy.rebuild_budget:
+                new_algo = self._rebuild(b, planned=False)
+                outcome = "batch_rebuilt"
+                _, soft_after = self.guard.inspect(new_algo)
+                if not soft_after:
+                    self._guard_tripped = False
+                    self.log.record("guard_clear", b, how="rebuild")
+            return new_algo, outcome
+        if self._guard_tripped:
+            self._guard_tripped = False
+            self.log.record("guard_clear", b, how="drained")
+        return True, outcome
+
+    def _enforce_consistency(self, b, new_algo, touched: List[Prefix]):
+        """True if consistent, a rebuilt structure if recovered, or
+        ``None`` if divergence survives a rebuild (runtime failure)."""
+        probes = self.checker.probe_addresses(touched)
+        violations = self.checker.check(new_algo, self.oracle, probes)
+        if not violations:
+            return True
+        for violation in violations[:8]:
+            self.log.record("violation", b,
+                            detail=violation.render(self.oracle.width))
+        self._incident(b)
+        if self._recovery_rebuilds >= self.policy.rebuild_budget:
+            return None
+        rebuilt = self._rebuild(b, planned=False)
+        if self.checker.check(rebuilt, self.oracle, probes):
+            return None
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _fail(self, b: int, reason: str,
+              extra_ops: Optional[List[UpdateOp]] = None) -> None:
+        self._healthy_streak = 0
+        if self.health is not Health.FAILED:
+            self.log.record("health", b, old=str(self.health),
+                            new=str(Health.FAILED))
+            self.health = Health.FAILED
+        self.log.record("failed", b, reason=reason)
+        if not self.policy.shrink_on_failure:
+            return
+        trace = self._trace + list(extra_ops or [])
+        fails = make_failure_predicate(self.factory, self._base)
+        try:
+            self.minimal_repro = shrink_trace(
+                trace, fails, max_evals=self.policy.max_shrink_evals
+            )
+            self.log.record("repro_shrunk", b, from_ops=len(trace),
+                            to_ops=len(self.minimal_repro))
+        except ValueError:
+            # The full-replay predicate cannot reproduce it (e.g. the
+            # divergence needed the runtime's own state); keep the
+            # whole trace as the repro.
+            self.minimal_repro = trace

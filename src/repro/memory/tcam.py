@@ -82,7 +82,10 @@ class TcamTable(Generic[V]):
 
         The prefix must be at most ``key_width`` bits wide; it matches
         the *top* bits of the key, with the remainder wildcarded, just
-        as prefixes are loaded into a physical TCAM.
+        as prefixes are loaded into a physical TCAM.  Re-inserting a
+        prefix already in the table *replaces* its data — writing a
+        TCAM row overwrites it — rather than leaving a duplicate row
+        whose stale data would shadow the update.
         """
         if prefix.width > self.key_width:
             raise ValueError(
@@ -92,6 +95,10 @@ class TcamTable(Generic[V]):
         host_bits = prefix.width - prefix.length
         mask = (((1 << prefix.length) - 1) << host_bits) << shift
         value = prefix.value << shift
+        try:
+            self.delete(value, mask)
+        except KeyError:
+            pass
         self.insert(value, mask, priority=self.key_width - prefix.length, data=data)
 
     def delete(self, value: int, mask: int) -> None:

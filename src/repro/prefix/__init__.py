@@ -12,7 +12,14 @@ from .parse import (
     parse_ipv6_prefix,
     parse_prefix,
 )
-from .prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, bitstring, from_bitstring
+from .prefix import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Prefix,
+    PrefixError,
+    bitstring,
+    from_bitstring,
+)
 from .ranges import BstNode, RangeEntry, expand_to_ranges, lookup_ranges, ranges_to_bst
 from .trie import BinaryTrie, Fib
 
@@ -23,6 +30,7 @@ __all__ = [
     "IPV4_WIDTH",
     "IPV6_WIDTH",
     "Prefix",
+    "PrefixError",
     "bitstring",
     "from_bitstring",
     "BinaryTrie",

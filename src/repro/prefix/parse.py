@@ -14,12 +14,20 @@ from __future__ import annotations
 import ipaddress
 from typing import Union
 
-from .prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, from_bitstring
+from .prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix, PrefixError, from_bitstring
 
 
 def parse_ipv4_prefix(text: str) -> Prefix:
-    """Parse ``"a.b.c.d/len"`` into a width-32 :class:`Prefix`."""
-    network = ipaddress.IPv4Network(text, strict=True)
+    """Parse ``"a.b.c.d/len"`` into a width-32 :class:`Prefix`.
+
+    Raises :class:`PrefixError` on malformed text (bad octets, host
+    bits set below the mask, out-of-range length).
+    """
+    try:
+        network = ipaddress.IPv4Network(text, strict=True)
+    except (ipaddress.AddressValueError, ipaddress.NetmaskValueError,
+            ValueError) as exc:
+        raise PrefixError(f"malformed IPv4 prefix {text!r}: {exc}") from exc
     return Prefix(int(network.network_address), network.prefixlen, IPV4_WIDTH)
 
 
@@ -28,11 +36,15 @@ def parse_ipv6_prefix(text: str) -> Prefix:
 
     Prefixes longer than 64 bits are rejected: they do not participate
     in global routing (paper §1 O2) and none of the algorithms here
-    model them.
+    model them.  Raises :class:`PrefixError` on malformed text.
     """
-    network = ipaddress.IPv6Network(text, strict=True)
+    try:
+        network = ipaddress.IPv6Network(text, strict=True)
+    except (ipaddress.AddressValueError, ipaddress.NetmaskValueError,
+            ValueError) as exc:
+        raise PrefixError(f"malformed IPv6 prefix {text!r}: {exc}") from exc
     if network.prefixlen > IPV6_WIDTH:
-        raise ValueError(
+        raise PrefixError(
             f"IPv6 prefix {text} longer than the 64-bit global-routing view"
         )
     value64 = int(network.network_address) >> 64
@@ -43,12 +55,17 @@ def parse_prefix(text: str, width: int = None) -> Prefix:
     """Parse any supported prefix notation.
 
     Bit strings (``"0101"``, ``"0101*"``, ``"*"``) require ``width``;
-    CIDR notations infer the family from the text.
+    CIDR notations infer the family from the text.  All malformed
+    inputs raise :class:`PrefixError`.
     """
+    if not isinstance(text, str):
+        raise PrefixError(f"prefix text must be a string, got {type(text).__name__}")
     stripped = text.strip()
+    if not stripped:
+        raise PrefixError("empty prefix text")
     if set(stripped) <= {"0", "1", "*"}:
         if width is None:
-            raise ValueError("bitstring prefixes need an explicit width")
+            raise PrefixError("bitstring prefixes need an explicit width")
         return from_bitstring(stripped.rstrip("*"), width)
     if ":" in stripped:
         return parse_ipv6_prefix(stripped)

@@ -28,6 +28,19 @@ IPV4_WIDTH = 32
 IPV6_WIDTH = 64
 
 
+class PrefixError(ValueError):
+    """A malformed prefix specification.
+
+    Raised by every prefix constructor and parser when the input does
+    not describe a well-formed prefix: negative or out-of-range
+    lengths, values wider than the declared length, unparseable CIDR
+    text, and so on.  Subclasses :class:`ValueError` so existing
+    ``except ValueError`` call sites keep working; new code (the churn
+    runtime's fault absorption in particular) catches ``PrefixError``
+    to distinguish bad *input* from bugs.
+    """
+
+
 class Prefix:
     """An immutable IP prefix: ``width`` total bits, top ``length`` significant.
 
@@ -43,14 +56,16 @@ class Prefix:
     __slots__ = ("value", "length", "width")
 
     def __init__(self, value: int, length: int, width: int = IPV4_WIDTH):
+        if width <= 0:
+            raise PrefixError(f"prefix width must be positive, got {width}")
         if not 0 <= length <= width:
-            raise ValueError(f"prefix length {length} outside [0, {width}]")
+            raise PrefixError(f"prefix length {length} outside [0, {width}]")
         if not 0 <= value < (1 << width):
-            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+            raise PrefixError(f"value {value:#x} does not fit in {width} bits")
         host_bits = width - length
         canonical = (value >> host_bits) << host_bits
         if canonical != value:
-            raise ValueError(
+            raise PrefixError(
                 f"value {value:#x} has nonzero bits below prefix length {length}"
             )
         object.__setattr__(self, "value", value)
@@ -71,12 +86,17 @@ class Prefix:
         ``length`` positions, e.g. ``from_bits(0b101, 3, 8)`` is the
         prefix ``101*****``.
         """
+        if width <= 0:
+            raise PrefixError(f"prefix width must be positive, got {width}")
         if not 0 <= length <= width:
-            raise ValueError(f"prefix length {length} outside [0, {width}]")
-        if length < width and bits >= (1 << length) and length > 0:
-            raise ValueError(f"bits {bits:#x} do not fit in {length} bits")
-        if length == 0 and bits != 0:
-            raise ValueError("a /0 prefix has no significant bits")
+            raise PrefixError(f"prefix length {length} outside [0, {width}]")
+        if bits < 0:
+            raise PrefixError(f"bits must be non-negative, got {bits}")
+        if length == 0:
+            if bits != 0:
+                raise PrefixError("a /0 prefix has no significant bits")
+        elif bits >= (1 << length):
+            raise PrefixError(f"bits {bits:#x} do not fit in {length} bits")
         return cls(bits << (width - length), length, width)
 
     @classmethod
@@ -201,6 +221,18 @@ class Prefix:
     def __hash__(self) -> int:
         return hash((self.value, self.length, self.width))
 
+    # Immutable: copies are the object itself.  (Without these,
+    # copy.deepcopy would trip over the __setattr__ guard — the
+    # control-plane snapshot machinery deep-copies whole algorithms.)
+    def __copy__(self) -> "Prefix":
+        return self
+
+    def __deepcopy__(self, _memo) -> "Prefix":
+        return self
+
+    def __reduce__(self):
+        return (Prefix, (self.value, self.length, self.width))
+
     def __lt__(self, other: "Prefix") -> bool:
         """Sort by (value, length): address order, shorter prefixes first."""
         if self.width != other.width:
@@ -230,5 +262,5 @@ def bitstring(p: Prefix) -> str:
 def from_bitstring(s: str, width: int = IPV4_WIDTH) -> Prefix:
     """Parse a literal bit string like ``'0101'`` (paper's Table 1 notation)."""
     if s and set(s) - {"0", "1"}:
-        raise ValueError(f"bitstring {s!r} contains non-binary characters")
+        raise PrefixError(f"bitstring {s!r} contains non-binary characters")
     return Prefix.from_bits(int(s, 2) if s else 0, len(s), width)

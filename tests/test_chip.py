@@ -159,3 +159,39 @@ class TestLayoutScaled:
         layout = Layout("x", [Phase("p", [sram_table(10, 8)])])
         with pytest.raises(ValueError):
             layout.scaled(-1)
+
+
+class TestFitReport:
+    """tofino2_fit_report: the capacity guard's view of a layout."""
+
+    def _layout(self, entries=1024):
+        return Layout("x", [Phase("p", [sram_table(entries, 8),
+                                        tcam_table(64, 32)])])
+
+    def test_fitting_layout_has_no_reasons(self):
+        from repro.chip import tofino2_fit_report
+
+        mapping, reasons = tofino2_fit_report(self._layout())
+        assert reasons == []
+        assert mapping.feasible
+
+    def test_reports_every_exceeded_limit(self):
+        from repro.chip import tofino2_fit_report
+
+        mapping, reasons = tofino2_fit_report(
+            self._layout(), tcam_blocks=0, sram_pages=0
+        )
+        assert len(reasons) == 2
+        assert any("TCAM blocks" in r for r in reasons)
+        assert any("SRAM pages" in r for r in reasons)
+        assert f"> budget 0" in reasons[0]
+
+    def test_stage_budget_defaults_to_one_recirculation(self):
+        from repro.chip import tofino2_fit_report
+
+        phases = [Phase(f"p{i}", [], dependent_alu_ops=1) for i in range(25)]
+        deep = Layout("deep", phases)
+        _, reasons = tofino2_fit_report(deep)
+        assert reasons == []  # 25 stages fit in 2 passes
+        _, reasons = tofino2_fit_report(deep, stage_budget=20)
+        assert reasons and "stages" in reasons[0]

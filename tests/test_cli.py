@@ -90,6 +90,34 @@ class TestGrowth:
         assert "1,860,000" in out
 
 
+class TestChurn:
+    def test_smoke_run_deterministic(self, capsys):
+        assert main(["churn", "--algo", "resail", "--ops", "150",
+                     "--batch", "25", "--faults", "all", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert "=== managed FIB event log ===" in first
+        assert "final: health=" in first
+        assert main(["churn", "--algo", "resail", "--ops", "150",
+                     "--batch", "25", "--faults", "all", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit, match="unknown faults"):
+            main(["churn", "--faults", "nonsense", "--ops", "10"])
+
+    def test_tightened_guard_rolls_back(self, capsys):
+        assert main(["churn", "--algo", "resail", "--ops", "50",
+                     "--batch", "25", "--sram-budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rolled back 2" in out
+        assert "health=degraded" in out
+
+    def test_fib_file_input(self, fib_file, capsys):
+        assert main(["churn", "--fib", fib_file, "--ops", "40",
+                     "--algo", "ltcam", "--seed", "3"]) == 0
+        assert "violations: 0" in capsys.readouterr().out
+
+
 class TestAggregate:
     def test_roundtrip(self, fib_file, tmp_path, capsys):
         out_path = tmp_path / "agg.txt"

@@ -1,0 +1,359 @@
+"""The managed FIB runtime under churn and fault injection.
+
+The property at the heart of this file: for every updatable algorithm,
+a seeded 1k-op churn stream — with every fault injector armed — runs
+through :class:`ManagedFib` with **zero differential violations**, and
+the event log's accounting identities hold (every batch applied,
+rolled back, or rebuilt; every injected fault absorbed or recovered).
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import Resail
+from repro.cli import ALGORITHM_FACTORIES
+from repro.control import (
+    ALL_FAULTS,
+    ANNOUNCE,
+    WITHDRAW,
+    CapacityGuard,
+    ChurnGenerator,
+    ChurnProfile,
+    EventLog,
+    FaultPlan,
+    Health,
+    ManagedFib,
+    RuntimePolicy,
+    UpdateOp,
+    make_failure_predicate,
+    shrink_trace,
+)
+from repro.datasets import synthesize_as65000
+from repro.prefix import Fib, Prefix, PrefixError
+
+
+def _base():
+    return synthesize_as65000(scale=0.001)
+
+
+def _factories():
+    out = []
+    for name, factory in sorted(ALGORITHM_FACTORIES.items()):
+        probe = factory(Fib(32))
+        out.append((name, factory, probe.supports_updates))
+    return out
+
+
+UPDATABLE = [(n, f) for n, f, ok in _factories() if ok]
+UNSUPPORTED = [(n, f) for n, f, ok in _factories() if not ok]
+
+
+# ---------------------------------------------------------------------------
+# Churn generator
+# ---------------------------------------------------------------------------
+
+
+class TestChurnGenerator:
+    def test_deterministic(self):
+        base = _base()
+        a = [op.render() for op in ChurnGenerator(base, seed=5).ops(300)]
+        b = [op.render() for op in ChurnGenerator(base, seed=5).ops(300)]
+        assert a == b
+        c = [op.render() for op in ChurnGenerator(base, seed=6).ops(300)]
+        assert a != c
+
+    def test_ops_valid_by_construction(self):
+        """Withdrawals always name live routes; replaying the stream on
+        a FIB never raises."""
+        base = _base()
+        fib = Fib(32, list(base))
+        for op in ChurnGenerator(base, seed=9).ops(500):
+            prefix = op.resolve()
+            if op.action == ANNOUNCE:
+                fib.insert(prefix, op.next_hop)
+            else:
+                assert prefix in fib, op.render()
+                fib.delete(prefix)
+
+    def test_batches_cover_all_ops(self):
+        gen = ChurnGenerator(_base(), seed=1)
+        batches = list(gen.batches(103, 25))
+        assert [len(b) for b in batches] == [25, 25, 25, 25, 3]
+
+    def test_flap_storms_flap(self):
+        profile = ChurnProfile(withdraw=0.0, modify=0.0, flap_storm=1.0,
+                               correlated_withdraw=0.0)
+        ops = list(ChurnGenerator(_base(), seed=2, profile=profile).ops(20))
+        # Storms alternate announce/withdraw on one prefix.
+        assert any(
+            a.action == ANNOUNCE and b.action == WITHDRAW and a.prefix == b.prefix
+            for a, b in zip(ops, ops[1:])
+        )
+
+    def test_length_mix_follows_bgp_histogram(self):
+        lengths = [op.resolve().length
+                   for op in ChurnGenerator(_base(), seed=3).ops(600)
+                   if op.action == ANNOUNCE]
+        # /24 dominates announcements, as in AS65000 (Figure 8).
+        assert lengths.count(24) > len(lengths) * 0.4
+
+
+# ---------------------------------------------------------------------------
+# The core property: churn + faults => no divergence, books balance
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,factory", UPDATABLE,
+                         ids=[n for n, _ in UPDATABLE])
+def test_managed_churn_with_faults(name, factory):
+    base = _base()
+    managed = ManagedFib(
+        factory, base,
+        faults=FaultPlan.build(sorted(ALL_FAULTS), seed=23),
+        # Update correctness is the property here; the chip-fit guard
+        # (which SAIL-style layouts legitimately trip) has its own tests.
+        policy=RuntimePolicy(guard_every=0),
+        check_seed=23,
+    )
+    generator = ChurnGenerator(base, seed=23)
+    outcomes = [managed.apply_batch(b) for b in generator.batches(1000, 50)]
+
+    log = managed.log
+    assert log.count("violation") == 0
+    assert managed.health is not Health.FAILED
+    log.check_accounting()  # batches and faults fully accounted
+    assert log.batches_total == len(outcomes) == 20
+    assert log.count("fault_injected") > 0, "fault plan never fired"
+    # The committed structure answers exactly like the oracle.
+    rng = random.Random(99)
+    for _ in range(128):
+        address = rng.getrandbits(32)
+        assert managed.lookup(address) == managed.oracle.lookup(address)
+
+
+@pytest.mark.parametrize("name,factory", UNSUPPORTED,
+                         ids=[n for n, _ in UNSUPPORTED])
+def test_unsupported_algorithms_ride_on_rebuilds(name, factory):
+    """Algorithms with no update path still take churn through the
+    runtime: every batch becomes a planned rebuild, health stays
+    HEALTHY (rebuilds are their discipline, not a failure)."""
+    base = _base()
+    managed = ManagedFib(factory, base, check_seed=4)
+    generator = ChurnGenerator(base, seed=4)
+    for batch in generator.batches(200, 50):
+        assert managed.apply_batch(batch) == "batch_rebuilt"
+    log = managed.log
+    log.check_accounting()
+    assert log.count("rebuild_planned") == log.batches_total == 4
+    assert log.count("violation") == 0
+    assert managed.health is Health.HEALTHY
+
+
+def test_determinism_byte_identical_summaries():
+    base = _base()
+
+    def run():
+        managed = ManagedFib(
+            lambda f: Resail(f, hash_capacity=1 << 14), base,
+            faults=FaultPlan.build(sorted(ALL_FAULTS), seed=7),
+            check_seed=7,
+        )
+        for batch in ChurnGenerator(base, seed=7).batches(400, 25):
+            managed.apply_batch(batch)
+        return managed.log.summary()
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Capacity guards
+# ---------------------------------------------------------------------------
+
+
+def test_tightened_guard_rolls_back_and_pins_degraded():
+    """With the SRAM budget below the base load, every batch trips the
+    hard guard and rolls back — and the runtime is never HEALTHY while
+    the guard is tripped."""
+    base = _base()
+    managed = ManagedFib(
+        lambda f: Resail(f, hash_capacity=1 << 14), base,
+        guard=CapacityGuard(sram_pages=1),
+    )
+    generator = ChurnGenerator(base, seed=3)
+    for batch in generator.batches(200, 20):
+        assert managed.apply_batch(batch) == "batch_rolled_back"
+        assert managed.health is not Health.HEALTHY
+    managed.log.check_accounting()
+    assert managed.log.count("guard_trip") == managed.log.batches_total
+    # Nothing landed: the table is still exactly the base FIB.
+    assert len(managed) == len(base)
+
+
+def test_generous_guard_never_trips():
+    base = _base()
+    managed = ManagedFib(
+        lambda f: Resail(f, hash_capacity=1 << 14), base,
+        guard=CapacityGuard(),  # full Tofino-2 envelope
+    )
+    for batch in ChurnGenerator(base, seed=3).batches(200, 20):
+        managed.apply_batch(batch)
+    assert managed.log.count("guard_trip") == 0
+    assert managed.health is Health.HEALTHY
+
+
+# ---------------------------------------------------------------------------
+# Failure path: a buggy algorithm is caught, FAILED, and shrunk
+# ---------------------------------------------------------------------------
+
+
+class _BuggyResail(Resail):
+    """Silently drops /24 withdrawals — the differential checker's prey."""
+
+    def delete(self, prefix):
+        if prefix.length == 24:
+            return
+        super().delete(prefix)
+
+
+def test_buggy_algorithm_fails_with_minimal_repro():
+    base = _base()
+    managed = ManagedFib(
+        lambda f: _BuggyResail(f, hash_capacity=1 << 14), base,
+        policy=RuntimePolicy(rebuild_budget=1, max_shrink_evals=200),
+        check_seed=11,
+    )
+    for batch in ChurnGenerator(base, seed=11).batches(500, 25):
+        managed.apply_batch(batch)
+        if managed.health is Health.FAILED:
+            break
+    assert managed.health is Health.FAILED
+    assert managed.log.count("violation") > 0
+    managed.log.check_accounting()
+    # The shrunk repro is small and still reproduces the bug.
+    repro = managed.minimal_repro
+    assert repro is not None and 1 <= len(repro) <= 5
+    fails = make_failure_predicate(
+        lambda f: _BuggyResail(f, hash_capacity=1 << 14), base
+    )
+    assert fails(repro)
+    # FAILED is terminal: further batches are refused (rolled back).
+    assert managed.apply_batch([]) == "batch_rolled_back"
+
+
+def test_shrinker_minimizes_synthetic_trace():
+    ops = [
+        UpdateOp(ANNOUNCE, Prefix.from_bits(i, 16, 32), i % 7)
+        for i in range(40)
+    ]
+    poison = UpdateOp(WITHDRAW, Prefix.from_bits(9999, 16, 32))
+    trace = ops[:20] + [poison] + ops[20:]
+    shrunk = shrink_trace(trace, lambda t: poison in t)
+    assert shrunk == [poison]
+    with pytest.raises(ValueError):
+        shrink_trace(ops, lambda t: False)
+
+
+# ---------------------------------------------------------------------------
+# Fault absorption specifics
+# ---------------------------------------------------------------------------
+
+
+def test_malformed_and_ghost_ops_absorbed_without_corruption():
+    base = _base()
+    managed = ManagedFib(lambda f: Resail(f, hash_capacity=1 << 14), base)
+    hostile = [
+        UpdateOp(ANNOUNCE, None, 5, raw=(1 << 40, 32, 32), fault="malformed_prefix"),
+        UpdateOp(ANNOUNCE, None, 5, raw=(0, -3, 32), fault="malformed_prefix"),
+        UpdateOp(WITHDRAW, Prefix.from_bits(0x7FFFFFFF, 31, 32),
+                 fault="ghost_withdraw"),
+        UpdateOp(ANNOUNCE, Prefix.from_bits(0x0A01, 16, 32), -4,
+                 fault="malformed_prefix"),
+    ]
+    assert managed.apply_batch(hostile) == "batch_applied"
+    log = managed.log
+    assert log.count("op_absorbed") == 4
+    assert log.count("fault_absorbed") == 4
+    log.check_accounting()
+    assert len(managed) == len(base)
+    assert managed.health is Health.HEALTHY
+
+
+def test_transient_fault_retries_then_succeeds():
+    base = _base()
+    plan = FaultPlan.build(["mid_update_exception"], seed=1, rate=1.0)
+    managed = ManagedFib(lambda f: Resail(f, hash_capacity=1 << 14), base,
+                         faults=plan)
+    gen = ChurnGenerator(base, seed=1)
+    for batch in gen.batches(100, 20):
+        managed.apply_batch(batch)
+    log = managed.log
+    log.check_accounting()
+    # Every batch armed the fault, rolled back once, retried, and landed.
+    assert log.count("retry") == log.batches_total
+    assert log.count("batch_applied") == log.batches_total
+    assert log.count("rebuild_recovery") == 0
+    assert managed.simulated_backoff_s > 0
+
+
+def test_persistent_fault_forces_recovery_rebuild():
+    base = _base()
+    plan = FaultPlan.build(["bucket_overflow"], seed=1, rate=1.0)
+    managed = ManagedFib(lambda f: Resail(f, hash_capacity=1 << 14), base,
+                         faults=plan)
+    gen = ChurnGenerator(base, seed=1)
+    for batch in gen.batches(100, 20):
+        managed.apply_batch(batch)
+    log = managed.log
+    log.check_accounting()
+    assert log.count("rebuild_recovery") == log.count("fault_injected") > 0
+    assert log.count("violation") == 0
+
+
+def test_rebuild_budget_exhaustion_goes_failed():
+    base = _base()
+    plan = FaultPlan.build(["bucket_overflow"], seed=1, rate=1.0)
+    managed = ManagedFib(
+        lambda f: Resail(f, hash_capacity=1 << 14), base,
+        faults=plan,
+        policy=RuntimePolicy(rebuild_budget=2, shrink_on_failure=False),
+    )
+    gen = ChurnGenerator(base, seed=1)
+    for batch in gen.batches(200, 20):
+        managed.apply_batch(batch)
+    assert managed.health is Health.FAILED
+    managed.log.check_accounting()
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_accounting_raises_on_imbalance(self):
+        log = EventLog()
+        log.record("batch", 0, size=3)
+        with pytest.raises(AssertionError):
+            log.check_accounting()
+        log.record("batch_applied", 0)
+        log.check_accounting()
+        log.record("fault_injected", 0, fault="x")
+        with pytest.raises(AssertionError):
+            log.check_accounting()
+        log.record("fault_absorbed", 0, fault="x")
+        log.check_accounting()
+
+    def test_summary_mentions_everything(self):
+        log = EventLog()
+        log.record("batch", 0, size=1)
+        log.record("batch_rebuilt", 0)
+        log.record("health", 0, old="healthy", new="degraded")
+        text = log.summary()
+        assert "rebuilt 1" in text
+        assert "healthy->degraded@0" in text
+
+    def test_update_op_resolve_raises_prefix_error(self):
+        op = UpdateOp(ANNOUNCE, None, 1, raw=(0, 40, 32))
+        with pytest.raises(PrefixError):
+            op.resolve()

@@ -64,3 +64,48 @@ class TestGeneric:
         p = Prefix.from_bits(1, 1, 8)
         assert as_prefix(p) is p
         assert as_prefix("10.0.0.0/8") == parse_ipv4_prefix("10.0.0.0/8")
+
+
+class TestMalformedText:
+    """parse.py hardening: malformed CIDR/bitstring text raises
+    PrefixError (not AddressValueError or a bare ValueError from the
+    ipaddress module)."""
+
+    @pytest.mark.parametrize("text", [
+        "10.0.0.0/33",        # length out of range
+        "10.0.0.1/8",         # host bits set
+        "256.0.0.0/8",        # bad octet
+        "10.0.0.0/-1",        # negative length
+        "not-a-prefix",
+        "",
+        "   ",
+    ])
+    def test_parse_prefix_rejects(self, text):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            parse_prefix(text, width=32)
+
+    @pytest.mark.parametrize("text", [
+        "2001:db8::/129",
+        "2001:db8::1/32",     # host bits set
+        "2001:zz8::/32",
+        "2001:db8::/96",      # beyond the 64-bit routing view
+    ])
+    def test_parse_ipv6_prefix_rejects(self, text):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            parse_ipv6_prefix(text)
+
+    def test_bitstring_without_width_is_prefix_error(self):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            parse_prefix("0101")
+
+    def test_non_string_rejected(self):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            parse_prefix(12345)

@@ -153,3 +153,49 @@ class TestOrderingAndDisplay:
     def test_hash_equality(self):
         assert hash(from_bitstring("01", 8)) == hash(from_bitstring("01", 8))
         assert from_bitstring("01", 8) != from_bitstring("01", 16)
+
+
+class TestMalformedInput:
+    """PrefixError hardening: every malformed spec is rejected with the
+    dedicated error type (a ValueError subclass), never a silent wrong
+    prefix or an unrelated exception."""
+
+    def test_prefix_error_is_value_error(self):
+        from repro.prefix import PrefixError
+
+        assert issubclass(PrefixError, ValueError)
+
+    @pytest.mark.parametrize("bits,length,width", [
+        (0, -1, 8),          # negative length
+        (0, 9, 8),           # length > width
+        (0b1111, 3, 8),      # bits wider than length
+        (1 << 32, 32, 32),   # bits wider than length at full width
+        (-1, 4, 8),          # negative bits
+        (1, 0, 8),           # /0 with significant bits
+        (0, 0, 0),           # zero width
+        (0, 0, -4),          # negative width
+    ])
+    def test_from_bits_rejects(self, bits, length, width):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            Prefix.from_bits(bits, length, width)
+
+    @pytest.mark.parametrize("value,length,width", [
+        (0, -3, 32),            # negative length
+        (0, 33, 32),            # length > width
+        (1 << 32, 8, 32),       # value wider than width
+        (-1, 8, 32),            # negative value
+        (0b10100001, 3, 8),     # nonzero host bits
+    ])
+    def test_init_rejects(self, value, length, width):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            Prefix(value, length, width)
+
+    def test_from_bitstring_rejects_junk(self):
+        from repro.prefix import PrefixError
+
+        with pytest.raises(PrefixError):
+            from_bitstring("01a", 8)

@@ -79,6 +79,19 @@ class TestPrefixApi:
         with pytest.raises(KeyError):
             t.delete_prefix(P("0101"))
 
+    def test_reinsert_prefix_replaces_data(self):
+        # A TCAM row write overwrites the row: re-announcing a prefix
+        # with a new next hop must not leave a stale duplicate entry
+        # shadowing the update (caught by the churn differential
+        # checker via a next-hop modify).
+        t = TcamTable(8)
+        t.insert_prefix(P("0101"), "old")
+        t.insert_prefix(P("0101"), "new")
+        assert t.search(0b01010000) == "new"
+        assert len(t) == 1
+        t.delete_prefix(P("0101"))
+        assert t.search(0b01010000) is None
+
     def test_search_after_mutation_uses_fresh_index(self):
         t = TcamTable(8)
         t.insert_prefix(P("01"), "a")

@@ -19,7 +19,7 @@ from repro.algorithms import (
     Sail,
     UpdateUnsupported,
 )
-from repro.prefix import Fib, Prefix
+from repro.prefix import Fib, Prefix, parse_prefix
 
 
 def random_prefix(rng, width, min_len=1):
@@ -91,6 +91,29 @@ def test_resail_update_storm_respects_min_bmp_expansion():
             assert algo.lookup(addr) == fib.lookup(addr)
 
 
+def test_resail_short_prefix_next_hop_modify():
+    """Re-announcing a short prefix with a new hop must update every
+    expansion slot (minimal repro found by the churn trace shrinker:
+    +37.128.0.0/11->76 then +37.128.0.0/11->249 left slots at 76)."""
+    fib = Fib(32)
+    algo = Resail(fib, min_bmp=13, hash_capacity=1 << 12)
+    prefix = parse_prefix("37.128.0.0/11")
+    algo.insert(prefix, 76)
+    fib.insert(prefix, 76)
+    algo.insert(prefix, 249)
+    fib.insert(prefix, 249)
+    for addr in (0x25800000, 0x25800001, 0x258FFFFF, 0x259FFFFF):
+        assert algo.lookup(addr) == 249 == fib.lookup(addr)
+    # A longer original must still own its slots afterwards.
+    longer = parse_prefix("37.128.0.0/12")
+    algo.insert(longer, 7)
+    fib.insert(longer, 7)
+    algo.insert(prefix, 8)
+    fib.insert(prefix, 8)
+    assert algo.lookup(0x25800000) == 7 == fib.lookup(0x25800000)
+    assert algo.lookup(0x259FFFFF) == 8 == fib.lookup(0x259FFFFF)
+
+
 def test_base_class_reports_unsupported():
     from repro.algorithms.base import LookupAlgorithm
 
@@ -111,3 +134,81 @@ def test_base_class_reports_unsupported():
         stub.insert(Prefix.from_bits(0, 1, 8), 1)
     with pytest.raises(UpdateUnsupported):
         stub.delete(Prefix.from_bits(0, 1, 8))
+
+
+# ---------------------------------------------------------------------------
+# Update-support audit: every algorithm either takes updates correctly
+# or refuses with UpdateUnsupported — never a bare NotImplementedError
+# and never a silently wrong structure.
+# ---------------------------------------------------------------------------
+
+def _audit_registry():
+    from repro.cli import ALGORITHM_FACTORIES
+
+    return sorted(ALGORITHM_FACTORIES.items())
+
+
+def _small_v4_fib():
+    from repro.datasets import small_example_fib  # noqa: F401 (8-bit toy)
+
+    entries = [
+        (Prefix.from_bits(0b1010, 4, 32), 1),
+        (Prefix.from_bits(0x0A00, 16, 32), 2),
+        (Prefix.from_bits(0x0A0001, 24, 32), 3),
+        (Prefix.from_bits(0x0A000102, 32, 32), 4),
+        (Prefix.from_bits(0xC0A8, 16, 32), 5),
+    ]
+    return Fib(32, entries)
+
+
+@pytest.mark.parametrize("name,factory", _audit_registry(),
+                         ids=[n for n, _ in _audit_registry()])
+def test_update_support_audit(name, factory):
+    from repro.algorithms import UPDATE_UNSUPPORTED
+
+    fib = _small_v4_fib()
+    algo = factory(Fib(32, list(fib)))
+    strategy = algo.update_strategy
+    assert strategy in ("in_place", "rebuild", "unsupported")
+    assert algo.supports_updates == (strategy != UPDATE_UNSUPPORTED)
+
+    new_prefix = Prefix.from_bits(0x0B00, 16, 32)
+    victim = Prefix.from_bits(0x0A0001, 24, 32)
+    probes = [0x0A000102, 0x0A000199, 0x0B000001, 0xC0A80101, 0x7F000001]
+
+    if not algo.supports_updates:
+        # Must raise the dedicated type, and must not corrupt the
+        # structure while failing.
+        with pytest.raises(UpdateUnsupported):
+            algo.insert(new_prefix, 9)
+        with pytest.raises(UpdateUnsupported):
+            algo.delete(victim)
+        for addr in probes:
+            assert algo.lookup(addr) == fib.lookup(addr), name
+    else:
+        algo.insert(new_prefix, 9)
+        fib.insert(new_prefix, 9)
+        algo.delete(victim)
+        fib.delete(victim)
+        for addr in probes + [0x0B000042]:
+            assert algo.lookup(addr) == fib.lookup(addr), name
+
+
+@pytest.mark.parametrize("name,factory", _audit_registry(),
+                         ids=[n for n, _ in _audit_registry()])
+def test_snapshot_is_independent(name, factory):
+    """The transactional snapshot hook: mutating the live algorithm
+    must not leak into a previously taken snapshot."""
+    fib = _small_v4_fib()
+    algo = factory(Fib(32, list(fib)))
+    snap = algo.snapshot()
+    if not algo.supports_updates:
+        assert snap.lookup(0x0A000199) == algo.lookup(0x0A000199)
+        return
+    target = Prefix.from_bits(0x0A0001, 24, 32)
+    algo.delete(target)
+    # The snapshot still answers from the pre-delete state.
+    probe = 0x0A000199
+    assert snap.lookup(probe) == fib.lookup(probe), name
+    fib.delete(target)
+    assert algo.lookup(probe) == fib.lookup(probe), name
