@@ -10,9 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-ci: test          ## what .github/workflows/ci.yml runs: tests + churn smoke
-	$(PYTHON) -m repro churn --smoke --algo resail --seed 7
+ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
+	$(PYTHON) -m repro churn --smoke --algo resail --seed 7 \
+	    --metrics-out benchmarks/results/churn_smoke_metrics.json \
+	    --events-out benchmarks/results/churn_smoke_events.jsonl
 	$(PYTHON) -m repro churn --smoke --algo bsic --seed 7
+	$(PYTHON) -m repro trace --smoke
+	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
+	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py -q
 
 bench:            ## full paper reproduction (~6 min, full BGP scale)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

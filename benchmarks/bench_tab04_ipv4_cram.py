@@ -9,7 +9,7 @@ reproduce in shape.
 
 import pytest
 
-from _bench_utils import emit
+from _bench_utils import bench_timings, emit
 
 from repro.analysis import cram_metrics_table, select_best
 from repro.core import KB, MB
@@ -23,7 +23,13 @@ def test_tab04_ipv4_cram_metrics(benchmark, resail_v4, bsic_v4, mashup_v4,
         rounds=1, iterations=1,
     )
     emit("tab04_ipv4_cram",
-         cram_metrics_table("Table 4: CRAM metrics, IPv4 (AS65000)", rows).render())
+         cram_metrics_table("Table 4: CRAM metrics, IPv4 (AS65000)", rows).render(),
+         values={
+             name: {"tcam_bits": m.tcam_bits, "sram_bits": m.sram_bits,
+                    "steps": m.steps}
+             for name, m in rows
+         },
+         timings=bench_timings(benchmark))
 
     metrics = dict(rows)
     mashup = metrics[mashup_v4.name]

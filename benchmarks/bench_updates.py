@@ -17,7 +17,7 @@ benches check that ranking:
 
 import time
 
-from _bench_utils import emit
+from _bench_utils import bench_timings, emit
 
 from repro.algorithms import Bsic, Mashup, Resail
 from repro.analysis import Table
@@ -76,7 +76,10 @@ def test_update_costs(benchmark):
                   ["Scheme", "Total (s)", "Per update (ms)"])
     for name, seconds in sorted(times.items(), key=lambda kv: kv[1]):
         table.add_row(name, f"{seconds:.3f}", f"{seconds / len(trace) * 1e3:.2f}")
-    emit("update_costs", table.render())
+    emit("update_costs", table.render(),
+         values={"churn_ops": len(trace), "probes": len(probes)},
+         timings={"per_scheme_total_s": times,
+                  "benchmark": bench_timings(benchmark)})
 
     # Appendix A.3's ordering: RESAIL cheapest, BSIC costliest.
     assert times["RESAIL"] < times["MASHUP"]
@@ -107,6 +110,7 @@ def test_managed_churn_fault_ranking(benchmark):
             for batch in generator.batches(ops, batch_size):
                 managed.apply_batch(batch)
             managed.log.check_accounting()
+            managed.log.check_registry_consistency()
             results[name] = managed
         return results
 
@@ -125,7 +129,26 @@ def test_managed_churn_fault_ranking(benchmark):
             f"{log.count('rebuild_planned')}/{log.count('rebuild_recovery')}",
             str(managed.health),
         )
-    emit("update_fault_ranking", table.render())
+    emit("update_fault_ranking", table.render(),
+         values={
+             name: {
+                 "applied": managed.log.count("batch_applied"),
+                 "rebuilt": managed.log.count("batch_rebuilt"),
+                 "rolled_back": managed.log.count("batch_rolled_back"),
+                 "rebuild_planned": managed.log.count("rebuild_planned"),
+                 "rebuild_recovery": managed.log.count("rebuild_recovery"),
+                 "health": str(managed.health),
+                 "metrics": managed.registry.snapshot(),
+             }
+             for name, managed in results.items()
+         },
+         timings={
+             "benchmark": bench_timings(benchmark),
+             "per_scheme": {
+                 name: managed.registry.timings_snapshot()
+                 for name, managed in results.items()
+             },
+         })
 
     for name, managed in results.items():
         assert managed.log.count("violation") == 0, name

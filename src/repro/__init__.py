@@ -13,7 +13,9 @@ provides:
 * :mod:`repro.algorithms` — RESAIL, BSIC, MASHUP, and the baselines
   (SAIL, DXR, multibit tries, HI-BST, logical TCAM);
 * :mod:`repro.analysis` — the harness regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.obs` — telemetry: metrics registry, per-lookup CRAM
+  step tracing, and memory-access accounting.
 
 Quick taste::
 
@@ -39,6 +41,7 @@ from . import (
     datasets,
     measure,
     memory,
+    obs,
     prefix,
 )
 
@@ -51,6 +54,7 @@ __all__ = [
     "datasets",
     "measure",
     "memory",
+    "obs",
     "prefix",
     "__version__",
 ]

@@ -131,17 +131,22 @@ class LookupAlgorithm(abc.ABC):
         """Read the final next hop out of the CRAM machine state."""
         return state.get("hop")
 
-    def cram_lookup(self, address: int) -> Optional[int]:
+    def cram_lookup(self, address: int, tracer=None) -> Optional[int]:
         """Run one lookup through the CRAM interpreter.
 
         Must agree with :meth:`lookup` for every address — the tests
         enforce it.  This is what makes the CRAM model in this package
         a machine rather than a spreadsheet.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) observes every wave,
+        step, and table access; traced and untraced runs return the
+        same next hop.
         """
         from ..core.interpreter import run
 
         program = self.cram_program()
-        state = run(program, {"addr": address, **self.cram_initial_state()})
+        state = run(program, {"addr": address, **self.cram_initial_state()},
+                    tracer)
         return self.cram_extract_hop(state)
 
     # ------------------------------------------------------------------

@@ -90,6 +90,15 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 def cmd_lookup(args: argparse.Namespace) -> int:
     fib = load_fib(args.fib)
     algo = _build(args.algorithm, fib)
+    stats = None
+    if args.stats:
+        from .obs import enable_hit_tracking
+
+        # Reset after construction so the report reflects only the
+        # queried addresses, not table-build accesses.
+        stats = enable_hit_tracking(algo)
+        for table_stats in stats:
+            table_stats.reset()
     status = 0
     for text in args.addresses:
         address = _parse_address(text, fib.width)
@@ -102,12 +111,62 @@ def cmd_lookup(args: argparse.Namespace) -> int:
             print(f"{format_address(address, fib.width)}: port {hop} via {prefix}")
         if hop != fib.lookup(address):  # pragma: no cover - invariant
             raise SystemExit("BUG: algorithm disagrees with reference trie")
+    if stats is not None:
+        from .obs import hot_table_report
+
+        print()
+        print(hot_table_report(stats))
     return status
+
+
+def _emit_machine_metrics(args: argparse.Namespace, fib: Fib, algos) -> int:
+    """``repro metrics --format prometheus|json``: registry rendering.
+
+    Everything in the Prometheus output is deterministic for a fixed
+    FIB/seed (CRAM gauges, lookup counts, table-access counters); the
+    wall-clock exercise timings appear only in the JSON document's
+    ``timings`` section.
+    """
+    from .datasets import mixed_addresses
+    from .obs import MetricsRegistry, collect_access_stats, export_access_stats
+
+    registry = MetricsRegistry()
+    registry.gauge("repro_fib_prefixes", "Routes in the loaded FIB.").set(
+        len(fib))
+    tcam = registry.gauge("repro_cram_tcam_bits", "CRAM TCAM bits (§2.1).")
+    sram = registry.gauge("repro_cram_sram_bits", "CRAM SRAM bits (§2.1).")
+    steps = registry.gauge("repro_cram_steps", "CRAM steps (critical path).")
+    lookups = registry.counter("repro_lookups_total", "Lookups executed.")
+    addresses = (
+        mixed_addresses(fib, args.exercise, hit_fraction=0.8, seed=args.seed)
+        if args.exercise else []
+    )
+    for algo in algos:
+        metrics = algo.cram_metrics()
+        tcam.set(metrics.tcam_bits, algorithm=algo.name)
+        sram.set(metrics.sram_bits, algorithm=algo.name)
+        steps.set(metrics.steps, algorithm=algo.name)
+        stats = collect_access_stats(algo)
+        for table_stats in stats:
+            table_stats.reset()  # drop construction-time accesses
+        if addresses:
+            with registry.timer("repro_exercise", algorithm=algo.name):
+                for address in addresses:
+                    algo.lookup(address)
+            lookups.inc(len(addresses), algorithm=algo.name)
+        export_access_stats(registry, stats, algorithm=algo.name)
+    if args.format == "prometheus":
+        print(registry.render_prometheus(), end="")
+    else:
+        print(registry.to_json(include_timings=True))
+    return 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     fib = load_fib(args.fib)
     algos = [_build(name, fib) for name in args.algorithm]
+    if args.format != "table":
+        return _emit_machine_metrics(args, fib, algos)
     rows = [(algo.name, algo.cram_metrics()) for algo in algos]
     print(cram_metrics_table(f"CRAM metrics ({args.fib})", rows).render())
     if len(rows) > 1:
@@ -236,6 +295,14 @@ def cmd_churn(args: argparse.Namespace) -> int:
         if managed.health is Health.FAILED:
             break
     managed.log.check_accounting()
+    managed.log.check_registry_consistency()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(managed.registry.to_json(include_timings=True))
+            handle.write("\n")
+    if args.events_out:
+        with open(args.events_out, "w", encoding="utf-8") as handle:
+            handle.write(managed.log.to_jsonl())
     print(managed.log.summary())
     print(f"final: health={managed.health} table={len(managed)} prefixes "
           f"simulated_backoff={managed.simulated_backoff_s * 1000:.3f}ms")
@@ -246,6 +313,64 @@ def cmd_churn(args: argparse.Namespace) -> int:
     failed = (managed.health is Health.FAILED
               or managed.log.count("violation") > 0)
     return 1 if failed else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace lookups through an algorithm's CRAM program."""
+    import json
+    import pathlib
+
+    from .datasets import mixed_addresses
+    from .obs import RecordingTracer, validate_chrome_trace
+
+    if args.smoke:
+        fib = synthesize_as65000(scale=0.001, seed=65000)
+    elif args.fib:
+        fib = load_fib(args.fib)
+    else:
+        raise SystemExit("trace: --fib is required (or use --smoke)")
+    algo = _build(args.algorithm, fib)
+
+    if args.addresses:
+        addresses = [_parse_address(t, fib.width) for t in args.addresses]
+    else:
+        addresses = mixed_addresses(fib, args.count, hit_fraction=0.8,
+                                    seed=args.seed)
+
+    tracer = RecordingTracer()
+    for address in addresses:
+        traced = algo.cram_lookup(address, tracer=tracer)
+        untraced = algo.cram_lookup(address)
+        native = algo.lookup(address)
+        if traced != untraced or traced != native:  # pragma: no cover
+            raise SystemExit(
+                f"BUG: traced/untraced/native disagree at "
+                f"{format_address(address, fib.width)}: "
+                f"{traced}/{untraced}/{native}"
+            )
+
+    if args.out:
+        out = pathlib.Path(args.out)
+    elif args.smoke:
+        out = pathlib.Path("benchmarks/results/trace_smoke.json")
+    else:
+        out = pathlib.Path("trace.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tracer.write_chrome_trace(out)
+    validate_chrome_trace(json.loads(out.read_text()))
+    written = [str(out)]
+    jsonl = args.jsonl
+    if jsonl is None and args.smoke:
+        jsonl = str(out.with_suffix(".jsonl"))
+    if jsonl:
+        tracer.write_jsonl(jsonl)
+        written.append(str(jsonl))
+    print(f"traced {len(addresses)} lookups through {algo.name}: "
+          f"{len(tracer.events)} events, all next hops verified against "
+          f"the untraced interpreter and the native lookup")
+    print("wrote " + " and ".join(written) +
+          " (load the .json in Perfetto / chrome://tracing)")
+    return 0
 
 
 def cmd_growth(args: argparse.Namespace) -> int:
@@ -282,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fib", required=True)
     p.add_argument("--algorithm", default="resail",
                    choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--stats", action="store_true",
+                   help="report per-table accesses and per-prefix hit "
+                        "skew for the queried addresses")
     p.add_argument("addresses", nargs="+")
     p.set_defaults(func=cmd_lookup)
 
@@ -291,7 +419,40 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHM_FACTORIES))
     p.add_argument("--drmt", action="store_true",
                    help="include the dRMT model in the mappings")
+    p.add_argument("--format", choices=["table", "prometheus", "json"],
+                   default="table",
+                   help="table (human, default) or machine-readable "
+                        "Prometheus/JSON registry output")
+    p.add_argument("--exercise", type=int, default=0, metavar="N",
+                   help="run N seeded lookups per algorithm to populate "
+                        "access counters (prometheus/json formats)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the --exercise address workload")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace lookups through an algorithm's CRAM program",
+        description="Run addresses through the CRAM interpreter with the "
+                    "step tracer attached, verify traced == untraced == "
+                    "native next hops, and write a Chrome trace-event "
+                    "JSON (open in Perfetto) plus optionally JSONL.",
+    )
+    p.add_argument("--fib", help="FIB file (omit with --smoke)")
+    p.add_argument("--algorithm", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--count", type=int, default=4,
+                   help="seeded addresses to trace when none are given")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="Chrome trace output path "
+                                 "(default trace.json)")
+    p.add_argument("--jsonl", help="also write the JSONL event stream here")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI smoke: tiny synthetic FIB, writes "
+                        "benchmarks/results/trace_smoke.{json,jsonl}")
+    p.add_argument("addresses", nargs="*",
+                   help="addresses to trace (default: seeded workload)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("codegen", help="emit a P4 sketch of an algorithm")
     p.add_argument("--fib", required=True)
@@ -335,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tighten the SRAM-page capacity guard")
     p.add_argument("--smoke", action="store_true",
                    help="CI smoke mode: 200 ops, all faults")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the run's metrics registry (including "
+                        "wall-clock timings) as JSON to FILE")
+    p.add_argument("--events-out", metavar="FILE",
+                   help="archive the event log as JSONL to FILE")
     p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")

@@ -38,7 +38,13 @@ from .faults import (
     MidUpdateExceptionFault,
     SimulatedFault,
 )
-from .runtime import CapacityGuard, Health, ManagedFib, RuntimePolicy
+from .runtime import (
+    HEALTH_GAUGE_VALUES,
+    CapacityGuard,
+    Health,
+    ManagedFib,
+    RuntimePolicy,
+)
 
 __all__ = [
     "ANNOUNCE",
@@ -68,6 +74,7 @@ __all__ = [
     "make_failure_predicate",
     "shrink_trace",
     "CapacityGuard",
+    "HEALTH_GAUGE_VALUES",
     "Health",
     "ManagedFib",
     "RuntimePolicy",

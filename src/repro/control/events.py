@@ -15,6 +15,7 @@ an :class:`Event` and tallied in a counter.  Two properties matter:
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -46,6 +47,18 @@ class Event:
         extras = " ".join(f"{k}={v}" for k, v in self.fields)
         return f"{self.kind}{where}" + (f" [{extras}]" if extras else "")
 
+    def to_dict(self) -> dict:
+        """A JSON-safe rendering for archival/replay by external tools."""
+        return {
+            "kind": self.kind,
+            "batch": self.batch,
+            "fields": {
+                k: v if isinstance(v, (bool, int, float, str, type(None)))
+                else str(v)
+                for k, v in self.fields
+            },
+        }
+
 
 class EventLog:
     """An append-only event log with counters.
@@ -56,15 +69,36 @@ class EventLog:
     ``fault:<name>``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self.events: List[Event] = []
         self.counters: Counter = Counter()
+        #: Optional :class:`repro.obs.MetricsRegistry`; every recorded
+        #: event kind is mirrored into ``repro_events_total{kind=...}``
+        #: so dashboards and the accounting tests see the same truth.
+        self.registry = registry
+        self._mirror = (
+            registry.counter("repro_events_total",
+                             "Control-plane events by kind.")
+            if registry is not None else None
+        )
 
     def record(self, kind: str, batch: Optional[int] = None, **fields) -> Event:
         event = Event(kind, batch, tuple(sorted(fields.items())))
         self.events.append(event)
         self.counters[kind] += 1
+        if self._mirror is not None:
+            self._mirror.inc(1, kind=kind)
         return event
+
+    def tally(self, kind: str, amount: int = 1) -> None:
+        """Count a fact without recording an event (e.g. armed faults).
+
+        Keeps the counter and the registry mirror in lockstep, so the
+        bidirectional consistency check covers tallies too.
+        """
+        self.counters[kind] += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount, kind=kind)
 
     def count(self, kind: str) -> int:
         return self.counters.get(kind, 0)
@@ -100,9 +134,49 @@ class EventLog:
                 f"{handled} absorbed/recovered"
             )
 
+    def check_registry_consistency(self) -> None:
+        """Assert the registry mirror agrees with the log, both ways.
+
+        Every kind counted here (recorded events and ``tally`` bumps
+        alike) must show the same count under
+        ``repro_events_total{kind=...}``, and the registry must not
+        carry event kinds the log never counted.  No-op without a
+        registry.
+        """
+        if self._mirror is None:
+            return
+        recorded = {k: v for k, v in self.counters.items() if v}
+        mirrored: Dict[str, int] = {}
+        for label_key, value in self._mirror.items():
+            labels = dict(label_key)
+            mirrored[labels.get("kind", "?")] = int(value)
+        for kind, count in sorted(recorded.items()):
+            if mirrored.get(kind, 0) != count:
+                raise AssertionError(
+                    f"registry mirror broken: log has {count} x {kind!r}, "
+                    f"registry has {mirrored.get(kind, 0)}"
+                )
+        extra = sorted(set(mirrored) - set(recorded))
+        if extra:
+            raise AssertionError(
+                f"registry mirror broken: registry has kinds {extra} "
+                "never recorded in the log"
+            )
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One event per line, in order — archivable and replayable.
+
+        Deterministic for seeded runs (events carry batch indices, not
+        timestamps), so churn archives diff cleanly across runs.
+        """
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True)
+            for event in self.events
+        ) + ("\n" if self.events else "")
+
     def health_transitions(self) -> List[str]:
         return [
             f"{e.get('old')}->{e.get('new')}@{e.batch}"

@@ -43,6 +43,7 @@ from ..algorithms.base import (
     UpdateUnsupported,
 )
 from ..chip.tofino2 import tofino2_fit_report
+from ..obs import MetricsRegistry
 from ..prefix.prefix import Prefix, PrefixError
 from ..prefix.trie import Fib
 from .check import (
@@ -64,6 +65,19 @@ class Health(str, enum.Enum):
 
     def __str__(self) -> str:  # deterministic rendering in event logs
         return self.value
+
+
+#: Numeric encoding of :class:`Health` for the ``repro_health_state``
+#: gauge (higher = worse), so dashboards can alert on thresholds.
+HEALTH_GAUGE_VALUES = {
+    Health.HEALTHY: 0,
+    Health.DEGRADED: 1,
+    Health.REBUILDING: 2,
+    Health.FAILED: 3,
+}
+
+#: Deterministic batch-size histogram bounds (update ops per batch).
+BATCH_SIZE_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 1000)
 
 
 @dataclass(frozen=True)
@@ -140,12 +154,23 @@ class ManagedFib:
         guard: Optional[CapacityGuard] = None,
         faults: Optional[FaultPlan] = None,
         check_seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.factory = factory
         self.policy = policy or RuntimePolicy()
         self.guard = guard or CapacityGuard()
         self.faults = faults or FaultPlan.none()
-        self.log = EventLog()
+        #: Telemetry: event counters are mirrored here, batch outcomes
+        #: and sizes are deterministic instruments, and apply/rollback/
+        #: rebuild latencies land in the wall-clock timings section.
+        self.registry = registry or MetricsRegistry()
+        self._health_gauge = self.registry.gauge(
+            "repro_health_state",
+            "Managed-runtime health (0 healthy .. 3 failed).")
+        self._batch_size_histogram = self.registry.histogram(
+            "repro_batch_size", BATCH_SIZE_BUCKETS,
+            "Update ops per applied batch.")
+        self.log = EventLog(registry=self.registry)
         self.oracle = Fib(base.width, list(base))
         self.algo = factory(Fib(base.width, list(base)))
         self._base = Fib(base.width, list(base))
@@ -159,6 +184,7 @@ class ManagedFib:
         self._incident_flag = False
         self._batch_index = -1
         self._trace: List[UpdateOp] = []
+        self._health_gauge.set(HEALTH_GAUGE_VALUES[self.health])
 
     # ------------------------------------------------------------------
     # Data path
@@ -181,6 +207,7 @@ class ManagedFib:
         if new is not self.health:
             self.log.record("health", batch, old=str(self.health), new=str(new))
             self.health = new
+            self._health_gauge.set(HEALTH_GAUGE_VALUES[new])
 
     def _incident(self, batch: int) -> None:
         self._healthy_streak = 0
@@ -201,21 +228,31 @@ class ManagedFib:
             self.oracle.delete(prefix)
 
     def _unstage(self, journal: List[Tuple[str, Prefix, Optional[int]]]) -> None:
-        for action, prefix, prev in reversed(journal):
-            if action == ANNOUNCE:
-                if prev is None:
-                    self.oracle.delete(prefix)
+        with self.registry.timer("repro_rollback"):
+            for action, prefix, prev in reversed(journal):
+                if action == ANNOUNCE:
+                    if prev is None:
+                        self.oracle.delete(prefix)
+                    else:
+                        self.oracle.insert(prefix, prev)
                 else:
                     self.oracle.insert(prefix, prev)
-            else:
-                self.oracle.insert(prefix, prev)
-        journal.clear()
+            journal.clear()
 
     # ------------------------------------------------------------------
     # Batch application
     # ------------------------------------------------------------------
     def apply_batch(self, ops: Sequence[UpdateOp]) -> str:
         """Apply one update batch; returns the outcome event kind."""
+        self._batch_size_histogram.observe(len(ops))
+        with self.registry.timer("repro_batch_apply"):
+            outcome = self._apply_batch(ops)
+        self.registry.counter(
+            "repro_batch_outcomes_total", "Batches by final outcome."
+        ).inc(1, outcome=outcome)
+        return outcome
+
+    def _apply_batch(self, ops: Sequence[UpdateOp]) -> str:
         self._batch_index += 1
         b = self._batch_index
         self._incident_flag = False
@@ -231,7 +268,7 @@ class ManagedFib:
         for op in ops:
             if op.fault is not None:
                 self.log.record("fault_injected", b, fault=op.fault)
-                self.log.counters[f"fault:{op.fault}"] += 1
+                self.log.tally(f"fault:{op.fault}")
 
         # 2. Validation: absorb hostile input, stage the rest on the
         #    oracle under an undo journal.
@@ -272,7 +309,7 @@ class ManagedFib:
         armed = self.faults.arm(b, [op for op, _ in valid])
         for name in armed:
             self.log.record("fault_injected", b, fault=name)
-            self.log.counters[f"fault:{name}"] += 1
+            self.log.tally(f"fault:{name}")
 
         # 4. Land the batch on the structure.
         outcome = None
@@ -414,7 +451,9 @@ class ManagedFib:
             self._healthy_streak = 0
             if previous is not Health.REBUILDING:
                 self._set_health(Health.DEGRADED, b)
-        return self.factory(Fib(self.oracle.width, list(self.oracle)))
+        with self.registry.timer("repro_rebuild",
+                                 planned="true" if planned else "false"):
+            return self.factory(Fib(self.oracle.width, list(self.oracle)))
 
     # ------------------------------------------------------------------
     # Guards and consistency
@@ -481,6 +520,7 @@ class ManagedFib:
             self.log.record("health", b, old=str(self.health),
                             new=str(Health.FAILED))
             self.health = Health.FAILED
+            self._health_gauge.set(HEALTH_GAUGE_VALUES[Health.FAILED])
         self.log.record("failed", b, reason=reason)
         if not self.policy.shrink_on_failure:
             return

@@ -11,17 +11,28 @@ next hops as its native Python implementation.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from .program import CramProgram
 
 
-def run(program: CramProgram, initial_state: Dict[str, Any]) -> Dict[str, Any]:
+def run(
+    program: CramProgram,
+    initial_state: Dict[str, Any],
+    tracer: Optional[Any] = None,
+) -> Dict[str, Any]:
     """Execute ``program`` from ``initial_state`` and return the final state.
 
     ``initial_state`` plays the role of the parser output: a register
     assignment.  Unknown registers are rejected so typos in tests fail
     loudly rather than silently reading zero.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer` sink; when
+    given, every wave, step, table access, and register write is
+    reported to it.  Tracing is purely observational — a traced run
+    returns the identical final state as an untraced one — and when
+    ``tracer`` is ``None`` (the default) no hook is called and nothing
+    is allocated per step.
     """
     program.validate()
     unknown = set(initial_state) - program.registers
@@ -29,17 +40,25 @@ def run(program: CramProgram, initial_state: Dict[str, Any]) -> Dict[str, Any]:
         raise KeyError(f"unknown registers in initial state: {sorted(unknown)}")
     state: Dict[str, Any] = {name: None for name in program.registers}
     state.update(initial_state)
-    for wave in program.parallel_schedule():
+    if tracer is not None:
+        tracer.on_run_begin(program, dict(state))
+    for wave_index, wave in enumerate(program.parallel_schedule()):
         # Steps in one wave are data-independent (validate() guarantees
         # it), so sequential execution within the wave is equivalent to
         # parallel execution; we still snapshot to make the semantics
         # obvious and to catch undeclared dependencies in action code.
+        if tracer is not None:
+            tracer.on_wave_begin(wave_index, list(wave))
         snapshot = dict(state)
         updates: Dict[str, Any] = {}
         for step_name in wave:
             step = program.step(step_name)
             scratch = dict(snapshot)
-            step.execute(scratch)
+            if tracer is not None:
+                tracer.on_step_begin(wave_index, step, snapshot)
+                step.execute(scratch, tracer)
+            else:
+                step.execute(scratch)
             for register in step.writes:
                 if scratch.get(register) != snapshot.get(register):
                     updates[register] = scratch[register]
@@ -48,13 +67,24 @@ def run(program: CramProgram, initial_state: Dict[str, Any]) -> Dict[str, Any]:
             for register in step.writes:
                 if register in scratch:
                     updates.setdefault(register, scratch[register])
+            if tracer is not None:
+                tracer.on_step_end(
+                    wave_index, step,
+                    {r: scratch.get(r) for r in sorted(step.writes)},
+                )
         state.update(updates)
+    if tracer is not None:
+        tracer.on_run_end(dict(state))
     return state
 
 
-def run_packet(program: CramProgram, packet: bytes) -> bytes:
+def run_packet(
+    program: CramProgram,
+    packet: bytes,
+    tracer: Optional[Any] = None,
+) -> bytes:
     """Full parser -> steps -> deparser pipeline for raw packets."""
     if program.parser is None or program.deparser is None:
         raise RuntimeError(f"program {program.name} lacks a parser/deparser")
-    state = run(program, program.parser(packet))
+    state = run(program, program.parser(packet), tracer)
     return program.deparser(state)

@@ -216,7 +216,7 @@ class Step:
     # ------------------------------------------------------------------
     # Execution (used by the interpreter)
     # ------------------------------------------------------------------
-    def execute(self, state: dict) -> None:
+    def execute(self, state: dict, tracer: Optional[Any] = None) -> None:
         result: Any = None
         if self.table is not None:
             if self.table.key_selector is None:
@@ -226,6 +226,8 @@ class Step:
             key = self.table.key_selector(state)
             if key is not None:
                 result = self.table.lookup(key)
+            if tracer is not None:
+                tracer.on_table_access(self.name, self.table, key, result)
         if self.action is not None:
             self.action(state, result)
             return

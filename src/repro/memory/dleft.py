@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Generic, List, Optional, Tuple, TypeVar
 
+from ..obs.accounting import AccessStats
+
 V = TypeVar("V")
 
 #: The paper's provisioning rule: 25% more cells than entries.
@@ -68,6 +70,7 @@ class DLeftHashTable(Generic[V]):
         self.bucket_cells = bucket_cells
         self.overhead = overhead
         self.name = name
+        self.stats = AccessStats(name)
         #: When True the table doubles its provisioning once the live
         #: entry count reaches the design capacity — the software
         #: control plane's answer to a growing FIB (a hardware table
@@ -109,6 +112,7 @@ class DLeftHashTable(Generic[V]):
         """Insert or overwrite; places new keys d-left style."""
         if not 0 <= key < (1 << self.key_width):
             raise ValueError(f"key {key:#x} exceeds key width {self.key_width}")
+        self.stats.writes += 1
         candidates = [
             self._buckets[sub][self._bucket_index(key, sub)] for sub in range(self.d)
         ]
@@ -153,14 +157,23 @@ class DLeftHashTable(Generic[V]):
 
     def lookup(self, key: int) -> Optional[V]:
         """Exact-match lookup across the d candidate buckets."""
+        stats = self.stats
+        stats.reads += 1
         for sub in range(self.d):
             bucket = self._buckets[sub][self._bucket_index(key, sub)]
             for existing, data in bucket:
                 if existing == key:
+                    stats.hits += 1
+                    if stats.hit_tally is not None:
+                        stats.hit_tally[key] += 1
                     return data
         for existing, data in self._overflow:
             if existing == key:
+                stats.hits += 1
+                if stats.hit_tally is not None:
+                    stats.hit_tally[key] += 1
                 return data
+        stats.misses += 1
         return None
 
     def delete(self, key: int) -> None:
@@ -171,11 +184,13 @@ class DLeftHashTable(Generic[V]):
                 if existing == key:
                     del bucket[i]
                     self._count -= 1
+                    self.stats.writes += 1
                     return
         for i, (existing, _data) in enumerate(self._overflow):
             if existing == key:
                 del self._overflow[i]
                 self._count -= 1
+                self.stats.writes += 1
                 return
         raise KeyError(key)
 

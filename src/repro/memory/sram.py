@@ -20,6 +20,8 @@ from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
 
 import numpy as np
 
+from ..obs.accounting import AccessStats
+
 V = TypeVar("V")
 
 
@@ -38,6 +40,7 @@ class DirectIndexTable(Generic[V]):
         self.key_width = key_width
         self.data_width = data_width
         self.name = name
+        self.stats = AccessStats(name)
         self._slots: Dict[int, V] = {}
 
     def __len__(self) -> int:
@@ -51,14 +54,25 @@ class DirectIndexTable(Generic[V]):
         if not 0 <= index < self.capacity:
             raise IndexError(f"index {index} outside table of 2^{self.key_width}")
         self._slots[index] = data
+        self.stats.writes += 1
 
     def clear_slot(self, index: int) -> None:
         self._slots.pop(index, None)
+        self.stats.writes += 1
 
     def load(self, index: int) -> Optional[V]:
         if not 0 <= index < self.capacity:
             raise IndexError(f"index {index} outside table of 2^{self.key_width}")
-        return self._slots.get(index)
+        result = self._slots.get(index)
+        stats = self.stats
+        stats.reads += 1
+        if result is None:
+            stats.misses += 1
+        else:
+            stats.hits += 1
+            if stats.hit_tally is not None:
+                stats.hit_tally[index] += 1
+        return result
 
     def items(self) -> Iterator[Tuple[int, V]]:
         return iter(sorted(self._slots.items()))
@@ -83,6 +97,7 @@ class ExactMatchTable(Generic[V]):
         self.key_width = key_width
         self.data_width = data_width
         self.name = name
+        self.stats = AccessStats(name)
         self._slots: Dict[int, V] = {}
 
     def __len__(self) -> int:
@@ -92,12 +107,23 @@ class ExactMatchTable(Generic[V]):
         if not 0 <= key < (1 << self.key_width):
             raise ValueError(f"key {key:#x} exceeds key width {self.key_width}")
         self._slots[key] = data
+        self.stats.writes += 1
 
     def delete(self, key: int) -> None:
         del self._slots[key]
+        self.stats.writes += 1
 
     def load(self, key: int) -> Optional[V]:
-        return self._slots.get(key)
+        result = self._slots.get(key)
+        stats = self.stats
+        stats.reads += 1
+        if result is None:
+            stats.misses += 1
+        else:
+            stats.hits += 1
+            if stats.hit_tally is not None:
+                stats.hit_tally[key] += 1
+        return result
 
     def items(self) -> Iterator[Tuple[int, V]]:
         return iter(sorted(self._slots.items()))
@@ -114,6 +140,7 @@ class Bitmap:
             raise ValueError("index width must be non-negative")
         self.index_width = index_width
         self.name = name
+        self.stats = AccessStats(name)
         self._bits = np.zeros(1 << index_width, dtype=bool)
 
     def __len__(self) -> int:
@@ -125,12 +152,24 @@ class Bitmap:
 
     def set(self, index: int, value: bool = True) -> None:
         self._bits[index] = value
+        self.stats.writes += 1
 
     def test(self, index: int) -> bool:
-        return bool(self._bits[index])
+        result = bool(self._bits[index])
+        stats = self.stats
+        stats.reads += 1
+        if result:
+            stats.hits += 1
+            if stats.hit_tally is not None:
+                stats.hit_tally[index] += 1
+        else:
+            stats.misses += 1
+        return result
 
     def set_many(self, indices) -> None:
-        self._bits[np.asarray(list(indices), dtype=np.int64)] = True
+        index_array = np.asarray(list(indices), dtype=np.int64)
+        self._bits[index_array] = True
+        self.stats.writes += len(index_array)
 
     def sram_bits(self) -> int:
         """One bit per slot, populated or not."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
+from ..obs.accounting import AccessStats
 from ..prefix.prefix import Prefix
 
 V = TypeVar("V")
@@ -51,6 +52,9 @@ class TcamTable(Generic[V]):
             raise ValueError("key width must be positive")
         self.key_width = key_width
         self.name = name
+        #: Access accounting: searches count as reads, insert/delete as
+        #: writes; per-(value, mask) hit tallies when tracking is on.
+        self.stats = AccessStats(name)
         self._entries: List[TcamEntry[V]] = []
         # Search index: entries grouped by (priority, mask); within a
         # group the masked value is an exact key.  Physical TCAMs match
@@ -75,6 +79,7 @@ class TcamTable(Generic[V]):
         if (value & ~mask) & (limit - 1):
             raise ValueError("value has set bits outside the mask")
         self._entries.append(TcamEntry(value, mask, priority, data))
+        self.stats.writes += 1
         self._index_fresh = False
 
     def insert_prefix(self, prefix: Prefix, data: V) -> None:
@@ -106,6 +111,7 @@ class TcamTable(Generic[V]):
         for i, entry in enumerate(self._entries):
             if entry.value == value and entry.mask == mask:
                 del self._entries[i]
+                self.stats.writes += 1
                 self._index_fresh = False
                 return
         raise KeyError(f"({value:#x}, {mask:#x})")
@@ -127,11 +133,17 @@ class TcamTable(Generic[V]):
     def search_entry(self, key: int) -> Optional[TcamEntry[V]]:
         if not self._index_fresh:
             self._rebuild_index()
+        stats = self.stats
+        stats.reads += 1
         for group_key in self._group_order:
             _priority, mask = group_key
             entry = self._groups[group_key].get(key & mask)
             if entry is not None:
+                stats.hits += 1
+                if stats.hit_tally is not None:
+                    stats.hit_tally[(entry.value, entry.mask)] += 1
                 return entry
+        stats.misses += 1
         return None
 
     def _rebuild_index(self) -> None:

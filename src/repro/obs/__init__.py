@@ -1,0 +1,59 @@
+"""Telemetry for the reproduction: metrics, tracing, access accounting.
+
+The paper's whole argument is resource accounting; this package makes
+the accounting *observable* at run time instead of only as end-of-run
+totals.  Three pieces, used by every layer:
+
+* :mod:`repro.obs.registry` — counters/gauges/histograms with labels
+  and deterministic Prometheus/JSON output, plus a wall-clock timing
+  facility kept strictly out of the deterministic sections;
+* :mod:`repro.obs.trace` — per-lookup CRAM step tracing for the
+  interpreter, exportable as JSONL and Chrome trace-event JSON;
+* :mod:`repro.obs.accounting` — per-structure read/write counters and
+  per-prefix hit tallies for the TCAM/SRAM/d-left simulators.
+
+Determinism contract: this is the **only** package under ``repro``
+allowed to touch ``time.*`` (see ``tests/test_telemetry_audit.py``).
+"""
+
+from .accounting import (
+    AccessStats,
+    access_skew,
+    collect_access_stats,
+    enable_hit_tracking,
+    export_access_stats,
+    hot_table_report,
+)
+from .registry import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "AccessStats",
+    "access_skew",
+    "collect_access_stats",
+    "enable_hit_tracking",
+    "export_access_stats",
+    "hot_table_report",
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,179 @@
+"""Memory-access accounting for the behavioural memory simulators.
+
+Every TCAM/SRAM/d-left structure in :mod:`repro.memory` owns an
+:class:`AccessStats` and bumps its plain-integer counters on each
+search (read) and mutation (write).  The increments are cheap enough
+to leave permanently on; the *per-key hit tally* — the FIB-caching
+signal (which prefixes absorb the traffic, how skewed is the access
+distribution) — allocates a ``Counter`` and is therefore opt-in via
+:meth:`AccessStats.enable_hit_tracking`.
+
+:func:`collect_access_stats` walks an algorithm instance and gathers
+the stats of every memory structure it holds, so ``repro lookup
+--stats`` and ``repro metrics`` can report hot tables without each
+algorithm enumerating its internals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+
+class AccessStats:
+    """Read/write/hit/miss counters for one memory structure."""
+
+    __slots__ = ("name", "reads", "writes", "hits", "misses", "hit_tally")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reads = 0
+        self.writes = 0
+        self.hits = 0
+        self.misses = 0
+        #: ``None`` until enabled; then key -> hit count.
+        self.hit_tally: Optional[TallyCounter] = None
+
+    def enable_hit_tracking(self) -> None:
+        if self.hit_tally is None:
+            self.hit_tally = TallyCounter()
+
+    def reset(self) -> None:
+        self.reads = self.writes = self.hits = self.misses = 0
+        if self.hit_tally is not None:
+            self.hit_tally = TallyCounter()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.reads if self.reads else 0.0
+
+    def snapshot(self) -> dict:
+        doc = {
+            "name": self.name,
+            "reads": self.reads,
+            "writes": self.writes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.hit_tally is not None:
+            doc["hit_tally"] = {
+                _render_key(key): count
+                for key, count in sorted(
+                    self.hit_tally.items(),
+                    key=lambda kv: (-kv[1], _render_key(kv[0])),
+                )
+            }
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessStats({self.name}: r={self.reads} w={self.writes} "
+                f"h={self.hits} m={self.misses})")
+
+
+def _render_key(key: Any) -> str:
+    """A stable, readable rendering of a tally key."""
+    if isinstance(key, tuple):
+        return "/".join(_render_key(part) for part in key)
+    if isinstance(key, int):
+        return format(key, "#x")
+    return str(key)
+
+
+def collect_access_stats(obj: Any) -> List[AccessStats]:
+    """All :class:`AccessStats` reachable from an object's attributes.
+
+    Looks one container level deep (dicts/lists/tuples of structures),
+    which covers every algorithm in this package (e.g. RESAIL's
+    ``bitmaps`` dict, BSIC's per-level table lists).  Order is
+    deterministic: attribute name, then container key/index.
+    """
+    found: List[AccessStats] = []
+    seen: set = set()
+
+    def visit(candidate: Any) -> None:
+        stats = getattr(candidate, "stats", None)
+        if isinstance(stats, AccessStats) and id(stats) not in seen:
+            seen.add(id(stats))
+            found.append(stats)
+
+    attributes = getattr(obj, "__dict__", None)
+    if attributes is None:
+        return found
+    for name in sorted(attributes):
+        value = attributes[name]
+        visit(value)
+        if isinstance(value, dict):
+            for key in sorted(value, key=str):
+                visit(value[key])
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                visit(item)
+    return found
+
+
+def enable_hit_tracking(obj: Any) -> List[AccessStats]:
+    """Turn on per-key hit tallies for every structure in ``obj``."""
+    stats_list = collect_access_stats(obj)
+    for stats in stats_list:
+        stats.enable_hit_tracking()
+    return stats_list
+
+
+def export_access_stats(
+    registry: MetricsRegistry,
+    stats_iterable: Iterable[AccessStats],
+    **labels: object,
+) -> None:
+    """Mirror access counters into a registry (deterministic values)."""
+    reads = registry.counter(
+        "repro_table_reads_total", "Memory-structure read accesses.")
+    writes = registry.counter(
+        "repro_table_writes_total", "Memory-structure write accesses.")
+    hits = registry.counter(
+        "repro_table_hits_total", "Reads that matched an entry.")
+    misses = registry.counter(
+        "repro_table_misses_total", "Reads that matched nothing.")
+    for stats in stats_iterable:
+        reads.inc(stats.reads, table=stats.name, **labels)
+        writes.inc(stats.writes, table=stats.name, **labels)
+        hits.inc(stats.hits, table=stats.name, **labels)
+        misses.inc(stats.misses, table=stats.name, **labels)
+
+
+def hot_table_report(stats_iterable: Iterable[AccessStats],
+                     top_keys: int = 5) -> str:
+    """A human-readable hot-table / access-skew summary."""
+    stats_list = sorted(stats_iterable, key=lambda s: (-s.reads, s.name))
+    if not stats_list:
+        return "no instrumented tables"
+    lines = ["table accesses (hottest first):"]
+    for stats in stats_list:
+        lines.append(
+            f"  {stats.name}: reads={stats.reads} writes={stats.writes} "
+            f"hits={stats.hits} misses={stats.misses} "
+            f"hit_rate={stats.hit_rate:.2f}"
+        )
+        if stats.hit_tally:
+            total = sum(stats.hit_tally.values())
+            ranked = sorted(stats.hit_tally.items(),
+                            key=lambda kv: (-kv[1], _render_key(kv[0])))
+            for key, count in ranked[:top_keys]:
+                lines.append(
+                    f"    {_render_key(key)}: {count} hits "
+                    f"({count / total:.0%} of table hits)"
+                )
+    return "\n".join(lines)
+
+
+def access_skew(stats: AccessStats) -> Optional[float]:
+    """Fraction of hits landing on the single hottest key (0..1).
+
+    ``None`` when hit tracking is off or nothing hit.  A value near
+    1.0 means one prefix absorbs the traffic — the FIB-caching signal.
+    """
+    if not stats.hit_tally:
+        return None
+    total = sum(stats.hit_tally.values())
+    return max(stats.hit_tally.values()) / total if total else None

@@ -1,0 +1,254 @@
+"""Per-lookup CRAM step tracing.
+
+The CRAM interpreter (:func:`repro.core.interpreter.run`) optionally
+reports its execution to a :class:`Tracer` sink: run begin/end, each
+wave, each step, every table access, and every register write.  Two
+guarantees hold:
+
+* **Transparency** — a traced run produces the *identical* final
+  state as an untraced run; the tracer only observes.  The parity
+  tests drive every algorithm's CRAM program both ways and compare.
+* **Near-zero cost when off** — the interpreter guards every hook
+  with ``if tracer is not None``; an untraced run makes no calls and
+  allocates nothing per step.  :data:`NULL_TRACER` exists for call
+  sites that want an always-valid sink object.
+
+Timestamps are **logical ticks** (one per step), not wall clock, so
+traces are deterministic and diffable.  Exports:
+
+* :meth:`RecordingTracer.to_jsonl` — one JSON object per event, the
+  archival format;
+* :meth:`RecordingTracer.to_chrome_trace` — the Chrome trace-event
+  array format (every event carries ``name``/``ph``/``ts``/``pid``/
+  ``tid``), loadable in Perfetto or ``chrome://tracing``: lookups are
+  processes, waves are threads, steps are duration events, and table
+  accesses are instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an arbitrary lookup result into something JSON-safe."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class TraceEvent:
+    """One observed fact about a CRAM execution."""
+
+    kind: str          # run_begin | wave | step | table | write | run_end
+    tick: int          # logical timestamp (steps executed so far)
+    lookup: int        # 0-based index of the traced run
+    wave: Optional[int] = None
+    step: Optional[str] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc: Dict[str, Any] = {
+            "kind": self.kind,
+            "tick": self.tick,
+            "lookup": self.lookup,
+        }
+        if self.wave is not None:
+            doc["wave"] = self.wave
+        if self.step is not None:
+            doc["step"] = self.step
+        if self.data:
+            doc["data"] = {k: _jsonable(v) for k, v in sorted(self.data.items())}
+        return doc
+
+
+class Tracer:
+    """No-op sink; subclass and override what you need.
+
+    The interpreter calls these hooks only when a tracer was passed,
+    so the base class doubles as an always-safe null implementation.
+    """
+
+    def on_run_begin(self, program, state: dict) -> None:
+        pass
+
+    def on_wave_begin(self, wave: int, steps: List[str]) -> None:
+        pass
+
+    def on_step_begin(self, wave: int, step, state: dict) -> None:
+        pass
+
+    def on_table_access(self, step_name: str, table, key, result) -> None:
+        pass
+
+    def on_step_end(self, wave: int, step, writes: Dict[str, Any]) -> None:
+        pass
+
+    def on_run_end(self, state: dict) -> None:
+        pass
+
+
+#: Shared no-op sink for call sites that want a non-None tracer.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Records every hook into a list of :class:`TraceEvent`.
+
+    One tracer may observe several runs (e.g. ``repro trace`` pushing
+    a batch of addresses through an algorithm); each run becomes one
+    "process" in the Chrome trace.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._tick = 0
+        self._lookup = -1
+        self._current_step_tick = 0
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_run_begin(self, program, state: dict) -> None:
+        self._lookup += 1
+        self.events.append(TraceEvent(
+            "run_begin", self._tick, self._lookup,
+            data={"program": getattr(program, "name", "?"),
+                  "registers": {k: v for k, v in sorted(state.items())
+                                if v is not None}},
+        ))
+
+    def on_wave_begin(self, wave: int, steps: List[str]) -> None:
+        self.events.append(TraceEvent(
+            "wave", self._tick, self._lookup, wave=wave,
+            data={"steps": list(steps)},
+        ))
+
+    def on_step_begin(self, wave: int, step, state: dict) -> None:
+        self._current_step_tick = self._tick
+        reads = {name: state.get(name) for name in sorted(step.reads)}
+        self.events.append(TraceEvent(
+            "step", self._tick, self._lookup, wave=wave, step=step.name,
+            data={"reads": reads,
+                  "table": step.table.name if step.table is not None else None},
+        ))
+        self._tick += 1
+
+    def on_table_access(self, step_name: str, table, key, result) -> None:
+        self.events.append(TraceEvent(
+            "table", self._current_step_tick, self._lookup, step=step_name,
+            data={"table": table.name, "match_kind": table.match_kind.value,
+                  "key": key, "result": result},
+        ))
+
+    def on_step_end(self, wave: int, step, writes: Dict[str, Any]) -> None:
+        self.events.append(TraceEvent(
+            "write", self._current_step_tick, self._lookup,
+            wave=wave, step=step.name, data={"writes": writes},
+        ))
+
+    def on_run_end(self, state: dict) -> None:
+        self.events.append(TraceEvent(
+            "run_end", self._tick, self._lookup,
+            data={"final": {k: v for k, v in sorted(state.items())
+                            if v is not None}},
+        ))
+        self._tick += 1  # gap between runs keeps processes disjoint
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One event per line — the archival/replay format."""
+        return "\n".join(
+            json.dumps(e.to_dict(), sort_keys=True, default=_jsonable)
+            for e in self.events
+        ) + ("\n" if self.events else "")
+
+    def to_chrome_trace(self) -> List[dict]:
+        """The Chrome trace-event array (open in Perfetto).
+
+        Every event carries the required ``name``/``ph``/``ts``/``pid``/
+        ``tid`` keys; ``ts`` is the logical tick (rendered as µs).
+        """
+        out: List[dict] = []
+        run_start: Dict[int, int] = {}
+        for event in self.events:
+            pid = event.lookup
+            if event.kind == "run_begin":
+                run_start[pid] = event.tick
+                out.append({
+                    "name": f"lookup#{pid}", "ph": "B", "ts": event.tick,
+                    "pid": pid, "tid": 0,
+                    "args": event.to_dict().get("data", {}),
+                })
+            elif event.kind == "run_end":
+                out.append({
+                    "name": f"lookup#{pid}", "ph": "E", "ts": event.tick,
+                    "pid": pid, "tid": 0,
+                    "args": event.to_dict().get("data", {}),
+                })
+            elif event.kind == "step":
+                out.append({
+                    "name": event.step, "ph": "X", "ts": event.tick, "dur": 1,
+                    "pid": pid, "tid": (event.wave or 0) + 1,
+                    "args": event.to_dict().get("data", {}),
+                })
+            elif event.kind == "table":
+                out.append({
+                    "name": f"{event.data.get('table')}[lookup]",
+                    "ph": "i", "ts": event.tick, "pid": pid,
+                    "tid": 0, "s": "p",
+                    "args": event.to_dict().get("data", {}),
+                })
+            elif event.kind == "write":
+                out.append({
+                    "name": f"{event.step}:commit", "ph": "i",
+                    "ts": event.tick, "pid": pid,
+                    "tid": (event.wave or 0) + 1, "s": "t",
+                    "args": event.to_dict().get("data", {}),
+                })
+            # "wave" events are structural; the tid grouping carries them.
+        return out
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1,
+                      sort_keys=True, default=_jsonable)
+            handle.write("\n")
+
+
+def validate_chrome_trace(events: List[dict]) -> None:
+    """Raise ``ValueError`` unless ``events`` is a valid trace-event array.
+
+    Checks the schema the acceptance tests rely on: a list of objects
+    each carrying ``name`` (str), ``ph`` (str), and numeric ``ts``,
+    ``pid``, ``tid``.
+    """
+    if not isinstance(events, list):
+        raise ValueError("chrome trace must be a JSON array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i}: not an object")
+        for field_name, types in (
+            ("name", str), ("ph", str),
+            ("ts", (int, float)), ("pid", (int, float)), ("tid", (int, float)),
+        ):
+            if field_name not in event:
+                raise ValueError(f"event {i}: missing {field_name!r}")
+            if not isinstance(event[field_name], types):
+                raise ValueError(
+                    f"event {i}: {field_name!r} has type "
+                    f"{type(event[field_name]).__name__}"
+                )

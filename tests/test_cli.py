@@ -51,6 +51,18 @@ class TestLookup:
             main(["lookup", "--fib", fib_file, "--algorithm", "quantum",
                   "10.0.0.1"])
 
+    def test_stats_reports_hot_tables(self, fib_file, capsys):
+        from repro.datasets import load_fib
+        from repro.prefix import format_address
+
+        prefix = load_fib(fib_file).prefixes()[0]
+        address = format_address(prefix.value, 32)
+        assert main(["lookup", "--fib", fib_file, "--algorithm", "ltcam",
+                     "--stats", address, address]) == 0
+        out = capsys.readouterr().out
+        assert "table accesses (hottest first):" in out
+        assert "hit_rate=" in out
+
 
 class TestMetrics:
     def test_single_algorithm(self, fib_file, capsys):
@@ -66,6 +78,28 @@ class TestMetrics:
         out = capsys.readouterr().out
         assert "CRAM pick" in out
         assert "dRMT" in out
+
+    def test_prometheus_format_is_byte_identical(self, fib_file, capsys):
+        args = ["metrics", "--fib", fib_file, "--algorithm", "resail",
+                "--format", "prometheus", "--exercise", "40", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "# TYPE repro_cram_tcam_bits gauge" in first
+        assert "repro_lookups_total" in first
+        assert "repro_table_reads_total" in first
+        # Wall clock never leaks into the deterministic rendering.
+        assert "seconds" not in first
+
+    def test_json_format_carries_timings(self, fib_file, capsys):
+        import json
+
+        assert main(["metrics", "--fib", fib_file, "--algorithm", "resail",
+                     "--format", "json", "--exercise", "10"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "repro_lookups_total" in doc["metrics"]["counters"]
+        assert any(k.startswith("repro_exercise") for k in doc["timings"])
 
 
 class TestCodegen:
@@ -116,6 +150,66 @@ class TestChurn:
         assert main(["churn", "--fib", fib_file, "--ops", "40",
                      "--algo", "ltcam", "--seed", "3"]) == 0
         assert "violations: 0" in capsys.readouterr().out
+
+    def test_metrics_and_events_archives(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        events_path = tmp_path / "events.jsonl"
+        assert main(["churn", "--algo", "resail", "--ops", "100",
+                     "--batch", "25", "--faults", "all", "--seed", "7",
+                     "--metrics-out", str(metrics_path),
+                     "--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(metrics_path.read_text())
+        assert "repro_events_total" in doc["metrics"]["counters"]
+        assert "repro_batch_size" in doc["metrics"]["histograms"]
+        assert any(k.startswith("repro_batch_apply") for k in doc["timings"])
+        lines = [json.loads(line)
+                 for line in events_path.read_text().splitlines()]
+        assert lines and all("kind" in line for line in lines)
+        applied = doc["metrics"]["counters"]["repro_events_total"].get(
+            '{kind="batch_applied"}', 0)
+        assert applied == sum(
+            1 for line in lines if line["kind"] == "batch_applied")
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(self, fib_file, tmp_path,
+                                             capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--fib", fib_file, "--algorithm", "resail",
+                     "--count", "3", "--out", str(out),
+                     "--jsonl", str(jsonl)]) == 0
+        assert "all next hops verified" in capsys.readouterr().out
+        events = json.loads(out.read_text())
+        validate_chrome_trace(events)
+        assert any(e["ph"] == "X" for e in events)
+        assert all(json.loads(line)
+                   for line in jsonl.read_text().splitlines())
+
+    def test_smoke_mode(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "traced" in out and "Perfetto" in out
+        assert (tmp_path / "benchmarks/results/trace_smoke.json").exists()
+        assert (tmp_path / "benchmarks/results/trace_smoke.jsonl").exists()
+
+    def test_requires_fib_or_smoke(self):
+        with pytest.raises(SystemExit, match="--fib is required"):
+            main(["trace"])
+
+    def test_explicit_addresses(self, fib_file, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "--fib", fib_file, "--algorithm", "ltcam",
+                     "--out", str(out), "10.0.0.1", "192.0.2.7"]) == 0
+        assert "traced 2 lookups" in capsys.readouterr().out
 
 
 class TestAggregate:

@@ -1,0 +1,177 @@
+"""Tracing tests: transparency, export formats, schema validation.
+
+The tentpole guarantee: a traced run of any algorithm's CRAM program
+produces the identical result as an untraced run.  These tests reuse
+the equivalence matrix from ``test_integration`` so every algorithm's
+program is exercised both ways.
+"""
+
+import json
+
+import pytest
+from test_integration import IPV4_MAKERS, IPV6_MAKERS
+
+from repro.core.interpreter import run
+from repro.obs import (
+    NULL_TRACER,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+@pytest.mark.parametrize("name,maker", IPV4_MAKERS,
+                         ids=[n for n, _ in IPV4_MAKERS])
+class TestTracedParityIPv4:
+    def test_traced_matches_untraced(self, name, maker, ipv4_fib,
+                                     ipv4_addresses):
+        algo = maker(ipv4_fib)
+        tracer = RecordingTracer()
+        for addr in ipv4_addresses[:40]:
+            traced = algo.cram_lookup(addr, tracer=tracer)
+            untraced = algo.cram_lookup(addr)
+            assert traced == untraced == algo.lookup(addr), addr
+        assert tracer.events, "tracer should have observed the runs"
+
+    def test_final_state_identical(self, name, maker, ipv4_fib,
+                                   ipv4_addresses):
+        algo = maker(ipv4_fib)
+        program = algo.cram_program()
+        for addr in ipv4_addresses[:10]:
+            init = {"addr": addr, **algo.cram_initial_state()}
+            assert (run(program, dict(init), RecordingTracer())
+                    == run(program, dict(init)))
+
+
+@pytest.mark.parametrize("name,maker", IPV6_MAKERS,
+                         ids=[n for n, _ in IPV6_MAKERS])
+class TestTracedParityIPv6:
+    def test_traced_matches_untraced(self, name, maker, ipv6_fib,
+                                     ipv6_addresses):
+        algo = maker(ipv6_fib)
+        tracer = RecordingTracer()
+        for addr in ipv6_addresses[:25]:
+            assert algo.cram_lookup(addr, tracer=tracer) == \
+                algo.cram_lookup(addr), addr
+
+
+class TestRecordingTracer:
+    @pytest.fixture()
+    def traced(self, ipv4_fib, ipv4_addresses):
+        from repro.algorithms import Resail
+
+        algo = Resail(ipv4_fib, min_bmp=13)
+        tracer = RecordingTracer()
+        for addr in ipv4_addresses[:5]:
+            algo.cram_lookup(addr, tracer=tracer)
+        return tracer
+
+    def test_event_stream_structure(self, traced):
+        kinds = [e.kind for e in traced.events]
+        assert kinds.count("run_begin") == 5
+        assert kinds.count("run_end") == 5
+        assert "wave" in kinds and "step" in kinds and "write" in kinds
+        # Each lookup's events are contiguous and indexed.
+        assert {e.lookup for e in traced.events} == set(range(5))
+
+    def test_table_accesses_recorded(self, traced):
+        tables = [e for e in traced.events if e.kind == "table"]
+        assert tables, "RESAIL programs hit tables on every lookup"
+        for event in tables:
+            assert event.data["table"]
+            assert event.data["match_kind"] in ("exact", "ternary")
+
+    def test_ticks_monotonic_per_stream(self, traced):
+        ticks = [e.tick for e in traced.events]
+        assert ticks == sorted(ticks)
+
+    def test_jsonl_parses_line_per_event(self, traced):
+        lines = traced.to_jsonl().splitlines()
+        assert len(lines) == len(traced.events)
+        for line, event in zip(lines, traced.events):
+            doc = json.loads(line)
+            assert doc["kind"] == event.kind
+            assert doc["lookup"] == event.lookup
+
+    def test_chrome_trace_validates(self, traced):
+        events = traced.to_chrome_trace()
+        validate_chrome_trace(events)
+        # Round-trip through JSON, as Perfetto would read it.
+        validate_chrome_trace(json.loads(json.dumps(events)))
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 5
+        assert {e["pid"] for e in begins} == set(range(5))
+
+    def test_write_files(self, traced, tmp_path):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        traced.write_chrome_trace(chrome)
+        traced.write_jsonl(jsonl)
+        validate_chrome_trace(json.loads(chrome.read_text()))
+        assert len(jsonl.read_text().splitlines()) == len(traced.events)
+
+    def test_determinism(self, ipv4_fib, ipv4_addresses):
+        from repro.algorithms import Resail
+
+        def one():
+            algo = Resail(ipv4_fib, min_bmp=13)
+            tracer = RecordingTracer()
+            for addr in ipv4_addresses[:5]:
+                algo.cram_lookup(addr, tracer=tracer)
+            return tracer.to_jsonl()
+
+        assert one() == one()
+
+
+class TestNullTracer:
+    def test_base_tracer_hooks_are_noops(self, example_fib):
+        from repro.algorithms import LogicalTcam
+
+        algo = LogicalTcam(example_fib)
+        # NULL_TRACER must be accepted anywhere a tracer is.
+        for addr in (0, 1, 129, 255):
+            assert algo.cram_lookup(addr, tracer=NULL_TRACER) == \
+                algo.cram_lookup(addr)
+
+    def test_tracer_base_class_records_nothing(self):
+        tracer = Tracer()
+        assert tracer.on_run_begin(None, {}) is None
+        assert tracer.on_run_end({}) is None
+
+
+class TestChromeTraceValidator:
+    def test_rejects_non_array(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"not": "a list"})
+
+    def test_rejects_non_object_event(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(["nope"])
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="missing 'ts'"):
+            validate_chrome_trace([{"name": "x", "ph": "B",
+                                    "pid": 0, "tid": 0}])
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ValueError, match="'ts' has type"):
+            validate_chrome_trace([{"name": "x", "ph": "B", "ts": "0",
+                                    "pid": 0, "tid": 0}])
+
+    def test_accepts_minimal_event(self):
+        validate_chrome_trace([{"name": "x", "ph": "i", "ts": 0,
+                                "pid": 0, "tid": 0}])
+
+
+class TestTraceEvent:
+    def test_to_dict_omits_empty_fields(self):
+        doc = TraceEvent("run_end", 3, 0).to_dict()
+        assert doc == {"kind": "run_end", "tick": 3, "lookup": 0}
+
+    def test_to_dict_coerces_exotic_values(self):
+        doc = TraceEvent("table", 0, 0, step="s",
+                         data={"key": (1, 2), "obj": object()}).to_dict()
+        assert doc["data"]["key"] == [1, 2]
+        assert isinstance(doc["data"]["obj"], str)

@@ -1,0 +1,96 @@
+"""Static audit: telemetry stays inside ``repro.obs``.
+
+The determinism contract (``control/events.py``, ``obs/registry.py``)
+only holds if no other module under ``src/repro`` reaches for the wall
+clock or prints ad-hoc telemetry.  This test parses every module and
+enforces it:
+
+* ``time`` (and ``datetime``) may only be imported inside ``repro.obs``
+  — everything else must route wall-clock measurement through a
+  :class:`repro.obs.MetricsRegistry` timer;
+* ``print`` may only be called from ``repro.cli`` (the user interface)
+  — library code reports through the registry, event log, or tracer.
+
+Docstring examples don't count (the AST walk sees only real calls).
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+
+PACKAGE_ROOT = pathlib.Path(repro.__file__).parent
+
+#: Modules (relative to the package root) allowed to import time.
+TIME_ALLOWED_PREFIXES = ("obs/",)
+
+#: Modules allowed to call print() — the CLI is the user interface.
+PRINT_ALLOWED = ("cli.py",)
+
+CLOCK_MODULES = {"time", "datetime"}
+
+
+def _modules():
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        yield path.relative_to(PACKAGE_ROOT).as_posix(), path
+
+
+MODULES = list(_modules())
+
+
+def _clock_imports(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in CLOCK_MODULES:
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in CLOCK_MODULES:
+                yield node.lineno, node.module
+
+
+def _print_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield node.lineno
+
+
+@pytest.mark.parametrize("relative,path", MODULES,
+                         ids=[rel for rel, _ in MODULES])
+def test_no_clock_outside_obs(relative, path):
+    if relative.startswith(TIME_ALLOWED_PREFIXES):
+        pytest.skip("repro.obs owns the clock")
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = list(_clock_imports(tree))
+    assert not offenders, (
+        f"{relative} imports the clock {offenders}; wall-clock telemetry "
+        "must go through repro.obs (MetricsRegistry.timer)"
+    )
+
+
+@pytest.mark.parametrize("relative,path", MODULES,
+                         ids=[rel for rel, _ in MODULES])
+def test_no_print_outside_cli(relative, path):
+    if relative in PRINT_ALLOWED:
+        pytest.skip("the CLI prints to the user by design")
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = list(_print_calls(tree))
+    assert not offenders, (
+        f"{relative} calls print() at lines {offenders}; library code "
+        "reports through the registry, event log, or tracer"
+    )
+
+
+def test_obs_is_the_only_time_owner():
+    """The inverse direction: the registry really does use the clock
+    (so the allowlist isn't vacuous)."""
+    owners = []
+    for relative, path in MODULES:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if any(_clock_imports(tree)):
+            owners.append(relative)
+    assert owners == ["obs/registry.py"]
