@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench bench-smoke examples clean
+.PHONY: install test ci conformance bench bench-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,8 +16,14 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	    --events-out benchmarks/results/churn_smoke_events.jsonl
 	$(PYTHON) -m repro churn --smoke --algo bsic --seed 7
 	$(PYTHON) -m repro trace --smoke
+	$(PYTHON) -m repro serve --smoke --algo resail --seed 7 \
+	    --metrics-out benchmarks/results/serve_smoke_metrics.json
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
-	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py -q
+	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
+	    benchmarks/bench_throughput.py -q
+
+conformance:      ## wide-width engine conformance sweep (CI's slow job)
+	$(PYTHON) -m pytest tests/test_engine_conformance.py -q -m slow
 
 bench:            ## full paper reproduction (~6 min, full BGP scale)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,11 +1,27 @@
-"""Lookup throughput of the behavioural simulators (extra experiment).
+"""Lookup throughput: native simulators vs the batch engine.
 
 Not a paper table — the paper measures hardware resources, not Python
-speed — but a useful regression guard for the simulators themselves.
-Uses a reduced database so pytest-benchmark can run multiple rounds.
+speed — but the perf trajectory of the serving path.  Three benches:
+
+* ``test_ipv4_lookup_throughput`` / ``test_ipv6_lookup_throughput``
+  sweep every behavioural simulator (plus the reference trie) over one
+  mixed workload and record lookups/sec per scheme.
+* ``test_engine_vs_interpreter_throughput`` is the engine acceptance
+  gate: the compiled plan (``repro.core.plan``) must serve at least
+  **3x** the lookups/sec of the per-packet CRAM interpreter on the
+  same FIB, and the cached engine is measured on a Zipf-skewed
+  workload on top.
+
+Every bench emits a machine-readable JSON sidecar via
+``_bench_utils.emit`` (``benchmarks/results/throughput_*.json``):
+deterministic numbers (hit counts, checksums, cache hit/miss counts)
+in ``values``, wall-clock rates in ``timings``.
 """
 
-import pytest
+import os
+import time
+
+from _bench_utils import bench_timings, emit
 
 from repro.algorithms import (
     Bsic,
@@ -18,9 +34,41 @@ from repro.algorithms import (
     Resail,
     Sail,
 )
-from repro.datasets import mixed_addresses, synthesize_as65000, synthesize_as131072
+from repro.analysis import Table
+from repro.core import compile_plan
+from repro.datasets import (
+    mixed_addresses,
+    skewed_addresses,
+    synthesize_as65000,
+    synthesize_as131072,
+)
+from repro.engine import BatchEngine
 
-N_ADDRESSES = 2_000
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_ADDRESSES = max(400, int(2_000 * SCALE))
+#: The interpreter is slow by design (it re-derives the schedule per
+#: packet); a modest probe count keeps the bench snappy at any scale.
+N_INTERP = max(60, int(200 * SCALE))
+
+V4_MAKERS = [
+    ("sail", lambda fib: Sail(fib)),
+    ("resail", lambda fib: Resail(fib, min_bmp=13)),
+    ("bsic", lambda fib: Bsic(fib, k=16)),
+    ("dxr", lambda fib: Dxr(fib, k=16)),
+    ("multibit", lambda fib: MultibitTrie(fib, [16, 4, 4, 8])),
+    ("mashup", lambda fib: Mashup(fib)),
+    ("poptrie", lambda fib: Poptrie(fib, dp_bits=16)),
+    ("hibst", lambda fib: HiBst(fib)),
+    ("ltcam", lambda fib: LogicalTcam(fib)),
+]
+
+V6_MAKERS = [
+    ("bsic", lambda fib: Bsic(fib, k=24)),
+    ("mashup", lambda fib: Mashup(fib)),
+    ("hibst", lambda fib: HiBst(fib)),
+]
 
 
 @pytest.fixture(scope="module")
@@ -35,8 +83,7 @@ def small_v6():
     return fib, mixed_addresses(fib, N_ADDRESSES, seed=22)
 
 
-def run_lookups(algo, addresses):
-    lookup = algo.lookup
+def run_lookups(lookup, addresses):
     total = 0
     for address in addresses:
         if lookup(address) is not None:
@@ -44,37 +91,120 @@ def run_lookups(algo, addresses):
     return total
 
 
-@pytest.mark.parametrize("maker", [
-    pytest.param(lambda fib: Sail(fib), id="sail"),
-    pytest.param(lambda fib: Resail(fib, min_bmp=13), id="resail"),
-    pytest.param(lambda fib: Bsic(fib, k=16), id="bsic"),
-    pytest.param(lambda fib: Dxr(fib, k=16), id="dxr"),
-    pytest.param(lambda fib: MultibitTrie(fib, [16, 4, 4, 8]), id="multibit"),
-    pytest.param(lambda fib: Mashup(fib), id="mashup"),
-    pytest.param(lambda fib: Poptrie(fib, dp_bits=16), id="poptrie"),
-    pytest.param(lambda fib: HiBst(fib), id="hibst"),
-    pytest.param(lambda fib: LogicalTcam(fib), id="ltcam"),
-])
-def test_ipv4_lookup_throughput(benchmark, small_v4, maker):
+def _sweep(fib, addresses, makers):
+    """(hits, rates): per-scheme hit counts and native lookups/sec."""
+    hits = {}
+    rates = {}
+    for name, maker in makers:
+        algo = maker(fib)
+        start = time.perf_counter()
+        hits[name] = run_lookups(algo.lookup, addresses)
+        rates[name] = len(addresses) / (time.perf_counter() - start)
+    start = time.perf_counter()
+    hits["trie"] = run_lookups(fib.lookup, addresses)
+    rates["trie"] = len(addresses) / (time.perf_counter() - start)
+    return hits, rates
+
+
+def _emit_sweep(name, title, hits, rates, benchmark):
+    table = Table(title, ["Scheme", "Lookups/s", "Hits"])
+    for scheme, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+        table.add_row(scheme, f"{rate:,.0f}", str(hits[scheme]))
+    emit(name, table.render(),
+         values={"addresses": N_ADDRESSES, "hits": hits},
+         timings={"lookups_per_s": rates,
+                  "benchmark": bench_timings(benchmark)})
+
+
+def test_ipv4_lookup_throughput(benchmark, small_v4):
     fib, addresses = small_v4
-    algo = maker(fib)
-    hits = benchmark(run_lookups, algo, addresses)
-    assert hits > 0
+    result = benchmark.pedantic(
+        lambda: _sweep(fib, addresses, V4_MAKERS), rounds=1, iterations=1)
+    hits, rates = result
+    _emit_sweep("throughput_ipv4",
+                f"IPv4 native lookup throughput ({N_ADDRESSES} addresses)",
+                hits, rates, benchmark)
+    # Every simulator answers the same workload identically.
+    assert all(h == hits["trie"] for h in hits.values())
+    assert hits["trie"] > 0
 
 
-@pytest.mark.parametrize("maker", [
-    pytest.param(lambda fib: Bsic(fib, k=24), id="bsic"),
-    pytest.param(lambda fib: Mashup(fib), id="mashup"),
-    pytest.param(lambda fib: HiBst(fib), id="hibst"),
-])
-def test_ipv6_lookup_throughput(benchmark, small_v6, maker):
+def test_ipv6_lookup_throughput(benchmark, small_v6):
     fib, addresses = small_v6
-    algo = maker(fib)
-    hits = benchmark(run_lookups, algo, addresses)
-    assert hits > 0
+    result = benchmark.pedantic(
+        lambda: _sweep(fib, addresses, V6_MAKERS), rounds=1, iterations=1)
+    hits, rates = result
+    _emit_sweep("throughput_ipv6",
+                f"IPv6 native lookup throughput ({N_ADDRESSES} addresses)",
+                hits, rates, benchmark)
+    assert all(h == hits["trie"] for h in hits.values())
+    assert hits["trie"] > 0
 
 
-def test_reference_trie_throughput(benchmark, small_v4):
+def test_engine_vs_interpreter_throughput(benchmark, small_v4):
+    """The engine acceptance gate: compiled plan >= 3x the per-packet
+    CRAM interpreter on the same FIB, recorded in a JSON sidecar."""
     fib, addresses = small_v4
-    hits = benchmark(run_lookups, fib, addresses)
-    assert hits > 0
+    algo = Resail(fib, min_bmp=13)
+    plan = compile_plan(algo)
+    skewed = skewed_addresses(fib, N_ADDRESSES, seed=23)
+
+    def run():
+        # Per-packet interpreter dispatch: the pre-engine serving path.
+        start = time.perf_counter()
+        for address in addresses[:N_INTERP]:
+            algo.cram_lookup(address)
+        interp_rate = N_INTERP / (time.perf_counter() - start)
+        # Compiled plan, batched.
+        out = plan.lookup_batch(addresses)  # warm
+        rounds = 3
+        start = time.perf_counter()
+        for _ in range(rounds):
+            out = plan.lookup_batch(addresses, out=[])
+        plan_rate = rounds * len(addresses) / (time.perf_counter() - start)
+        # Engine with the skew-aware cache on a Zipf workload.
+        engine = BatchEngine(algo, cache_size=1024, name="bench")
+        engine.lookup_batch(skewed)  # warm the cache with real traffic
+        start = time.perf_counter()
+        served = engine.lookup_batch(skewed)
+        engine_rate = len(skewed) / (time.perf_counter() - start)
+        checksum = sum(hop for hop in out if hop is not None)
+        # A cache hit must answer exactly like the compiled plan.
+        assert served == [plan.lookup(a) for a in skewed]
+        return interp_rate, plan_rate, engine_rate, checksum, engine
+
+    interp_rate, plan_rate, engine_rate, checksum, engine = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    speedup = plan_rate / interp_rate
+    cache = engine.cache.stats
+
+    table = Table("Batched engine vs per-packet interpreter",
+                  ["Serving path", "Lookups/s", "vs interpreter"])
+    table.add_row("CRAM interpreter (per packet)", f"{interp_rate:,.0f}", "1.0x")
+    table.add_row("compiled plan (batched)", f"{plan_rate:,.0f}",
+                  f"{speedup:.1f}x")
+    table.add_row("engine + FIB cache (skewed)", f"{engine_rate:,.0f}",
+                  f"{engine_rate / interp_rate:.1f}x")
+    emit("throughput_engine", table.render(),
+         values={
+             "addresses": len(addresses),
+             "interpreter_addresses": N_INTERP,
+             "plan_hop_checksum": checksum,
+             "plan_steps": len(plan),
+             "speedup_threshold_x": 3.0,
+             "cache": {"hits": cache.hits, "misses": cache.misses,
+                       "hit_ratio": round(engine.cache_hit_ratio(), 4)},
+         },
+         timings={
+             "interpreter_lookups_per_s": interp_rate,
+             "plan_lookups_per_s": plan_rate,
+             "engine_cached_lookups_per_s": engine_rate,
+             "speedup_x": speedup,
+             "benchmark": bench_timings(benchmark),
+         })
+
+    # Correctness before speed: the plan answers like the trie oracle.
+    sample = addresses[:: max(1, len(addresses) // 64)]
+    assert [plan.lookup(a) for a in sample] == [fib.lookup(a) for a in sample]
+    # The acceptance criterion: >= 3x the per-packet interpreter.
+    assert speedup >= 3.0, f"plan only {speedup:.2f}x over the interpreter"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..chip.layout import Layout
 from ..core.idioms import IdiomApplication
@@ -148,6 +148,29 @@ class LookupAlgorithm(abc.ABC):
         state = run(program, {"addr": address, **self.cram_initial_state()},
                     tracer)
         return self.cram_extract_hop(state)
+
+    # ------------------------------------------------------------------
+    # Compiled plans (repro.core.plan / repro.engine)
+    # ------------------------------------------------------------------
+    def plan_backings(self) -> Dict[str, Callable]:
+        """Uninstrumented table readers for the plan compiler.
+
+        Keyed by *step name*; each value replaces that step's table
+        backing in the compiled plan (see
+        :meth:`repro.core.plan.LookupPlan`).  Algorithms whose CRAM
+        programs bind instrumented bound methods (``Bitmap.test``,
+        ``DirectIndexTable.load``, …) override this to hand the
+        planner their memory simulators' ``plan_reader()`` snapshot
+        views instead.  The default exposes nothing; the compiler then
+        falls back to each table's live backing.
+        """
+        return {}
+
+    def compile_plan(self):
+        """This algorithm as a compiled :class:`~repro.core.plan.LookupPlan`."""
+        from ..core.plan import LookupPlan
+
+        return LookupPlan(self)
 
     # ------------------------------------------------------------------
     def lookup_batch(self, addresses) -> List[Optional[int]]:

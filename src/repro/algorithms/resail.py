@@ -252,6 +252,16 @@ class Resail(LookupAlgorithm):
         )
         return prog
 
+    def plan_backings(self):
+        """Snapshot readers for the plan compiler, one per CRAM step:
+        the frozen look-aside TCAM index, byte-packed bitmaps, and the
+        d-left table flattened to a single hash probe."""
+        backings = {"look-aside": self.look_aside.plan_reader(),
+                    "hash": self.hash_table.plan_reader()}
+        for i in range(self.min_bmp, PIVOT_LEVEL + 1):
+            backings[f"bitmap_{i}"] = self.bitmaps[i].plan_reader()
+        return backings
+
     # ------------------------------------------------------------------
     # Chip layout
     # ------------------------------------------------------------------

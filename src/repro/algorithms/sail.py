@@ -220,6 +220,16 @@ class Sail(LookupAlgorithm):
         hop = state.get("hop")
         return hop if hop is not None else self.default_hop
 
+    def plan_backings(self):
+        """Snapshot readers for the plan compiler: byte-packed bitmaps
+        and plain dict views of the next-hop arrays (the chunk store's
+        closure backing is already a direct dict access)."""
+        backings = {}
+        for i in range(1, PIVOT_LEVEL + 1):
+            backings[f"bitmap_{i}"] = self.bitmaps[i].plan_reader()
+            backings[f"array_{i}"] = self.arrays[i].plan_reader()
+        return backings
+
     # ------------------------------------------------------------------
     # Chip layout
     # ------------------------------------------------------------------

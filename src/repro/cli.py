@@ -315,6 +315,124 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a skewed lookup workload through the batch engine."""
+    from .control import ChurnGenerator, ManagedFib, PROFILES
+    from .datasets import skewed_addresses
+    from .engine import BatchEngine, RoundRobinEngine, VrfShardedEngine
+    from .obs import MetricsRegistry
+
+    if args.smoke:
+        args.scale = 0.001
+        args.requests = 4000
+        args.batch = 256
+        args.cache = 512
+        args.churn_every = 4
+        args.churn_ops = 8
+
+    if args.fib:
+        base = load_fib(args.fib)
+    else:
+        maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
+        base = maker(scale=args.scale)
+
+    policy = args.policy
+    if policy == "auto":
+        policy = "vrf-hash" if args.vrfs > 0 else "round-robin"
+    if policy == "vrf-hash" and args.vrfs < 1:
+        raise SystemExit("serve: --policy vrf-hash needs --vrfs >= 1")
+
+    registry = MetricsRegistry()
+    addresses = skewed_addresses(base, args.requests, seed=args.seed)
+    batches = [addresses[i:i + args.batch]
+               for i in range(0, len(addresses), args.batch)]
+    mismatches = 0
+
+    if policy == "vrf-hash":
+        # Shard FIBs are tag-widened (idiom I5), so the structure must
+        # accept arbitrary widths; width-bound schemes fall back to the
+        # logical TCAM.
+        vrf_algo = args.algo
+        if vrf_algo not in ("ltcam", "hibst", "bsic"):
+            print(f"serve: {vrf_algo} is width-bound; VRF shards use ltcam")
+            vrf_algo = "ltcam"
+        # N VRFs (each carrying the base table) hashed across the shards.
+        sharded = VrfShardedEngine(
+            base.width, lambda fib: _build(vrf_algo, fib),
+            shards=args.shards, max_vrfs=args.vrfs,
+            cache_size=args.cache, registry=registry, name="serve")
+        for vrf_id in range(args.vrfs):
+            sharded.add_vrf(vrf_id, Fib(base.width, list(base)))
+        engines = [e for e in sharded.shard_engines() if e is not None]
+        served = 0
+        for batch in batches:
+            requests = [((served + i) % args.vrfs, address)
+                        for i, address in enumerate(batch)]
+            with registry.timer("repro_serve_batch"):
+                hops = sharded.lookup_batch(requests)
+            if args.check_every:
+                for i in range(0, len(batch), args.check_every):
+                    if hops[i] != base.lookup(batch[i]):
+                        mismatches += 1
+            served += len(batch)
+        managed = None
+    else:
+        managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
+                             registry=registry, check_seed=args.seed)
+        if args.shards > 1:
+            engine = RoundRobinEngine(managed.algo, replicas=args.shards,
+                                      cache_size=args.cache,
+                                      registry=registry, name="serve")
+            managed.add_commit_listener(engine.on_commit)
+            engines = engine.shard_engines()
+        else:
+            engine = BatchEngine.over_managed(managed, cache_size=args.cache,
+                                              name="serve-s0")
+            engines = [engine]
+        generator = (ChurnGenerator(base, seed=args.seed,
+                                    profile=PROFILES[args.profile])
+                     if args.churn_ops else None)
+        for b, batch in enumerate(batches):
+            with registry.timer("repro_serve_batch"):
+                hops = engine.lookup_batch(batch)
+            if args.check_every:
+                for i in range(0, len(batch), args.check_every):
+                    if hops[i] != managed.oracle.lookup(batch[i]):
+                        mismatches += 1
+            if generator is not None and args.churn_every and (
+                    b + 1) % args.churn_every == 0:
+                managed.apply_batch(list(generator.ops(args.churn_ops)))
+
+    serve_s = registry.timings_snapshot().get(
+        "repro_serve_batch", {}).get("total_s", 0.0) or 1e-9
+    lookups = registry.counter("repro_engine_lookups_total")
+    hits = registry.counter("repro_engine_cache_hits_total")
+    misses = registry.counter("repro_engine_cache_misses_total")
+    print(f"serve: algo={args.algo} policy={policy} requests={len(addresses)} "
+          f"batch={args.batch} cache={args.cache} shards={args.shards} "
+          f"vrfs={args.vrfs} seed={args.seed}")
+    for eng in engines:
+        n = lookups.value(engine=eng.name)
+        h, m = hits.value(engine=eng.name), misses.value(engine=eng.name)
+        ratio = h / (h + m) if h + m else 0.0
+        print(f"  shard {eng.name}: {n} lookups, cache hit ratio {ratio:.2f}")
+    if managed is not None:
+        print(f"  churn: {managed.log.batches_total} batches committed, "
+              f"health={managed.health}")
+    print(f"  throughput: {len(addresses) / serve_s:,.0f} lookups/s "
+          f"({serve_s * 1e3:.1f} ms serving)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json(include_timings=True))
+            handle.write("\n")
+    if mismatches:
+        print(f"serve: {mismatches} spot-check mismatches against the oracle")
+        return 1
+    print(f"  spot-checks: every {args.check_every} requests verified "
+          "against the oracle, all consistent")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Trace lookups through an algorithm's CRAM program."""
     import json
@@ -502,6 +620,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", metavar="FILE",
                    help="archive the event log as JSONL to FILE")
     p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a skewed lookup workload through the batch engine",
+        description="Compile the algorithm into a lookup plan and serve "
+                    "Zipf-skewed batches through the engine (plan + FIB "
+                    "cache + optional sharding), spot-checking answers "
+                    "against the oracle; optionally interleaves managed "
+                    "churn to exercise commit-time cache invalidation.",
+    )
+    p.add_argument("--algo", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--family", choices=["v4", "v6"], default="v4")
+    p.add_argument("--fib", help="FIB file to serve (overrides synthesis)")
+    p.add_argument("--scale", type=float, default=0.002,
+                   help="synthetic table scale (default 0.002)")
+    p.add_argument("--requests", type=int, default=20000,
+                   help="total lookups to serve")
+    p.add_argument("--batch", type=int, default=256,
+                   help="packets per engine batch")
+    p.add_argument("--cache", type=int, default=1024,
+                   help="FIB-cache capacity per shard (0 disables)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="engine shards (replicas or VRF-hash shards)")
+    p.add_argument("--vrfs", type=int, default=0,
+                   help="serve this many VRFs through the VRF-hash dispatcher")
+    p.add_argument("--policy", choices=["auto", "vrf-hash", "round-robin"],
+                   default="auto",
+                   help="dispatch policy (auto: vrf-hash iff --vrfs > 0)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", choices=["calm", "default", "stormy"],
+                   default="calm", help="churn profile when --churn-ops > 0")
+    p.add_argument("--churn-ops", type=int, default=0,
+                   help="interleave managed churn batches of this many ops")
+    p.add_argument("--churn-every", type=int, default=4,
+                   help="apply churn after every Nth served batch")
+    p.add_argument("--check-every", type=int, default=64,
+                   help="differentially spot-check every Nth request "
+                        "(0 disables)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI smoke mode: small table, 4k requests, churn on")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the engine metrics registry (including "
+                        "wall-clock timings) as JSON to FILE")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
     p.add_argument("--year", type=int, default=2033)

@@ -184,6 +184,8 @@ class ManagedFib:
         self._incident_flag = False
         self._batch_index = -1
         self._trace: List[UpdateOp] = []
+        self._commit_listeners: List[
+            Callable[[str, LookupAlgorithm, List[Prefix]], None]] = []
         self._health_gauge.set(HEALTH_GAUGE_VALUES[self.health])
 
     # ------------------------------------------------------------------
@@ -194,6 +196,28 @@ class ManagedFib:
 
     def __len__(self) -> int:
         return len(self.oracle)
+
+    # ------------------------------------------------------------------
+    # Commit listeners (cache/plan invalidation contract)
+    # ------------------------------------------------------------------
+    def add_commit_listener(
+        self,
+        listener: Callable[[str, LookupAlgorithm, List[Prefix]], None],
+    ) -> None:
+        """Subscribe to committed batches.
+
+        ``listener(outcome, algo, touched)`` fires after every *landed*
+        batch — ``outcome`` is ``"batch_applied"`` or
+        ``"batch_rebuilt"``, ``algo`` the newly committed structure,
+        ``touched`` the prefixes the batch changed.  Rolled-back
+        batches do not notify: the committed structure (and therefore
+        anything derived from it — compiled plans, cache contents)
+        is unchanged by construction.
+        """
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        self._commit_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Health plumbing
@@ -365,6 +389,9 @@ class ManagedFib:
         for op, _ in valid:
             self.log.record("op_applied", b, op=op.render())
         self.log.record(outcome, b)
+        touched = [prefix for _, prefix in valid]
+        for listener in list(self._commit_listeners):
+            listener(outcome, self.algo, touched)
         if not self._incident_flag and not self._guard_tripped:
             self._healthy_streak += 1
         if (

@@ -10,6 +10,7 @@ from .idioms import (
 from .codegen import estimate_p4_effort, generate_p4_sketch
 from .interpreter import run, run_packet
 from .metrics import CramMetrics, measure
+from .plan import LookupPlan, PlanError, compile_plan
 from .program import CramProgram, DependencyError
 from .step import Assoc, Bin, Const, Reg, Statement, Step, Un
 from .table import (
@@ -49,6 +50,9 @@ __all__ = [
     "run_packet",
     "CramMetrics",
     "measure",
+    "LookupPlan",
+    "PlanError",
+    "compile_plan",
     "CramProgram",
     "DependencyError",
     "Assoc",

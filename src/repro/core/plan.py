@@ -1,0 +1,197 @@
+"""Compiled lookup plans: the CRAM interpreter, flattened.
+
+:func:`repro.core.interpreter.run` is a faithful model of §2.1's wave
+semantics, but it pays for that fidelity on every packet: the program
+is validated, the dependency DAG is re-scheduled, and every step gets
+its own snapshot of the register file.  A production dataplane cannot
+afford any of that per packet, and does not need to — the program, its
+schedule, and its table bindings are all fixed between route updates.
+
+:class:`LookupPlan` does the per-program work exactly once:
+
+* ``validate()`` and ``parallel_schedule()`` run at compile time; the
+  wave structure is flattened into one tuple of step runners executed
+  in schedule order.
+* Each table-driven step is compiled to a prebound
+  ``(key_selector, reader, action)`` triple.  The reader bypasses the
+  :meth:`~repro.core.table.TableSpec.lookup` backing dispatch (and its
+  per-access :class:`~repro.obs.AccessStats` bookkeeping): memory
+  backings expose an uninstrumented ``plan_reader()`` view —
+  bit-packed ``bytes`` for bitmaps, flat dict views for SRAM/d-left,
+  a frozen group index for TCAM — and algorithms may override readers
+  per step via :meth:`~repro.algorithms.base.LookupAlgorithm.plan_backings`.
+* The register file is a single dict, reset from a precomputed base
+  state (all registers ``None`` plus ``cram_initial_state()``) and
+  reused across a batch, so the steady-state loop allocates nothing
+  but the result list.
+
+Running waves sequentially over one shared register file is equivalent
+to the interpreter's snapshot semantics because ``validate()`` rejects
+programs where two steps in a wave conflict on declared registers —
+the same guarantee the interpreter itself leans on.  The conformance
+suite (``tests/test_engine_conformance.py``) pins plan == interpreter
+== trie oracle for every algorithm in the package.
+
+A plan is a *snapshot*: it binds the tables as they are at compile
+time.  After any route update, recompile (``compile_plan(algo)``);
+:class:`repro.engine.BatchEngine` does this automatically on every
+committed :class:`~repro.control.ManagedFib` batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .program import CramProgram
+from .step import Step
+
+__all__ = ["LookupPlan", "PlanError", "compile_plan"]
+
+
+class PlanError(ValueError):
+    """The program (or its backings) cannot be compiled into a plan."""
+
+
+def _raw_reader(table) -> Callable[[Any], Any]:
+    """An uninstrumented reader for a table's backing.
+
+    Mirrors :meth:`TableSpec.lookup`'s dispatch order (search / load /
+    lookup / test / callable) but resolves it once, at compile time,
+    and prefers the backing's ``plan_reader()`` snapshot view when the
+    memory simulator provides one.
+    """
+    backing = table.backing
+    if backing is None:
+        raise PlanError(f"table {table.name!r} has no behavioural backing")
+    plan_reader = getattr(backing, "plan_reader", None)
+    if callable(plan_reader):
+        return plan_reader()
+    for attr in ("search", "load", "lookup", "test"):
+        method = getattr(backing, attr, None)
+        if callable(method):
+            return method
+    if callable(backing):
+        return backing
+    raise PlanError(f"table {table.name!r} backing is not executable")
+
+
+def _compile_step(step: Step, reader_override) -> Callable[[dict], None]:
+    """One step as a single ``runner(state)`` callable."""
+    action = step.action
+    if action is None:
+        # Statement-based steps (guarded ALU assignments) are rare and
+        # cheap; Step.execute already has exactly the right semantics.
+        return step.execute
+    if step.table is None:
+        def run_action_only(state, _action=action):
+            _action(state, None)
+        return run_action_only
+    select = step.table.key_selector
+    if select is None:
+        raise PlanError(f"step {step.name!r} has a table but no key selector")
+    raw = reader_override if reader_override is not None else _raw_reader(step.table)
+    default = step.table.default
+    if default is None:
+        def run_table(state, _select=select, _raw=raw, _action=action):
+            key = _select(state)
+            _action(state, _raw(key) if key is not None else None)
+        return run_table
+
+    def run_table_default(state, _select=select, _raw=raw, _action=action,
+                          _default=default):
+        key = _select(state)
+        if key is None:
+            _action(state, None)
+            return
+        result = _raw(key)
+        _action(state, _default if result is None else result)
+    return run_table_default
+
+
+class LookupPlan:
+    """A compiled, allocation-free execution of one CRAM program."""
+
+    def __init__(self, algo, program: Optional[CramProgram] = None):
+        program = program if program is not None else algo.cram_program()
+        program.validate()
+        backings: Dict[str, Callable] = dict(algo.plan_backings())
+        step_names: List[str] = []
+        runners: List[Callable[[dict], None]] = []
+        waves = program.parallel_schedule()
+        for wave in waves:
+            for name in wave:
+                step_names.append(name)
+                runners.append(
+                    _compile_step(program.step(name), backings.pop(name, None))
+                )
+        if backings:
+            raise PlanError(
+                f"plan_backings for unknown steps: {sorted(backings)}"
+            )
+        if "addr" not in program.registers:
+            raise PlanError("program declares no 'addr' register")
+        base: Dict[str, Any] = {name: None for name in program.registers}
+        initial = algo.cram_initial_state()
+        unknown = set(initial) - program.registers
+        if unknown:
+            raise PlanError(f"unknown registers in initial state: {sorted(unknown)}")
+        base.update(initial)
+
+        self.algorithm: str = getattr(algo, "name", type(algo).__name__)
+        self.width: int = algo.width
+        #: Step names in execution (schedule) order.
+        self.step_names = tuple(step_names)
+        #: Wave count of the source schedule (depth, not work).
+        self.wave_count = len(waves)
+        self._base = base
+        self._runners = tuple(runners)
+        self._extract = algo.cram_extract_hop
+
+    def __len__(self) -> int:
+        return len(self._runners)
+
+    def lookup(self, address: int) -> Optional[int]:
+        """One packet through the compiled step array."""
+        state = self._base.copy()
+        state["addr"] = address
+        for run in self._runners:
+            run(state)
+        return self._extract(state)
+
+    def lookup_batch(self, addresses: Sequence[int],
+                     out: Optional[List[Optional[int]]] = None
+                     ) -> List[Optional[int]]:
+        """A batch of packets over one reused register file.
+
+        ``out`` lets callers reuse a result list across batches; the
+        steady-state loop then allocates nothing per packet.
+        """
+        results = out if out is not None else []
+        append = results.append
+        base = self._base
+        runners = self._runners
+        extract = self._extract
+        state = base.copy()
+        for address in addresses:
+            state.clear()
+            state.update(base)
+            state["addr"] = address
+            for run in runners:
+                run(state)
+            append(extract(state))
+        return results
+
+    def describe(self) -> Dict[str, Any]:
+        """Deterministic plan summary (for telemetry and docs)."""
+        return {
+            "algorithm": self.algorithm,
+            "width": self.width,
+            "steps": len(self._runners),
+            "waves": self.wave_count,
+            "step_names": list(self.step_names),
+        }
+
+
+def compile_plan(algo, program: Optional[CramProgram] = None) -> LookupPlan:
+    """Compile ``algo``'s CRAM program into a :class:`LookupPlan`."""
+    return LookupPlan(algo, program)

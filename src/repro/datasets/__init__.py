@@ -25,6 +25,7 @@ from .workloads import (
     deepest_match_addresses,
     matching_addresses,
     mixed_addresses,
+    skewed_addresses,
     uniform_addresses,
 )
 
@@ -55,5 +56,6 @@ __all__ = [
     "deepest_match_addresses",
     "matching_addresses",
     "mixed_addresses",
+    "skewed_addresses",
     "uniform_addresses",
 ]

@@ -62,6 +62,48 @@ def mixed_addresses(fib: Fib, count: int, hit_fraction: float = 0.9, seed: int =
     return addresses
 
 
+def skewed_addresses(fib: Fib, count: int, seed: int = 5,
+                     alpha: float = 1.2, flows_per_prefix: int = 4) -> List[int]:
+    """Zipf-skewed traffic: a small number of prefixes carries most of it.
+
+    This is the CRAM paper's FIB-caching premise made concrete.
+    Prefixes get popularity ranks by a seeded permutation and are drawn
+    with probability proportional to ``1 / rank**alpha``; each prefix
+    owns a small set of ``flows_per_prefix`` host addresses, so hot
+    *exact addresses* repeat — the working set an exact-match FIB cache
+    (``repro.engine.FibCache``) can actually absorb.
+    """
+    prefixes = fib.prefixes()
+    if not prefixes:
+        raise ValueError("FIB is empty")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if flows_per_prefix < 1:
+        raise ValueError("flows_per_prefix must be positive")
+    n = len(prefixes)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** alpha
+    picks = rng.choice(n, size=count, p=weights / weights.sum())
+    flow_hosts = {}
+    out = []
+    for pick in picks:
+        prefix = prefixes[int(order[int(pick)])]
+        hosts = flow_hosts.get(prefix)
+        if hosts is None:
+            host_bits = fib.width - prefix.length
+            if host_bits == 0:
+                hosts = [0]
+            else:
+                span = 1 << min(host_bits, 63)
+                k = min(flows_per_prefix, span)
+                hosts = [int(h) << max(0, host_bits - 63)
+                         for h in rng.integers(0, span, size=k)]
+            flow_hosts[prefix] = hosts
+        out.append(prefix.value | hosts[int(rng.integers(0, len(hosts)))])
+    return out
+
+
 def deepest_match_addresses(fib: Fib, count: int, seed: int = 4) -> List[int]:
     """Addresses under the *longest* prefixes (adversarial for tries and
     length-based searches: every lookup walks the maximum depth)."""

@@ -1,0 +1,24 @@
+"""repro.engine — the batch dataplane.
+
+Compiled lookup plans (:mod:`repro.core.plan`) served through
+:class:`BatchEngine` (plan + skew-aware :class:`FibCache` + metrics),
+with multi-VRF sharding via :class:`VrfShardedEngine` (VRF-hash) and
+:class:`RoundRobinEngine` (replicated round-robin).  See
+``docs/engine.md``.
+"""
+
+from ..core.plan import LookupPlan, PlanError, compile_plan
+from .cache import FibCache
+from .engine import ENGINE_BATCH_BUCKETS, BatchEngine
+from .shard import RoundRobinEngine, VrfShardedEngine
+
+__all__ = [
+    "LookupPlan",
+    "PlanError",
+    "compile_plan",
+    "FibCache",
+    "ENGINE_BATCH_BUCKETS",
+    "BatchEngine",
+    "RoundRobinEngine",
+    "VrfShardedEngine",
+]

@@ -1,0 +1,200 @@
+"""The batch dataplane engine: compiled plan + cache + telemetry.
+
+:class:`BatchEngine` is the serving layer over one lookup structure:
+
+* packets run through a compiled :class:`~repro.core.plan.LookupPlan`
+  (one flat step array, no per-packet interpretation);
+* an optional :class:`~repro.engine.cache.FibCache` answers hot
+  addresses before the plan runs at all;
+* every lookup, batch, cache hit/miss, invalidation, and plan
+  recompile is counted in a :class:`~repro.obs.MetricsRegistry`.
+
+The engine stays correct under churn by *subscribing to commits*:
+:meth:`over_managed` registers a commit listener on a
+:class:`~repro.control.ManagedFib`, and every landed batch (applied or
+rebuilt) triggers :meth:`refresh` — rebind to the newly committed
+structure, recompile the plan, and invalidate exactly the cache
+entries covered by the batch's touched prefixes.  Rolled-back batches
+leave the committed structure untouched, so no listener fires and the
+cache stays valid by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.plan import LookupPlan, compile_plan
+from ..obs import MetricsRegistry
+from ..prefix.prefix import Prefix
+from .cache import FibCache
+
+__all__ = ["BatchEngine", "ENGINE_BATCH_BUCKETS"]
+
+#: Deterministic batch-size histogram bounds (packets per batch).
+ENGINE_BATCH_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+
+class BatchEngine:
+    """Compiled batch lookups over one algorithm, with a FIB cache."""
+
+    def __init__(
+        self,
+        algo,
+        *,
+        cache_size: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "engine",
+        cache_sample: int = 8,
+    ):
+        self.name = name
+        self.registry = registry or MetricsRegistry()
+        self._algo = algo
+        self._plan: LookupPlan = compile_plan(algo)
+        self.cache: Optional[FibCache] = (
+            FibCache(cache_size, name=f"{name}-cache", sample=cache_sample)
+            if cache_size else None
+        )
+        reg = self.registry
+        self._lookups = reg.counter(
+            "repro_engine_lookups_total", "Lookups served by the engine.")
+        self._cache_hits = reg.counter(
+            "repro_engine_cache_hits_total", "Lookups answered by the FIB cache.")
+        self._cache_misses = reg.counter(
+            "repro_engine_cache_misses_total", "Cache misses (plan executed).")
+        self._batches = reg.counter(
+            "repro_engine_batches_total", "Batches served by the engine.")
+        self._batch_size = reg.histogram(
+            "repro_engine_batch_size", ENGINE_BATCH_BUCKETS,
+            "Packets per served batch.")
+        self._cache_entries = reg.gauge(
+            "repro_engine_cache_entries", "Live FIB-cache entries.")
+        self._invalidated = reg.counter(
+            "repro_engine_cache_invalidated_total",
+            "Cache entries dropped by commit invalidation.")
+        self._recompiles = reg.counter(
+            "repro_engine_plan_recompiles_total",
+            "Plan recompilations (one per landed update batch).")
+        self._commits = reg.counter(
+            "repro_engine_commits_total",
+            "Managed-runtime commits observed, by outcome.")
+
+    # ------------------------------------------------------------------
+    @property
+    def algo(self):
+        """The committed structure currently being served."""
+        return self._algo
+
+    @property
+    def plan(self) -> LookupPlan:
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        self._lookups.inc(1, engine=self.name)
+        cache = self.cache
+        if cache is not None:
+            hit, hop = cache.probe(address)
+            if hit:
+                self._cache_hits.inc(1, engine=self.name)
+                return hop
+            self._cache_misses.inc(1, engine=self.name)
+        hop = self._plan.lookup(address)
+        if cache is not None:
+            cache.put(address, hop)
+            self._cache_entries.set(len(cache), engine=self.name)
+        return hop
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        n = len(addresses)
+        self._batches.inc(1, engine=self.name)
+        self._batch_size.observe(n)
+        self._lookups.inc(n, engine=self.name)
+        cache = self.cache
+        if cache is None:
+            return self._plan.lookup_batch(addresses)
+        plan_lookup = self._plan.lookup
+        probe = cache.probe
+        put = cache.put
+        results: List[Optional[int]] = []
+        append = results.append
+        hits = 0
+        for address in addresses:
+            hit, hop = probe(address)
+            if not hit:
+                hop = plan_lookup(address)
+                put(address, hop)
+            else:
+                hits += 1
+            append(hop)
+        self._cache_hits.inc(hits, engine=self.name)
+        self._cache_misses.inc(n - hits, engine=self.name)
+        self._cache_entries.set(len(cache), engine=self.name)
+        return results
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def refresh(self, algo=None,
+                touched: Optional[Sequence[Prefix]] = None) -> None:
+        """Rebind to ``algo`` (or recompile in place) after an update.
+
+        ``touched`` scopes cache invalidation to the prefixes a landed
+        batch changed; ``None`` means "unknown extent" and clears the
+        whole cache (the only safe answer without that information).
+        """
+        if algo is not None:
+            self._algo = algo
+        self._plan = compile_plan(self._algo)
+        self._recompiles.inc(1, engine=self.name)
+        cache = self.cache
+        if cache is not None:
+            if touched is None:
+                dropped = cache.clear()
+            else:
+                dropped = cache.invalidate(touched)
+            self._invalidated.inc(dropped, engine=self.name)
+            self._cache_entries.set(len(cache), engine=self.name)
+
+    def warm(self, addresses: Sequence[int]) -> None:
+        """Pre-populate the cache by looking the addresses up."""
+        for address in addresses:
+            self.lookup(address)
+
+    def seed_cache(self, tally, limit: Optional[int] = None) -> int:
+        """Warm the cache from an ``obs.accounting`` hit tally
+        (addresses -> counts); see :meth:`FibCache.seed`."""
+        if self.cache is None:
+            return 0
+        seeded = self.cache.seed(tally, self._plan.lookup, limit=limit)
+        self._cache_entries.set(len(self.cache), engine=self.name)
+        return seeded
+
+    def cache_hit_ratio(self) -> float:
+        return self.cache.hit_rate() if self.cache is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Managed-runtime integration
+    # ------------------------------------------------------------------
+    @classmethod
+    def over_managed(cls, managed, *, registry: Optional[MetricsRegistry] = None,
+                     **kwargs) -> "BatchEngine":
+        """An engine serving ``managed``'s committed structure.
+
+        Shares the runtime's registry by default and subscribes to its
+        commits: applied/rebuilt batches recompile the plan and
+        invalidate the touched cache entries; rollbacks change nothing
+        and therefore notify nothing.
+        """
+        engine = cls(managed.algo,
+                     registry=registry if registry is not None else managed.registry,
+                     **kwargs)
+        managed.add_commit_listener(engine.on_commit)
+        return engine
+
+    def on_commit(self, outcome: str, algo,
+                  touched: Sequence[Prefix]) -> None:
+        """Commit listener: called by ManagedFib after a landed batch."""
+        self._commits.inc(1, engine=self.name, outcome=outcome)
+        self.refresh(algo, touched)

@@ -155,6 +155,23 @@ class DLeftHashTable(Generic[V]):
         for key, data in entries:
             self.insert(key, data)
 
+    def plan_reader(self):
+        """Uninstrumented snapshot reader for compiled lookup plans.
+
+        Flattens the d sub-tables and the overflow area into one plain
+        dict (keys are unique across cells, so order does not matter):
+        a compiled plan then pays one hash probe instead of walking d
+        candidate buckets with accounting on each.
+        """
+        flat = {}
+        for subtable in self._buckets:
+            for bucket in subtable:
+                for key, data in bucket:
+                    flat[key] = data
+        for key, data in self._overflow:
+            flat[key] = data
+        return flat.get
+
     def lookup(self, key: int) -> Optional[V]:
         """Exact-match lookup across the d candidate buckets."""
         stats = self.stats

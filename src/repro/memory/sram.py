@@ -77,6 +77,15 @@ class DirectIndexTable(Generic[V]):
     def items(self) -> Iterator[Tuple[int, V]]:
         return iter(sorted(self._slots.items()))
 
+    def plan_reader(self):
+        """An uninstrumented snapshot reader for compiled lookup plans.
+
+        Returns a plain ``dict.get`` over a copy of the slots: no
+        bounds check, no :class:`AccessStats` accounting, and no view
+        of later mutations — plans recompile after updates.
+        """
+        return dict(self._slots).get
+
     def sram_bits(self) -> int:
         """Full directly-indexed footprint, populated or not."""
         return self.capacity * self.data_width
@@ -128,6 +137,10 @@ class ExactMatchTable(Generic[V]):
     def items(self) -> Iterator[Tuple[int, V]]:
         return iter(sorted(self._slots.items()))
 
+    def plan_reader(self):
+        """Uninstrumented snapshot reader (see :meth:`DirectIndexTable.plan_reader`)."""
+        return dict(self._slots).get
+
     def sram_bits(self) -> int:
         return len(self._slots) * (self.key_width + self.data_width)
 
@@ -170,6 +183,16 @@ class Bitmap:
         index_array = np.asarray(list(indices), dtype=np.int64)
         self._bits[index_array] = True
         self.stats.writes += len(index_array)
+
+    def plan_reader(self):
+        """Uninstrumented snapshot reader over a flat ``bytes`` copy.
+
+        One byte per slot: indexing ``bytes`` is a plain C-speed int
+        load, far cheaper than a numpy scalar read, and the copy
+        freezes the bitmap for the lifetime of the compiled plan.
+        """
+        packed = self._bits.tobytes()
+        return lambda index: packed[index] != 0
 
     def sram_bits(self) -> int:
         """One bit per slot, populated or not."""

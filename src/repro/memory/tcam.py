@@ -146,6 +146,27 @@ class TcamTable(Generic[V]):
         stats.misses += 1
         return None
 
+    def plan_reader(self):
+        """Uninstrumented snapshot search for compiled lookup plans.
+
+        Freezes the (priority, mask) group index: the returned closure
+        walks the same lowest-priority-first groups as :meth:`search`
+        but skips freshness checks and access accounting.
+        """
+        if not self._index_fresh:
+            self._rebuild_index()
+        groups = {key: dict(group) for key, group in self._groups.items()}
+        order = list(self._group_order)
+
+        def search(key: int):
+            for group_key in order:
+                entry = groups[group_key].get(key & group_key[1])
+                if entry is not None:
+                    return entry.data
+            return None
+
+        return search
+
     def _rebuild_index(self) -> None:
         self._groups = {}
         for entry in self._entries:

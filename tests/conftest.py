@@ -1,6 +1,23 @@
-"""Shared fixtures: small deterministic FIBs and address workloads."""
+"""Shared fixtures: small deterministic FIBs and address workloads.
+
+Also registers ``--regen-golden``: rewrite the golden files under
+``tests/golden/`` from the current implementation instead of comparing
+against them (see ``test_golden_tables.py``).
+"""
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current implementation",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    return request.config.getoption("--regen-golden")
 
 from repro.datasets import (
     matching_addresses,

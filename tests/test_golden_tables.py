@@ -1,0 +1,122 @@
+"""Byte-stable golden-file regression for the deterministic sidecar values.
+
+The benchmark sidecars (``benchmarks/results/*.json``) keep their
+deterministic numbers in a ``values`` section precisely so regressions
+are diffable.  These tests recompute the two most load-bearing
+payloads at a pinned scale and compare the *bytes* of their canonical
+JSON rendering against checked-in golden files:
+
+* ``tests/golden/tab04_cram_metrics.json`` — Table 4's CRAM metrics
+  (TCAM bits / SRAM bits / steps) for MASHUP, BSIC, and RESAIL, the
+  numbers the paper's §6.4 selection argument rests on;
+* ``tests/golden/managed_churn_outcomes.json`` — the managed runtime's
+  batch outcome counts (applied/rebuilt/rolled back, planned and
+  recovery rebuilds, final health) for the ``update_fault_ranking``
+  sidecar's churn-under-faults run.
+
+Any byte difference — a renamed key, a changed count, a float format
+drift — fails loudly.  **If a change is intentional**, regenerate with
+
+    PYTHONPATH=src python -m pytest tests/test_golden_tables.py --regen-golden
+
+review the diff of ``tests/golden/``, and commit it alongside the
+change that caused it.  (The ``--regen-golden`` option is registered
+in ``tests/conftest.py``.)
+"""
+
+import json
+from pathlib import Path
+
+from repro.algorithms import Bsic, Mashup, Resail
+from repro.control import (
+    ALL_FAULTS,
+    ChurnGenerator,
+    FaultPlan,
+    ManagedFib,
+)
+from repro.datasets import synthesize_as65000
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Pinned inputs — golden files are only meaningful for exact inputs.
+SCALE = 0.002
+CHURN_OPS, BATCH_SIZE, SEED = 120, 15, 17
+
+
+def canonical(doc) -> bytes:
+    """The byte-stable rendering golden files are stored in."""
+    return (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("ascii")
+
+
+def check_golden(name: str, doc, regen: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    rendered = canonical(doc)
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_bytes(rendered)
+        return
+    assert path.exists(), (
+        f"golden file {path} missing; create it with --regen-golden"
+    )
+    assert rendered == path.read_bytes(), (
+        f"{name} drifted from its golden file; if intentional, rerun with "
+        f"--regen-golden and commit the tests/golden/ diff"
+    )
+
+
+def test_tab04_cram_metrics_golden(regen_golden):
+    fib = synthesize_as65000(scale=SCALE)
+    rows = [
+        (algo.name, algo.cram_metrics())
+        for algo in (
+            Mashup(fib, (16, 4, 4, 8)),
+            Bsic(fib, k=16),
+            Resail(fib, min_bmp=13),
+        )
+    ]
+    doc = {
+        "scale": SCALE,
+        "prefixes": len(fib),
+        "metrics": {
+            name: {"tcam_bits": m.tcam_bits, "sram_bits": m.sram_bits,
+                   "steps": m.steps}
+            for name, m in rows
+        },
+    }
+    check_golden("tab04_cram_metrics", doc, regen_golden)
+
+
+def test_managed_churn_outcomes_golden(regen_golden):
+    base = synthesize_as65000(scale=SCALE)
+    schemes = [
+        ("RESAIL", lambda fib: Resail(fib, min_bmp=13, hash_capacity=1 << 16)),
+        ("BSIC", lambda fib: Bsic(fib, k=16)),
+    ]
+    outcomes = {}
+    for name, factory in schemes:
+        managed = ManagedFib(
+            factory, base,
+            faults=FaultPlan.build(sorted(ALL_FAULTS), seed=SEED),
+            check_seed=SEED,
+        )
+        for batch in ChurnGenerator(base, seed=SEED).batches(CHURN_OPS,
+                                                             BATCH_SIZE):
+            managed.apply_batch(batch)
+        managed.log.check_accounting()
+        log = managed.log
+        outcomes[name] = {
+            "applied": log.count("batch_applied"),
+            "rebuilt": log.count("batch_rebuilt"),
+            "rolled_back": log.count("batch_rolled_back"),
+            "rebuild_planned": log.count("rebuild_planned"),
+            "rebuild_recovery": log.count("rebuild_recovery"),
+            "health": str(managed.health),
+        }
+    doc = {
+        "scale": SCALE,
+        "churn_ops": CHURN_OPS,
+        "batch_size": BATCH_SIZE,
+        "seed": SEED,
+        "outcomes": outcomes,
+    }
+    check_golden("managed_churn_outcomes", doc, regen_golden)

@@ -7,13 +7,25 @@ Invariants exercised:
   * TCAM prefix search equals trie LPM;
   * d-left stores and retrieves arbitrary key/value sets;
   * bit marking is a bijection on (bits, length);
-  * RESAIL/BSIC/MASHUP equal the oracle on arbitrary small FIBs.
+  * RESAIL/BSIC/MASHUP equal the oracle on arbitrary small FIBs;
+  * arbitrary update interleavings through the managed runtime never
+    leave a stale entry in the engine's FIB cache — commits invalidate
+    exactly what they touch, rollbacks leave the cache untouched.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import Bsic, Mashup, Resail, bit_mark, unmark
+from repro.algorithms import Bsic, LogicalTcam, Mashup, Resail, bit_mark, unmark
+from repro.control import (
+    ANNOUNCE,
+    WITHDRAW,
+    FaultPlan,
+    ManagedFib,
+    RuntimePolicy,
+    UpdateOp,
+)
+from repro.engine import BatchEngine
 from repro.memory import DLeftHashTable, TcamTable
 from repro.prefix import (
     BinaryTrie,
@@ -158,6 +170,86 @@ class TestAlgorithmProperties:
         for address in range(0, 256, 5):
             assert mashup.lookup(address) == fib.lookup(address)
 
+@st.composite
+def update_batches(draw, width=WIDTH, max_batches=4, max_batch_size=6,
+                   announce_only=False):
+    """Batches of announce/withdraw interleavings over a small space.
+
+    ``announce_only`` keeps every op valid (withdraws of absent routes
+    are absorbed at validation, which can empty a batch).
+    """
+    n_batches = draw(st.integers(1, max_batches))
+    batches = []
+    for _ in range(n_batches):
+        ops = []
+        for _ in range(draw(st.integers(1, max_batch_size))):
+            prefix = draw(prefixes(width, min_len=1))
+            if announce_only or draw(st.booleans()):
+                ops.append(UpdateOp(ANNOUNCE, prefix,
+                                    draw(st.integers(0, 15))))
+            else:
+                ops.append(UpdateOp(WITHDRAW, prefix))
+        batches.append(ops)
+    return batches
+
+
+class TestEngineCacheProperties:
+    """No stale cache entry survives a commit — or a rollback.
+
+    The engine subscribes to :class:`ManagedFib` commits; whatever
+    interleaving of announces and withdraws lands (including withdraws
+    of absent prefixes and re-announcements with new hops), after every
+    batch each cached ``(address, hop)`` pair and every engine answer
+    must equal the post-batch oracle.
+    """
+
+    PROBES = list(range(0, 256, 7))
+
+    @settings(max_examples=40, deadline=None)
+    @given(entry_lists(max_size=12), update_batches())
+    def test_no_stale_cache_entry_survives_a_commit(self, entries, batches):
+        managed = ManagedFib(lambda f: LogicalTcam(f), Fib(WIDTH, entries))
+        engine = BatchEngine.over_managed(managed, cache_size=16)
+        engine.lookup_batch(self.PROBES)  # populate the cache
+        for batch in batches:
+            outcome = managed.apply_batch(batch)
+            assert outcome in ("batch_applied", "batch_rebuilt")
+            oracle = managed.oracle
+            for address, hop in engine.cache.items():
+                assert hop == oracle.lookup(address)
+            for address in self.PROBES:
+                assert engine.lookup(address) == oracle.lookup(address)
+
+    @settings(max_examples=25, deadline=None)
+    @given(entry_lists(max_size=12),
+           update_batches(max_batches=2, announce_only=True))
+    def test_rollback_leaves_cache_consistent(self, entries, batches):
+        # Every attempt faults, retries are off, and the rebuild budget
+        # is zero: each batch must roll back, fire no commit listener,
+        # and leave the cache exactly as consistent as before.
+        managed = ManagedFib(
+            lambda f: LogicalTcam(f),
+            Fib(WIDTH, entries),
+            policy=RuntimePolicy(max_retries=0, rebuild_budget=0),
+            faults=FaultPlan.build(["mid_update_exception"], seed=9,
+                                   rate=1.0),
+        )
+        engine = BatchEngine.over_managed(managed, cache_size=16)
+        engine.lookup_batch(self.PROBES)
+        cached_before = dict(engine.cache.items())
+        for batch in batches:
+            assert managed.apply_batch(batch) == "batch_rolled_back"
+            assert dict(engine.cache.items()) == cached_before
+            oracle = managed.oracle
+            for address in self.PROBES:
+                assert engine.lookup(address) == oracle.lookup(address)
+            cached_before = dict(engine.cache.items())
+        assert engine.registry.counter(
+            "repro_engine_plan_recompiles_total", ""
+        ).value(engine="engine") == 0
+
+
+class TestResailWideProperties:
     @settings(max_examples=20, deadline=None)
     @given(entry_lists(width=32, min_len=1, max_size=12))
     def test_resail_equals_oracle(self, entries):
