@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci conformance bench bench-smoke examples clean
+.PHONY: install test ci conformance bench bench-smoke bench-vector \
+        examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +19,7 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	$(PYTHON) -m repro trace --smoke
 	$(PYTHON) -m repro serve --smoke --algo resail --seed 7 \
 	    --metrics-out benchmarks/results/serve_smoke_metrics.json
+	$(PYTHON) -m repro serve --smoke --algo sail --backend vector --seed 7
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
 	    benchmarks/bench_throughput.py -q
@@ -30,6 +32,10 @@ bench:            ## full paper reproduction (~6 min, full BGP scale)
 
 bench-smoke:      ## fast shape check on 2%-scale databases (~30 s)
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-vector:     ## lane-compiler gate: vector >= 3x scalar plan
+	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
+	    benchmarks/bench_throughput.py -q -k vector
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

@@ -11,6 +11,10 @@ speed — but the perf trajectory of the serving path.  Three benches:
   **3x** the lookups/sec of the per-packet CRAM interpreter on the
   same FIB, and the cached engine is measured on a Zipf-skewed
   workload on top.
+* ``test_vector_vs_plan_throughput`` is the lane-compiler acceptance
+  gate: for the fully-lowered schemes (SAIL, RESAIL, DXR) the vector
+  plan (``repro.core.vector``) must serve at least **3x** the
+  lookups/sec of the scalar compiled plan, with identical answers.
 
 Every bench emits a machine-readable JSON sidecar via
 ``_bench_utils.emit`` (``benchmarks/results/throughput_*.json``):
@@ -35,7 +39,7 @@ from repro.algorithms import (
     Sail,
 )
 from repro.analysis import Table
-from repro.core import compile_plan
+from repro.core import compile_plan, compile_vector_plan
 from repro.datasets import (
     mixed_addresses,
     skewed_addresses,
@@ -208,3 +212,67 @@ def test_engine_vs_interpreter_throughput(benchmark, small_v4):
     assert [plan.lookup(a) for a in sample] == [fib.lookup(a) for a in sample]
     # The acceptance criterion: >= 3x the per-packet interpreter.
     assert speedup >= 3.0, f"plan only {speedup:.2f}x over the interpreter"
+
+
+def test_vector_vs_plan_throughput(benchmark, small_v4):
+    """The lane-compiler acceptance gate: the vector plan serves >= 3x
+    the scalar compiled plan on every fully-lowered scheme, with
+    identical answers, recorded in a JSON sidecar."""
+    fib, addresses = small_v4
+    gated = [
+        ("sail", Sail(fib)),
+        ("resail", Resail(fib, min_bmp=13)),
+        ("dxr", Dxr(fib, k=16)),
+    ]
+
+    def run():
+        rows = {}
+        for name, algo in gated:
+            plan = compile_plan(algo)
+            vplan = compile_vector_plan(algo, plan=plan)
+            assert vplan.fully_lowered, vplan.describe()
+            expected = plan.lookup_batch(addresses)  # warm + reference
+            got = vplan.lookup_batch_hops(addresses)  # warm
+            assert got == expected, f"{name}: vector answers diverge"
+            rounds = 3
+            start = time.perf_counter()
+            for _ in range(rounds):
+                plan.lookup_batch(addresses, out=[])
+            plan_rate = rounds * len(addresses) / (time.perf_counter() - start)
+            start = time.perf_counter()
+            for _ in range(rounds):
+                vplan.lookup_batch(addresses)
+            vector_rate = rounds * len(addresses) / (
+                time.perf_counter() - start)
+            rows[name] = (plan_rate, vector_rate,
+                          sum(hop for hop in expected if hop is not None))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedups = {name: vector / plan
+                for name, (plan, vector, _checksum) in rows.items()}
+
+    table = Table("Vector lane kernels vs scalar compiled plan",
+                  ["Scheme", "Plan lookups/s", "Vector lookups/s", "Speedup"])
+    for name, (plan_rate, vector_rate, _checksum) in rows.items():
+        table.add_row(name, f"{plan_rate:,.0f}", f"{vector_rate:,.0f}",
+                      f"{speedups[name]:.1f}x")
+    emit("throughput_vector", table.render(),
+         values={
+             "addresses": len(addresses),
+             "speedup_threshold_x": 3.0,
+             "hop_checksums": {name: checksum
+                               for name, (_p, _v, checksum) in rows.items()},
+         },
+         timings={
+             "plan_lookups_per_s": {name: p for name, (p, _v, _c)
+                                    in rows.items()},
+             "vector_lookups_per_s": {name: v for name, (_p, v, _c)
+                                      in rows.items()},
+             "speedup_x": speedups,
+             "benchmark": bench_timings(benchmark),
+         })
+
+    for name, speedup in speedups.items():
+        assert speedup >= 3.0, \
+            f"{name}: vector only {speedup:.2f}x over the scalar plan"

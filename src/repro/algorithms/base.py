@@ -173,6 +173,39 @@ class LookupAlgorithm(abc.ABC):
         return LookupPlan(self)
 
     # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector)
+    # ------------------------------------------------------------------
+    def vector_specs(self) -> Dict[str, "VectorStepSpec"]:
+        """Per-step lowering specs for the lane compiler.
+
+        Keyed by *step name* (unknown names raise ``VectorError``, as
+        ``plan_backings`` does for the plan compiler); each value is a
+        :class:`~repro.core.vector.VectorStepSpec` describing the
+        step's selector/action as array kernels.  Steps without a spec
+        run under the per-lane scalar bridge — correct, just not fast.
+        The default lowers nothing, so every algorithm compiles
+        mixed-mode out of the box.
+        """
+        return {}
+
+    def vector_extract_hop(self, lanes):
+        """Array form of :meth:`cram_extract_hop`.
+
+        Returns ``(vals, none)`` int64/bool arrays over the batch.
+        Algorithms that override :meth:`cram_extract_hop` must also
+        override this to count as fully lowered; the base
+        implementation is a placeholder the lane compiler detects (by
+        identity) and never calls.
+        """
+        raise NotImplementedError  # pragma: no cover - sentinel, never called
+
+    def compile_vector_plan(self, plan=None):
+        """This algorithm lowered to a :class:`~repro.core.vector.VectorPlan`."""
+        from ..core.vector import VectorPlan
+
+        return VectorPlan(self, plan=plan)
+
+    # ------------------------------------------------------------------
     def lookup_batch(self, addresses) -> List[Optional[int]]:
         """Convenience vector form of :meth:`lookup`."""
         lookup = self.lookup

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.program import CramProgram
 from ..core.step import Step
@@ -197,6 +199,68 @@ class Dxr(LookupAlgorithm):
 
     def cram_extract_hop(self, state: dict) -> Optional[int]:
         return state.get("best")
+
+    # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector): every step fully lowered
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        from ..core.vector import VectorStepSpec
+
+        # Initial table as parallel kind/a/b arrays:
+        # kind 0 = empty, 1 = ('hop', a), 2 = ('section', a, count=b).
+        size = 1 << self.k
+        kind = np.zeros(size, dtype=np.int64)
+        a = np.zeros(size, dtype=np.int64)
+        b = np.zeros(size, dtype=np.int64)
+        for slot, entry in enumerate(self.initial):
+            if entry is None:
+                continue
+            if entry[0] == "hop":
+                kind[slot], a[slot] = 1, entry[1]
+            else:
+                kind[slot], a[slot], b[slot] = 2, entry[1], entry[2]
+        suffix_mask = (1 << self.suffix_bits) - 1
+
+        def init_update(lanes, vals, found, active):
+            slot = lanes.values("addr") >> self.suffix_bits
+            lanes.assign("key", lanes.values("addr") & suffix_mask)
+            section = kind[slot] == 2
+            hop = kind[slot] == 1
+            # Non-section lanes finish here; section lanes keep done=None
+            # (the base state), exactly as the scalar action leaves it.
+            lanes.assign("done", np.where(section, 0, 1), none=section)
+            lanes.assign("best", np.where(hop, a[slot], 0), none=~hop)
+            lanes.assign("lo", np.where(section, a[slot], 0), none=~section)
+            lanes.assign("hi", np.where(section, a[slot] + b[slot] - 1, 0),
+                         none=~section)
+
+        # The global range table as left-endpoint / hop columns; one
+        # shared update closure drives every binary-search level.
+        left = np.array([r.left for r in self.ranges], dtype=np.int64)
+        hops = np.array(
+            [0 if r.next_hop is None else r.next_hop for r in self.ranges],
+            dtype=np.int64)
+        hop_none = np.array([r.next_hop is None for r in self.ranges],
+                            dtype=bool)
+
+        def probe_update(lanes, vals, found, active):
+            lo = lanes.values("lo")
+            hi = lanes.values("hi")
+            searching = (~lanes.truthy("done") & lanes.present("lo")
+                         & (lo <= hi))
+            mid = np.where(searching, (lo + hi) >> 1, 0)
+            le = searching & (left[mid] <= lanes.values("key"))
+            lanes.assign_where("best", le, hops[mid], none=hop_none[mid])
+            lanes.assign_where("lo", le, mid + 1)
+            lanes.assign_where("hi", searching & ~le, mid - 1)
+
+        specs = {"initial": VectorStepSpec(init_update)}
+        for level in range(self.search_depth):
+            specs[f"probe_{level}"] = VectorStepSpec(probe_update)
+        return specs
+
+    def vector_extract_hop(self, lanes):
+        return lanes.values("best"), lanes.is_none("best")
 
     # ------------------------------------------------------------------
     # Chip layout: legal only with the range table duplicated per level

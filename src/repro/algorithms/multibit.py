@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.program import CramProgram
 from ..core.step import Step
@@ -276,6 +278,64 @@ class MultibitTrie(LookupAlgorithm):
 
     def cram_extract_hop(self, state: dict):
         return state.get("best")
+
+    # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector): every level fully lowered
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        from ..core.vector import VectorStepSpec
+
+        levels = self.nodes_by_level()
+        node_ids: Dict[int, Tuple[int, int]] = {}
+        for level_nodes in levels:
+            for i, node in enumerate(level_nodes):
+                node_ids[id(node)] = (node.level, i)
+
+        specs = {}
+        for level, stride in enumerate(self.strides):
+            level_nodes = levels[level]
+            size = max(1, len(level_nodes)) << stride
+            # Dense (node << stride) | slot arrays: expanded hops and
+            # child pointers, each with a None mask.  Hops fill by
+            # ascending segment length so longer segments overwrite —
+            # controlled prefix expansion as numpy slice assignments.
+            hop_v = np.zeros(size, dtype=np.int64)
+            hop_n = np.ones(size, dtype=bool)
+            child_v = np.zeros(size, dtype=np.int64)
+            child_n = np.ones(size, dtype=bool)
+            for node_index, node in enumerate(level_nodes):
+                base = node_index << stride
+                for (bits, length), hop in sorted(
+                        node.segments.items(), key=lambda kv: kv[0][1]):
+                    lo = base + (bits << (stride - length))
+                    hi = lo + (1 << (stride - length))
+                    hop_v[lo:hi] = hop
+                    hop_n[lo:hi] = False
+                for slot, child in node.children.items():
+                    child_v[base + slot] = node_ids[id(child)][1]
+                    child_n[base + slot] = False
+
+            base_bits = self.level_base[level]
+            shift = self.width - base_bits - stride
+            mask = (1 << stride) - 1
+
+            def update(lanes, vals, found, active, stride=stride,
+                       shift=shift, mask=mask, hop_v=hop_v, hop_n=hop_n,
+                       child_v=child_v, child_n=child_n):
+                walking = ~lanes.truthy("done") & lanes.present("node")
+                slot = (lanes.values("addr") >> shift) & mask
+                key = np.where(walking,
+                               (lanes.values("node") << stride) | slot, 0)
+                lanes.assign_where("best", walking & ~hop_n[key], hop_v[key])
+                lanes.assign_where("node", walking, child_v[key],
+                                   none=child_n[key])
+                lanes.assign_where("done", walking & child_n[key], 1)
+
+            specs[f"level_{level}"] = VectorStepSpec(update)
+        return specs
+
+    def vector_extract_hop(self, lanes):
+        return lanes.values("best"), lanes.is_none("best")
 
     def layout(self) -> Layout:
         phases = []

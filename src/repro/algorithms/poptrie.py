@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.program import CramProgram
 from ..core.step import Step
@@ -251,6 +253,93 @@ class Poptrie(LookupAlgorithm):
                            reads=["leaf_ref", "hop"], writes=["hop"],
                            action=leaf_act), after=[previous])
         return prog
+
+    # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector): every step fully lowered
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        from ..core.vector import VectorStepSpec, popcount64
+
+        specs = {}
+
+        # Direct-pointing table as kind/value columns (kind 0 = leaf).
+        dp_kind = np.array([k == "node" for k, _v in self.dp_table],
+                           dtype=bool)
+        dp_val = np.array([v for _k, v in self.dp_table], dtype=np.int64)
+        dp_shift = self.width - self.dp_bits
+
+        def dp_update(lanes, vals, found, active):
+            slot = lanes.values("addr") >> dp_shift
+            is_node = dp_kind[slot]
+            value = dp_val[slot]
+            routed = ~is_node & (value != 0)
+            lanes.assign("hop", np.where(routed, value - 1, 0), none=~routed)
+            lanes.assign("ptr", np.where(is_node, value, 0), none=~is_node)
+
+        specs["dp"] = VectorStepSpec(dp_update)
+
+        # The per-level leaf arrays concatenate into one flat store; a
+        # lane's leaf_ref becomes level offset + leaf_base + run - 1 —
+        # an int, so the SoA register file never sees the scalar
+        # model's (level, index) tuples.
+        leaf_offsets = []
+        offset = 0
+        for leaves in self.leaf_arrays:
+            leaf_offsets.append(offset)
+            offset += len(leaves)
+        all_leaves = np.array(
+            [e for leaves in self.leaf_arrays for e in leaves] or [0],
+            dtype=np.int64)
+        full = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+        def level_spec(level):
+            nodes = self.levels[level]
+            vector = np.array([n.vector for n in nodes] or [0],
+                              dtype=np.uint64)
+            leafvec = np.array([n.leafvec for n in nodes] or [0],
+                               dtype=np.uint64)
+            child_base = np.array([n.child_base for n in nodes] or [0],
+                                  dtype=np.int64)
+            leaf_base = np.array([n.leaf_base for n in nodes] or [0],
+                                 dtype=np.int64)
+            depth = self.dp_bits + level * STRIDE
+            stride = self._stride_at(depth)
+            shift = self.width - depth - stride
+            mask = (1 << stride) - 1
+            level_offset = leaf_offsets[level]
+
+            def update(lanes, vals, found, active):
+                walking = lanes.present("ptr")
+                ptr = np.where(walking, lanes.values("ptr"), 0)
+                slot = ((lanes.values("addr") >> shift) & mask).astype(
+                    np.uint64)
+                # (1 << (slot+1)) - 1 without the slot=63 shift overflow.
+                below = full >> (np.uint64(63) - slot)
+                vec = vector[ptr]
+                has_child = ((vec >> slot) & np.uint64(1)).astype(bool)
+                descend = walking & has_child
+                child = child_base[ptr] + popcount64(vec & below) - 1
+                run = popcount64(leafvec[ptr] & below)
+                leaf_ref = level_offset + leaf_base[ptr] + run - 1
+                lanes.assign("ptr", np.where(descend, child, 0),
+                             none=~descend)
+                lanes.assign_where("leaf_ref", walking & ~has_child,
+                                   leaf_ref)
+
+            return VectorStepSpec(update)
+
+        for level in range(len(self.levels)):
+            specs[f"nodes_L{level}"] = level_spec(level)
+
+        def leaf_update(lanes, vals, found, active):
+            referenced = lanes.present("leaf_ref")
+            encoded = all_leaves[
+                np.where(referenced, lanes.values("leaf_ref"), 0)]
+            lanes.assign_where("hop", referenced, encoded - 1,
+                               none=encoded == 0)
+
+        specs["leaves"] = VectorStepSpec(leaf_update)
+        return specs
 
     # ------------------------------------------------------------------
     # Chip layout

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.idioms import Idiom, IdiomApplication
 from ..core.program import CramProgram
@@ -261,6 +263,69 @@ class Resail(LookupAlgorithm):
         for i in range(self.min_bmp, PIVOT_LEVEL + 1):
             backings[f"bitmap_{i}"] = self.bitmaps[i].plan_reader()
         return backings
+
+    # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector): every step fully lowered
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        from ..core.vector import VectorStepSpec
+
+        specs = {}
+
+        # Look-aside TCAM: one broadcast masked compare for the batch.
+        # (The step's backing is the TcamTable itself, so the compiler
+        # could resolve the view — passing it keeps the freeze explicit.)
+        def laside_update(lanes, vals, found, active):
+            lanes.assign("laside_hop", vals, none=~found)
+
+        specs["look-aside"] = VectorStepSpec(
+            laside_update,
+            select=lambda lanes: (lanes.values("addr"), None),
+            reader=self.look_aside.vector_reader(),
+        )
+
+        def bitmap_spec(i):
+            shift = IPV4_WIDTH - i
+            mark_shift = PIVOT_LEVEL - i
+
+            def update(lanes, vals, found, active, i=i):
+                # Bit marking, vectorized: append a 1, shift to width 25.
+                index = lanes.values("addr") >> shift
+                marked = ((index << 1) | 1) << mark_shift
+                hit = vals != 0
+                lanes.assign(f"key_{i}", np.where(hit, marked, 0), none=~hit)
+
+            return VectorStepSpec(
+                update,
+                select=lambda lanes, shift=shift: (
+                    lanes.values("addr") >> shift, None),
+                reader=self.bitmaps[i].vector_reader(),
+            )
+
+        for i in range(self.min_bmp, PIVOT_LEVEL + 1):
+            specs[f"bitmap_{i}"] = bitmap_spec(i)
+
+        # Final step: coalesce the longest marked key (priority 24 down
+        # to min_bmp), probe the flattened d-left view, resolve against
+        # the look-aside hop.
+        hash_view = self.hash_table.vector_reader()
+
+        def hash_update(lanes, vals, found, active):
+            keys = np.zeros(lanes.n, dtype=np.int64)
+            have = np.zeros(lanes.n, dtype=bool)
+            for i in range(PIVOT_LEVEL, self.min_bmp - 1, -1):
+                key_present = lanes.present(f"key_{i}")
+                np.copyto(keys, lanes.values(f"key_{i}"),
+                          where=key_present & ~have)
+                have |= key_present
+            laside = lanes.present("laside_hop")
+            hops, hit = hash_view.gather(keys, have & ~laside)
+            lanes.assign("hop",
+                         np.where(laside, lanes.values("laside_hop"), hops),
+                         none=~laside & ~hit)
+
+        specs["hash"] = VectorStepSpec(hash_update)
+        return specs
 
     # ------------------------------------------------------------------
     # Chip layout

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..chip.layout import Layout, LogicalTable, MemoryKind, Phase
 from ..core.idioms import IdiomApplication
 from ..core.program import CramProgram
@@ -229,6 +231,92 @@ class Sail(LookupAlgorithm):
             backings[f"bitmap_{i}"] = self.bitmaps[i].plan_reader()
             backings[f"array_{i}"] = self.arrays[i].plan_reader()
         return backings
+
+    # ------------------------------------------------------------------
+    # Lane compiler (repro.core.vector): every step fully lowered
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        from ..core.vector import VectorStepSpec
+
+        specs = {}
+
+        def bitmap_spec(i):
+            shift = IPV4_WIDTH - i
+
+            def select(lanes, shift=shift):
+                return lanes.values("addr") >> shift, None
+
+            def update(lanes, vals, found, active, i=i):
+                lanes.assign(f"hit_{i}", vals)
+
+            return VectorStepSpec(update, select=select,
+                                  reader=self.bitmaps[i].vector_reader())
+
+        for i in range(1, PIVOT_LEVEL + 1):
+            specs[f"bitmap_{i}"] = bitmap_spec(i)
+
+        # Pivot-pushed chunks: membership by sorted-slot probe, hops as
+        # a (chunks x 256) matrix with a None mask.
+        chunk_slots = np.array(sorted(self.chunks), dtype=np.int64)
+        chunk_hops = np.zeros((max(1, len(chunk_slots)), CHUNK_SIZE),
+                              dtype=np.int64)
+        chunk_none = np.ones_like(chunk_hops, dtype=bool)
+        for row, slot in enumerate(chunk_slots.tolist()):
+            for off, hop in enumerate(self.chunks[slot]):
+                if hop is not None:
+                    chunk_hops[row, off] = hop
+                    chunk_none[row, off] = False
+        suffix_shift = IPV4_WIDTH - PIVOT_LEVEL
+
+        def chunk_rows(lanes):
+            """(row, member) for each lane's /24 slot in the chunk store."""
+            slot = lanes.values("addr") >> suffix_shift
+            if chunk_slots.size == 0:
+                return (np.zeros(lanes.n, dtype=np.int64),
+                        np.zeros(lanes.n, dtype=bool))
+            row = np.minimum(np.searchsorted(chunk_slots, slot),
+                             chunk_slots.size - 1)
+            member = (lanes.truthy(f"hit_{PIVOT_LEVEL}")
+                      & (chunk_slots[row] == slot))
+            return row, member
+
+        def chunk_update(lanes, vals, found, active):
+            row, member = chunk_rows(lanes)
+            offset = lanes.values("addr") & (CHUNK_SIZE - 1)
+            take = (member & ~chunk_none[row, offset]
+                    & ~lanes.truthy("done"))
+            lanes.assign_where("hop", take, chunk_hops[row, offset])
+            lanes.assign_where("done", take, 1)
+
+        specs["chunk_24"] = VectorStepSpec(chunk_update)
+
+        def array_spec(i):
+            shift = IPV4_WIDTH - i
+            view = self.arrays[i].vector_reader()
+
+            def update(lanes, vals, found, active, i=i, shift=shift,
+                       view=view):
+                probe = lanes.truthy(f"hit_{i}") & ~lanes.truthy("done")
+                if i == PIVOT_LEVEL:
+                    _row, member = chunk_rows(lanes)
+                    probe &= ~member  # chunk lanes were handled above
+                hops, hit = view.gather(lanes.values("addr") >> shift, probe)
+                lanes.assign_where("hop", hit, hops)
+                lanes.assign_where("done", hit, 1)
+
+            return VectorStepSpec(update)
+
+        for i in range(1, PIVOT_LEVEL + 1):
+            specs[f"array_{i}"] = array_spec(i)
+        return specs
+
+    def vector_extract_hop(self, lanes):
+        vals = lanes.values("hop").copy()
+        none = lanes.is_none("hop").copy()
+        if self.default_hop is not None:
+            vals[none] = self.default_hop
+            none[:] = False
+        return vals, none
 
     # ------------------------------------------------------------------
     # Chip layout

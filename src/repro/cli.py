@@ -99,10 +99,20 @@ def cmd_lookup(args: argparse.Namespace) -> int:
         stats = enable_hit_tracking(algo)
         for table_stats in stats:
             table_stats.reset()
+    addresses = [_parse_address(text, fib.width) for text in args.addresses]
+    backend = getattr(args, "backend", "native")
+    if backend == "native":
+        hops = [algo.lookup(address) for address in addresses]
+    elif backend == "plan":
+        hops = algo.compile_plan().lookup_batch(addresses)
+    else:  # vector | auto — mirror the engine's auto rule
+        vplan = algo.compile_vector_plan()
+        if backend == "auto" and not vplan.fully_lowered:
+            hops = vplan.plan.lookup_batch(addresses)
+        else:
+            hops = vplan.lookup_batch_hops(addresses)
     status = 0
-    for text in args.addresses:
-        address = _parse_address(text, fib.width)
-        hop = algo.lookup(address)
+    for address, hop in zip(addresses, hops):
         prefix = fib.lookup_prefix(address)
         if hop is None:
             print(f"{format_address(address, fib.width)}: no route")
@@ -360,7 +370,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sharded = VrfShardedEngine(
             base.width, lambda fib: _build(vrf_algo, fib),
             shards=args.shards, max_vrfs=args.vrfs,
-            cache_size=args.cache, registry=registry, name="serve")
+            cache_size=args.cache, registry=registry, name="serve",
+            backend=args.backend)
         for vrf_id in range(args.vrfs):
             sharded.add_vrf(vrf_id, Fib(base.width, list(base)))
         engines = [e for e in sharded.shard_engines() if e is not None]
@@ -382,12 +393,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.shards > 1:
             engine = RoundRobinEngine(managed.algo, replicas=args.shards,
                                       cache_size=args.cache,
-                                      registry=registry, name="serve")
+                                      registry=registry, name="serve",
+                                      backend=args.backend)
             managed.add_commit_listener(engine.on_commit)
             engines = engine.shard_engines()
         else:
             engine = BatchEngine.over_managed(managed, cache_size=args.cache,
-                                              name="serve-s0")
+                                              name="serve-s0",
+                                              backend=args.backend)
             engines = [engine]
         generator = (ChurnGenerator(base, seed=args.seed,
                                     profile=PROFILES[args.profile])
@@ -408,14 +421,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     lookups = registry.counter("repro_engine_lookups_total")
     hits = registry.counter("repro_engine_cache_hits_total")
     misses = registry.counter("repro_engine_cache_misses_total")
-    print(f"serve: algo={args.algo} policy={policy} requests={len(addresses)} "
+    print(f"serve: algo={args.algo} policy={policy} backend={args.backend} "
+          f"requests={len(addresses)} "
           f"batch={args.batch} cache={args.cache} shards={args.shards} "
           f"vrfs={args.vrfs} seed={args.seed}")
     for eng in engines:
         n = lookups.value(engine=eng.name)
         h, m = hits.value(engine=eng.name), misses.value(engine=eng.name)
         ratio = h / (h + m) if h + m else 0.0
-        print(f"  shard {eng.name}: {n} lookups, cache hit ratio {ratio:.2f}")
+        print(f"  shard {eng.name}: {n} lookups, cache hit ratio {ratio:.2f}, "
+              f"backend {eng.active_backend}")
     if managed is not None:
         print(f"  churn: {managed.log.batches_total} batches committed, "
               f"health={managed.health}")
@@ -527,7 +542,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHM_FACTORIES))
     p.add_argument("--stats", action="store_true",
                    help="report per-table accesses and per-prefix hit "
-                        "skew for the queried addresses")
+                        "skew for the queried addresses (native backend "
+                        "only; compiled plans bypass the accounting)")
+    p.add_argument("--backend",
+                   choices=["native", "plan", "vector", "auto"],
+                   default="native",
+                   help="execution path: the native walk (default), the "
+                        "compiled plan, the lane-compiled vector plan, or "
+                        "auto (vector when fully lowered)")
     p.add_argument("addresses", nargs="+")
     p.set_defaults(func=cmd_lookup)
 
@@ -649,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=["auto", "vrf-hash", "round-robin"],
                    default="auto",
                    help="dispatch policy (auto: vrf-hash iff --vrfs > 0)")
+    p.add_argument("--backend", choices=["plan", "vector", "auto"],
+                   default="plan",
+                   help="engine execution backend: the scalar compiled "
+                        "plan (default), the lane-compiled NumPy vector "
+                        "plan, or auto (vector when fully lowered)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--profile", choices=["calm", "default", "stormy"],
                    default="calm", help="churn profile when --churn-ops > 0")

@@ -12,6 +12,13 @@ from .interpreter import run, run_packet
 from .metrics import CramMetrics, measure
 from .plan import LookupPlan, PlanError, compile_plan
 from .program import CramProgram, DependencyError
+from .vector import (
+    MISS_HOP,
+    VectorError,
+    VectorPlan,
+    VectorStepSpec,
+    compile_vector_plan,
+)
 from .step import Assoc, Bin, Const, Reg, Statement, Step, Un
 from .table import (
     MatchKind,
@@ -53,6 +60,11 @@ __all__ = [
     "LookupPlan",
     "PlanError",
     "compile_plan",
+    "MISS_HOP",
+    "VectorError",
+    "VectorPlan",
+    "VectorStepSpec",
+    "compile_vector_plan",
     "CramProgram",
     "DependencyError",
     "Assoc",

@@ -139,6 +139,8 @@ class LookupPlan:
 
         self.algorithm: str = getattr(algo, "name", type(algo).__name__)
         self.width: int = algo.width
+        #: The validated source program (the lane compiler re-walks it).
+        self.program = program
         #: Step names in execution (schedule) order.
         self.step_names = tuple(step_names)
         #: Wave count of the source schedule (depth, not work).
@@ -166,7 +168,11 @@ class LookupPlan:
         ``out`` lets callers reuse a result list across batches; the
         steady-state loop then allocates nothing per packet.
         """
-        results = out if out is not None else []
+        if out is not None:
+            results = out
+            del results[:]  # a reused list must not accumulate batches
+        else:
+            results = []
         append = results.append
         base = self._base
         runners = self._runners

@@ -1,0 +1,651 @@
+"""The lane compiler: compiled plans lowered to NumPy batch kernels.
+
+:class:`~repro.core.plan.LookupPlan` removed per-packet interpretation,
+but it still runs one Python closure per step *per packet*.  The CRAM
+lens says every packet performs the same small set of table reads — the
+exact shape array (SoA) execution wants.  :class:`VectorPlan` lowers an
+already-compiled plan one level further: each step executes **once per
+batch**, as a NumPy kernel over every lane at the same time.
+
+The execution model:
+
+* **SoA register file** (:class:`Lanes`).  Each CRAM register becomes a
+  pair of arrays: an ``int64`` value vector plus a boolean ``none``
+  mask (the sentinel + mask convention for ``None`` lanes — masked
+  lanes hold value 0, so scalar truthiness ``state.get(r)`` lowers to
+  ``vals != 0`` and presence to ``~none``).  A lazily-allocated object
+  sidecar carries the rare non-integer register values (Poptrie leaf
+  refs, BST node objects) that only the scalar bridge produces.
+* **Vector table views.**  Memory backings grow ``vector_reader()``
+  snapshot views alongside ``plan_reader()``: bitmaps as packed
+  ``uint8`` arrays gathered by an index vector
+  (:class:`BitmapView`), SRAM/d-left dict views densified into
+  index → value arrays (:class:`DenseArrayView`, with a sorted-key
+  :class:`SparseMapView` probe fallback when the key space is too
+  large to densify), and TCAM groups flattened into ``(value, mask)``
+  row matrices answered by a broadcast ``(keys & mask) == value``
+  compare plus a priority argmax (:class:`TcamMatrixView`).
+* **Per-step lowering specs.**  Algorithms describe how each step's
+  selector/action lower to array form via
+  :meth:`~repro.algorithms.base.LookupAlgorithm.vector_specs` —
+  a dict of step name → :class:`VectorStepSpec`.  A spec either binds
+  ``select`` (keys + active mask) to a table view's ``gather`` and an
+  ``update`` kernel, or is compute-only (``select=None``) and reads
+  the lanes directly.
+* **The scalar bridge.**  Steps without a spec (or whose table cannot
+  produce a vector view) fall back to the *scalar* plan closure under
+  a per-lane gather/scatter bridge: consecutive un-lowered steps are
+  grouped into one segment that extracts a register dict per lane,
+  runs the original runners, and scatters the results back.  Every
+  algorithm therefore compiles — SAIL/RESAIL/DXR/multibit/Poptrie
+  fully lowered, the rest mixed-mode — and stays conformant.
+
+Like a :class:`~repro.core.plan.LookupPlan`, a vector plan is a
+**snapshot**: its views freeze the tables at compile time, and it must
+be recompiled after updates (:class:`repro.engine.BatchEngine` does so
+on every committed batch when its ``backend`` is ``"vector"`` or
+``"auto"``).
+
+Addresses are carried in ``int64`` lanes, so widths above 62 bits (the
+IPv6 view is 64) cannot enter the SoA file; :meth:`VectorPlan.lookup_batch`
+transparently delegates such batches to the embedded scalar plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plan import LookupPlan
+
+__all__ = [
+    "VectorError",
+    "Lanes",
+    "BitmapView",
+    "DenseArrayView",
+    "SparseMapView",
+    "TcamMatrixView",
+    "VectorStepSpec",
+    "VectorPlan",
+    "compile_vector_plan",
+    "map_view",
+    "popcount64",
+    "MISS_HOP",
+    "DENSE_LIMIT",
+]
+
+
+class VectorError(ValueError):
+    """The program (or its backings) cannot be lowered to lane kernels."""
+
+
+#: Sentinel stored in result arrays for ``None`` (no-route) lanes.
+MISS_HOP: int = int(np.iinfo(np.int64).min)
+
+#: Largest key space a dict view is densified to; beyond it the
+#: sorted-key probe (:class:`SparseMapView`) is used instead.
+DENSE_LIMIT = 1 << 20
+
+#: Lanes per kernel invocation: bounds the footprint of broadcast
+#: intermediates (TCAM row matrices are ``lanes x rows``).
+DEFAULT_CHUNK = 4096
+
+#: Addresses must fit int64 lanes with headroom for shifts: widths
+#: above this delegate whole batches to the scalar plan.
+MAX_VECTOR_WIDTH = 62
+
+_INT_TYPES = (int, np.integer)
+_BOOL_TYPES = (bool, np.bool_)
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount64(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of a ``uint64`` array."""
+        return np.bitwise_count(values).astype(np.int64)
+else:  # numpy < 2.0 (the 3.9 CI cell): 16-bit lookup-table fallback
+    _POP16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                      dtype=np.uint8)
+
+    def popcount64(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of a ``uint64`` array."""
+        v = values.astype(np.uint64)
+        low = np.uint64(0xFFFF)
+        total = _POP16[(v & low).astype(np.int64)].astype(np.int64)
+        for shift in (16, 32, 48):
+            total += _POP16[((v >> np.uint64(shift)) & low).astype(np.int64)]
+        return total
+
+
+# ---------------------------------------------------------------------------
+# The SoA register file
+# ---------------------------------------------------------------------------
+
+
+class Lanes:
+    """A batch of CRAM register files in structure-of-arrays form.
+
+    Invariants:
+
+    * ``vals[reg][lane] == 0`` wherever ``none[reg][lane]`` is set, so
+      scalar truthiness lowers to ``vals != 0``;
+    * the object sidecar ``objs[reg]`` (allocated on demand) overrides
+      a lane's value when its entry is not ``None`` — only the scalar
+      bridge writes it.
+    """
+
+    __slots__ = ("n", "vals", "none", "objs")
+
+    def __init__(self, registers: Sequence[str], n: int):
+        self.n = n
+        self.vals: Dict[str, np.ndarray] = {
+            reg: np.zeros(n, dtype=np.int64) for reg in registers
+        }
+        self.none: Dict[str, np.ndarray] = {
+            reg: np.ones(n, dtype=bool) for reg in registers
+        }
+        self.objs: Dict[str, np.ndarray] = {}
+
+    # -- whole-register reads ------------------------------------------
+    def values(self, reg: str) -> np.ndarray:
+        """The value vector (``None`` lanes read 0, as in ``eval_expr``)."""
+        return self.vals[reg]
+
+    def is_none(self, reg: str) -> np.ndarray:
+        return self.none[reg]
+
+    def present(self, reg: str) -> np.ndarray:
+        """Lanes where the register ``is not None``."""
+        return ~self.none[reg]
+
+    def truthy(self, reg: str) -> np.ndarray:
+        """Scalar ``if state.get(reg):`` — None lanes hold 0, so one test."""
+        return self.vals[reg] != 0
+
+    # -- whole-register writes -----------------------------------------
+    def fill(self, reg: str, value: Any) -> None:
+        """Broadcast one scalar initial value to every lane."""
+        vals, none = self.vals[reg], self.none[reg]
+        if value is None:
+            vals[:] = 0
+            none[:] = True
+        elif isinstance(value, _BOOL_TYPES + _INT_TYPES):
+            vals[:] = int(value)
+            none[:] = False
+        else:
+            sidecar = np.empty(self.n, dtype=object)
+            sidecar[:] = [value] * self.n
+            self.objs[reg] = sidecar
+            vals[:] = 0
+            none[:] = False
+            return
+        self.objs.pop(reg, None)
+
+    def assign(self, reg: str, values, none=None) -> None:
+        """Assign every lane: values + optional none mask."""
+        vals, mask = self.vals[reg], self.none[reg]
+        vals[:] = values
+        if none is None:
+            mask[:] = False
+        else:
+            mask[:] = none
+            vals[mask] = 0
+        self.objs.pop(reg, None)
+
+    def assign_where(self, reg: str, where: np.ndarray, values,
+                     none=None) -> None:
+        """Assign only the lanes selected by ``where``."""
+        vals, mask = self.vals[reg], self.none[reg]
+        np.copyto(vals, values, where=where)
+        if none is None:
+            mask[where] = False
+        else:
+            np.copyto(mask, none, where=where)
+        vals[mask] = 0
+        sidecar = self.objs.get(reg)
+        if sidecar is not None:
+            sidecar[where] = None
+
+    # -- per-lane access (the scalar bridge) ---------------------------
+    def lane_value(self, reg: str, lane: int) -> Any:
+        sidecar = self.objs.get(reg)
+        if sidecar is not None:
+            value = sidecar[lane]
+            if value is not None:
+                return value
+        if self.none[reg][lane]:
+            return None
+        return int(self.vals[reg][lane])
+
+    def set_lane(self, reg: str, lane: int, value: Any) -> None:
+        sidecar = self.objs.get(reg)
+        if value is None:
+            self.none[reg][lane] = True
+            self.vals[reg][lane] = 0
+        elif isinstance(value, _BOOL_TYPES + _INT_TYPES):
+            try:
+                self.vals[reg][lane] = int(value)
+            except OverflowError:
+                self._set_lane_object(reg, lane, value)
+                return
+            self.none[reg][lane] = False
+        else:
+            self._set_lane_object(reg, lane, value)
+            return
+        if sidecar is not None:
+            sidecar[lane] = None
+
+    def _set_lane_object(self, reg: str, lane: int, value: Any) -> None:
+        sidecar = self.objs.get(reg)
+        if sidecar is None:
+            sidecar = self.objs[reg] = np.empty(self.n, dtype=object)
+        sidecar[lane] = value
+        self.none[reg][lane] = False
+        self.vals[reg][lane] = 0
+
+
+# ---------------------------------------------------------------------------
+# Vector table views (the vector_reader() contract)
+# ---------------------------------------------------------------------------
+#
+# A view answers `gather(keys, active) -> (vals, found)`:
+#   * `keys`   int64 lane vector (contents of inactive lanes ignored);
+#   * `active` bool mask of lanes that actually probe the table;
+#   * `vals`   int64 results, 0 wherever not found;
+#   * `found`  bool mask — the vector form of "result is not None"
+#     (implies active).
+# Views are immutable snapshots: building one freezes the table.
+
+
+class BitmapView:
+    """A packed bitmap: one ``uint8`` per slot, gathered by index."""
+
+    __slots__ = ("packed",)
+
+    def __init__(self, packed: np.ndarray):
+        self.packed = packed
+
+    def gather(self, keys: np.ndarray,
+               active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        idx = np.where(active, keys, 0)
+        vals = self.packed[idx].astype(np.int64)
+        vals[~active] = 0
+        # A clear bit is still a stored value: found == probed.
+        return vals, active.copy()
+
+
+class DenseArrayView:
+    """A dict view densified to index → value arrays (small key spaces)."""
+
+    __slots__ = ("dense", "present")
+
+    def __init__(self, dense: np.ndarray, present: np.ndarray):
+        self.dense = dense
+        self.present = present
+
+    def gather(self, keys: np.ndarray,
+               active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        idx = np.where(active, keys, 0)
+        found = active & self.present[idx]
+        vals = np.where(found, self.dense[idx], 0)
+        return vals, found
+
+
+class SparseMapView:
+    """A dict view as sorted keys + ``searchsorted`` probe (sparse keys)."""
+
+    __slots__ = ("keys", "data")
+
+    def __init__(self, keys: np.ndarray, data: np.ndarray):
+        self.keys = keys
+        self.data = data
+
+    def gather(self, keys: np.ndarray,
+               active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self.keys.size == 0:
+            zero = np.zeros(keys.shape, dtype=np.int64)
+            return zero, np.zeros(keys.shape, dtype=bool)
+        pos = np.searchsorted(self.keys, keys)
+        pos = np.minimum(pos, self.keys.size - 1)
+        found = active & (self.keys[pos] == keys)
+        vals = np.where(found, self.data[pos], 0)
+        return vals, found
+
+
+class TcamMatrixView:
+    """TCAM groups as ``(value, mask)`` row matrices, priority-ordered.
+
+    Rows are flattened in frozen group order (lowest ``(priority,
+    mask)`` first — the winning order), so the broadcast compare
+    ``(keys & mask) == value`` followed by ``argmax`` along the row
+    axis returns the highest-priority match per lane.
+    """
+
+    __slots__ = ("values_", "masks", "data")
+
+    def __init__(self, values: np.ndarray, masks: np.ndarray,
+                 data: np.ndarray):
+        self.values_ = values
+        self.masks = masks
+        self.data = data
+
+    def gather(self, keys: np.ndarray,
+               active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self.values_.size == 0:
+            zero = np.zeros(keys.shape, dtype=np.int64)
+            return zero, np.zeros(keys.shape, dtype=bool)
+        match = (keys[:, None] & self.masks[None, :]) == self.values_[None, :]
+        match &= active[:, None]
+        found = match.any(axis=1)
+        first = match.argmax(axis=1)
+        vals = np.where(found, self.data[first], 0)
+        return vals, found
+
+
+def _int_items(slots: Dict[int, Any]) -> Optional[List[Tuple[int, int]]]:
+    """``(key, value)`` pairs with int-like values, or None if any
+    stored value cannot live in an int64 lane (stored ``None`` means
+    "miss" and is simply dropped, matching the scalar reader)."""
+    items: List[Tuple[int, int]] = []
+    for key, value in slots.items():
+        if value is None:
+            continue
+        if isinstance(value, _BOOL_TYPES + _INT_TYPES):
+            items.append((int(key), int(value)))
+        else:
+            return None
+    return items
+
+
+def map_view(slots: Dict[int, Any], capacity: Optional[int] = None):
+    """A vector view over a dict: dense when the key space is small
+    enough (``capacity <= DENSE_LIMIT``), sorted-probe otherwise.
+
+    Returns ``None`` when the stored values are not int-like — the
+    lane compiler then bridges the step to its scalar closure.
+    """
+    items = _int_items(slots)
+    if items is None:
+        return None
+    if capacity is not None and 0 <= capacity <= DENSE_LIMIT:
+        dense = np.zeros(max(1, capacity), dtype=np.int64)
+        present = np.zeros(max(1, capacity), dtype=bool)
+        for key, value in items:
+            dense[key] = value
+            present[key] = True
+        return DenseArrayView(dense, present)
+    if not items:
+        empty = np.zeros(0, dtype=np.int64)
+        return SparseMapView(empty, empty)
+    items.sort()
+    keys = np.array([k for k, _v in items], dtype=np.int64)
+    data = np.array([v for _k, v in items], dtype=np.int64)
+    return SparseMapView(keys, data)
+
+
+# ---------------------------------------------------------------------------
+# Step lowering specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VectorStepSpec:
+    """How one CRAM step lowers to a lane kernel.
+
+    ``update(lanes, vals, found, active)`` is the array form of the
+    step's action.  With ``select`` set, the compiler gathers from the
+    step's table view first (``select(lanes) -> (keys, active)``;
+    ``active=None`` means every lane) and passes the results through;
+    a compute-only spec (``select=None``) receives ``(None, None,
+    None)`` and reads/gathers from the lanes itself.  ``reader``
+    overrides the view otherwise obtained from the table backing's
+    ``vector_reader()``.
+    """
+
+    update: Callable[[Lanes, Optional[np.ndarray], Optional[np.ndarray],
+                      Optional[np.ndarray]], None]
+    select: Optional[Callable[[Lanes], Tuple[np.ndarray,
+                                             Optional[np.ndarray]]]] = None
+    reader: Optional[Any] = None
+
+
+def _resolve_view(step) -> Optional[Any]:
+    table = getattr(step, "table", None)
+    backing = getattr(table, "backing", None)
+    vector_reader = getattr(backing, "vector_reader", None)
+    if callable(vector_reader):
+        return vector_reader()
+    return None
+
+
+def _compile_spec(step, spec: VectorStepSpec) -> Callable[[Lanes], None]:
+    update = spec.update
+    if spec.select is None:
+        def run_compute(lanes: Lanes) -> None:
+            update(lanes, None, None, None)
+        return run_compute
+    view = spec.reader if spec.reader is not None else _resolve_view(step)
+    if view is None:
+        raise VectorError(
+            f"step {step.name!r}: spec needs a table view but the backing "
+            "has no vector_reader()"
+        )
+    select = spec.select
+
+    def run_table(lanes: Lanes) -> None:
+        keys, active = select(lanes)
+        if active is None:
+            active = np.ones(lanes.n, dtype=bool)
+        vals, found = view.gather(keys, active)
+        update(lanes, vals, found, active)
+    return run_table
+
+
+def _compile_bridge(runners: Sequence[Callable[[dict], None]],
+                    registers: Sequence[str]) -> Callable[[Lanes], None]:
+    """Consecutive un-lowered steps as one per-lane gather/scatter
+    segment over the scalar plan's own runner closures."""
+    runners = tuple(runners)
+    registers = tuple(registers)
+
+    def run_bridge(lanes: Lanes) -> None:
+        lane_value = lanes.lane_value
+        set_lane = lanes.set_lane
+        for lane in range(lanes.n):
+            state = {reg: lane_value(reg, lane) for reg in registers}
+            for run in runners:
+                run(state)
+            for reg in registers:
+                set_lane(reg, lane, state.get(reg))
+    return run_bridge
+
+
+# ---------------------------------------------------------------------------
+# The vector plan
+# ---------------------------------------------------------------------------
+
+
+class VectorPlan:
+    """A compiled plan lowered to array-wide NumPy kernels.
+
+    ``lookup_batch`` returns an ``int64`` array with :data:`MISS_HOP`
+    in ``None`` lanes; ``lookup_batch_hops`` converts to the familiar
+    ``List[Optional[int]]``.  ``fully_lowered`` is True when every
+    step *and* the final hop extraction run as kernels — the condition
+    under which the engine's ``backend="auto"`` picks this plan.
+    """
+
+    MISS = MISS_HOP
+
+    def __init__(self, algo, plan: Optional[LookupPlan] = None,
+                 chunk: int = DEFAULT_CHUNK):
+        if chunk <= 0:
+            raise VectorError("chunk must be positive")
+        self.plan = plan if plan is not None else LookupPlan(algo)
+        program = self.plan.program
+        self.algorithm: str = self.plan.algorithm
+        self.width: int = self.plan.width
+        self._chunk = chunk
+        self._registers: Tuple[str, ...] = tuple(sorted(program.registers))
+        self._base: Dict[str, Any] = self.plan._base
+
+        specs: Dict[str, VectorStepSpec] = dict(algo.vector_specs())
+        kernels: List[Callable[[Lanes], None]] = []
+        lowered: List[str] = []
+        bridged: List[str] = []
+        pending: List[Tuple[str, Callable[[dict], None]]] = []
+
+        def flush_bridge() -> None:
+            if pending:
+                kernels.append(_compile_bridge(
+                    [runner for _name, runner in pending], self._registers))
+                bridged.extend(name for name, _runner in pending)
+                del pending[:]
+
+        for name, runner in zip(self.plan.step_names, self.plan._runners):
+            spec = specs.pop(name, None)
+            kernel = None
+            if spec is not None:
+                try:
+                    kernel = _compile_spec(program.step(name), spec)
+                except VectorError:
+                    kernel = None  # un-lowerable table: bridge the step
+            if kernel is None:
+                pending.append((name, runner))
+            else:
+                flush_bridge()
+                kernels.append(kernel)
+                lowered.append(name)
+        flush_bridge()
+        if specs:
+            raise VectorError(
+                f"vector_specs for unknown steps: {sorted(specs)}")
+
+        self._kernels = tuple(kernels)
+        #: Step names executed as lane kernels, in schedule order.
+        self.lowered_steps = tuple(lowered)
+        #: Step names served by the per-lane scalar bridge.
+        self.bridged_steps = tuple(bridged)
+
+        from ..algorithms.base import LookupAlgorithm
+        if (type(algo).vector_extract_hop
+                is not LookupAlgorithm.vector_extract_hop):
+            self._extract_vec = algo.vector_extract_hop
+            self.extract_mode = "vector"
+        elif (type(algo).cram_extract_hop
+                is LookupAlgorithm.cram_extract_hop):
+            self._extract_vec = _extract_hop_register
+            self.extract_mode = "vector"
+        else:
+            # A custom scalar extractor with no vector counterpart:
+            # run it per lane (the extraction analogue of the bridge).
+            self._extract_scalar = algo.cram_extract_hop
+            self._extract_vec = None
+            self.extract_mode = "scalar"
+
+        self._numpy_ok = self.width <= MAX_VECTOR_WIDTH
+        self.fully_lowered = (self._numpy_ok and not self.bridged_steps
+                              and self.extract_mode == "vector")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    @property
+    def lowered_fraction(self) -> float:
+        total = len(self.lowered_steps) + len(self.bridged_steps)
+        return len(self.lowered_steps) / total if total else 1.0
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[int]:
+        """One packet through the lane kernels (a batch of one)."""
+        return self.lookup_batch_hops([address])[0]
+
+    def lookup_batch(self, addresses) -> np.ndarray:
+        """A whole batch through the kernels.
+
+        Returns an ``int64`` array of next hops with :data:`MISS_HOP`
+        in no-route lanes.  Batches whose addresses cannot live in
+        int64 lanes (width > 62, or values >= 2**63) run through the
+        embedded scalar plan instead — same snapshot, same answers.
+        """
+        if not self._numpy_ok:
+            return self._scalar_batch(addresses)
+        try:
+            addrs = np.asarray(addresses, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return self._scalar_batch(addresses)
+        if addrs.ndim != 1:
+            raise VectorError("lookup_batch expects a 1-D address vector")
+        n = int(addrs.shape[0])
+        hops = np.empty(n, dtype=np.int64)
+        registers = self._registers
+        base_items = [(reg, value) for reg, value in self._base.items()
+                      if value is not None and reg != "addr"]
+        for start in range(0, n, self._chunk):
+            segment = addrs[start:start + self._chunk]
+            lanes = Lanes(registers, int(segment.shape[0]))
+            for reg, value in base_items:
+                lanes.fill(reg, value)
+            lanes.assign("addr", segment)
+            for kernel in self._kernels:
+                kernel(lanes)
+            vals, none = self._extract(lanes)
+            hops[start:start + self._chunk] = np.where(none, MISS_HOP, vals)
+        return hops
+
+    def lookup_batch_hops(self, addresses) -> List[Optional[int]]:
+        """:meth:`lookup_batch` as ``List[Optional[int]]`` (engine form)."""
+        hops = self.lookup_batch(addresses)
+        return [None if hop == MISS_HOP else hop for hop in hops.tolist()]
+
+    # ------------------------------------------------------------------
+    def _extract(self, lanes: Lanes) -> Tuple[np.ndarray, np.ndarray]:
+        if self._extract_vec is not None:
+            return self._extract_vec(lanes)
+        vals = np.zeros(lanes.n, dtype=np.int64)
+        none = np.zeros(lanes.n, dtype=bool)
+        registers = self._registers
+        lane_value = lanes.lane_value
+        extract = self._extract_scalar
+        for lane in range(lanes.n):
+            state = {reg: lane_value(reg, lane) for reg in registers}
+            hop = extract(state)
+            if hop is None:
+                none[lane] = True
+            else:
+                vals[lane] = hop
+        return vals, none
+
+    def _scalar_batch(self, addresses) -> np.ndarray:
+        hops = self.plan.lookup_batch([int(a) for a in addresses])
+        return np.array([MISS_HOP if hop is None else hop for hop in hops],
+                        dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Deterministic lowering summary (for telemetry and docs)."""
+        return {
+            "algorithm": self.algorithm,
+            "width": self.width,
+            "steps": len(self.plan.step_names),
+            "lowered_steps": list(self.lowered_steps),
+            "bridged_steps": list(self.bridged_steps),
+            "lowered_fraction": round(self.lowered_fraction, 4),
+            "extract_mode": self.extract_mode,
+            "fully_lowered": self.fully_lowered,
+        }
+
+
+def _extract_hop_register(lanes: Lanes) -> Tuple[np.ndarray, np.ndarray]:
+    """Default extraction: the ``hop`` register, vectorized."""
+    return lanes.values("hop"), lanes.is_none("hop")
+
+
+def compile_vector_plan(algo, plan: Optional[LookupPlan] = None,
+                        chunk: int = DEFAULT_CHUNK) -> VectorPlan:
+    """Lower ``algo``'s compiled plan into a :class:`VectorPlan`."""
+    return VectorPlan(algo, plan=plan, chunk=chunk)

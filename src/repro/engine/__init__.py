@@ -8,15 +8,20 @@ with multi-VRF sharding via :class:`VrfShardedEngine` (VRF-hash) and
 """
 
 from ..core.plan import LookupPlan, PlanError, compile_plan
+from ..core.vector import VectorError, VectorPlan, compile_vector_plan
 from .cache import FibCache
-from .engine import ENGINE_BATCH_BUCKETS, BatchEngine
+from .engine import ENGINE_BACKENDS, ENGINE_BATCH_BUCKETS, BatchEngine
 from .shard import RoundRobinEngine, VrfShardedEngine
 
 __all__ = [
     "LookupPlan",
     "PlanError",
     "compile_plan",
+    "VectorError",
+    "VectorPlan",
+    "compile_vector_plan",
     "FibCache",
+    "ENGINE_BACKENDS",
     "ENGINE_BATCH_BUCKETS",
     "BatchEngine",
     "RoundRobinEngine",

@@ -3,7 +3,11 @@
 :class:`BatchEngine` is the serving layer over one lookup structure:
 
 * packets run through a compiled :class:`~repro.core.plan.LookupPlan`
-  (one flat step array, no per-packet interpretation);
+  (one flat step array, no per-packet interpretation) — or, with
+  ``backend="vector"``/``"auto"``, through its lane-compiled
+  :class:`~repro.core.vector.VectorPlan`, where each step executes
+  once per batch as a NumPy kernel (``auto`` picks the vector plan
+  exactly when every step lowered);
 * an optional :class:`~repro.engine.cache.FibCache` answers hot
   addresses before the plan runs at all;
 * every lookup, batch, cache hit/miss, invalidation, and plan
@@ -24,14 +28,19 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core.plan import LookupPlan, compile_plan
+from ..core.vector import VectorPlan, compile_vector_plan
 from ..obs import MetricsRegistry
 from ..prefix.prefix import Prefix
 from .cache import FibCache
 
-__all__ = ["BatchEngine", "ENGINE_BATCH_BUCKETS"]
+__all__ = ["BatchEngine", "ENGINE_BATCH_BUCKETS", "ENGINE_BACKENDS"]
 
 #: Deterministic batch-size histogram bounds (packets per batch).
 ENGINE_BATCH_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+#: Valid ``backend=`` values: the scalar plan, the lane-compiled
+#: vector plan, or "vector when fully lowered, plan otherwise".
+ENGINE_BACKENDS = ("plan", "vector", "auto")
 
 
 class BatchEngine:
@@ -45,11 +54,15 @@ class BatchEngine:
         registry: Optional[MetricsRegistry] = None,
         name: str = "engine",
         cache_sample: int = 8,
+        backend: str = "plan",
     ):
+        if backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"backend {backend!r} not one of {ENGINE_BACKENDS}")
         self.name = name
         self.registry = registry or MetricsRegistry()
         self._algo = algo
-        self._plan: LookupPlan = compile_plan(algo)
+        self.backend = backend
         self.cache: Optional[FibCache] = (
             FibCache(cache_size, name=f"{name}-cache", sample=cache_sample)
             if cache_size else None
@@ -77,6 +90,34 @@ class BatchEngine:
         self._commits = reg.counter(
             "repro_engine_commits_total",
             "Managed-runtime commits observed, by outcome.")
+        self._backend_gauge = reg.gauge(
+            "repro_engine_backend",
+            "Active execution backend (1 on the active engine/backend "
+            "label pair).")
+        self._lowered_gauge = reg.gauge(
+            "repro_engine_vector_lowered_steps",
+            "Steps the lane compiler lowered to batch kernels.")
+        self._bridged_gauge = reg.gauge(
+            "repro_engine_vector_bridged_steps",
+            "Steps served by the vector plan's per-lane scalar bridge.")
+        self._plan: LookupPlan
+        self._vector: Optional[VectorPlan] = None
+        self._compile()
+
+    def _compile(self) -> None:
+        """(Re)compile the scalar plan — and the vector plan when the
+        backend can use it — then refresh the lowering gauges."""
+        self._plan = compile_plan(self._algo)
+        if self.backend != "plan":
+            self._vector = compile_vector_plan(self._algo, plan=self._plan)
+            self._lowered_gauge.set(len(self._vector.lowered_steps),
+                                    engine=self.name)
+            self._bridged_gauge.set(len(self._vector.bridged_steps),
+                                    engine=self.name)
+        active = self.active_backend
+        for backend in ENGINE_BACKENDS:
+            self._backend_gauge.set(1 if backend == active else 0,
+                                    engine=self.name, backend=backend)
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +128,23 @@ class BatchEngine:
     @property
     def plan(self) -> LookupPlan:
         return self._plan
+
+    @property
+    def vector_plan(self) -> Optional[VectorPlan]:
+        """The lane-compiled plan (None when ``backend="plan"``)."""
+        return self._vector
+
+    @property
+    def active_backend(self) -> str:
+        """Which plan cache misses actually run through: ``"vector"``
+        when forced or when ``auto`` found every step lowered,
+        ``"plan"`` otherwise."""
+        if self.backend == "vector":
+            return "vector"
+        if self.backend == "auto" and self._vector is not None \
+                and self._vector.fully_lowered:
+            return "vector"
+        return "plan"
 
     # ------------------------------------------------------------------
     # Data path
@@ -100,7 +158,10 @@ class BatchEngine:
                 self._cache_hits.inc(1, engine=self.name)
                 return hop
             self._cache_misses.inc(1, engine=self.name)
-        hop = self._plan.lookup(address)
+        if self.active_backend == "vector":
+            hop = self._vector.lookup(address)
+        else:
+            hop = self._plan.lookup(address)
         if cache is not None:
             cache.put(address, hop)
             self._cache_entries.set(len(cache), engine=self.name)
@@ -113,21 +174,45 @@ class BatchEngine:
         self._lookups.inc(n, engine=self.name)
         cache = self.cache
         if cache is None:
+            if self.active_backend == "vector":
+                return self._vector.lookup_batch_hops(addresses)
             return self._plan.lookup_batch(addresses)
-        plan_lookup = self._plan.lookup
         probe = cache.probe
         put = cache.put
-        results: List[Optional[int]] = []
-        append = results.append
-        hits = 0
-        for address in addresses:
-            hit, hop = probe(address)
-            if not hit:
-                hop = plan_lookup(address)
-                put(address, hop)
-            else:
-                hits += 1
-            append(hop)
+        if self.active_backend == "vector":
+            # Probe the cache first, then run every miss through the
+            # lane kernels as ONE batch and scatter the answers back.
+            results: List[Optional[int]] = [None] * n
+            miss_slots: List[int] = []
+            miss_addrs: List[int] = []
+            hits = 0
+            for i, address in enumerate(addresses):
+                hit, hop = probe(address)
+                if hit:
+                    results[i] = hop
+                    hits += 1
+                else:
+                    miss_slots.append(i)
+                    miss_addrs.append(address)
+            if miss_addrs:
+                for i, address, hop in zip(
+                        miss_slots, miss_addrs,
+                        self._vector.lookup_batch_hops(miss_addrs)):
+                    put(address, hop)
+                    results[i] = hop
+        else:
+            plan_lookup = self._plan.lookup
+            results = []
+            append = results.append
+            hits = 0
+            for address in addresses:
+                hit, hop = probe(address)
+                if not hit:
+                    hop = plan_lookup(address)
+                    put(address, hop)
+                else:
+                    hits += 1
+                append(hop)
         self._cache_hits.inc(hits, engine=self.name)
         self._cache_misses.inc(n - hits, engine=self.name)
         self._cache_entries.set(len(cache), engine=self.name)
@@ -146,7 +231,7 @@ class BatchEngine:
         """
         if algo is not None:
             self._algo = algo
-        self._plan = compile_plan(self._algo)
+        self._compile()
         self._recompiles.inc(1, engine=self.name)
         cache = self.cache
         if cache is not None:

@@ -45,6 +45,7 @@ class VrfShardedEngine:
         cache_size: int = 0,
         registry: Optional[MetricsRegistry] = None,
         name: str = "vrf-engine",
+        backend: str = "plan",
     ):
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -58,6 +59,7 @@ class VrfShardedEngine:
         self.registry = registry or MetricsRegistry()
         self._factory = factory
         self._cache_size = cache_size
+        self._backend = backend
         self._vrfs: Dict[int, Fib] = {}
         # Per shard: the coalesced tag-widened FIB and its engine
         # (None until the shard has a VRF).
@@ -104,6 +106,7 @@ class VrfShardedEngine:
                 cache_size=self._cache_size,
                 registry=self.registry,
                 name=f"{self.name}-s{shard}",
+                backend=self._backend,
             )
         else:
             # Unknown extent (a whole VRF changed): full invalidation.
@@ -167,6 +170,7 @@ class RoundRobinEngine:
         cache_size: int = 0,
         registry: Optional[MetricsRegistry] = None,
         name: str = "rr-engine",
+        backend: str = "plan",
     ):
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -174,7 +178,7 @@ class RoundRobinEngine:
         self.registry = registry or MetricsRegistry()
         self._engines = [
             BatchEngine(algo, cache_size=cache_size, registry=self.registry,
-                        name=f"{name}-s{i}")
+                        name=f"{name}-s{i}", backend=backend)
             for i in range(replicas)
         ]
         self._next = 0

@@ -172,6 +172,24 @@ class DLeftHashTable(Generic[V]):
             flat[key] = data
         return flat.get
 
+    def vector_reader(self):
+        """Batch-gather snapshot view for the lane compiler.
+
+        Flattens the sub-tables like :meth:`plan_reader`, then builds a
+        sorted-key probe view (d-left key spaces are far too wide to
+        densify).  ``None`` when stored data is not int-like.
+        """
+        from ..core.vector import map_view
+
+        flat = {}
+        for subtable in self._buckets:
+            for bucket in subtable:
+                for key, data in bucket:
+                    flat[key] = data
+        for key, data in self._overflow:
+            flat[key] = data
+        return map_view(flat)
+
     def lookup(self, key: int) -> Optional[V]:
         """Exact-match lookup across the d candidate buckets."""
         stats = self.stats

@@ -20,6 +20,7 @@ from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
 
 import numpy as np
 
+from ..core.vector import BitmapView, map_view
 from ..obs.accounting import AccessStats
 
 V = TypeVar("V")
@@ -86,6 +87,16 @@ class DirectIndexTable(Generic[V]):
         """
         return dict(self._slots).get
 
+    def vector_reader(self):
+        """A batch-gather snapshot view for the lane compiler.
+
+        Dense index → value arrays when the key space is small enough,
+        a sorted-key probe view otherwise; ``None`` when the stored
+        values are not int-like (the plan then bridges to scalar).
+        Frozen like :meth:`plan_reader` — recompile after updates.
+        """
+        return map_view(self._slots, capacity=self.capacity)
+
     def sram_bits(self) -> int:
         """Full directly-indexed footprint, populated or not."""
         return self.capacity * self.data_width
@@ -141,6 +152,10 @@ class ExactMatchTable(Generic[V]):
         """Uninstrumented snapshot reader (see :meth:`DirectIndexTable.plan_reader`)."""
         return dict(self._slots).get
 
+    def vector_reader(self):
+        """Batch-gather snapshot view (see :meth:`DirectIndexTable.vector_reader`)."""
+        return map_view(self._slots, capacity=1 << self.key_width)
+
     def sram_bits(self) -> int:
         return len(self._slots) * (self.key_width + self.data_width)
 
@@ -193,6 +208,14 @@ class Bitmap:
         """
         packed = self._bits.tobytes()
         return lambda index: packed[index] != 0
+
+    def vector_reader(self):
+        """Batch-gather snapshot view: one ``uint8`` per slot.
+
+        The copy freezes the bitmap like :meth:`plan_reader`; the lane
+        compiler gathers whole index vectors from it in one fancy-index.
+        """
+        return BitmapView(self._bits.astype(np.uint8))
 
     def sram_bits(self) -> int:
         """One bit per slot, populated or not."""

@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
+import numpy as np
+
+from ..core.vector import TcamMatrixView
 from ..obs.accounting import AccessStats
 from ..prefix.prefix import Prefix
 
@@ -166,6 +169,37 @@ class TcamTable(Generic[V]):
             return None
 
         return search
+
+    def vector_reader(self):
+        """Batch-search snapshot view for the lane compiler.
+
+        Rows are flattened in frozen group order — lowest ``(priority,
+        mask)`` first, the winning order — so a broadcast masked
+        compare plus first-match ``argmax`` answers a whole lane vector
+        at once.  At most one row per group can match a key (the masked
+        value is exact within a group), so within-group row order is
+        immaterial.  Returns ``None`` when the associated data is not
+        int-like; mutations after the snapshot are invisible, exactly
+        like :meth:`plan_reader`.
+        """
+        if not self._index_fresh:
+            self._rebuild_index()
+        values: List[int] = []
+        masks: List[int] = []
+        data: List[int] = []
+        for group_key in self._group_order:
+            _priority, mask = group_key
+            for masked_value, entry in self._groups[group_key].items():
+                if not isinstance(entry.data, (bool, int, np.integer)):
+                    return None
+                values.append(masked_value)
+                masks.append(mask)
+                data.append(int(entry.data))
+        return TcamMatrixView(
+            np.array(values, dtype=np.int64),
+            np.array(masks, dtype=np.int64),
+            np.array(data, dtype=np.int64),
+        )
 
     def _rebuild_index(self) -> None:
         self._groups = {}

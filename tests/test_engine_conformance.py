@@ -6,6 +6,7 @@ three execution paths:
 * the native ``algo.lookup`` walk,
 * the per-packet CRAM interpreter (``algo.cram_lookup``),
 * the compiled batch plan (``repro.core.plan``),
+* the lane-compiled vector plan (``repro.core.vector``),
 
 with and without the engine's FIB cache, before and after a churn
 batch lands through :class:`repro.control.ManagedFib` — all against
@@ -32,7 +33,7 @@ from repro.algorithms import (
     Sail,
 )
 from repro.control import CapacityGuard, ChurnGenerator, ManagedFib
-from repro.core import compile_plan
+from repro.core import compile_plan, compile_vector_plan
 from repro.datasets import mixed_addresses
 from repro.engine import BatchEngine
 from repro.prefix import Fib, Prefix
@@ -53,6 +54,10 @@ MAKERS = {
     "resail": lambda fib: Resail(fib, min_bmp=13),
 }
 IPV4_ONLY = {"sail", "resail"}
+
+#: Schemes whose every step lowers to lane kernels (no scalar bridge);
+#: the others still conform through the vector plan's mixed mode.
+VECTOR_FAST = {"sail", "resail", "dxr", "multibit", "poptrie"}
 
 #: FIB sizes per width — big enough to populate every structure level,
 #: small enough that the full 9-algorithm sweep stays quick.
@@ -107,6 +112,13 @@ class TestConformance:
         # expensive, so probe a deterministic subset.
         for address in addresses[:: max(1, len(addresses) // 16)]:
             assert algo.cram_lookup(address) == fib.lookup(address)
+        # The lane compiler must agree whole-batch, and the schemes it
+        # claims to fully lower must actually have no bridged steps.
+        vplan = compile_vector_plan(algo, plan=plan)
+        expected = [fib.lookup(a) for a in addresses]
+        assert vplan.lookup_batch_hops(addresses) == expected
+        if name in VECTOR_FAST:
+            assert vplan.fully_lowered, vplan.describe()
 
     def test_engine_cache_on_off_agree(self, name, width):
         fib = random_fib(width, FIB_SIZES[width], seed=width + 7)
@@ -122,6 +134,15 @@ class TestConformance:
         assert cached.lookup_batch(addresses) == expected
         assert cached.lookup_batch(addresses) == expected
         assert cached.cache.stats.hits > 0
+        # Same matrix through the vector backend.
+        vec_plain = BatchEngine(MAKERS[name](fib), backend="vector")
+        vec_cached = BatchEngine(MAKERS[name](fib), backend="vector",
+                                 cache_size=len(addresses))
+        assert vec_plain.active_backend == "vector"
+        assert vec_plain.lookup_batch(addresses) == expected
+        assert vec_cached.lookup_batch(addresses) == expected
+        assert vec_cached.lookup_batch(addresses) == expected
+        assert vec_cached.cache.stats.hits > 0
 
     def test_post_churn_conformance(self, name, width):
         base = random_fib(width, FIB_SIZES[width], seed=width + 13)
@@ -133,7 +154,8 @@ class TestConformance:
                               dleft_overflow_limit=1 << 30)
         managed = ManagedFib(MAKERS[name], base, guard=guard)
         engine = BatchEngine.over_managed(managed, cache_size=64,
-                                          name=f"conf-{name}")
+                                          name=f"conf-{name}",
+                                          backend="auto")
         addresses = addresses_for(base, seed=width + 14)
         engine.lookup_batch(addresses)  # populate the cache pre-churn
         landed = 0
@@ -151,3 +173,8 @@ class TestConformance:
             assert plan.lookup(address) == expected, hex(address)
         for address, hop in engine.cache.items():
             assert hop == oracle.lookup(address), hex(address)
+        # A freshly lane-compiled plan sees the post-churn snapshot too
+        # (the engine's auto backend recompiled its own on every commit).
+        vplan = compile_vector_plan(managed.algo)
+        expected = [oracle.lookup(a) for a in addresses]
+        assert vplan.lookup_batch_hops(addresses) == expected

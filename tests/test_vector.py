@@ -1,0 +1,381 @@
+"""The lane compiler: SoA register file, vector views, snapshots.
+
+Conformance of the vector plan against the oracle is covered by
+``test_engine_conformance.py``; this file tests the machinery itself —
+:class:`~repro.core.vector.Lanes` invariants, the ``gather`` contract
+of each view, snapshot isolation (a compiled vector plan must keep
+answering from its frozen tables until recompiled), the ``MISS_HOP``
+sentinel convention, scalar delegation for over-wide addresses, and
+the engine's ``backend`` knob.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import HiBst, LogicalTcam, MultibitTrie, Sail
+from repro.control import ChurnGenerator, ManagedFib
+from repro.core import (
+    MISS_HOP,
+    VectorError,
+    VectorStepSpec,
+    compile_plan,
+    compile_vector_plan,
+)
+from repro.core.vector import (
+    DENSE_LIMIT,
+    BitmapView,
+    DenseArrayView,
+    Lanes,
+    SparseMapView,
+    TcamMatrixView,
+    map_view,
+    popcount64,
+)
+from repro.engine import BatchEngine
+from repro.prefix import Fib, Prefix
+
+
+def small_v4_fib():
+    fib = Fib(32)
+    fib.insert(Prefix.from_bits(0x0A, 8, 32), 1)        # 10.0.0.0/8
+    fib.insert(Prefix.from_bits(0x0A01, 16, 32), 2)     # 10.1.0.0/16
+    fib.insert(Prefix.from_bits(0xC0A801, 24, 32), 3)   # 192.168.1.0/24
+    fib.insert(Prefix.from_bits(0xC0A80180 >> 6, 26, 32), 4)
+    return fib
+
+
+def small_v8_fib():
+    fib = Fib(8)
+    fib.insert(Prefix.from_bits(0b1, 1, 8), 1)
+    fib.insert(Prefix.from_bits(0b1010, 4, 8), 2)
+    fib.insert(Prefix.from_bits(0b00110011, 8, 8), 3)
+    return fib
+
+
+# ---------------------------------------------------------------------------
+# Lanes: the SoA register file
+# ---------------------------------------------------------------------------
+
+
+class TestLanes:
+    def test_none_lanes_hold_zero(self):
+        lanes = Lanes(["r"], 4)
+        lanes.assign("r", np.array([5, 6, 7, 8]),
+                     none=np.array([False, True, False, True]))
+        assert lanes.values("r").tolist() == [5, 0, 7, 0]
+        assert lanes.is_none("r").tolist() == [False, True, False, True]
+        assert lanes.truthy("r").tolist() == [True, False, True, False]
+        assert lanes.present("r").tolist() == [True, False, True, False]
+
+    def test_assign_where_masks_and_clears(self):
+        lanes = Lanes(["r"], 4)
+        lanes.fill("r", 9)
+        where = np.array([True, False, True, False])
+        lanes.assign_where("r", where, np.array([1, 2, 3, 4]),
+                           none=np.array([False, True, True, True]))
+        # Unselected lanes keep their value; selected lane 2 went None.
+        assert lanes.lane_value("r", 0) == 1
+        assert lanes.lane_value("r", 1) == 9
+        assert lanes.lane_value("r", 2) is None
+        assert lanes.values("r")[2] == 0  # sentinel invariant
+
+    def test_fill_none_and_roundtrip(self):
+        lanes = Lanes(["r"], 3)
+        lanes.fill("r", None)
+        assert all(lanes.lane_value("r", i) is None for i in range(3))
+        lanes.set_lane("r", 1, 42)
+        assert lanes.lane_value("r", 1) == 42
+        lanes.set_lane("r", 1, None)
+        assert lanes.lane_value("r", 1) is None
+
+    def test_object_sidecar_for_unrepresentable_values(self):
+        lanes = Lanes(["r"], 2)
+        lanes.set_lane("r", 0, 1 << 70)      # overflows int64
+        lanes.set_lane("r", 1, ("node", 3))  # not an int at all
+        assert lanes.lane_value("r", 0) == 1 << 70
+        assert lanes.lane_value("r", 1) == ("node", 3)
+        # A vector write through the same register clears the sidecar.
+        lanes.assign("r", np.array([7, 8]))
+        assert lanes.lane_value("r", 0) == 7
+
+
+# ---------------------------------------------------------------------------
+# Vector table views
+# ---------------------------------------------------------------------------
+
+
+class TestViews:
+    def test_bitmap_view_found_equals_probed(self):
+        view = BitmapView(np.array([0, 1, 0, 1], dtype=np.uint8))
+        keys = np.array([0, 1, 2, 3])
+        active = np.array([True, True, False, True])
+        vals, found = view.gather(keys, active)
+        assert vals.tolist() == [0, 1, 0, 1]
+        assert found.tolist() == [True, True, False, True]
+
+    def test_dense_view_distinguishes_zero_from_absent(self):
+        view = map_view({0: 0, 2: 5}, capacity=4)
+        assert isinstance(view, DenseArrayView)
+        vals, found = view.gather(np.array([0, 1, 2, 3]),
+                                  np.ones(4, dtype=bool))
+        assert found.tolist() == [True, False, True, False]
+        assert vals.tolist() == [0, 0, 5, 0]
+
+    def test_sparse_view_probe_and_empty(self):
+        view = map_view({1 << 30: 7, 5: 2})  # no capacity: sparse
+        assert isinstance(view, SparseMapView)
+        vals, found = view.gather(np.array([5, 6, 1 << 30]),
+                                  np.ones(3, dtype=bool))
+        assert vals.tolist() == [2, 0, 7]
+        assert found.tolist() == [True, False, True]
+        empty = map_view({}, capacity=DENSE_LIMIT + 1)
+        vals, found = empty.gather(np.array([3]), np.ones(1, dtype=bool))
+        assert not found.any() and vals.tolist() == [0]
+
+    def test_map_view_rejects_non_int_values(self):
+        assert map_view({1: ("obj",)}) is None
+        # Stored None means miss and is dropped, like the scalar reader.
+        view = map_view({1: None, 2: 9}, capacity=4)
+        _vals, found = view.gather(np.array([1, 2]), np.ones(2, dtype=bool))
+        assert found.tolist() == [False, True]
+
+    def test_tcam_view_first_row_wins(self):
+        # Row 0 is the higher-priority (longer) match by construction.
+        view = TcamMatrixView(
+            values=np.array([0b1010_0000, 0b1000_0000], dtype=np.int64),
+            masks=np.array([0b1111_0000, 0b1100_0000], dtype=np.int64),
+            data=np.array([1, 2], dtype=np.int64))
+        keys = np.array([0b1010_1010, 0b1001_0000, 0b0000_0001])
+        vals, found = view.gather(keys, np.ones(3, dtype=bool))
+        assert vals.tolist() == [1, 2, 0]
+        assert found.tolist() == [True, True, False]
+
+    def test_popcount64_matches_python(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 63, size=64, dtype=np.int64)
+        values = values.astype(np.uint64)
+        values[0] = np.uint64(0)
+        values[1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        expected = [bin(int(v)).count("1") for v in values.tolist()]
+        assert popcount64(values).tolist() == expected
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: LookupPlan.lookup_batch(out=...)
+# ---------------------------------------------------------------------------
+
+
+def test_plan_lookup_batch_out_does_not_accumulate():
+    fib = small_v8_fib()
+    plan = compile_plan(LogicalTcam(fib))
+    first = list(range(0, 256, 2))
+    second = list(range(1, 256, 2))
+    reused = []
+    got = plan.lookup_batch(first, out=reused)
+    assert got is reused and len(reused) == len(first)
+    got = plan.lookup_batch(second, out=reused)
+    # The second batch must replace — not extend — the reused list.
+    assert got is reused and len(reused) == len(second)
+    assert reused == [fib.lookup(a) for a in second]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation: plans freeze their tables at compile time
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotIsolation:
+    def test_sail_bitmap_and_sram_mutation(self):
+        fib = small_v4_fib()
+        algo = Sail(fib)
+        plan = compile_plan(algo)
+        vplan = compile_vector_plan(algo, plan=plan)
+        addr = 0x0A020304  # 10.2.3.4 -> /8, hop 1
+        assert vplan.lookup(addr) == 1
+        # Mutate the live structure (bitmaps + hop arrays + chunks).
+        algo.insert(Prefix.from_bits(0x0A02, 16, 32), 7)
+        algo.insert(Prefix.from_bits(addr >> 4, 28, 32), 8)
+        assert algo.lookup(addr) == 8          # native sees the update
+        assert plan.lookup(addr) == 1          # scalar snapshot is stale
+        assert vplan.lookup(addr) == 1         # vector snapshot is stale
+        assert compile_vector_plan(algo).lookup(addr) == 8
+
+    def test_tcam_mutation(self):
+        fib = small_v8_fib()
+        algo = LogicalTcam(fib)
+        vplan = compile_vector_plan(algo)
+        addr = 0b10110001
+        assert vplan.lookup(addr) == 1  # /1 match
+        algo.insert(Prefix.from_bits(0b1011, 4, 8), 9)
+        assert algo.lookup(addr) == 9
+        assert vplan.lookup(addr) == 1  # frozen TCAM matrices
+        assert compile_vector_plan(algo).lookup(addr) == 9
+
+    def test_delete_is_also_invisible_until_recompile(self):
+        fib = small_v8_fib()
+        algo = LogicalTcam(fib)
+        vplan = compile_vector_plan(algo)
+        addr = 0b10100000
+        assert vplan.lookup(addr) == 2
+        algo.delete(Prefix.from_bits(0b1010, 4, 8))
+        assert algo.lookup(addr) == 1
+        assert vplan.lookup(addr) == 2
+        assert compile_vector_plan(algo).lookup(addr) == 1
+
+
+# ---------------------------------------------------------------------------
+# The vector plan: sentinels, chunking, delegation, lowering errors
+# ---------------------------------------------------------------------------
+
+
+class TestVectorPlan:
+    def test_miss_sentinel_and_hops_conversion(self):
+        fib = Fib(8)
+        fib.insert(Prefix.from_bits(0b1, 1, 8), 5)
+        vplan = compile_vector_plan(MultibitTrie(fib, [4, 4]))
+        hops = vplan.lookup_batch([0b10000000, 0b00000001])
+        assert hops.dtype == np.int64
+        assert hops.tolist() == [5, MISS_HOP]
+        assert vplan.lookup_batch_hops([0b10000000, 0b00000001]) == [5, None]
+        assert vplan.lookup(0b00000001) is None
+
+    def test_chunked_execution_matches_unchunked(self):
+        fib = small_v8_fib()
+        algo = MultibitTrie(fib, [4, 4])
+        whole = compile_vector_plan(algo)
+        tiny = compile_vector_plan(algo, chunk=7)
+        addresses = list(range(256))
+        assert tiny.lookup_batch_hops(addresses) == \
+            whole.lookup_batch_hops(addresses)
+
+    def test_wide_addresses_delegate_to_scalar_plan(self):
+        fib = Fib(64)
+        fib.insert(Prefix.from_bits(0b1, 1, 64), 3)
+        vplan = compile_vector_plan(LogicalTcam(fib))
+        assert not vplan.fully_lowered  # 64-bit lanes cannot enter SoA
+        addresses = [1 << 63, (1 << 63) | 5, 17]
+        assert vplan.lookup_batch_hops(addresses) == [3, 3, None]
+
+    def test_mixed_mode_reports_bridged_steps(self):
+        fib = small_v8_fib()
+        vplan = compile_vector_plan(HiBst(fib))
+        info = vplan.describe()
+        assert not info["fully_lowered"]
+        assert info["bridged_steps"]  # the BST walk runs over the bridge
+        assert 0.0 <= info["lowered_fraction"] <= 1.0
+
+    def test_unknown_spec_names_raise(self):
+        class BadTcam(LogicalTcam):
+            def vector_specs(self):
+                return {"no_such_step": VectorStepSpec(
+                    lambda lanes, vals, found, active: None)}
+
+        with pytest.raises(VectorError, match="unknown steps"):
+            compile_vector_plan(BadTcam(small_v8_fib()))
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(VectorError):
+            compile_vector_plan(LogicalTcam(small_v8_fib()), chunk=0)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: None-lane masking against the trie oracle
+# ---------------------------------------------------------------------------
+
+
+prefix_lists = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=8),   # length
+              st.integers(min_value=0, max_value=255),  # raw bits
+              st.integers(min_value=0, max_value=31)),  # hop
+    min_size=0, max_size=24)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prefix_lists)
+def test_multibit_vector_masks_match_oracle(entries):
+    fib = Fib(8)
+    for length, bits, hop in entries:
+        fib.insert(Prefix.from_bits(bits & ((1 << length) - 1), length, 8),
+                   hop)
+    vplan = compile_vector_plan(MultibitTrie(fib, [4, 4]))
+    addresses = list(range(256))
+    raw = vplan.lookup_batch(addresses)
+    for address, value in zip(addresses, raw.tolist()):
+        expected = fib.lookup(address)
+        if expected is None:  # no-route lanes carry the sentinel...
+            assert value == MISS_HOP
+        else:                 # ...and routed lanes the exact hop
+            assert value == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(prefix_lists)
+def test_bridged_vector_masks_match_oracle(entries):
+    fib = Fib(8)
+    for length, bits, hop in entries:
+        fib.insert(Prefix.from_bits(bits & ((1 << length) - 1), length, 8),
+                   hop)
+    vplan = compile_vector_plan(HiBst(fib))  # mixed mode: scalar bridge
+    addresses = list(range(256))
+    assert vplan.lookup_batch_hops(addresses) == \
+        [fib.lookup(a) for a in addresses]
+
+
+# ---------------------------------------------------------------------------
+# The engine's backend knob
+# ---------------------------------------------------------------------------
+
+
+class TestEngineBackend:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            BatchEngine(LogicalTcam(small_v8_fib()), backend="simd")
+
+    def test_backend_gauge_and_auto_fallback(self):
+        fib = small_v8_fib()
+        vec = BatchEngine(MultibitTrie(fib, [4, 4]), backend="vector",
+                          name="vec")
+        assert vec.active_backend == "vector"
+        gauge = vec.registry.gauge("repro_engine_backend")
+        assert gauge.value(engine="vec", backend="vector") == 1
+        assert gauge.value(engine="vec", backend="plan") == 0
+        # auto drops to the scalar plan when steps bridged (HiBst)...
+        auto = BatchEngine(HiBst(fib), backend="auto", name="auto")
+        assert auto.active_backend == "plan"
+        assert auto.vector_plan is not None
+        # ...but still serves correct answers if forced to vector.
+        forced = BatchEngine(HiBst(fib), backend="vector")
+        addresses = list(range(256))
+        assert forced.lookup_batch(addresses) == \
+            [fib.lookup(a) for a in addresses]
+
+    def test_lowering_gauges_published(self):
+        fib = small_v8_fib()
+        engine = BatchEngine(MultibitTrie(fib, [4, 4]), backend="vector",
+                             name="low")
+        reg = engine.registry
+        lowered = reg.gauge("repro_engine_vector_lowered_steps")
+        bridged = reg.gauge("repro_engine_vector_bridged_steps")
+        assert lowered.value(engine="low") == \
+            len(engine.vector_plan.lowered_steps)
+        assert bridged.value(engine="low") == 0
+
+    def test_commit_recompiles_vector_plan(self):
+        base = small_v8_fib()
+        managed = ManagedFib(lambda fib: LogicalTcam(fib), base)
+        engine = BatchEngine.over_managed(managed, cache_size=16,
+                                          backend="vector", name="churned")
+        addresses = list(range(256))
+        engine.lookup_batch(addresses)  # warm the cache pre-churn
+        before = engine.vector_plan
+        landed = 0
+        for batch in ChurnGenerator(base, seed=3).batches(10, 5):
+            if managed.apply_batch(batch) != "batch_rolled_back":
+                landed += 1
+        assert landed > 0
+        assert engine.vector_plan is not before  # recompiled on commit
+        oracle = managed.oracle
+        assert engine.lookup_batch(addresses) == \
+            [oracle.lookup(a) for a in addresses]
