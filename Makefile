@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test ci conformance bench bench-smoke bench-vector \
-        examples clean
+        bench-serve examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,9 +20,13 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	$(PYTHON) -m repro serve --smoke --algo resail --seed 7 \
 	    --metrics-out benchmarks/results/serve_smoke_metrics.json
 	$(PYTHON) -m repro serve --smoke --algo sail --backend vector --seed 7
+	$(PYTHON) -m repro serve --smoke --algo resail --workers 2 \
+	    --max-batch 64 --max-wait 1.0 --seed 7
+	$(PYTHON) -m repro bench-serve --smoke --seed 7 \
+	    --out benchmarks/results/serve_concurrency_cli.json
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
-	    benchmarks/bench_throughput.py -q
+	    benchmarks/bench_throughput.py benchmarks/bench_serve.py -q
 
 conformance:      ## wide-width engine conformance sweep (CI's slow job)
 	$(PYTHON) -m pytest tests/test_engine_conformance.py -q -m slow
@@ -36,6 +40,10 @@ bench-smoke:      ## fast shape check on 2%-scale databases (~30 s)
 bench-vector:     ## lane-compiler gate: vector >= 3x scalar plan
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_throughput.py -q -k vector
+
+bench-serve:      ## serving gate: coalesced >= 2x sequential
+	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
+	    benchmarks/bench_serve.py -q
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

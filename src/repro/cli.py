@@ -325,6 +325,132 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
+    """``repro serve --workers N``: the coalesced concurrent frontend.
+
+    Producer threads submit small requests; the
+    :class:`~repro.server.LookupServer` coalesces them into engine
+    batches while the main thread interleaves managed churn.  Every
+    answered request is checked against the oracle *as of the serving
+    epoch its batch executed under* — per-epoch snapshots are recorded
+    by a commit listener — so the spot checks stay exact under churn.
+    """
+    import threading
+
+    from .control import ChurnGenerator, ManagedFib, PROFILES
+    from .datasets import skewed_addresses
+    from .server import LookupServer, ServerError
+
+    if args.vrfs > 0 or args.policy == "vrf-hash":
+        raise SystemExit("serve: --workers does not combine with VRF "
+                         "sharding (use the synchronous path)")
+
+    managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
+                         registry=registry, check_seed=args.seed)
+    server = LookupServer(managed=managed, workers=args.workers,
+                          max_batch=args.max_batch,
+                          max_wait_s=args.max_wait / 1000.0,
+                          overload=args.overload, mode=args.mode,
+                          cache_size=args.cache, backend=args.backend,
+                          name="serve")
+    # Registered after the server's own listener, so by the time this
+    # runs the epoch is already bumped: snapshot keys match the epochs
+    # the workers tag onto batches.
+    snapshots = {0: Fib(base.width, list(base))}
+
+    def record_snapshot(outcome, algo, touched):
+        snapshots[server.epoch] = Fib(base.width, list(managed.oracle))
+
+    managed.add_commit_listener(record_snapshot)
+
+    addresses = skewed_addresses(base, args.requests, seed=args.seed)
+    request_size = max(1, min(16, args.max_batch))
+    chunks = [addresses[i:i + request_size]
+              for i in range(0, len(addresses), request_size)]
+    producers = min(4, max(1, args.workers))
+    handles: List[Optional[object]] = [None] * len(chunks)
+
+    def produce(lane: int) -> None:
+        for idx in range(lane, len(chunks), producers):
+            handles[idx] = server.submit(chunks[idx])
+
+    generator = (ChurnGenerator(base, seed=args.seed,
+                                profile=PROFILES[args.profile])
+                 if args.churn_ops else None)
+    engine_batches = max(1, -(-len(addresses) // args.batch))
+    churn_batches = (engine_batches // args.churn_every
+                     if generator is not None and args.churn_every else 0)
+    pacing = threading.Event()  # never set: .wait() is a pure sleep
+
+    with server, registry.timer("repro_serve_batch"):
+        threads = [threading.Thread(target=produce, args=(lane,),
+                                    name=f"serve-client-{lane}")
+                   for lane in range(producers)]
+        for thread in threads:
+            thread.start()
+        for _ in range(churn_batches):
+            if not any(t.is_alive() for t in threads):
+                break
+            managed.apply_batch(list(generator.ops(args.churn_ops)))
+            pacing.wait(0.001)
+        for thread in threads:
+            thread.join()
+        server.flush()
+        mismatches = straddled = shed = checked = 0
+        position = 0
+        for handle in handles:
+            try:
+                hops = handle.result(timeout=120)
+            except ServerError:
+                shed += 1
+                position += len(handle.addresses)
+                continue
+            lo, hi = handle.epoch_span
+            if lo != hi:
+                # Split across a commit; each half was consistent with
+                # its own epoch but the handle only records the last.
+                straddled += 1
+                position += len(handle.addresses)
+                continue
+            oracle = snapshots[hi]
+            for i, address in enumerate(handle.addresses):
+                if args.check_every and (position + i) % args.check_every == 0:
+                    checked += 1
+                    if hops[i] != oracle.lookup(address):
+                        mismatches += 1
+            position += len(handle.addresses)
+
+    serve_s = registry.timings_snapshot().get(
+        "repro_serve_batch", {}).get("total_s", 0.0) or 1e-9
+    snap = registry.snapshot()
+    batch_count = snap["counters"].get(
+        "repro_server_batches_total", {}).get(f'{{server="serve"}}', 0)
+    print(f"serve: algo={args.algo} policy=coalesced mode={args.mode} "
+          f"backend={args.backend} workers={args.workers} "
+          f"requests={len(addresses)} request_size={request_size} "
+          f"max_batch={args.max_batch} max_wait={args.max_wait}ms "
+          f"cache={args.cache} seed={args.seed}")
+    for eng in server.engines():
+        print(f"  worker {eng.name}: backend {eng.active_backend}")
+    print(f"  coalesced: {len(chunks)} requests into {batch_count} batches, "
+          f"{shed} shed, {straddled} commit-straddled")
+    print(f"  churn: {managed.log.batches_total} batches committed, "
+          f"serving epoch {server.epoch}, health={managed.health}")
+    print(f"  throughput: {len(addresses) / serve_s:,.0f} lookups/s "
+          f"({serve_s * 1e3:.1f} ms serving)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json(include_timings=True))
+            handle.write("\n")
+    if mismatches:
+        print(f"serve: {mismatches} spot-check mismatches against the "
+              "epoch oracle")
+        return 1
+    print(f"  spot-checks: {checked} answers verified against per-epoch "
+          "oracle snapshots, all consistent")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a skewed lookup workload through the batch engine."""
     from .control import ChurnGenerator, ManagedFib, PROFILES
@@ -345,6 +471,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
         base = maker(scale=args.scale)
+
+    if args.workers:
+        return _serve_concurrent(args, base, MetricsRegistry())
 
     policy = args.policy
     if policy == "auto":
@@ -445,6 +574,163 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 1
     print(f"  spot-checks: every {args.check_every} requests verified "
           "against the oracle, all consistent")
+    return 0
+
+
+def run_bench_serve(
+    base: Fib,
+    algo_name: str,
+    *,
+    requests: int = 20000,
+    workers: int = 4,
+    max_batch: int = 512,
+    max_wait_s: float = 0.002,
+    request_size: int = 16,
+    producers: int = 8,
+    window: int = 32,
+    backend: str = "auto",
+    seed: int = 0,
+    registry=None,
+):
+    """Closed-loop serving benchmark: sequential vs coalesced concurrent.
+
+    The baseline serves the same Zipf workload one request at a time
+    through a single engine (the un-coalesced path a naive frontend
+    would take).  The concurrent side runs ``producers`` closed-loop
+    clients, each keeping ``window`` requests outstanding against a
+    :class:`~repro.server.LookupServer`.  Returns the ``values`` /
+    ``timings`` dict the JSON sidecar and the CI gate consume; shared
+    by ``repro bench-serve`` and ``benchmarks/bench_serve.py``.
+    """
+    import threading
+
+    from .datasets import skewed_addresses
+    from .engine import BatchEngine
+    from .obs import MetricsRegistry
+    from .server import LookupServer
+
+    if registry is None:
+        registry = MetricsRegistry()
+    algo = _build(algo_name, base)
+    addresses = skewed_addresses(base, requests, seed=seed)
+
+    sequential = BatchEngine(algo, backend="plan", registry=registry,
+                             name="bench-seq")
+    with registry.timer("repro_bench_serve_sequential"):
+        for address in addresses:
+            sequential.lookup_batch([address])
+
+    chunks = [addresses[i:i + request_size]
+              for i in range(0, len(addresses), request_size)]
+    server = LookupServer(algo, workers=workers, max_batch=max_batch,
+                          max_wait_s=max_wait_s, backend=backend,
+                          registry=registry, name="bench-serve")
+    errors: List[BaseException] = []
+
+    def produce(lane: int) -> None:
+        outstanding = []
+        try:
+            for idx in range(lane, len(chunks), producers):
+                outstanding.append(server.submit(chunks[idx]))
+                if len(outstanding) >= window:
+                    outstanding.pop(0).result(timeout=120)
+            for handle in outstanding:
+                handle.result(timeout=120)
+        except BaseException as exc:  # noqa: BLE001 — surface to caller
+            errors.append(exc)
+
+    with server:
+        with registry.timer("repro_bench_serve_concurrent"):
+            threads = [threading.Thread(target=produce, args=(lane,),
+                                        name=f"bench-client-{lane}")
+                       for lane in range(producers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        backend_used = server.active_backend
+    if errors:
+        raise errors[0]
+
+    timings = registry.timings_snapshot()
+    sequential_s = timings["repro_bench_serve_sequential"]["total_s"] or 1e-9
+    concurrent_s = timings["repro_bench_serve_concurrent"]["total_s"] or 1e-9
+    return {
+        "values": {
+            "algo": algo_name,
+            "backend": backend_used,
+            "max_batch": max_batch,
+            "producers": producers,
+            "request_size": request_size,
+            "requests": len(addresses),
+            "window": window,
+            "workers": workers,
+            "speedup_threshold_x": 2.0,
+        },
+        "timings": {
+            "sequential_s": sequential_s,
+            "concurrent_s": concurrent_s,
+            "sequential_lookups_per_s": len(addresses) / sequential_s,
+            "concurrent_lookups_per_s": len(addresses) / concurrent_s,
+            "speedup_x": sequential_s / concurrent_s,
+        },
+    }
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Closed-loop load generator: coalesced serving vs sequential."""
+    import json
+    import pathlib
+
+    from .obs import MetricsRegistry
+
+    if args.smoke:
+        args.scale = 0.001
+        args.requests = 4000
+
+    if args.fib:
+        base = load_fib(args.fib)
+    else:
+        maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
+        base = maker(scale=args.scale)
+
+    registry = MetricsRegistry()
+    doc = run_bench_serve(
+        base, args.algo, requests=args.requests, workers=args.workers,
+        max_batch=args.max_batch, max_wait_s=args.max_wait / 1000.0,
+        request_size=args.request_size, producers=args.producers,
+        window=args.window, backend=args.backend, seed=args.seed,
+        registry=registry)
+    doc["values"]["speedup_threshold_x"] = args.threshold
+    timings = doc["timings"]
+    print(f"bench-serve: algo={args.algo} backend={doc['values']['backend']} "
+          f"base={len(base)} prefixes requests={doc['values']['requests']} "
+          f"workers={args.workers} producers={args.producers} "
+          f"window={args.window} request_size={args.request_size} "
+          f"max_batch={args.max_batch} max_wait={args.max_wait}ms "
+          f"seed={args.seed}")
+    print(f"  sequential: {timings['sequential_lookups_per_s']:,.0f} "
+          f"lookups/s ({timings['sequential_s'] * 1e3:.1f} ms)")
+    print(f"  coalesced:  {timings['concurrent_lookups_per_s']:,.0f} "
+          f"lookups/s ({timings['concurrent_s'] * 1e3:.1f} ms)")
+    print(f"  speedup: {timings['speedup_x']:.1f}x "
+          f"(threshold {args.threshold:.1f}x)")
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    sidecar = {
+        "bench": out.stem,
+        "values": doc["values"],
+        "timings": doc["timings"],
+        "metrics": registry.snapshot(),
+        "wall_timings": registry.timings_snapshot(),
+    }
+    out.write_text(json.dumps(sidecar, indent=2, sort_keys=True,
+                              default=str) + "\n")
+    print(f"  wrote {out}")
+    if args.threshold and timings["speedup_x"] < args.threshold:
+        print(f"bench-serve: speedup below the {args.threshold:.1f}x "
+              "threshold")
+        return 1
     return 0
 
 
@@ -686,12 +972,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-every", type=int, default=64,
                    help="differentially spot-check every Nth request "
                         "(0 disables)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="serve through the concurrent coalescing frontend "
+                        "with this many workers (0: synchronous path)")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="coalescer batch-size flush trigger (--workers)")
+    p.add_argument("--max-wait", type=float, default=2.0,
+                   help="coalescer deadline flush trigger in "
+                        "milliseconds (--workers)")
+    p.add_argument("--mode", choices=["thread", "process"],
+                   default="thread",
+                   help="worker pool kind for --workers (process mode "
+                        "ships FIB snapshots at each commit)")
+    p.add_argument("--overload", choices=["block", "shed"],
+                   default="block",
+                   help="backpressure policy when the worker queue is "
+                        "full (--workers)")
     p.add_argument("--smoke", action="store_true",
                    help="CI smoke mode: small table, 4k requests, churn on")
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the engine metrics registry (including "
                         "wall-clock timings) as JSON to FILE")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load generator: coalesced vs sequential serving",
+        description="Serve the same seeded Zipf workload two ways — one "
+                    "request at a time through a single engine, then "
+                    "through the concurrent coalescing frontend under "
+                    "closed-loop producers — and report the throughput "
+                    "ratio; writes a machine-readable JSON sidecar.",
+    )
+    p.add_argument("--algo", default="resail",
+                   choices=sorted(ALGORITHM_FACTORIES))
+    p.add_argument("--family", choices=["v4", "v6"], default="v4")
+    p.add_argument("--fib", help="FIB file to serve (overrides synthesis)")
+    p.add_argument("--scale", type=float, default=0.002,
+                   help="synthetic table scale (default 0.002)")
+    p.add_argument("--requests", type=int, default=20000,
+                   help="total lookups per side")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--producers", type=int, default=8,
+                   help="closed-loop client threads")
+    p.add_argument("--window", type=int, default=32,
+                   help="outstanding requests per client")
+    p.add_argument("--request-size", type=int, default=16,
+                   help="addresses per client request")
+    p.add_argument("--max-batch", type=int, default=512)
+    p.add_argument("--max-wait", type=float, default=2.0,
+                   help="coalescer deadline in milliseconds")
+    p.add_argument("--backend", choices=["plan", "vector", "auto"],
+                   default="auto")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="fail unless coalesced/sequential throughput "
+                        "ratio reaches this (0 disables)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI smoke mode: tiny table, 4k requests")
+    p.add_argument("--out", metavar="FILE",
+                   default="benchmarks/results/serve_concurrency.json",
+                   help="JSON sidecar path")
+    p.set_defaults(func=cmd_bench_serve)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
     p.add_argument("--year", type=int, default=2033)

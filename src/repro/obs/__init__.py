@@ -24,6 +24,7 @@ from .accounting import (
     export_access_stats,
     hot_table_report,
 )
+from .clock import Clock, FakeClock, MonotonicClock, TimerHandle
 from .registry import (
     LATENCY_BUCKETS_S,
     Counter,
@@ -46,7 +47,11 @@ __all__ = [
     "enable_hit_tracking",
     "export_access_stats",
     "hot_table_report",
+    "Clock",
+    "FakeClock",
     "LATENCY_BUCKETS_S",
+    "MonotonicClock",
+    "TimerHandle",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,45 @@
+"""Concurrent serving frontend over the batch engines.
+
+Layers, bottom-up:
+
+* :mod:`repro.server.coalescer` — FIFO request coalescing with a
+  size-or-deadline flush trigger and future-like per-request handles;
+* :mod:`repro.server.pool` — the :class:`CommitGate` readers/writer
+  gate plus :class:`ThreadWorkerPool`, N engine replicas over one
+  bounded queue with block/shed backpressure;
+* :mod:`repro.server.procpool` — the same contract over forked
+  processes with FIB-snapshot shipping at each commit;
+* :mod:`repro.server.server` — :class:`LookupServer`, the facade that
+  wires the pieces to :class:`~repro.control.ManagedFib` commits and
+  :class:`~repro.obs.MetricsRegistry` telemetry.
+
+See ``docs/serving.md`` for the architecture and consistency model.
+"""
+
+from .coalescer import (
+    CoalescedBatch,
+    PendingLookup,
+    RequestCoalescer,
+    RequestShed,
+    ServerClosed,
+    ServerError,
+)
+from .pool import CommitGate, ThreadWorkerPool
+from .procpool import ProcessWorkerPool, fib_snapshot
+from .server import SERVER_MODES, SERVER_OVERLOAD_POLICIES, LookupServer
+
+__all__ = [
+    "CoalescedBatch",
+    "CommitGate",
+    "LookupServer",
+    "PendingLookup",
+    "ProcessWorkerPool",
+    "RequestCoalescer",
+    "RequestShed",
+    "SERVER_MODES",
+    "SERVER_OVERLOAD_POLICIES",
+    "ServerClosed",
+    "ServerError",
+    "ThreadWorkerPool",
+    "fib_snapshot",
+]

@@ -1,0 +1,313 @@
+"""Request coalescing: many small requests in, engine-sized batches out.
+
+The serving frontend's traffic shaper.  Logical clients submit single
+addresses or small batches; the coalescer packs them — in strict FIFO
+order — into batches of at most ``max_batch`` addresses and hands each
+batch to a ``sink`` (the worker pool) when either trigger fires:
+
+* **size** — the open batch reached ``max_batch`` addresses;
+* **deadline** — ``max_wait_s`` elapsed since the first address
+  entered the open batch (armed through a :class:`repro.obs.Clock`,
+  so tests drive it with a :class:`repro.obs.FakeClock` and never
+  sleep on the wall clock).
+
+Each submission returns a :class:`PendingLookup` — a future-like
+handle that resolves once every address it carried has been answered.
+A request larger than the space left in the open batch spans batches;
+results are scattered back by slot, so a request's answers always come
+back in its own submission order no matter how it was split.
+
+The sink returns ``False`` to refuse a batch (shed-on-overload); the
+coalescer then fails that batch's requests with :class:`RequestShed`
+so callers never hang.  Every *accepted* request is resolved exactly
+once: answered, shed, or — on a non-draining close — failed with
+:class:`ServerClosed`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs.clock import Clock, MonotonicClock, TimerHandle
+
+__all__ = [
+    "ServerError",
+    "ServerClosed",
+    "RequestShed",
+    "PendingLookup",
+    "CoalescedBatch",
+    "RequestCoalescer",
+]
+
+
+class ServerError(RuntimeError):
+    """Base class for serving-frontend failures."""
+
+
+class ServerClosed(ServerError):
+    """The server is shut down (or shutting down without draining)."""
+
+
+class RequestShed(ServerError):
+    """The request was dropped by the overload policy."""
+
+
+class PendingLookup:
+    """A future for one submitted request's next hops.
+
+    ``result()`` blocks until every address is answered and returns
+    the hops in submission order.  ``epoch`` records the serving epoch
+    (commit generation) the answers were computed under — when a
+    request spans a commit boundary, the *last* scatter wins and
+    ``epoch_span`` exposes the full ``(min, max)`` window.
+    """
+
+    __slots__ = ("addresses", "submitted_at", "epoch", "deliveries",
+                 "_hops", "_remaining", "_event", "_error", "_epoch_min")
+
+    def __init__(self, addresses: Sequence[int], submitted_at: float):
+        self.addresses = list(addresses)
+        self.submitted_at = submitted_at
+        self.epoch: Optional[int] = None
+        self._epoch_min: Optional[int] = None
+        #: Scatter calls that landed on this handle (tests assert on
+        #: it: a non-spanning request must see exactly one delivery).
+        self.deliveries = 0
+        self._hops: List[Optional[int]] = [None] * len(self.addresses)
+        self._remaining = len(self.addresses)
+        self._event = threading.Event()
+        self._error: Optional[BaseException] = None
+        if not self.addresses:
+            self._event.set()
+
+    # -- completion side (coalescer / worker pool) ---------------------
+    def _scatter(self, offset: int, hops: Sequence[Optional[int]],
+                 epoch: Optional[int]) -> bool:
+        """Deliver one batch's share; True when the request completed."""
+        if self._event.is_set():
+            # Already failed (shed/closed) or — a bug — double-served.
+            if self._error is None:
+                raise AssertionError(
+                    f"duplicate delivery to a completed request "
+                    f"(offset {offset}, {len(hops)} hops)")
+            return False
+        self.deliveries += 1
+        self._hops[offset:offset + len(hops)] = hops
+        self._remaining -= len(hops)
+        if epoch is not None:
+            self.epoch = epoch
+            self._epoch_min = epoch if self._epoch_min is None \
+                else min(self._epoch_min, epoch)
+        if self._remaining <= 0:
+            self._event.set()
+            return True
+        return False
+
+    def _fail(self, error: BaseException) -> bool:
+        """Resolve the request with an error (idempotent)."""
+        if self._event.is_set():
+            return False
+        self._error = error
+        self._event.set()
+        return True
+
+    # -- caller side ---------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    @property
+    def epoch_span(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self._epoch_min, self.epoch)
+
+    def result(self, timeout: Optional[float] = None) -> List[Optional[int]]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not served within {timeout}s "
+                f"({self._remaining}/{len(self.addresses)} pending)")
+        if self._error is not None:
+            raise self._error
+        return list(self._hops)
+
+
+class CoalescedBatch:
+    """One engine-sized batch plus the scatter map back to requests.
+
+    ``parts`` entries are ``(handle, handle_offset, batch_offset,
+    count)``: the slice ``hops[batch_offset:batch_offset+count]``
+    answers ``handle.addresses[handle_offset:handle_offset+count]``.
+    """
+
+    __slots__ = ("addresses", "parts", "reason")
+
+    def __init__(self, addresses: List[int],
+                 parts: List[Tuple[PendingLookup, int, int, int]],
+                 reason: str):
+        self.addresses = addresses
+        self.parts = parts
+        self.reason = reason
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def complete(self, hops: Sequence[Optional[int]],
+                 epoch: Optional[int] = None) -> List[PendingLookup]:
+        """Scatter answers back; returns the handles that finished."""
+        if len(hops) != len(self.addresses):
+            raise ValueError(
+                f"batch of {len(self.addresses)} answered with "
+                f"{len(hops)} hops")
+        finished = []
+        for handle, handle_offset, batch_offset, count in self.parts:
+            if handle._scatter(handle_offset,
+                               hops[batch_offset:batch_offset + count],
+                               epoch):
+                finished.append(handle)
+        return finished
+
+    def fail(self, error: BaseException) -> List[PendingLookup]:
+        """Fail every request with a part in this batch."""
+        return [handle for handle, *_ in self.parts if handle._fail(error)]
+
+
+class RequestCoalescer:
+    """FIFO size-or-deadline batching in front of a batch sink."""
+
+    def __init__(
+        self,
+        sink: Callable[[CoalescedBatch], bool],
+        *,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        clock: Optional[Clock] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._sink = sink
+        self._lock = threading.Lock()
+        # The open batch being packed.
+        self._addresses: List[int] = []
+        self._parts: List[Tuple[PendingLookup, int, int, int]] = []
+        self._timer: Optional[TimerHandle] = None
+        # Cut batches awaiting dispatch, drained FIFO under _out_lock
+        # so sink order matches cut order even with many submitters.
+        self._outbox: List[CoalescedBatch] = []
+        self._out_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_addresses(self) -> int:
+        """Addresses sitting in the open (not yet cut) batch."""
+        with self._lock:
+            return len(self._addresses)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, addresses: Sequence[int]) -> PendingLookup:
+        """Queue one request; returns its result handle.
+
+        Raises :class:`ServerClosed` (before accepting anything) once
+        the coalescer is closed.
+        """
+        handle = PendingLookup(addresses, self.clock.now())
+        if not handle.addresses:
+            return handle  # trivially complete
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("coalescer is closed")
+            offset, n = 0, len(handle.addresses)
+            while offset < n:
+                take = min(self.max_batch - len(self._addresses), n - offset)
+                self._parts.append(
+                    (handle, offset, len(self._addresses), take))
+                self._addresses.extend(handle.addresses[offset:offset + take])
+                offset += take
+                if len(self._addresses) >= self.max_batch:
+                    self._cut("size")
+            self._manage_deadline()
+        self._drain_outbox()
+        return handle
+
+    def flush(self, reason: str = "manual") -> None:
+        """Cut the open batch now, regardless of size or deadline."""
+        with self._lock:
+            if self._addresses:
+                self._cut(reason)
+        self._drain_outbox()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; flush (or fail) the open batch."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            if self._addresses:
+                if drain:
+                    self._cut("drain", arm=False)
+                else:
+                    error = ServerClosed("server closed before serving")
+                    for handle, *_ in self._parts:
+                        handle._fail(error)
+                    self._addresses, self._parts = [], []
+        self._drain_outbox()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cut(self, reason: str, arm: bool = True) -> None:
+        """Move the open batch to the outbox (lock held by caller)."""
+        self._outbox.append(
+            CoalescedBatch(self._addresses, self._parts, reason))
+        self._addresses, self._parts = [], []
+        if arm:
+            self._manage_deadline()
+
+    def _manage_deadline(self) -> None:
+        """Arm the deadline for a newly-opened batch, cancel for an
+        empty one (lock held by caller)."""
+        if self._addresses and self._timer is None:
+            self._timer = self.clock.call_at(
+                self.clock.now() + self.max_wait_s, self._on_deadline)
+        elif not self._addresses and self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_deadline(self) -> None:
+        with self._lock:
+            self._timer = None
+            if self._closed:
+                return
+            if self._addresses:
+                self._cut("deadline")
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> None:
+        """Dispatch cut batches FIFO.  ``_out_lock`` serialises the
+        sink (dispatch order == cut order); a sink that blocks — the
+        worker queue under the "block" backpressure policy — therefore
+        blocks the flusher, which is exactly the backpressure we want.
+        """
+        with self._out_lock:
+            while True:
+                with self._lock:
+                    if not self._outbox:
+                        return
+                    batch = self._outbox.pop(0)
+                if not self._sink(batch):
+                    batch.fail(RequestShed(
+                        f"overloaded: batch of {len(batch)} shed"))

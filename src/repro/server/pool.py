@@ -1,0 +1,234 @@
+"""Worker pool: coalesced batches in, scattered answers out.
+
+:class:`ThreadWorkerPool` runs N worker threads, each owning its own
+:class:`~repro.engine.BatchEngine` replica (own compiled plan, own
+FIB cache — no shared mutable state between workers, mirroring
+:class:`~repro.engine.RoundRobinEngine`).  Batches flow through one
+bounded queue; the NumPy lane kernels release the GIL on the hot
+gathers, so workers genuinely overlap on the vector backend.
+
+Backpressure is the queue bound plus a policy:
+
+* ``"block"`` — :meth:`submit` blocks until a slot frees (the
+  coalescer's dispatcher stalls, submitters pile up behind its lock:
+  classic end-to-end backpressure);
+* ``"shed"`` — :meth:`submit` returns ``False`` immediately and the
+  coalescer fails the batch's requests with ``RequestShed``.
+
+Consistency is the :class:`CommitGate`: workers execute every batch
+inside a *read* section; a commit takes the *write* side, which waits
+for in-flight batches to finish, swaps/refreshes every replica, bumps
+the serving epoch, and only then lets new batches through.  A batch
+therefore executes entirely within one epoch — it can never observe a
+half-applied update.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional, Sequence
+
+from .coalescer import CoalescedBatch, PendingLookup, ServerError
+
+__all__ = ["CommitGate", "ThreadWorkerPool"]
+
+#: Queue sentinel asking a worker to exit (after draining ahead of it).
+_STOP = object()
+
+
+class CommitGate:
+    """A readers/writer gate: batches are readers, commits are writers.
+
+    Writer-preferring: once a commit is waiting, new batches queue up
+    behind it, so a steady request stream cannot starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    # Reader side -------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # Writer side -------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # Context-manager sugar --------------------------------------------
+    class _Section:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def read(self) -> "_Section":
+        return self._Section(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Section":
+        return self._Section(self.acquire_write, self.release_write)
+
+
+class ThreadWorkerPool:
+    """N engine replicas pulling coalesced batches off a bounded queue."""
+
+    def __init__(
+        self,
+        engines: Sequence,
+        *,
+        queue_depth: int = 32,
+        overload: str = "block",
+        gate: Optional[CommitGate] = None,
+        epoch_of: Optional[Callable[[], int]] = None,
+        on_done: Optional[Callable[[CoalescedBatch,
+                                    List[PendingLookup]], None]] = None,
+        on_depth: Optional[Callable[[int], None]] = None,
+        on_error: Optional[Callable[[CoalescedBatch,
+                                     BaseException], None]] = None,
+    ):
+        if not engines:
+            raise ValueError("need at least one worker engine")
+        if overload not in ("block", "shed"):
+            raise ValueError(f"unknown overload policy {overload!r}")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.engines = list(engines)
+        self.overload = overload
+        self.gate = gate if gate is not None else CommitGate()
+        self._epoch_of = epoch_of or (lambda: 0)
+        self._on_done = on_done
+        self._on_depth = on_depth
+        self._on_error = on_error
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self.engines)
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i, engine in enumerate(self.engines):
+            thread = threading.Thread(
+                target=self._run, args=(engine,),
+                name=f"repro-serve-w{i}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def submit(self, batch: CoalescedBatch) -> bool:
+        """Enqueue a batch; ``False`` means the shed policy refused it."""
+        if not self._started or self._closed:
+            raise ServerError("worker pool is not running")
+        if self.overload == "shed":
+            try:
+                self._queue.put_nowait(batch)
+            except queue.Full:
+                return False
+        else:
+            self._queue.put(batch)
+        self._note_depth()
+        return True
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        ``drain=True`` lets every queued batch finish first (the stop
+        sentinels queue FIFO behind them); ``drain=False`` fails the
+        queued batches with :class:`ServerError` and stops as soon as
+        the in-flight ones complete.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        if not drain:
+            error = ServerError("server closed before serving")
+            while True:
+                try:
+                    batch = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if batch is not _STOP:
+                    batch.fail(error)
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._note_depth()
+
+    # ------------------------------------------------------------------
+    def on_commit(self, outcome: str, algo, touched) -> None:
+        """Refresh every replica after a landed commit.
+
+        Must be called with the gate's write side held (the server's
+        commit handler does), so no batch is mid-execution.
+        """
+        for engine in self.engines:
+            engine.on_commit(outcome, algo, touched)
+
+    # ------------------------------------------------------------------
+    def _note_depth(self) -> None:
+        if self._on_depth is not None:
+            self._on_depth(self._queue.qsize())
+
+    def _run(self, engine) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is _STOP:
+                return
+            self._note_depth()
+            try:
+                with self.gate.read():
+                    # The epoch is stable for the whole read section —
+                    # commits bump it only under the write side.
+                    epoch = self._epoch_of()
+                    hops = engine.lookup_batch(batch.addresses)
+            except BaseException as exc:  # noqa: BLE001 — fail, don't hang
+                batch.fail(exc)
+                if self._on_error is not None:
+                    self._on_error(batch, exc)
+                continue
+            finished = batch.complete(hops, epoch)
+            if self._on_done is not None:
+                self._on_done(batch, finished)

@@ -1,0 +1,280 @@
+"""Process workers: engine replicas in forked children.
+
+Thread workers share one interpreter; for pure-Python structures whose
+lookups never release the GIL, :class:`ProcessWorkerPool` runs each
+replica in its own forked process instead.  The protocol is built on
+*snapshot shipping*: a worker never shares memory with the committed
+structure — it holds its own rebuild from the last shipped FIB
+snapshot (``(bits, length, hop)`` triples), compiles its own plan, and
+serves address batches over a bounded per-worker task queue.
+
+Consistency matches the thread pool exactly, enforced at the dispatch
+side:
+
+* batches are dispatched inside the :class:`~repro.server.pool.CommitGate`
+  read section and tagged with the serving epoch;
+* a commit (gate write side held by the server) waits for every
+  in-flight batch to come back, ships the new snapshot to every
+  worker, and waits for their acks — per-worker queues are FIFO, so a
+  worker can never serve a post-commit batch from a pre-commit table.
+
+Requires the ``fork`` start method (no pickling of factories; the
+child inherits the code image).  On platforms without it the
+constructor raises :class:`~repro.server.coalescer.ServerError` and
+callers fall back to threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_mod
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .coalescer import CoalescedBatch, PendingLookup, ServerError
+from .pool import CommitGate
+
+__all__ = ["ProcessWorkerPool", "fib_snapshot"]
+
+#: ``(bits, length, hop)`` triples — the wire format of a FIB snapshot.
+Snapshot = List[Tuple[int, int, int]]
+
+
+def fib_snapshot(fib) -> Snapshot:
+    """Serialise a :class:`~repro.prefix.Fib` into plain triples."""
+    return [(prefix.bits, prefix.length, hop) for prefix, hop in fib]
+
+
+def _build_engine(width: int, factory, snapshot: Snapshot,
+                  backend: str, cache_size: int):
+    from ..engine.engine import BatchEngine
+    from ..prefix.prefix import Prefix
+    from ..prefix.trie import Fib
+
+    fib = Fib(width)
+    for bits, length, hop in snapshot:
+        fib.insert(Prefix.from_bits(bits, length, width), hop)
+    return BatchEngine(factory(fib), backend=backend, cache_size=cache_size)
+
+
+def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
+                 backend: str, cache_size: int, task_q, result_q) -> None:
+    """Child body: rebuild from snapshots, answer address batches."""
+    engine = _build_engine(width, factory, snapshot, backend, cache_size)
+    while True:
+        message = task_q.get()
+        kind = message[0]
+        if kind == "stop":
+            result_q.put(("bye", worker_idx))
+            return
+        if kind == "snapshot":
+            engine = _build_engine(width, factory, message[1],
+                                   backend, cache_size)
+            result_q.put(("ack", worker_idx))
+            continue
+        _kind, batch_id, addresses = message
+        try:
+            hops = engine.lookup_batch(addresses)
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            result_q.put(("error", batch_id, repr(exc)))
+        else:
+            result_q.put(("hops", batch_id, hops))
+
+
+class ProcessWorkerPool:
+    """Round-robin dispatch over N forked engine replicas."""
+
+    def __init__(
+        self,
+        width: int,
+        factory: Callable,
+        snapshot: Snapshot,
+        *,
+        workers: int = 2,
+        queue_depth: int = 32,
+        overload: str = "block",
+        gate: Optional[CommitGate] = None,
+        epoch_of: Optional[Callable[[], int]] = None,
+        on_done: Optional[Callable[[CoalescedBatch,
+                                    List[PendingLookup]], None]] = None,
+        on_depth: Optional[Callable[[int], None]] = None,
+        on_error: Optional[Callable[[CoalescedBatch,
+                                     BaseException], None]] = None,
+        backend: str = "plan",
+        cache_size: int = 0,
+        ack_timeout_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if overload not in ("block", "shed"):
+            raise ValueError(f"unknown overload policy {overload!r}")
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX
+            raise ServerError(
+                "process workers need the fork start method") from exc
+        self.gate = gate if gate is not None else CommitGate()
+        self.overload = overload
+        self._epoch_of = epoch_of or (lambda: 0)
+        self._on_done = on_done
+        self._on_depth = on_depth
+        self._on_error = on_error
+        self._ack_timeout_s = ack_timeout_s
+        self._task_qs = [self._ctx.Queue(queue_depth)
+                         for _ in range(workers)]
+        self._result_q = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(i, width, factory, snapshot, backend, cache_size,
+                      self._task_qs[i], self._result_q),
+                name=f"repro-serve-p{i}", daemon=True)
+            for i in range(workers)
+        ]
+        self._collector: Optional[threading.Thread] = None
+        self._ids = itertools.count()
+        self._rr = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: Dict[int, Tuple[CoalescedBatch, int]] = {}
+        self._acks = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def alive(self) -> bool:
+        return any(p.is_alive() for p in self._procs)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for proc in self._procs:
+            proc.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True)
+        self._collector.start()
+
+    def submit(self, batch: CoalescedBatch) -> bool:
+        """Dispatch a batch to the next worker (inside the gate)."""
+        if not self._started or self._closed:
+            raise ServerError("worker pool is not running")
+        with self.gate.read():
+            epoch = self._epoch_of()
+            with self._lock:
+                batch_id = next(self._ids)
+                worker = self._rr
+                self._rr = (self._rr + 1) % len(self._procs)
+                self._inflight[batch_id] = (batch, epoch)
+            message = ("batch", batch_id, batch.addresses)
+            if self.overload == "shed":
+                try:
+                    self._task_qs[worker].put_nowait(message)
+                except queue_mod.Full:
+                    with self._lock:
+                        del self._inflight[batch_id]
+                    return False
+            else:
+                self._task_qs[worker].put(message)
+        self._note_depth()
+        return True
+
+    # ------------------------------------------------------------------
+    def on_commit(self, outcome: str, algo, touched,
+                  snapshot: Optional[Snapshot] = None) -> None:
+        """Ship the post-commit snapshot to every worker and wait for
+        their acks.  Must run with the gate's write side held, so no
+        new batch can be dispatched while the fleet re-synchronises.
+        """
+        if snapshot is None:
+            raise ServerError("process workers need a FIB snapshot to "
+                              "refresh from (serve over a ManagedFib)")
+        self._wait_idle()
+        with self._lock:
+            self._acks = 0
+        for task_q in self._task_qs:
+            task_q.put(("snapshot", snapshot))
+        with self._idle:
+            if not self._idle.wait_for(
+                    lambda: self._acks >= len(self._procs),
+                    timeout=self._ack_timeout_s):
+                raise ServerError("process workers failed to ack the "
+                                  "commit snapshot")
+
+    def _wait_idle(self) -> None:
+        with self._idle:
+            if not self._idle.wait_for(lambda: not self._inflight,
+                                       timeout=self._ack_timeout_s):
+                raise ServerError("in-flight batches failed to drain")
+
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        if drain:
+            self._wait_idle()
+        self._closed = True
+        for task_q in self._task_qs:
+            task_q.put(("stop",))
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - crashed worker
+                proc.terminate()
+        self._result_q.put(("collector-stop",))
+        if self._collector is not None:
+            self._collector.join(timeout=10)
+        with self._lock:
+            leftovers = [batch for batch, _ in self._inflight.values()]
+            self._inflight.clear()
+        error = ServerError("server closed before serving")
+        for batch in leftovers:
+            batch.fail(error)
+        self._note_depth()
+
+    # ------------------------------------------------------------------
+    def _note_depth(self) -> None:
+        if self._on_depth is not None:
+            self._on_depth(self.queue_depth())
+
+    def _collect(self) -> None:
+        """Parent-side result loop: scatter answers, count acks."""
+        while True:
+            message = self._result_q.get()
+            kind = message[0]
+            if kind == "collector-stop":
+                return
+            if kind == "bye":
+                continue
+            if kind == "ack":
+                with self._idle:
+                    self._acks += 1
+                    self._idle.notify_all()
+                continue
+            _kind, batch_id, payload = message
+            with self._lock:
+                entry = self._inflight.pop(batch_id, None)
+                if not self._inflight:
+                    self._idle.notify_all()
+            if entry is None:  # pragma: no cover - late result after close
+                continue
+            batch, epoch = entry
+            if kind == "error":
+                batch.fail(ServerError(f"worker failed: {payload}"))
+                if self._on_error is not None:
+                    self._on_error(batch, ServerError(payload))
+            else:
+                finished = batch.complete(payload, epoch)
+                if self._on_done is not None:
+                    self._on_done(batch, finished)
+            self._note_depth()

@@ -1,0 +1,305 @@
+"""The concurrent serving frontend over the batch engines.
+
+:class:`LookupServer` is what ``repro serve --workers N`` runs: many
+logical clients submit single addresses or small batches; a
+:class:`~repro.server.coalescer.RequestCoalescer` packs them into
+engine-sized batches on a size-or-deadline trigger; a worker pool
+(threads by default, forked processes with ``mode="process"``) runs
+each batch through its own :class:`~repro.engine.BatchEngine` replica
+and scatters the answers back to the per-request futures.
+
+Consistency under churn — the property the stress tests prove — comes
+from one rule: **commits quiesce serving**.  The server subscribes to
+:class:`~repro.control.ManagedFib` commits; the handler takes the
+:class:`~repro.server.pool.CommitGate` write side (waiting out every
+in-flight batch), bumps the serving epoch, refreshes every worker
+replica (recompile + targeted cache invalidation, or a shipped FIB
+snapshot in process mode), and releases.  Every batch therefore
+executes entirely within one epoch: no lookup can observe a
+half-applied update, and rolled-back batches — which never notify —
+leave the serving plan untouched.
+
+Telemetry (all in the shared :class:`~repro.obs.MetricsRegistry`):
+
+===================================  =======================================
+``repro_server_requests_total``      requests accepted (per server label)
+``repro_server_addresses_total``     addresses accepted
+``repro_server_batches_total``       coalesced batches dispatched
+``repro_server_flush_total``         flushes by trigger (``reason`` label)
+``repro_server_batch_size``          coalesced-batch-size histogram
+``repro_server_queue_depth``         worker-queue depth gauge
+``repro_server_shed_total``          addresses shed by the overload policy
+``repro_server_commits_total``       quiesced commits (``outcome`` label)
+``repro_server_epoch``               serving epoch (commit generation)
+``repro_server_worker_errors_total`` batches failed by a worker exception
+``repro_server_request`` (timing)    per-request latency (wall clock)
+``repro_server_quiesce`` (timing)    commit quiesce + refresh latency
+===================================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..engine.engine import ENGINE_BATCH_BUCKETS, BatchEngine
+from ..obs import MetricsRegistry
+from ..obs.clock import Clock, MonotonicClock
+from .coalescer import (
+    CoalescedBatch,
+    PendingLookup,
+    RequestCoalescer,
+    ServerError,
+)
+from .pool import CommitGate, ThreadWorkerPool
+from .procpool import ProcessWorkerPool, fib_snapshot
+
+__all__ = ["LookupServer", "SERVER_MODES", "SERVER_OVERLOAD_POLICIES"]
+
+SERVER_MODES = ("thread", "process")
+SERVER_OVERLOAD_POLICIES = ("block", "shed")
+
+
+class LookupServer:
+    """Request coalescing + worker pool + commit-quiesced consistency."""
+
+    def __init__(
+        self,
+        algo=None,
+        *,
+        managed=None,
+        workers: int = 2,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        queue_depth: int = 32,
+        overload: str = "block",
+        mode: str = "thread",
+        cache_size: int = 0,
+        backend: str = "plan",
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "server",
+        clock: Optional[Clock] = None,
+        factory: Optional[Callable] = None,
+        base_fib=None,
+    ):
+        if mode not in SERVER_MODES:
+            raise ValueError(f"mode {mode!r} not one of {SERVER_MODES}")
+        if overload not in SERVER_OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload {overload!r} not one of {SERVER_OVERLOAD_POLICIES}")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if managed is not None:
+            algo = managed.algo
+            factory = factory if factory is not None else managed.factory
+            base_fib = base_fib if base_fib is not None else managed.oracle
+            if registry is None:
+                registry = managed.registry
+        if algo is None:
+            raise ValueError("need an algorithm (or managed=) to serve")
+        self.name = name
+        self.mode = mode
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.gate = CommitGate()
+        self._managed = managed
+        self._epoch = 0
+        self._started = False
+        self._closed = False
+
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_server_requests_total", "Requests accepted by the server.")
+        self._addresses = reg.counter(
+            "repro_server_addresses_total", "Addresses accepted by the server.")
+        self._batches = reg.counter(
+            "repro_server_batches_total", "Coalesced batches dispatched.")
+        self._flushes = reg.counter(
+            "repro_server_flush_total",
+            "Coalescer flushes by trigger (size/deadline/drain/manual).")
+        self._batch_size = reg.histogram(
+            "repro_server_batch_size", ENGINE_BATCH_BUCKETS,
+            "Addresses per coalesced batch.")
+        self._depth = reg.gauge(
+            "repro_server_queue_depth", "Batches queued for the workers.")
+        self._shed = reg.counter(
+            "repro_server_shed_total",
+            "Addresses shed by the overload policy.")
+        self._commits = reg.counter(
+            "repro_server_commits_total",
+            "Commits quiesced through the server, by outcome.")
+        self._epoch_gauge = reg.gauge(
+            "repro_server_epoch", "Serving epoch (landed-commit generation).")
+        self._worker_errors = reg.counter(
+            "repro_server_worker_errors_total",
+            "Batches failed by a worker exception.")
+        self._epoch_gauge.set(0, server=self.name)
+        self._depth.set(0, server=self.name)
+
+        if mode == "thread":
+            engines = [
+                BatchEngine(algo, cache_size=cache_size, registry=reg,
+                            name=f"{name}-w{i}", backend=backend)
+                for i in range(workers)
+            ]
+            self._pool = ThreadWorkerPool(
+                engines, queue_depth=queue_depth, overload=overload,
+                gate=self.gate, epoch_of=lambda: self._epoch,
+                on_done=self._on_done, on_depth=self._on_depth,
+                on_error=self._on_error)
+        else:
+            if factory is None or base_fib is None:
+                raise ServerError(
+                    "process mode needs factory= and base_fib= (or managed=)")
+            self._pool = ProcessWorkerPool(
+                base_fib.width, factory, fib_snapshot(base_fib),
+                workers=workers, queue_depth=queue_depth, overload=overload,
+                gate=self.gate, epoch_of=lambda: self._epoch,
+                on_done=self._on_done, on_depth=self._on_depth,
+                on_error=self._on_error,
+                backend=backend, cache_size=cache_size)
+        self.coalescer = RequestCoalescer(
+            self._sink, max_batch=max_batch, max_wait_s=max_wait_s,
+            clock=self.clock)
+        if managed is not None:
+            managed.add_commit_listener(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The serving epoch: bumped once per quiesced, landed commit."""
+        return self._epoch
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def engines(self) -> List[BatchEngine]:
+        """Worker engine replicas (thread mode; empty for processes)."""
+        return list(getattr(self._pool, "engines", []))
+
+    @property
+    def active_backend(self) -> str:
+        engines = self.engines()
+        return engines[0].active_backend if engines else self.mode
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LookupServer":
+        if self._closed:
+            raise ServerError("server is closed")
+        if not self._started:
+            self._started = True
+            self._pool.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop serving.  ``drain=True`` answers everything accepted
+        (flush the open batch, let the queue empty); ``drain=False``
+        fails unserved requests with ``ServerClosed``/``ServerError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close(drain=drain)
+        if self._started:
+            self._pool.close(drain=drain)
+        if self._managed is not None:
+            self._managed.remove_commit_listener(self._on_commit)
+            self._managed = None
+
+    def __enter__(self) -> "LookupServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=True)
+
+    def drained(self) -> bool:
+        """True once nothing is pending anywhere (a shutdown probe)."""
+        return (self.coalescer.pending_addresses == 0
+                and self._pool.queue_depth() == 0
+                and not self._pool.alive())
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def submit(self, addresses: Sequence[int]) -> PendingLookup:
+        """Queue a small-batch request; returns its future."""
+        self.start()
+        handle = self.coalescer.submit(addresses)
+        self._requests.inc(1, server=self.name)
+        self._addresses.inc(len(handle.addresses), server=self.name)
+        return handle
+
+    def submit_one(self, address: int) -> PendingLookup:
+        return self.submit([address])
+
+    def lookup(self, address: int,
+               timeout: Optional[float] = None) -> Optional[int]:
+        """Synchronous single lookup (submit + flush + wait)."""
+        handle = self.submit([address])
+        self.flush()
+        return handle.result(timeout)[0]
+
+    def lookup_batch(self, addresses: Sequence[int],
+                     timeout: Optional[float] = None) -> List[Optional[int]]:
+        handle = self.submit(addresses)
+        self.flush()
+        return handle.result(timeout)
+
+    def flush(self) -> None:
+        """Cut the open batch now (don't wait for size or deadline)."""
+        self.coalescer.flush()
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def refresh(self, algo=None, touched=None) -> None:
+        """Manually quiesce + refresh (servers not over a ManagedFib)."""
+        self._quiesce("refresh", algo, touched)
+
+    def _on_commit(self, outcome: str, algo, touched) -> None:
+        """ManagedFib commit listener — only landed batches notify."""
+        self._quiesce(outcome, algo, touched)
+
+    def _quiesce(self, outcome: str, algo, touched) -> None:
+        with self.registry.timer("repro_server_quiesce", server=self.name):
+            with self.gate.write():
+                self._epoch += 1
+                self._epoch_gauge.set(self._epoch, server=self.name)
+                if self.mode == "thread":
+                    self._pool.on_commit(outcome, algo, touched)
+                else:
+                    snapshot = (fib_snapshot(self._managed.oracle)
+                                if self._managed is not None else None)
+                    self._pool.on_commit(outcome, algo, touched,
+                                         snapshot=snapshot)
+        self._commits.inc(1, server=self.name, outcome=outcome)
+
+    # ------------------------------------------------------------------
+    # Pool/coalescer callbacks
+    # ------------------------------------------------------------------
+    def _sink(self, batch: CoalescedBatch) -> bool:
+        self._flushes.inc(1, server=self.name, reason=batch.reason)
+        if not self._pool.submit(batch):
+            self._shed.inc(len(batch.addresses), server=self.name)
+            return False
+        self._batches.inc(1, server=self.name)
+        self._batch_size.observe(len(batch.addresses))
+        return True
+
+    def _on_done(self, batch: CoalescedBatch,
+                 finished: List[PendingLookup]) -> None:
+        now = self.clock.now()
+        for handle in finished:
+            self.registry.observe_seconds(
+                "repro_server_request", max(0.0, now - handle.submitted_at),
+                server=self.name)
+
+    def _on_depth(self, depth: int) -> None:
+        self._depth.set(depth, server=self.name)
+
+    def _on_error(self, batch: CoalescedBatch, exc: BaseException) -> None:
+        self._worker_errors.inc(1, server=self.name)

@@ -3,9 +3,23 @@
 Also registers ``--regen-golden``: rewrite the golden files under
 ``tests/golden/`` from the current implementation instead of comparing
 against them (see ``test_golden_tables.py``).
+
+And a flake guard: ``pyproject.toml`` sets ``timeout = 120`` so no
+test — in particular the concurrent serving tests, which join worker
+threads and forked processes — can hang the suite.  CI installs
+pytest-timeout, which owns that ini value; this conftest ships a
+SIGALRM fallback enforcing the same limit when the plugin is absent
+(the offline sandbox), including the per-test
+``@pytest.mark.timeout(N)`` override.
 """
 
+import importlib.util
+import signal
+
 import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
 
 
 def pytest_addoption(parser):
@@ -13,6 +27,44 @@ def pytest_addoption(parser):
         "--regen-golden", action="store_true", default=False,
         help="rewrite tests/golden/*.json from the current implementation",
     )
+    if not _HAVE_PYTEST_TIMEOUT:
+        # pytest-timeout normally registers this ini key; mirror it so
+        # the pyproject setting parses cleanly without the plugin.
+        parser.addini("timeout", "per-test timeout in seconds "
+                                 "(conftest SIGALRM fallback)", default="0")
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not _HAVE_SIGALRM:
+        yield
+        return
+    seconds = _timeout_for(item)
+    if seconds <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {seconds:.0f}s timeout "
+                    "(conftest SIGALRM fallback)", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -7,6 +7,7 @@ three execution paths:
 * the per-packet CRAM interpreter (``algo.cram_lookup``),
 * the compiled batch plan (``repro.core.plan``),
 * the lane-compiled vector plan (``repro.core.vector``),
+* the concurrent serving frontend (``repro.server.LookupServer``),
 
 with and without the engine's FIB cache, before and after a churn
 batch lands through :class:`repro.control.ManagedFib` — all against
@@ -37,6 +38,7 @@ from repro.core import compile_plan, compile_vector_plan
 from repro.datasets import mixed_addresses
 from repro.engine import BatchEngine
 from repro.prefix import Fib, Prefix
+from repro.server import LookupServer
 
 #: Fixed multibit/MASHUP stride plans per width (must sum to width).
 STRIDES = {8: [4, 4], 16: [8, 4, 4], 32: [16, 4, 4, 8]}
@@ -178,3 +180,22 @@ class TestConformance:
         vplan = compile_vector_plan(managed.algo)
         expected = [oracle.lookup(a) for a in addresses]
         assert vplan.lookup_batch_hops(addresses) == expected
+
+    def test_server_serves_conformant_results(self, name, width):
+        """The served column of the matrix: answers through the
+        concurrent coalescing frontend (requests split across worker
+        replicas, scattered back per request) equal the trie oracle —
+        and therefore equal every other execution path above."""
+        fib = random_fib(width, FIB_SIZES[width], seed=width + 21)
+        addresses = addresses_for(fib, seed=width + 22)
+        expected = [fib.lookup(a) for a in addresses]
+        with LookupServer(MAKERS[name](fib), workers=2, max_batch=32,
+                          max_wait_s=0.001, backend="auto",
+                          name=f"conf-{name}") as server:
+            handles = [server.submit(addresses[i:i + 7])
+                       for i in range(0, len(addresses), 7)]
+            server.flush()
+            served = []
+            for handle in handles:
+                served.extend(handle.result(timeout=60))
+        assert served == expected

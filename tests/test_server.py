@@ -1,0 +1,504 @@
+"""Unit tests for the serving frontend (:mod:`repro.server`).
+
+The coalescer is driven with a :class:`repro.obs.FakeClock`, so every
+deadline-trigger assertion is deterministic — no test here sleeps on
+the wall clock to make a timer fire.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.algorithms.hibst import HiBst
+from repro.control import ManagedFib, UpdateOp
+from repro.control.churn import ANNOUNCE
+from repro.obs import FakeClock, MetricsRegistry, MonotonicClock
+from repro.prefix.prefix import Prefix
+from repro.prefix.trie import Fib
+from repro.server import (
+    CoalescedBatch,
+    CommitGate,
+    LookupServer,
+    PendingLookup,
+    RequestCoalescer,
+    RequestShed,
+    ServerClosed,
+    ServerError,
+    ThreadWorkerPool,
+    fib_snapshot,
+)
+
+WIDTH = 8
+
+
+def small_fib(seed=3, size=40):
+    rng = random.Random(seed)
+    fib = Fib(WIDTH)
+    while len(fib) < size:
+        length = rng.randint(1, WIDTH)
+        fib.insert(Prefix.from_bits(rng.getrandbits(length), length, WIDTH),
+                   rng.randint(1, 99))
+    return fib
+
+
+class RecordingSink:
+    """A coalescer sink that records batches and can refuse them."""
+
+    def __init__(self, accept=True):
+        self.batches = []
+        self.accept = accept
+
+    def __call__(self, batch):
+        self.batches.append(batch)
+        return self.accept
+
+
+class BlockingEngine:
+    """Duck-typed engine whose lookup blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def lookup_batch(self, addresses):
+        self.entered.set()
+        assert self.release.wait(30)
+        return [None] * len(addresses)
+
+
+class FailingEngine:
+    def lookup_batch(self, addresses):
+        raise RuntimeError("engine exploded")
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+
+class TestClocks:
+    def test_fake_clock_advances_and_fires_in_deadline_order(self):
+        clock = FakeClock()
+        fired = []
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(9.0, lambda: fired.append("later"))
+        clock.advance(2.5)
+        assert fired == ["a", "b"]
+        assert clock.now() == 2.5
+        assert clock.pending_timers() == 1
+
+    def test_fake_clock_cancel_suppresses_callback(self):
+        clock = FakeClock()
+        fired = []
+        handle = clock.call_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        clock.advance(5.0)
+        assert fired == []
+        assert clock.pending_timers() == 0
+
+    def test_fake_clock_rejects_backward_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-0.1)
+
+    def test_fake_clock_callback_sees_its_deadline_as_now(self):
+        clock = FakeClock()
+        seen = []
+        rearmed = []
+        clock.call_at(1.0, lambda: (seen.append(clock.now()),
+                                    clock.call_at(clock.now() + 1.0,
+                                                  lambda: rearmed.append(
+                                                      clock.now()))))
+        clock.advance(3.0)
+        assert seen == [1.0]
+        assert rearmed == [2.0]
+
+    def test_monotonic_clock_timer_fires(self):
+        clock = MonotonicClock()
+        done = threading.Event()
+        clock.call_at(clock.now(), done.set)
+        assert done.wait(10)
+
+    def test_monotonic_clock_cancel(self):
+        clock = MonotonicClock()
+        fired = threading.Event()
+        handle = clock.call_at(clock.now() + 30.0, fired.set)
+        handle.cancel()
+        assert not fired.wait(0.01)
+
+
+# ---------------------------------------------------------------------------
+# PendingLookup / CoalescedBatch
+# ---------------------------------------------------------------------------
+
+
+class TestPendingLookup:
+    def test_empty_request_is_immediately_done(self):
+        handle = PendingLookup([], 0.0)
+        assert handle.done()
+        assert handle.result(0) == []
+
+    def test_scatter_orders_and_tags_epoch(self):
+        handle = PendingLookup([10, 20, 30], 0.0)
+        assert not handle._scatter(0, [1], epoch=3)
+        assert handle._scatter(1, [2, 4], epoch=4)
+        assert handle.result(0) == [1, 2, 4]
+        assert handle.epoch == 4
+        assert handle.epoch_span == (3, 4)
+        assert handle.deliveries == 2
+
+    def test_duplicate_delivery_is_a_hard_bug(self):
+        handle = PendingLookup([10], 0.0)
+        handle._scatter(0, [1], epoch=0)
+        with pytest.raises(AssertionError):
+            handle._scatter(0, [1], epoch=0)
+
+    def test_fail_is_idempotent_and_raises_on_result(self):
+        handle = PendingLookup([10], 0.0)
+        assert handle._fail(RequestShed("drop"))
+        assert not handle._fail(ServerClosed("late"))
+        with pytest.raises(RequestShed):
+            handle.result(0)
+
+    def test_batch_complete_requires_matching_hop_count(self):
+        handle = PendingLookup([1, 2], 0.0)
+        batch = CoalescedBatch([1, 2], [(handle, 0, 0, 2)], "size")
+        with pytest.raises(ValueError):
+            batch.complete([7], epoch=0)
+        assert batch.complete([7, 8], epoch=0) == [handle]
+
+
+# ---------------------------------------------------------------------------
+# RequestCoalescer
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescer:
+    def test_size_trigger_cuts_exactly_at_max_batch(self):
+        sink = RecordingSink()
+        clock = FakeClock()
+        box = RequestCoalescer(sink, max_batch=4, max_wait_s=1.0, clock=clock)
+        handles = [box.submit([i, i + 100]) for i in range(3)]
+        assert [len(b) for b in sink.batches] == [4]
+        assert sink.batches[0].reason == "size"
+        assert sink.batches[0].addresses == [0, 100, 1, 101]
+        # The third request's two addresses sit in the open batch.
+        assert box.pending_addresses == 2
+        sink.batches[0].complete([9, 9, 9, 9], epoch=0)
+        assert handles[0].done() and handles[1].done()
+        assert not handles[2].done()
+
+    def test_large_request_spans_batches_in_order(self):
+        sink = RecordingSink()
+        box = RequestCoalescer(sink, max_batch=3, max_wait_s=1.0,
+                               clock=FakeClock())
+        handle = box.submit(list(range(8)))
+        assert [b.addresses for b in sink.batches] == [[0, 1, 2], [3, 4, 5]]
+        box.flush()
+        assert sink.batches[2].addresses == [6, 7]
+        for batch in sink.batches:
+            batch.complete([a * 10 for a in batch.addresses], epoch=0)
+        assert handle.result(0) == [a * 10 for a in range(8)]
+        assert handle.deliveries == 3
+
+    def test_deadline_trigger_fires_via_fake_clock(self):
+        sink = RecordingSink()
+        clock = FakeClock()
+        box = RequestCoalescer(sink, max_batch=100, max_wait_s=0.5,
+                               clock=clock)
+        box.submit([1, 2])
+        clock.advance(0.4)
+        assert sink.batches == []  # not due yet
+        clock.advance(0.2)
+        assert [b.reason for b in sink.batches] == ["deadline"]
+        assert box.pending_addresses == 0
+
+    def test_deadline_measured_from_first_address(self):
+        sink = RecordingSink()
+        clock = FakeClock()
+        box = RequestCoalescer(sink, max_batch=100, max_wait_s=0.5,
+                               clock=clock)
+        box.submit([1])
+        clock.advance(0.3)
+        box.submit([2])  # must NOT re-arm the deadline
+        clock.advance(0.3)
+        assert [b.addresses for b in sink.batches] == [[1, 2]]
+
+    def test_size_cut_disarms_the_deadline(self):
+        sink = RecordingSink()
+        clock = FakeClock()
+        box = RequestCoalescer(sink, max_batch=2, max_wait_s=0.5, clock=clock)
+        box.submit([1, 2])  # exact fit: size cut, batch empty again
+        assert [b.reason for b in sink.batches] == ["size"]
+        clock.advance(10.0)
+        assert len(sink.batches) == 1  # no spurious deadline flush
+        assert clock.pending_timers() == 0
+
+    def test_manual_flush_and_reasons(self):
+        sink = RecordingSink()
+        box = RequestCoalescer(sink, max_batch=100, max_wait_s=1.0,
+                               clock=FakeClock())
+        box.submit([1])
+        box.flush()
+        assert [b.reason for b in sink.batches] == ["manual"]
+        box.flush()  # empty flush is a no-op
+        assert len(sink.batches) == 1
+
+    def test_close_drains_then_rejects(self):
+        sink = RecordingSink()
+        box = RequestCoalescer(sink, max_batch=100, max_wait_s=1.0,
+                               clock=FakeClock())
+        handle = box.submit([5])
+        box.close(drain=True)
+        assert [b.reason for b in sink.batches] == ["drain"]
+        sink.batches[0].complete([1], epoch=0)
+        assert handle.result(0) == [1]
+        with pytest.raises(ServerClosed):
+            box.submit([6])
+
+    def test_close_without_drain_fails_pending(self):
+        sink = RecordingSink()
+        box = RequestCoalescer(sink, max_batch=100, max_wait_s=1.0,
+                               clock=FakeClock())
+        handle = box.submit([5])
+        box.close(drain=False)
+        assert sink.batches == []
+        with pytest.raises(ServerClosed):
+            handle.result(0)
+
+    def test_refused_batch_fails_with_request_shed(self):
+        sink = RecordingSink(accept=False)
+        box = RequestCoalescer(sink, max_batch=2, max_wait_s=1.0,
+                               clock=FakeClock())
+        handle = box.submit([1, 2])
+        with pytest.raises(RequestShed):
+            handle.result(0)
+
+
+# ---------------------------------------------------------------------------
+# CommitGate
+# ---------------------------------------------------------------------------
+
+
+class TestCommitGate:
+    def test_writer_waits_for_readers(self):
+        gate = CommitGate()
+        in_write = threading.Event()
+        gate.acquire_read()
+        writer = threading.Thread(
+            target=lambda: (gate.acquire_write(), in_write.set()))
+        writer.start()
+        assert not in_write.wait(0.05)
+        gate.release_read()
+        assert in_write.wait(10)
+        gate.release_write()
+        writer.join()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        gate = CommitGate()
+        gate.acquire_read()
+        writer = threading.Thread(target=lambda: (gate.acquire_write(),
+                                                  gate.release_write()))
+        writer.start()
+        # Give the writer a moment to start waiting, then try to read.
+        got_read = threading.Event()
+        reader = threading.Thread(target=lambda: (gate.acquire_read(),
+                                                  got_read.set()))
+        reader.start()
+        assert not got_read.wait(0.05)  # writer-preference holds
+        gate.release_read()
+        assert got_read.wait(10)  # writer ran, then the reader
+        gate.release_read()
+        writer.join()
+        reader.join()
+
+
+# ---------------------------------------------------------------------------
+# ThreadWorkerPool
+# ---------------------------------------------------------------------------
+
+
+class TestThreadWorkerPool:
+    def test_shed_policy_refuses_when_queue_full(self):
+        engine = BlockingEngine()
+        pool = ThreadWorkerPool([engine], queue_depth=1, overload="shed")
+        pool.start()
+        try:
+            first = CoalescedBatch([1], [(PendingLookup([1], 0.0), 0, 0, 1)],
+                                   "size")
+            assert pool.submit(first)
+            assert engine.entered.wait(10)  # worker is busy on `first`
+            assert pool.submit(CoalescedBatch(
+                [2], [(PendingLookup([2], 0.0), 0, 0, 1)], "size"))
+            refused = CoalescedBatch(
+                [3], [(PendingLookup([3], 0.0), 0, 0, 1)], "size")
+            assert not pool.submit(refused)  # depth-1 queue is full
+        finally:
+            engine.release.set()
+            pool.close(drain=True)
+
+    def test_worker_exception_fails_the_batch(self):
+        errors = []
+        pool = ThreadWorkerPool([FailingEngine()],
+                                on_error=lambda b, e: errors.append(e))
+        pool.start()
+        handle = PendingLookup([1], 0.0)
+        pool.submit(CoalescedBatch([1], [(handle, 0, 0, 1)], "size"))
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            handle.result(10)
+        pool.close(drain=True)
+        assert len(errors) == 1
+
+    def test_close_without_drain_fails_queued_batches(self):
+        engine = BlockingEngine()
+        pool = ThreadWorkerPool([engine], queue_depth=4)
+        pool.start()
+        busy = PendingLookup([1], 0.0)
+        queued = PendingLookup([2], 0.0)
+        pool.submit(CoalescedBatch([1], [(busy, 0, 0, 1)], "size"))
+        assert engine.entered.wait(10)
+        pool.submit(CoalescedBatch([2], [(queued, 0, 0, 1)], "size"))
+        engine.release.set()
+        pool.close(drain=False)
+        assert not pool.alive()
+        # The queued batch either got failed or served; never lost.
+        assert queued.done()
+
+    def test_submit_before_start_raises(self):
+        pool = ThreadWorkerPool([BlockingEngine()])
+        with pytest.raises(ServerError):
+            pool.submit(CoalescedBatch([1], [], "size"))
+
+
+# ---------------------------------------------------------------------------
+# LookupServer end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestLookupServer:
+    def test_serves_conformant_answers(self):
+        fib = small_fib()
+        with LookupServer(HiBst(fib), workers=2, max_batch=16) as server:
+            addresses = list(range(256))
+            handles = [server.submit(addresses[i:i + 7])
+                       for i in range(0, 256, 7)]
+            server.flush()
+            got = []
+            for handle in handles:
+                got.extend(handle.result(30))
+        assert got == [fib.lookup(a) for a in addresses]
+
+    def test_lookup_and_lookup_batch_sugar(self):
+        fib = small_fib(seed=5)
+        with LookupServer(HiBst(fib), workers=1) as server:
+            assert server.lookup(7, timeout=30) == fib.lookup(7)
+            assert server.lookup_batch([1, 2, 3], timeout=30) == \
+                [fib.lookup(a) for a in (1, 2, 3)]
+
+    def test_metrics_wiring(self):
+        fib = small_fib()
+        registry = MetricsRegistry()
+        with LookupServer(HiBst(fib), workers=2, max_batch=8,
+                          registry=registry, name="t") as server:
+            for i in range(4):
+                server.submit([i, i + 1, i + 2, i + 3])
+            server.flush()
+            server.lookup_batch([1], timeout=30)
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["repro_server_requests_total"][
+            '{server="t"}'] == 5
+        assert counters["repro_server_addresses_total"][
+            '{server="t"}'] == 17
+        flushes = counters["repro_server_flush_total"]
+        assert flushes['{reason="size",server="t"}'] == 2
+        assert '{server="t"}' in counters["repro_server_batches_total"]
+        assert snap["gauges"]["repro_server_queue_depth"][
+            '{server="t"}'] == 0
+        sizes = snap["histograms"]["repro_server_batch_size"][""]
+        assert sizes["count"] >= 3
+        assert sizes["sum"] == 17  # every accepted address got batched
+        timings = registry.timings_snapshot()
+        assert timings['repro_server_request{server="t"}']["count"] == 5
+
+    def test_commit_quiesce_updates_answers_and_epoch(self):
+        fib = small_fib(seed=9, size=20)
+        managed = ManagedFib(lambda f: HiBst(f), fib)
+        with LookupServer(managed=managed, workers=2,
+                          max_batch=16) as server:
+            address = 0b10100000
+            before = managed.oracle.lookup(address)
+            assert server.lookup(address, timeout=30) == before
+            prefix = Prefix.from_bits(0b101, 3, WIDTH)
+            outcome = managed.apply_batch(
+                [UpdateOp(ANNOUNCE, prefix=prefix, next_hop=77)])
+            assert outcome in ("batch_applied", "batch_rebuilt")
+            assert server.epoch == 1
+            after = managed.oracle.lookup(address)
+            assert server.lookup(address, timeout=30) == after
+            counters = server.registry.snapshot()["counters"]
+            assert sum(
+                counters["repro_server_commits_total"].values()) == 1
+
+    def test_close_is_idempotent_and_submit_after_close_raises(self):
+        fib = small_fib()
+        server = LookupServer(HiBst(fib), workers=1)
+        server.start()
+        server.close()
+        server.close()
+        with pytest.raises(ServerError):
+            server.submit([1])
+        assert server.drained()
+
+    def test_constructor_validation(self):
+        fib = small_fib()
+        algo = HiBst(fib)
+        with pytest.raises(ValueError):
+            LookupServer(algo, mode="fiber")
+        with pytest.raises(ValueError):
+            LookupServer(algo, overload="panic")
+        with pytest.raises(ValueError):
+            LookupServer(algo, workers=0)
+        with pytest.raises(ValueError):
+            LookupServer()  # no algorithm
+        with pytest.raises(ServerError):
+            LookupServer(algo, mode="process")  # no factory/base_fib
+
+    def test_worker_engines_are_replicas(self):
+        fib = small_fib()
+        with LookupServer(HiBst(fib), workers=3, name="r") as server:
+            engines = server.engines()
+            assert len(engines) == 3
+            assert [e.name for e in engines] == ["r-w0", "r-w1", "r-w2"]
+            assert server.workers == 3
+
+
+# ---------------------------------------------------------------------------
+# Process mode
+# ---------------------------------------------------------------------------
+
+
+class TestProcessMode:
+    def test_fib_snapshot_roundtrip(self):
+        fib = small_fib(seed=11)
+        snapshot = fib_snapshot(fib)
+        rebuilt = Fib(WIDTH)
+        for bits, length, hop in snapshot:
+            rebuilt.insert(Prefix.from_bits(bits, length, WIDTH), hop)
+        assert list(rebuilt) == list(fib)
+
+    def test_process_server_serves_and_commits(self):
+        fib = small_fib(seed=13, size=25)
+        managed = ManagedFib(lambda f: HiBst(f), fib)
+        with LookupServer(managed=managed, workers=2, mode="process",
+                          max_batch=32) as server:
+            addresses = list(range(0, 256, 3))
+            want = [managed.oracle.lookup(a) for a in addresses]
+            assert server.lookup_batch(addresses, timeout=60) == want
+            prefix = Prefix.from_bits(0b01, 2, WIDTH)
+            managed.apply_batch(
+                [UpdateOp(ANNOUNCE, prefix=prefix, next_hop=88)])
+            assert server.epoch == 1
+            want = [managed.oracle.lookup(a) for a in addresses]
+            assert server.lookup_batch(addresses, timeout=60) == want

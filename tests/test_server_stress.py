@@ -1,0 +1,197 @@
+"""Soak test: linearizable serving under concurrent churn.
+
+N producer threads hammer a :class:`~repro.server.LookupServer` while
+the main thread drives managed churn through a scripted capacity guard
+that forces a seeded ~35% of batches to *roll back* — interleaving
+landed commits with genuine rollbacks.  The harness records, at every
+landed commit, the oracle's answer for all 256 toy addresses keyed by
+the serving epoch; afterwards every request is checked against the
+snapshot of the epoch its batch executed under.
+
+Proved properties:
+
+  * **zero lost or duplicated responses** — every accepted request
+    resolves exactly once (``deliveries == 1``: request size divides
+    ``max_batch``, so no request straddles batches);
+  * **zero stale or torn reads** — every answer equals the trie
+    oracle's answer *at that request's serving epoch*: a batch never
+    observes a half-applied or rolled-back update;
+  * **rollbacks leave serving untouched** — the epoch does not move on
+    a rolled-back batch and subsequent answers still match the last
+    landed table;
+  * **clean drain** — close() answers everything accepted, the pool
+    winds down, and later submits are refused.
+
+Wall-clock is bounded by the suite-wide 120s timeout (pytest-timeout
+in CI, the conftest SIGALRM shim offline).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.algorithms.hibst import HiBst
+from repro.control import ChurnGenerator, ManagedFib, RuntimePolicy
+from repro.control.runtime import Health
+from repro.prefix.prefix import Prefix
+from repro.prefix.trie import Fib
+from repro.server import LookupServer, ServerError
+
+WIDTH = 8
+PRODUCERS = 4
+REQUESTS_PER_PRODUCER = 50
+REQUEST_SIZE = 8     # divides MAX_BATCH: no request ever spans batches
+MAX_BATCH = 64
+CHURN_BATCHES = 40
+
+
+class ScriptedGuard:
+    """A capacity guard that hard-trips on a seeded ~35% of batches.
+
+    ``ManagedFib`` inspects the *new* structure first and, on a trip,
+    re-inspects the *committed* one to decide whether the guard clears
+    on rollback — so the script answers "trip" once and then "fits"
+    for the follow-up call, producing a genuine rolled-back batch with
+    the runtime staying serviceable (no terminal FAILED).
+    """
+
+    def __init__(self, seed, rate=0.35):
+        self._rng = random.Random(seed)
+        self._rate = rate
+        self._clear_next = False
+        self.trips = 0
+
+    def inspect(self, algo):
+        if self._clear_next:
+            self._clear_next = False
+            return [], []  # the committed structure still fits
+        if self._rng.random() < self._rate:
+            self._clear_next = True
+            self.trips += 1
+            return [f"scripted capacity trip #{self.trips}"], []
+        return [], []
+
+
+def build_fib(seed=21, size=30):
+    rng = random.Random(seed)
+    fib = Fib(WIDTH)
+    while len(fib) < size:
+        length = rng.randint(1, WIDTH)
+        fib.insert(Prefix.from_bits(rng.getrandbits(length), length, WIDTH),
+                   rng.randint(1, 99))
+    return fib
+
+
+def oracle_answers(oracle):
+    return [oracle.lookup(a) for a in range(1 << WIDTH)]
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_serving_is_linearizable_under_churn_and_rollbacks(mode):
+    base = build_fib()
+    guard = ScriptedGuard(seed=5)
+    managed = ManagedFib(lambda fib: HiBst(fib), base, guard=guard,
+                         policy=RuntimePolicy(check_every=4))
+    workers = 3 if mode == "thread" else 2
+    server = LookupServer(managed=managed, workers=workers, mode=mode,
+                          max_batch=MAX_BATCH, max_wait_s=0.001)
+    # Keyed by serving epoch; registered after the server's listener,
+    # so the epoch is already bumped when a snapshot is taken.
+    snapshots = {0: oracle_answers(managed.oracle)}
+
+    def record(outcome, algo, touched):
+        snapshots[server.epoch] = oracle_answers(managed.oracle)
+
+    managed.add_commit_listener(record)
+
+    produced = [[] for _ in range(PRODUCERS)]
+    failures = []
+
+    def produce(lane):
+        rng = random.Random(100 + lane)
+        try:
+            for _ in range(REQUESTS_PER_PRODUCER):
+                addresses = [rng.randrange(1 << WIDTH)
+                             for _ in range(REQUEST_SIZE)]
+                produced[lane].append((addresses,
+                                       server.submit(addresses)))
+        except BaseException as exc:  # noqa: BLE001 — surface in the test
+            failures.append(exc)
+
+    landed = rolled_back = 0
+    with server:
+        threads = [threading.Thread(target=produce, args=(lane,),
+                                    name=f"producer-{lane}")
+                   for lane in range(PRODUCERS)]
+        for thread in threads:
+            thread.start()
+        generator = ChurnGenerator(base, seed=9)
+        for _ in range(CHURN_BATCHES):
+            epoch_before = server.epoch
+            outcome = managed.apply_batch(list(generator.ops(4)))
+            if outcome == "batch_rolled_back":
+                rolled_back += 1
+                # Rollback leaves the serving plan untouched.
+                assert server.epoch == epoch_before
+            else:
+                landed += 1
+                assert server.epoch == epoch_before + 1
+        for thread in threads:
+            thread.join()
+        server.flush()
+
+        assert not failures, failures
+        assert managed.health is not Health.FAILED
+
+        # The scripted guard really interleaved both outcomes.
+        assert rolled_back >= 1, "guard script produced no rollbacks"
+        assert landed >= 5, "churn produced too few landed commits"
+
+        checked = 0
+        for lane_requests in produced:
+            assert len(lane_requests) == REQUESTS_PER_PRODUCER
+            for addresses, handle in lane_requests:
+                hops = handle.result(timeout=60)
+                # Exactly one delivery: nothing lost, nothing duplicated.
+                assert handle.deliveries == 1
+                lo, hi = handle.epoch_span
+                assert lo == hi, "request size divides max_batch"
+                expected = snapshots[hi]
+                for address, hop in zip(addresses, hops):
+                    assert hop == expected[address], (
+                        f"stale read at epoch {hi}: address {address} "
+                        f"served {hop}, oracle said {expected[address]}")
+                    checked += 1
+        assert checked == PRODUCERS * REQUESTS_PER_PRODUCER * REQUEST_SIZE
+
+    # Clean drain: everything answered, workers gone, submits refused.
+    assert server.drained()
+    with pytest.raises(ServerError):
+        server.submit([1])
+
+
+def test_shed_overload_never_hangs_a_caller():
+    """Under the shed policy a refused request fails fast — callers
+    always get an answer or an error, never a hang."""
+    base = build_fib(seed=3)
+    server = LookupServer(HiBst(base), workers=1, max_batch=4,
+                          max_wait_s=0.001, queue_depth=1, overload="shed")
+    answered = shed = 0
+    with server:
+        handles = [server.submit([a % 256 for a in range(i, i + 4)])
+                   for i in range(200)]
+        server.flush()
+        for handle in handles:
+            try:
+                hops = handle.result(timeout=60)
+            except ServerError:
+                shed += 1
+                continue
+            answered += 1
+            assert hops == [base.lookup(a) for a in handle.addresses]
+    assert answered + shed == 200
+    assert answered > 0
+    counters = server.registry.snapshot()["counters"]
+    shed_total = sum(counters.get("repro_server_shed_total", {}).values())
+    assert (shed_total > 0) == (shed > 0)
