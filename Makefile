@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test ci conformance bench bench-smoke bench-vector \
-        bench-serve examples clean
+        bench-serve chaos examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,8 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	    --max-batch 64 --max-wait 1.0 --seed 7
 	$(PYTHON) -m repro bench-serve --smoke --seed 7 \
 	    --out benchmarks/results/serve_concurrency_cli.json
+	$(PYTHON) -m repro chaos-soak --mode both --seed 7 \
+	    --out benchmarks/results/chaos_soak.json
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
 	    benchmarks/bench_throughput.py benchmarks/bench_serve.py -q
@@ -44,6 +46,12 @@ bench-vector:     ## lane-compiler gate: vector >= 3x scalar plan
 bench-serve:      ## serving gate: coalesced >= 2x sequential
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_serve.py -q
+
+chaos:            ## chaos soak: thread + process pools under fault injection
+	$(PYTHON) -m repro chaos-soak --mode both --seed 7 \
+	    --out benchmarks/results/chaos_soak.json
+	$(PYTHON) -m repro serve --smoke --algo resail --workers 2 \
+	    --chaos default --seed 7
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

@@ -13,6 +13,11 @@ The coalesced side must reach at least **2x** the sequential
 lookups/sec.  Emits the ``serve_concurrency`` JSON sidecar
 (``benchmarks/results/serve_concurrency.json``) that CI gates on,
 mirroring the engine's 3x interpreter gate in ``bench_throughput.py``.
+
+A third, fault-injected pass replays the coalesced workload under a
+scripted :class:`~repro.chaos.ChaosPlan` that kills workers mid-run;
+the supervisor restarts them, the sidecar records the recovery time,
+and the gate requires faulted throughput >= **0.6x** fault-free.
 """
 
 import os
@@ -38,7 +43,7 @@ def test_coalesced_serving_vs_sequential(benchmark):
     # Untimed warm-up: first-touch costs (imports, plan compilation,
     # thread spawn) otherwise land inside the timed concurrent section
     # and make the short smoke-scale run noisy around the gate.
-    run_bench_serve(fib, "resail", requests=512, seed=1)
+    run_bench_serve(fib, "resail", requests=512, seed=1, faulted=False)
 
     doc = benchmark.pedantic(
         lambda: run_bench_serve(fib, "resail", requests=N_REQUESTS,
@@ -56,6 +61,13 @@ def test_coalesced_serving_vs_sequential(benchmark):
         f"coalesced ({values['workers']} workers, "
         f"{values['producers']} producers, window {values['window']})",
         f"{timings['concurrent_lookups_per_s']:,.0f}", f"{speedup:.1f}x")
+    recovery = timings.get("recovery_s")
+    table.add_row(
+        f"faulted ({values['faulted_worker_deaths']} worker kill(s), "
+        f"recovery {recovery * 1e3:.1f} ms)" if recovery is not None
+        else f"faulted ({values['faulted_worker_deaths']} worker kill(s))",
+        f"{timings['faulted_lookups_per_s']:,.0f}",
+        f"{timings['sequential_s'] / timings['faulted_s']:.1f}x")
     emit("serve_concurrency", table.render(),
          values=values,
          timings={**timings, "benchmark": bench_timings(benchmark)},
@@ -65,9 +77,27 @@ def test_coalesced_serving_vs_sequential(benchmark):
     # the batch counter moved and every request was answered.
     counters = registry.snapshot()["counters"]
     batches = sum(counters.get("repro_server_batches_total", {}).values())
-    served = sum(counters.get("repro_server_addresses_total", {}).values())
+    served = counters.get("repro_server_addresses_total", {}).get(
+        '{server="bench-serve"}', 0)
     assert batches > 0
     assert served == values["requests"]
+    # The faulted replay served the whole workload too.
+    faulted_served = counters.get("repro_server_addresses_total", {}).get(
+        '{server="bench-serve-faulted"}', 0)
+    assert faulted_served == values["requests"]
     # The acceptance criterion: >= 2x the sequential path.
     assert speedup >= threshold, (
         f"coalesced serving only {speedup:.2f}x over sequential")
+    # The robustness criterion: worker kills landed, the supervisor
+    # brought every worker back, and throughput under faults stayed
+    # within 0.6x of the fault-free coalesced run.
+    assert values["faulted_worker_deaths"] >= 1, \
+        "chaos script never killed a worker"
+    assert (values["faulted_worker_restarts"]
+            >= values["faulted_worker_deaths"]), (
+        f"{values['faulted_worker_deaths']} death(s) but only "
+        f"{values['faulted_worker_restarts']} restart(s)")
+    faulted_x = timings["faulted_throughput_x"]
+    assert faulted_x >= values["faulted_threshold_x"], (
+        f"faulted throughput only {faulted_x:.2f}x of fault-free "
+        f"(threshold {values['faulted_threshold_x']:.1f}x)")

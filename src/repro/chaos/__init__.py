@@ -1,0 +1,39 @@
+"""Deterministic chaos harness for the serving dataplane.
+
+Scripted, seeded dataplane faults — worker kills, in-batch
+exceptions, delayed/dropped snapshot-acks, commit-gate stalls —
+mirroring :mod:`repro.control.faults` on the control plane, plus the
+``chaos soak``: a full serving run under fault injection whose
+answers are checked request-by-request against the per-epoch trie
+oracle.  See ``docs/robustness.md`` ("Dataplane fault model").
+"""
+
+from .plan import (
+    ALL_CHAOS,
+    AckDelayFault,
+    AckDropFault,
+    BatchExceptionFault,
+    ChaosBatchFault,
+    ChaosEngine,
+    ChaosInjector,
+    ChaosPlan,
+    CommitStallFault,
+    WorkerKillFault,
+)
+from .soak import DEFAULT_CHAOS, SoakFailure, run_chaos_soak
+
+__all__ = [
+    "ALL_CHAOS",
+    "AckDelayFault",
+    "AckDropFault",
+    "BatchExceptionFault",
+    "ChaosBatchFault",
+    "ChaosEngine",
+    "ChaosInjector",
+    "ChaosPlan",
+    "CommitStallFault",
+    "DEFAULT_CHAOS",
+    "SoakFailure",
+    "WorkerKillFault",
+    "run_chaos_soak",
+]

@@ -334,7 +334,13 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
     answered request is checked against the oracle *as of the serving
     epoch its batch executed under* — per-epoch snapshots are recorded
     by a commit listener — so the spot checks stay exact under churn.
+
+    SIGINT/SIGTERM drain gracefully: accepted requests are answered,
+    the pool winds down, and the command exits 130.  ``--chaos`` arms
+    a seeded :class:`~repro.chaos.ChaosPlan` against the serving
+    dataplane (the supervisor keeps the run alive through the kills).
     """
+    import signal
     import threading
 
     from .control import ChurnGenerator, ManagedFib, PROFILES
@@ -345,6 +351,20 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
         raise SystemExit("serve: --workers does not combine with VRF "
                          "sharding (use the synchronous path)")
 
+    chaos_plan = None
+    chaos_names: List[str] = []
+    if getattr(args, "chaos", None):
+        from .chaos import ALL_CHAOS, DEFAULT_CHAOS, ChaosPlan
+        if args.chaos == "all":
+            chaos_names = sorted(ALL_CHAOS)
+        elif args.chaos == "default":
+            chaos_names = list(DEFAULT_CHAOS)
+        else:
+            chaos_names = [n for n in args.chaos.split(",") if n]
+        chaos_seed = (args.chaos_seed if args.chaos_seed is not None
+                      else args.seed)
+        chaos_plan = ChaosPlan.build(chaos_names, chaos_seed)
+    deadline_ms = getattr(args, "deadline", 0.0)
     managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
                          registry=registry, check_seed=args.seed)
     server = LookupServer(managed=managed, workers=args.workers,
@@ -352,7 +372,12 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
                           max_wait_s=args.max_wait / 1000.0,
                           overload=args.overload, mode=args.mode,
                           cache_size=args.cache, backend=args.backend,
-                          name="serve")
+                          name="serve", chaos=chaos_plan,
+                          request_deadline_s=(deadline_ms / 1000.0
+                                              if deadline_ms else None),
+                          ack_timeout_s=2.0 if any(
+                              n.startswith("ack") for n in chaos_names)
+                          else 60.0)
     # Registered after the server's own listener, so by the time this
     # runs the epoch is already bumped: snapshot keys match the epochs
     # the workers tag onto batches.
@@ -371,8 +396,11 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
     handles: List[Optional[object]] = [None] * len(chunks)
 
     def produce(lane: int) -> None:
-        for idx in range(lane, len(chunks), producers):
-            handles[idx] = server.submit(chunks[idx])
+        try:
+            for idx in range(lane, len(chunks), producers):
+                handles[idx] = server.submit(chunks[idx])
+        except ServerError:
+            return  # server closing (signal-drain): stop submitting
 
     generator = (ChurnGenerator(base, seed=args.seed,
                                 profile=PROFILES[args.profile])
@@ -382,23 +410,49 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
                      if generator is not None and args.churn_every else 0)
     pacing = threading.Event()  # never set: .wait() is a pure sleep
 
-    with server, registry.timer("repro_serve_batch"):
-        threads = [threading.Thread(target=produce, args=(lane,),
-                                    name=f"serve-client-{lane}")
-                   for lane in range(producers)]
-        for thread in threads:
-            thread.start()
-        for _ in range(churn_batches):
-            if not any(t.is_alive() for t in threads):
-                break
-            managed.apply_batch(list(generator.ops(args.churn_ops)))
-            pacing.wait(0.001)
-        for thread in threads:
-            thread.join()
-        server.flush()
+    # Graceful drain on SIGINT/SIGTERM: raise in the main thread so
+    # the `with server` unwind closes with drain=True — everything
+    # already accepted is answered before the process exits.
+    def _drain_signal(signum, frame):
+        raise KeyboardInterrupt
+
+    old_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            old_handlers[signum] = signal.signal(signum, _drain_signal)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+
+    try:
+        with server, registry.timer("repro_serve_batch"):
+            threads = [threading.Thread(target=produce, args=(lane,),
+                                        name=f"serve-client-{lane}")
+                       for lane in range(producers)]
+            for thread in threads:
+                thread.start()
+            for _ in range(churn_batches):
+                if not any(t.is_alive() for t in threads):
+                    break
+                managed.apply_batch(list(generator.ops(args.churn_ops)))
+                pacing.wait(0.001)
+            for thread in threads:
+                thread.join()
+            server.flush()
+    except KeyboardInterrupt:
+        # The context manager has already drained and closed.
+        print("serve: interrupted — drained accepted requests and "
+              "shut down cleanly")
+        return 130
+    finally:
+        for signum, handler in old_handlers.items():
+            signal.signal(signum, handler)
+
+    with registry.timer("repro_serve_check"):
         mismatches = straddled = shed = checked = 0
         position = 0
         for handle in handles:
+            if handle is None:  # producer stopped early (signal drain)
+                continue
             try:
                 hops = handle.result(timeout=120)
             except ServerError:
@@ -436,6 +490,13 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
           f"{shed} shed, {straddled} commit-straddled")
     print(f"  churn: {managed.log.batches_total} batches committed, "
           f"serving epoch {server.epoch}, health={managed.health}")
+    if server.supervisor is not None and (chaos_plan is not None
+                                          or server.supervisor.deaths):
+        sup = server.supervisor
+        print(f"  chaos: faults={','.join(chaos_names) or 'none'} "
+              f"deaths={sup.deaths} restarts={sup.restarts} "
+              f"giveups={sup.giveups} requeued={sup.requeued_batches} "
+              f"serving_health={server.health_state}")
     print(f"  throughput: {len(addresses) / serve_s:,.0f} lookups/s "
           f"({serve_s * 1e3:.1f} ms serving)")
     if args.metrics_out:
@@ -591,6 +652,7 @@ def run_bench_serve(
     backend: str = "auto",
     seed: int = 0,
     registry=None,
+    faulted: bool = True,
 ):
     """Closed-loop serving benchmark: sequential vs coalesced concurrent.
 
@@ -598,16 +660,26 @@ def run_bench_serve(
     through a single engine (the un-coalesced path a naive frontend
     would take).  The concurrent side runs ``producers`` closed-loop
     clients, each keeping ``window`` requests outstanding against a
-    :class:`~repro.server.LookupServer`.  Returns the ``values`` /
-    ``timings`` dict the JSON sidecar and the CI gate consume; shared
-    by ``repro bench-serve`` and ``benchmarks/bench_serve.py``.
+    :class:`~repro.server.LookupServer`.
+
+    With ``faulted=True`` a third pass replays the concurrent side
+    under a scripted chaos plan that kills every worker once; the
+    supervisor restarts them and the run records the recovery time
+    (first death to full worker complement) plus the faulted/fault-free
+    throughput ratio the CI gate checks (≥ 0.6x).
+
+    Returns the ``values`` / ``timings`` dict the JSON sidecar and the
+    CI gate consume; shared by ``repro bench-serve`` and
+    ``benchmarks/bench_serve.py``.
     """
     import threading
 
     from .datasets import skewed_addresses
     from .engine import BatchEngine
     from .obs import MetricsRegistry
+    from .obs.clock import MonotonicClock
     from .server import LookupServer
+    from .server.supervisor import RestartPolicy
 
     if registry is None:
         registry = MetricsRegistry()
@@ -622,40 +694,115 @@ def run_bench_serve(
 
     chunks = [addresses[i:i + request_size]
               for i in range(0, len(addresses), request_size)]
+
+    def drive(server) -> None:
+        errors: List[BaseException] = []
+
+        def produce(lane: int) -> None:
+            outstanding = []
+            try:
+                for idx in range(lane, len(chunks), producers):
+                    outstanding.append(server.submit(chunks[idx]))
+                    if len(outstanding) >= window:
+                        outstanding.pop(0).result(timeout=120)
+                for handle in outstanding:
+                    handle.result(timeout=120)
+            except BaseException as exc:  # noqa: BLE001 — surface to caller
+                errors.append(exc)
+
+        threads = [threading.Thread(target=produce, args=(lane,),
+                                    name=f"bench-client-{lane}")
+                   for lane in range(producers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
     server = LookupServer(algo, workers=workers, max_batch=max_batch,
                           max_wait_s=max_wait_s, backend=backend,
                           registry=registry, name="bench-serve")
-    errors: List[BaseException] = []
-
-    def produce(lane: int) -> None:
-        outstanding = []
-        try:
-            for idx in range(lane, len(chunks), producers):
-                outstanding.append(server.submit(chunks[idx]))
-                if len(outstanding) >= window:
-                    outstanding.pop(0).result(timeout=120)
-            for handle in outstanding:
-                handle.result(timeout=120)
-        except BaseException as exc:  # noqa: BLE001 — surface to caller
-            errors.append(exc)
-
     with server:
         with registry.timer("repro_bench_serve_concurrent"):
-            threads = [threading.Thread(target=produce, args=(lane,),
-                                        name=f"bench-client-{lane}")
-                       for lane in range(producers)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+            drive(server)
         backend_used = server.active_backend
-    if errors:
-        raise errors[0]
+
+    fault_values = {}
+    fault_timings = {}
+    if faulted:
+        from .chaos import ChaosPlan
+        from .server import ServingHealth
+
+        # Kill every worker exactly once, early and staggered; the
+        # supervisor must restart each within its (tiny) backoff.
+        script = [("kill", w, 1 + w) for w in range(workers)]
+        plan = ChaosPlan(injectors=[], script=script)
+        # Lenient health thresholds: the scripted kill burst must not
+        # flip the server into DEGRADED/BROWNOUT, or the measurement
+        # compares a shedding server against a serving one instead of
+        # isolating the cost of deaths + restarts + re-queues.
+        lenient = ServingHealth(
+            MonotonicClock(), queue_capacity=32,
+            degraded_restarts=10 * workers,
+            brownout_restarts=20 * workers,
+            degraded_miss_rate=1.1, brownout_miss_rate=1.1,
+            degraded_depth=100.0, brownout_depth=200.0)
+        faulted_server = LookupServer(
+            algo, workers=workers, max_batch=max_batch,
+            max_wait_s=max_wait_s, backend=backend, registry=registry,
+            name="bench-serve-faulted", chaos=plan, health=lenient,
+            restart_policy=RestartPolicy(
+                base_backoff_s=0.005, max_backoff_s=0.02,
+                budget=4 * workers, window_s=3600.0, seed=seed))
+        clock = MonotonicClock()
+        recovery = {"death_at": None, "restored_at": None}
+        watcher_stop = threading.Event()
+
+        def watch() -> None:
+            pool = faulted_server.pool
+            while not watcher_stop.wait(0.001):
+                alive = pool.alive_workers()
+                if recovery["death_at"] is None:
+                    if alive < workers:
+                        recovery["death_at"] = clock.now()
+                elif recovery["restored_at"] is None and alive == workers:
+                    recovery["restored_at"] = clock.now()
+
+        watcher = threading.Thread(target=watch, name="bench-chaos-watch")
+        with faulted_server:
+            watcher.start()
+            with registry.timer("repro_bench_serve_faulted"):
+                drive(faulted_server)
+            # Pending restarts may still be in their (tiny) backoff;
+            # give them a bounded window so recovery_s is recorded.
+            settle = threading.Event()
+            supervisor = faulted_server.supervisor
+            for _ in range(1000):
+                caught_up = (supervisor.restarts + supervisor.giveups
+                             >= supervisor.deaths)
+                seen = (recovery["death_at"] is None
+                        or recovery["restored_at"] is not None)
+                if caught_up and seen:
+                    break
+                settle.wait(0.002)
+            watcher_stop.set()
+            watcher.join()
+        recovery_s = (recovery["restored_at"] - recovery["death_at"]
+                      if recovery["death_at"] is not None
+                      and recovery["restored_at"] is not None else None)
+        fault_values = {
+            "faulted_kills_scripted": len(script),
+            "faulted_worker_deaths": supervisor.deaths,
+            "faulted_worker_restarts": supervisor.restarts,
+            "faulted_threshold_x": 0.6,
+        }
+        fault_timings = {"recovery_s": recovery_s}
 
     timings = registry.timings_snapshot()
     sequential_s = timings["repro_bench_serve_sequential"]["total_s"] or 1e-9
     concurrent_s = timings["repro_bench_serve_concurrent"]["total_s"] or 1e-9
-    return {
+    doc = {
         "values": {
             "algo": algo_name,
             "backend": backend_used,
@@ -666,6 +813,7 @@ def run_bench_serve(
             "window": window,
             "workers": workers,
             "speedup_threshold_x": 2.0,
+            **fault_values,
         },
         "timings": {
             "sequential_s": sequential_s,
@@ -673,8 +821,15 @@ def run_bench_serve(
             "sequential_lookups_per_s": len(addresses) / sequential_s,
             "concurrent_lookups_per_s": len(addresses) / concurrent_s,
             "speedup_x": sequential_s / concurrent_s,
+            **fault_timings,
         },
     }
+    if faulted:
+        faulted_s = timings["repro_bench_serve_faulted"]["total_s"] or 1e-9
+        doc["timings"]["faulted_s"] = faulted_s
+        doc["timings"]["faulted_lookups_per_s"] = len(addresses) / faulted_s
+        doc["timings"]["faulted_throughput_x"] = concurrent_s / faulted_s
+    return doc
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -715,6 +870,18 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
           f"lookups/s ({timings['concurrent_s'] * 1e3:.1f} ms)")
     print(f"  speedup: {timings['speedup_x']:.1f}x "
           f"(threshold {args.threshold:.1f}x)")
+    faulted_x = timings.get("faulted_throughput_x")
+    if faulted_x is not None:
+        recovery = timings.get("recovery_s")
+        recovery_txt = (f"{recovery * 1e3:.1f} ms"
+                        if recovery is not None else "n/a")
+        print(f"  faulted:    {timings['faulted_lookups_per_s']:,.0f} "
+              f"lookups/s ({timings['faulted_s'] * 1e3:.1f} ms) — "
+              f"{doc['values']['faulted_worker_deaths']} kill(s), "
+              f"{doc['values']['faulted_worker_restarts']} restart(s), "
+              f"recovery {recovery_txt}")
+        print(f"  faulted throughput: {faulted_x:.2f}x fault-free "
+              f"(threshold {doc['values']['faulted_threshold_x']:.1f}x)")
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     sidecar = {
@@ -727,11 +894,85 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     out.write_text(json.dumps(sidecar, indent=2, sort_keys=True,
                               default=str) + "\n")
     print(f"  wrote {out}")
+    failed = False
     if args.threshold and timings["speedup_x"] < args.threshold:
         print(f"bench-serve: speedup below the {args.threshold:.1f}x "
               "threshold")
-        return 1
-    return 0
+        failed = True
+    if faulted_x is not None and faulted_x < doc["values"]["faulted_threshold_x"]:
+        print(f"bench-serve: faulted throughput "
+              f"{faulted_x:.2f}x below the "
+              f"{doc['values']['faulted_threshold_x']:.1f}x threshold")
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    """Deterministic chaos soak: fault-injected serving vs the oracle."""
+    import json
+    import pathlib
+
+    from .chaos import ALL_CHAOS, DEFAULT_CHAOS, SoakFailure, run_chaos_soak
+
+    if args.chaos == "all":
+        names = sorted(ALL_CHAOS)
+    elif args.chaos in (None, "default"):
+        names = list(DEFAULT_CHAOS)
+    else:
+        names = [n for n in args.chaos.split(",") if n]
+    script = []
+    for event in args.script or []:
+        try:
+            kind, worker, seq = event.split(":")
+            script.append((kind, int(worker), int(seq)))
+        except ValueError:
+            raise SystemExit(
+                f"chaos-soak: bad --script event {event!r} "
+                "(expected KIND:WORKER:SEQ, e.g. kill:1:7)")
+    modes = ["thread", "process"] if args.mode == "both" else [args.mode]
+    runs = []
+    ok = True
+    for mode in modes:
+        try:
+            report = run_chaos_soak(
+                mode=mode, workers=args.workers, requests=args.requests,
+                request_size=args.request_size, seed=args.seed,
+                chaos=names, rate=args.rate, script=script,
+                deadline_s=(args.deadline / 1000.0
+                            if args.deadline else None))
+        except SoakFailure as failure:
+            report = (failure.args[1] if len(failure.args) > 1
+                      else {"mode": mode, "ok": False,
+                            "failures": [str(failure.args[0])]})
+            ok = False
+        runs.append(report)
+        status = "ok" if report.get("ok") else "FAILED"
+        print(f"chaos-soak[{mode}]: {status} "
+              f"requests={report.get('requests')} "
+              f"answered={report.get('answered')} "
+              f"shed={report.get('shed')} "
+              f"deadline_timeouts={report.get('deadline_timeouts')} "
+              f"lost={report.get('lost')} dup={report.get('duplicated')} "
+              f"stale={report.get('stale')} "
+              f"deaths={report.get('worker_deaths')} "
+              f"restarts={report.get('worker_restarts')} "
+              f"health={report.get('final_health')}")
+        for failure in report.get("failures", []):
+            print(f"  violation: {failure}")
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    sidecar = {
+        "bench": out.stem,
+        "values": {"modes": modes, "chaos": names,
+                   "script": [list(event) for event in script],
+                   "seed": args.seed, "requests": args.requests,
+                   "workers": args.workers},
+        "runs": runs,
+        "ok": ok,
+    }
+    out.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {out}")
+    return 0 if ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -988,6 +1229,16 @@ def build_parser() -> argparse.ArgumentParser:
                    default="block",
                    help="backpressure policy when the worker queue is "
                         "full (--workers)")
+    p.add_argument("--chaos", metavar="NAMES",
+                   help="inject seeded dataplane faults while serving "
+                        "(--workers): comma-separated injector names, "
+                        "'default' (kills + batch exceptions + commit "
+                        "stalls) or 'all'")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="chaos schedule seed (default: --seed)")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-request deadline in milliseconds "
+                        "(--workers; 0 disables)")
     p.add_argument("--smoke", action="store_true",
                    help="CI smoke mode: small table, 4k requests, churn on")
     p.add_argument("--metrics-out", metavar="FILE",
@@ -1034,6 +1285,40 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/results/serve_concurrency.json",
                    help="JSON sidecar path")
     p.set_defaults(func=cmd_bench_serve)
+
+    p = sub.add_parser(
+        "chaos-soak",
+        help="fault-injected serving soak checked against the oracle",
+        description="Serve a seeded workload under scripted dataplane "
+                    "chaos (worker kills, batch exceptions, ack faults, "
+                    "commit stalls) and assert the robustness "
+                    "invariants: zero lost, duplicated, or stale reads; "
+                    "every killed worker restarted; no future outlives "
+                    "its deadline unresolved.  Writes a JSON sidecar.",
+    )
+    p.add_argument("--mode", choices=["thread", "process", "both"],
+                   default="both")
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--requests", type=int, default=300)
+    p.add_argument("--request-size", type=int, default=8,
+                   help="addresses per request (must divide the soak's "
+                        "max batch of 64)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chaos", metavar="NAMES",
+                   help="comma-separated injector names, 'default' "
+                        "(kills + batch exceptions + commit stalls) or "
+                        "'all'")
+    p.add_argument("--rate", type=float, default=None,
+                   help="override every injector's fire rate")
+    p.add_argument("--script", action="append", metavar="KIND:WORKER:SEQ",
+                   help="exact trigger, e.g. kill:1:7 (repeatable)")
+    p.add_argument("--deadline", type=float, default=30000.0,
+                   help="per-request deadline in milliseconds "
+                        "(0 disables)")
+    p.add_argument("--out", metavar="FILE",
+                   default="benchmarks/results/chaos_soak.json",
+                   help="JSON sidecar path")
+    p.set_defaults(func=cmd_chaos_soak)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
     p.add_argument("--year", type=int, default=2033)

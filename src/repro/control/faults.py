@@ -19,6 +19,12 @@ given (fault set, seed) pair replays identically.  Fault decisions for
 a batch are fixed when the batch is armed, not when ops execute —
 otherwise a retry would re-roll the dice and transient faults could
 never be retried deterministically.
+
+:mod:`repro.chaos` is this module's *dataplane* twin: the same
+named-registry + seeded-stream idiom (``ChaosPlan.build(names, seed)``
+mirrors :meth:`FaultPlan.build`), but its injectors break the serving
+machinery — worker kills, in-batch exceptions, snapshot-ack faults —
+instead of the update stream.
 """
 
 from __future__ import annotations
@@ -252,6 +258,11 @@ class FaultPlan:
     @classmethod
     def none(cls) -> "FaultPlan":
         return cls([])
+
+    def names(self) -> List[str]:
+        """Active injector names, in order (for run sidecars/logs;
+        the chaos harness reports its plan the same way)."""
+        return [injector.name for injector in self.injectors]
 
     def mutate(self, batch_index: int, batch: List[UpdateOp]) -> List[UpdateOp]:
         for injector in self.injectors:

@@ -146,6 +146,29 @@ class BatchEngine:
             return "vector"
         return "plan"
 
+    def set_backend(self, backend: str) -> None:
+        """Switch execution backend in place (health degradation path).
+
+        A DEGRADED server falls back from ``"vector"`` to the scalar
+        ``"plan"`` backend — and back — without rebuilding the engine:
+        the compiled plans are kept (or recompiled when switching *to*
+        a vector-capable backend for the first time) and the FIB cache
+        survives the flip.
+        """
+        if backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"backend {backend!r} not one of {ENGINE_BACKENDS}")
+        if backend == self.backend:
+            return
+        self.backend = backend
+        if backend != "plan" and self._vector is None:
+            self._compile()
+        else:
+            active = self.active_backend
+            for candidate in ENGINE_BACKENDS:
+                self._backend_gauge.set(1 if candidate == active else 0,
+                                        engine=self.name, backend=candidate)
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------

@@ -63,12 +63,27 @@ class Clock:
         """Arrange for ``callback()`` once ``now() >= when``."""
         raise NotImplementedError
 
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread until ``seconds`` have passed.
+
+        The retry/backoff primitive for code outside ``repro.obs``
+        (which may not import ``time``): :class:`MonotonicClock` really
+        sleeps; :class:`FakeClock` advances virtual time instead, so a
+        test's retry loop runs instantly and any timers due within the
+        backoff window fire synchronously, in order.
+        """
+        raise NotImplementedError
+
 
 class MonotonicClock(Clock):
     """Real wall-clock time (monotonic, immune to clock steps)."""
 
     def now(self) -> float:
         return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
         handle = TimerHandle()
@@ -112,6 +127,12 @@ class FakeClock(Clock):
                 (float(when), next(self._sequence), callback, handle),
             )
         return handle
+
+    def sleep(self, seconds: float) -> None:
+        """Virtual sleep: advances the clock (fires due timers)."""
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration ({seconds})")
+        self.advance(seconds)
 
     def pending_timers(self) -> int:
         """Armed (uncancelled) timers — a determinism probe for tests."""

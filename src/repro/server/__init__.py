@@ -9,11 +9,16 @@ Layers, bottom-up:
   bounded queue with block/shed backpressure;
 * :mod:`repro.server.procpool` — the same contract over forked
   processes with FIB-snapshot shipping at each commit;
+* :mod:`repro.server.supervisor` — worker supervision (budgeted
+  restarts, orphan re-queue), the HEALTHY/DEGRADED/BROWNOUT health
+  state machine, and idempotent client-side retries;
 * :mod:`repro.server.server` — :class:`LookupServer`, the facade that
   wires the pieces to :class:`~repro.control.ManagedFib` commits and
   :class:`~repro.obs.MetricsRegistry` telemetry.
 
-See ``docs/serving.md`` for the architecture and consistency model.
+See ``docs/serving.md`` for the architecture and consistency model,
+``docs/robustness.md`` for the dataplane fault model, and
+:mod:`repro.chaos` for the deterministic fault-injection harness.
 """
 
 from .coalescer import (
@@ -21,12 +26,22 @@ from .coalescer import (
     PendingLookup,
     RequestCoalescer,
     RequestShed,
+    RequestTimeout,
     ServerClosed,
     ServerError,
+    WorkerCrash,
 )
 from .pool import CommitGate, ThreadWorkerPool
-from .procpool import ProcessWorkerPool, fib_snapshot
+from .procpool import ProcessWorkerPool, WorkerDeath, fib_snapshot
 from .server import SERVER_MODES, SERVER_OVERLOAD_POLICIES, LookupServer
+from .supervisor import (
+    RestartPolicy,
+    RetryingClient,
+    RetryPolicy,
+    ServingHealth,
+    ServingState,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "CoalescedBatch",
@@ -36,10 +51,19 @@ __all__ = [
     "ProcessWorkerPool",
     "RequestCoalescer",
     "RequestShed",
+    "RequestTimeout",
+    "RestartPolicy",
+    "RetryPolicy",
+    "RetryingClient",
     "SERVER_MODES",
     "SERVER_OVERLOAD_POLICIES",
     "ServerClosed",
     "ServerError",
+    "ServingHealth",
+    "ServingState",
     "ThreadWorkerPool",
+    "WorkerCrash",
+    "WorkerDeath",
+    "WorkerSupervisor",
     "fib_snapshot",
 ]

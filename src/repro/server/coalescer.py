@@ -35,6 +35,8 @@ __all__ = [
     "ServerError",
     "ServerClosed",
     "RequestShed",
+    "RequestTimeout",
+    "WorkerCrash",
     "PendingLookup",
     "CoalescedBatch",
     "RequestCoalescer",
@@ -53,6 +55,27 @@ class RequestShed(ServerError):
     """The request was dropped by the overload policy."""
 
 
+class RequestTimeout(ServerError):
+    """The request's per-request deadline expired before an answer.
+
+    Raised *through the future* (``result()``), never by hanging: a
+    deadline-armed :class:`PendingLookup` always resolves — answered,
+    shed, closed, or timed out.  Safe to retry: lookups are idempotent
+    reads, so a client may resubmit (see
+    :class:`~repro.server.supervisor.RetryingClient`).
+    """
+
+
+class WorkerCrash(ServerError):
+    """A worker died mid-batch (chaos kill or a genuine thread death).
+
+    Unlike an ordinary engine exception — which fails the batch's
+    futures — a crash leaves the batch *unscattered*; the supervisor
+    re-queues it on a surviving worker, preserving exactly-once
+    delivery.
+    """
+
+
 class PendingLookup:
     """A future for one submitted request's next hops.
 
@@ -64,7 +87,8 @@ class PendingLookup:
     """
 
     __slots__ = ("addresses", "submitted_at", "epoch", "deliveries",
-                 "_hops", "_remaining", "_event", "_error", "_epoch_min")
+                 "_hops", "_remaining", "_event", "_error", "_epoch_min",
+                 "deadline_timer")
 
     def __init__(self, addresses: Sequence[int], submitted_at: float):
         self.addresses = list(addresses)
@@ -74,6 +98,9 @@ class PendingLookup:
         #: Scatter calls that landed on this handle (tests assert on
         #: it: a non-spanning request must see exactly one delivery).
         self.deliveries = 0
+        #: A per-request deadline timer armed by the server (or None);
+        #: cancelled automatically once the request resolves.
+        self.deadline_timer = None
         self._hops: List[Optional[int]] = [None] * len(self.addresses)
         self._remaining = len(self.addresses)
         self._event = threading.Event()
@@ -101,6 +128,7 @@ class PendingLookup:
                 else min(self._epoch_min, epoch)
         if self._remaining <= 0:
             self._event.set()
+            self._disarm_deadline()
             return True
         return False
 
@@ -110,7 +138,14 @@ class PendingLookup:
             return False
         self._error = error
         self._event.set()
+        self._disarm_deadline()
         return True
+
+    def _disarm_deadline(self) -> None:
+        timer = self.deadline_timer
+        if timer is not None:
+            self.deadline_timer = None
+            timer.cancel()
 
     # -- caller side ---------------------------------------------------
     def done(self) -> bool:

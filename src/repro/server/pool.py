@@ -21,15 +21,33 @@ for in-flight batches to finish, swaps/refreshes every replica, bumps
 the serving epoch, and only then lets new batches through.  A batch
 therefore executes entirely within one epoch — it can never observe a
 half-applied update.
+
+Failure semantics (the fault model ``docs/robustness.md`` documents):
+
+* an **engine exception** fails the batch's futures with that error and
+  the worker keeps serving — clients see a typed error, never a hang;
+* a **worker crash** (:class:`~repro.server.coalescer.WorkerCrash`, or
+  any exception escaping the worker loop itself) leaves the batch
+  *unscattered* and exits the thread; the ``on_worker_exit`` callback
+  hands the orphaned batch to the supervisor, which re-queues it on a
+  surviving worker and restarts the dead one within its budget.  A
+  bare pool (no supervisor wired) fails the orphan instead of losing
+  it — every accepted batch resolves either way.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from .coalescer import CoalescedBatch, PendingLookup, ServerError
+from .coalescer import (
+    CoalescedBatch,
+    PendingLookup,
+    RequestShed,
+    ServerError,
+    WorkerCrash,
+)
 
 __all__ = ["CommitGate", "ThreadWorkerPool"]
 
@@ -42,6 +60,11 @@ class CommitGate:
 
     Writer-preferring: once a commit is waiting, new batches queue up
     behind it, so a steady request stream cannot starve updates.
+    Unbalanced releases raise :class:`ServerError` instead of silently
+    corrupting the reader count — a double ``release_read`` (or a
+    ``release_write`` without the write side held) is always a bug in
+    the caller, and a negative reader count would let a commit proceed
+    with batches still in flight.
     """
 
     def __init__(self) -> None:
@@ -59,6 +82,9 @@ class CommitGate:
 
     def release_read(self) -> None:
         with self._cond:
+            if self._readers <= 0:
+                raise ServerError(
+                    "release_read without a matching acquire_read")
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
@@ -74,6 +100,9 @@ class CommitGate:
 
     def release_write(self) -> None:
         with self._cond:
+            if not self._writer_active:
+                raise ServerError(
+                    "release_write without a matching acquire_write")
             self._writer_active = False
             self._cond.notify_all()
 
@@ -114,6 +143,10 @@ class ThreadWorkerPool:
         on_depth: Optional[Callable[[int], None]] = None,
         on_error: Optional[Callable[[CoalescedBatch,
                                      BaseException], None]] = None,
+        on_worker_exit: Optional[Callable[[int, BaseException,
+                                           Optional[CoalescedBatch]],
+                                          None]] = None,
+        backend_of: Optional[Callable[[], Optional[str]]] = None,
     ):
         if not engines:
             raise ValueError("need at least one worker engine")
@@ -128,8 +161,12 @@ class ThreadWorkerPool:
         self._on_done = on_done
         self._on_depth = on_depth
         self._on_error = on_error
+        self._on_worker_exit = on_worker_exit
+        self._backend_of = backend_of
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
-        self._threads: List[threading.Thread] = []
+        self._threads: Dict[int, threading.Thread] = {}
+        self._spawns = 0
+        self._lifecycle = threading.Lock()
         self._started = False
         self._closed = False
 
@@ -142,19 +179,48 @@ class ThreadWorkerPool:
         return self._queue.qsize()
 
     def alive(self) -> bool:
-        return any(t.is_alive() for t in self._threads)
+        return any(t.is_alive() for t in self._threads.values())
+
+    def alive_workers(self) -> int:
+        """How many worker threads are currently running."""
+        return sum(1 for t in self._threads.values() if t.is_alive())
+
+    def worker_alive(self, worker: int) -> bool:
+        thread = self._threads.get(worker)
+        return thread is not None and thread.is_alive()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for i, engine in enumerate(self.engines):
-            thread = threading.Thread(
-                target=self._run, args=(engine,),
-                name=f"repro-serve-w{i}", daemon=True)
-            self._threads.append(thread)
-            thread.start()
+        with self._lifecycle:
+            if self._started:
+                return
+            self._started = True
+            for i in range(len(self.engines)):
+                self._spawn(i)
+
+    def _spawn(self, worker: int) -> None:
+        """Start (or replace) worker ``worker``'s thread.  Caller holds
+        ``_lifecycle``."""
+        self._spawns += 1
+        thread = threading.Thread(
+            target=self._run, args=(worker, self.engines[worker]),
+            name=f"repro-serve-w{worker}", daemon=True)
+        self._threads[worker] = thread
+        thread.start()
+
+    def restart_worker(self, worker: int) -> bool:
+        """Replace a dead worker's thread; ``False`` if it is still
+        alive, the index is unknown, or the pool is closed."""
+        with self._lifecycle:
+            if self._closed or not self._started:
+                return False
+            if not 0 <= worker < len(self.engines):
+                return False
+            thread = self._threads.get(worker)
+            if thread is not None and thread.is_alive():
+                return False
+            self._spawn(worker)
+            return True
 
     def submit(self, batch: CoalescedBatch) -> bool:
         """Enqueue a batch; ``False`` means the shed policy refused it."""
@@ -167,6 +233,31 @@ class ThreadWorkerPool:
                 return False
         else:
             self._queue.put(batch)
+        if self._closed:
+            # Raced a concurrent close(): the workers may already be
+            # gone.  Sweep the queue so the batch resolves either way.
+            self._fail_leftovers(ServerError("server closed during submit"))
+        self._note_depth()
+        return True
+
+    def requeue(self, batch: CoalescedBatch) -> bool:
+        """Put an orphaned batch (dead worker) back on the queue.
+
+        Never blocks — the caller may be the dying worker itself.  On a
+        full queue or a closed pool the batch is *failed*, not dropped:
+        re-queue preserves exactly-once delivery, and when it can't,
+        the futures still resolve with a typed error.
+        """
+        if self._closed:
+            batch.fail(ServerError("server closed before serving"))
+            return False
+        try:
+            self._queue.put_nowait(batch)
+        except queue.Full:
+            batch.fail(RequestShed(
+                f"worker died and the re-queue of its batch of "
+                f"{len(batch)} found the queue full"))
+            return False
         self._note_depth()
         return True
 
@@ -176,26 +267,42 @@ class ThreadWorkerPool:
         ``drain=True`` lets every queued batch finish first (the stop
         sentinels queue FIFO behind them); ``drain=False`` fails the
         queued batches with :class:`ServerError` and stops as soon as
-        the in-flight ones complete.
+        the in-flight ones complete.  Idempotent and safe to call
+        concurrently (with other closers and with ``submit``).
         """
-        if not self._started or self._closed:
+        with self._lifecycle:
+            if not self._started or self._closed:
+                self._closed = True
+                return
             self._closed = True
-            return
-        self._closed = True
+            threads = list(self._threads.values())
         if not drain:
-            error = ServerError("server closed before serving")
-            while True:
-                try:
-                    batch = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if batch is not _STOP:
-                    batch.fail(error)
-        for _ in self._threads:
+            self._fail_leftovers(ServerError("server closed before serving"))
+        for _ in threads:
             self._queue.put(_STOP)
-        for thread in self._threads:
+        for thread in threads:
             thread.join()
+        # Crashed workers (or submits racing the close) can leave
+        # batches behind the sentinels; nothing will serve them now.
+        self._fail_leftovers(ServerError("server closed before serving"))
         self._note_depth()
+
+    def _fail_leftovers(self, error: ServerError) -> None:
+        # A sweep racing close() can dequeue stop sentinels meant for
+        # the workers; they must go back or a worker blocks in get()
+        # forever (and close() then hangs joining it).
+        sentinels = 0
+        while True:
+            try:
+                batch = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if batch is _STOP:
+                sentinels += 1
+            else:
+                batch.fail(error)
+        for _ in range(sentinels):
+            self._queue.put(_STOP)
 
     # ------------------------------------------------------------------
     def on_commit(self, outcome: str, algo, touched) -> None:
@@ -212,23 +319,56 @@ class ThreadWorkerPool:
         if self._on_depth is not None:
             self._on_depth(self._queue.qsize())
 
-    def _run(self, engine) -> None:
-        while True:
-            batch = self._queue.get()
-            if batch is _STOP:
-                return
-            self._note_depth()
-            try:
-                with self.gate.read():
-                    # The epoch is stable for the whole read section —
-                    # commits bump it only under the write side.
-                    epoch = self._epoch_of()
-                    hops = engine.lookup_batch(batch.addresses)
-            except BaseException as exc:  # noqa: BLE001 — fail, don't hang
-                batch.fail(exc)
-                if self._on_error is not None:
-                    self._on_error(batch, exc)
-                continue
-            finished = batch.complete(hops, epoch)
-            if self._on_done is not None:
-                self._on_done(batch, finished)
+    def _apply_backend(self, engine) -> None:
+        """Honour the server's backend preference (health degradation)
+        between batches — each worker flips only its own replica, so no
+        cross-thread engine state is ever touched."""
+        if self._backend_of is None:
+            return
+        want = self._backend_of()
+        if want is not None and getattr(engine, "backend", want) != want \
+                and hasattr(engine, "set_backend"):
+            engine.set_backend(want)
+
+    def _run(self, worker: int, engine) -> None:
+        batch: Optional[CoalescedBatch] = None
+        try:
+            while True:
+                batch = self._queue.get()
+                if batch is _STOP:
+                    return
+                self._note_depth()
+                self._apply_backend(engine)
+                try:
+                    with self.gate.read():
+                        # The epoch is stable for the whole read section
+                        # — commits bump it only under the write side.
+                        epoch = self._epoch_of()
+                        hops = engine.lookup_batch(batch.addresses)
+                    # complete() runs inside the try: a scatter error
+                    # (wrong hop count, a raising on_done) must fail
+                    # the futures and count, never kill the thread
+                    # silently with requests left hanging.
+                    finished = batch.complete(hops, epoch)
+                    if self._on_done is not None:
+                        self._on_done(batch, finished)
+                except WorkerCrash:
+                    # A simulated (or real) crash: the batch is still
+                    # unscattered — escape the loop so the supervisor
+                    # can re-queue it and restart this worker.
+                    raise
+                except BaseException as exc:  # noqa: BLE001 — fail, don't hang
+                    batch.fail(exc)
+                    if self._on_error is not None:
+                        self._on_error(batch, exc)
+                batch = None
+        except BaseException as exc:  # noqa: BLE001 — worker death
+            orphan = batch if batch is not None and batch is not _STOP \
+                else None
+            if self._on_error is not None:
+                self._on_error(orphan, exc)
+            if self._on_worker_exit is not None:
+                self._on_worker_exit(worker, exc, orphan)
+            elif orphan is not None:
+                # No supervisor: the orphan must still resolve.
+                orphan.fail(exc)

@@ -18,6 +18,22 @@ side:
   worker, and waits for their acks — per-worker queues are FIFO, so a
   worker can never serve a post-commit batch from a pre-commit table.
 
+Fault tolerance (new in the supervision layer):
+
+* a **liveness monitor** thread watches the children; a worker that
+  dies (chaos kill, OOM, a real crash) has its in-flight batches
+  popped and handed — still unscattered — to the ``on_worker_exit``
+  callback, so the supervisor can re-queue them on surviving workers
+  and :meth:`restart_worker` the dead one.  A restarted worker forks
+  fresh from the **latest shipped snapshot**, so it re-joins already
+  in sync with the serving epoch;
+* a worker that fails to **ack a snapshot** within ``ack_timeout_s``
+  (a delayed/dropped ack, the hardest commit-window fault) is killed
+  and reported the same way instead of stalling every commit forever
+  — the restart rebuilds it from the very snapshot it failed to ack;
+* :meth:`close` is idempotent and safe against concurrent
+  ``submit``/``close`` calls.
+
 Requires the ``fork`` start method (no pickling of factories; the
 child inherits the code image).  On platforms without it the
 constructor raises :class:`~repro.server.coalescer.ServerError` and
@@ -28,6 +44,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import queue as queue_mod
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
@@ -35,10 +52,20 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .coalescer import CoalescedBatch, PendingLookup, ServerError
 from .pool import CommitGate
 
-__all__ = ["ProcessWorkerPool", "fib_snapshot"]
+__all__ = ["ProcessWorkerPool", "WorkerDeath", "fib_snapshot"]
 
 #: ``(bits, length, hop)`` triples — the wire format of a FIB snapshot.
 Snapshot = List[Tuple[int, int, int]]
+
+#: Exit code a chaos-killed child dies with (visible in ``exitcode``).
+CHAOS_EXIT = 23
+
+#: How often the liveness monitor polls the children, seconds.
+_MONITOR_POLL_S = 0.02
+
+
+class WorkerDeath(ServerError):
+    """A forked worker process died with batches in flight."""
 
 
 def fib_snapshot(fib) -> Snapshot:
@@ -59,9 +86,20 @@ def _build_engine(width: int, factory, snapshot: Snapshot,
 
 
 def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
-                 backend: str, cache_size: int, task_q, result_q) -> None:
-    """Child body: rebuild from snapshots, answer address batches."""
+                 backend: str, cache_size: int, task_q, result_q,
+                 chaos=None, batch_seq0: int = 0, commit_seq0: int = 0) -> None:
+    """Child body: rebuild from snapshots, answer address batches.
+
+    ``chaos`` is a duck-typed dataplane fault plan
+    (:class:`~repro.chaos.ChaosPlan`): ``batch_action(worker, seq)``
+    may ask the child to hard-crash (``os._exit``) or raise inside a
+    batch, ``ack_action(worker, seq)`` may delay or drop a
+    snapshot-ack.  Sequence numbers continue across restarts
+    (``batch_seq0``/``commit_seq0``), so a fault schedule is a pure
+    function of the seed — replays are deterministic.
+    """
     engine = _build_engine(width, factory, snapshot, backend, cache_size)
+    batch_seq, commit_seq = batch_seq0, commit_seq0
     while True:
         message = task_q.get()
         kind = message[0]
@@ -69,12 +107,34 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
             result_q.put(("bye", worker_idx))
             return
         if kind == "snapshot":
+            action = (chaos.ack_action(worker_idx, commit_seq)
+                      if chaos is not None else None)
+            commit_seq += 1
             engine = _build_engine(width, factory, message[1],
                                    backend, cache_size)
+            if action is not None:
+                delay_s, drop = action
+                if drop:
+                    # Simulate a hung worker: never ack.  The parent's
+                    # ack timeout kills and restarts us.
+                    continue
+                if delay_s:
+                    threading.Event().wait(delay_s)
             result_q.put(("ack", worker_idx))
             continue
         _kind, batch_id, addresses = message
+        action = (chaos.batch_action(worker_idx, batch_seq)
+                  if chaos is not None else None)
+        batch_seq += 1
         try:
+            if action == "crash":
+                # A hard worker death: no cleanup, no reply — the
+                # parent's liveness monitor must notice on its own.
+                os._exit(CHAOS_EXIT)
+            if action == "raise":
+                raise ServerError(
+                    f"[chaos] injected batch exception on worker "
+                    f"{worker_idx} (batch seq {batch_seq - 1})")
             hops = engine.lookup_batch(addresses)
         except Exception as exc:  # noqa: BLE001 — report, don't die
             result_q.put(("error", batch_id, repr(exc)))
@@ -99,11 +159,15 @@ class ProcessWorkerPool:
         on_done: Optional[Callable[[CoalescedBatch,
                                     List[PendingLookup]], None]] = None,
         on_depth: Optional[Callable[[int], None]] = None,
-        on_error: Optional[Callable[[CoalescedBatch,
+        on_error: Optional[Callable[[Optional[CoalescedBatch],
                                      BaseException], None]] = None,
+        on_worker_exit: Optional[Callable[[int, BaseException,
+                                           List[CoalescedBatch]],
+                                          None]] = None,
         backend: str = "plan",
         cache_size: int = 0,
         ack_timeout_s: float = 60.0,
+        chaos=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -120,73 +184,178 @@ class ProcessWorkerPool:
         self._on_done = on_done
         self._on_depth = on_depth
         self._on_error = on_error
+        self._on_worker_exit = on_worker_exit
         self._ack_timeout_s = ack_timeout_s
-        self._task_qs = [self._ctx.Queue(queue_depth)
-                         for _ in range(workers)]
+        self._chaos = chaos
+        self._width = width
+        self._factory = factory
+        self._backend = backend
+        self._cache_size = cache_size
+        self._queue_depth = queue_depth
+        self._snapshot: Snapshot = snapshot
+        self._n = workers
+        self._task_qs: List = [self._ctx.Queue(queue_depth)
+                               for _ in range(workers)]
         self._result_q = self._ctx.Queue()
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(i, width, factory, snapshot, backend, cache_size,
-                      self._task_qs[i], self._result_q),
-                name=f"repro-serve-p{i}", daemon=True)
-            for i in range(workers)
-        ]
+        self._procs: List[Optional[multiprocessing.Process]] = [
+            None] * workers
+        # Per-worker (batch, commit) sequence counters, carried across
+        # restarts so chaos schedules stay a pure function of the seed.
+        self._batch_seqs = [0] * workers
+        self._commit_seqs = [0] * workers
         self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
         self._ids = itertools.count()
         self._rr = 0
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._inflight: Dict[int, Tuple[CoalescedBatch, int]] = {}
-        self._acks = 0
+        #: batch_id -> (batch, epoch, worker)
+        self._inflight: Dict[int, Tuple[CoalescedBatch, int, int]] = {}
+        self._acked: set = set()
         self._started = False
         self._closed = False
+        self._lifecycle = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
     def workers(self) -> int:
-        return len(self._procs)
+        return self._n
 
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._inflight)
 
     def alive(self) -> bool:
-        return any(p.is_alive() for p in self._procs)
+        return any(p is not None and p.is_alive() for p in self._procs)
+
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._procs if p is not None and p.is_alive())
+
+    def worker_alive(self, worker: int) -> bool:
+        proc = self._procs[worker]
+        return proc is not None and proc.is_alive()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for proc in self._procs:
-            proc.start()
-        self._collector = threading.Thread(
-            target=self._collect, name="repro-serve-collector", daemon=True)
-        self._collector.start()
+        with self._lifecycle:
+            if self._started:
+                return
+            self._started = True
+            for i in range(self._n):
+                self._spawn(i)
+            self._collector = threading.Thread(
+                target=self._collect, name="repro-serve-collector",
+                daemon=True)
+            self._collector.start()
+            self._monitor = threading.Thread(
+                target=self._watch, name="repro-serve-monitor", daemon=True)
+            self._monitor.start()
 
+    def _spawn(self, worker: int) -> None:
+        """Fork worker ``worker`` from the latest snapshot (caller
+        holds ``_lifecycle`` or runs before any concurrency)."""
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker, self._width, self._factory, self._snapshot,
+                  self._backend, self._cache_size,
+                  self._task_qs[worker], self._result_q,
+                  self._chaos, self._batch_seqs[worker],
+                  self._commit_seqs[worker]),
+            name=f"repro-serve-p{worker}", daemon=True)
+        self._procs[worker] = proc
+        proc.start()
+
+    def restart_worker(self, worker: int) -> bool:
+        """Fork a replacement for a dead worker from the latest
+        shipped snapshot (epoch re-sync is free: the snapshot *is* the
+        serving epoch's table).  ``False`` if it is still alive or the
+        pool is closed."""
+        with self._lifecycle:
+            if self._closed or not self._started:
+                return False
+            if not 0 <= worker < self._n:
+                return False
+            if self.worker_alive(worker):
+                return False
+            # A fresh task queue: messages queued to the dead child
+            # (including its stop sentinel, if any) must not leak into
+            # the replacement.
+            self._task_qs[worker] = self._ctx.Queue(self._queue_depth)
+            self._spawn(worker)
+            return True
+
+    def kill_worker(self, worker: int) -> bool:
+        """Hard-kill a child (chaos/benchmarks): SIGTERM, no cleanup.
+
+        The liveness monitor notices the death, reports the orphaned
+        batches, and the supervisor restarts the worker — exactly the
+        path a real crash takes.
+        """
+        proc = self._procs[worker]
+        if proc is None or not proc.is_alive():
+            return False
+        proc.terminate()
+        return True
+
+    # ------------------------------------------------------------------
     def submit(self, batch: CoalescedBatch) -> bool:
-        """Dispatch a batch to the next worker (inside the gate)."""
+        """Dispatch a batch to the next live worker (inside the gate)."""
         if not self._started or self._closed:
             raise ServerError("worker pool is not running")
         with self.gate.read():
             epoch = self._epoch_of()
             with self._lock:
+                worker = self._next_live_worker()
+                if worker is None:
+                    # Total outage: every child is down (restarts
+                    # pending).  Refuse rather than queue into a void.
+                    return False
                 batch_id = next(self._ids)
-                worker = self._rr
-                self._rr = (self._rr + 1) % len(self._procs)
-                self._inflight[batch_id] = (batch, epoch)
+                self._inflight[batch_id] = (batch, epoch, worker)
             message = ("batch", batch_id, batch.addresses)
+            task_q = self._task_qs[worker]
             if self.overload == "shed":
                 try:
-                    self._task_qs[worker].put_nowait(message)
+                    task_q.put_nowait(message)
                 except queue_mod.Full:
                     with self._lock:
-                        del self._inflight[batch_id]
+                        self._inflight.pop(batch_id, None)
+                        self._idle.notify_all()
                     return False
             else:
-                self._task_qs[worker].put(message)
+                task_q.put(message)
+            with self._lock:
+                self._batch_seqs[worker] += 1
         self._note_depth()
+        return True
+
+    def _next_live_worker(self) -> Optional[int]:
+        """Round-robin over live workers (caller holds ``_lock``)."""
+        for _ in range(self._n):
+            worker = self._rr
+            self._rr = (self._rr + 1) % self._n
+            if self.worker_alive(worker):
+                return worker
+        return None
+
+    def requeue(self, batch: CoalescedBatch) -> bool:
+        """Re-dispatch an orphaned batch from a dead worker.
+
+        Goes through the normal gated dispatch (so it executes under —
+        and is tagged with — the *current* epoch: the original worker
+        never scattered anything, so a single delivery at the newer
+        epoch is still exactly-once and consistent).  Fails the batch
+        instead of dropping it when no dispatch is possible.
+        """
+        try:
+            if not self.submit(batch):
+                batch.fail(ServerError(
+                    "worker died and no live worker could take its batch"))
+                return False
+        except ServerError as exc:
+            batch.fail(exc)
+            return False
         return True
 
     # ------------------------------------------------------------------
@@ -195,21 +364,44 @@ class ProcessWorkerPool:
         """Ship the post-commit snapshot to every worker and wait for
         their acks.  Must run with the gate's write side held, so no
         new batch can be dispatched while the fleet re-synchronises.
+
+        A worker that does not ack within ``ack_timeout_s`` (hung, or
+        a chaos-dropped ack) is killed: the liveness monitor reports
+        it and the supervisor's restart rebuilds it from this very
+        snapshot, so the fleet still converges instead of stalling
+        every future commit.
         """
         if snapshot is None:
             raise ServerError("process workers need a FIB snapshot to "
                               "refresh from (serve over a ManagedFib)")
         self._wait_idle()
-        with self._lock:
-            self._acks = 0
-        for task_q in self._task_qs:
-            task_q.put(("snapshot", snapshot))
+        # _lifecycle serialises the snapshot swap against
+        # restart_worker: a restart either finishes its fork first
+        # (the worker is alive here, lands in ``live`` and is shipped
+        # the new snapshot) or starts after the swap (and forks from
+        # it) — a replacement can never come up serving a stale table
+        # at the new epoch.
+        with self._lifecycle:
+            self._snapshot = snapshot
+            with self._lock:
+                self._acked = set()
+                live = [i for i in range(self._n) if self.worker_alive(i)]
+                for worker in live:
+                    self._commit_seqs[worker] += 1
+            for worker in live:
+                self._task_qs[worker].put(("snapshot", snapshot))
         with self._idle:
-            if not self._idle.wait_for(
-                    lambda: self._acks >= len(self._procs),
-                    timeout=self._ack_timeout_s):
-                raise ServerError("process workers failed to ack the "
-                                  "commit snapshot")
+            self._idle.wait_for(
+                lambda: self._acked >= set(
+                    w for w in live if self.worker_alive(w)),
+                timeout=self._ack_timeout_s)
+            laggards = [w for w in live
+                        if w not in self._acked and self.worker_alive(w)]
+        for worker in laggards:
+            # Killing it converts "hung on ack" into the ordinary
+            # worker-death path: monitor -> on_worker_exit -> restart
+            # from self._snapshot (the snapshot it failed to ack).
+            self.kill_worker(worker)
 
     def _wait_idle(self) -> None:
         with self._idle:
@@ -219,23 +411,33 @@ class ProcessWorkerPool:
 
     # ------------------------------------------------------------------
     def close(self, drain: bool = True) -> None:
-        if not self._started or self._closed:
+        with self._lifecycle:
+            if not self._started or self._closed:
+                self._closed = True
+                return
             self._closed = True
-            return
         if drain:
-            self._wait_idle()
-        self._closed = True
-        for task_q in self._task_qs:
-            task_q.put(("stop",))
+            try:
+                self._wait_idle()
+            except ServerError:  # pragma: no cover - crashed mid-drain
+                pass
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+        for worker in range(self._n):
+            if self.worker_alive(worker):
+                self._task_qs[worker].put(("stop",))
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - crashed worker
+            if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
         self._result_q.put(("collector-stop",))
         if self._collector is not None:
             self._collector.join(timeout=10)
         with self._lock:
-            leftovers = [batch for batch, _ in self._inflight.values()]
+            leftovers = [batch for batch, _, _ in self._inflight.values()]
             self._inflight.clear()
         error = ServerError("server closed before serving")
         for batch in leftovers:
@@ -246,6 +448,76 @@ class ProcessWorkerPool:
     def _note_depth(self) -> None:
         if self._on_depth is not None:
             self._on_depth(self.queue_depth())
+
+    def _watch(self) -> None:
+        """Liveness monitor: turn silent child deaths into supervised
+        worker-exit events with their orphaned batches attached."""
+        while not self._monitor_stop.wait(_MONITOR_POLL_S):
+            for worker in range(self._n):
+                proc = self._procs[worker]
+                if proc is None or proc.is_alive():
+                    continue
+                if self._closed:
+                    # Closing: no restarts, but the dead worker's
+                    # in-flight batches must still be swept and failed
+                    # or close()'s drain waits out its whole timeout
+                    # on entries nobody will ever complete.
+                    self._fail_worker_inflight(worker)
+                    continue
+                exitcode = proc.exitcode
+                # Mark handled before callbacks: restart_worker will
+                # install a fresh process (or leave it down if the
+                # budget is spent).
+                self._procs[worker] = None
+                with self._lock:
+                    orphan_ids = [bid for bid, (_b, _e, w)
+                                  in self._inflight.items() if w == worker]
+                    orphans = [self._inflight.pop(bid)[0]
+                               for bid in orphan_ids]
+                    if not self._inflight:
+                        self._idle.notify_all()
+                    self._acked.add(worker)  # never block a commit on it
+                    self._idle.notify_all()
+                exc = WorkerDeath(
+                    f"worker {worker} died (exit code {exitcode}) with "
+                    f"{len(orphans)} batch(es) in flight")
+                # Hand the death to a short-lived reaper thread: the
+                # supervisor's requeue re-enters submit(), which blocks
+                # on gate.read() while a commit holds the write side —
+                # if that happened *on this thread*, the monitor would
+                # stop sweeping and a second dead worker's in-flight
+                # batches would never drain, wedging the commit's
+                # _wait_idle until its timeout.
+                threading.Thread(
+                    target=self._report_exit, args=(worker, exc, orphans),
+                    name=f"repro-serve-reaper-{worker}", daemon=True,
+                ).start()
+
+    def _fail_worker_inflight(self, worker: int) -> None:
+        """Sweep a dead worker's in-flight batches during close: mark
+        the slot handled, fail the batches (no requeue, no restart)."""
+        self._procs[worker] = None
+        with self._lock:
+            orphan_ids = [bid for bid, (_b, _e, w)
+                          in self._inflight.items() if w == worker]
+            orphans = [self._inflight.pop(bid)[0] for bid in orphan_ids]
+            self._acked.add(worker)
+            self._idle.notify_all()
+        error = ServerError("server closed before serving")
+        for batch in orphans:
+            batch.fail(error)
+
+    def _report_exit(self, worker: int, exc: BaseException,
+                     orphans: List[CoalescedBatch]) -> None:
+        """Deliver a worker death to the callbacks (off-monitor)."""
+        if self._on_error is not None:
+            self._on_error(orphans[0] if orphans else None, exc)
+        if self._on_worker_exit is not None:
+            self._on_worker_exit(worker, exc, orphans)
+        else:
+            for batch in orphans:
+                batch.fail(exc)
+        self._note_depth()
 
     def _collect(self) -> None:
         """Parent-side result loop: scatter answers, count acks."""
@@ -258,7 +530,7 @@ class ProcessWorkerPool:
                 continue
             if kind == "ack":
                 with self._idle:
-                    self._acks += 1
+                    self._acked.add(message[1])
                     self._idle.notify_all()
                 continue
             _kind, batch_id, payload = message
@@ -268,7 +540,7 @@ class ProcessWorkerPool:
                     self._idle.notify_all()
             if entry is None:  # pragma: no cover - late result after close
                 continue
-            batch, epoch = entry
+            batch, epoch, _worker = entry
             if kind == "error":
                 batch.fail(ServerError(f"worker failed: {payload}"))
                 if self._on_error is not None:

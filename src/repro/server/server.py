@@ -19,27 +19,56 @@ executes entirely within one epoch: no lookup can observe a
 half-applied update, and rolled-back batches — which never notify —
 leave the serving plan untouched.
 
+Fault tolerance (``docs/robustness.md`` has the full fault model):
+
+* **supervision** — worker deaths (thread crashes, killed processes,
+  hung snapshot-acks) re-queue their unscattered batches on survivors
+  and restart the worker under a budgeted, jittered backoff
+  (:class:`~repro.server.supervisor.WorkerSupervisor`);
+* **deadlines** — ``request_deadline_s`` arms a per-request timer that
+  fails the future with :class:`RequestTimeout`; an accepted request
+  *never* hangs past its deadline, and late answers are dropped;
+* **degradation** — a :class:`~repro.server.supervisor.ServingHealth`
+  state machine (HEALTHY → DEGRADED → BROWNOUT) driven by queue depth,
+  restart rate, and deadline-miss rate.  DEGRADED flips vector-backend
+  workers to the scalar plan (thread mode); BROWNOUT serves
+  answer-cache hits at the current epoch and sheds the rest;
+* **chaos** — a seeded :class:`~repro.chaos.ChaosPlan` injects
+  scripted dataplane faults (worker kills, in-batch exceptions,
+  delayed/dropped snapshot-acks, commit-gate stalls) for the
+  ``repro chaos-soak`` harness.
+
 Telemetry (all in the shared :class:`~repro.obs.MetricsRegistry`):
 
-===================================  =======================================
-``repro_server_requests_total``      requests accepted (per server label)
-``repro_server_addresses_total``     addresses accepted
-``repro_server_batches_total``       coalesced batches dispatched
-``repro_server_flush_total``         flushes by trigger (``reason`` label)
-``repro_server_batch_size``          coalesced-batch-size histogram
-``repro_server_queue_depth``         worker-queue depth gauge
-``repro_server_shed_total``          addresses shed by the overload policy
-``repro_server_commits_total``       quiesced commits (``outcome`` label)
-``repro_server_epoch``               serving epoch (commit generation)
-``repro_server_worker_errors_total`` batches failed by a worker exception
-``repro_server_request`` (timing)    per-request latency (wall clock)
-``repro_server_quiesce`` (timing)    commit quiesce + refresh latency
-===================================  =======================================
+==========================================  ================================
+``repro_server_requests_total``             requests accepted
+``repro_server_addresses_total``            addresses accepted
+``repro_server_batches_total``              coalesced batches dispatched
+``repro_server_flush_total``                flushes by ``reason`` label
+``repro_server_batch_size``                 coalesced-batch-size histogram
+``repro_server_queue_depth``                worker-queue depth gauge
+``repro_server_shed_total``                 addresses shed (overload/brownout)
+``repro_server_commits_total``              quiesced commits by ``outcome``
+``repro_server_epoch``                      serving epoch gauge
+``repro_server_worker_errors_total``        batches failed by worker errors
+``repro_server_worker_deaths_total``        workers that died serving
+``repro_server_restarts_total``             supervised worker restarts
+``repro_server_restart_giveups_total``      workers left down (budget spent)
+``repro_server_deadline_misses_total``      requests failed by their deadline
+``repro_server_retries_total``              client-side retry attempts
+``repro_server_health_state``               health gauge (0/1/2 = H/D/B)
+``repro_server_health_transitions_total``   transitions by ``to`` label
+``repro_server_brownout_hits_total``        addresses served from the
+                                            brownout answer cache
+``repro_server_request`` (timing)           per-request latency (wall clock)
+``repro_server_quiesce`` (timing)           commit quiesce + refresh latency
+==========================================  ================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..engine.engine import ENGINE_BATCH_BUCKETS, BatchEngine
 from ..obs import MetricsRegistry
@@ -48,15 +77,29 @@ from .coalescer import (
     CoalescedBatch,
     PendingLookup,
     RequestCoalescer,
+    RequestShed,
+    RequestTimeout,
     ServerError,
 )
 from .pool import CommitGate, ThreadWorkerPool
 from .procpool import ProcessWorkerPool, fib_snapshot
+from .supervisor import (
+    SERVING_STATE_VALUES,
+    RestartPolicy,
+    RetryingClient,
+    RetryPolicy,
+    ServingHealth,
+    ServingState,
+    WorkerSupervisor,
+)
 
 __all__ = ["LookupServer", "SERVER_MODES", "SERVER_OVERLOAD_POLICIES"]
 
 SERVER_MODES = ("thread", "process")
 SERVER_OVERLOAD_POLICIES = ("block", "shed")
+
+#: Brownout answer-cache capacity (addresses); cleared on every commit.
+BROWNOUT_CACHE_SIZE = 4096
 
 
 class LookupServer:
@@ -80,6 +123,12 @@ class LookupServer:
         clock: Optional[Clock] = None,
         factory: Optional[Callable] = None,
         base_fib=None,
+        request_deadline_s: Optional[float] = None,
+        supervise: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        health: Optional[ServingHealth] = None,
+        ack_timeout_s: float = 60.0,
+        chaos=None,
     ):
         if mode not in SERVER_MODES:
             raise ValueError(f"mode {mode!r} not one of {SERVER_MODES}")
@@ -88,6 +137,8 @@ class LookupServer:
                 f"overload {overload!r} not one of {SERVER_OVERLOAD_POLICIES}")
         if workers < 1:
             raise ValueError("need at least one worker")
+        if request_deadline_s is not None and request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be > 0")
         if managed is not None:
             algo = managed.algo
             factory = factory if factory is not None else managed.factory
@@ -98,13 +149,20 @@ class LookupServer:
             raise ValueError("need an algorithm (or managed=) to serve")
         self.name = name
         self.mode = mode
+        self.backend = backend
         self.registry = registry if registry is not None else MetricsRegistry()
         self.clock = clock if clock is not None else MonotonicClock()
         self.gate = CommitGate()
+        self.request_deadline_s = request_deadline_s
+        self.chaos = chaos
         self._managed = managed
         self._epoch = 0
         self._started = False
         self._closed = False
+        # Brownout answer cache: address -> hop, valid only for the
+        # current epoch (cleared atomically with every epoch bump).
+        self._answer_cache: Dict[int, Optional[int]] = {}
+        self._cache_lock = threading.Lock()
 
         reg = self.registry
         self._requests = reg.counter(
@@ -132,8 +190,41 @@ class LookupServer:
         self._worker_errors = reg.counter(
             "repro_server_worker_errors_total",
             "Batches failed by a worker exception.")
+        self._worker_deaths = reg.counter(
+            "repro_server_worker_deaths_total",
+            "Worker threads/processes that died while serving.")
+        self._restarts = reg.counter(
+            "repro_server_restarts_total",
+            "Workers restarted by the supervisor.")
+        self._giveups = reg.counter(
+            "repro_server_restart_giveups_total",
+            "Workers left down after the restart budget was spent.")
+        self._deadline_misses = reg.counter(
+            "repro_server_deadline_misses_total",
+            "Requests failed by their per-request deadline.")
+        self._retries = reg.counter(
+            "repro_server_retries_total",
+            "Client-side retry attempts against this server.")
+        self._health_gauge = reg.gauge(
+            "repro_server_health_state",
+            "Serving health (0 healthy, 1 degraded, 2 brownout).")
+        self._health_transitions = reg.counter(
+            "repro_server_health_transitions_total",
+            "Serving health transitions, by destination state.")
+        self._brownout_hits = reg.counter(
+            "repro_server_brownout_hits_total",
+            "Addresses served from the brownout answer cache.")
         self._epoch_gauge.set(0, server=self.name)
         self._depth.set(0, server=self.name)
+        self._health_gauge.set(0, server=self.name)
+
+        self.health: Optional[ServingHealth] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            self.health = health if health is not None else ServingHealth(
+                self.clock, queue_capacity=queue_depth,
+                on_transition=self._on_health_transition)
+        on_worker_exit = self._worker_exited if supervise else None
 
         if mode == "thread":
             engines = [
@@ -141,11 +232,16 @@ class LookupServer:
                             name=f"{name}-w{i}", backend=backend)
                 for i in range(workers)
             ]
+            if chaos is not None:
+                from ..chaos.plan import ChaosEngine
+                engines = [ChaosEngine(engine, chaos, i)
+                           for i, engine in enumerate(engines)]
             self._pool = ThreadWorkerPool(
                 engines, queue_depth=queue_depth, overload=overload,
                 gate=self.gate, epoch_of=lambda: self._epoch,
                 on_done=self._on_done, on_depth=self._on_depth,
-                on_error=self._on_error)
+                on_error=self._on_error, on_worker_exit=on_worker_exit,
+                backend_of=self._preferred_backend if supervise else None)
         else:
             if factory is None or base_fib is None:
                 raise ServerError(
@@ -155,8 +251,16 @@ class LookupServer:
                 workers=workers, queue_depth=queue_depth, overload=overload,
                 gate=self.gate, epoch_of=lambda: self._epoch,
                 on_done=self._on_done, on_depth=self._on_depth,
-                on_error=self._on_error,
-                backend=backend, cache_size=cache_size)
+                on_error=self._on_error, on_worker_exit=on_worker_exit,
+                backend=backend, cache_size=cache_size,
+                ack_timeout_s=ack_timeout_s, chaos=chaos)
+        if supervise:
+            policy = restart_policy if restart_policy is not None \
+                else RestartPolicy(self.clock)
+            self.supervisor = WorkerSupervisor(
+                self._pool, self.clock, policy=policy, health=self.health,
+                on_death=self._note_death, on_restart=self._note_restart,
+                on_giveup=self._note_giveup)
         self.coalescer = RequestCoalescer(
             self._sink, max_batch=max_batch, max_wait_s=max_wait_s,
             clock=self.clock)
@@ -184,6 +288,16 @@ class LookupServer:
         engines = self.engines()
         return engines[0].active_backend if engines else self.mode
 
+    @property
+    def health_state(self) -> ServingState:
+        return self.health.state if self.health is not None \
+            else ServingState.HEALTHY
+
+    @property
+    def pool(self):
+        """The worker pool (chaos/benchmarks kill workers through it)."""
+        return self._pool
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -199,10 +313,13 @@ class LookupServer:
         """Stop serving.  ``drain=True`` answers everything accepted
         (flush the open batch, let the queue empty); ``drain=False``
         fails unserved requests with ``ServerClosed``/``ServerError``.
+        Idempotent; safe to call from a signal handler.
         """
         if self._closed:
             return
         self._closed = True
+        if self.supervisor is not None:
+            self.supervisor.close()
         self.coalescer.close(drain=drain)
         if self._started:
             self._pool.close(drain=drain)
@@ -226,11 +343,23 @@ class LookupServer:
     # Data path
     # ------------------------------------------------------------------
     def submit(self, addresses: Sequence[int]) -> PendingLookup:
-        """Queue a small-batch request; returns its future."""
+        """Queue a small-batch request; returns its future.
+
+        Under BROWNOUT the request bypasses the pipeline: if every
+        address is in the answer cache (current epoch only), the
+        future resolves immediately from it; otherwise the request is
+        shed — the point of brownout is to stop feeding a drowning
+        worker pool while still answering what can be answered.
+        """
         self.start()
+        if self.health is not None:
+            self.health.note_request()
+            if self.health.state is ServingState.BROWNOUT:
+                return self._brownout_submit(addresses)
         handle = self.coalescer.submit(addresses)
         self._requests.inc(1, server=self.name)
         self._addresses.inc(len(handle.addresses), server=self.name)
+        self._arm_deadline(handle)
         return handle
 
     def submit_one(self, address: int) -> PendingLookup:
@@ -253,6 +382,94 @@ class LookupServer:
         """Cut the open batch now (don't wait for size or deadline)."""
         self.coalescer.flush()
 
+    def retry_client(self, *, policy: Optional[RetryPolicy] = None,
+                     seed: int = 0) -> RetryingClient:
+        """An idempotent-retry wrapper wired to this server's clock and
+        ``repro_server_retries_total`` counter."""
+        return RetryingClient(self, policy=policy, clock=self.clock,
+                              on_retry=self._note_retry, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Robustness internals
+    # ------------------------------------------------------------------
+    def _arm_deadline(self, handle: PendingLookup) -> None:
+        if self.request_deadline_s is None or handle.done():
+            return
+        handle.deadline_timer = self.clock.call_at(
+            self.clock.now() + self.request_deadline_s,
+            lambda: self._miss_deadline(handle))
+
+    def _miss_deadline(self, handle: PendingLookup) -> None:
+        if handle._fail(RequestTimeout(
+                f"request not served within {self.request_deadline_s}s")):
+            self._deadline_misses.inc(1, server=self.name)
+            if self.health is not None:
+                self.health.note_deadline_miss()
+
+    def _brownout_submit(self, addresses: Sequence[int]) -> PendingLookup:
+        handle = PendingLookup(addresses, self.clock.now())
+        self._requests.inc(1, server=self.name)
+        self._addresses.inc(len(handle.addresses), server=self.name)
+        if not handle.addresses:
+            return handle
+        with self._cache_lock:
+            epoch = self._epoch
+            hops = [self._answer_cache.get(a, _MISS)
+                    for a in handle.addresses]
+        if any(h is _MISS for h in hops):
+            self._shed.inc(len(handle.addresses), server=self.name)
+            handle._fail(RequestShed(
+                "brownout: request not fully answerable from cache"))
+        else:
+            self._brownout_hits.inc(len(hops), server=self.name)
+            handle._scatter(0, hops, epoch)
+        return handle
+
+    def _feed_answer_cache(self, finished: List[PendingLookup]) -> None:
+        with self._cache_lock:
+            for handle in finished:
+                # Only answers computed at the *current* epoch may be
+                # cached — a late scatter racing a commit must not
+                # plant stale hops (zero-stale-reads invariant).
+                if handle.epoch != self._epoch:
+                    continue
+                if len(self._answer_cache) + len(handle.addresses) \
+                        > BROWNOUT_CACHE_SIZE:
+                    continue
+                for address, hop in zip(handle.addresses, handle._hops):
+                    self._answer_cache[address] = hop
+
+    def _preferred_backend(self) -> Optional[str]:
+        """Thread-pool ``backend_of`` hook: DEGRADED (or worse) falls a
+        vector-capable backend back to the scalar plan."""
+        if self.backend == "plan" or self.health is None:
+            return None
+        if self.health.state is not ServingState.HEALTHY:
+            return "plan"
+        return self.backend
+
+    def _worker_exited(self, worker: int, exc: BaseException,
+                       orphans=None) -> None:
+        if self.supervisor is not None:
+            self.supervisor.worker_exited(worker, exc, orphans)
+
+    def _note_death(self, worker: int, exc: BaseException) -> None:
+        self._worker_deaths.inc(1, server=self.name)
+
+    def _note_restart(self, worker: int, delay: float) -> None:
+        self._restarts.inc(1, server=self.name)
+
+    def _note_giveup(self, worker: int) -> None:
+        self._giveups.inc(1, server=self.name)
+
+    def _note_retry(self, attempt: int, error: BaseException) -> None:
+        self._retries.inc(1, server=self.name)
+
+    def _on_health_transition(self, old: ServingState,
+                              new: ServingState) -> None:
+        self._health_gauge.set(SERVING_STATE_VALUES[new], server=self.name)
+        self._health_transitions.inc(1, server=self.name, to=str(new))
+
     # ------------------------------------------------------------------
     # Control path
     # ------------------------------------------------------------------
@@ -267,7 +484,14 @@ class LookupServer:
     def _quiesce(self, outcome: str, algo, touched) -> None:
         with self.registry.timer("repro_server_quiesce", server=self.name):
             with self.gate.write():
-                self._epoch += 1
+                if self.chaos is not None:
+                    stall = self.chaos.commit_stall(self._epoch)
+                    if stall:
+                        # A scripted slow commit: serving stays gated.
+                        self.clock.sleep(stall)
+                with self._cache_lock:
+                    self._epoch += 1
+                    self._answer_cache.clear()
                 self._epoch_gauge.set(self._epoch, server=self.name)
                 if self.mode == "thread":
                     self._pool.on_commit(outcome, algo, touched)
@@ -297,9 +521,18 @@ class LookupServer:
             self.registry.observe_seconds(
                 "repro_server_request", max(0.0, now - handle.submitted_at),
                 server=self.name)
+        if self.health is not None:
+            self._feed_answer_cache(finished)
 
     def _on_depth(self, depth: int) -> None:
         self._depth.set(depth, server=self.name)
+        if self.health is not None:
+            self.health.note_depth(depth)
 
-    def _on_error(self, batch: CoalescedBatch, exc: BaseException) -> None:
+    def _on_error(self, batch: Optional[CoalescedBatch],
+                  exc: BaseException) -> None:
         self._worker_errors.inc(1, server=self.name)
+
+
+#: Sentinel distinguishing "cached None hop" from "not cached".
+_MISS = object()

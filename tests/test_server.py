@@ -26,6 +26,7 @@ from repro.server import (
     ServerClosed,
     ServerError,
     ThreadWorkerPool,
+    WorkerCrash,
     fib_snapshot,
 )
 
@@ -313,6 +314,84 @@ class TestCommitGate:
         writer.join()
         reader.join()
 
+    def test_writer_is_never_starved_by_a_reader_stream(self):
+        # A continuous stream of short readers must not starve the
+        # writer: once the writer is waiting, new readers queue behind
+        # it, so the writer gets in as soon as the *current* readers
+        # drain — writer preference is the anti-starvation mechanism.
+        gate = CommitGate()
+        in_write = threading.Event()
+        stop = threading.Event()
+        served_before_write = []
+
+        def reader_stream():
+            while not stop.is_set():
+                gate.acquire_read()
+                if not in_write.is_set():
+                    served_before_write.append(1)
+                gate.release_read()
+
+        readers = [threading.Thread(target=reader_stream) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        writer = threading.Thread(
+            target=lambda: (gate.acquire_write(), in_write.set(),
+                            gate.release_write()))
+        writer.start()
+        # The writer must land despite the stream never pausing.
+        assert in_write.wait(10), "writer starved by continuous readers"
+        stop.set()
+        writer.join()
+        for thread in readers:
+            thread.join()
+
+    def test_reader_admitted_after_pending_write_completes(self):
+        gate = CommitGate()
+        gate.acquire_read()
+        write_done = threading.Event()
+        writer = threading.Thread(
+            target=lambda: (gate.acquire_write(), write_done.set(),
+                            gate.release_write()))
+        writer.start()
+        read_got_in = threading.Event()
+        reader = threading.Thread(
+            target=lambda: (gate.acquire_read(), read_got_in.set(),
+                            gate.release_read()))
+        reader.start()
+        assert not read_got_in.wait(0.05)  # held out by the pending write
+        gate.release_read()
+        assert write_done.wait(10)
+        assert read_got_in.wait(10)  # admitted once the write retired
+        writer.join()
+        reader.join()
+
+    def test_unbalanced_releases_raise(self):
+        gate = CommitGate()
+        with pytest.raises(ServerError):
+            gate.release_read()  # nothing acquired
+        with pytest.raises(ServerError):
+            gate.release_write()  # no writer active
+        gate.acquire_read()
+        gate.release_read()
+        with pytest.raises(ServerError):
+            gate.release_read()  # double release
+        gate.acquire_write()
+        gate.release_write()
+        with pytest.raises(ServerError):
+            gate.release_write()  # double release
+
+    def test_context_managers_balance_on_exception(self):
+        gate = CommitGate()
+        with pytest.raises(RuntimeError):
+            with gate.read():
+                raise RuntimeError("reader exploded")
+        with pytest.raises(RuntimeError):
+            with gate.write():
+                raise RuntimeError("writer exploded")
+        # Both sides fully released: a writer can get in immediately.
+        with gate.write():
+            pass
+
 
 # ---------------------------------------------------------------------------
 # ThreadWorkerPool
@@ -369,6 +448,154 @@ class TestThreadWorkerPool:
         pool = ThreadWorkerPool([BlockingEngine()])
         with pytest.raises(ServerError):
             pool.submit(CoalescedBatch([1], [], "size"))
+
+    def test_wrong_length_answer_fails_futures_not_the_worker(self):
+        # Regression: a scatter error (here: an engine returning the
+        # wrong number of hops) used to escape the worker's try block,
+        # silently killing the thread with the futures left unresolved
+        # and no error counted.  It must fail the batch and serve on.
+        class ShortEngine:
+            def __init__(self):
+                self.calls = 0
+
+            def lookup_batch(self, addresses):
+                self.calls += 1
+                if self.calls == 1:
+                    return [None]  # wrong length for a 2-address batch
+                return [None] * len(addresses)
+
+        errors = []
+        engine = ShortEngine()
+        pool = ThreadWorkerPool([engine],
+                                on_error=lambda b, e: errors.append(e))
+        pool.start()
+        try:
+            bad = PendingLookup([1, 2], 0.0)
+            pool.submit(CoalescedBatch([1, 2], [(bad, 0, 0, 2)], "size"))
+            with pytest.raises(ValueError):
+                bad.result(10)  # resolved, not hung
+            assert len(errors) == 1
+            # The worker survived the scatter error and still serves.
+            ok = PendingLookup([3, 4], 0.0)
+            pool.submit(CoalescedBatch([3, 4], [(ok, 0, 0, 2)], "size"))
+            assert ok.result(10) == [None, None]
+            assert pool.alive_workers() == 1
+        finally:
+            pool.close(drain=True)
+
+    def test_worker_crash_reports_exit_with_unscattered_orphan(self):
+        class CrashingEngine:
+            def lookup_batch(self, addresses):
+                raise WorkerCrash("induced death")
+
+        exits = []
+        pool = ThreadWorkerPool(
+            [CrashingEngine()],
+            on_worker_exit=lambda w, e, o: exits.append((w, e, o)))
+        pool.start()
+        try:
+            handle = PendingLookup([1], 0.0)
+            batch = CoalescedBatch([1], [(handle, 0, 0, 1)], "size")
+            pool.submit(batch)
+            deadline = threading.Event()
+            for _ in range(200):
+                if exits:
+                    break
+                deadline.wait(0.01)
+            assert len(exits) == 1
+            worker, exc, orphan = exits[0]
+            assert worker == 0 and isinstance(exc, WorkerCrash)
+            assert orphan is batch
+            assert not handle.done()  # unscattered: safe to re-queue
+            assert pool.alive_workers() == 0
+            # requeue with no live worker: queued (a restart drains it)
+            # or failed typed — never silently dropped.
+            pool.restart_worker(0)
+            assert pool.requeue(batch) or handle.done()
+        finally:
+            pool.close(drain=False)
+
+    def test_restart_worker_replaces_a_dead_thread(self):
+        class DieOnceEngine:
+            def __init__(self):
+                self.calls = 0
+
+            def lookup_batch(self, addresses):
+                self.calls += 1
+                if self.calls == 1:
+                    raise WorkerCrash("first batch kills")
+                return [None] * len(addresses)
+
+        exits = []
+        pool = ThreadWorkerPool(
+            [DieOnceEngine()],
+            on_worker_exit=lambda w, e, o: exits.append((w, o)))
+        pool.start()
+        try:
+            doomed = PendingLookup([1], 0.0)
+            pool.submit(CoalescedBatch([1], [(doomed, 0, 0, 1)], "size"))
+            for _ in range(200):
+                if exits:
+                    break
+                threading.Event().wait(0.01)
+            assert pool.alive_workers() == 0
+            assert pool.restart_worker(0)
+            assert pool.alive_workers() == 1
+            worker, orphan = exits[0]
+            assert pool.requeue(orphan)
+            assert doomed.result(10) == [None]
+        finally:
+            pool.close(drain=True)
+
+    def test_close_is_idempotent_and_concurrent_safe(self):
+        engine = BlockingEngine()
+        pool = ThreadWorkerPool([engine], queue_depth=4)
+        pool.start()
+        busy = PendingLookup([1], 0.0)
+        pool.submit(CoalescedBatch([1], [(busy, 0, 0, 1)], "size"))
+        assert engine.entered.wait(10)
+        engine.release.set()
+        closers = [threading.Thread(target=pool.close,
+                                    kwargs={"drain": True})
+                   for _ in range(4)]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join(30)
+        assert not pool.alive()
+        assert busy.done()
+        pool.close(drain=True)  # again, after the fact: a no-op
+        with pytest.raises(ServerError):
+            pool.submit(CoalescedBatch([2], [], "size"))
+
+    def test_submit_racing_close_never_strands_a_batch(self):
+        for _round in range(10):
+            engine = BlockingEngine()
+            engine.release.set()  # serve instantly
+            pool = ThreadWorkerPool([engine], queue_depth=8)
+            pool.start()
+            handles = []
+            stop = threading.Event()
+
+            def submitter():
+                while not stop.is_set():
+                    handle = PendingLookup([1], 0.0)
+                    batch = CoalescedBatch([1], [(handle, 0, 0, 1)], "size")
+                    try:
+                        if pool.submit(batch):
+                            handles.append(handle)
+                    except ServerError:
+                        return
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            threading.Event().wait(0.01)
+            pool.close(drain=True)
+            stop.set()
+            thread.join(30)
+            # Every accepted batch resolved: served or typed-failed.
+            for handle in handles:
+                assert handle.done() or handle.result(10) is not None
 
 
 # ---------------------------------------------------------------------------
