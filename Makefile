@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test ci conformance bench bench-smoke bench-vector \
-        bench-serve chaos examples clean
+        bench-serve bench-history chaos spans examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,7 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
 	    benchmarks/bench_throughput.py benchmarks/bench_serve.py -q
+	$(PYTHON) -m repro bench-history --check
 
 conformance:      ## wide-width engine conformance sweep (CI's slow job)
 	$(PYTHON) -m pytest tests/test_engine_conformance.py -q -m slow
@@ -47,11 +48,24 @@ bench-serve:      ## serving gate: coalesced >= 2x sequential
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_serve.py -q
 
+bench-history:    ## benchmark trajectory: append sidecars + regression report
+	$(PYTHON) -m repro bench-history --check
+
 chaos:            ## chaos soak: thread + process pools under fault injection
 	$(PYTHON) -m repro chaos-soak --mode both --seed 7 \
 	    --out benchmarks/results/chaos_soak.json
 	$(PYTHON) -m repro serve --smoke --algo resail --workers 2 \
 	    --chaos default --seed 7
+
+spans:            ## span smoke: full sampling, consistency check, Perfetto export
+	$(PYTHON) -m repro serve --smoke --algo resail --workers 2 \
+	    --sample-rate 1.0 --seed 7 \
+	    --span-jsonl benchmarks/results/serve_spans.jsonl \
+	    --span-chrome benchmarks/results/serve_spans_trace.json
+	$(PYTHON) -m repro serve --smoke --algo resail --workers 2 \
+	    --chaos worker_kill --chaos-seed 1 --sample-rate 1.0 --seed 7 \
+	    --span-jsonl benchmarks/results/serve_chaos_spans.jsonl \
+	    --span-chrome benchmarks/results/serve_chaos_spans_trace.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

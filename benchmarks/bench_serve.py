@@ -73,6 +73,14 @@ def test_coalesced_serving_vs_sequential(benchmark):
          timings={**timings, "benchmark": bench_timings(benchmark)},
          registry=registry)
 
+    # The sidecar carries the per-phase latency decomposition the
+    # trajectory tracker regression-checks (request p50/p99/p999 at
+    # minimum — the SLO windows observed every request).
+    latency = timings["latency"]["concurrent"]
+    assert latency["request"]["p50_s"] is not None
+    assert latency["request"]["p99_s"] is not None
+    assert latency["request"]["p999_s"] is not None
+
     # The server really batched: coalesced batches outnumber nothing —
     # the batch counter moved and every request was answered.
     counters = registry.snapshot()["counters"]

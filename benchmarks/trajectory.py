@@ -1,0 +1,21 @@
+"""Benchmark trajectory tracker — runnable wrapper.
+
+Appends the current crop of ``benchmarks/results/*.json`` sidecars to
+the versioned ``BENCH_history.jsonl`` and prints the regression report
+(the logic lives in :mod:`repro.obs.trajectory`; ``repro
+bench-history`` is the same entry point with more flags)::
+
+    PYTHONPATH=src python benchmarks/trajectory.py [--check] [--strict]
+
+CI runs this (via ``repro bench-history --check``) after the bench
+smokes as a *soft* gate: a >10% throughput drop or p99 inflation vs
+the previous recorded run lands a warning in the job log without
+failing the build; ``--strict`` turns warnings into exit 1.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-history", *sys.argv[1:]]))

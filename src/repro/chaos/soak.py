@@ -193,6 +193,7 @@ def run_chaos_soak(
         final_alive = server.pool.alive_workers()
         unresolved = sum(1 for _a, h in submitted if not h.done())
 
+    request_pcts = server.slo.percentiles("request")
     supervisor = server.supervisor
     report = {
         "mode": mode,
@@ -220,6 +221,12 @@ def run_chaos_soak(
         "health_transitions": server.health.transitions,
         "final_health": str(server.health_state),
         "final_alive_workers": final_alive,
+        "slo_breaches": server.slo.breaches,
+        "latency": {
+            "request_p50_s": request_pcts.get("p50"),
+            "request_p99_s": request_pcts.get("p99"),
+            "request_p999_s": request_pcts.get("p999"),
+        },
         "ok": True,
     }
 

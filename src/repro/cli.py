@@ -165,11 +165,45 @@ def _emit_machine_metrics(args: argparse.Namespace, fib: Fib, algos) -> int:
                     algo.lookup(address)
             lookups.inc(len(addresses), algorithm=algo.name)
         export_access_stats(registry, stats, algorithm=algo.name)
+    if getattr(args, "exercise_serve", 0):
+        _exercise_serve(registry, fib, algos[0], args.exercise_serve,
+                        seed=args.seed)
     if args.format == "prometheus":
         print(registry.render_prometheus(), end="")
     else:
         print(registry.to_json(include_timings=True))
     return 0
+
+
+def _exercise_serve(registry, fib: Fib, algo, count: int, *,
+                    seed: int = 0) -> None:
+    """Drive a deterministic serving exercise into ``registry``.
+
+    A single-worker :class:`~repro.server.LookupServer` over a
+    :class:`~repro.obs.FakeClock` with full span sampling: request
+    size 8 always equals the batch-size trigger, so every flush is
+    size-triggered and every ``repro_server_*`` counter — requests,
+    batches, flush reasons, span and SLO series — is a pure function
+    of (fib, count, seed).  Durations are all zero under the fake
+    clock, so nothing here perturbs the deterministic Prometheus
+    rendering from run to run.
+    """
+    from .datasets import mixed_addresses
+    from .obs import FakeClock
+    from .server import LookupServer
+
+    size = 8
+    addresses = mixed_addresses(fib, count, hit_fraction=0.8, seed=seed)
+    server = LookupServer(
+        algo, workers=1, max_batch=size, max_wait_s=0.001,
+        registry=registry, clock=FakeClock(), name="exercise",
+        sample_rate=1.0, span_seed=seed).start()
+    handles = [server.submit(addresses[i:i + size])
+               for i in range(0, len(addresses), size)]
+    server.flush()
+    for handle in handles:
+        handle.result(timeout=60)
+    server.close()
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -375,9 +409,27 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
                           name="serve", chaos=chaos_plan,
                           request_deadline_s=(deadline_ms / 1000.0
                                               if deadline_ms else None),
+                          sample_rate=(args.sample_rate
+                                       if getattr(args, "sample_rate",
+                                                  None) is not None
+                                       else 0.0625),
+                          span_seed=args.seed,
                           ack_timeout_s=2.0 if any(
                               n.startswith("ack") for n in chaos_names)
                           else 60.0)
+    status = None
+    status_port = getattr(args, "status_port", None)
+    if status_port is not None:
+        from .obs.status import StatusServer
+        status = StatusServer(
+            registry, port=status_port,
+            health=lambda: {"state": str(server.health_state),
+                            "epoch": server.epoch},
+            epoch=lambda: server.epoch,
+            spans=server.spans.tail,
+            slo=server.slo.report)
+        status.start()
+        print(f"serve: status endpoint at {status.url}")
     # Registered after the server's own listener, so by the time this
     # runs the epoch is already bumped: snapshot keys match the epochs
     # the workers tag onto batches.
@@ -499,6 +551,36 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
               f"serving_health={server.health_state}")
     print(f"  throughput: {len(addresses) / serve_s:,.0f} lookups/s "
           f"({serve_s * 1e3:.1f} ms serving)")
+    slo_report = server.slo.report()
+    request_pcts = slo_report["phases"].get("request", {})
+    print(f"  latency: p50={request_pcts.get('p50_s', 0.0) * 1e3:.2f}ms "
+          f"p99={request_pcts.get('p99_s', 0.0) * 1e3:.2f}ms "
+          f"p999={request_pcts.get('p999_s', 0.0) * 1e3:.2f}ms "
+          f"(window of {request_pcts.get('window_n', 0)}, "
+          f"{slo_report['breaches']} SLO breaches)")
+    span_counts = server.spans.counts()
+    rate = server.spans.sample_rate
+    print(f"  spans: {len(server.spans)} recorded at rate {rate:g} "
+          f"({', '.join(f'{k}={v}' for k, v in span_counts.items()) or 'none'})")
+    if rate >= 1.0:
+        from .obs.spans import check_span_metrics_consistency
+        report = check_span_metrics_consistency(server.spans, registry,
+                                                server="serve")
+        if report["ok"]:
+            print("  span<->metrics consistency: OK "
+                  f"(count={report['spans']['count']}, sums agree)")
+        else:
+            print("  span<->metrics consistency: FAILED: "
+                  + "; ".join(report["mismatches"]))
+            return 1
+    if getattr(args, "span_jsonl", None):
+        server.spans.write_jsonl(args.span_jsonl)
+        print(f"  spans written to {args.span_jsonl}")
+    if getattr(args, "span_chrome", None):
+        server.spans.write_chrome_trace(args.span_chrome)
+        print(f"  chrome trace written to {args.span_chrome}")
+    if status is not None:
+        status.close()
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(registry.to_json(include_timings=True))
@@ -720,6 +802,13 @@ def run_bench_serve(
         if errors:
             raise errors[0]
 
+    def slo_latency(srv) -> Dict[str, dict]:
+        """Per-phase p50/p99/p999 from the server's SLO windows."""
+        return {
+            phase: {q: stats.get(q) for q in ("p50_s", "p99_s", "p999_s")}
+            for phase, stats in srv.slo.report()["phases"].items()
+        }
+
     server = LookupServer(algo, workers=workers, max_batch=max_batch,
                           max_wait_s=max_wait_s, backend=backend,
                           registry=registry, name="bench-serve")
@@ -727,6 +816,7 @@ def run_bench_serve(
         with registry.timer("repro_bench_serve_concurrent"):
             drive(server)
         backend_used = server.active_backend
+        concurrent_latency = slo_latency(server)
 
     fault_values = {}
     fault_timings = {}
@@ -770,10 +860,12 @@ def run_bench_serve(
                     recovery["restored_at"] = clock.now()
 
         watcher = threading.Thread(target=watch, name="bench-chaos-watch")
+        faulted_latency = {}
         with faulted_server:
             watcher.start()
             with registry.timer("repro_bench_serve_faulted"):
                 drive(faulted_server)
+            faulted_latency = slo_latency(faulted_server)
             # Pending restarts may still be in their (tiny) backoff;
             # give them a bounded window so recovery_s is recorded.
             settle = threading.Event()
@@ -821,6 +913,7 @@ def run_bench_serve(
             "sequential_lookups_per_s": len(addresses) / sequential_s,
             "concurrent_lookups_per_s": len(addresses) / concurrent_s,
             "speedup_x": sequential_s / concurrent_s,
+            "latency": {"concurrent": concurrent_latency},
             **fault_timings,
         },
     }
@@ -829,6 +922,7 @@ def run_bench_serve(
         doc["timings"]["faulted_s"] = faulted_s
         doc["timings"]["faulted_lookups_per_s"] = len(addresses) / faulted_s
         doc["timings"]["faulted_throughput_x"] = concurrent_s / faulted_s
+        doc["timings"]["latency"]["faulted"] = faulted_latency
     return doc
 
 
@@ -870,6 +964,13 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
           f"lookups/s ({timings['concurrent_s'] * 1e3:.1f} ms)")
     print(f"  speedup: {timings['speedup_x']:.1f}x "
           f"(threshold {args.threshold:.1f}x)")
+    request_pcts = timings.get("latency", {}).get(
+        "concurrent", {}).get("request") or {}
+    if request_pcts.get("p50_s") is not None:
+        print(f"  latency (request): "
+              f"p50={request_pcts['p50_s'] * 1e3:.2f}ms "
+              f"p99={(request_pcts.get('p99_s') or 0.0) * 1e3:.2f}ms "
+              f"p999={(request_pcts.get('p999_s') or 0.0) * 1e3:.2f}ms")
     faulted_x = timings.get("faulted_throughput_x")
     if faulted_x is not None:
         recovery = timings.get("recovery_s")
@@ -957,6 +1058,13 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
               f"deaths={report.get('worker_deaths')} "
               f"restarts={report.get('worker_restarts')} "
               f"health={report.get('final_health')}")
+        latency = report.get("latency") or {}
+        if latency.get("request_p50_s") is not None:
+            print(f"  latency: "
+                  f"p50={latency['request_p50_s'] * 1e3:.2f}ms "
+                  f"p99={(latency.get('request_p99_s') or 0.0) * 1e3:.2f}ms "
+                  f"p999={(latency.get('request_p999_s') or 0.0) * 1e3:.2f}ms "
+                  f"(slo breaches: {report.get('slo_breaches', 0)})")
         for failure in report.get("failures", []):
             print(f"  violation: {failure}")
     out = pathlib.Path(args.out)
@@ -967,12 +1075,54 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
                    "script": [list(event) for event in script],
                    "seed": args.seed, "requests": args.requests,
                    "workers": args.workers},
+        # Per-mode tail latency under "timings" so the trajectory
+        # tracker's flattener picks it up for regression checking.
+        "timings": {
+            str(run.get("mode", f"run{i}")): dict(run.get("latency") or {})
+            for i, run in enumerate(runs)
+        },
         "runs": runs,
         "ok": ok,
     }
     out.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
     print(f"  wrote {out}")
     return 0 if ok else 1
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """Benchmark trajectory: append sidecars to the versioned history
+    and report regressions against the previous recorded run."""
+    from .obs import trajectory
+
+    appended = 0
+    if not args.no_append:
+        run, records = trajectory.append_run(args.results_dir, args.history)
+        appended = len(records)
+        if appended:
+            print(f"bench-history: appended {appended} sidecar record(s) "
+                  f"as run {run} -> {args.history}")
+        else:
+            print(f"bench-history: no bench sidecars under "
+                  f"{args.results_dir} — nothing appended")
+    history = trajectory.load_history(args.history)
+    if not history:
+        print("bench-history: history is empty — run some benches first")
+        return 0
+    report = trajectory.compare_runs(history, threshold=args.threshold)
+    print(trajectory.render_report(report))
+    if args.report_out:
+        import json as _json
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  report written to {args.report_out}")
+    if args.check and not report["ok"]:
+        if args.strict:
+            print("bench-history: regressions above threshold (strict)")
+            return 1
+        print("bench-history: regressions above threshold (soft gate — "
+              "pass --strict to fail)")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1093,6 +1243,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exercise", type=int, default=0, metavar="N",
                    help="run N seeded lookups per algorithm to populate "
                         "access counters (prometheus/json formats)")
+    p.add_argument("--exercise-serve", type=int, default=0, metavar="N",
+                   help="additionally serve N seeded addresses through a "
+                        "deterministic fake-clock LookupServer so the "
+                        "repro_server_* / span / SLO series appear in the "
+                        "byte-stable rendering (prometheus/json formats)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the --exercise address workload")
     p.set_defaults(func=cmd_metrics)
@@ -1241,6 +1396,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "(--workers; 0 disables)")
     p.add_argument("--smoke", action="store_true",
                    help="CI smoke mode: small table, 4k requests, churn on")
+    p.add_argument("--sample-rate", type=float, default=None,
+                   help="request-lifecycle span sampling rate in [0, 1] "
+                        "(--workers; default 0.0625 — 1 in 16; 1.0 also "
+                        "runs the span<->metrics consistency check)")
+    p.add_argument("--span-jsonl", metavar="FILE",
+                   help="write sampled spans as JSONL to FILE (--workers)")
+    p.add_argument("--span-chrome", metavar="FILE",
+                   help="write sampled spans as a Chrome trace-event "
+                        "file to FILE (--workers; opens in Perfetto)")
+    p.add_argument("--status-port", type=int, default=None,
+                   help="serve a live status endpoint (/metrics /health "
+                        "/epoch /slo /spans) on this port while serving "
+                        "(--workers; 0 picks an ephemeral port)")
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the engine metrics registry (including "
                         "wall-clock timings) as JSON to FILE")
@@ -1319,6 +1487,34 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/results/chaos_soak.json",
                    help="JSON sidecar path")
     p.set_defaults(func=cmd_chaos_soak)
+
+    p = sub.add_parser(
+        "bench-history",
+        help="append bench sidecars to the trajectory history and "
+             "report regressions",
+        description="Read the bench JSON sidecars, append them to a "
+                    "versioned BENCH_history.jsonl keyed by run index, "
+                    "and compare the last two runs: warn on a >10%% "
+                    "throughput drop or p99/p999 latency inflation.",
+    )
+    p.add_argument("--results-dir", default="benchmarks/results",
+                   help="directory holding the bench *.json sidecars")
+    p.add_argument("--history",
+                   default="benchmarks/results/BENCH_history.jsonl",
+                   help="trajectory history file (JSONL, appended)")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="relative regression that trips a warning "
+                        "(default 0.10 = 10%%)")
+    p.add_argument("--no-append", action="store_true",
+                   help="only compare the existing history; do not "
+                        "record the current sidecars as a new run")
+    p.add_argument("--check", action="store_true",
+                   help="evaluate the regression gate (soft by default)")
+    p.add_argument("--strict", action="store_true",
+                   help="with --check: exit non-zero on warnings")
+    p.add_argument("--report-out", metavar="FILE",
+                   help="write the full delta report as JSON to FILE")
+    p.set_defaults(func=cmd_bench_history)
 
     p = sub.add_parser("growth", help="BGP growth projections (Figure 1)")
     p.add_argument("--year", type=int, default=2033)

@@ -1,0 +1,170 @@
+"""A stdlib-only live status surface for a running server.
+
+``repro serve --status-port N`` starts one of these next to the
+:class:`~repro.server.LookupServer`; it answers on a background
+thread-per-request HTTP server (``http.server`` — no dependencies)
+while serving continues:
+
+==============  ====================================================
+``/``           tiny JSON index of the endpoints
+``/metrics``    Prometheus text exposition (``?timings=1`` appends
+                the wall-clock section)
+``/health``     serving health state + transition count (JSON)
+``/epoch``      the serving epoch (JSON)
+``/slo``        the SLO tracker's report: per-phase window
+                percentiles, targets, breaches (JSON)
+``/spans``      recent-span tail (``?n=200``, JSON array)
+==============  ====================================================
+
+The server is wired with callables, not a ``LookupServer`` reference,
+so it composes with anything (tests feed it lambdas).  Bind port 0
+for an ephemeral port; :attr:`StatusServer.port` reports the real one
+after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .registry import MetricsRegistry
+
+__all__ = ["StatusServer"]
+
+
+class StatusServer:
+    """Serve ``/metrics``, ``/health``, ``/epoch``, ``/slo``, ``/spans``."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Optional[Callable[[], dict]] = None,
+        epoch: Optional[Callable[[], int]] = None,
+        spans: Optional[Callable[[int], list]] = None,
+        slo: Optional[Callable[[], dict]] = None,
+    ):
+        self.registry = registry
+        self._host = host
+        self._want_port = port
+        self._health = health
+        self._epoch = epoch
+        self._spans = spans
+        self._slo = slo
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (None before :meth:`start`)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        if self._httpd is None:
+            return None
+        return f"http://{self._host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "StatusServer":
+        if self._httpd is not None:
+            return self
+        status = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Quiet: serving stats belong in the registry, not stderr.
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802 — http.server API
+                status._respond(self)
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._want_port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-status",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _respond(self, handler: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(handler.path)
+        route = parsed.path.rstrip("/") or "/"
+        query = parse_qs(parsed.query)
+        try:
+            if route == "/":
+                self._send_json(handler, {
+                    "endpoints": ["/metrics", "/health", "/epoch",
+                                  "/slo", "/spans"]})
+            elif route == "/metrics":
+                timings = query.get("timings", ["0"])[0] not in ("0", "")
+                body = self.registry.render_prometheus(
+                    include_timings=timings)
+                self._send(handler, 200, body.encode("utf-8"),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            elif route == "/health":
+                doc = self._health() if self._health is not None else {}
+                self._send_json(handler, doc)
+            elif route == "/epoch":
+                epoch = self._epoch() if self._epoch is not None else 0
+                self._send_json(handler, {"epoch": epoch})
+            elif route == "/slo":
+                doc = self._slo() if self._slo is not None else {}
+                self._send_json(handler, doc)
+            elif route == "/spans":
+                try:
+                    n = int(query.get("n", ["100"])[0])
+                except ValueError:
+                    n = 100
+                tail = self._spans(n) if self._spans is not None else []
+                self._send_json(handler, tail)
+            else:
+                self._send_json(handler, {"error": f"no route {route!r}"},
+                                status=404)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 — a 500, not a crash
+            try:
+                self._send_json(handler, {"error": repr(exc)}, status=500)
+            except Exception:  # pragma: no cover - socket already dead
+                pass
+
+    @staticmethod
+    def _send(handler, status: int, body: bytes,
+              content_type: str) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    def _send_json(self, handler, doc, status: int = 200) -> None:
+        body = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8")
+        self._send(handler, status, body, "application/json")

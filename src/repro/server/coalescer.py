@@ -88,13 +88,19 @@ class PendingLookup:
 
     __slots__ = ("addresses", "submitted_at", "epoch", "deliveries",
                  "_hops", "_remaining", "_event", "_error", "_epoch_min",
-                 "deadline_timer")
+                 "deadline_timer", "seq", "sampled")
 
     def __init__(self, addresses: Sequence[int], submitted_at: float):
         self.addresses = list(addresses)
         self.submitted_at = submitted_at
         self.epoch: Optional[int] = None
         self._epoch_min: Optional[int] = None
+        #: Request sequence number (assigned by the coalescer under its
+        #: lock) and the head-based span-sampling decision derived from
+        #: it — stamped at admission so every span of this request
+        #: shares one fate, even across worker deaths and re-queues.
+        self.seq: int = 0
+        self.sampled: bool = False
         #: Scatter calls that landed on this handle (tests assert on
         #: it: a non-spanning request must see exactly one delivery).
         self.deliveries = 0
@@ -176,14 +182,18 @@ class CoalescedBatch:
     answers ``handle.addresses[handle_offset:handle_offset+count]``.
     """
 
-    __slots__ = ("addresses", "parts", "reason")
+    __slots__ = ("addresses", "parts", "reason", "meta")
 
     def __init__(self, addresses: List[int],
                  parts: List[Tuple[PendingLookup, int, int, int]],
-                 reason: str):
+                 reason: str, meta: Optional[dict] = None):
         self.addresses = addresses
         self.parts = parts
         self.reason = reason
+        #: Span scratchpad: lifecycle timestamps (``opened_at``,
+        #: ``cut_at``, worker-side phase marks), the batch sequence
+        #: number, and the retry count bumped on every re-queue.
+        self.meta = meta if meta is not None else {}
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -218,6 +228,7 @@ class RequestCoalescer:
         max_batch: int = 256,
         max_wait_s: float = 0.002,
         clock: Optional[Clock] = None,
+        sampler: Optional[Callable[[int], bool]] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -227,10 +238,14 @@ class RequestCoalescer:
         self.max_wait_s = max_wait_s
         self.clock = clock if clock is not None else MonotonicClock()
         self._sink = sink
+        self._sampler = sampler
         self._lock = threading.Lock()
         # The open batch being packed.
         self._addresses: List[int] = []
         self._parts: List[Tuple[PendingLookup, int, int, int]] = []
+        self._seq = 0
+        self._batch_seq = 0
+        self._opened_at: Optional[float] = None
         self._timer: Optional[TimerHandle] = None
         # Cut batches awaiting dispatch, drained FIFO under _out_lock
         # so sink order matches cut order even with many submitters.
@@ -249,6 +264,15 @@ class RequestCoalescer:
     def closed(self) -> bool:
         return self._closed
 
+    def next_seq(self) -> int:
+        """Reserve a request sequence number outside the batching path
+        (the server's brownout fast path still needs seq-keyed span
+        identity for its outcome markers)."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            return seq
+
     # ------------------------------------------------------------------
     def submit(self, addresses: Sequence[int]) -> PendingLookup:
         """Queue one request; returns its result handle.
@@ -262,8 +286,14 @@ class RequestCoalescer:
         with self._lock:
             if self._closed:
                 raise ServerClosed("coalescer is closed")
+            handle.seq = self._seq
+            self._seq += 1
+            if self._sampler is not None:
+                handle.sampled = self._sampler(handle.seq)
             offset, n = 0, len(handle.addresses)
             while offset < n:
+                if not self._addresses:
+                    self._opened_at = handle.submitted_at
                 take = min(self.max_batch - len(self._addresses), n - offset)
                 self._parts.append(
                     (handle, offset, len(self._addresses), take))
@@ -306,8 +336,16 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
     def _cut(self, reason: str, arm: bool = True) -> None:
         """Move the open batch to the outbox (lock held by caller)."""
+        meta = {
+            "batch": self._batch_seq,
+            "opened_at": self._opened_at,
+            "cut_at": self.clock.now(),
+            "retries": 0,
+        }
+        self._batch_seq += 1
+        self._opened_at = None
         self._outbox.append(
-            CoalescedBatch(self._addresses, self._parts, reason))
+            CoalescedBatch(self._addresses, self._parts, reason, meta))
         self._addresses, self._parts = [], []
         if arm:
             self._manage_deadline()

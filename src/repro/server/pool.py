@@ -147,6 +147,7 @@ class ThreadWorkerPool:
                                            Optional[CoalescedBatch]],
                                           None]] = None,
         backend_of: Optional[Callable[[], Optional[str]]] = None,
+        clock=None,
     ):
         if not engines:
             raise ValueError("need at least one worker engine")
@@ -163,6 +164,9 @@ class ThreadWorkerPool:
         self._on_error = on_error
         self._on_worker_exit = on_worker_exit
         self._backend_of = backend_of
+        #: Optional clock for span phase marks; ``None`` keeps the hot
+        #: loop free of per-batch clock reads entirely.
+        self._clock = clock
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self._threads: Dict[int, threading.Thread] = {}
         self._spawns = 0
@@ -251,6 +255,9 @@ class ThreadWorkerPool:
         if self._closed:
             batch.fail(ServerError("server closed before serving"))
             return False
+        # Counted before the enqueue so the re-execution (and its root
+        # span) always sees the bumped retry count.
+        batch.meta["retries"] = batch.meta.get("retries", 0) + 1
         try:
             self._queue.put_nowait(batch)
         except queue.Full:
@@ -339,17 +346,28 @@ class ThreadWorkerPool:
                     return
                 self._note_depth()
                 self._apply_backend(engine)
+                clock = self._clock
                 try:
+                    meta = batch.meta
+                    if clock is not None:
+                        meta["worker"] = worker
+                        meta["picked_at"] = clock.now()
                     with self.gate.read():
                         # The epoch is stable for the whole read section
                         # — commits bump it only under the write side.
                         epoch = self._epoch_of()
+                        if clock is not None:
+                            meta["gate_at"] = clock.now()
                         hops = engine.lookup_batch(batch.addresses)
+                        if clock is not None:
+                            meta["executed_at"] = clock.now()
                     # complete() runs inside the try: a scatter error
                     # (wrong hop count, a raising on_done) must fail
                     # the futures and count, never kill the thread
                     # silently with requests left hanging.
                     finished = batch.complete(hops, epoch)
+                    if clock is not None:
+                        meta["scattered_at"] = clock.now()
                     if self._on_done is not None:
                         self._on_done(batch, finished)
                 except WorkerCrash:

@@ -49,6 +49,7 @@ import queue as queue_mod
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.clock import MonotonicClock
 from .coalescer import CoalescedBatch, PendingLookup, ServerError
 from .pool import CommitGate
 
@@ -100,6 +101,10 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
     """
     engine = _build_engine(width, factory, snapshot, backend, cache_size)
     batch_seq, commit_seq = batch_seq0, commit_seq0
+    # The child's own clock: parent and child monotonic clocks are not
+    # comparable, so only the execute *duration* is shipped back (a
+    # compact span record riding alongside the answers).
+    clock = MonotonicClock()
     while True:
         message = task_q.get()
         kind = message[0]
@@ -119,7 +124,7 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
                     # ack timeout kills and restarts us.
                     continue
                 if delay_s:
-                    threading.Event().wait(delay_s)
+                    clock.sleep(delay_s)
             result_q.put(("ack", worker_idx))
             continue
         _kind, batch_id, addresses = message
@@ -135,11 +140,13 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
                 raise ServerError(
                     f"[chaos] injected batch exception on worker "
                     f"{worker_idx} (batch seq {batch_seq - 1})")
+            t0 = clock.now()
             hops = engine.lookup_batch(addresses)
+            execute_s = clock.now() - t0
         except Exception as exc:  # noqa: BLE001 — report, don't die
             result_q.put(("error", batch_id, repr(exc)))
         else:
-            result_q.put(("hops", batch_id, hops))
+            result_q.put(("hops", batch_id, hops, execute_s))
 
 
 class ProcessWorkerPool:
@@ -168,6 +175,7 @@ class ProcessWorkerPool:
         cache_size: int = 0,
         ack_timeout_s: float = 60.0,
         chaos=None,
+        clock=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -187,6 +195,8 @@ class ProcessWorkerPool:
         self._on_worker_exit = on_worker_exit
         self._ack_timeout_s = ack_timeout_s
         self._chaos = chaos
+        #: Optional clock for parent-side span phase marks.
+        self._clock = clock
         self._width = width
         self._factory = factory
         self._backend = backend
@@ -303,8 +313,14 @@ class ProcessWorkerPool:
         """Dispatch a batch to the next live worker (inside the gate)."""
         if not self._started or self._closed:
             raise ServerError("worker pool is not running")
+        clock = self._clock
+        meta = batch.meta
+        if clock is not None:
+            meta["gate_wait_from"] = clock.now()
         with self.gate.read():
             epoch = self._epoch_of()
+            if clock is not None:
+                meta["gate_at"] = clock.now()
             with self._lock:
                 worker = self._next_live_worker()
                 if worker is None:
@@ -313,6 +329,8 @@ class ProcessWorkerPool:
                     return False
                 batch_id = next(self._ids)
                 self._inflight[batch_id] = (batch, epoch, worker)
+            if clock is not None:
+                meta["worker"] = worker
             message = ("batch", batch_id, batch.addresses)
             task_q = self._task_qs[worker]
             if self.overload == "shed":
@@ -325,6 +343,8 @@ class ProcessWorkerPool:
                     return False
             else:
                 task_q.put(message)
+            if clock is not None:
+                meta["dispatched_at"] = clock.now()
             with self._lock:
                 self._batch_seqs[worker] += 1
         self._note_depth()
@@ -348,6 +368,7 @@ class ProcessWorkerPool:
         epoch is still exactly-once and consistent).  Fails the batch
         instead of dropping it when no dispatch is possible.
         """
+        batch.meta["retries"] = batch.meta.get("retries", 0) + 1
         try:
             if not self.submit(batch):
                 batch.fail(ServerError(
@@ -533,7 +554,7 @@ class ProcessWorkerPool:
                     self._acked.add(message[1])
                     self._idle.notify_all()
                 continue
-            _kind, batch_id, payload = message
+            batch_id, payload = message[1], message[2]
             with self._lock:
                 entry = self._inflight.pop(batch_id, None)
                 if not self._inflight:
@@ -546,7 +567,16 @@ class ProcessWorkerPool:
                 if self._on_error is not None:
                     self._on_error(batch, ServerError(payload))
             else:
+                clock = self._clock
+                if clock is not None:
+                    batch.meta["done_at"] = clock.now()
+                    if len(message) > 3:
+                        # The child's compact span record: its own
+                        # execute duration, shipped with the answers.
+                        batch.meta["execute_s"] = message[3]
                 finished = batch.complete(payload, epoch)
+                if clock is not None:
+                    batch.meta["scattered_at"] = clock.now()
                 if self._on_done is not None:
                     self._on_done(batch, finished)
             self._note_depth()

@@ -60,19 +60,47 @@ Telemetry (all in the shared :class:`~repro.obs.MetricsRegistry`):
 ``repro_server_health_transitions_total``   transitions by ``to`` label
 ``repro_server_brownout_hits_total``        addresses served from the
                                             brownout answer cache
+``repro_server_spans_total``                lifecycle spans recorded, by
+                                            ``phase``
+``repro_server_span_requests_sampled_total``    requests picked by the span
+                                                sampler
+``repro_server_span_requests_unsampled_total``  requests skipped by it
+``repro_server_slo_breaches_total``         SLO quantile breaches, by
+                                            ``quantile``
+``repro_server_slo_target_seconds``         configured SLO targets (gauge)
 ``repro_server_request`` (timing)           per-request latency (wall clock)
+``repro_server_phase`` (timing)             per-phase latency decomposition
+                                            (queue wait / execute / scatter)
 ``repro_server_quiesce`` (timing)           commit quiesce + refresh latency
 ==========================================  ================================
+
+Observability (``docs/observability.md`` § request-lifecycle tracing):
+every request carries a deterministic sequence number and a head-based
+span-sampling decision; sampled requests leave a full trace — root
+``request`` span plus the batch's ``coalesce``/``queue_wait``/``gate``/
+``execute``/``scatter`` decomposition and outcome markers (timeout,
+shed, brownout, retry-after-worker-death) — in :attr:`spans`
+(a :class:`~repro.obs.SpanRecorder`).  Every request, sampled or not,
+feeds :attr:`slo` (a :class:`~repro.obs.SloTracker`) whose sliding
+p50/p99/p999 windows gate the SLO and, on breach, degrade
+:class:`ServingHealth`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.engine import ENGINE_BATCH_BUCKETS, BatchEngine
 from ..obs import MetricsRegistry
 from ..obs.clock import Clock, MonotonicClock
+from ..obs.slo import SloConfig, SloTracker
+from ..obs.spans import (
+    DEFAULT_SPAN_SAMPLE_RATE,
+    SpanRecorder,
+    batch_trace_id_for,
+    trace_id_for,
+)
 from .coalescer import (
     CoalescedBatch,
     PendingLookup,
@@ -129,6 +157,10 @@ class LookupServer:
         health: Optional[ServingHealth] = None,
         ack_timeout_s: float = 60.0,
         chaos=None,
+        sample_rate: float = DEFAULT_SPAN_SAMPLE_RATE,
+        span_capacity: int = 65536,
+        span_seed: int = 0,
+        slo: Optional[SloConfig] = None,
     ):
         if mode not in SERVER_MODES:
             raise ValueError(f"mode {mode!r} not one of {SERVER_MODES}")
@@ -218,6 +250,15 @@ class LookupServer:
         self._depth.set(0, server=self.name)
         self._health_gauge.set(0, server=self.name)
 
+        #: Request-lifecycle spans (head-sampled) and the SLO tracker
+        #: (observes every request — sampling never skews percentiles).
+        self.spans = SpanRecorder(
+            sample_rate=sample_rate, capacity=span_capacity,
+            seed=span_seed, registry=reg, server=name)
+        self.slo = SloTracker(
+            slo, registry=reg, server=name,
+            on_breach=self._note_slo_breach)
+
         self.health: Optional[ServingHealth] = None
         self.supervisor: Optional[WorkerSupervisor] = None
         if supervise:
@@ -241,7 +282,8 @@ class LookupServer:
                 gate=self.gate, epoch_of=lambda: self._epoch,
                 on_done=self._on_done, on_depth=self._on_depth,
                 on_error=self._on_error, on_worker_exit=on_worker_exit,
-                backend_of=self._preferred_backend if supervise else None)
+                backend_of=self._preferred_backend if supervise else None,
+                clock=self.clock)
         else:
             if factory is None or base_fib is None:
                 raise ServerError(
@@ -253,17 +295,19 @@ class LookupServer:
                 on_done=self._on_done, on_depth=self._on_depth,
                 on_error=self._on_error, on_worker_exit=on_worker_exit,
                 backend=backend, cache_size=cache_size,
-                ack_timeout_s=ack_timeout_s, chaos=chaos)
+                ack_timeout_s=ack_timeout_s, chaos=chaos,
+                clock=self.clock)
         if supervise:
             policy = restart_policy if restart_policy is not None \
                 else RestartPolicy(self.clock)
             self.supervisor = WorkerSupervisor(
                 self._pool, self.clock, policy=policy, health=self.health,
                 on_death=self._note_death, on_restart=self._note_restart,
-                on_giveup=self._note_giveup)
+                on_giveup=self._note_giveup,
+                on_requeue=self._note_requeue)
         self.coalescer = RequestCoalescer(
             self._sink, max_batch=max_batch, max_wait_s=max_wait_s,
-            clock=self.clock)
+            clock=self.clock, sampler=self.spans.sampled)
         if managed is not None:
             managed.add_commit_listener(self._on_commit)
 
@@ -403,15 +447,23 @@ class LookupServer:
         if handle._fail(RequestTimeout(
                 f"request not served within {self.request_deadline_s}s")):
             self._deadline_misses.inc(1, server=self.name)
+            if handle.sampled:
+                self.spans.event(
+                    trace_id_for(handle.seq, self._epoch), "timeout",
+                    self.clock.now(), seq=handle.seq,
+                    deadline_s=self.request_deadline_s)
             if self.health is not None:
                 self.health.note_deadline_miss()
 
     def _brownout_submit(self, addresses: Sequence[int]) -> PendingLookup:
-        handle = PendingLookup(addresses, self.clock.now())
+        now = self.clock.now()
+        handle = PendingLookup(addresses, now)
         self._requests.inc(1, server=self.name)
         self._addresses.inc(len(handle.addresses), server=self.name)
         if not handle.addresses:
             return handle
+        handle.seq = self.coalescer.next_seq()
+        handle.sampled = self.spans.sampled(handle.seq)
         with self._cache_lock:
             epoch = self._epoch
             hops = [self._answer_cache.get(a, _MISS)
@@ -420,9 +472,32 @@ class LookupServer:
             self._shed.inc(len(handle.addresses), server=self.name)
             handle._fail(RequestShed(
                 "brownout: request not fully answerable from cache"))
+            if handle.sampled:
+                self.spans.event(
+                    trace_id_for(handle.seq, epoch), "brownout_shed",
+                    now, seq=handle.seq,
+                    addresses=len(handle.addresses))
         else:
             self._brownout_hits.inc(len(hops), server=self.name)
             handle._scatter(0, hops, epoch)
+            # Cache hits count as served requests: the latency timer,
+            # the SLO window, and (when sampled) a root span whose
+            # measured duration matches the timer observation exactly.
+            done = self.clock.now()
+            dur = max(0.0, done - handle.submitted_at)
+            self.registry.observe_seconds(
+                "repro_server_request", dur, server=self.name)
+            self.slo.observe("request", dur)
+            if handle.sampled:
+                trace_id = trace_id_for(handle.seq, epoch)
+                self.spans.record(
+                    trace_id, "request", handle.submitted_at, done,
+                    seq=handle.seq, epoch=epoch,
+                    addresses=len(handle.addresses),
+                    outcome="brownout_hit")
+                self.spans.event(trace_id, "brownout_hit", done,
+                                 seq=handle.seq,
+                                 parent_id=f"{trace_id}:request")
         return handle
 
     def _feed_answer_cache(self, finished: List[PendingLookup]) -> None:
@@ -509,20 +584,116 @@ class LookupServer:
         self._flushes.inc(1, server=self.name, reason=batch.reason)
         if not self._pool.submit(batch):
             self._shed.inc(len(batch.addresses), server=self.name)
+            now = self.clock.now()
+            for handle, *_ in batch.parts:
+                if handle.sampled:
+                    self.spans.event(
+                        trace_id_for(handle.seq, self._epoch), "shed",
+                        now, seq=handle.seq, reason="pool_refused")
             return False
         self._batches.inc(1, server=self.name)
         self._batch_size.observe(len(batch.addresses))
         return True
 
+    @staticmethod
+    def _phase_intervals(meta: dict) -> List[Tuple[str, float, float]]:
+        """The batch's phase intervals from the pool's meta stamps.
+
+        Thread mode stamps ``picked_at``/``gate_at``/``executed_at``;
+        process mode ships only the execute *duration* back (parent and
+        child monotonic clocks are not comparable) and the parent
+        anchors it at the ``done_at`` receive stamp.
+        """
+        out: List[Tuple[str, float, float]] = []
+        opened, cut = meta.get("opened_at"), meta.get("cut_at")
+        if opened is not None and cut is not None:
+            out.append(("coalesce", opened, cut))
+        if "picked_at" in meta:                      # thread mode
+            picked = meta["picked_at"]
+            if cut is not None:
+                out.append(("queue_wait", cut, picked))
+            gate = meta.get("gate_at", picked)
+            out.append(("gate", picked, gate))
+            executed = meta.get("executed_at", gate)
+            out.append(("execute", gate, executed))
+            if "scattered_at" in meta:
+                out.append(("scatter", executed, meta["scattered_at"]))
+        elif "done_at" in meta:                      # process mode
+            done = meta["done_at"]
+            gate_from = meta.get("gate_wait_from")
+            gate_at = meta.get("gate_at")
+            if gate_from is not None and gate_at is not None:
+                out.append(("gate", gate_from, gate_at))
+            dispatched = meta.get("dispatched_at")
+            exec_start = done
+            if "execute_s" in meta:
+                exec_start = done - meta["execute_s"]
+                if dispatched is not None:
+                    exec_start = max(dispatched, exec_start)
+            if dispatched is not None:
+                out.append(("queue_wait", dispatched, exec_start))
+            out.append(("execute", exec_start, done))
+            if "scattered_at" in meta:
+                out.append(("scatter", done, meta["scattered_at"]))
+        return out
+
     def _on_done(self, batch: CoalescedBatch,
                  finished: List[PendingLookup]) -> None:
         now = self.clock.now()
-        for handle in finished:
+        meta = batch.meta
+        epoch = batch.parts[0][0].epoch if batch.parts else None
+        if epoch is None:
+            epoch = self._epoch
+        intervals = self._phase_intervals(meta)
+        sampled_batch = any(h.sampled for h, *_ in batch.parts)
+        batch_trace = batch_trace_id_for(meta.get("batch", 0), epoch)
+        for phase, start, end in intervals:
+            dur = max(0.0, end - start)
+            self.slo.observe(phase, dur)
             self.registry.observe_seconds(
-                "repro_server_request", max(0.0, now - handle.submitted_at),
-                server=self.name)
+                "repro_server_phase", dur, server=self.name, phase=phase)
+            if sampled_batch:
+                self.spans.record(
+                    batch_trace, phase, start, end,
+                    worker=meta.get("worker", 0),
+                    batch=meta.get("batch", 0), reason=batch.reason,
+                    size=len(batch.addresses), epoch=epoch,
+                    retries=meta.get("retries", 0))
+        for handle in finished:
+            # The root request span reuses the timer's exact floats
+            # (same subtraction, same clamp), so the span<->metrics
+            # consistency check holds bit-for-bit at sample rate 1.
+            dur = max(0.0, now - handle.submitted_at)
+            self.registry.observe_seconds(
+                "repro_server_request", dur, server=self.name)
+            self.slo.observe("request", dur)
+            if handle.sampled:
+                self.spans.record(
+                    trace_id_for(handle.seq, handle.epoch or 0),
+                    "request", handle.submitted_at, now,
+                    seq=handle.seq, epoch=handle.epoch or 0,
+                    addresses=len(handle.addresses),
+                    batch=meta.get("batch", 0),
+                    retries=meta.get("retries", 0), outcome="ok")
         if self.health is not None:
             self._feed_answer_cache(finished)
+
+    def _note_requeue(self, worker: int, batch: CoalescedBatch) -> None:
+        """Supervisor re-queued an orphaned batch: a visible retry
+        marker on the batch trace (a marked seam, never a hole)."""
+        if not any(h.sampled for h, *_ in batch.parts):
+            return
+        meta = batch.meta
+        self.spans.event(
+            batch_trace_id_for(meta.get("batch", 0), self._epoch),
+            "retry", self.clock.now(), worker=worker,
+            batch=meta.get("batch", 0),
+            retries=meta.get("retries", 0))
+
+    def _note_slo_breach(self, quantile: str, measured: float,
+                         target: float) -> None:
+        if self.health is not None:
+            self.health.note_slo_breach()
 
     def _on_depth(self, depth: int) -> None:
         self._depth.set(depth, server=self.name)
@@ -532,6 +703,16 @@ class LookupServer:
     def _on_error(self, batch: Optional[CoalescedBatch],
                   exc: BaseException) -> None:
         self._worker_errors.inc(1, server=self.name)
+        if batch is not None:
+            now = self.clock.now()
+            meta = batch.meta
+            for handle, *_ in batch.parts:
+                if handle.sampled:
+                    self.spans.event(
+                        trace_id_for(handle.seq, self._epoch), "error",
+                        now, seq=handle.seq,
+                        batch=meta.get("batch", 0),
+                        error=type(exc).__name__)
 
 
 #: Sentinel distinguishing "cached None hop" from "not cached".

@@ -97,7 +97,10 @@ class ServingHealth:
 
     * **queue-depth fraction** — last observed depth over capacity;
     * **restart count** — worker deaths handled in the window;
-    * **deadline-miss rate** — misses over requests in the window.
+    * **deadline-miss rate** — misses over requests in the window;
+    * **SLO breaches** — sliding-window percentile violations reported
+      by an :class:`~repro.obs.SloTracker` (a sustained p99 blowout
+      degrades serving before deadlines start missing).
 
     A signal crossing its DEGRADED (or BROWNOUT) threshold raises the
     state immediately; recovery requires every signal to sit below its
@@ -119,6 +122,8 @@ class ServingHealth:
         brownout_restarts: int = 4,
         degraded_miss_rate: float = 0.05,
         brownout_miss_rate: float = 0.25,
+        degraded_slo_breaches: int = 4,
+        brownout_slo_breaches: int = 16,
         on_transition: Optional[Callable[[ServingState, ServingState],
                                          None]] = None,
     ):
@@ -134,6 +139,8 @@ class ServingHealth:
         self.brownout_restarts = brownout_restarts
         self.degraded_miss_rate = degraded_miss_rate
         self.brownout_miss_rate = brownout_miss_rate
+        self.degraded_slo_breaches = degraded_slo_breaches
+        self.brownout_slo_breaches = brownout_slo_breaches
         self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = ServingState.HEALTHY
@@ -141,6 +148,7 @@ class ServingHealth:
         self._restarts: Deque[float] = deque()
         self._misses: Deque[float] = deque()
         self._requests: Deque[float] = deque()
+        self._slo_breaches: Deque[float] = deque()
         self._calm_since: Optional[float] = None
         self.transitions = 0
 
@@ -165,6 +173,12 @@ class ServingHealth:
             self._requests.append(self.clock.now())
         self._evaluate()
 
+    def note_slo_breach(self) -> None:
+        """An :class:`~repro.obs.SloTracker` quantile went over budget."""
+        with self._lock:
+            self._slo_breaches.append(self.clock.now())
+        self._evaluate()
+
     # -- state ---------------------------------------------------------
     @property
     def state(self) -> ServingState:
@@ -178,7 +192,8 @@ class ServingHealth:
     # -- internals -----------------------------------------------------
     def _trim(self, now: float) -> None:
         horizon = now - self.window_s
-        for series in (self._restarts, self._misses, self._requests):
+        for series in (self._restarts, self._misses, self._requests,
+                       self._slo_breaches):
             while series and series[0] < horizon:
                 series.popleft()
 
@@ -186,15 +201,18 @@ class ServingHealth:
         depth_frac = self._depth / self.queue_capacity
         restarts = len(self._restarts)
         requests = len(self._requests)
+        breaches = len(self._slo_breaches)
         miss_rate = (len(self._misses) / requests) if requests else (
             1.0 if self._misses else 0.0)
         if (depth_frac >= self.brownout_depth
                 or restarts >= self.brownout_restarts
-                or miss_rate >= self.brownout_miss_rate):
+                or miss_rate >= self.brownout_miss_rate
+                or breaches >= self.brownout_slo_breaches):
             return ServingState.BROWNOUT
         if (depth_frac >= self.degraded_depth
                 or restarts >= self.degraded_restarts
-                or miss_rate >= self.degraded_miss_rate):
+                or miss_rate >= self.degraded_miss_rate
+                or breaches >= self.degraded_slo_breaches):
             return ServingState.DEGRADED
         return ServingState.HEALTHY
 
@@ -325,6 +343,7 @@ class WorkerSupervisor:
         on_death: Optional[Callable[[int, BaseException], None]] = None,
         on_restart: Optional[Callable[[int, float], None]] = None,
         on_giveup: Optional[Callable[[int], None]] = None,
+        on_requeue: Optional[Callable[[int, CoalescedBatch], None]] = None,
     ):
         self.pool = pool
         self.clock = clock if clock is not None else MonotonicClock()
@@ -334,6 +353,7 @@ class WorkerSupervisor:
         self._on_death = on_death
         self._on_restart = on_restart
         self._on_giveup = on_giveup
+        self._on_requeue = on_requeue
         self._lock = threading.Lock()
         self._timers: List[TimerHandle] = []
         self._closed = False
@@ -365,6 +385,12 @@ class WorkerSupervisor:
             elif self.pool.requeue(batch):
                 with self._lock:
                     self.requeued_batches += 1
+                if self._on_requeue is not None:
+                    # The batch is back in flight on a survivor: the
+                    # server records a visible retry span, so a killed
+                    # worker leaves a marked seam in the trace — never
+                    # a hole.
+                    self._on_requeue(worker, batch)
         if closed:
             return
         delay = self.policy.next_delay(worker)

@@ -92,6 +92,26 @@ class TestMetrics:
         # Wall clock never leaks into the deterministic rendering.
         assert "seconds" not in first
 
+    def test_prometheus_with_serve_exercise_is_byte_identical(
+            self, fib_file, capsys):
+        # --exercise-serve routes requests through a FakeClock-driven
+        # LookupServer so the repro_server_* family (spans, SLO, phase
+        # counters) lands in the byte-stable rendering too.
+        args = ["metrics", "--fib", fib_file, "--algorithm", "resail",
+                "--format", "prometheus", "--exercise", "40",
+                "--exercise-serve", "40", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        # 40 addresses in size-8 requests -> 5 coalesced submissions.
+        assert 'repro_server_requests_total{server="exercise"} 5' in first
+        assert ('repro_server_spans_total{phase="request",server="exercise"}'
+                ' 5') in first
+        assert "repro_server_spans_total" in first
+        assert "repro_server_span_requests_sampled_total" in first
+        assert "repro_server_slo_target_seconds" in first
+
     def test_json_format_carries_timings(self, fib_file, capsys):
         import json
 

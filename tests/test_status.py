@@ -1,0 +1,94 @@
+"""Live status endpoint tests (:mod:`repro.obs.status`).
+
+Each test starts a :class:`StatusServer` on an ephemeral port
+(``port=0``) and talks to it over real HTTP with the stdlib client —
+no fixed ports, no external dependencies.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.obs.status import StatusServer
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_demo_total", "Demo counter.").inc(3, kind="x")
+    return reg
+
+
+class TestStatusServer:
+    def test_metrics_endpoint_renders_prometheus(self, registry):
+        with StatusServer(registry, port=0) as status:
+            code, body = fetch(f"{status.url}/metrics")
+        assert code == 200
+        assert 'repro_demo_total{kind="x"} 3' in body
+
+    def test_index_lists_endpoints(self, registry):
+        with StatusServer(registry, port=0) as status:
+            code, body = fetch(status.url + "/")
+        assert code == 200
+        doc = json.loads(body)
+        assert "/metrics" in doc["endpoints"]
+        assert "/health" in doc["endpoints"]
+
+    def test_health_epoch_and_slo_payloads(self, registry):
+        status = StatusServer(
+            registry, port=0,
+            health=lambda: {"state": "healthy"},
+            epoch=lambda: 7,
+            slo=lambda: {"breaches": 0})
+        with status:
+            _, health = fetch(f"{status.url}/health")
+            _, epoch = fetch(f"{status.url}/epoch")
+            _, slo = fetch(f"{status.url}/slo")
+        assert json.loads(health) == {"state": "healthy"}
+        assert json.loads(epoch) == {"epoch": 7}
+        assert json.loads(slo) == {"breaches": 0}
+
+    def test_spans_endpoint_honours_n(self, registry):
+        recorder = SpanRecorder()
+        for i in range(10):
+            recorder.record(f"t{i}", "request", float(i), float(i) + 1,
+                            seq=i)
+        with StatusServer(registry, port=0,
+                          spans=recorder.tail) as status:
+            _, body = fetch(f"{status.url}/spans?n=3")
+        doc = json.loads(body)
+        assert len(doc) == 3
+        assert doc[-1]["attrs"]["seq"] == 9
+
+    def test_unknown_route_is_404(self, registry):
+        with StatusServer(registry, port=0) as status:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(f"{status.url}/nope")
+            assert err.value.code == 404
+
+    def test_unwired_route_answers_empty(self, registry):
+        # No health callable given: /health answers {}, not a crash.
+        with StatusServer(registry, port=0) as status:
+            code, body = fetch(f"{status.url}/health")
+        assert code == 200
+        assert json.loads(body) == {}
+
+    def test_ephemeral_port_is_assigned(self, registry):
+        with StatusServer(registry, port=0) as status:
+            assert status.port > 0
+            assert str(status.port) in status.url
+
+    def test_close_is_idempotent(self, registry):
+        status = StatusServer(registry, port=0)
+        status.start()
+        status.close()
+        status.close()

@@ -9,7 +9,13 @@ enforces it:
   — everything else must route wall-clock measurement through a
   :class:`repro.obs.MetricsRegistry` timer;
 * ``print`` may only be called from ``repro.cli`` (the user interface)
-  — library code reports through the registry, event log, or tracer.
+  — library code reports through the registry, event log, or tracer;
+* ``threading.Timer`` and the anonymous-event sleep idiom
+  (``threading.Event().wait(delay)``) may only appear inside
+  ``repro.obs`` — both are covert wall-clock timing that bypasses the
+  :class:`repro.obs.Clock` abstraction, which is what keeps the
+  serving stack (``repro.server``, ``repro.chaos``) drivable by a
+  :class:`repro.obs.FakeClock` in tests.
 
 Docstring examples don't count (the AST walk sees only real calls).
 """
@@ -83,6 +89,71 @@ def test_no_print_outside_cli(relative, path):
         f"{relative} calls print() at lines {offenders}; library code "
         "reports through the registry, event log, or tracer"
     )
+
+
+def _is_threading_event_call(node: ast.AST) -> bool:
+    """``threading.Event()`` or ``Event()`` (as a call expression)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (func.attr == "Event"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading")
+    return isinstance(func, ast.Name) and func.id == "Event"
+
+
+def _covert_timing_calls(tree: ast.AST):
+    """``threading.Timer(...)`` constructions and anonymous
+    ``threading.Event().wait(...)`` sleeps."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "Timer"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"):
+            yield node.lineno, "threading.Timer"
+        elif isinstance(func, ast.Name) and func.id == "Timer":
+            yield node.lineno, "Timer"
+        elif (isinstance(func, ast.Attribute) and func.attr == "wait"
+                and _is_threading_event_call(func.value)):
+            yield node.lineno, "threading.Event().wait"
+
+
+@pytest.mark.parametrize("relative,path", MODULES,
+                         ids=[rel for rel, _ in MODULES])
+def test_no_covert_timing_outside_obs(relative, path):
+    if relative.startswith(TIME_ALLOWED_PREFIXES):
+        pytest.skip("repro.obs owns the clock")
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = list(_covert_timing_calls(tree))
+    assert not offenders, (
+        f"{relative} uses covert wall-clock timing {offenders}; sleeps "
+        "and timers must go through the repro.obs Clock abstraction "
+        "(clock.sleep / clock.call_at) so FakeClock tests stay exact"
+    )
+
+
+def test_audit_covers_the_serving_stack():
+    """The ban really sweeps the serving and chaos layers — if one of
+    these modules moved, the parametrised audits above would silently
+    stop covering it."""
+    covered = {rel for rel, _ in MODULES}
+    for required in (
+        "server/server.py",
+        "server/coalescer.py",
+        "server/pool.py",
+        "server/procpool.py",
+        "server/supervisor.py",
+        "chaos/plan.py",
+        "chaos/soak.py",
+        "obs/spans.py",
+        "obs/slo.py",
+        "obs/status.py",
+        "obs/trajectory.py",
+    ):
+        assert required in covered, f"{required} missing from the audit"
 
 
 def test_obs_is_the_only_time_owner():
