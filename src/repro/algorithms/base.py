@@ -199,11 +199,15 @@ class LookupAlgorithm(abc.ABC):
         """
         raise NotImplementedError  # pragma: no cover - sentinel, never called
 
-    def compile_vector_plan(self, plan=None):
-        """This algorithm lowered to a :class:`~repro.core.vector.VectorPlan`."""
+    def compile_vector_plan(self, plan=None, fuse=True):
+        """This algorithm lowered to a :class:`~repro.core.vector.VectorPlan`.
+
+        ``fuse=False`` disables the fusion pass — each lowered step
+        dispatches as its own kernel (the debugging escape hatch).
+        """
         from ..core.vector import VectorPlan
 
-        return VectorPlan(self, plan=plan)
+        return VectorPlan(self, plan=plan, fuse=fuse)
 
     # ------------------------------------------------------------------
     def lookup_batch(self, addresses) -> List[Optional[int]]:

@@ -291,6 +291,94 @@ class Bsic(LookupAlgorithm):
         return state.get("best")
 
     # ------------------------------------------------------------------
+    # Vector lowering (the lane compiler)
+    # ------------------------------------------------------------------
+    #: Tag bit distinguishing ("hop", h) from ("bst", root) in the
+    #: initial view's int64 encoding: hop entries carry bit 32.
+    _HOP_TAG = 1 << 32
+
+    def _encode_initial(self, data) -> Optional[int]:
+        kind, value = data
+        if kind == "hop":
+            return self._HOP_TAG | int(value)
+        return int(value)
+
+    def vector_specs(self):
+        """Lower Algorithm 2 to lane kernels.
+
+        The initial TCAM probes through its own vector view (hop vs
+        BST-root results told apart by a tag bit); each BST level is
+        linearized into flat per-field arrays (endpoint, hop, child
+        indices) indexed by the ``ptr`` register, so the walk becomes
+        a fancy-indexed compare per level — the PlanB move.
+        """
+        import numpy as np
+
+        from ..core.vector import VectorStepSpec
+
+        initial_view = self.initial.vector_reader(encode=self._encode_initial)
+        if initial_view is None:
+            return {}
+        suffix_mask = (1 << self.suffix_bits) - 1
+        hop_tag = self._HOP_TAG
+
+        def init_update(lanes, vals, found, active):
+            addr = lanes.values("addr")
+            lanes.assign("key", addr & suffix_mask)
+            is_hop = found & (vals >= hop_tag)
+            is_bst = found & ~is_hop
+            lanes.assign("done", np.where(is_bst, 0, 1), none=is_bst)
+            lanes.assign("best", vals & (hop_tag - 1), none=~is_hop)
+            lanes.assign("ptr", vals, none=~is_bst)
+
+        specs = {"initial": VectorStepSpec(
+            update=init_update,
+            select=lambda lanes: (lanes.values("addr") >> self.suffix_bits,
+                                  None),
+            reader=initial_view,
+        )}
+
+        for depth, nodes in enumerate(self.forest.levels):
+            ep = np.array([n[0] for n in nodes], dtype=np.int64)
+            hops = np.array([0 if n[1] is None else n[1] for n in nodes],
+                            dtype=np.int64)
+            hop_none = np.array([n[1] is None for n in nodes], dtype=bool)
+            left = np.array([0 if n[2] is None else n[2] for n in nodes],
+                            dtype=np.int64)
+            left_none = np.array([n[2] is None for n in nodes], dtype=bool)
+            right = np.array([0 if n[3] is None else n[3] for n in nodes],
+                             dtype=np.int64)
+            right_none = np.array([n[3] is None for n in nodes], dtype=bool)
+
+            def level_update(lanes, _vals, _found, _active, ep=ep,
+                             hops=hops, hop_none=hop_none, left=left,
+                             left_none=left_none, right=right,
+                             right_none=right_none):
+                walking = lanes.present("ptr") & ~lanes.truthy("done")
+                idx = np.where(walking, lanes.values("ptr"), 0)
+                node_ep = ep[idx]
+                key = lanes.values("key")
+                eq = walking & (key == node_ep)
+                gt = walking & (key > node_ep)
+                lt = walking & ~eq & ~gt
+                lanes.assign_where("best", eq | gt, hops[idx],
+                                   none=hop_none[idx])
+                lanes.assign_where("done", eq, 1)
+                ptr_vals = np.zeros(lanes.n, dtype=np.int64)
+                ptr_none = np.ones(lanes.n, dtype=bool)
+                np.copyto(ptr_vals, right[idx], where=gt)
+                np.copyto(ptr_none, right_none[idx], where=gt)
+                np.copyto(ptr_vals, left[idx], where=lt)
+                np.copyto(ptr_none, left_none[idx], where=lt)
+                lanes.assign("ptr", ptr_vals, none=ptr_none)
+
+            specs[f"bst_level_{depth}"] = VectorStepSpec(update=level_update)
+        return specs
+
+    def vector_extract_hop(self, lanes):
+        return lanes.values("best"), lanes.is_none("best")
+
+    # ------------------------------------------------------------------
     # Chip layout
     # ------------------------------------------------------------------
     def layout(self) -> Layout:

@@ -67,6 +67,7 @@ class HiBst(LookupAlgorithm):
         self._build()
 
     def _build(self) -> None:
+        self._vector_arrays = None  # linearized-level cache (lane compiler)
         entries = sorted(
             self._fib_snapshot, key=lambda kv: (kv[0].value, kv[0].length)
         )
@@ -206,6 +207,148 @@ class HiBst(LookupAlgorithm):
         return None
 
     # ------------------------------------------------------------------
+    # Vector lowering (the lane compiler)
+    # ------------------------------------------------------------------
+    def vector_specs(self):
+        """Lower the balanced-tree walk to lane kernels.
+
+        Each level is linearized into flat per-field arrays (prefix
+        value, child indices) indexed by the ``ptr`` register; the
+        predecessor descent becomes one fancy-indexed compare per
+        level.  Node values are full address width, so widths beyond
+        the int64 lane limit stay on the scalar bridge.
+        """
+        import numpy as np
+
+        from ..core.vector import MAX_VECTOR_WIDTH, VectorStepSpec
+
+        if self.width > MAX_VECTOR_WIDTH:
+            return {}
+        if self.root_index is None:
+            return {"empty": VectorStepSpec(
+                update=lambda lanes, _v, _f, _a: None)}
+
+        specs = {}
+        root = self.root_index
+        for depth, level_nodes in enumerate(self.levels):
+            values = np.array([n.prefix.value for n in level_nodes],
+                              dtype=np.int64)
+            left = np.array(
+                [0 if n.left is None else n.left for n in level_nodes],
+                dtype=np.int64)
+            left_none = np.array([n.left is None for n in level_nodes],
+                                 dtype=bool)
+            right = np.array(
+                [0 if n.right is None else n.right for n in level_nodes],
+                dtype=np.int64)
+            right_none = np.array([n.right is None for n in level_nodes],
+                                  dtype=bool)
+
+            def level_update(lanes, _vals, _found, _active, depth=depth,
+                             values=values, left=left, left_none=left_none,
+                             right=right, right_none=right_none):
+                if depth == 0:
+                    walking = np.ones(lanes.n, dtype=bool)
+                    idx = np.full(lanes.n, root, dtype=np.int64)
+                else:
+                    walking = lanes.present("ptr")
+                    idx = np.where(walking, lanes.values("ptr"), 0)
+                le = walking & (values[idx] <= lanes.values("addr"))
+                gt = walking & ~le
+                lanes.assign_where("pred_level", le, depth)
+                lanes.assign_where("pred_index", le, idx)
+                ptr_vals = np.zeros(lanes.n, dtype=np.int64)
+                ptr_none = np.ones(lanes.n, dtype=bool)
+                np.copyto(ptr_vals, right[idx], where=le)
+                np.copyto(ptr_none, right_none[idx], where=le)
+                np.copyto(ptr_vals, left[idx], where=gt)
+                np.copyto(ptr_none, left_none[idx], where=gt)
+                lanes.assign("ptr", ptr_vals, none=ptr_none)
+
+            specs[f"level_{depth}"] = VectorStepSpec(update=level_update)
+        return specs
+
+    def _vector_extract_arrays(self):
+        """Flattened node + CSR ancestor arrays for vector extraction
+        (cached; ``_build`` invalidates)."""
+        import numpy as np
+
+        if self._vector_arrays is None:
+            offsets: List[int] = []
+            total = 0
+            for level_nodes in self.levels:
+                offsets.append(total)
+                total += len(level_nodes)
+            value = np.zeros(total, dtype=np.int64)
+            length = np.zeros(total, dtype=np.int64)
+            hop = np.zeros(total, dtype=np.int64)
+            anc_start = np.zeros(total + 1, dtype=np.int64)
+            anc_len: List[int] = []
+            anc_hop: List[int] = []
+            gid = 0
+            for level_nodes in self.levels:
+                for node in level_nodes:
+                    value[gid] = node.prefix.value
+                    length[gid] = node.prefix.length
+                    hop[gid] = node.hop
+                    for alen, ahop in node.ancestors:  # ascending by length
+                        anc_len.append(alen)
+                        anc_hop.append(ahop)
+                    gid += 1
+                    anc_start[gid] = len(anc_len)
+            self._vector_arrays = (
+                np.array(offsets, dtype=np.int64), value, length, hop,
+                anc_start, np.array(anc_len, dtype=np.int64),
+                np.array(anc_hop, dtype=np.int64),
+            )
+        return self._vector_arrays
+
+    def vector_extract_hop(self, lanes):
+        import numpy as np
+
+        n = lanes.n
+        vals = np.zeros(n, dtype=np.int64)
+        none = np.ones(n, dtype=bool)
+        pred = lanes.present("pred_level")
+        if self.root_index is None or not pred.any():
+            return vals, none
+        offsets, value, length, hop, anc_start, anc_len, anc_hop = (
+            self._vector_extract_arrays())
+        gid = np.where(
+            pred,
+            offsets[np.where(pred, lanes.values("pred_level"), 0)]
+            + lanes.values("pred_index"), 0)
+        addr = lanes.values("addr")
+        shift = self.width - length[gid]
+        matches = pred & ((addr >> shift) == (value[gid] >> shift))
+        np.copyto(vals, hop[gid], where=matches)
+        none &= ~matches
+        # Non-matching predecessors resolve through the longest covering
+        # ancestor whose length fits the shared leading bits: a bounded
+        # per-lane binary search over the CSR ancestor chain.
+        rest = pred & ~matches
+        if rest.any() and anc_hop.size:
+            common = self.width - _bit_length_vec(value[gid] ^ addr)
+            lo = np.where(rest, anc_start[gid], 0)
+            hi = np.where(rest, anc_start[gid + 1], 0)
+            start = lo.copy()
+            while True:
+                cont = lo < hi
+                if not cont.any():
+                    break
+                mid = (lo + hi) >> 1
+                safe = np.where(cont, mid, 0)
+                go = cont & (anc_len[safe] <= common)
+                lo = np.where(go, mid + 1, lo)
+                hi = np.where(cont & ~go, mid, hi)
+            found = rest & (lo > start)
+            safe = np.maximum(lo - 1, 0)
+            np.copyto(vals, anc_hop[safe], where=found)
+            none &= ~found
+        vals[none] = 0
+        return vals, none
+
+    # ------------------------------------------------------------------
     # Chip layout
     # ------------------------------------------------------------------
     def layout(self) -> Layout:
@@ -216,6 +359,23 @@ def _common_bits(a: int, b: int, width: int) -> int:
     """Length of the shared leading bits of two addresses."""
     diff = a ^ b
     return width if diff == 0 else width - diff.bit_length()
+
+
+def _bit_length_vec(x):
+    """Per-element ``int.bit_length`` over a non-negative int64 array.
+
+    A shift-halving reduction — exact, unlike a float ``log2`` whose
+    rounding misclassifies values near powers of two.
+    """
+    import numpy as np
+
+    x = x.copy()
+    out = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = x >= (np.int64(1) << shift)
+        out += np.where(big, shift, 0)
+        x = np.where(big, x >> shift, x)
+    return out + (x != 0)
 
 
 def hibst_layout_from_size(n: int, name: str = "HI-BST") -> Layout:

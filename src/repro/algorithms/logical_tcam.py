@@ -58,6 +58,20 @@ class LogicalTcam(LookupAlgorithm):
                            action=lambda s, r: s.__setitem__("hop", r)))
         return prog
 
+    def vector_specs(self):
+        """Lower the single priority match onto the TCAM's own vector
+        view: masked compare + priority argmax (or grouped probes past
+        ``MATRIX_ROW_LIMIT`` rows), hop register from the result."""
+        from ..core.vector import VectorStepSpec
+
+        def match_update(lanes, vals, found, active):
+            lanes.assign("hop", vals, none=~found)
+
+        return {"match": VectorStepSpec(
+            update=match_update,
+            select=lambda lanes: (lanes.values("addr"), None),
+        )}
+
     def layout(self) -> Layout:
         return logical_tcam_layout(len(self.table), self.width, name=self.name)
 

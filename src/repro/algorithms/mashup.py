@@ -311,6 +311,180 @@ class Mashup(LookupAlgorithm):
         return self.default_hop
 
     # ------------------------------------------------------------------
+    # Vector lowering (the lane compiler)
+    # ------------------------------------------------------------------
+    # Int64 lane encodings.  A table result (hop, child) packs as
+    #   bits 0..23   hop value          bit 24  hop present
+    #   bits 25..26  child kind (0 none, 1 tcam, 2 sram)
+    #   bits 27..50  child tag
+    # and a NodeRef register as (kind << 40) | tag with the same kind
+    # codes — the next level's selector splits it back apart.
+    _HOP_BITS = 24
+    _TAG_BITS = 24
+    _KIND_SHIFT = 25
+    _TAG_SHIFT = 27
+    _REF_KIND_SHIFT = 40
+    _KIND_CODE = {"tcam": 1, "sram": 2}
+
+    def _encode_result(self, data) -> Optional[int]:
+        hop, child = data
+        code = 0
+        if hop is not None:
+            if not 0 <= int(hop) < (1 << self._HOP_BITS):
+                return None
+            code |= (1 << self._HOP_BITS) | int(hop)
+        if child is not None:
+            kind, tag = child
+            if not 0 <= tag < (1 << self._TAG_BITS):
+                return None
+            code |= (self._KIND_CODE[kind] << self._KIND_SHIFT) | (
+                tag << self._TAG_SHIFT)
+        return code
+
+    def _encode_ref(self, ref: Optional[NodeRef]) -> Optional[int]:
+        if ref is None:
+            return None
+        kind, tag = ref
+        return (self._KIND_CODE[kind] << self._REF_KIND_SHIFT) | tag
+
+    def vector_specs(self):
+        """Lower Algorithm 3 to lane kernels, all levels or nothing.
+
+        NodeRefs and (hop, child) results live as packed int64 codes;
+        the TCAM super-tables lower through their own vector views and
+        the SRAM super-tables through sorted ``(tag << stride) | slot``
+        probes.  All-or-nothing: a mixed compilation would interleave
+        the scalar bridge (tuple refs) with kernels (packed codes) on
+        the same registers, so any un-encodable piece bridges the whole
+        program instead.
+        """
+        import numpy as np
+
+        from ..core.vector import SparseMapView, VectorStepSpec
+
+        views = []
+        for level, stride in enumerate(self.strides):
+            tcam_view = self.tcam_levels[level].vector_reader(
+                encode=self._encode_result)
+            if tcam_view is None:
+                return {}
+            items = []
+            for (tag, slot), data in self.sram_levels[level].items():
+                code = self._encode_result(data)
+                if code is None:
+                    return {}
+                items.append(((tag << stride) | slot, code))
+            items.sort()
+            sram_view = SparseMapView(
+                np.array([k for k, _v in items], dtype=np.int64),
+                np.array([v for _k, v in items], dtype=np.int64),
+            )
+            views.append((tcam_view, sram_view))
+
+        root_code = self._encode_ref(self.root_ref)
+        default_hop = self.default_hop
+        hop_mask = (1 << self._HOP_BITS) - 1
+        ref_tag_mask = (1 << self._REF_KIND_SHIFT) - 1
+        kind_shift = self._KIND_SHIFT
+        tag_shift = self._TAG_SHIFT
+        tag_mask = (1 << self._TAG_BITS) - 1
+        ref_kind_shift = self._REF_KIND_SHIFT
+
+        def prev_ref(lanes, level):
+            """Vector ``prev_state``: (ref codes, ref none, carried
+            best values, carried none)."""
+            if level == 0:
+                ref_vals = np.full(lanes.n, root_code, dtype=np.int64)
+                ref_none = np.zeros(lanes.n, dtype=bool)
+                if default_hop is None:
+                    carried = np.zeros(lanes.n, dtype=np.int64)
+                    carried_none = np.ones(lanes.n, dtype=bool)
+                else:
+                    carried = np.full(lanes.n, default_hop, dtype=np.int64)
+                    carried_none = np.zeros(lanes.n, dtype=bool)
+                return ref_vals, ref_none, carried, carried_none
+            t_f = lanes.truthy(f"t_fired_{level - 1}")
+            s_f = ~t_f & lanes.truthy(f"s_fired_{level - 1}")
+            t_next = lanes.values(f"t_next_{level - 1}")
+            s_next = lanes.values(f"s_next_{level - 1}")
+            ref_vals = np.where(t_f, t_next, np.where(s_f, s_next, 0))
+            ref_none = np.where(
+                t_f, lanes.is_none(f"t_next_{level - 1}"),
+                np.where(s_f, lanes.is_none(f"s_next_{level - 1}"), True))
+            carried = np.where(
+                t_f, lanes.values(f"t_best_{level - 1}"),
+                np.where(s_f, lanes.values(f"s_best_{level - 1}"), 0))
+            carried_none = np.where(
+                t_f, lanes.is_none(f"t_best_{level - 1}"),
+                np.where(s_f, lanes.is_none(f"s_best_{level - 1}"), True))
+            return ref_vals, ref_none, carried, carried_none
+
+        specs = {}
+        for level, stride in enumerate(self.strides):
+            base = self._trie.level_base[level]
+            addr_shift = self.width - base - stride
+            slot_mask = (1 << stride) - 1
+
+            def make_side(side, level=level, stride=stride,
+                          addr_shift=addr_shift, slot_mask=slot_mask):
+                side_code = self._KIND_CODE[side]
+                reg = side[0]
+
+                def select(lanes):
+                    ref_vals, ref_none, _c, _cn = prev_ref(lanes, level)
+                    mine = ~ref_none & (
+                        (ref_vals >> ref_kind_shift) == side_code)
+                    slot = (lanes.values("addr") >> addr_shift) & slot_mask
+                    keys = ((ref_vals & ref_tag_mask) << stride) | slot
+                    return keys, mine
+
+                def update(lanes, vals, found, active):
+                    _rv, _rn, carried, carried_none = prev_ref(lanes, level)
+                    fired = active
+                    lanes.assign(f"{reg}_fired_{level}",
+                                 np.where(fired, 1, 0), none=~fired)
+                    hop_present = found & (
+                        ((vals >> self._HOP_BITS) & 1) == 1)
+                    lanes.assign(
+                        f"{reg}_best_{level}",
+                        np.where(hop_present, vals & hop_mask, carried),
+                        none=~fired | (~hop_present & carried_none))
+                    kindb = (vals >> kind_shift) & 3
+                    lanes.assign(
+                        f"{reg}_next_{level}",
+                        (kindb << ref_kind_shift) | (
+                            (vals >> tag_shift) & tag_mask),
+                        none=~fired | (kindb == 0))
+
+                return VectorStepSpec(
+                    update=update, select=select,
+                    reader=views[level][0 if side == "tcam" else 1])
+
+            specs[f"tcam_L{level}"] = make_side("tcam")
+            specs[f"sram_L{level}"] = make_side("sram")
+        return specs
+
+    def vector_extract_hop(self, lanes):
+        import numpy as np
+
+        vals = np.zeros(lanes.n, dtype=np.int64)
+        none = np.ones(lanes.n, dtype=bool)
+        undecided = np.ones(lanes.n, dtype=bool)
+        for level in range(len(self.strides) - 1, -1, -1):
+            for reg in ("t", "s"):
+                fired = undecided & lanes.truthy(f"{reg}_fired_{level}")
+                np.copyto(vals, lanes.values(f"{reg}_best_{level}"),
+                          where=fired)
+                np.copyto(none, lanes.is_none(f"{reg}_best_{level}"),
+                          where=fired)
+                undecided &= ~fired
+        if self.default_hop is not None:
+            vals[undecided] = self.default_hop
+            none[undecided] = False
+        vals[none] = 0
+        return vals, none
+
+    # ------------------------------------------------------------------
     # Chip layout
     # ------------------------------------------------------------------
     def layout(self) -> Layout:

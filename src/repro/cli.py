@@ -87,6 +87,33 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_lowering_report(vplan) -> None:
+    """``repro lookup --explain``: the lane compiler's lowering report.
+
+    Deterministic for a fixed FIB/algorithm: which steps lowered to
+    batch kernels, which run under the scalar bridge, how the fusion
+    pass grouped them, and the dispatch-ordered kernel sequence.
+    """
+    info = vplan.describe()
+    print(f"algorithm: {info['algorithm']}")
+    print(f"width: {info['width']}")
+    print(f"fully_lowered: {str(info['fully_lowered']).lower()}")
+    print(f"extract_mode: {info['extract_mode']}")
+    print(f"fuse: {str(info['fuse']).lower()}")
+    print(f"lowered_steps ({len(info['lowered_steps'])}): "
+          f"{' '.join(info['lowered_steps']) or '-'}")
+    print(f"bridged_steps ({len(info['bridged_steps'])}): "
+          f"{' '.join(info['bridged_steps']) or '-'}")
+    groups = info["fused_groups"]
+    rendered = " ".join("+".join(group) for group in groups) or "-"
+    print(f"fused_groups ({len(groups)}): {rendered}")
+    print("kernel_sequence:")
+    for entry in info["kernel_sequence"]:
+        tag = "fused " if entry["fused"] else ""
+        print(f"  [{tag}{entry['mode']}] {' '.join(entry['steps'])}")
+    print()
+
+
 def cmd_lookup(args: argparse.Namespace) -> int:
     fib = load_fib(args.fib)
     algo = _build(args.algorithm, fib)
@@ -101,12 +128,15 @@ def cmd_lookup(args: argparse.Namespace) -> int:
             table_stats.reset()
     addresses = [_parse_address(text, fib.width) for text in args.addresses]
     backend = getattr(args, "backend", "native")
+    fuse = not getattr(args, "no_fuse", False)
+    if getattr(args, "explain", False):
+        _print_lowering_report(algo.compile_vector_plan(fuse=fuse))
     if backend == "native":
         hops = [algo.lookup(address) for address in addresses]
     elif backend == "plan":
         hops = algo.compile_plan().lookup_batch(addresses)
     else:  # vector | auto — mirror the engine's auto rule
-        vplan = algo.compile_vector_plan()
+        vplan = algo.compile_vector_plan(fuse=fuse)
         if backend == "auto" and not vplan.fully_lowered:
             hops = vplan.plan.lookup_batch(addresses)
         else:
@@ -1227,6 +1257,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution path: the native walk (default), the "
                         "compiled plan, the lane-compiled vector plan, or "
                         "auto (vector when fully lowered)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the lane compiler's lowering report "
+                        "(lowered/bridged/fused steps, kernel sequence) "
+                        "before the per-address routes")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable the lane compiler's kernel-fusion pass "
+                        "(debugging escape hatch; vector/auto backends "
+                        "and --explain)")
     p.add_argument("addresses", nargs="+")
     p.set_defaults(func=cmd_lookup)
 

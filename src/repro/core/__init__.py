@@ -14,6 +14,7 @@ from .plan import LookupPlan, PlanError, compile_plan
 from .program import CramProgram, DependencyError
 from .vector import (
     MISS_HOP,
+    VectorBridgeError,
     VectorError,
     VectorPlan,
     VectorStepSpec,
@@ -61,6 +62,7 @@ __all__ = [
     "PlanError",
     "compile_plan",
     "MISS_HOP",
+    "VectorBridgeError",
     "VectorError",
     "VectorPlan",
     "VectorStepSpec",

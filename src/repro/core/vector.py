@@ -62,11 +62,13 @@ from .plan import LookupPlan
 
 __all__ = [
     "VectorError",
+    "VectorBridgeError",
     "Lanes",
     "BitmapView",
     "DenseArrayView",
     "SparseMapView",
     "TcamMatrixView",
+    "TcamGroupView",
     "VectorStepSpec",
     "VectorPlan",
     "compile_vector_plan",
@@ -74,11 +76,24 @@ __all__ = [
     "popcount64",
     "MISS_HOP",
     "DENSE_LIMIT",
+    "MATRIX_ROW_LIMIT",
 ]
 
 
 class VectorError(ValueError):
     """The program (or its backings) cannot be lowered to lane kernels."""
+
+
+class VectorBridgeError(VectorError):
+    """A bridged scalar step (or scalar extraction) raised mid-batch.
+
+    Without this wrapper a raising bridge would leave every lane of the
+    batch holding the MISS sentinel — indistinguishable from a genuine
+    no-route answer.  The lane compiler therefore converts any
+    exception escaping a bridged runner into this typed error, naming
+    the step and lane, so the *batch* fails instead of silently
+    missing.  The original exception rides along as ``__cause__``.
+    """
 
 
 #: Sentinel stored in result arrays for ``None`` (no-route) lanes.
@@ -95,6 +110,13 @@ DEFAULT_CHUNK = 4096
 #: Addresses must fit int64 lanes with headroom for shifts: widths
 #: above this delegate whole batches to the scalar plan.
 MAX_VECTOR_WIDTH = 62
+
+#: Largest TCAM a ``vector_reader()`` renders as one broadcast row
+#: matrix (:class:`TcamMatrixView`); beyond it the per-group
+#: ``searchsorted`` probe (:class:`TcamGroupView`) is used instead —
+#: the matrix compare is O(lanes x rows) while real priority tables
+#: have few distinct (priority, mask) groups but many rows.
+MATRIX_ROW_LIMIT = 128
 
 _INT_TYPES = (int, np.integer)
 _BOOL_TYPES = (bool, np.bool_)
@@ -343,6 +365,56 @@ class TcamMatrixView:
         return vals, found
 
 
+class TcamGroupView:
+    """TCAM groups as per-group sorted-key probes, priority-ordered.
+
+    The scalable form of :class:`TcamMatrixView`: one
+    :class:`SparseMapView` per frozen ``(priority, mask)`` group,
+    probed in winning order with the group's mask applied to the keys.
+    Lanes answered by an earlier (higher-priority) group drop out of
+    later probes, so the first hit per lane wins — exactly
+    :meth:`TcamTable.search`.  Cost is O(groups x lanes x log rows)
+    instead of the matrix's O(lanes x rows); prefix-style tables have
+    at most ``key_width + 1`` groups.
+    """
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: Sequence[Tuple[int, "SparseMapView"]]):
+        #: ``(mask, view)`` pairs in frozen group (winning) order.
+        self.groups = tuple(groups)
+
+    def gather(self, keys: np.ndarray,
+               active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        vals = np.zeros(keys.shape, dtype=np.int64)
+        found = np.zeros(keys.shape, dtype=bool)
+        # Compress to the active lanes once, then shrink the probe set
+        # as groups answer: each searchsorted touches only lanes no
+        # earlier (higher-priority) group matched, so deep probe chains
+        # cost O(sum of survivors) instead of O(groups x lanes).
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return vals, found
+        sub = keys[idx]
+        for mask, view in self.groups:
+            gkeys = view.keys
+            if gkeys.size == 0:
+                continue
+            probe = sub & mask
+            pos = np.minimum(np.searchsorted(gkeys, probe), gkeys.size - 1)
+            gfound = gkeys[pos] == probe
+            if gfound.any():
+                hit = idx[gfound]
+                vals[hit] = view.data[pos[gfound]]
+                found[hit] = True
+                keep = ~gfound
+                idx = idx[keep]
+                if idx.size == 0:
+                    break
+                sub = sub[keep]
+        return vals, found
+
+
 def _int_items(slots: Dict[int, Any]) -> Optional[List[Tuple[int, int]]]:
     """``(key, value)`` pairs with int-like values, or None if any
     stored value cannot live in an int64 lane (stored ``None`` means
@@ -442,23 +514,50 @@ def _compile_spec(step, spec: VectorStepSpec) -> Callable[[Lanes], None]:
     return run_table
 
 
-def _compile_bridge(runners: Sequence[Callable[[dict], None]],
+def _compile_bridge(steps: Sequence[Tuple[str, Callable[[dict], None]]],
                     registers: Sequence[str]) -> Callable[[Lanes], None]:
     """Consecutive un-lowered steps as one per-lane gather/scatter
-    segment over the scalar plan's own runner closures."""
-    runners = tuple(runners)
+    segment over the scalar plan's own runner closures.
+
+    A raising runner would otherwise leave the whole batch holding
+    MISS sentinels — indistinguishable from genuine misses — so every
+    exception escaping a bridged step is re-raised as a
+    :class:`VectorBridgeError` naming the step and lane.
+    """
+    steps = tuple(steps)
     registers = tuple(registers)
 
     def run_bridge(lanes: Lanes) -> None:
         lane_value = lanes.lane_value
         set_lane = lanes.set_lane
-        for lane in range(lanes.n):
-            state = {reg: lane_value(reg, lane) for reg in registers}
-            for run in runners:
-                run(state)
-            for reg in registers:
-                set_lane(reg, lane, state.get(reg))
+        name = steps[0][0] if steps else "?"
+        lane = 0
+        try:
+            for lane in range(lanes.n):
+                state = {reg: lane_value(reg, lane) for reg in registers}
+                for name, run in steps:
+                    run(state)
+                for reg in registers:
+                    set_lane(reg, lane, state.get(reg))
+        except Exception as exc:
+            raise VectorBridgeError(
+                f"bridged step {name!r} raised on lane {lane}: "
+                f"{type(exc).__name__}: {exc}") from exc
     return run_bridge
+
+
+def _fuse_kernels(
+        kernels: Sequence[Callable[["Lanes"], None]]
+) -> Callable[["Lanes"], None]:
+    """One callable running a run of adjacent lane kernels back to
+    back — the fusion pass output.  The chunk dispatch loop then makes
+    a single Python call for the whole gather→compare→select chain."""
+    chain = tuple(kernels)
+
+    def run_fused(lanes: Lanes) -> None:
+        for kernel in chain:
+            kernel(lanes)
+    return run_fused
 
 
 # ---------------------------------------------------------------------------
@@ -479,7 +578,7 @@ class VectorPlan:
     MISS = MISS_HOP
 
     def __init__(self, algo, plan: Optional[LookupPlan] = None,
-                 chunk: int = DEFAULT_CHUNK):
+                 chunk: int = DEFAULT_CHUNK, fuse: bool = True):
         if chunk <= 0:
             raise VectorError("chunk must be positive")
         self.plan = plan if plan is not None else LookupPlan(algo)
@@ -489,18 +588,23 @@ class VectorPlan:
         self._chunk = chunk
         self._registers: Tuple[str, ...] = tuple(sorted(program.registers))
         self._base: Dict[str, Any] = self.plan._base
+        #: Whether the fusion pass ran (``--no-fuse`` turns it off).
+        self.fuse = bool(fuse)
 
         specs: Dict[str, VectorStepSpec] = dict(algo.vector_specs())
-        kernels: List[Callable[[Lanes], None]] = []
+        # Units in schedule order: ("kernel", (name,), fn) for lowered
+        # steps, ("bridge", names, fn) for scalar-bridge segments.
+        units: List[Tuple[str, Tuple[str, ...], Callable[[Lanes], None]]] = []
         lowered: List[str] = []
         bridged: List[str] = []
         pending: List[Tuple[str, Callable[[dict], None]]] = []
 
         def flush_bridge() -> None:
             if pending:
-                kernels.append(_compile_bridge(
-                    [runner for _name, runner in pending], self._registers))
-                bridged.extend(name for name, _runner in pending)
+                names = tuple(name for name, _runner in pending)
+                units.append(("bridge", names,
+                              _compile_bridge(pending, self._registers)))
+                bridged.extend(names)
                 del pending[:]
 
         for name, runner in zip(self.plan.step_names, self.plan._runners):
@@ -515,18 +619,64 @@ class VectorPlan:
                 pending.append((name, runner))
             else:
                 flush_bridge()
-                kernels.append(kernel)
+                units.append(("kernel", (name,), kernel))
                 lowered.append(name)
         flush_bridge()
         if specs:
             raise VectorError(
                 f"vector_specs for unknown steps: {sorted(specs)}")
 
-        self._kernels = tuple(kernels)
         #: Step names executed as lane kernels, in schedule order.
         self.lowered_steps = tuple(lowered)
         #: Step names served by the per-lane scalar bridge.
         self.bridged_steps = tuple(bridged)
+
+        # Fusion pass: collapse maximal runs of adjacent lowered
+        # kernels into single fused callables, so the per-chunk
+        # dispatch loop makes one Python call per *run* instead of one
+        # per step.  Bridge segments are fusion barriers.
+        kernels: List[Callable[[Lanes], None]] = []
+        sequence: List[Dict[str, Any]] = []
+        fused_groups: List[Tuple[str, ...]] = []
+        run_names: List[str] = []
+        run_kernels: List[Callable[[Lanes], None]] = []
+
+        def flush_run() -> None:
+            if not run_kernels:
+                return
+            if self.fuse and len(run_kernels) > 1:
+                kernels.append(_fuse_kernels(run_kernels))
+                fused_groups.append(tuple(run_names))
+                sequence.append({"steps": list(run_names),
+                                 "mode": "vector", "fused": True})
+            else:
+                for name, kernel in zip(run_names, run_kernels):
+                    kernels.append(kernel)
+                    sequence.append({"steps": [name],
+                                     "mode": "vector", "fused": False})
+            del run_names[:]
+            del run_kernels[:]
+
+        for kind, names, fn in units:
+            if kind == "kernel":
+                run_names.extend(names)
+                run_kernels.append(fn)
+            else:
+                flush_run()
+                kernels.append(fn)
+                sequence.append({"steps": list(names),
+                                 "mode": "bridge", "fused": False})
+        flush_run()
+
+        self._kernels = tuple(kernels)
+        #: Step-name groups collapsed into single fused kernels.
+        self.fused_groups = tuple(fused_groups)
+        #: Steps executing inside fused kernels (the gauge value).
+        self.fused_steps = sum(len(group) for group in self.fused_groups)
+        #: Dispatch-ordered kernel description (goldens + --explain).
+        self._sequence = tuple(
+            {key: (list(value) if isinstance(value, list) else value)
+             for key, value in entry.items()} for entry in sequence)
 
         from ..algorithms.base import LookupAlgorithm
         if (type(algo).vector_extract_hop
@@ -611,13 +761,19 @@ class VectorPlan:
         registers = self._registers
         lane_value = lanes.lane_value
         extract = self._extract_scalar
-        for lane in range(lanes.n):
-            state = {reg: lane_value(reg, lane) for reg in registers}
-            hop = extract(state)
-            if hop is None:
-                none[lane] = True
-            else:
-                vals[lane] = hop
+        lane = 0
+        try:
+            for lane in range(lanes.n):
+                state = {reg: lane_value(reg, lane) for reg in registers}
+                hop = extract(state)
+                if hop is None:
+                    none[lane] = True
+                else:
+                    vals[lane] = hop
+        except Exception as exc:
+            raise VectorBridgeError(
+                f"scalar hop extraction raised on lane {lane}: "
+                f"{type(exc).__name__}: {exc}") from exc
         return vals, none
 
     def _scalar_batch(self, addresses) -> np.ndarray:
@@ -637,7 +793,16 @@ class VectorPlan:
             "lowered_fraction": round(self.lowered_fraction, 4),
             "extract_mode": self.extract_mode,
             "fully_lowered": self.fully_lowered,
+            "fuse": self.fuse,
+            "fused_steps": self.fused_steps,
+            "fused_groups": [list(group) for group in self.fused_groups],
+            "kernel_sequence": self.kernel_sequence(),
         }
+
+    def kernel_sequence(self) -> List[Dict[str, Any]]:
+        """Dispatch-ordered kernels: step names, mode, fusion grouping."""
+        return [{"steps": list(entry["steps"]), "mode": entry["mode"],
+                 "fused": entry["fused"]} for entry in self._sequence]
 
 
 def _extract_hop_register(lanes: Lanes) -> Tuple[np.ndarray, np.ndarray]:
@@ -646,6 +811,7 @@ def _extract_hop_register(lanes: Lanes) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def compile_vector_plan(algo, plan: Optional[LookupPlan] = None,
-                        chunk: int = DEFAULT_CHUNK) -> VectorPlan:
+                        chunk: int = DEFAULT_CHUNK,
+                        fuse: bool = True) -> VectorPlan:
     """Lower ``algo``'s compiled plan into a :class:`VectorPlan`."""
-    return VectorPlan(algo, plan=plan, chunk=chunk)
+    return VectorPlan(algo, plan=plan, chunk=chunk, fuse=fuse)

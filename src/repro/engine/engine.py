@@ -55,6 +55,7 @@ class BatchEngine:
         name: str = "engine",
         cache_sample: int = 8,
         backend: str = "plan",
+        fuse: bool = True,
     ):
         if backend not in ENGINE_BACKENDS:
             raise ValueError(
@@ -63,6 +64,8 @@ class BatchEngine:
         self.registry = registry or MetricsRegistry()
         self._algo = algo
         self.backend = backend
+        #: Whether the lane compiler's fusion pass runs (debug knob).
+        self.fuse = fuse
         self.cache: Optional[FibCache] = (
             FibCache(cache_size, name=f"{name}-cache", sample=cache_sample)
             if cache_size else None
@@ -100,6 +103,9 @@ class BatchEngine:
         self._bridged_gauge = reg.gauge(
             "repro_engine_vector_bridged_steps",
             "Steps served by the vector plan's per-lane scalar bridge.")
+        self._fused_gauge = reg.gauge(
+            "repro_engine_vector_fused_steps",
+            "Steps executing inside fused lane kernels.")
         self._plan: LookupPlan
         self._vector: Optional[VectorPlan] = None
         self._compile()
@@ -109,11 +115,14 @@ class BatchEngine:
         backend can use it — then refresh the lowering gauges."""
         self._plan = compile_plan(self._algo)
         if self.backend != "plan":
-            self._vector = compile_vector_plan(self._algo, plan=self._plan)
+            self._vector = compile_vector_plan(self._algo, plan=self._plan,
+                                               fuse=self.fuse)
             self._lowered_gauge.set(len(self._vector.lowered_steps),
                                     engine=self.name)
             self._bridged_gauge.set(len(self._vector.bridged_steps),
                                     engine=self.name)
+            self._fused_gauge.set(self._vector.fused_steps,
+                                  engine=self.name)
         active = self.active_backend
         for backend in ENGINE_BACKENDS:
             self._backend_gauge.set(1 if backend == active else 0,

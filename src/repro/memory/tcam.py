@@ -27,7 +27,8 @@ from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
-from ..core.vector import TcamMatrixView
+from ..core.vector import (MATRIX_ROW_LIMIT, MAX_VECTOR_WIDTH, SparseMapView,
+                           TcamGroupView, TcamMatrixView)
 from ..obs.accounting import AccessStats
 from ..prefix.prefix import Prefix
 
@@ -170,36 +171,69 @@ class TcamTable(Generic[V]):
 
         return search
 
-    def vector_reader(self):
+    def vector_reader(self, encode=None):
         """Batch-search snapshot view for the lane compiler.
 
-        Rows are flattened in frozen group order — lowest ``(priority,
-        mask)`` first, the winning order — so a broadcast masked
-        compare plus first-match ``argmax`` answers a whole lane vector
-        at once.  At most one row per group can match a key (the masked
-        value is exact within a group), so within-group row order is
-        immaterial.  Returns ``None`` when the associated data is not
-        int-like; mutations after the snapshot are invisible, exactly
-        like :meth:`plan_reader`.
+        Small tables become one :class:`TcamMatrixView`: rows flattened
+        in frozen group order — lowest ``(priority, mask)`` first, the
+        winning order — answered by a broadcast masked compare plus
+        first-match ``argmax``.  At most one row per group can match a
+        key (the masked value is exact within a group), so within-group
+        row order is immaterial.  Beyond :data:`MATRIX_ROW_LIMIT` rows
+        the matrix intermediates blow up (O(lanes x rows)), so the view
+        switches to a :class:`TcamGroupView`: one sorted-key probe per
+        group, walked in the same winning order.
+
+        ``encode`` maps each entry's data to its int64 lane encoding
+        (return ``None`` to declare the data un-encodable); without it,
+        only int-like data is accepted.  Returns ``None`` — bridging
+        the step — when any data cannot be encoded or the keys are too
+        wide for int64 lanes.  Mutations after the snapshot are
+        invisible, exactly like :meth:`plan_reader`.
         """
+        if self.key_width > MAX_VECTOR_WIDTH:
+            return None
         if not self._index_fresh:
             self._rebuild_index()
-        values: List[int] = []
-        masks: List[int] = []
-        data: List[int] = []
+        groups: List[Tuple[int, List[Tuple[int, int]]]] = []
+        total = 0
         for group_key in self._group_order:
             _priority, mask = group_key
+            items: List[Tuple[int, int]] = []
             for masked_value, entry in self._groups[group_key].items():
-                if not isinstance(entry.data, (bool, int, np.integer)):
+                if encode is not None:
+                    coded = encode(entry.data)
+                    if coded is None:
+                        return None
+                elif isinstance(entry.data, (bool, int, np.integer)):
+                    coded = entry.data
+                else:
                     return None
-                values.append(masked_value)
-                masks.append(mask)
-                data.append(int(entry.data))
-        return TcamMatrixView(
-            np.array(values, dtype=np.int64),
-            np.array(masks, dtype=np.int64),
-            np.array(data, dtype=np.int64),
-        )
+                items.append((masked_value, int(coded)))
+                total += 1
+            groups.append((mask, items))
+        if total <= MATRIX_ROW_LIMIT:
+            values: List[int] = []
+            masks: List[int] = []
+            data: List[int] = []
+            for mask, items in groups:
+                for masked_value, coded in items:
+                    values.append(masked_value)
+                    masks.append(mask)
+                    data.append(coded)
+            return TcamMatrixView(
+                np.array(values, dtype=np.int64),
+                np.array(masks, dtype=np.int64),
+                np.array(data, dtype=np.int64),
+            )
+        probes: List[Tuple[int, SparseMapView]] = []
+        for mask, items in groups:
+            items.sort()
+            probes.append((mask, SparseMapView(
+                np.array([k for k, _v in items], dtype=np.int64),
+                np.array([v for _k, v in items], dtype=np.int64),
+            )))
+        return TcamGroupView(probes)
 
     def _rebuild_index(self) -> None:
         self._groups = {}

@@ -63,6 +63,45 @@ class TestLookup:
         assert "table accesses (hottest first):" in out
         assert "hit_rate=" in out
 
+    def test_explain_prints_byte_stable_lowering_report(self, fib_file,
+                                                        capsys):
+        from repro.datasets import load_fib
+        from repro.prefix import format_address
+
+        prefix = load_fib(fib_file).prefixes()[0]
+        address = format_address(prefix.value, 32)
+        args = ["lookup", "--fib", fib_file, "--algorithm", "sail",
+                "--backend", "vector", "--explain", address]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "algorithm: SAIL" in first
+        assert "fully_lowered: true" in first
+        assert "extract_mode: vector" in first
+        assert "fuse: true" in first
+        assert "lowered_steps" in first
+        assert "bridged_steps (0): -" in first
+        assert "kernel_sequence:" in first
+        assert "[fused vector]" in first
+        assert "port" in first  # the routes still print after the report
+        # The report is deterministic: same invocation, same bytes.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explain_no_fuse_reports_unfused_schedule(self, fib_file,
+                                                      capsys):
+        from repro.datasets import load_fib
+        from repro.prefix import format_address
+
+        prefix = load_fib(fib_file).prefixes()[0]
+        address = format_address(prefix.value, 32)
+        assert main(["lookup", "--fib", fib_file, "--algorithm", "sail",
+                     "--backend", "vector", "--explain", "--no-fuse",
+                     address]) == 0
+        out = capsys.readouterr().out
+        assert "fuse: false" in out
+        assert "fused_groups (0): -" in out
+        assert "[fused vector]" not in out
+
 
 class TestMetrics:
     def test_single_algorithm(self, fib_file, capsys):

@@ -57,10 +57,6 @@ MAKERS = {
 }
 IPV4_ONLY = {"sail", "resail"}
 
-#: Schemes whose every step lowers to lane kernels (no scalar bridge);
-#: the others still conform through the vector plan's mixed mode.
-VECTOR_FAST = {"sail", "resail", "dxr", "multibit", "poptrie"}
-
 #: FIB sizes per width — big enough to populate every structure level,
 #: small enough that the full 9-algorithm sweep stays quick.
 FIB_SIZES = {8: 40, 16: 250, 32: 400}
@@ -114,13 +110,18 @@ class TestConformance:
         # expensive, so probe a deterministic subset.
         for address in addresses[:: max(1, len(addresses) // 16)]:
             assert algo.cram_lookup(address) == fib.lookup(address)
-        # The lane compiler must agree whole-batch, and the schemes it
-        # claims to fully lower must actually have no bridged steps.
+        # The lane compiler must agree whole-batch — and every scheme
+        # now lowers fully at lane-compatible widths: no scalar bridge,
+        # vector hop extraction, so "auto" picks vector for all nine.
         vplan = compile_vector_plan(algo, plan=plan)
         expected = [fib.lookup(a) for a in addresses]
         assert vplan.lookup_batch_hops(addresses) == expected
-        if name in VECTOR_FAST:
-            assert vplan.fully_lowered, vplan.describe()
+        assert vplan.fully_lowered, vplan.describe()
+        # The fused column: the fusion pass must not change answers.
+        unfused = compile_vector_plan(algo, plan=plan, fuse=False)
+        assert unfused.fused_steps == 0
+        assert unfused.lookup_batch_hops(addresses) == expected
+        assert len(vplan) <= len(unfused)
 
     def test_engine_cache_on_off_agree(self, name, width):
         fib = random_fib(width, FIB_SIZES[width], seed=width + 7)
@@ -199,3 +200,36 @@ class TestConformance:
             for handle in handles:
                 served.extend(handle.result(timeout=60))
         assert served == expected
+
+
+# ---------------------------------------------------------------------------
+# Golden kernel sequences: step names + fusion grouping per algorithm
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(MAKERS))
+def test_kernel_sequence_golden(name, regen_golden):
+    """The lane compiler's dispatch schedule is part of the contract:
+    which steps lowered, how they fused, and in what order.  Pinned as
+    byte-stable golden files; regenerate deliberately with
+
+        PYTHONPATH=src python -m pytest tests/test_engine_conformance.py \\
+            --regen-golden
+
+    and commit the ``tests/golden/kernel_sequence_*.json`` diff."""
+    from test_golden_tables import check_golden
+
+    width = 32 if name in IPV4_ONLY else 8
+    fib = random_fib(width, FIB_SIZES[width], seed=width)
+    info = compile_vector_plan(MAKERS[name](fib)).describe()
+    doc = {
+        "algorithm": name,
+        "width": width,
+        "fully_lowered": info["fully_lowered"],
+        "extract_mode": info["extract_mode"],
+        "lowered_steps": info["lowered_steps"],
+        "bridged_steps": info["bridged_steps"],
+        "fused_groups": info["fused_groups"],
+        "kernel_sequence": info["kernel_sequence"],
+    }
+    check_golden(f"kernel_sequence_{name}", doc, regen_golden)

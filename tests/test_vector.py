@@ -18,6 +18,7 @@ from repro.algorithms import HiBst, LogicalTcam, MultibitTrie, Sail
 from repro.control import ChurnGenerator, ManagedFib
 from repro.core import (
     MISS_HOP,
+    VectorBridgeError,
     VectorError,
     VectorStepSpec,
     compile_plan,
@@ -25,16 +26,29 @@ from repro.core import (
 )
 from repro.core.vector import (
     DENSE_LIMIT,
+    MATRIX_ROW_LIMIT,
     BitmapView,
     DenseArrayView,
     Lanes,
     SparseMapView,
+    TcamGroupView,
     TcamMatrixView,
     map_view,
     popcount64,
 )
 from repro.engine import BatchEngine
 from repro.prefix import Fib, Prefix
+
+
+class BridgedTcam(LogicalTcam):
+    """LogicalTcam with its lowering withheld: every step bridges.
+
+    Now that all nine real algorithms lower fully, the mixed-mode and
+    auto-fallback paths need a synthetic algorithm to stay covered.
+    """
+
+    def vector_specs(self):
+        return {}
 
 
 def small_v4_fib():
@@ -152,6 +166,53 @@ class TestViews:
         assert vals.tolist() == [1, 2, 0]
         assert found.tolist() == [True, True, False]
 
+    def test_tcam_group_view_matches_matrix_view(self):
+        # Same table rendered both ways must answer identically; the
+        # reader switches at MATRIX_ROW_LIMIT, where the broadcast
+        # matrix intermediates stop being worth their O(lanes x rows).
+        from repro.memory.tcam import TcamTable
+
+        fib = Fib(8)
+        rng = np.random.default_rng(7)
+        for length in range(1, 9):
+            for bits in rng.integers(0, 1 << length, size=40).tolist():
+                fib.insert(Prefix.from_bits(int(bits), length, 8),
+                           int(length))
+        table = TcamTable(8, name="t")
+        for prefix, hop in fib:
+            table.insert_prefix(prefix, hop)
+        assert len(table) > MATRIX_ROW_LIMIT
+        group = table.vector_reader()
+        assert isinstance(group, TcamGroupView)
+        entries = sorted(  # the matrix form, built by hand
+            (e.priority, e.mask, e.value & e.mask, e.data)
+            for e in table.entries())
+        matrix = TcamMatrixView(
+            np.array([v for _p, _m, v, _d in entries], dtype=np.int64),
+            np.array([m for _p, m, _v, _d in entries], dtype=np.int64),
+            np.array([d for _p, _m, _v, d in entries], dtype=np.int64))
+        keys = np.arange(256, dtype=np.int64)
+        active = np.ones(256, dtype=bool)
+        gv, gf = group.gather(keys, active)
+        mv, mf = matrix.gather(keys, active)
+        assert gf.tolist() == mf.tolist()
+        assert gv.tolist() == mv.tolist()
+
+    def test_small_tcam_still_renders_as_matrix(self):
+        from repro.memory.tcam import TcamTable
+
+        table = TcamTable(8)
+        table.insert_prefix(Prefix.from_bits(0b1, 1, 8), 1)
+        assert isinstance(table.vector_reader(), TcamMatrixView)
+
+    def test_wide_tcam_has_no_vector_view(self):
+        from repro.memory.tcam import TcamTable
+
+        table = TcamTable(64)
+        table.insert_prefix(Prefix.from_bits(0b1, 1, 64), 1)
+        # 64-bit masked values overflow int64 lanes: bridge instead.
+        assert table.vector_reader() is None
+
     def test_popcount64_matches_python(self):
         rng = np.random.default_rng(0)
         values = rng.integers(0, 1 << 63, size=64, dtype=np.int64)
@@ -260,11 +321,36 @@ class TestVectorPlan:
 
     def test_mixed_mode_reports_bridged_steps(self):
         fib = small_v8_fib()
-        vplan = compile_vector_plan(HiBst(fib))
+        vplan = compile_vector_plan(BridgedTcam(fib))
         info = vplan.describe()
         assert not info["fully_lowered"]
-        assert info["bridged_steps"]  # the BST walk runs over the bridge
+        assert info["bridged_steps"]  # the match step runs over the bridge
         assert 0.0 <= info["lowered_fraction"] <= 1.0
+        assert info["kernel_sequence"] == [
+            {"steps": ["match"], "mode": "bridge", "fused": False}]
+
+    def test_bridge_exception_fails_batch_with_typed_error(self):
+        # A raising bridged step must abort the whole batch: before the
+        # typed error, lanes were left holding the MISS sentinel,
+        # indistinguishable from a genuine no-route answer.
+        class ExplodingTcam(BridgedTcam):
+            def cram_program(self):
+                prog = super().cram_program()
+
+                def boom(state, result):
+                    if state["addr"] == 0b1010_0001:
+                        raise RuntimeError("table wedged")
+                    state["hop"] = result
+
+                prog.step("match").action = boom
+                return prog
+
+        vplan = compile_vector_plan(ExplodingTcam(small_v8_fib()))
+        assert vplan.bridged_steps == ("match",)
+        with pytest.raises(VectorBridgeError, match=r"'match'.*lane 1"):
+            vplan.lookup_batch([0b1010_0000, 0b1010_0001, 0b1010_0010])
+        # VectorBridgeError is a VectorError, so existing handlers see it.
+        assert issubclass(VectorBridgeError, VectorError)
 
     def test_unknown_spec_names_raise(self):
         class BadTcam(LogicalTcam):
@@ -317,10 +403,61 @@ def test_bridged_vector_masks_match_oracle(entries):
     for length, bits, hop in entries:
         fib.insert(Prefix.from_bits(bits & ((1 << length) - 1), length, 8),
                    hop)
-    vplan = compile_vector_plan(HiBst(fib))  # mixed mode: scalar bridge
+    vplan = compile_vector_plan(BridgedTcam(fib))  # forced scalar bridge
     addresses = list(range(256))
     assert vplan.lookup_batch_hops(addresses) == \
         [fib.lookup(a) for a in addresses]
+
+
+# ---------------------------------------------------------------------------
+# The fusion pass
+# ---------------------------------------------------------------------------
+
+
+class TestFusion:
+    def test_fusion_collapses_adjacent_lowered_steps(self):
+        fib = small_v8_fib()
+        algo = MultibitTrie(fib, [4, 4])
+        fused = compile_vector_plan(algo)
+        unfused = compile_vector_plan(algo, fuse=False)
+        assert fused.fuse and not unfused.fuse
+        # All steps lowered and adjacent: one fused kernel dispatch.
+        assert len(fused) == 1 < len(unfused)
+        assert fused.fused_groups == (fused.lowered_steps,)
+        assert fused.fused_steps == len(fused.lowered_steps)
+        assert unfused.fused_groups == () and unfused.fused_steps == 0
+        addresses = list(range(256))
+        assert fused.lookup_batch_hops(addresses) == \
+            unfused.lookup_batch_hops(addresses)
+
+    def test_bridge_segments_are_fusion_barriers(self):
+        vplan = compile_vector_plan(BridgedTcam(small_v8_fib()))
+        # A single bridged step: nothing to fuse around it.
+        assert vplan.fused_groups == ()
+        assert [e["mode"] for e in vplan.kernel_sequence()] == ["bridge"]
+
+    def test_single_step_plans_report_no_fusion(self):
+        vplan = compile_vector_plan(LogicalTcam(small_v8_fib()))
+        assert vplan.fully_lowered
+        assert vplan.fused_steps == 0  # one kernel: no group to merge
+        assert vplan.kernel_sequence() == [
+            {"steps": ["match"], "mode": "vector", "fused": False}]
+
+    def test_engine_fuse_knob_and_gauge(self):
+        fib = small_v8_fib()
+        engine = BatchEngine(MultibitTrie(fib, [4, 4]), backend="vector",
+                             name="fusion")
+        gauge = engine.registry.gauge("repro_engine_vector_fused_steps")
+        assert gauge.value(engine="fusion") == \
+            engine.vector_plan.fused_steps > 0
+        off = BatchEngine(MultibitTrie(fib, [4, 4]), backend="vector",
+                          name="nofuse", fuse=False)
+        assert off.vector_plan.fused_steps == 0
+        assert off.registry.gauge(
+            "repro_engine_vector_fused_steps").value(engine="nofuse") == 0
+        addresses = list(range(256))
+        assert engine.lookup_batch(addresses) == \
+            off.lookup_batch(addresses)
 
 
 # ---------------------------------------------------------------------------
@@ -341,12 +478,15 @@ class TestEngineBackend:
         gauge = vec.registry.gauge("repro_engine_backend")
         assert gauge.value(engine="vec", backend="vector") == 1
         assert gauge.value(engine="vec", backend="plan") == 0
-        # auto drops to the scalar plan when steps bridged (HiBst)...
-        auto = BatchEngine(HiBst(fib), backend="auto", name="auto")
+        # auto drops to the scalar plan when steps bridged...
+        auto = BatchEngine(BridgedTcam(fib), backend="auto", name="auto")
         assert auto.active_backend == "plan"
         assert auto.vector_plan is not None
-        # ...but still serves correct answers if forced to vector.
-        forced = BatchEngine(HiBst(fib), backend="vector")
+        # ...while a fully-lowered tree scheme stays on vector...
+        tree = BatchEngine(HiBst(fib), backend="auto", name="tree")
+        assert tree.active_backend == "vector"
+        # ...and the bridged one still serves correct answers if forced.
+        forced = BatchEngine(BridgedTcam(fib), backend="vector")
         addresses = list(range(256))
         assert forced.lookup_batch(addresses) == \
             [fib.lookup(a) for a in addresses]
