@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test ci conformance bench bench-smoke bench-vector \
-        bench-serve bench-history chaos spans examples clean
+        bench-serve bench-updates bench-history chaos spans examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,6 +47,10 @@ bench-vector:     ## lane-compiler gate: vector >= 3x scalar plan
 bench-serve:      ## serving gate: coalesced >= 2x sequential
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_serve.py -q
+
+bench-updates:    ## churn gate: delta commits >= 5x full recompiles
+	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
+	    benchmarks/bench_updates.py -q
 
 bench-history:    ## benchmark trajectory: append sidecars + regression report
 	$(PYTHON) -m repro bench-history --check

@@ -13,8 +13,14 @@ benches check that ranking:
   rebuild-fallback ranking: the in-place schemes absorb the churn
   without planned rebuilds, while BSIC's rebuild discipline costs one
   reconstruction per batch — and nobody ever diverges from the oracle.
+* ``test_churn_under_serving`` is the incremental-commit gate: the
+  same churn committed through the delta path (in-place
+  ``apply_delta`` + plan patching) must beat the legacy
+  copy-and-recompile path by at least 5x per commit, while a batch
+  engine keeps serving lookups between batches.
 """
 
+import os
 import time
 
 from _bench_utils import bench_timings, emit
@@ -31,10 +37,13 @@ from repro.control import (
     ManagedFib,
     churn_trace,
 )
+from repro.control import RuntimePolicy
 from repro.datasets import synthesize_as65000, uniform_addresses
+from repro.engine import BatchEngine
 from repro.prefix import Fib
 
 CHURN = 60
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def test_update_costs(benchmark):
@@ -163,3 +172,112 @@ def test_managed_churn_fault_ranking(benchmark):
     bsic_log = results["BSIC"].log
     assert bsic_log.count("rebuild_planned") == bsic_log.batches_total
     assert bsic_log.count("batch_applied") == 0
+
+
+def test_churn_under_serving(benchmark):
+    """Sustained churn under serving: delta commits vs full recompiles.
+
+    Both legs replay the identical CALM trace through a ManagedFib
+    with a batch engine subscribed to its commits, serving a probe
+    burst after every batch.  The *delta* leg runs the incremental
+    pipeline end to end (in-place ``apply_delta``, plan/vector
+    patching); the *recompile* leg forces the legacy discipline
+    (``delta_updates=False`` snapshots a copy per batch,
+    ``patch_threshold=0`` recompiles the full plan per commit).  The
+    CI gate: delta commits land at least 5x faster.
+    """
+    fib_scale = max(0.002, 0.02 * SCALE)
+    base = synthesize_as65000(scale=fib_scale)
+    probes = uniform_addresses(32, 256, seed=23)
+    batches, batch_size, seed = 12, 25, 23
+    # Checks and guards cost the same in both legs and would only
+    # dilute the commit-path comparison; the engine-vs-oracle probe
+    # sweep below keeps the correctness net.
+    legs = {
+        "delta": (RuntimePolicy(check_every=0, guard_every=0), 256),
+        "recompile": (RuntimePolicy(check_every=0, guard_every=0,
+                                    delta_updates=False), 0),
+    }
+
+    def run():
+        results = {}
+        for leg, (policy, threshold) in legs.items():
+            managed = ManagedFib(
+                lambda fib: Resail(fib, min_bmp=13, hash_capacity=1 << 16),
+                base, policy=policy, check_seed=seed,
+            )
+            engine = BatchEngine.over_managed(
+                managed, backend="auto", patch_threshold=threshold,
+                name=f"churn-{leg}")
+            commit_s, serve_s = [], []
+            generator = ChurnGenerator(base, seed=seed, profile=CALM)
+            for batch in generator.batches(batches * batch_size, batch_size):
+                start = time.perf_counter()
+                outcome = managed.apply_batch(batch)
+                commit_s.append(time.perf_counter() - start)
+                assert outcome in ("batch_applied", "batch_rebuilt"), outcome
+                start = time.perf_counter()
+                answers = engine.lookup_batch(probes)
+                serve_s.append(time.perf_counter() - start)
+                want = [managed.oracle.lookup(a) for a in probes]
+                assert answers == want, leg
+            managed.log.check_accounting()
+            results[leg] = (managed, engine, commit_s, serve_s)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    totals = {leg: sum(commit_s)
+              for leg, (_, _, commit_s, _) in results.items()}
+    p99 = {leg: sorted(serve_s)[int(0.99 * (len(serve_s) - 1))]
+           for leg, (_, _, _, serve_s) in results.items()}
+    speedup = totals["recompile"] / totals["delta"]
+    def counter(managed, name, leg):
+        series = managed.registry.snapshot()["counters"].get(name, {})
+        return series.get(f'{{engine="churn-{leg}"}}', 0)
+
+    counters = {
+        leg: {
+            "plan_patches": counter(
+                managed, "repro_engine_plan_patches_total", leg),
+            "recompiles": counter(
+                managed, "repro_engine_plan_recompiles_total", leg),
+            "applied": managed.log.count("batch_applied"),
+            "rebuilt": managed.log.count("batch_rebuilt"),
+        }
+        for leg, (managed, _, _, _) in results.items()
+    }
+
+    table = Table(
+        f"Churn under serving, {batches}x{batch_size} CALM ops over "
+        f"{len(base)} routes",
+        ["Leg", "Commit total (s)", "Per batch (ms)", "Patches/recompiles",
+         "Serve p99 (us)"])
+    for leg in ("delta", "recompile"):
+        table.add_row(
+            leg, f"{totals[leg]:.4f}",
+            f"{totals[leg] / batches * 1e3:.2f}",
+            f"{counters[leg]['plan_patches']}/{counters[leg]['recompiles']}",
+            f"{p99[leg] * 1e6:.0f}")
+    table.add_row("speedup", f"{speedup:.1f}x", "", "", "")
+
+    emit("update_churn_serving", table.render(),
+         values={"fib_routes": len(base), "batches": batches,
+                 "batch_size": batch_size, "probes": len(probes),
+                 "speedup_threshold_x": 5.0, "legs": counters},
+         timings={"commit_total_s": totals,
+                  "commit_per_batch_ms": {
+                      leg: totals[leg] / batches * 1e3 for leg in totals},
+                  "serve_p99_us": {
+                      leg: p99[leg] * 1e6 for leg in p99},
+                  "speedup_x": speedup,
+                  "benchmark": bench_timings(benchmark)})
+
+    # The delta leg really took the incremental path...
+    assert counters["delta"]["applied"] == batches
+    assert counters["delta"]["plan_patches"] == batches
+    # ...the recompile leg really recompiled every commit...
+    assert counters["recompile"]["plan_patches"] == 0
+    assert counters["recompile"]["recompiles"] >= batches
+    # ...and the gate: incremental commits are at least 5x cheaper.
+    assert speedup >= 5.0, speedup

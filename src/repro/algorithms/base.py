@@ -98,6 +98,80 @@ class LookupAlgorithm(abc.ABC):
         return self.update_strategy != UPDATE_UNSUPPORTED
 
     # ------------------------------------------------------------------
+    # Delta builds (incremental commit pipeline)
+    # ------------------------------------------------------------------
+    #: True if :meth:`apply_delta` mutates the live structure in place
+    #: instead of requiring a rebuild.  Algorithms that set this must
+    #: guarantee every ``apply_delta_op`` either applies fully or
+    #: raises (so the managed runtime can undo via inverse ops), and
+    #: that their compiled plans read *frozen* snapshots — an in-place
+    #: mutation must never be visible through an already-compiled plan.
+    supports_delta: bool = False
+
+    def apply_delta_op(self, op: "DeltaOp") -> None:
+        """Apply one delta op to the live structure.
+
+        The default dispatches to :meth:`insert`/:meth:`delete`
+        (treating a withdraw of an absent prefix as a no-op), which is
+        correct for any in-place-updatable algorithm; schemes with a
+        cheaper or stricter path override.  Raise
+        :class:`UpdateUnsupported` to make the runtime undo the
+        partial delta and fall back to a planned rebuild.
+        """
+        from ..control.churn import ANNOUNCE
+
+        if op.action == ANNOUNCE:
+            self.insert(op.prefix, op.next_hop)
+        elif op.prev_hop is not None:
+            self.delete(op.prefix)
+
+    def apply_delta(self, delta: "FibDelta") -> None:
+        """Apply a whole committed delta (batch hooks included)."""
+        self.begin_update_batch()
+        try:
+            for op in delta:
+                self.apply_delta_op(op)
+        finally:
+            self.end_update_batch()
+
+    def plan_patch(self, delta: "FibDelta", plan) -> Optional[Dict[str, Callable]]:
+        """Frozen readers for the plan steps ``delta`` invalidates.
+
+        ``None`` (the default) means "not patchable — recompile"; an
+        empty dict means the delta touches no table the compiled plan
+        reads (extraction state may still be refreshed).  Keys must be
+        step names the plan knows, values the replacement readers
+        (same contract as :meth:`plan_backings`).
+        """
+        return None
+
+    def vector_patch(self, delta: "FibDelta",
+                     vector_plan) -> Optional[Dict[str, "VectorStepSpec"]]:
+        """Fresh lowering specs for the kernels ``delta`` invalidates.
+
+        Same contract as :meth:`plan_patch` but for the lane compiler:
+        ``None`` means recompile, a dict maps step names to new
+        :class:`~repro.core.vector.VectorStepSpec` instances.
+        """
+        return None
+
+    def plan_extract_factory(self) -> Optional[Callable]:
+        """A *frozen* replacement for :meth:`cram_extract_hop`.
+
+        Algorithms whose extraction reads live mutable state (e.g.
+        SAIL's ``default_hop``) return a closure over a snapshot of
+        that state; the plan compiler re-evaluates the factory at
+        compile and patch time, so in-place deltas never leak through
+        a compiled plan's extraction.  ``None`` keeps the bound method.
+        """
+        return None
+
+    def vector_extract_factory(self) -> Optional[Callable]:
+        """Frozen replacement for :meth:`vector_extract_hop` (see
+        :meth:`plan_extract_factory`)."""
+        return None
+
+    # ------------------------------------------------------------------
     # Transactional hooks (used by repro.control.runtime.ManagedFib)
     # ------------------------------------------------------------------
     def snapshot(self) -> "LookupAlgorithm":

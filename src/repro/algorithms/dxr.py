@@ -36,10 +36,26 @@ POINTER_BITS = 20
 #: Initial-table slot: next hop or section pointer + length (paper: the
 #: D16R table is 0.25 MB = 2**16 x 32 bits).
 INITIAL_SLOT_BITS = 32
+#: A short-prefix delta op covers ``2**(k - length)`` slices; beyond
+#: this many covered bits a rebuild is cheaper than slice-by-slice
+#: patching, so :meth:`Dxr.apply_delta_op` declines.
+MAX_SHORT_DELTA_BITS = 10
 
 
 class Dxr(LookupAlgorithm):
-    """Behavioural D-k-R with a single global range table."""
+    """Behavioural D-k-R with a single global range table.
+
+    Route-by-route :meth:`insert`/:meth:`delete` stay unsupported (the
+    merged, right-endpoint-discarded range table has no sensible
+    per-route mutation), but whole *delta batches* apply incrementally:
+    the build keeps its short-prefix trie and per-slice suffix groups,
+    so a delta op re-derives only the covered slices' sections.  Fresh
+    sections append to the global range table (pointers are per-slice,
+    so stale rows are simply unreachable); the dead rows are compacted
+    away once they outnumber the live ones.
+    """
+
+    supports_delta = True
 
     def __init__(self, fib: Fib, k: int = 16):
         if not 1 <= k < fib.width:
@@ -49,37 +65,34 @@ class Dxr(LookupAlgorithm):
         self.name = f"DXR (k={k})"
         self.suffix_bits = fib.width - k
 
-        shorts = BinaryTrie(fib.width)
-        groups: Dict[int, List[Tuple[Prefix, int]]] = {}
-        exact_k: Dict[int, int] = {}
+        #: Prefixes of length <= k: slice defaults (kept for deltas).
+        self._shorts = BinaryTrie(fib.width)
+        #: slice -> {(suffix bits, suffix length): (suffix, hop)}.
+        self._groups: Dict[int, Dict[Tuple[int, int], Tuple[Prefix, int]]] = {}
         for prefix, hop in fib:
-            if prefix.length < self.k:
-                shorts.insert(prefix, hop)
-            elif prefix.length == self.k:
-                exact_k[prefix.bits] = hop
-                shorts.insert(prefix, hop)
+            if prefix.length <= self.k:
+                self._shorts.insert(prefix, hop)
             else:
                 slice_bits = prefix.slice(0, self.k)
-                # Re-express the suffix in the (width - k)-bit space.
-                suffix = Prefix.from_bits(
-                    prefix.bits & ((1 << (prefix.length - self.k)) - 1),
-                    prefix.length - self.k,
-                    self.suffix_bits,
-                )
-                groups.setdefault(slice_bits, []).append((suffix, hop))
+                suffix = self._suffix_of(prefix)
+                self._groups.setdefault(slice_bits, {})[
+                    (suffix.bits, suffix.length)] = (suffix, hop)
 
         #: Global merged range table; sections are contiguous.
         self.ranges: List[RangeEntry] = []
         #: Slice -> ('hop', hop) | ('section', start, count) | None.
         self.initial: List[Optional[Tuple]] = [None] * (1 << self.k)
+        #: Rows in self.ranges no slice points at any more.
+        self._dead_ranges = 0
         for slice_bits in range(1 << self.k):
-            default = shorts.lookup(slice_bits << self.suffix_bits)
-            group = groups.get(slice_bits)
+            default = self._shorts.lookup(slice_bits << self.suffix_bits)
+            group = self._groups.get(slice_bits)
             if not group:
                 if default is not None:
                     self.initial[slice_bits] = ("hop", default)
                 continue
-            section = expand_to_ranges(group, self.suffix_bits, default_hop=default)
+            section = expand_to_ranges(
+                list(group.values()), self.suffix_bits, default_hop=default)
             start = len(self.ranges)
             self.ranges.extend(section)
             self.initial[slice_bits] = ("section", start, len(section))
@@ -87,6 +100,15 @@ class Dxr(LookupAlgorithm):
         self.max_section = max(
             (entry[2] for entry in self.initial if entry and entry[0] == "section"),
             default=0,
+        )
+        self._build_mirrors()
+
+    def _suffix_of(self, prefix: Prefix) -> Prefix:
+        """Re-express a long prefix's suffix in the (width - k)-bit space."""
+        return Prefix.from_bits(
+            prefix.bits & ((1 << (prefix.length - self.k)) - 1),
+            prefix.length - self.k,
+            self.suffix_bits,
         )
 
     # ------------------------------------------------------------------
@@ -117,6 +139,140 @@ class Dxr(LookupAlgorithm):
             f"{self.name}: the merged range table has no in-place delete; "
             "rebuild from the FIB"
         )
+
+    # ------------------------------------------------------------------
+    # Delta batches: per-slice section re-derivation
+    # ------------------------------------------------------------------
+    def apply_delta_op(self, op) -> None:
+        from ..control.churn import ANNOUNCE
+
+        prefix = op.prefix
+        self._check_prefix(prefix)
+        announce = op.action == ANNOUNCE
+        if not announce and op.prev_hop is None:
+            return  # withdraw of an absent prefix: no-op
+        if prefix.length > self.k:
+            slice_bits = prefix.slice(0, self.k)
+            suffix = self._suffix_of(prefix)
+            key = (suffix.bits, suffix.length)
+            group = self._groups.setdefault(slice_bits, {})
+            if announce:
+                group[key] = (suffix, op.next_hop)
+            else:
+                group.pop(key, None)
+                if not group:
+                    del self._groups[slice_bits]
+            self._rebuild_slice(slice_bits)
+            return
+        # Short prefix: the inherited default of every covered slice
+        # changes.  Very broad prefixes cover too many slices to be
+        # worth patching — decline, and the runtime rebuilds instead.
+        covered = self.k - prefix.length
+        if covered > MAX_SHORT_DELTA_BITS:
+            raise UpdateUnsupported(
+                f"{self.name}: /{prefix.length} covers 2**{covered} slices; "
+                "rebuild instead"
+            )
+        if announce:
+            self._shorts.insert(prefix, op.next_hop)
+        else:
+            self._shorts.delete(prefix)
+        base = prefix.bits << covered
+        for slice_bits in range(base, base + (1 << covered)):
+            self._rebuild_slice(slice_bits)
+
+    def end_update_batch(self) -> None:
+        live = len(self.ranges) - self._dead_ranges
+        if self._dead_ranges > max(64, live):
+            self._compact_ranges()
+
+    def _rebuild_slice(self, slice_bits: int) -> None:
+        """Re-derive one slice's initial entry (and range section)."""
+        old = self.initial[slice_bits]
+        if old is not None and old[0] == "section":
+            self._dead_ranges += old[2]
+        default = self._shorts.lookup(slice_bits << self.suffix_bits)
+        group = self._groups.get(slice_bits)
+        if not group:
+            entry = ("hop", default) if default is not None else None
+        else:
+            section = expand_to_ranges(
+                list(group.values()), self.suffix_bits, default_hop=default)
+            start = len(self.ranges)
+            self.ranges.extend(section)
+            entry = ("section", start, len(section))
+            # Monotone: search_depth never shrinks mid-flight, so an
+            # already-compiled probe chain stays deep enough.
+            self.max_section = max(self.max_section, len(section))
+            self._mirror_extend(section)
+        self.initial[slice_bits] = entry
+        self._mirror_initial_slot(slice_bits)
+
+    def _compact_ranges(self) -> None:
+        """Drop unreachable rows, rewriting every section pointer."""
+        compacted: List[RangeEntry] = []
+        for slot, entry in enumerate(self.initial):
+            if entry is None or entry[0] != "section":
+                continue
+            _tag, start, count = entry
+            new_start = len(compacted)
+            compacted.extend(self.ranges[start:start + count])
+            self.initial[slot] = ("section", new_start, count)
+        self.ranges = compacted
+        self._dead_ranges = 0
+        self._build_mirrors()
+
+    # ------------------------------------------------------------------
+    # NumPy mirrors of the initial and range tables, maintained
+    # incrementally so vector patching is O(delta), not O(table)
+    # ------------------------------------------------------------------
+    def _build_mirrors(self) -> None:
+        size = 1 << self.k
+        self._mirror_kind = np.zeros(size, dtype=np.int64)
+        self._mirror_a = np.zeros(size, dtype=np.int64)
+        self._mirror_b = np.zeros(size, dtype=np.int64)
+        for slot, entry in enumerate(self.initial):
+            if entry is not None:
+                self._mirror_initial_slot(slot)
+        n = len(self.ranges)
+        cap = max(64, n)
+        self._mirror_left = np.zeros(cap, dtype=np.int64)
+        self._mirror_hops = np.zeros(cap, dtype=np.int64)
+        self._mirror_hopnone = np.zeros(cap, dtype=bool)
+        for row, r in enumerate(self.ranges):
+            self._mirror_left[row] = r.left
+            self._mirror_hops[row] = 0 if r.next_hop is None else r.next_hop
+            self._mirror_hopnone[row] = r.next_hop is None
+
+    def _mirror_initial_slot(self, slot: int) -> None:
+        entry = self.initial[slot]
+        if entry is None:
+            kind = a = b = 0
+        elif entry[0] == "hop":
+            kind, a, b = 1, entry[1], 0
+        else:
+            kind, a, b = 2, entry[1], entry[2]
+        self._mirror_kind[slot] = kind
+        self._mirror_a[slot] = a
+        self._mirror_b[slot] = b
+
+    def _mirror_extend(self, section: List[RangeEntry]) -> None:
+        n = len(self.ranges)  # section already appended
+        cap = self._mirror_left.size
+        if n > cap:
+            while cap < n:
+                cap *= 2
+            for attr in ("_mirror_left", "_mirror_hops", "_mirror_hopnone"):
+                old = getattr(self, attr)
+                grown = np.zeros(cap, dtype=old.dtype)
+                grown[:old.size] = old
+                setattr(self, attr, grown)
+        start = n - len(section)
+        for offset, r in enumerate(section):
+            row = start + offset
+            self._mirror_left[row] = r.left
+            self._mirror_hops[row] = 0 if r.next_hop is None else r.next_hop
+            self._mirror_hopnone[row] = r.next_hop is None
 
     def lookup(self, address: int) -> Optional[int]:
         self._check_address(address)
@@ -201,24 +357,63 @@ class Dxr(LookupAlgorithm):
         return state.get("best")
 
     # ------------------------------------------------------------------
+    # Compiled plans: frozen snapshot readers + delta patching
+    # ------------------------------------------------------------------
+    def plan_backings(self):
+        """Frozen list snapshots of the initial and range tables, so an
+        in-place delta never leaks into an already-compiled plan."""
+        initial = list(self.initial)
+        ranges = list(self.ranges)
+        backings = {"initial": initial.__getitem__}
+        for level in range(self.search_depth):
+            backings[f"probe_{level}"] = ranges.__getitem__
+        return backings
+
+    def _probe_steps(self, step_names):
+        return [name for name in step_names if name.startswith("probe_")]
+
+    def plan_patch(self, delta, plan):
+        probes = self._probe_steps(plan.step_names)
+        if self.search_depth > len(probes):
+            return None  # the compiled probe chain is too shallow now
+        # Sections append (and compaction rewrites pointers), so every
+        # probe level and the initial table refresh together.
+        initial = list(self.initial)
+        ranges = list(self.ranges)
+        readers = {"initial": initial.__getitem__}
+        for name in probes:
+            readers[name] = ranges.__getitem__
+        return readers
+
+    def vector_patch(self, delta, vector_plan):
+        probes = self._probe_steps(vector_plan.plan.step_names)
+        if self.search_depth > len(probes):
+            return None
+        specs = {"initial": self._vector_initial_spec()}
+        make_probe = self._vector_probe_spec_factory()
+        for name in probes:
+            specs[name] = make_probe()
+        return specs
+
+    # ------------------------------------------------------------------
     # Lane compiler (repro.core.vector): every step fully lowered
     # ------------------------------------------------------------------
     def vector_specs(self):
+        specs = {"initial": self._vector_initial_spec()}
+        make_probe = self._vector_probe_spec_factory()
+        for level in range(self.search_depth):
+            specs[f"probe_{level}"] = make_probe()
+        return specs
+
+    def _vector_initial_spec(self):
         from ..core.vector import VectorStepSpec
 
         # Initial table as parallel kind/a/b arrays:
         # kind 0 = empty, 1 = ('hop', a), 2 = ('section', a, count=b).
-        size = 1 << self.k
-        kind = np.zeros(size, dtype=np.int64)
-        a = np.zeros(size, dtype=np.int64)
-        b = np.zeros(size, dtype=np.int64)
-        for slot, entry in enumerate(self.initial):
-            if entry is None:
-                continue
-            if entry[0] == "hop":
-                kind[slot], a[slot] = 1, entry[1]
-            else:
-                kind[slot], a[slot], b[slot] = 2, entry[1], entry[2]
+        # Copies freeze the incrementally-maintained mirrors.
+        kind = self._mirror_kind.copy()
+        a = self._mirror_a.copy()
+        b = self._mirror_b.copy()
         suffix_mask = (1 << self.suffix_bits) - 1
 
         def init_update(lanes, vals, found, active):
@@ -234,14 +429,17 @@ class Dxr(LookupAlgorithm):
             lanes.assign("hi", np.where(section, a[slot] + b[slot] - 1, 0),
                          none=~section)
 
+        return VectorStepSpec(init_update)
+
+    def _vector_probe_spec_factory(self):
+        from ..core.vector import VectorStepSpec
+
         # The global range table as left-endpoint / hop columns; one
         # shared update closure drives every binary-search level.
-        left = np.array([r.left for r in self.ranges], dtype=np.int64)
-        hops = np.array(
-            [0 if r.next_hop is None else r.next_hop for r in self.ranges],
-            dtype=np.int64)
-        hop_none = np.array([r.next_hop is None for r in self.ranges],
-                            dtype=bool)
+        n = len(self.ranges)
+        left = self._mirror_left[:n].copy()
+        hops = self._mirror_hops[:n].copy()
+        hop_none = self._mirror_hopnone[:n].copy()
 
         def probe_update(lanes, vals, found, active):
             lo = lanes.values("lo")
@@ -254,10 +452,7 @@ class Dxr(LookupAlgorithm):
             lanes.assign_where("lo", le, mid + 1)
             lanes.assign_where("hi", searching & ~le, mid - 1)
 
-        specs = {"initial": VectorStepSpec(init_update)}
-        for level in range(self.search_depth):
-            specs[f"probe_{level}"] = VectorStepSpec(probe_update)
-        return specs
+        return lambda: VectorStepSpec(probe_update)
 
     def vector_extract_hop(self, lanes):
         return lanes.values("best"), lanes.is_none("best")

@@ -69,6 +69,7 @@ class Resail(LookupAlgorithm):
     """Behavioural RESAIL with incremental updates (Appendix A.3.1)."""
 
     update_strategy = UPDATE_IN_PLACE
+    supports_delta = True
 
     def __init__(self, fib: Fib, min_bmp: int = DEFAULT_MIN_BMP,
                  hash_capacity: Optional[int] = None):
@@ -265,12 +266,67 @@ class Resail(LookupAlgorithm):
         return backings
 
     # ------------------------------------------------------------------
+    # Incremental commit pipeline: which plan steps a delta invalidates
+    # ------------------------------------------------------------------
+    def _delta_steps(self, delta):
+        steps = set()
+        for op in delta:
+            length = op.prefix.length
+            if length > PIVOT_LEVEL:
+                steps.add("look-aside")
+            elif length >= self.min_bmp:
+                steps.add("hash")
+                steps.add(f"bitmap_{length}")
+                if length == self.min_bmp:
+                    # _refill_slot can flip B_min_bmp on deletions.
+                    steps.add(f"bitmap_{self.min_bmp}")
+            else:
+                # Short prefixes fold into B_min_bmp by expansion.
+                steps.add("hash")
+                steps.add(f"bitmap_{self.min_bmp}")
+        return steps
+
+    def plan_patch(self, delta, plan):
+        # Handing each step's previous reader back re-freezes it from
+        # the backing's write log — O(delta), not O(table).
+        readers = {}
+        for step in self._delta_steps(delta):
+            prev = plan.step_reader(step) if plan is not None else None
+            if step == "look-aside":
+                readers[step] = self.look_aside.plan_reader()
+            elif step == "hash":
+                readers[step] = self.hash_table.plan_reader(prev)
+            else:
+                level = int(step.rsplit("_", 1)[1])
+                readers[step] = self.bitmaps[level].plan_reader(prev)
+        return readers
+
+    def vector_patch(self, delta, vector_plan):
+        specs = {}
+        for step in self._delta_steps(delta):
+            prev = (vector_plan.step_view(step)
+                    if vector_plan is not None else None)
+            if step == "look-aside":
+                specs[step] = self._vector_laside_spec()
+            elif step == "hash":
+                specs[step] = self._vector_hash_spec(prev)
+            else:
+                specs[step] = self._vector_bitmap_spec(
+                    int(step.rsplit("_", 1)[1]), prev)
+        return specs
+
+    # ------------------------------------------------------------------
     # Lane compiler (repro.core.vector): every step fully lowered
     # ------------------------------------------------------------------
     def vector_specs(self):
-        from ..core.vector import VectorStepSpec
+        specs = {"look-aside": self._vector_laside_spec(),
+                 "hash": self._vector_hash_spec()}
+        for i in range(self.min_bmp, PIVOT_LEVEL + 1):
+            specs[f"bitmap_{i}"] = self._vector_bitmap_spec(i)
+        return specs
 
-        specs = {}
+    def _vector_laside_spec(self):
+        from ..core.vector import VectorStepSpec
 
         # Look-aside TCAM: one broadcast masked compare for the batch.
         # (The step's backing is the TcamTable itself, so the compiler
@@ -278,37 +334,39 @@ class Resail(LookupAlgorithm):
         def laside_update(lanes, vals, found, active):
             lanes.assign("laside_hop", vals, none=~found)
 
-        specs["look-aside"] = VectorStepSpec(
+        return VectorStepSpec(
             laside_update,
             select=lambda lanes: (lanes.values("addr"), None),
             reader=self.look_aside.vector_reader(),
         )
 
-        def bitmap_spec(i):
-            shift = IPV4_WIDTH - i
-            mark_shift = PIVOT_LEVEL - i
+    def _vector_bitmap_spec(self, i, prev=None):
+        from ..core.vector import VectorStepSpec
 
-            def update(lanes, vals, found, active, i=i):
-                # Bit marking, vectorized: append a 1, shift to width 25.
-                index = lanes.values("addr") >> shift
-                marked = ((index << 1) | 1) << mark_shift
-                hit = vals != 0
-                lanes.assign(f"key_{i}", np.where(hit, marked, 0), none=~hit)
+        shift = IPV4_WIDTH - i
+        mark_shift = PIVOT_LEVEL - i
 
-            return VectorStepSpec(
-                update,
-                select=lambda lanes, shift=shift: (
-                    lanes.values("addr") >> shift, None),
-                reader=self.bitmaps[i].vector_reader(),
-            )
+        def update(lanes, vals, found, active, i=i):
+            # Bit marking, vectorized: append a 1, shift to width 25.
+            index = lanes.values("addr") >> shift
+            marked = ((index << 1) | 1) << mark_shift
+            hit = vals != 0
+            lanes.assign(f"key_{i}", np.where(hit, marked, 0), none=~hit)
 
-        for i in range(self.min_bmp, PIVOT_LEVEL + 1):
-            specs[f"bitmap_{i}"] = bitmap_spec(i)
+        return VectorStepSpec(
+            update,
+            select=lambda lanes, shift=shift: (
+                lanes.values("addr") >> shift, None),
+            reader=self.bitmaps[i].vector_reader(prev),
+        )
+
+    def _vector_hash_spec(self, prev=None):
+        from ..core.vector import VectorStepSpec
 
         # Final step: coalesce the longest marked key (priority 24 down
         # to min_bmp), probe the flattened d-left view, resolve against
         # the look-aside hop.
-        hash_view = self.hash_table.vector_reader()
+        hash_view = self.hash_table.vector_reader(prev)
 
         def hash_update(lanes, vals, found, active):
             keys = np.zeros(lanes.n, dtype=np.int64)
@@ -324,8 +382,10 @@ class Resail(LookupAlgorithm):
                          np.where(laside, lanes.values("laside_hop"), hops),
                          none=~laside & ~hit)
 
-        specs["hash"] = VectorStepSpec(hash_update)
-        return specs
+        # No select (the step coalesces its own keys), but recording
+        # the view as the spec's reader lets the compiled plan hand it
+        # back here for an incremental re-freeze on the next patch.
+        return VectorStepSpec(hash_update, reader=hash_view)
 
     # ------------------------------------------------------------------
     # Chip layout

@@ -38,6 +38,7 @@ class Sail(LookupAlgorithm):
     """Behavioural SAIL with pivot pushing."""
 
     update_strategy = UPDATE_IN_PLACE
+    supports_delta = True
 
     def __init__(self, fib: Fib):
         if fib.width != IPV4_WIDTH:
@@ -159,10 +160,7 @@ class Sail(LookupAlgorithm):
             def select(s: dict, i=i):
                 if not s.get(f"hit_{i}"):
                     return None
-                index = s["addr"] >> (IPV4_WIDTH - i)
-                if i == PIVOT_LEVEL and index in self.chunks:
-                    return None  # handled by the chunk step
-                return index
+                return s["addr"] >> (IPV4_WIDTH - i)
 
             table = direct_index_table(
                 f"N{i}", i, NEXT_HOP_BITS,
@@ -179,17 +177,20 @@ class Sail(LookupAlgorithm):
                         writes=["hop", "done"], action=act)
 
         def chunk_step() -> Step:
+            # Membership lives in the *reader*, not the selector: the
+            # backing answers None for un-chunked slots, so the compiled
+            # plan can swap in a frozen chunk snapshot without any live
+            # `in self.chunks` check leaking through the key selector.
             def select(s: dict):
                 if not s.get(f"hit_{PIVOT_LEVEL}"):
-                    return None
-                if (s["addr"] >> (IPV4_WIDTH - PIVOT_LEVEL)) not in self.chunks:
                     return None
                 return s["addr"]
 
             def load(address: int):
-                return self.chunks[address >> (IPV4_WIDTH - PIVOT_LEVEL)][
-                    address & (CHUNK_SIZE - 1)
-                ]
+                chunk = self.chunks.get(address >> (IPV4_WIDTH - PIVOT_LEVEL))
+                if chunk is None:
+                    return None
+                return chunk[address & (CHUNK_SIZE - 1)]
 
             # Pointer-addressed chunk store: entries x 8 bits of SRAM,
             # no stored keys (the chunk pointer is the address).
@@ -223,37 +224,161 @@ class Sail(LookupAlgorithm):
         return hop if hop is not None else self.default_hop
 
     def plan_backings(self):
-        """Snapshot readers for the plan compiler: byte-packed bitmaps
-        and plain dict views of the next-hop arrays (the chunk store's
-        closure backing is already a direct dict access)."""
+        """Snapshot readers for the plan compiler: byte-packed bitmaps,
+        plain dict views of the next-hop arrays, and a frozen chunk
+        snapshot (so in-place deltas never leak into compiled plans)."""
         backings = {}
         for i in range(1, PIVOT_LEVEL + 1):
             backings[f"bitmap_{i}"] = self.bitmaps[i].plan_reader()
             backings[f"array_{i}"] = self.arrays[i].plan_reader()
+        backings["chunk_24"] = self._chunk_reader()
         return backings
+
+    def _chunk_reader(self):
+        """A frozen reader over the current chunk store.
+
+        A shallow dict copy freezes it: :meth:`_rebuild_chunk` always
+        assigns a *new* hop list, never mutates one in place.
+        """
+        chunks = dict(self.chunks)
+        shift = IPV4_WIDTH - PIVOT_LEVEL
+        mask = CHUNK_SIZE - 1
+
+        def load(address: int):
+            chunk = chunks.get(address >> shift)
+            if chunk is None:
+                return None
+            return chunk[address & mask]
+
+        return load
+
+    def plan_extract_factory(self):
+        """Extraction frozen over the current default hop."""
+        default = self.default_hop
+
+        def extract(state: dict):
+            hop = state.get("hop")
+            return hop if hop is not None else default
+
+        return extract
+
+    def vector_extract_factory(self):
+        default = self.default_hop
+
+        def extract(lanes):
+            vals = lanes.values("hop").copy()
+            none = lanes.is_none("hop").copy()
+            if default is not None:
+                vals[none] = default
+                none[:] = False
+            return vals, none
+
+        return extract
+
+    # ------------------------------------------------------------------
+    # Incremental commit pipeline: which plan steps a delta invalidates
+    # ------------------------------------------------------------------
+    def _delta_steps(self, delta):
+        """Step names whose backings ``delta`` may have changed."""
+        steps = set()
+        for op in delta:
+            length = op.prefix.length
+            if length == 0:
+                continue  # default hop: extraction refresh only
+            if length >= PIVOT_LEVEL:
+                # /24 and pivot-pushed routes interact through the
+                # chunk store, so the whole 24-level trio refreshes.
+                steps.update((f"bitmap_{PIVOT_LEVEL}",
+                              f"array_{PIVOT_LEVEL}", "chunk_24"))
+            else:
+                steps.add(f"bitmap_{length}")
+                steps.add(f"array_{length}")
+        return steps
+
+    def plan_patch(self, delta, plan):
+        readers = {}
+        for step in self._delta_steps(delta):
+            if step == "chunk_24":
+                readers[step] = self._chunk_reader()
+            else:
+                kind, level = step.rsplit("_", 1)
+                if kind == "bitmap":
+                    # Incremental re-freeze: replay the bitmap's write
+                    # log into the previous compile's reader.
+                    prev = plan.step_reader(step) if plan is not None \
+                        else None
+                    readers[step] = self.bitmaps[int(level)].plan_reader(prev)
+                else:
+                    readers[step] = self.arrays[int(level)].plan_reader()
+        return readers
+
+    def vector_patch(self, delta, vector_plan):
+        specs = {}
+        touched = self._delta_steps(delta)
+        # chunk_24 and array_24 share one frozen chunk snapshot; they
+        # regenerate together or not at all.
+        if "chunk_24" in touched or f"array_{PIVOT_LEVEL}" in touched:
+            specs.update(self._vector_chunk_specs())
+            touched.discard("chunk_24")
+            touched.discard(f"array_{PIVOT_LEVEL}")
+        for step in touched:
+            kind, level = step.rsplit("_", 1)
+            if kind == "bitmap":
+                prev = (vector_plan.step_view(step)
+                        if vector_plan is not None else None)
+                specs[step] = self._vector_bitmap_spec(int(level), prev)
+            else:
+                specs[step] = self._vector_array_spec(int(level))
+        return specs
 
     # ------------------------------------------------------------------
     # Lane compiler (repro.core.vector): every step fully lowered
     # ------------------------------------------------------------------
     def vector_specs(self):
+        specs = {}
+        for i in range(1, PIVOT_LEVEL + 1):
+            specs[f"bitmap_{i}"] = self._vector_bitmap_spec(i)
+        specs.update(self._vector_chunk_specs())
+        for i in range(1, PIVOT_LEVEL):
+            specs[f"array_{i}"] = self._vector_array_spec(i)
+        return specs
+
+    def _vector_bitmap_spec(self, i, prev=None):
         from ..core.vector import VectorStepSpec
 
-        specs = {}
+        shift = IPV4_WIDTH - i
 
-        def bitmap_spec(i):
-            shift = IPV4_WIDTH - i
+        def select(lanes):
+            return lanes.values("addr") >> shift, None
 
-            def select(lanes, shift=shift):
-                return lanes.values("addr") >> shift, None
+        def update(lanes, vals, found, active, i=i):
+            lanes.assign(f"hit_{i}", vals)
 
-            def update(lanes, vals, found, active, i=i):
-                lanes.assign(f"hit_{i}", vals)
+        return VectorStepSpec(update, select=select,
+                              reader=self.bitmaps[i].vector_reader(prev))
 
-            return VectorStepSpec(update, select=select,
-                                  reader=self.bitmaps[i].vector_reader())
+    def _vector_array_spec(self, i):
+        from ..core.vector import VectorStepSpec
 
-        for i in range(1, PIVOT_LEVEL + 1):
-            specs[f"bitmap_{i}"] = bitmap_spec(i)
+        shift = IPV4_WIDTH - i
+        view = self.arrays[i].vector_reader()
+
+        def update(lanes, vals, found, active, i=i, shift=shift, view=view):
+            probe = lanes.truthy(f"hit_{i}") & ~lanes.truthy("done")
+            hops, hit = view.gather(lanes.values("addr") >> shift, probe)
+            lanes.assign_where("hop", hit, hops)
+            lanes.assign_where("done", hit, 1)
+
+        return VectorStepSpec(update)
+
+    def _vector_chunk_specs(self):
+        """The chunk_24 + array_24 spec pair over one frozen chunk view.
+
+        They share the membership probe (array_24 must skip lanes the
+        chunk store owns), so a delta that touches the chunk store
+        regenerates both together — never one without the other.
+        """
+        from ..core.vector import VectorStepSpec
 
         # Pivot-pushed chunks: membership by sorted-slot probe, hops as
         # a (chunks x 256) matrix with a None mask.
@@ -288,27 +413,20 @@ class Sail(LookupAlgorithm):
             lanes.assign_where("hop", take, chunk_hops[row, offset])
             lanes.assign_where("done", take, 1)
 
-        specs["chunk_24"] = VectorStepSpec(chunk_update)
+        view = self.arrays[PIVOT_LEVEL].vector_reader()
+        shift = IPV4_WIDTH - PIVOT_LEVEL
 
-        def array_spec(i):
-            shift = IPV4_WIDTH - i
-            view = self.arrays[i].vector_reader()
+        def array_update(lanes, vals, found, active):
+            probe = (lanes.truthy(f"hit_{PIVOT_LEVEL}")
+                     & ~lanes.truthy("done"))
+            _row, member = chunk_rows(lanes)
+            probe &= ~member  # chunk lanes were handled above
+            hops, hit = view.gather(lanes.values("addr") >> shift, probe)
+            lanes.assign_where("hop", hit, hops)
+            lanes.assign_where("done", hit, 1)
 
-            def update(lanes, vals, found, active, i=i, shift=shift,
-                       view=view):
-                probe = lanes.truthy(f"hit_{i}") & ~lanes.truthy("done")
-                if i == PIVOT_LEVEL:
-                    _row, member = chunk_rows(lanes)
-                    probe &= ~member  # chunk lanes were handled above
-                hops, hit = view.gather(lanes.values("addr") >> shift, probe)
-                lanes.assign_where("hop", hit, hops)
-                lanes.assign_where("done", hit, 1)
-
-            return VectorStepSpec(update)
-
-        for i in range(1, PIVOT_LEVEL + 1):
-            specs[f"array_{i}"] = array_spec(i)
-        return specs
+        return {"chunk_24": VectorStepSpec(chunk_update),
+                f"array_{PIVOT_LEVEL}": VectorStepSpec(array_update)}
 
     def vector_extract_hop(self, lanes):
         vals = lanes.values("hop").copy()

@@ -349,7 +349,8 @@ def cmd_churn(args: argparse.Namespace) -> int:
 
     guard = CapacityGuard(tcam_blocks=args.tcam_budget,
                           sram_pages=args.sram_budget)
-    policy = RuntimePolicy(rebuild_budget=args.rebuild_budget)
+    policy = RuntimePolicy(rebuild_budget=args.rebuild_budget,
+                           delta_updates=args.delta)
     managed = ManagedFib(
         lambda fib: _build(args.algo, fib),
         base,
@@ -429,14 +430,18 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
                       else args.seed)
         chaos_plan = ChaosPlan.build(chaos_names, chaos_seed)
     deadline_ms = getattr(args, "deadline", 0.0)
+    from .control import RuntimePolicy
+    delta = getattr(args, "delta", True)
     managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
-                         registry=registry, check_seed=args.seed)
+                         registry=registry, check_seed=args.seed,
+                         policy=RuntimePolicy(delta_updates=delta))
     server = LookupServer(managed=managed, workers=args.workers,
                           max_batch=args.max_batch,
                           max_wait_s=args.max_wait / 1000.0,
                           overload=args.overload, mode=args.mode,
                           cache_size=args.cache, backend=args.backend,
                           name="serve", chaos=chaos_plan,
+                          ship_deltas=delta,
                           request_deadline_s=(deadline_ms / 1000.0
                                               if deadline_ms else None),
                           sample_rate=(args.sample_rate
@@ -690,8 +695,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             served += len(batch)
         managed = None
     else:
-        managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
-                             registry=registry, check_seed=args.seed)
+        from .control import RuntimePolicy
+        managed = ManagedFib(
+            lambda fib: _build(args.algo, fib), base,
+            registry=registry, check_seed=args.seed,
+            policy=RuntimePolicy(delta_updates=getattr(args, "delta", True)))
         if args.shards > 1:
             engine = RoundRobinEngine(managed.algo, replicas=args.shards,
                                       cache_size=args.cache,
@@ -1354,6 +1362,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tighten the TCAM-block capacity guard")
     p.add_argument("--sram-budget", type=int, default=None,
                    help="tighten the SRAM-page capacity guard")
+    p.add_argument("--delta", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="apply batches as in-place deltas on algorithms "
+                        "that support it (--no-delta forces the legacy "
+                        "copy-then-commit path)")
     p.add_argument("--smoke", action="store_true",
                    help="CI smoke mode: 200 ops, all faults")
     p.add_argument("--metrics-out", metavar="FILE",
@@ -1417,7 +1430,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=["thread", "process"],
                    default="thread",
                    help="worker pool kind for --workers (process mode "
-                        "ships FIB snapshots at each commit)")
+                        "ships commit deltas, falling back to FIB "
+                        "snapshots, at each commit)")
+    p.add_argument("--delta", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="commit churn batches as in-place deltas and "
+                        "ship/patch them through the workers "
+                        "(--no-delta: legacy copy, recompile, and "
+                        "snapshot shipping)")
     p.add_argument("--overload", choices=["block", "shed"],
                    default="block",
                    help="backpressure policy when the worker queue is "

@@ -26,6 +26,7 @@ from .churn import (
     UpdateOp,
     churn_trace,
 )
+from .delta import DeltaOp, FibDelta
 from .events import Event, EventLog
 from .faults import (
     ALL_FAULTS,
@@ -57,6 +58,8 @@ __all__ = [
     "ChurnProfile",
     "UpdateOp",
     "churn_trace",
+    "DeltaOp",
+    "FibDelta",
     "Event",
     "EventLog",
     "ALL_FAULTS",

@@ -52,7 +52,8 @@ from .check import (
     make_failure_predicate,
     shrink_trace,
 )
-from .churn import ANNOUNCE, UpdateOp
+from .churn import ANNOUNCE, WITHDRAW, UpdateOp
+from .delta import DeltaOp, FibDelta
 from .events import EventLog
 from .faults import FaultPlan, SimulatedFault
 
@@ -102,6 +103,10 @@ class RuntimePolicy:
     #: Shrink the trace to a minimal repro when going FAILED.
     shrink_on_failure: bool = True
     max_shrink_evals: int = 200
+    #: Apply batches as in-place deltas on algorithms that support it
+    #: (``supports_delta``), skipping the per-batch snapshot copy.
+    #: ``False`` forces the legacy copy-then-commit path everywhere.
+    delta_updates: bool = True
 
 
 @dataclass(frozen=True)
@@ -184,6 +189,10 @@ class ManagedFib:
         self._incident_flag = False
         self._batch_index = -1
         self._trace: List[UpdateOp] = []
+        #: The committed delta of the most recent *applied* batch
+        #: (None after rebuilds and rollbacks).  Commit listeners read
+        #: this to patch plans / ship deltas instead of recompiling.
+        self.last_delta: Optional[FibDelta] = None
         self._commit_listeners: List[
             Callable[[str, LookupAlgorithm, List[Prefix]], None]] = []
         self._health_gauge.set(HEALTH_GAUGE_VALUES[self.health])
@@ -335,10 +344,24 @@ class ManagedFib:
             self.log.record("fault_injected", b, fault=name)
             self.log.tally(f"fault:{name}")
 
+        # The batch as a FibDelta: the journal (1:1 with ``valid``)
+        # supplies each op's previous hop, so the delta is invertible.
+        delta = FibDelta([
+            DeltaOp(ANNOUNCE if op.action == ANNOUNCE else WITHDRAW,
+                    prefix,
+                    next_hop=op.next_hop if op.action == ANNOUNCE else None,
+                    prev_hop=prev)
+            for (op, prefix), (_action, _prefix, prev) in zip(valid, journal)
+        ])
+
         # 4. Land the batch on the structure.
         outcome = None
         new_algo = None
-        if self.algo.update_strategy == UPDATE_IN_PLACE:
+        in_place_delta = False
+        if self.policy.delta_updates and self.algo.supports_delta:
+            new_algo, outcome = self._apply_delta(b, delta, armed)
+            in_place_delta = outcome == "batch_applied"
+        elif self.algo.update_strategy == UPDATE_IN_PLACE:
             new_algo, outcome = self._apply_in_place(b, valid, armed)
         else:
             # Planned per-batch rebuild (rebuild/unsupported discipline).
@@ -348,7 +371,8 @@ class ManagedFib:
                 self.log.record("fault_recovered", b, fault=name, how="rebuild")
 
         if new_algo is None:
-            # Recovery exhausted: roll the whole batch back.
+            # Recovery exhausted: roll the whole batch back.  (The
+            # delta path already undid its partial progress.)
             self._unstage(journal)
             self.log.record("batch_rolled_back", b, reason=outcome)
             self._incident(b)
@@ -358,11 +382,23 @@ class ManagedFib:
 
         # 5. Capacity guards.
         if self.policy.guard_every and b % self.policy.guard_every == 0:
-            kept, outcome = self._enforce_guards(b, new_algo, valid, outcome)
+            undo = None
+            if in_place_delta:
+                def undo():
+                    # A delta batch mutated the live structure: restore
+                    # it (oracle first, so the rollback safety net
+                    # rebuilds from the pre-batch table) before the
+                    # guard inspects the committed state.
+                    self._unstage(journal)
+                    self._rollback_delta(b, delta)
+            kept, outcome = self._enforce_guards(b, new_algo, valid, outcome,
+                                                 rollback=undo)
             if not kept:
                 # Armed runtime faults were already accounted when the
-                # in-place/rebuild path resolved them above.
-                self._unstage(journal)
+                # in-place/rebuild path resolved them above.  A hard
+                # trip on the delta path already ran ``undo``.
+                if not in_place_delta:
+                    self._unstage(journal)
                 self.log.record("batch_rolled_back", b, reason="capacity guard")
                 self._incident(b)
                 return "batch_rolled_back"
@@ -374,6 +410,8 @@ class ManagedFib:
                                                 [p for _, p in valid])
             if checked is None:
                 self._unstage(journal)
+                if in_place_delta:
+                    self._rollback_delta(b, delta)
                 self.log.record("batch_rolled_back", b,
                                 reason="unrecoverable divergence")
                 self._fail(b, reason="differential check failed after rebuild",
@@ -385,6 +423,7 @@ class ManagedFib:
 
         # 7. Commit.
         self.algo = new_algo
+        self.last_delta = delta if outcome == "batch_applied" else None
         self._trace.extend(op for op, _ in valid)
         for op, _ in valid:
             self.log.record("op_applied", b, op=op.render())
@@ -467,6 +506,119 @@ class ManagedFib:
             self._incident(b)
         return rebuilt, "batch_rebuilt"
 
+    # ------------------------------------------------------------------
+    # Delta application: mutate the live structure, no snapshot copy
+    # ------------------------------------------------------------------
+    def _apply_delta(
+        self,
+        b: int,
+        delta: FibDelta,
+        armed: List[str],
+    ) -> Tuple[Optional[LookupAlgorithm], str]:
+        """Land the batch as an in-place delta on ``self.algo``.
+
+        The per-batch ``snapshot()`` deep copy — the dominant commit
+        cost at AS65000 scale — is skipped entirely; rollback safety
+        comes from the delta's own invertibility instead.  Fault
+        semantics mirror :meth:`_apply_in_place`: transient faults
+        retry with backoff, persistent ones fall back to a recovery
+        rebuild, and an :class:`UpdateUnsupported` mid-delta (a
+        declared capability boundary, e.g. DXR declining a very broad
+        short prefix) falls back to a *planned* rebuild.
+        """
+        last_fault: Optional[SimulatedFault] = None
+        for attempt in range(self.policy.max_retries + 1):
+            applied = 0
+            try:
+                self.algo.begin_update_batch()
+                try:
+                    for i, dop in enumerate(delta.ops):
+                        fault = self.faults.should_raise(attempt, i)
+                        if fault is not None:
+                            raise fault
+                        self.algo.apply_delta_op(dop)
+                        applied += 1
+                finally:
+                    self.algo.end_update_batch()
+            except SimulatedFault as fault:
+                self._undo_partial_delta(b, delta, applied)
+                last_fault = fault
+                self.log.record("rollback", b, fault=fault.fault_name,
+                                attempt=attempt)
+                self._incident(b)
+                if fault.transient and attempt < self.policy.max_retries:
+                    backoff = self.policy.backoff_base * (2 ** attempt)
+                    self.simulated_backoff_s += backoff
+                    self.log.record("retry", b, attempt=attempt + 1,
+                                    backoff_ms=round(backoff * 1000, 3))
+                    continue
+                break
+            except UpdateUnsupported:
+                self._undo_partial_delta(b, delta, applied)
+                self.log.record("rollback", b, reason="update unsupported",
+                                attempt=attempt)
+                rebuilt = self._rebuild(b, planned=True)
+                for name in armed:
+                    self.log.record("fault_recovered", b, fault=name,
+                                    how="rebuild")
+                return rebuilt, "batch_rebuilt"
+            else:
+                for name in armed:
+                    self.log.record("fault_recovered", b, fault=name,
+                                    how="retry" if attempt else "clean-pass")
+                return self.algo, "batch_applied"
+
+        # Retries exhausted or non-transient failure: recovery rebuild.
+        if self._recovery_rebuilds >= self.policy.rebuild_budget:
+            for name in armed:
+                self.log.record("fault_recovered", b, fault=name,
+                                how="rollback")
+            return None, "rebuild budget exhausted"
+        rebuilt = self._rebuild(b, planned=False)
+        for name in armed:
+            self.log.record("fault_recovered", b, fault=name, how="rebuild")
+        if last_fault is not None:
+            self._incident(b)
+        return rebuilt, "batch_rebuilt"
+
+    def _undo_partial_delta(self, b: int, delta: FibDelta,
+                            applied: int) -> None:
+        """Return ``self.algo`` to its pre-batch state after ``applied``
+        delta ops landed, via inverse ops (newest first)."""
+        if applied == 0:
+            return
+        try:
+            for dop in reversed(delta.ops[:applied]):
+                self.algo.apply_delta_op(dop.inverse())
+        except Exception:
+            # Last resort: reconstruct the pre-batch table (the staged
+            # oracle minus the whole batch) and rebuild from it.  No
+            # listener fires — serving still holds pre-batch plans.
+            self.log.record("delta_undo_rebuild", b)
+            base = Fib(self.oracle.width, list(self.oracle))
+            self._replay_inverse(base, delta)
+            self.algo = self.factory(base)
+
+    def _rollback_delta(self, b: int, delta: FibDelta) -> None:
+        """Undo a fully-applied delta on ``self.algo`` (post-apply
+        rollback: hard guard trip or unrecoverable divergence).  The
+        oracle has already been unstaged, so the safety net rebuilds
+        straight from it."""
+        try:
+            for dop in delta.inverse().ops:
+                self.algo.apply_delta_op(dop)
+        except Exception:
+            self.log.record("delta_undo_rebuild", b)
+            self.algo = self.factory(Fib(self.oracle.width, list(self.oracle)))
+
+    @staticmethod
+    def _replay_inverse(base: Fib, delta: FibDelta) -> None:
+        for dop in delta.inverse().ops:
+            if dop.action == ANNOUNCE:
+                base.insert(dop.prefix, dop.next_hop)
+            elif dop.prefix in base:
+                base.delete(dop.prefix)
+
     def _rebuild(self, b: int, planned: bool) -> LookupAlgorithm:
         if planned:
             self.log.record("rebuild_planned", b)
@@ -485,14 +637,20 @@ class ManagedFib:
     # ------------------------------------------------------------------
     # Guards and consistency
     # ------------------------------------------------------------------
-    def _enforce_guards(self, b, new_algo, valid, outcome):
+    def _enforce_guards(self, b, new_algo, valid, outcome, rollback=None):
         """Returns ``(keep, outcome)``; ``keep`` is False to roll back,
-        True to keep ``new_algo``, or a replacement structure."""
+        True to keep ``new_algo``, or a replacement structure.
+
+        ``rollback`` (delta batches only) undoes the in-place mutation
+        before a hard trip inspects the committed state — without it
+        ``self.algo`` would still hold the rejected batch."""
         hard, soft = self.guard.inspect(new_algo)
         if hard:
             self._guard_tripped = True
             self.log.record("guard_trip", b, severity="hard",
                             reasons="; ".join(hard))
+            if rollback is not None:
+                rollback()
             # Rolling back restores the last committed state; only
             # clear the guard if that state actually fits (it may not,
             # e.g. when the budget was tightened below the base load).

@@ -117,13 +117,14 @@ class LookupPlan:
         backings: Dict[str, Callable] = dict(algo.plan_backings())
         step_names: List[str] = []
         runners: List[Callable[[dict], None]] = []
+        readers: Dict[str, Optional[Callable]] = {}
         waves = program.parallel_schedule()
         for wave in waves:
             for name in wave:
                 step_names.append(name)
-                runners.append(
-                    _compile_step(program.step(name), backings.pop(name, None))
-                )
+                reader = backings.pop(name, None)
+                readers[name] = reader
+                runners.append(_compile_step(program.step(name), reader))
         if backings:
             raise PlanError(
                 f"plan_backings for unknown steps: {sorted(backings)}"
@@ -146,8 +147,44 @@ class LookupPlan:
         #: Wave count of the source schedule (depth, not work).
         self.wave_count = len(waves)
         self._base = base
-        self._runners = tuple(runners)
-        self._extract = algo.cram_extract_hop
+        self._runners = list(runners)
+        self._index = {name: i for i, name in enumerate(step_names)}
+        self._readers = readers
+        self._algo = algo
+        self._bind_extract()
+
+    def _bind_extract(self) -> None:
+        """Bind extraction, preferring the algorithm's frozen factory."""
+        frozen = self._algo.plan_extract_factory()
+        self._extract = frozen if frozen is not None \
+            else self._algo.cram_extract_hop
+
+    def patch(self, readers: Dict[str, Callable]) -> None:
+        """Rebind the named steps' table readers in place.
+
+        ``readers`` comes from the algorithm's ``plan_patch(delta)``
+        hook: frozen snapshot readers for exactly the steps a committed
+        delta invalidated.  Every other runner (and the schedule, base
+        state, and register layout — none of which a route update can
+        change) is reused as-is, making a patch O(touched steps)
+        instead of O(program).  Extraction is re-frozen too, since
+        factory-frozen state (e.g. SAIL's default hop) may have moved.
+        """
+        program = self.program
+        for name, reader in readers.items():
+            index = self._index.get(name)
+            if index is None:
+                raise PlanError(f"plan_patch for unknown step: {name!r}")
+            self._runners[index] = _compile_step(program.step(name), reader)
+            self._readers[name] = reader
+        self._bind_extract()
+
+    def step_reader(self, name: str):
+        """The snapshot reader ``name`` was compiled against, or
+        ``None`` when the step compiled against its raw backing.
+        ``plan_patch`` hooks hand it back to the backing's
+        ``plan_reader(prev=...)`` for an incremental re-freeze."""
+        return self._readers.get(name)
 
     def __len__(self) -> int:
         return len(self._runners)

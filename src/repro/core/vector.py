@@ -277,16 +277,23 @@ class Lanes:
 #   * `vals`   int64 results, 0 wherever not found;
 #   * `found`  bool mask — the vector form of "result is not None"
 #     (implies active).
-# Views are immutable snapshots: building one freezes the table.
+# Views are snapshots: building one freezes the table.  A backing that
+# supports incremental freezing stamps the view with the write-log
+# `version` it is synced to and, handed the view back on the next
+# freeze (`vector_reader(prev=view)`), replays only the log tail into
+# it instead of re-copying the whole table — the O(delta) path behind
+# plan patching.  A view is only ever resynced while it is being
+# rebound to its (quiesced) plan, never while serving.
 
 
 class BitmapView:
     """A packed bitmap: one ``uint8`` per slot, gathered by index."""
 
-    __slots__ = ("packed",)
+    __slots__ = ("packed", "version")
 
-    def __init__(self, packed: np.ndarray):
+    def __init__(self, packed: np.ndarray, version: int = 0):
         self.packed = packed
+        self.version = version
 
     def gather(self, keys: np.ndarray,
                active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -317,11 +324,12 @@ class DenseArrayView:
 class SparseMapView:
     """A dict view as sorted keys + ``searchsorted`` probe (sparse keys)."""
 
-    __slots__ = ("keys", "data")
+    __slots__ = ("keys", "data", "version")
 
-    def __init__(self, keys: np.ndarray, data: np.ndarray):
+    def __init__(self, keys: np.ndarray, data: np.ndarray, version: int = 0):
         self.keys = keys
         self.data = data
+        self.version = version
 
     def gather(self, keys: np.ndarray,
                active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -454,6 +462,30 @@ def map_view(slots: Dict[int, Any], capacity: Optional[int] = None):
     keys = np.array([k for k, _v in items], dtype=np.int64)
     data = np.array([v for _k, v in items], dtype=np.int64)
     return SparseMapView(keys, data)
+
+
+def patch_sparse_view(view: SparseMapView,
+                      updates: Dict[int, Optional[int]]) -> None:
+    """Apply ``key -> value`` updates (``None`` deletes) to a sorted
+    probe view in place: drop every updated key, then merge-insert the
+    survivors.  Pure array surgery — O(rows) memmove, no Python loop —
+    so an incremental freeze costs a delta, not a rebuild."""
+    if not updates:
+        return
+    keys, data = view.keys, view.data
+    changed = np.fromiter(sorted(updates), dtype=np.int64, count=len(updates))
+    if keys.size:
+        keep = np.isin(keys, changed, invert=True)
+        keys, data = keys[keep], data[keep]
+    fresh = sorted((k, v) for k, v in updates.items() if v is not None)
+    if fresh:
+        new_keys = np.fromiter((k for k, _v in fresh), np.int64, len(fresh))
+        new_data = np.fromiter((int(v) for _k, v in fresh),
+                               np.int64, len(fresh))
+        pos = np.searchsorted(keys, new_keys)
+        keys = np.insert(keys, pos, new_keys)
+        data = np.insert(data, pos, new_data)
+    view.keys, view.data = keys, data
 
 
 # ---------------------------------------------------------------------------
@@ -607,6 +639,7 @@ class VectorPlan:
                 bridged.extend(names)
                 del pending[:]
 
+        views: Dict[str, Any] = {}
         for name, runner in zip(self.plan.step_names, self.plan._runners):
             spec = specs.pop(name, None)
             kernel = None
@@ -621,6 +654,7 @@ class VectorPlan:
                 flush_bridge()
                 units.append(("kernel", (name,), kernel))
                 lowered.append(name)
+                views[name] = spec.reader
         flush_bridge()
         if specs:
             raise VectorError(
@@ -630,11 +664,23 @@ class VectorPlan:
         self.lowered_steps = tuple(lowered)
         #: Step names served by the per-lane scalar bridge.
         self.bridged_steps = tuple(bridged)
+        #: Schedule-ordered compile units; :meth:`patch` swaps kernels
+        #: here and re-runs the fusion assembly.
+        self._units = units
+        self._views = views
+        self._algo = algo
+        self._assemble()
+        self._bind_extract()
 
-        # Fusion pass: collapse maximal runs of adjacent lowered
-        # kernels into single fused callables, so the per-chunk
-        # dispatch loop makes one Python call per *run* instead of one
-        # per step.  Bridge segments are fusion barriers.
+        self._numpy_ok = self.width <= MAX_VECTOR_WIDTH
+        self.fully_lowered = (self._numpy_ok and not self.bridged_steps
+                              and self.extract_mode == "vector")
+
+    def _assemble(self) -> None:
+        """The fusion pass: collapse maximal runs of adjacent lowered
+        kernels into single fused callables, so the per-chunk dispatch
+        loop makes one Python call per *run* instead of one per step.
+        Bridge segments are fusion barriers."""
         kernels: List[Callable[[Lanes], None]] = []
         sequence: List[Dict[str, Any]] = []
         fused_groups: List[Tuple[str, ...]] = []
@@ -657,7 +703,7 @@ class VectorPlan:
             del run_names[:]
             del run_kernels[:]
 
-        for kind, names, fn in units:
+        for kind, names, fn in self._units:
             if kind == "kernel":
                 run_names.extend(names)
                 run_kernels.append(fn)
@@ -678,8 +724,14 @@ class VectorPlan:
             {key: (list(value) if isinstance(value, list) else value)
              for key, value in entry.items()} for entry in sequence)
 
+    def _bind_extract(self) -> None:
+        algo = self._algo
         from ..algorithms.base import LookupAlgorithm
-        if (type(algo).vector_extract_hop
+        frozen = algo.vector_extract_factory()
+        if frozen is not None:
+            self._extract_vec = frozen
+            self.extract_mode = "vector"
+        elif (type(algo).vector_extract_hop
                 is not LookupAlgorithm.vector_extract_hop):
             self._extract_vec = algo.vector_extract_hop
             self.extract_mode = "vector"
@@ -694,9 +746,38 @@ class VectorPlan:
             self._extract_vec = None
             self.extract_mode = "scalar"
 
-        self._numpy_ok = self.width <= MAX_VECTOR_WIDTH
-        self.fully_lowered = (self._numpy_ok and not self.bridged_steps
-                              and self.extract_mode == "vector")
+    def patch(self, specs: Dict[str, VectorStepSpec]) -> None:
+        """Swap the named steps' kernels for freshly-frozen ones.
+
+        ``specs`` comes from the algorithm's ``vector_patch(delta)``
+        hook.  Only single-step kernel units can be patched; a name
+        currently served by the scalar bridge raises
+        :class:`VectorError` (the engine then falls back to a full
+        recompile).  Fusion re-runs over the updated unit list, and
+        extraction re-freezes, so a patched plan is indistinguishable
+        from a recompiled one.
+        """
+        program = self.plan.program
+        index = {}
+        for i, (kind, names, _fn) in enumerate(self._units):
+            if kind == "kernel":
+                index[names[0]] = i
+        for name, spec in specs.items():
+            i = index.get(name)
+            if i is None:
+                raise VectorError(
+                    f"vector_patch for un-lowered or unknown step {name!r}")
+            kernel = _compile_spec(program.step(name), spec)
+            self._units[i] = ("kernel", (name,), kernel)
+            self._views[name] = spec.reader
+        self._assemble()
+        self._bind_extract()
+
+    def step_view(self, name: str):
+        """The table view ``name``'s kernel was compiled against, or
+        ``None``.  ``vector_patch`` hooks hand it back to the backing's
+        ``vector_reader(prev=...)`` for an incremental re-freeze."""
+        return self._views.get(name)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

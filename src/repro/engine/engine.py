@@ -27,8 +27,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..core.plan import LookupPlan, compile_plan
-from ..core.vector import VectorPlan, compile_vector_plan
+from ..core.plan import LookupPlan, PlanError, compile_plan
+from ..core.vector import VectorError, VectorPlan, compile_vector_plan
 from ..obs import MetricsRegistry
 from ..prefix.prefix import Prefix
 from .cache import FibCache
@@ -56,6 +56,7 @@ class BatchEngine:
         cache_sample: int = 8,
         backend: str = "plan",
         fuse: bool = True,
+        patch_threshold: int = 256,
     ):
         if backend not in ENGINE_BACKENDS:
             raise ValueError(
@@ -66,6 +67,12 @@ class BatchEngine:
         self.backend = backend
         #: Whether the lane compiler's fusion pass runs (debug knob).
         self.fuse = fuse
+        #: Largest committed delta (route count) eligible for plan
+        #: patching; bigger batches take the full-recompile path, where
+        #: one rebuild beats many per-step regenerations.  ``0``
+        #: disables patching outright.
+        self.patch_threshold = patch_threshold
+        self._managed = None
         self.cache: Optional[FibCache] = (
             FibCache(cache_size, name=f"{name}-cache", sample=cache_sample)
             if cache_size else None
@@ -90,6 +97,10 @@ class BatchEngine:
         self._recompiles = reg.counter(
             "repro_engine_plan_recompiles_total",
             "Plan recompilations (one per landed update batch).")
+        self._patches = reg.counter(
+            "repro_engine_plan_patches_total",
+            "Landed batches absorbed by in-place plan patches "
+            "(no recompile).")
         self._commits = reg.counter(
             "repro_engine_commits_total",
             "Managed-runtime commits observed, by outcome.")
@@ -254,17 +265,31 @@ class BatchEngine:
     # Control path
     # ------------------------------------------------------------------
     def refresh(self, algo=None,
-                touched: Optional[Sequence[Prefix]] = None) -> None:
+                touched: Optional[Sequence[Prefix]] = None,
+                delta=None) -> None:
         """Rebind to ``algo`` (or recompile in place) after an update.
 
         ``touched`` scopes cache invalidation to the prefixes a landed
         batch changed; ``None`` means "unknown extent" and clears the
         whole cache (the only safe answer without that information).
+
+        ``delta`` is the committed :class:`~repro.control.FibDelta`
+        when the runtime applied the batch in place.  If the algorithm
+        can localise it (``plan_patch``/``vector_patch`` return step
+        readers/specs), the existing plans are patched instead of
+        recompiled — O(touched steps), not O(program) — counted in
+        ``repro_engine_plan_patches_total``.  Any ``None`` hook answer,
+        a delta over :attr:`patch_threshold`, a rebuilt (new) structure,
+        or a patch failure falls back to the full recompile.
         """
+        same_structure = algo is None or algo is self._algo
         if algo is not None:
             self._algo = algo
-        self._compile()
-        self._recompiles.inc(1, engine=self.name)
+        if same_structure and self._try_patch(delta):
+            self._patches.inc(1, engine=self.name)
+        else:
+            self._compile()
+            self._recompiles.inc(1, engine=self.name)
         cache = self.cache
         if cache is not None:
             if touched is None:
@@ -273,6 +298,42 @@ class BatchEngine:
                 dropped = cache.invalidate(touched)
             self._invalidated.inc(dropped, engine=self.name)
             self._cache_entries.set(len(cache), engine=self.name)
+
+    def _try_patch(self, delta) -> bool:
+        """Patch the compiled plans in place for ``delta`` if possible.
+
+        Returns True only when every active plan was patched.  On a
+        mid-patch failure the plans are left to the caller's full
+        recompile, which overwrites any partial state.
+        """
+        if delta is None or not self.patch_threshold \
+                or len(delta) > self.patch_threshold:
+            return False
+        algo = self._algo
+        try:
+            readers = algo.plan_patch(delta, self._plan)
+            if readers is None:
+                return False
+            specs = None
+            if self._vector is not None:
+                specs = algo.vector_patch(delta, self._vector)
+                if specs is None:
+                    return False
+            self._plan.patch(readers)
+            if self._vector is not None:
+                self._vector.patch(specs)
+        except (PlanError, VectorError):
+            return False
+        if self._vector is not None:
+            # Re-assembly keeps the lowering partition, but refresh the
+            # gauges anyway so they can never drift from the plan.
+            self._lowered_gauge.set(len(self._vector.lowered_steps),
+                                    engine=self.name)
+            self._bridged_gauge.set(len(self._vector.bridged_steps),
+                                    engine=self.name)
+            self._fused_gauge.set(self._vector.fused_steps,
+                                  engine=self.name)
+        return True
 
     def warm(self, addresses: Sequence[int]) -> None:
         """Pre-populate the cache by looking the addresses up."""
@@ -307,11 +368,20 @@ class BatchEngine:
         engine = cls(managed.algo,
                      registry=registry if registry is not None else managed.registry,
                      **kwargs)
+        engine._managed = managed
         managed.add_commit_listener(engine.on_commit)
         return engine
 
     def on_commit(self, outcome: str, algo,
-                  touched: Sequence[Prefix]) -> None:
-        """Commit listener: called by ManagedFib after a landed batch."""
+                  touched: Sequence[Prefix], delta=None) -> None:
+        """Commit listener: called by ManagedFib after a landed batch.
+
+        ``delta`` may be passed explicitly (worker pools relaying a
+        shipped delta); otherwise the runtime's ``last_delta`` for the
+        batch just committed is used when this engine was built with
+        :meth:`over_managed`.
+        """
         self._commits.inc(1, engine=self.name, outcome=outcome)
-        self.refresh(algo, touched)
+        if delta is None and self._managed is not None:
+            delta = self._managed.last_delta
+        self.refresh(algo, touched, delta=delta)

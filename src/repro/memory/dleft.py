@@ -18,8 +18,16 @@ from __future__ import annotations
 from typing import Generic, List, Optional, Tuple, TypeVar
 
 from ..obs.accounting import AccessStats
+from .sram import FREEZE_LOG_CAP
 
 V = TypeVar("V")
+
+
+class _FrozenDict(dict):
+    """A flat snapshot dict stamped with the write-log version it is
+    synced to (see :meth:`DLeftHashTable.plan_reader`)."""
+
+    __slots__ = ("version",)
 
 #: The paper's provisioning rule: 25% more cells than entries.
 DLEFT_OVERHEAD = 0.25
@@ -86,10 +94,32 @@ class DLeftHashTable(Generic[V]):
         ]
         self._overflow: List[Tuple[int, V]] = []
         self._count = 0
+        # Incremental-freeze write log (see Bitmap): armed by the first
+        # snapshot reader; ``(key, data)`` records an insert/overwrite,
+        # ``(key, None)`` a delete.  A flat snapshot handed back as
+        # ``prev`` catches up by replaying the tail instead of
+        # re-flattening every bucket.
+        self._log: Optional[List[Tuple[int, Optional[V]]]] = None
+        self._log_base = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._count
+
+    @property
+    def freeze_version(self) -> int:
+        return self._log_base + (len(self._log) if self._log is not None
+                                 else 0)
+
+    def _record(self, key: int, data: Optional[V]) -> None:
+        log = self._log
+        if log is None:
+            return
+        log.append((key, data))
+        if len(log) > FREEZE_LOG_CAP:
+            drop = len(log) // 2
+            del log[:drop]
+            self._log_base += drop
 
     @property
     def allocated_cells(self) -> int:
@@ -113,6 +143,7 @@ class DLeftHashTable(Generic[V]):
         if not 0 <= key < (1 << self.key_width):
             raise ValueError(f"key {key:#x} exceeds key width {self.key_width}")
         self.stats.writes += 1
+        self._record(key, data)
         candidates = [
             self._buckets[sub][self._bucket_index(key, sub)] for sub in range(self.d)
         ]
@@ -152,43 +183,87 @@ class DLeftHashTable(Generic[V]):
         ]
         self._overflow = []
         self._count = 0
+        if self._log is not None:
+            # A rehash moves every entry: no log tail can describe it.
+            # Jump the base past every outstanding snapshot's version so
+            # they all take the full re-flatten path on their next
+            # freeze.
+            self._log_base = self.freeze_version + 1
+            self._log = []
         for key, data in entries:
             self.insert(key, data)
 
-    def plan_reader(self):
+    def _flatten(self) -> dict:
+        flat = {}
+        for subtable in self._buckets:
+            for bucket in subtable:
+                for key, data in bucket:
+                    flat[key] = data
+        for key, data in self._overflow:
+            flat[key] = data
+        return flat
+
+    def _log_tail(self, synced) -> Optional[List[Tuple[int, Optional[V]]]]:
+        """Log entries past ``synced``, or None when the snapshot is
+        too old (predates the log, a trim, or a rehash)."""
+        if self._log is None or synced is None or synced < self._log_base:
+            return None
+        return self._log[synced - self._log_base:]
+
+    def plan_reader(self, prev=None):
         """Uninstrumented snapshot reader for compiled lookup plans.
 
         Flattens the d sub-tables and the overflow area into one plain
         dict (keys are unique across cells, so order does not matter):
         a compiled plan then pays one hash probe instead of walking d
-        candidate buckets with accounting on each.
+        candidate buckets with accounting on each.  ``prev`` (the
+        previous compile's reader) is re-frozen incrementally by
+        replaying the write log into its dict — O(delta), not
+        O(entries).
         """
-        flat = {}
-        for subtable in self._buckets:
-            for bucket in subtable:
-                for key, data in bucket:
-                    flat[key] = data
-        for key, data in self._overflow:
-            flat[key] = data
+        flat = getattr(prev, "__self__", None)
+        if isinstance(flat, _FrozenDict):
+            tail = self._log_tail(flat.version)
+            if tail is not None:
+                for key, data in tail:
+                    if data is None:
+                        flat.pop(key, None)
+                    else:
+                        flat[key] = data
+                flat.version = self.freeze_version
+                return prev
+        if self._log is None:
+            self._log = []
+        flat = _FrozenDict(self._flatten())
+        flat.version = self.freeze_version
         return flat.get
 
-    def vector_reader(self):
+    def vector_reader(self, prev=None):
         """Batch-gather snapshot view for the lane compiler.
 
         Flattens the sub-tables like :meth:`plan_reader`, then builds a
         sorted-key probe view (d-left key spaces are far too wide to
-        densify).  ``None`` when stored data is not int-like.
+        densify).  ``None`` when stored data is not int-like.  ``prev``
+        re-freezes the previous compile's view by patching its sorted
+        arrays with the write log's net effect.
         """
-        from ..core.vector import map_view
+        from ..core.vector import SparseMapView, map_view, patch_sparse_view
 
-        flat = {}
-        for subtable in self._buckets:
-            for bucket in subtable:
-                for key, data in bucket:
-                    flat[key] = data
-        for key, data in self._overflow:
-            flat[key] = data
-        return map_view(flat)
+        if isinstance(prev, SparseMapView):
+            tail = self._log_tail(prev.version)
+            if tail is not None:
+                updates = dict(tail)
+                if all(value is None or isinstance(value, (bool, int))
+                       for value in updates.values()):
+                    patch_sparse_view(prev, updates)
+                    prev.version = self.freeze_version
+                    return prev
+        if self._log is None:
+            self._log = []
+        view = map_view(self._flatten())
+        if view is not None:
+            view.version = self.freeze_version
+        return view
 
     def lookup(self, key: int) -> Optional[V]:
         """Exact-match lookup across the d candidate buckets."""
@@ -220,12 +295,14 @@ class DLeftHashTable(Generic[V]):
                     del bucket[i]
                     self._count -= 1
                     self.stats.writes += 1
+                    self._record(key, None)
                     return
         for i, (existing, _data) in enumerate(self._overflow):
             if existing == key:
                 del self._overflow[i]
                 self._count -= 1
                 self.stats.writes += 1
+                self._record(key, None)
                 return
         raise KeyError(key)
 

@@ -25,6 +25,11 @@ from ..obs.accounting import AccessStats
 
 V = TypeVar("V")
 
+#: Incremental-freeze write logs are halved once they pass this many
+#: entries; snapshot views older than the trimmed tail fall back to a
+#: full re-copy on their next freeze.
+FREEZE_LOG_CAP = 1 << 15
+
 
 class DirectIndexTable(Generic[V]):
     """SRAM table indexed directly by a ``key_width``-bit key.
@@ -170,6 +175,13 @@ class Bitmap:
         self.name = name
         self.stats = AccessStats(name)
         self._bits = np.zeros(1 << index_width, dtype=bool)
+        # Incremental-freeze write log: armed by the first snapshot
+        # reader, then every write lands here too.  A frozen view
+        # carries the log version it is synced to; handed back on the
+        # next freeze, it catches up by replaying just the log tail
+        # instead of re-copying all 2**index_width slots.
+        self._log: Optional[list] = None
+        self._log_base = 0
 
     def __len__(self) -> int:
         return int(self._bits.sum())
@@ -178,9 +190,26 @@ class Bitmap:
     def capacity(self) -> int:
         return 1 << self.index_width
 
+    @property
+    def freeze_version(self) -> int:
+        return self._log_base + (len(self._log) if self._log is not None
+                                 else 0)
+
+    def _record(self, index: int, value: int) -> None:
+        log = self._log
+        if log is None:
+            return
+        log.append((index, value))
+        if len(log) > FREEZE_LOG_CAP:
+            drop = len(log) // 2
+            del log[:drop]
+            self._log_base += drop
+
     def set(self, index: int, value: bool = True) -> None:
         self._bits[index] = value
         self.stats.writes += 1
+        if self._log is not None:
+            self._record(int(index), 1 if value else 0)
 
     def test(self, index: int) -> bool:
         result = bool(self._bits[index])
@@ -198,24 +227,62 @@ class Bitmap:
         index_array = np.asarray(list(indices), dtype=np.int64)
         self._bits[index_array] = True
         self.stats.writes += len(index_array)
+        if self._log is not None:
+            for index in index_array.tolist():
+                self._record(index, 1)
 
-    def plan_reader(self):
-        """Uninstrumented snapshot reader over a flat ``bytes`` copy.
+    def _replay(self, synced: int, apply) -> bool:
+        """Replay the log tail past ``synced`` into an old snapshot via
+        ``apply(index, value)``; False when the view predates the log
+        (or the trimmed tail) and must be rebuilt from scratch."""
+        if self._log is None or synced is None or synced < self._log_base:
+            return False
+        for index, value in self._log[synced - self._log_base:]:
+            apply(index, value)
+        return True
 
-        One byte per slot: indexing ``bytes`` is a plain C-speed int
-        load, far cheaper than a numpy scalar read, and the copy
+    def plan_reader(self, prev=None):
+        """Uninstrumented snapshot reader over a flat byte copy.
+
+        One byte per slot: indexing a ``bytearray`` is a plain C-speed
+        int load, far cheaper than a numpy scalar read, and the copy
         freezes the bitmap for the lifetime of the compiled plan.
+        Passing the previous compile's reader as ``prev`` re-freezes it
+        incrementally: the write log since its version is replayed into
+        its buffer — O(delta), not O(capacity).
         """
-        packed = self._bits.tobytes()
-        return lambda index: packed[index] != 0
+        packed_prev = getattr(prev, "packed", None)
+        if packed_prev is not None and self._replay(
+                getattr(prev, "freeze_version", None),
+                packed_prev.__setitem__):
+            prev.freeze_version = self.freeze_version
+            return prev
+        if self._log is None:
+            self._log = []
+        packed = bytearray(self._bits.tobytes())
 
-    def vector_reader(self):
+        def reader(index, _packed=packed):
+            return _packed[index] != 0
+
+        reader.packed = packed
+        reader.freeze_version = self.freeze_version
+        return reader
+
+    def vector_reader(self, prev=None):
         """Batch-gather snapshot view: one ``uint8`` per slot.
 
         The copy freezes the bitmap like :meth:`plan_reader`; the lane
         compiler gathers whole index vectors from it in one fancy-index.
+        ``prev`` re-freezes the previous compile's view incrementally,
+        like :meth:`plan_reader`.
         """
-        return BitmapView(self._bits.astype(np.uint8))
+        if isinstance(prev, BitmapView) and self._replay(
+                prev.version, prev.packed.__setitem__):
+            prev.version = self.freeze_version
+            return prev
+        if self._log is None:
+            self._log = []
+        return BitmapView(self._bits.astype(np.uint8), self.freeze_version)
 
     def sram_bits(self) -> int:
         """One bit per slot, populated or not."""

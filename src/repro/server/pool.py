@@ -312,14 +312,17 @@ class ThreadWorkerPool:
             self._queue.put(_STOP)
 
     # ------------------------------------------------------------------
-    def on_commit(self, outcome: str, algo, touched) -> None:
+    def on_commit(self, outcome: str, algo, touched, delta=None) -> None:
         """Refresh every replica after a landed commit.
 
         Must be called with the gate's write side held (the server's
-        commit handler does), so no batch is mid-execution.
+        commit handler does), so no batch is mid-execution.  ``delta``
+        (the committed :class:`~repro.control.FibDelta`, when the
+        runtime applied in place) lets each replica patch its compiled
+        plans instead of recompiling them.
         """
         for engine in self.engines:
-            engine.on_commit(outcome, algo, touched)
+            engine.on_commit(outcome, algo, touched, delta=delta)
 
     # ------------------------------------------------------------------
     def _note_depth(self) -> None:

@@ -6,7 +6,12 @@ replica in its own forked process instead.  The protocol is built on
 *snapshot shipping*: a worker never shares memory with the committed
 structure — it holds its own rebuild from the last shipped FIB
 snapshot (``(bits, length, hop)`` triples), compiles its own plan, and
-serves address batches over a bounded per-worker task queue.
+serves address batches over a bounded per-worker task queue.  With
+``ship_deltas`` (the default), committed batches ship only their net
+*delta* — sequence-chained wire ops a worker applies to its local
+mirror and absorbs via the engine's plan-patching path — and full
+snapshots remain the resync mechanism for restarted or lagging
+workers.
 
 Consistency matches the thread pool exactly, enforced at the dispatch
 side:
@@ -45,6 +50,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import queue as queue_mod
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
@@ -57,6 +63,11 @@ __all__ = ["ProcessWorkerPool", "WorkerDeath", "fib_snapshot"]
 
 #: ``(bits, length, hop)`` triples — the wire format of a FIB snapshot.
 Snapshot = List[Tuple[int, int, int]]
+
+#: ``(bits, length, hop-or-None)`` triples — the wire format of a
+#: commit delta (``None`` withdraws the prefix); the net effect of a
+#: batch, from :meth:`~repro.control.FibDelta.wire_ops`.
+WireDelta = List[Tuple[int, int, Optional[int]]]
 
 #: Exit code a chaos-killed child dies with (visible in ``exitcode``).
 CHAOS_EXIT = 23
@@ -74,21 +85,29 @@ def fib_snapshot(fib) -> Snapshot:
     return [(prefix.bits, prefix.length, hop) for prefix, hop in fib]
 
 
-def _build_engine(width: int, factory, snapshot: Snapshot,
-                  backend: str, cache_size: int):
-    from ..engine.engine import BatchEngine
+def _snapshot_fib(width: int, snapshot: Snapshot):
     from ..prefix.prefix import Prefix
     from ..prefix.trie import Fib
 
     fib = Fib(width)
     for bits, length, hop in snapshot:
         fib.insert(Prefix.from_bits(bits, length, width), hop)
-    return BatchEngine(factory(fib), backend=backend, cache_size=cache_size)
+    return fib
+
+
+def _build_engine(width: int, factory, snapshot: Snapshot,
+                  backend: str, cache_size: int):
+    from ..engine.engine import BatchEngine
+
+    fib = _snapshot_fib(width, snapshot)
+    return BatchEngine(factory(fib), backend=backend,
+                       cache_size=cache_size), fib
 
 
 def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
                  backend: str, cache_size: int, task_q, result_q,
-                 chaos=None, batch_seq0: int = 0, commit_seq0: int = 0) -> None:
+                 chaos=None, batch_seq0: int = 0, commit_seq0: int = 0,
+                 ship_seq0: int = 0) -> None:
     """Child body: rebuild from snapshots, answer address batches.
 
     ``chaos`` is a duck-typed dataplane fault plan
@@ -98,13 +117,41 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
     snapshot-ack.  Sequence numbers continue across restarts
     (``batch_seq0``/``commit_seq0``), so a fault schedule is a pure
     function of the seed — replays are deterministic.
+
+    ``ship_seq0`` anchors the commit-delta chain: each ``delta``
+    message must carry exactly the next ship sequence number.  A gap
+    means this worker missed a commit (it can never serve from that
+    state) — it refuses to apply *and to ack*, so the parent's ack
+    timeout converts it into the ordinary kill/restart path, and the
+    restart re-syncs it from the latest full snapshot.
     """
-    engine = _build_engine(width, factory, snapshot, backend, cache_size)
+    from ..control.churn import ANNOUNCE, WITHDRAW
+    from ..control.delta import DeltaOp, FibDelta
+    from ..engine.engine import BatchEngine
+    from ..prefix.prefix import Prefix
+    from ..prefix.trie import Fib
+
+    engine, fib = _build_engine(width, factory, snapshot, backend, cache_size)
     batch_seq, commit_seq = batch_seq0, commit_seq0
+    ship_seq = ship_seq0
     # The child's own clock: parent and child monotonic clocks are not
     # comparable, so only the execute *duration* is shipped back (a
     # compact span record riding alongside the answers).
     clock = MonotonicClock()
+
+    def maybe_ack() -> None:
+        """Ack a ship, honouring chaos delay/drop; returns via the
+        enclosing ``continue`` either way."""
+        if action is not None:
+            delay_s, drop = action
+            if drop:
+                # Simulate a hung worker: never ack.  The parent's
+                # ack timeout kills and restarts us.
+                return
+            if delay_s:
+                clock.sleep(delay_s)
+        result_q.put(("ack", worker_idx))
+
     while True:
         message = task_q.get()
         kind = message[0]
@@ -115,17 +162,49 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
             action = (chaos.ack_action(worker_idx, commit_seq)
                       if chaos is not None else None)
             commit_seq += 1
-            engine = _build_engine(width, factory, message[1],
-                                   backend, cache_size)
-            if action is not None:
-                delay_s, drop = action
-                if drop:
-                    # Simulate a hung worker: never ack.  The parent's
-                    # ack timeout kills and restarts us.
-                    continue
-                if delay_s:
-                    clock.sleep(delay_s)
-            result_q.put(("ack", worker_idx))
+            engine, fib = _build_engine(width, factory, message[2],
+                                        backend, cache_size)
+            ship_seq = message[1]
+            maybe_ack()
+            continue
+        if kind == "delta":
+            action = (chaos.ack_action(worker_idx, commit_seq)
+                      if chaos is not None else None)
+            commit_seq += 1
+            seq, wire = message[1], message[2]
+            if seq != ship_seq + 1:
+                # Broken chain: a commit never reached this worker.
+                # Applying would serve a wrong table; never ack.
+                continue
+            ship_seq = seq
+            ops = []
+            for bits, length, hop in wire:
+                prefix = Prefix.from_bits(bits, length, width)
+                prev = fib.get(prefix)
+                if hop is None:
+                    if prev is not None:
+                        fib.delete(prefix)
+                    ops.append(DeltaOp(WITHDRAW, prefix, prev_hop=prev))
+                else:
+                    fib.insert(prefix, hop)
+                    ops.append(DeltaOp(ANNOUNCE, prefix,
+                                       next_hop=hop, prev_hop=prev))
+            delta = FibDelta(ops)
+            try:
+                algo = engine.algo
+                if algo.supports_delta:
+                    algo.apply_delta(delta)
+                    engine.refresh(algo, delta.prefixes(), delta=delta)
+                else:
+                    engine = BatchEngine(factory(Fib(width, list(fib))),
+                                         backend=backend,
+                                         cache_size=cache_size)
+            except Exception:  # noqa: BLE001 — resync, don't diverge
+                # Any delta-apply failure: rebuild from the (already
+                # updated) local FIB mirror — correct by construction.
+                engine = BatchEngine(factory(Fib(width, list(fib))),
+                                     backend=backend, cache_size=cache_size)
+            maybe_ack()
             continue
         _kind, batch_id, addresses = message
         action = (chaos.batch_action(worker_idx, batch_seq)
@@ -176,6 +255,8 @@ class ProcessWorkerPool:
         ack_timeout_s: float = 60.0,
         chaos=None,
         clock=None,
+        ship_deltas: bool = True,
+        on_ship: Optional[Callable[[str, int], None]] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -203,6 +284,21 @@ class ProcessWorkerPool:
         self._cache_size = cache_size
         self._queue_depth = queue_depth
         self._snapshot: Snapshot = snapshot
+        #: Whether commits ship per-batch deltas (with full-snapshot
+        #: resync for restarted workers) instead of whole snapshots.
+        self.ship_deltas = ship_deltas
+        #: ``on_ship(kind, nbytes)`` — observer for shipped payload
+        #: sizes (``kind`` is ``"snapshot"`` or ``"delta"``).
+        self._on_ship = on_ship
+        #: Parent-side FIB mirror: kept current across shipped deltas
+        #: so a restarted worker can always fork from a full, fresh
+        #: snapshot even when commits only shipped deltas.
+        self._table: Dict[Tuple[int, int], int] = {
+            (bits, length): hop for bits, length, hop in snapshot}
+        self._snapshot_dirty = False
+        #: Ship-sequence chain: every shipped snapshot or delta bumps
+        #: it; children verify the chain per delta message.
+        self._ship_seq = 0
         self._n = workers
         self._task_qs: List = [self._ctx.Queue(queue_depth)
                                for _ in range(workers)]
@@ -262,16 +358,30 @@ class ProcessWorkerPool:
                 target=self._watch, name="repro-serve-monitor", daemon=True)
             self._monitor.start()
 
+    def _current_snapshot(self) -> Snapshot:
+        """The latest full snapshot, re-materialised from the parent
+        mirror when deltas have been shipped since the last one (caller
+        holds ``_lifecycle``)."""
+        if self._snapshot_dirty:
+            self._snapshot = sorted(
+                (bits, length, hop)
+                for (bits, length), hop in self._table.items())
+            self._snapshot_dirty = False
+        return self._snapshot
+
     def _spawn(self, worker: int) -> None:
         """Fork worker ``worker`` from the latest snapshot (caller
-        holds ``_lifecycle`` or runs before any concurrency)."""
+        holds ``_lifecycle`` or runs before any concurrency).  The
+        fresh fork is in sync by construction: it carries the current
+        ship sequence and the table every shipped delta summed to."""
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(worker, self._width, self._factory, self._snapshot,
+            args=(worker, self._width, self._factory,
+                  self._current_snapshot(),
                   self._backend, self._cache_size,
                   self._task_qs[worker], self._result_q,
                   self._chaos, self._batch_seqs[worker],
-                  self._commit_seqs[worker]),
+                  self._commit_seqs[worker], self._ship_seq),
             name=f"repro-serve-p{worker}", daemon=True)
         self._procs[worker] = proc
         proc.start()
@@ -381,20 +491,30 @@ class ProcessWorkerPool:
 
     # ------------------------------------------------------------------
     def on_commit(self, outcome: str, algo, touched,
-                  snapshot: Optional[Snapshot] = None) -> None:
-        """Ship the post-commit snapshot to every worker and wait for
-        their acks.  Must run with the gate's write side held, so no
-        new batch can be dispatched while the fleet re-synchronises.
+                  snapshot: Optional[Snapshot] = None,
+                  delta=None) -> None:
+        """Ship the commit to every worker and wait for their acks.
+        Must run with the gate's write side held, so no new batch can
+        be dispatched while the fleet re-synchronises.
+
+        With ``ship_deltas`` and a committed
+        :class:`~repro.control.FibDelta`, only the batch's net wire
+        ops ship — tagged with the next ship-sequence number so a
+        worker that ever misses a commit refuses the broken chain (and
+        its ack), falling into the kill/restart path below.  Restarts,
+        and commits without a delta (rebuilds), ship a full snapshot,
+        re-materialised from the parent's own FIB mirror.
 
         A worker that does not ack within ``ack_timeout_s`` (hung, or
         a chaos-dropped ack) is killed: the liveness monitor reports
-        it and the supervisor's restart rebuilds it from this very
+        it and the supervisor's restart rebuilds it from the latest
         snapshot, so the fleet still converges instead of stalling
         every future commit.
         """
-        if snapshot is None:
-            raise ServerError("process workers need a FIB snapshot to "
-                              "refresh from (serve over a ManagedFib)")
+        if snapshot is None and delta is None:
+            raise ServerError("process workers need a FIB snapshot or "
+                              "commit delta to refresh from (serve over "
+                              "a ManagedFib)")
         self._wait_idle()
         # _lifecycle serialises the snapshot swap against
         # restart_worker: a restart either finishes its fork first
@@ -403,14 +523,33 @@ class ProcessWorkerPool:
         # it) — a replacement can never come up serving a stale table
         # at the new epoch.
         with self._lifecycle:
-            self._snapshot = snapshot
+            self._ship_seq += 1
+            if delta is not None and self.ship_deltas:
+                wire = delta.wire_ops()
+                for bits, length, hop in wire:
+                    if hop is None:
+                        self._table.pop((bits, length), None)
+                    else:
+                        self._table[(bits, length)] = hop
+                self._snapshot_dirty = True
+                message = ("delta", self._ship_seq, wire)
+            else:
+                if snapshot is not None:
+                    self._snapshot = snapshot
+                    self._table = {(bits, length): hop
+                                   for bits, length, hop in snapshot}
+                    self._snapshot_dirty = False
+                message = ("snapshot", self._ship_seq,
+                           self._current_snapshot())
+            if self._on_ship is not None:
+                self._on_ship(message[0], len(pickle.dumps(message)))
             with self._lock:
                 self._acked = set()
                 live = [i for i in range(self._n) if self.worker_alive(i)]
                 for worker in live:
                     self._commit_seqs[worker] += 1
             for worker in live:
-                self._task_qs[worker].put(("snapshot", snapshot))
+                self._task_qs[worker].put(message)
         with self._idle:
             self._idle.wait_for(
                 lambda: self._acked >= set(

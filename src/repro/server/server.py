@@ -60,6 +60,10 @@ Telemetry (all in the shared :class:`~repro.obs.MetricsRegistry`):
 ``repro_server_health_transitions_total``   transitions by ``to`` label
 ``repro_server_brownout_hits_total``        addresses served from the
                                             brownout answer cache
+``repro_server_snapshot_bytes_total``       full-snapshot bytes shipped to
+                                            process workers on commits
+``repro_server_delta_bytes_total``          commit-delta bytes shipped to
+                                            process workers on commits
 ``repro_server_spans_total``                lifecycle spans recorded, by
                                             ``phase``
 ``repro_server_span_requests_sampled_total``    requests picked by the span
@@ -157,6 +161,7 @@ class LookupServer:
         health: Optional[ServingHealth] = None,
         ack_timeout_s: float = 60.0,
         chaos=None,
+        ship_deltas: bool = True,
         sample_rate: float = DEFAULT_SPAN_SAMPLE_RATE,
         span_capacity: int = 65536,
         span_seed: int = 0,
@@ -246,6 +251,12 @@ class LookupServer:
         self._brownout_hits = reg.counter(
             "repro_server_brownout_hits_total",
             "Addresses served from the brownout answer cache.")
+        self._snapshot_bytes = reg.counter(
+            "repro_server_snapshot_bytes_total",
+            "Full-snapshot bytes shipped to process workers on commits.")
+        self._delta_bytes = reg.counter(
+            "repro_server_delta_bytes_total",
+            "Commit-delta bytes shipped to process workers on commits.")
         self._epoch_gauge.set(0, server=self.name)
         self._depth.set(0, server=self.name)
         self._health_gauge.set(0, server=self.name)
@@ -296,7 +307,8 @@ class LookupServer:
                 on_error=self._on_error, on_worker_exit=on_worker_exit,
                 backend=backend, cache_size=cache_size,
                 ack_timeout_s=ack_timeout_s, chaos=chaos,
-                clock=self.clock)
+                clock=self.clock, ship_deltas=ship_deltas,
+                on_ship=self._note_ship)
         if supervise:
             policy = restart_policy if restart_policy is not None \
                 else RestartPolicy(self.clock)
@@ -557,6 +569,12 @@ class LookupServer:
         self._quiesce(outcome, algo, touched)
 
     def _quiesce(self, outcome: str, algo, touched) -> None:
+        # An applied (not rebuilt) batch publishes its FibDelta on the
+        # runtime: thread replicas use it to patch their compiled plans
+        # in place; process mode ships it instead of a full snapshot.
+        delta = (self._managed.last_delta
+                 if self._managed is not None
+                 and outcome == "batch_applied" else None)
         with self.registry.timer("repro_server_quiesce", server=self.name):
             with self.gate.write():
                 if self.chaos is not None:
@@ -569,13 +587,28 @@ class LookupServer:
                     self._answer_cache.clear()
                 self._epoch_gauge.set(self._epoch, server=self.name)
                 if self.mode == "thread":
-                    self._pool.on_commit(outcome, algo, touched)
-                else:
-                    snapshot = (fib_snapshot(self._managed.oracle)
-                                if self._managed is not None else None)
                     self._pool.on_commit(outcome, algo, touched,
-                                         snapshot=snapshot)
+                                         delta=delta)
+                else:
+                    if delta is not None and self._pool.ship_deltas:
+                        # The delta is the whole payload; the pool's own
+                        # FIB mirror covers restarts, so the oracle
+                        # serialisation is skipped entirely.
+                        self._pool.on_commit(outcome, algo, touched,
+                                             delta=delta)
+                    else:
+                        snapshot = (fib_snapshot(self._managed.oracle)
+                                    if self._managed is not None else None)
+                        self._pool.on_commit(outcome, algo, touched,
+                                             snapshot=snapshot)
         self._commits.inc(1, server=self.name, outcome=outcome)
+
+    def _note_ship(self, kind: str, nbytes: int) -> None:
+        """ProcessWorkerPool ``on_ship`` observer: payload accounting."""
+        if kind == "delta":
+            self._delta_bytes.inc(nbytes, server=self.name)
+        else:
+            self._snapshot_bytes.inc(nbytes, server=self.name)
 
     # ------------------------------------------------------------------
     # Pool/coalescer callbacks

@@ -41,12 +41,16 @@ def _factories():
     out = []
     for name, factory in sorted(ALGORITHM_FACTORIES.items()):
         probe = factory(Fib(32))
-        out.append((name, factory, probe.supports_updates))
+        out.append((name, factory, probe.supports_updates,
+                    probe.supports_delta))
     return out
 
 
-UPDATABLE = [(n, f) for n, f, ok in _factories() if ok]
-UNSUPPORTED = [(n, f) for n, f, ok in _factories() if not ok]
+UPDATABLE = [(n, f) for n, f, ok, _ in _factories() if ok]
+#: No per-route update path at all (rebuild-per-batch discipline).
+NO_UPDATE_PATH = [(n, f) for n, f, ok, _ in _factories() if not ok]
+#: No per-route path, but a whole-batch delta path (DXR).
+DELTA_REBUILDERS = [(n, f) for n, f, ok, d in _factories() if not ok and d]
 
 
 # ---------------------------------------------------------------------------
@@ -132,14 +136,16 @@ def test_managed_churn_with_faults(name, factory):
         assert managed.lookup(address) == managed.oracle.lookup(address)
 
 
-@pytest.mark.parametrize("name,factory", UNSUPPORTED,
-                         ids=[n for n, _ in UNSUPPORTED])
+@pytest.mark.parametrize("name,factory", NO_UPDATE_PATH,
+                         ids=[n for n, _ in NO_UPDATE_PATH])
 def test_unsupported_algorithms_ride_on_rebuilds(name, factory):
-    """Algorithms with no update path still take churn through the
-    runtime: every batch becomes a planned rebuild, health stays
-    HEALTHY (rebuilds are their discipline, not a failure)."""
+    """Algorithms with no per-route update path still take churn
+    through the runtime: with delta application disabled, every batch
+    becomes a planned rebuild, health stays HEALTHY (rebuilds are
+    their discipline, not a failure)."""
     base = _base()
-    managed = ManagedFib(factory, base, check_seed=4)
+    managed = ManagedFib(factory, base, check_seed=4,
+                         policy=RuntimePolicy(delta_updates=False))
     generator = ChurnGenerator(base, seed=4)
     for batch in generator.batches(200, 50):
         assert managed.apply_batch(batch) == "batch_rebuilt"
@@ -147,6 +153,24 @@ def test_unsupported_algorithms_ride_on_rebuilds(name, factory):
     log.check_accounting()
     assert log.count("rebuild_planned") == log.batches_total == 4
     assert log.count("violation") == 0
+
+
+@pytest.mark.parametrize("name,factory", DELTA_REBUILDERS,
+                         ids=[n for n, _ in DELTA_REBUILDERS])
+def test_delta_capable_rebuilders_apply_in_place(name, factory):
+    """A rebuild-discipline algorithm with a whole-batch delta path
+    (DXR) lands most batches in place; batches it declines (too-broad
+    short prefixes) fall back to planned rebuilds, never failures."""
+    base = _base()
+    managed = ManagedFib(factory, base, check_seed=4)
+    generator = ChurnGenerator(base, seed=4)
+    outcomes = [managed.apply_batch(b) for b in generator.batches(200, 50)]
+    assert set(outcomes) <= {"batch_applied", "batch_rebuilt"}
+    assert outcomes.count("batch_applied") > 0, "delta path never used"
+    log = managed.log
+    log.check_accounting()
+    assert log.count("violation") == 0
+    assert managed.health is Health.HEALTHY
     assert managed.health is Health.HEALTHY
 
 

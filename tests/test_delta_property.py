@@ -1,0 +1,418 @@
+"""End-to-end properties of the incremental commit pipeline.
+
+The contract under test: a structure grown by *deltas* is
+indistinguishable from one built *from scratch* over the same routing
+table.  Hypothesis drives arbitrary churn through the delta-capable
+algorithms (SAIL, RESAIL, DXR) and asserts, after every commit:
+
+    patched engine == from-scratch plan == interpreter == trie oracle
+
+including after rollbacks (the punitive-guard leg) and after a process
+worker is killed mid-stream and resynced from a snapshot (the serving
+leg).  Alongside the pipeline property live the unit laws it rests on:
+``DeltaOp.inverse`` round-trips, ``FibDelta.wire_ops`` net-effect
+semantics, and the incremental-freeze write logs that make plan
+patching O(delta) instead of O(table).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.memory.dleft as dleft_module
+import repro.memory.sram as sram_module
+from repro.algorithms import Resail
+from repro.chaos import ChaosPlan
+from repro.cli import ALGORITHM_FACTORIES
+from repro.control import (
+    ANNOUNCE,
+    WITHDRAW,
+    CapacityGuard,
+    ChurnGenerator,
+    DeltaOp,
+    FibDelta,
+    ManagedFib,
+    RuntimePolicy,
+)
+from repro.core import compile_plan
+from repro.core.vector import SparseMapView, map_view, patch_sparse_view
+from repro.datasets import synthesize_as65000, uniform_addresses
+from repro.engine import BatchEngine
+from repro.memory.dleft import DLeftHashTable
+from repro.memory.sram import Bitmap
+from repro.prefix import Fib, Prefix
+from repro.server import LookupServer
+
+WIDTH = 8
+
+
+def _delta_factories():
+    out = []
+    for name, factory in sorted(ALGORITHM_FACTORIES.items()):
+        if factory(Fib(32)).supports_delta:
+            out.append((name, factory))
+    return out
+
+
+#: The algorithms with a whole-batch ``apply_delta`` path.
+DELTA_CAPABLE = _delta_factories()
+
+#: Quiet runtime: no shadow checks, no guard — the property asserts
+#: correctness itself, through every compiled path.
+QUIET = dict(check_every=0, guard_every=0)
+
+
+# ---------------------------------------------------------------------------
+# Delta algebra: inverse round-trips and wire_ops net effect
+# ---------------------------------------------------------------------------
+
+#: A churn script over a tiny prefix universe: (raw bits, raw length,
+#: announce?, hop).  Withdrawals of absent prefixes are legal in
+#: wire_ops (they net out) but are redirected to announcements in the
+#: inverse test, where ops must be valid against the staged table.
+op_scripts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+              st.integers(min_value=0, max_value=WIDTH),
+              st.booleans(),
+              st.integers(min_value=1, max_value=31)),
+    min_size=0, max_size=24)
+
+
+def _script_to_delta(script, table, *, strict):
+    """Replay a raw script against ``table`` (a {(bits, length): hop}
+    dict), building the DeltaOps exactly like the runtime does —
+    ``prev_hop`` captured from the staged state before each op."""
+    ops = []
+    for raw_bits, length, announce, hop in script:
+        bits = raw_bits & (((1 << length) - 1) if length else 0)
+        key = (bits, length)
+        prev = table.get(key)
+        if not announce and strict and prev is None:
+            announce = True  # withdrawals must name live routes
+        prefix = Prefix.from_bits(bits, length, WIDTH)
+        if announce:
+            ops.append(DeltaOp(ANNOUNCE, prefix, next_hop=hop,
+                               prev_hop=prev))
+            table[key] = hop
+        else:
+            ops.append(DeltaOp(WITHDRAW, prefix, prev_hop=prev))
+            table.pop(key, None)
+    return FibDelta(ops)
+
+
+def _apply_delta(table, delta):
+    for op in delta:
+        key = (op.prefix.bits, op.prefix.length)
+        if op.action == ANNOUNCE:
+            table[key] = op.next_hop
+        else:
+            table.pop(key, None)
+
+
+class TestDeltaAlgebra:
+    @given(script=op_scripts)
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_round_trips(self, script):
+        """delta then delta.inverse() is the identity on the table."""
+        table = {(0, 0): 7, (1, 1): 3}
+        before = dict(table)
+        delta = _script_to_delta(script, table, strict=True)
+        after = dict(table)
+        _apply_delta(table, delta.inverse())
+        assert table == before
+        # And the inverse of the inverse lands back on the post state.
+        _apply_delta(table, delta.inverse().inverse())
+        assert table == after
+
+    @given(script=op_scripts)
+    @settings(max_examples=50, deadline=None)
+    def test_wire_ops_are_the_net_effect(self, script):
+        """Applying wire_ops to the pre-batch table yields the
+        post-batch table; prefixes with no net change never ship."""
+        table = {(0, 0): 7, (1, 1): 3}
+        before = dict(table)
+        delta = _script_to_delta(script, table, strict=False)
+        wire = delta.wire_ops()
+        assert wire == sorted(wire)  # deterministic shipping order
+        replayed = dict(before)
+        for bits, length, hop in wire:
+            if hop is None:
+                replayed.pop((bits, length), None)
+            else:
+                replayed[(bits, length)] = hop
+        assert replayed == table
+        # Net no-ops are dropped: every shipped triple changes state.
+        for bits, length, hop in wire:
+            assert before.get((bits, length)) != hop
+        # Last-op-per-prefix wins: at most one triple per prefix.
+        assert len({(b, l) for b, l, _h in wire}) == len(wire)
+
+    def test_wire_ops_drop_announce_withdraw_pair(self):
+        prefix = Prefix.from_bits(0b1010, 4, WIDTH)
+        delta = FibDelta([
+            DeltaOp(ANNOUNCE, prefix, next_hop=9, prev_hop=None),
+            DeltaOp(WITHDRAW, prefix, prev_hop=9),
+        ])
+        assert delta.wire_ops() == []
+        assert delta.prefixes() == {prefix}
+
+
+# ---------------------------------------------------------------------------
+# The pipeline property: delta-grown == built-from-scratch
+# ---------------------------------------------------------------------------
+
+
+def _assert_delta_equals_scratch(managed, engine, factory, probes):
+    """The committed structure, served through the patched engine, must
+    answer exactly like a from-scratch build over the same oracle —
+    through the vector plan, the scalar plan, and the interpreter."""
+    oracle = managed.oracle
+    expected = [oracle.lookup(a) for a in probes]
+    assert engine.lookup_batch(probes) == expected
+    scratch = factory(Fib(32, list(oracle)))
+    scratch_plan = compile_plan(scratch)
+    assert [scratch_plan.lookup(a) for a in probes] == expected
+    # The per-packet interpreter on a deterministic probe subset.
+    for address in probes[:: max(1, len(probes) // 8)]:
+        assert managed.algo.cram_lookup(address) == oracle.lookup(address)
+
+
+@pytest.mark.parametrize(("name", "factory"), DELTA_CAPABLE,
+                         ids=[n for n, _f in DELTA_CAPABLE])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_delta_built_equals_scratch_built(name, factory, seed):
+    base = synthesize_as65000(scale=0.001)
+    managed = ManagedFib(factory, base, policy=RuntimePolicy(**QUIET),
+                         check_seed=seed)
+    engine = BatchEngine.over_managed(managed, backend="auto",
+                                      name=f"delta-prop-{name}")
+    probes = uniform_addresses(32, 96, seed=seed)
+    commits = 0
+    for batch in ChurnGenerator(base, seed=seed).batches(32, 8):
+        outcome = managed.apply_batch(batch)
+        assert outcome in {"batch_applied", "batch_rebuilt"}
+        commits += 1
+        _assert_delta_equals_scratch(managed, engine, factory, probes)
+    counters = managed.registry.snapshot()["counters"]
+
+    def total(metric):
+        return sum(counters.get(metric, {}).values())
+
+    patches = total("repro_engine_plan_patches_total")
+    recompiles = total("repro_engine_plan_recompiles_total")
+    # Every commit refreshed the engine exactly once, one way or the
+    # other; in-place appliers must have patched at least once.
+    assert patches + recompiles == commits
+    if name in ("sail", "resail"):
+        assert patches == commits
+
+
+@pytest.mark.parametrize(("name", "factory"), DELTA_CAPABLE,
+                         ids=[n for n, _f in DELTA_CAPABLE])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_delta_built_equals_scratch_after_rollback(name, factory, seed):
+    """Under a punitive guard most batches roll back; whatever the
+    outcome, the served structure must keep matching a from-scratch
+    build of the committed oracle."""
+    guard = CapacityGuard(tcam_blocks=0, sram_pages=0, stage_budget=1,
+                          dleft_overflow_limit=0)
+    base = synthesize_as65000(scale=0.001)
+    managed = ManagedFib(factory, base, guard=guard,
+                         policy=RuntimePolicy(**QUIET), check_seed=seed)
+    engine = BatchEngine.over_managed(managed, backend="auto",
+                                      name=f"rollback-prop-{name}")
+    probes = uniform_addresses(32, 96, seed=seed)
+    for batch in ChurnGenerator(base, seed=seed).batches(24, 8):
+        managed.apply_batch(batch)
+        _assert_delta_equals_scratch(managed, engine, factory, probes)
+
+
+def test_patch_threshold_escape_hatch():
+    """Past the patch threshold the engine must fall back to a full
+    recompile — and a threshold of 0 disables patching outright."""
+    base = synthesize_as65000(scale=0.001)
+    results = {}
+    for threshold in (256, 2, 0):
+        managed = ManagedFib(lambda fib: Resail(fib, min_bmp=13,
+                                                hash_capacity=1 << 16),
+                             base, policy=RuntimePolicy(**QUIET),
+                             check_seed=5)
+        engine = BatchEngine.over_managed(
+            managed, backend="auto", patch_threshold=threshold,
+            name=f"threshold-{threshold}")
+        for batch in ChurnGenerator(base, seed=5).batches(24, 8):
+            assert managed.apply_batch(batch) == "batch_applied"
+        counters = managed.registry.snapshot()["counters"]
+        label = f'{{engine="threshold-{threshold}"}}'
+        results[threshold] = (
+            counters.get("repro_engine_plan_patches_total",
+                         {}).get(label, 0),
+            counters.get("repro_engine_plan_recompiles_total",
+                         {}).get(label, 0),
+            engine.lookup_batch(uniform_addresses(32, 32, seed=5)),
+        )
+    # Batches of 8 fit a 256 threshold (all patches), overflow a 2
+    # threshold (all recompiles), and 0 disables the patch path.
+    assert results[256][:2] == (3, 0)
+    assert results[2][:2] == (0, 3)
+    assert results[0][:2] == (0, 3)
+    # ... without ever changing the answers.
+    assert results[256][2] == results[2][2] == results[0][2]
+
+
+# ---------------------------------------------------------------------------
+# Incremental freeze: write-log replay == full re-freeze
+# ---------------------------------------------------------------------------
+
+bit_scripts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+    min_size=0, max_size=64)
+
+
+class TestIncrementalFreeze:
+    @given(initial=bit_scripts, churn=bit_scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_bitmap_replay_equals_full_freeze(self, initial, churn):
+        bitmap = Bitmap(8)
+        for index, value in initial:
+            bitmap.set(index, value)
+        reader = bitmap.plan_reader()
+        view = bitmap.vector_reader()
+        for index, value in churn:
+            bitmap.set(index, value)
+        resynced = bitmap.plan_reader(prev=reader)
+        assert resynced is reader  # caught up in place, not re-copied
+        fresh = bitmap.plan_reader()
+        assert [resynced(i) for i in range(256)] == \
+            [fresh(i) for i in range(256)] == \
+            [bitmap.test(i) for i in range(256)]
+        revived = bitmap.vector_reader(prev=view)
+        assert revived is view
+        assert np.array_equal(revived.packed,
+                              bitmap.vector_reader().packed)
+
+    def test_bitmap_log_trim_falls_back_to_full_copy(self, monkeypatch):
+        monkeypatch.setattr(sram_module, "FREEZE_LOG_CAP", 4)
+        bitmap = Bitmap(8)
+        stale = bitmap.plan_reader()
+        for index in range(32):  # way past the cap: the tail is gone
+            bitmap.set(index)
+        resynced = bitmap.plan_reader(prev=stale)
+        assert resynced is not stale  # full copy, not a replay
+        assert [resynced(i) for i in range(256)] == \
+            [bitmap.test(i) for i in range(256)]
+
+    @given(script=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63),
+                  st.integers(min_value=0, max_value=15)),
+        min_size=0, max_size=48))
+    @settings(max_examples=30, deadline=None)
+    def test_dleft_replay_equals_full_freeze(self, script):
+        table = DLeftHashTable(key_width=16, data_width=8, capacity=128)
+        for key in (1, 2, 3):
+            table.insert(key, key)
+        reader = table.plan_reader()
+        view = table.vector_reader()
+        for key, data in script:
+            if data == 0:
+                try:
+                    table.delete(key)
+                except KeyError:
+                    pass
+            else:
+                table.insert(key, data)
+        expected = table._flatten()
+        resynced = table.plan_reader(prev=reader)
+        assert resynced is reader
+        assert {k: resynced(k) for k in range(64)} == \
+            {k: expected.get(k) for k in range(64)}
+        revived = table.vector_reader(prev=view)
+        assert revived is view
+        assert dict(zip(revived.keys.tolist(),
+                        revived.data.tolist())) == expected
+
+    def test_dleft_grow_invalidates_outstanding_snapshots(self):
+        table = DLeftHashTable(key_width=16, data_width=8, capacity=8,
+                               auto_grow=True)
+        table.insert(1, 1)
+        reader = table.plan_reader()
+        for key in range(2, 40):  # trips auto-grow (rehash) mid-churn
+            table.insert(key, key & 0xFF or 1)
+        resynced = table.plan_reader(prev=reader)
+        expected = table._flatten()
+        assert {k: resynced(k) for k in range(40)} == \
+            {k: expected.get(k) for k in range(40)}
+
+    @given(slots=st.dictionaries(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=63), max_size=24),
+        updates=st.dictionaries(
+        st.integers(min_value=0, max_value=200),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+        max_size=24))
+    @settings(max_examples=50, deadline=None)
+    def test_patch_sparse_view_equals_rebuild(self, slots, updates):
+        view = map_view(dict(slots))
+        assert isinstance(view, SparseMapView)
+        patch_sparse_view(view, updates)
+        merged = dict(slots)
+        for key, value in updates.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        rebuilt = map_view(merged)
+        assert np.array_equal(view.keys, rebuilt.keys)
+        assert np.array_equal(view.data, rebuilt.data)
+
+
+# ---------------------------------------------------------------------------
+# Worker-restart resync: delta shipping survives a mid-stream kill
+# ---------------------------------------------------------------------------
+
+
+def test_process_worker_restart_resyncs_then_chains_deltas():
+    """Kill a process worker mid-stream: the supervisor restarts it
+    from a full snapshot, after which commit deltas chain onto the
+    resynced replica — and every answer keeps matching the oracle."""
+    base = synthesize_as65000(scale=0.001)
+    managed = ManagedFib(lambda fib: Resail(fib, min_bmp=13,
+                                            hash_capacity=1 << 16),
+                         base, policy=RuntimePolicy(**QUIET), check_seed=11)
+    chaos = ChaosPlan([], script=[("kill", 0, 2)])
+    probes = uniform_addresses(32, 48, seed=11)
+
+    def total(metric):
+        counters = managed.registry.snapshot()["counters"]
+        return sum(counters.get(metric, {}).values())
+
+    batches = list(ChurnGenerator(base, seed=11).batches(40, 8))
+    with LookupServer(managed=managed, workers=2, mode="process",
+                      max_batch=32, chaos=chaos) as server:
+        for batch in batches[:-1]:
+            assert managed.apply_batch(batch) == "batch_applied"
+            for _ in range(2):  # march worker 0 toward the scripted kill
+                expected = [managed.oracle.lookup(a) for a in probes]
+                assert server.lookup_batch(probes, timeout=60) == expected
+        # The supervisor restarts the killed worker on a backoff timer;
+        # keep serving until it has (every answer must stay correct).
+        deadline = time.monotonic() + 30
+        while total("repro_server_restarts_total") < 1:
+            assert time.monotonic() < deadline, "worker never restarted"
+            expected = [managed.oracle.lookup(a) for a in probes]
+            assert server.lookup_batch(probes, timeout=60) == expected
+            time.sleep(0.05)
+        # One more committed delta must chain onto the resynced replica.
+        assert managed.apply_batch(batches[-1]) == "batch_applied"
+        expected = [managed.oracle.lookup(a) for a in probes]
+        assert server.lookup_batch(probes, timeout=60) == expected
+    assert total("repro_server_worker_deaths_total") >= 1
+    assert total("repro_server_restarts_total") >= 1
+    assert total("repro_server_delta_bytes_total") > 0  # steady state ships deltas
