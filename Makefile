@@ -24,11 +24,18 @@ ci: test          ## what .github/workflows/ci.yml runs: tests + smokes
 	    --max-batch 64 --max-wait 1.0 --seed 7
 	$(PYTHON) -m repro bench-serve --smoke --seed 7 \
 	    --out benchmarks/results/serve_concurrency_cli.json
+	$(PYTHON) -m repro artifact save rib --algo resail --scale 0.005 \
+	    --seed 7 --catalog benchmarks/results/artifacts
+	$(PYTHON) -m repro artifact verify rib --deep \
+	    --catalog benchmarks/results/artifacts
+	$(PYTHON) -m repro serve --smoke --algo resail --seed 7 \
+	    --load rib --catalog benchmarks/results/artifacts
 	$(PYTHON) -m repro chaos-soak --mode both --seed 7 \
 	    --out benchmarks/results/chaos_soak.json
 	REPRO_BENCH_SCALE=0.02 $(PYTHON) -m pytest \
 	    benchmarks/bench_tab04_ipv4_cram.py benchmarks/bench_updates.py \
-	    benchmarks/bench_throughput.py benchmarks/bench_serve.py -q
+	    benchmarks/bench_throughput.py benchmarks/bench_serve.py \
+	    benchmarks/bench_coldstart.py -q
 	$(PYTHON) -m repro bench-history --check
 
 conformance:      ## wide-width engine conformance sweep (CI's slow job)

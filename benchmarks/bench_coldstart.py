@@ -1,0 +1,114 @@
+"""Artifact warm-start benchmark: catalog load vs from-scratch build.
+
+The persistent artifact store (:mod:`repro.artifact`) exists so a
+serving restart does not pay the full per-prefix build again: the
+snapshot is mmapped, its state arrays adopted zero-copy, and the
+persisted vector views re-frozen through an empty log replay instead
+of re-flattening every table.  This bench times both paths over the
+same synthetic table and gates the ratio:
+
+* **cold** — ``Resail(fib)`` (the per-prefix build loop) plus the
+  scalar plan and vector plan compiles;
+* **warm** — ``ArtifactCatalog.load`` (mmap + full checksum
+  verification), ``state_import`` (direct cell/bitmap adoption), and
+  the same two compiles (view adoption makes the vector one cheap).
+
+The gate asserts warm start ≥ 5x faster than cold, and that both
+paths answer a probe batch identically — a warm start that drifts is
+worse than a slow one.  The table is floored at a scale where the
+build dominates the fixed costs (checksumming + compile), because at
+toy sizes both paths are all fixed cost and the ratio measures
+nothing.
+"""
+
+import os
+import tempfile
+import time
+
+from _bench_utils import emit
+
+from repro.algorithms import Resail
+from repro.analysis import Table
+from repro.artifact import ArtifactCatalog
+from repro.datasets import synthesize_as65000, uniform_addresses
+
+#: The CI gate: artifact load must beat build+compile by this factor.
+SPEEDUP_THRESHOLD_X = 5.0
+
+#: Never shrink the table below this scale — the warm path's fixed
+#: costs (checksums, compiles) would dominate both sides and the
+#: ratio would stop measuring the build loop the store exists to skip.
+MIN_SCALE = 0.15
+
+SCALE = max(MIN_SCALE, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+
+
+def test_coldstart_warm_start_speedup():
+    fib = synthesize_as65000(scale=SCALE)
+
+    start = time.perf_counter()
+    algo = Resail(fib)
+    plan = algo.compile_plan()
+    vplan = algo.compile_vector_plan(plan)
+    cold_s = time.perf_counter() - start
+
+    probes = uniform_addresses(32, 4096, seed=11)
+    cold_scalar = list(plan.lookup_batch(probes))
+    cold_vector = vplan.lookup_batch(probes).tolist()
+
+    with tempfile.TemporaryDirectory() as root:
+        catalog = ArtifactCatalog(root)
+        start = time.perf_counter()
+        version = catalog.save("coldstart", algo, fib, vector_plan=vplan)
+        save_s = time.perf_counter() - start
+        size_bytes = os.path.getsize(catalog.path("coldstart", version))
+
+        start = time.perf_counter()
+        loaded = catalog.load("coldstart")
+        warm_algo = loaded.algorithm()
+        warm_plan = warm_algo.compile_plan()
+        warm_vplan = warm_algo.compile_vector_plan(warm_plan)
+        warm_s = time.perf_counter() - start
+
+        warm_scalar = list(warm_plan.lookup_batch(probes))
+        warm_vector = warm_vplan.lookup_batch(probes).tolist()
+
+    assert warm_scalar == cold_scalar, \
+        "warm-start scalar plan drifted from the cold build"
+    assert warm_vector == cold_vector, \
+        "warm-start vector plan drifted from the cold build"
+
+    speedup = cold_s / warm_s
+    table = Table(
+        f"Artifact cold start vs warm start (RESAIL, scale {SCALE:g}, "
+        f"{len(fib):,} prefixes)",
+        ["path", "seconds", "notes"])
+    table.add_row("cold build+compile", f"{cold_s:.3f}",
+                  "Resail(fib) + plan + vector plan")
+    table.add_row("artifact save", f"{save_s:.3f}",
+                   f"{size_bytes:,} bytes")
+    table.add_row("warm load+compile", f"{warm_s:.3f}",
+                   "mmap + checksums + state import + compiles")
+    table.add_row("speedup", f"{speedup:.2f}x",
+                   f"gate: >= {SPEEDUP_THRESHOLD_X:g}x")
+    emit("coldstart", table.render(),
+         values={
+             "algorithm": "resail",
+             "scale": SCALE,
+             "prefixes": len(fib),
+             "snapshot_bytes": size_bytes,
+             "probes": len(probes),
+             "answers_bit_exact": True,
+             "speedup_threshold_x": SPEEDUP_THRESHOLD_X,
+         },
+         timings={
+             "cold_s": cold_s,
+             "save_s": save_s,
+             "warm_s": warm_s,
+             "speedup_x": speedup,
+         })
+
+    assert speedup >= SPEEDUP_THRESHOLD_X, (
+        f"warm start only {speedup:.2f}x faster than cold build "
+        f"(gate {SPEEDUP_THRESHOLD_X:g}x): cold={cold_s:.3f}s "
+        f"warm={warm_s:.3f}s")

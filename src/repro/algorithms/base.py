@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import numpy as np
 
 from ..chip.layout import Layout
 from ..core.idioms import IdiomApplication
@@ -193,6 +196,51 @@ class LookupAlgorithm(abc.ABC):
 
     def end_update_batch(self) -> None:
         """Called after a successful batch of insert/delete calls."""
+
+    # ------------------------------------------------------------------
+    # Artifact hooks (used by repro.artifact for mmap warm starts)
+    # ------------------------------------------------------------------
+    def state_export(self) -> Optional[Tuple[dict, Dict[str, "np.ndarray"]]]:
+        """The built structure as ``(meta, arrays)`` for persistence.
+
+        ``meta`` must be JSON-serializable; ``arrays`` maps section
+        names to NumPy arrays whose bytes, together with ``meta``,
+        fully determine the structure — ``state_import`` must rebuild
+        an algorithm whose every lookup agrees with this one.  Both
+        sides must be deterministic (same state, same bytes), which is
+        what pins the artifact golden-format test.
+
+        The default ``None`` opts out: the artifact then stores only
+        the FIB and a load rebuilds through the scheme's factory —
+        still correct, just a cold build instead of a warm start.
+        """
+        return None
+
+    @classmethod
+    def state_import(cls, meta: dict,
+                     arrays: Dict[str, "np.ndarray"]) -> "LookupAlgorithm":
+        """Rebuild a built algorithm from :meth:`state_export` output.
+
+        ``arrays`` are typically copy-on-write views into an mmapped
+        snapshot: implementations may adopt them zero-copy (mutations
+        dirty private pages, never the file), but must not assume they
+        are writable file-backed storage.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not support artifact state import")
+
+    def adopt_views(self, views: Dict[str, "np.ndarray"]) -> None:
+        """Accept persisted vector-table views after a state import.
+
+        ``views`` maps step name → the view object a previous
+        ``VectorPlan`` compile was frozen against (reconstructed
+        zero-copy over an mmapped artifact).  Implementations may
+        stash them as the ``prev`` snapshots their spec builders hand
+        to ``vector_reader(prev)``, so the first warm compile replays
+        an empty log tail instead of re-flattening every table.  The
+        default ignores them — adoption is an optimisation, never a
+        correctness requirement.
+        """
 
     # ------------------------------------------------------------------
     # Executing the CRAM program (model-vs-native equivalence checks)

@@ -274,6 +274,88 @@ class Dxr(LookupAlgorithm):
             self._mirror_hops[row] = 0 if r.next_hop is None else r.next_hop
             self._mirror_hopnone[row] = r.next_hop is None
 
+    # ------------------------------------------------------------------
+    # Artifact state (repro.artifact warm starts)
+    # ------------------------------------------------------------------
+    def state_export(self):
+        """The merged range table, initial-table mirrors, and the
+        delta-maintenance sources (shorts trie + suffix groups).
+        Importing skips the per-slice ``expand_to_ranges`` sweep over
+        all ``2**k`` slices."""
+        n = len(self.ranges)
+        groups = []
+        for slice_bits in sorted(self._groups):
+            for (sbits, slen), (_suffix, hop) in sorted(
+                    self._groups[slice_bits].items()):
+                groups.append((slice_bits, sbits, slen, hop))
+        arrays = {
+            "mirror_kind": self._mirror_kind,
+            "mirror_a": self._mirror_a,
+            "mirror_b": self._mirror_b,
+            "range_left": self._mirror_left[:n],
+            "range_hops": self._mirror_hops[:n],
+            "range_hopnone": self._mirror_hopnone[:n],
+            "shorts": np.array(
+                sorted((p.bits, p.length, h)
+                       for p, h in self._shorts.items()),
+                dtype=np.int64).reshape(-1, 3),
+            "groups": np.array(groups, dtype=np.int64).reshape(-1, 4),
+        }
+        meta = {"k": self.k, "width": self.width,
+                "max_section": self.max_section,
+                "dead_ranges": self._dead_ranges}
+        return meta, arrays
+
+    @classmethod
+    def state_import(cls, meta, arrays) -> "Dxr":
+        obj = cls.__new__(cls)
+        obj.width = int(meta["width"])
+        obj.k = int(meta["k"])
+        obj.name = f"DXR (k={obj.k})"
+        obj.suffix_bits = obj.width - obj.k
+        obj._shorts = BinaryTrie(obj.width)
+        for bits, length, hop in arrays["shorts"]:
+            obj._shorts.insert(
+                Prefix.from_bits(int(bits), int(length), obj.width),
+                int(hop))
+        obj._groups = {}
+        for slice_bits, sbits, slen, hop in arrays["groups"]:
+            suffix = Prefix.from_bits(int(sbits), int(slen), obj.suffix_bits)
+            obj._groups.setdefault(int(slice_bits), {})[
+                (int(sbits), int(slen))] = (suffix, int(hop))
+        left = arrays["range_left"]
+        hops = arrays["range_hops"]
+        hopnone = arrays["range_hopnone"]
+        obj.ranges = [
+            RangeEntry(int(left[row]),
+                       None if hopnone[row] else int(hops[row]))
+            for row in range(left.size)]
+        kind = arrays["mirror_kind"]
+        a = arrays["mirror_a"]
+        b = arrays["mirror_b"]
+        obj.initial = [
+            None if kind[slot] == 0
+            else ("hop", int(a[slot])) if kind[slot] == 1
+            else ("section", int(a[slot]), int(b[slot]))
+            for slot in range(1 << obj.k)]
+        obj._dead_ranges = int(meta["dead_ranges"])
+        obj.max_section = int(meta["max_section"])
+        # Adopt the mapped mirrors (copy-on-write pages) directly; the
+        # range mirrors re-pad to the growth capacity _build_mirrors
+        # would have picked.
+        obj._mirror_kind = np.asarray(kind)
+        obj._mirror_a = np.asarray(a)
+        obj._mirror_b = np.asarray(b)
+        cap = max(64, left.size)
+        obj._mirror_left = np.zeros(cap, dtype=np.int64)
+        obj._mirror_hops = np.zeros(cap, dtype=np.int64)
+        obj._mirror_hopnone = np.zeros(cap, dtype=bool)
+        obj._mirror_left[:left.size] = left
+        obj._mirror_hops[:left.size] = hops
+        obj._mirror_hopnone[:left.size] = (
+            hopnone.view(np.bool_) if hopnone.dtype == np.uint8 else hopnone)
+        return obj
+
     def lookup(self, address: int) -> Optional[int]:
         self._check_address(address)
         entry = self.initial[address >> self.suffix_bits]

@@ -97,6 +97,9 @@ class Resail(LookupAlgorithm):
         self._shorts = BinaryTrie(IPV4_WIDTH)
         #: For each expanded slot of B_min_bmp: the originating length.
         self._slot_origin: Dict[int, int] = {}
+        #: Imported vector views (artifact warm starts); spec builders
+        #: hand them to ``vector_reader(prev=...)`` as re-freeze bases.
+        self._artifact_views: Dict[str, object] = {}
 
         for prefix, hop in fib:
             self.insert(prefix, hop)
@@ -178,6 +181,114 @@ class Resail(LookupAlgorithm):
             return
         hop = self._shorts.lookup(address)
         self._claim_slot(slot, covering.length, hop)
+
+    # ------------------------------------------------------------------
+    # Artifact state (repro.artifact warm starts)
+    # ------------------------------------------------------------------
+    def state_export(self):
+        """Flatten the bitmaps, hash entries, look-aside rows and the
+        expansion bookkeeping.  Importing replays none of the §3.2
+        controlled prefix expansion — the expanded slots are already in
+        the bitmap/hash content."""
+        arrays = {}
+        for i in range(self.min_bmp, PIVOT_LEVEL + 1):
+            arrays[f"bitmap_{i:02d}"] = self.bitmaps[i]._bits.view(np.uint8)
+        arrays["tcam"] = np.array(
+            [(e.value, e.mask, e.priority, e.data)
+             for e in self.look_aside._entries],
+            dtype=np.int64).reshape(-1, 4)
+        # The d-left table exports its *physical* cell placement
+        # (subtable, bucket, key, hop; subtable -1 = overflow area) so
+        # the import adopts cells directly instead of re-running the
+        # d-left placement hash per key — the dominant cold-build loop
+        # a warm start exists to skip.  Placement is deterministic for
+        # a given insert history, so the export stays byte-stable.
+        table = self.hash_table
+        cells = [(sub, b, key, hop)
+                 for sub, subtable in enumerate(table._buckets)
+                 for b, bucket in enumerate(subtable)
+                 for key, hop in bucket]
+        cells.extend((-1, 0, key, hop) for key, hop in table._overflow)
+        arrays["hash_cells"] = np.array(cells, dtype=np.int64).reshape(-1, 4)
+        arrays["shorts"] = np.array(
+            sorted((p.bits, p.length, h) for p, h in self._shorts.items()),
+            dtype=np.int64).reshape(-1, 3)
+        origins = sorted(self._slot_origin.items())
+        arrays["slot_origin_slots"] = np.array([s for s, _ in origins],
+                                               dtype=np.int64)
+        arrays["slot_origin_lens"] = np.array([l for _, l in origins],
+                                              dtype=np.int64)
+        return {"min_bmp": self.min_bmp,
+                "hash_capacity": self.hash_table.capacity}, arrays
+
+    @classmethod
+    def state_import(cls, meta, arrays) -> "Resail":
+        obj = cls.__new__(cls)
+        obj.width = IPV4_WIDTH
+        obj.min_bmp = int(meta["min_bmp"])
+        obj.name = f"RESAIL (min_bmp={obj.min_bmp})"
+        obj.look_aside = TcamTable(IPV4_WIDTH, name="look-aside")
+        for value, mask, priority, data in arrays["tcam"]:
+            obj.look_aside.insert(int(value), int(mask), int(priority),
+                                  int(data))
+        obj.bitmaps = {
+            i: Bitmap.from_bits(i, arrays[f"bitmap_{i:02d}"], name=f"B{i}")
+            for i in range(obj.min_bmp, PIVOT_LEVEL + 1)}
+        table = DLeftHashTable(
+            HASH_KEY_BITS, NEXT_HOP_BITS,
+            capacity=int(meta["hash_capacity"]),
+            name="next-hops", auto_grow=True)
+        cells = arrays["hash_cells"]
+        buckets, nbuckets = table._buckets, table.buckets_per_subtable
+        for sub, b, key, hop in zip(cells[:, 0].tolist(),
+                                    cells[:, 1].tolist(),
+                                    cells[:, 2].tolist(),
+                                    cells[:, 3].tolist()):
+            if sub < 0:
+                table._overflow.append((key, hop))
+            elif sub < table.d and b < nbuckets:
+                buckets[sub][b].append((key, hop))
+            else:
+                raise ValueError(
+                    f"hash cell ({sub}, {b}) outside the table's "
+                    f"{table.d}x{nbuckets} provisioning")
+        table._count = int(cells.shape[0])
+        obj.hash_table = table
+        obj._shorts = BinaryTrie(IPV4_WIDTH)
+        for bits, length, hop in arrays["shorts"]:
+            obj._shorts.insert(
+                Prefix.from_bits(int(bits), int(length), IPV4_WIDTH),
+                int(hop))
+        obj._slot_origin = {
+            int(s): int(l) for s, l in zip(arrays["slot_origin_slots"],
+                                           arrays["slot_origin_lens"])}
+        obj._artifact_views = {}
+        # Arm the freeze logs so adopted views (version-synced to the
+        # fresh, empty log) re-freeze via an empty replay instead of a
+        # full rebuild on the first vector compile.
+        obj.hash_table._log = []
+        for bitmap in obj.bitmaps.values():
+            bitmap._log = []
+        return obj
+
+    def adopt_views(self, views) -> None:
+        """Stash imported vector views as warm re-freeze bases.
+
+        The imported backings carry fresh (empty) write logs, and the
+        views were saved against exactly this content, so syncing each
+        view's version to the backing's current freeze version makes
+        the next ``vector_reader(prev=view)`` a no-op replay over the
+        mmapped buffers."""
+        for step, view in views.items():
+            if step == "hash":
+                view.version = self.hash_table.freeze_version
+            elif step.startswith("bitmap_"):
+                level = int(step[len("bitmap_"):])
+                if level in self.bitmaps:
+                    view.version = self.bitmaps[level].freeze_version
+            else:
+                continue  # look-aside TCAM views rebuild cheaply
+            self._artifact_views[step] = view
 
     # ------------------------------------------------------------------
     # Lookup (Algorithm 1)
@@ -353,6 +464,8 @@ class Resail(LookupAlgorithm):
             hit = vals != 0
             lanes.assign(f"key_{i}", np.where(hit, marked, 0), none=~hit)
 
+        if prev is None:
+            prev = self._artifact_views.get(f"bitmap_{i}")
         return VectorStepSpec(
             update,
             select=lambda lanes, shift=shift: (
@@ -366,6 +479,8 @@ class Resail(LookupAlgorithm):
         # Final step: coalesce the longest marked key (priority 24 down
         # to min_bmp), probe the flattened d-left view, resolve against
         # the look-aside hop.
+        if prev is None:
+            prev = self._artifact_views.get("hash")
         hash_view = self.hash_table.vector_reader(prev)
 
         def hash_update(lanes, vals, found, active):

@@ -119,6 +119,71 @@ class Sail(LookupAlgorithm):
             self.chunks.pop(slot, None)
 
     # ------------------------------------------------------------------
+    # Artifact state (repro.artifact warm starts)
+    # ------------------------------------------------------------------
+    def state_export(self):
+        """Flatten bitmaps, hop arrays, pivot chunks and the long-prefix
+        source table — everything :meth:`state_import` needs to skip
+        the per-prefix build (and its 256-slot chunk rebuilds)."""
+        arrays = {}
+        for i in range(1, PIVOT_LEVEL + 1):
+            arrays[f"bitmap_{i:02d}"] = self.bitmaps[i]._bits.view(np.uint8)
+            items = sorted(self.arrays[i].items())
+            arrays[f"array_{i:02d}_keys"] = np.array(
+                [k for k, _ in items], dtype=np.int64)
+            arrays[f"array_{i:02d}_hops"] = np.array(
+                [h for _, h in items], dtype=np.int64)
+        slots = sorted(self.chunks)
+        hops = np.zeros((len(slots), CHUNK_SIZE), dtype=np.int64)
+        none = np.zeros((len(slots), CHUNK_SIZE), dtype=bool)
+        for row, slot in enumerate(slots):
+            for col, hop in enumerate(self.chunks[slot]):
+                if hop is None:
+                    none[row, col] = True
+                else:
+                    hops[row, col] = hop
+        arrays["chunk_slots"] = np.array(slots, dtype=np.int64)
+        arrays["chunk_hops"] = hops
+        arrays["chunk_none"] = none
+        arrays["long_prefixes"] = np.array(
+            [(p.bits, p.length, h) for p, h in self._long_prefixes],
+            dtype=np.int64).reshape(-1, 3)
+        return {"default_hop": self.default_hop}, arrays
+
+    @classmethod
+    def state_import(cls, meta, arrays) -> "Sail":
+        obj = cls.__new__(cls)
+        obj.width = IPV4_WIDTH
+        obj.name = "SAIL"
+        obj.default_hop = meta.get("default_hop")
+        obj.bitmaps = {}
+        obj.arrays = {}
+        for i in range(1, PIVOT_LEVEL + 1):
+            obj.bitmaps[i] = Bitmap.from_bits(i, arrays[f"bitmap_{i:02d}"],
+                                              name=f"B{i}")
+            table = DirectIndexTable(i, NEXT_HOP_BITS, name=f"N{i}")
+            # Adopt the slot dict wholesale; per-key store() validation
+            # is what the warm start exists to skip.
+            table._slots = {
+                int(k): int(h)
+                for k, h in zip(arrays[f"array_{i:02d}_keys"],
+                                arrays[f"array_{i:02d}_hops"])}
+            obj.arrays[i] = table
+        obj.chunks = {}
+        chunk_hops = arrays["chunk_hops"]
+        chunk_none = arrays["chunk_none"]
+        for row, slot in enumerate(arrays["chunk_slots"]):
+            obj.chunks[int(slot)] = [
+                None if chunk_none[row, col] else int(chunk_hops[row, col])
+                for col in range(CHUNK_SIZE)]
+        obj._long_prefixes = Fib(IPV4_WIDTH)
+        for bits, length, hop in arrays["long_prefixes"]:
+            obj._long_prefixes.insert(
+                Prefix.from_bits(int(bits), int(length), IPV4_WIDTH),
+                int(hop))
+        return obj
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def lookup(self, address: int) -> Optional[int]:

@@ -1,0 +1,39 @@
+"""Persistent FIB/plan artifact store (ROADMAP item 2 groundwork).
+
+``repro.artifact`` turns a built lookup structure into a versioned
+on-disk snapshot that warm-starts serving: loading maps the file
+copy-on-write and imports the algorithm's arrays instead of replaying
+the per-prefix build, so ``repro serve --load`` and process-worker
+re-forks skip the expensive part of a cold start.  The catalog keeps
+multiple named versions side by side, which is what
+:meth:`~repro.server.LookupServer.reload` flips between for blue/green
+swaps.
+"""
+
+from .catalog import ArtifactCatalog, LoadedArtifact, algorithm_key
+from .errors import (
+    ArtifactCorruptError,
+    ArtifactDigestMismatch,
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactNotFound,
+    ArtifactTruncatedError,
+    ArtifactVersionError,
+)
+from .format import FORMAT_VERSION, MAGIC, fib_digest
+
+__all__ = [
+    "ArtifactCatalog",
+    "LoadedArtifact",
+    "algorithm_key",
+    "ArtifactError",
+    "ArtifactNotFound",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "ArtifactTruncatedError",
+    "ArtifactCorruptError",
+    "ArtifactDigestMismatch",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "fib_digest",
+]

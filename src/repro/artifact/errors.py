@@ -1,0 +1,60 @@
+"""Typed failures for the on-disk artifact store.
+
+Every way a snapshot can be unusable maps to one exception family so
+callers (the serving stack, the CLI, the corruption test battery) can
+catch ``ArtifactError`` and *never* serve a wrong answer off a bad
+file.  Subclasses distinguish the failure the operator cares about:
+
+* :class:`ArtifactNotFound` — no such catalog entry / version;
+* :class:`ArtifactFormatError` — the bytes are not an artifact at all
+  (wrong magic, malformed header, impossible section table);
+* :class:`ArtifactVersionError` — a real artifact written by a format
+  revision this reader does not speak;
+* :class:`ArtifactTruncatedError` — the file ends before the header
+  or a section does;
+* :class:`ArtifactCorruptError` — a checksum (header or section)
+  disagrees with the stored digest, or imported state fails its
+  post-load integrity check;
+* :class:`ArtifactDigestMismatch` — the snapshot is internally sound
+  but describes a different FIB than the one the caller is serving.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactNotFound",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "ArtifactTruncatedError",
+    "ArtifactCorruptError",
+    "ArtifactDigestMismatch",
+]
+
+
+class ArtifactError(Exception):
+    """Base class: anything wrong with saving/loading an artifact."""
+
+
+class ArtifactNotFound(ArtifactError):
+    """The catalog has no such artifact name or version."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """The file is not a parseable artifact (magic/header/layout)."""
+
+
+class ArtifactVersionError(ArtifactFormatError):
+    """The artifact was written by an unsupported format revision."""
+
+
+class ArtifactTruncatedError(ArtifactFormatError):
+    """The file ends before its declared contents do."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """Stored checksums disagree with the bytes on disk."""
+
+
+class ArtifactDigestMismatch(ArtifactError):
+    """The artifact's FIB digest does not match the serving FIB."""

@@ -390,7 +390,29 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
+def _artifact_ref(text: str):
+    """Split a ``NAME[:VERSION]`` catalog reference."""
+    name, _, version = text.partition(":")
+    return name, (version or None)
+
+
+def _artifact_save(args: argparse.Namespace, algo, fib: Fib) -> None:
+    """``serve --save``: snapshot the built state into the catalog."""
+    from .artifact import ArtifactCatalog
+
+    name, version = _artifact_ref(args.save)
+    catalog = ArtifactCatalog(args.catalog)
+    try:
+        vplan = algo.compile_vector_plan()
+    except Exception:
+        vplan = None  # scalar-only schemes still snapshot their state
+    version = catalog.save(name, algo, fib, version=version,
+                           vector_plan=vplan)
+    print(f"serve: saved artifact {name}:{version} to {catalog.root}")
+
+
+def _serve_concurrent(args: argparse.Namespace, base: Fib, registry,
+                      loaded=None) -> int:
     """``repro serve --workers N``: the coalesced concurrent frontend.
 
     Producer threads submit small requests; the
@@ -434,7 +456,11 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
     delta = getattr(args, "delta", True)
     managed = ManagedFib(lambda fib: _build(args.algo, fib), base,
                          registry=registry, check_seed=args.seed,
-                         policy=RuntimePolicy(delta_updates=delta))
+                         policy=RuntimePolicy(delta_updates=delta),
+                         algo=(loaded.algorithm() if loaded is not None
+                               else None))
+    if getattr(args, "save", None):
+        _artifact_save(args, managed.algo, managed.oracle)
     server = LookupServer(managed=managed, workers=args.workers,
                           max_batch=args.max_batch,
                           max_wait_s=args.max_wait / 1000.0,
@@ -451,7 +477,10 @@ def _serve_concurrent(args: argparse.Namespace, base: Fib, registry) -> int:
                           span_seed=args.seed,
                           ack_timeout_s=2.0 if any(
                               n.startswith("ack") for n in chaos_names)
-                          else 60.0)
+                          else 60.0,
+                          artifact=(str(loaded.path)
+                                    if loaded is not None
+                                    and args.mode == "process" else None))
     status = None
     status_port = getattr(args, "status_port", None)
     if status_port is not None:
@@ -644,14 +673,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         args.churn_every = 4
         args.churn_ops = 8
 
-    if args.fib:
+    loaded = None
+    if getattr(args, "load", None):
+        from .artifact import ArtifactCatalog
+        if args.vrfs > 0 or args.policy == "vrf-hash":
+            raise SystemExit("serve: --load does not combine with VRF "
+                             "sharding")
+        name, version = _artifact_ref(args.load)
+        loaded = ArtifactCatalog(args.catalog).load(
+            name, version, factory=lambda fib: _build(args.algo, fib))
+        base = loaded.fib()
+        print(f"serve: warm start from artifact {name}:{loaded.version} "
+              f"({len(base):,} prefixes, {loaded.algorithm_name or args.algo})")
+    elif args.fib:
         base = load_fib(args.fib)
     else:
         maker = synthesize_as65000 if args.family == "v4" else synthesize_as131072
         base = maker(scale=args.scale)
 
     if args.workers:
-        return _serve_concurrent(args, base, MetricsRegistry())
+        return _serve_concurrent(args, base, MetricsRegistry(), loaded=loaded)
 
     policy = args.policy
     if policy == "auto":
@@ -699,7 +740,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         managed = ManagedFib(
             lambda fib: _build(args.algo, fib), base,
             registry=registry, check_seed=args.seed,
-            policy=RuntimePolicy(delta_updates=getattr(args, "delta", True)))
+            policy=RuntimePolicy(delta_updates=getattr(args, "delta", True)),
+            algo=(loaded.algorithm() if loaded is not None else None))
+        if getattr(args, "save", None):
+            _artifact_save(args, managed.algo, managed.oracle)
         if args.shards > 1:
             engine = RoundRobinEngine(managed.algo, replicas=args.shards,
                                       cache_size=args.cache,
@@ -756,6 +800,88 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"  spot-checks: every {args.check_every} requests verified "
           "against the oracle, all consistent")
     return 0
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """Manage the persistent artifact catalog (save/load/list/verify)."""
+    import os
+
+    from .artifact import ArtifactCatalog, ArtifactError
+
+    catalog = ArtifactCatalog(args.catalog)
+
+    if args.artifact_cmd == "save":
+        if args.fib:
+            fib = load_fib(args.fib)
+        else:
+            maker = (synthesize_as65000 if args.family == "v4"
+                     else synthesize_as131072)
+            fib = maker(scale=args.scale, seed=args.seed)
+        algo = _build(args.algo, fib)
+        vplan = None
+        if not args.no_vector:
+            try:
+                vplan = algo.compile_vector_plan()
+            except Exception:
+                vplan = None  # scalar-only schemes still snapshot state
+        version = catalog.save(args.name, algo, fib, version=args.version,
+                               vector_plan=vplan, overwrite=args.overwrite)
+        path = catalog.path(args.name, version)
+        print(f"artifact: saved {args.name}:{version} "
+              f"({len(fib):,} prefixes, {os.path.getsize(path):,} bytes) "
+              f"at {path}")
+        return 0
+
+    if args.artifact_cmd == "list":
+        names = catalog.names()
+        if not names:
+            print(f"artifact: catalog {catalog.root} is empty")
+            return 0
+        for name in names:
+            current = catalog.current(name)
+            for version in catalog.versions(name):
+                path = catalog.path(name, version)
+                marker = " *" if version == current else ""
+                print(f"{name}:{version}{marker}  "
+                      f"{os.path.getsize(path):,} bytes")
+        return 0
+
+    name, version = _artifact_ref(args.name)
+
+    if args.artifact_cmd == "verify":
+        try:
+            report = catalog.verify(name, version, deep=args.deep)
+        except ArtifactError as exc:
+            print(f"artifact: verify FAILED: {type(exc).__name__}: {exc}")
+            return 1
+        extra = (f", {report['probes']} probes differentially checked"
+                 if args.deep else "")
+        print(f"artifact: {report['name']}:{report['version']} OK — "
+              f"{report['algorithm'] or 'fib-only'} width {report['width']}, "
+              f"{report['fib_size']:,} prefixes, {report['sections']} "
+              f"sections checksum-verified{extra}")
+        return 0
+
+    # args.artifact_cmd == "load": a warm-start smoke check.
+    from .artifact.catalog import _probe_addresses
+    try:
+        loaded = catalog.load(name, version)
+        fib = loaded.fib()
+        algo = loaded.algorithm()
+        plan = algo.compile_plan()
+        addresses = _probe_addresses(fib, limit=args.probe)
+        hops = plan.lookup_batch(addresses)
+        mismatches = sum(1 for a, h in zip(addresses, hops)
+                         if h != fib.lookup(a))
+    except ArtifactError as exc:
+        print(f"artifact: load FAILED: {type(exc).__name__}: {exc}")
+        return 1
+    print(f"artifact: loaded {name}:{loaded.version} — "
+          f"{loaded.algorithm_name or 'fib-only'} width {loaded.width}, "
+          f"{len(fib):,} prefixes, {len(loaded.arrays)} sections, "
+          f"{len(addresses)} probe lookups "
+          f"({mismatches} oracle mismatches)")
+    return 1 if mismatches else 0
 
 
 def run_bench_serve(
@@ -1470,7 +1596,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the engine metrics registry (including "
                         "wall-clock timings) as JSON to FILE")
+    p.add_argument("--catalog", default=".repro-artifacts",
+                   help="artifact catalog directory for --save/--load")
+    p.add_argument("--save", metavar="NAME[:VERSION]",
+                   help="snapshot the built algorithm state (and vector "
+                        "plan backings) into the artifact catalog before "
+                        "serving")
+    p.add_argument("--load", metavar="NAME[:VERSION]",
+                   help="warm-start from a catalog artifact instead of "
+                        "building from scratch; process workers mmap the "
+                        "snapshot rather than receiving a pickled FIB")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "artifact",
+        help="manage the persistent FIB/plan artifact catalog",
+        description="Save built algorithm state (plus compiled vector-plan "
+                    "backings) into a versioned on-disk catalog, list and "
+                    "checksum-verify stored snapshots, and smoke-load them "
+                    "back — the warm-start path `repro serve --load` uses.",
+    )
+    asub = p.add_subparsers(dest="artifact_cmd", required=True)
+
+    sp = asub.add_parser("save", help="build an algorithm and snapshot it")
+    sp.add_argument("name", help="artifact name in the catalog")
+    sp.add_argument("--algo", default="resail",
+                    choices=sorted(ALGORITHM_FACTORIES))
+    sp.add_argument("--fib", help="FIB file to build from "
+                                  "(overrides synthesis)")
+    sp.add_argument("--family", choices=["v4", "v6"], default="v4")
+    sp.add_argument("--scale", type=float, default=0.002,
+                    help="synthetic table scale (default 0.002)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--version", help="version label (default: next v%%03d)")
+    sp.add_argument("--catalog", default=".repro-artifacts")
+    sp.add_argument("--overwrite", action="store_true",
+                    help="replace an existing version (normally immutable)")
+    sp.add_argument("--no-vector", action="store_true",
+                    help="skip persisting the vector plan's view backings")
+    sp.set_defaults(func=cmd_artifact)
+
+    sp = asub.add_parser("list", help="list catalog names and versions")
+    sp.add_argument("--catalog", default=".repro-artifacts")
+    sp.set_defaults(func=cmd_artifact)
+
+    sp = asub.add_parser("verify",
+                         help="checksum-verify a stored snapshot")
+    sp.add_argument("name", metavar="NAME[:VERSION]")
+    sp.add_argument("--catalog", default=".repro-artifacts")
+    sp.add_argument("--deep", action="store_true",
+                    help="also import the state and differentially check "
+                         "probe lookups against a fresh build")
+    sp.set_defaults(func=cmd_artifact)
+
+    sp = asub.add_parser("load",
+                         help="warm-start smoke check: load, compile, probe")
+    sp.add_argument("name", metavar="NAME[:VERSION]")
+    sp.add_argument("--catalog", default=".repro-artifacts")
+    sp.add_argument("--probe", type=int, default=512,
+                    help="probe-lookup budget (default 512)")
+    sp.set_defaults(func=cmd_artifact)
 
     p = sub.add_parser(
         "bench-serve",

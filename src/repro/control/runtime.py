@@ -160,6 +160,7 @@ class ManagedFib:
         faults: Optional[FaultPlan] = None,
         check_seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        algo: Optional[LookupAlgorithm] = None,
     ):
         self.factory = factory
         self.policy = policy or RuntimePolicy()
@@ -177,7 +178,10 @@ class ManagedFib:
             "Update ops per applied batch.")
         self.log = EventLog(registry=self.registry)
         self.oracle = Fib(base.width, list(base))
-        self.algo = factory(Fib(base.width, list(base)))
+        # A prebuilt structure (e.g. an artifact warm start) skips the
+        # factory build; it must already reflect ``base`` exactly.
+        self.algo = algo if algo is not None else factory(
+            Fib(base.width, list(base)))
         self._base = Fib(base.width, list(base))
         self.checker = DifferentialChecker(base.width, seed=check_seed)
         self.health = Health.HEALTHY
@@ -227,6 +231,29 @@ class ManagedFib:
 
     def remove_commit_listener(self, listener) -> None:
         self._commit_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Blue/green adoption (artifact reloads)
+    # ------------------------------------------------------------------
+    def adopt(self, algo: LookupAlgorithm, base: Fib) -> None:
+        """Atomically become ``algo`` serving ``base``.
+
+        The blue/green path: the new structure was built (or loaded
+        from the artifact catalog) off to the side, and the server
+        flips to it under its commit gate.  Commit listeners are *not*
+        fired — the caller owns the flip and refreshes its engines
+        itself, exactly because this swap must happen inside the
+        caller's write section.
+        """
+        if base.width != self.oracle.width:
+            raise ValueError(
+                f"cannot adopt width-{base.width} table into a "
+                f"width-{self.oracle.width} runtime")
+        self.algo = algo
+        self.oracle = Fib(base.width, list(base))
+        self._base = Fib(base.width, list(base))
+        self.last_delta = None
+        self.log.record("adopt", self._batch_index, size=len(self.oracle))
 
     # ------------------------------------------------------------------
     # Health plumbing

@@ -40,6 +40,7 @@ committed :class:`~repro.control.ManagedFib` batch.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .program import CramProgram
@@ -233,6 +234,23 @@ class LookupPlan:
             "waves": self.wave_count,
             "step_names": list(self.step_names),
         }
+
+    def fingerprint(self) -> str:
+        """Stable identity of the compiled program's *shape*.
+
+        Hashes the algorithm name, width and ordered step names — the
+        things that must re-derive identically when an artifact's
+        state import rebuilds this plan.  The artifact store saves it
+        at write time and compares after load, so a structurally
+        drifted import fails typed instead of serving off the wrong
+        program.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.algorithm}:{self.width}".encode("utf-8"))
+        for name in self.step_names:
+            h.update(b"\0")
+            h.update(name.encode("utf-8"))
+        return h.hexdigest()
 
 
 def compile_plan(algo, program: Optional[CramProgram] = None) -> LookupPlan:

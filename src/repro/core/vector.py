@@ -73,6 +73,8 @@ __all__ = [
     "VectorPlan",
     "compile_vector_plan",
     "map_view",
+    "view_state",
+    "view_from_state",
     "popcount64",
     "MISS_HOP",
     "DENSE_LIMIT",
@@ -421,6 +423,82 @@ class TcamGroupView:
                     break
                 sub = sub[keep]
         return vals, found
+
+
+def view_state(view) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+    """A view's content as ``(kind, meta, arrays)`` for persistence.
+
+    The inverse of :func:`view_from_state`; together they let the
+    artifact store write compiled vector backings as raw sections and
+    map them straight back into live view objects (zero-copy — the
+    arrays back the readers directly).
+    """
+    if isinstance(view, BitmapView):
+        return "bitmap", {"version": int(view.version)}, {
+            "packed": view.packed}
+    if isinstance(view, DenseArrayView):
+        return "dense", {}, {"dense": view.dense, "present": view.present}
+    if isinstance(view, SparseMapView):
+        return "sparse", {"version": int(view.version)}, {
+            "keys": view.keys, "data": view.data}
+    if isinstance(view, TcamMatrixView):
+        return "tcam_matrix", {}, {"values": view.values_,
+                                   "masks": view.masks, "data": view.data}
+    if isinstance(view, TcamGroupView):
+        sizes = [view_.keys.size for _mask, view_ in view.groups]
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        empty = np.zeros(0, dtype=np.int64)
+        return "tcam_group", {}, {
+            "group_masks": np.array([m for m, _v in view.groups],
+                                    dtype=np.int64),
+            "group_offsets": offsets,
+            "keys": (np.concatenate([v.keys for _m, v in view.groups])
+                     if view.groups else empty),
+            "data": (np.concatenate([v.data for _m, v in view.groups])
+                     if view.groups else empty),
+        }
+    raise VectorError(f"cannot serialize view of type {type(view).__name__}")
+
+
+def view_from_state(kind: str, meta: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]):
+    """Rebuild a view object from :func:`view_state` output.
+
+    Arrays are adopted as-is — handing in copy-on-write slices of an
+    mmapped artifact makes the reconstructed view serve directly off
+    the mapped pages.
+    """
+    if kind == "bitmap":
+        return BitmapView(np.asarray(arrays["packed"]),
+                          int(meta.get("version", 0)))
+    if kind == "dense":
+        return DenseArrayView(np.asarray(arrays["dense"]),
+                              np.asarray(arrays["present"]).view(np.bool_)
+                              if arrays["present"].dtype == np.uint8
+                              else np.asarray(arrays["present"]))
+    if kind == "sparse":
+        return SparseMapView(np.asarray(arrays["keys"]),
+                             np.asarray(arrays["data"]),
+                             int(meta.get("version", 0)))
+    if kind == "tcam_matrix":
+        return TcamMatrixView(np.asarray(arrays["values"]),
+                              np.asarray(arrays["masks"]),
+                              np.asarray(arrays["data"]))
+    if kind == "tcam_group":
+        masks = np.asarray(arrays["group_masks"])
+        offsets = np.asarray(arrays["group_offsets"])
+        keys = np.asarray(arrays["keys"])
+        data = np.asarray(arrays["data"])
+        if offsets.size != masks.size + 1:
+            raise ValueError("group offsets do not match group count")
+        groups = []
+        for g in range(masks.size):
+            lo, hi = int(offsets[g]), int(offsets[g + 1])
+            groups.append((int(masks[g]),
+                           SparseMapView(keys[lo:hi], data[lo:hi])))
+        return TcamGroupView(groups)
+    raise VectorError(f"unknown serialized view kind {kind!r}")
 
 
 def _int_items(slots: Dict[int, Any]) -> Optional[List[Tuple[int, int]]]:
@@ -778,6 +856,12 @@ class VectorPlan:
         ``None``.  ``vector_patch`` hooks hand it back to the backing's
         ``vector_reader(prev=...)`` for an incremental re-freeze."""
         return self._views.get(name)
+
+    def view_map(self) -> Dict[str, Any]:
+        """Every step with a compiled table view, name → view object.
+        The artifact store serializes these via :func:`view_state`."""
+        return {name: view for name, view in self._views.items()
+                if view is not None}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -183,6 +183,35 @@ class Bitmap:
         self._log: Optional[list] = None
         self._log_base = 0
 
+    @classmethod
+    def from_bits(cls, index_width: int, bits: np.ndarray,
+                  name: str = "bitmap") -> "Bitmap":
+        """Adopt an existing bit buffer instead of allocating zeros.
+
+        ``bits`` may be ``bool`` or ``uint8`` (0/1) of size
+        ``2**index_width``; uint8 buffers are adopted as a zero-copy
+        view — this is the artifact warm-start path, where the buffer
+        is a copy-on-write slice of an mmapped snapshot.
+        """
+        arr = np.asarray(bits)
+        if arr.size != 1 << index_width:
+            raise ValueError(
+                f"bit buffer has {arr.size} slots, expected "
+                f"{1 << index_width}")
+        obj = cls.__new__(cls)
+        obj.index_width = index_width
+        obj.name = name
+        obj.stats = AccessStats(name)
+        if arr.dtype == np.uint8:
+            obj._bits = arr.view(np.bool_)
+        elif arr.dtype == np.bool_:
+            obj._bits = arr
+        else:
+            obj._bits = arr.astype(bool)
+        obj._log = None
+        obj._log_base = 0
+        return obj
+
     def __len__(self) -> int:
         return int(self._bits.sum())
 

@@ -104,10 +104,60 @@ def _build_engine(width: int, factory, snapshot: Snapshot,
                        cache_size=cache_size), fib
 
 
+def _apply_wire(fib, wire: WireDelta, width: int):
+    """Apply net wire ops to a local FIB mirror; the resulting
+    :class:`~repro.control.FibDelta` carries the prev hops."""
+    from ..control.churn import ANNOUNCE, WITHDRAW
+    from ..control.delta import DeltaOp, FibDelta
+    from ..prefix.prefix import Prefix
+
+    ops = []
+    for bits, length, hop in wire:
+        prefix = Prefix.from_bits(bits, length, width)
+        prev = fib.get(prefix)
+        if hop is None:
+            if prev is not None:
+                fib.delete(prefix)
+            ops.append(DeltaOp(WITHDRAW, prefix, prev_hop=prev))
+        else:
+            fib.insert(prefix, hop)
+            ops.append(DeltaOp(ANNOUNCE, prefix,
+                               next_hop=hop, prev_hop=prev))
+    return FibDelta(ops)
+
+
+def _artifact_engine(width: int, factory, path: str, resync: WireDelta,
+                     backend: str, cache_size: int):
+    """Child-side warm start: mmap the catalog snapshot instead of
+    rebuilding from pickled triples, then land the resync delta (the
+    commits shipped since the artifact was written) on the loaded base.
+    Raises a typed :class:`~repro.artifact.ArtifactError` on any
+    tamper/corruption — the caller converts that into the worker-death
+    path rather than ever serving off a bad file."""
+    from ..artifact.catalog import ArtifactCatalog
+    from ..artifact.errors import ArtifactDigestMismatch
+    from ..engine.engine import BatchEngine
+    from ..prefix.trie import Fib
+
+    loaded = ArtifactCatalog.load_path(path)
+    if loaded.width != width:
+        raise ArtifactDigestMismatch(
+            f"{path!r}: artifact width {loaded.width} != pool width {width}")
+    fib = loaded.fib()
+    algo = loaded.algorithm(factory=factory)
+    if resync:
+        delta = _apply_wire(fib, resync, width)
+        if algo.supports_delta:
+            algo.apply_delta(delta)
+        else:
+            algo = factory(Fib(width, list(fib)))
+    return BatchEngine(algo, backend=backend, cache_size=cache_size), fib
+
+
 def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
                  backend: str, cache_size: int, task_q, result_q,
                  chaos=None, batch_seq0: int = 0, commit_seq0: int = 0,
-                 ship_seq0: int = 0) -> None:
+                 ship_seq0: int = 0, artifact=None) -> None:
     """Child body: rebuild from snapshots, answer address batches.
 
     ``chaos`` is a duck-typed dataplane fault plan
@@ -124,14 +174,27 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
     state) — it refuses to apply *and to ack*, so the parent's ack
     timeout converts it into the ordinary kill/restart path, and the
     restart re-syncs it from the latest full snapshot.
+
+    ``artifact`` (``(path, resync_wire)``) warm-starts the child from
+    an mmapped catalog snapshot instead of ``snapshot`` triples.  A
+    failing artifact — corrupt, missing, tampered — is reported as
+    ``artifact_fail`` and the child exits: the parent then poisons the
+    artifact path so the supervisor's restart falls back to a plain
+    snapshot fork, instead of crash-looping on a bad file.
     """
-    from ..control.churn import ANNOUNCE, WITHDRAW
-    from ..control.delta import DeltaOp, FibDelta
     from ..engine.engine import BatchEngine
-    from ..prefix.prefix import Prefix
     from ..prefix.trie import Fib
 
-    engine, fib = _build_engine(width, factory, snapshot, backend, cache_size)
+    if artifact is not None:
+        try:
+            engine, fib = _artifact_engine(width, factory, artifact[0],
+                                           artifact[1], backend, cache_size)
+        except Exception as exc:  # noqa: BLE001 — report, fall back
+            result_q.put(("artifact_fail", worker_idx, repr(exc)))
+            return
+    else:
+        engine, fib = _build_engine(width, factory, snapshot, backend,
+                                    cache_size)
     batch_seq, commit_seq = batch_seq0, commit_seq0
     ship_seq = ship_seq0
     # The child's own clock: parent and child monotonic clocks are not
@@ -167,6 +230,22 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
             ship_seq = message[1]
             maybe_ack()
             continue
+        if kind == "reload":
+            # Blue/green: become the new catalog version wholesale.
+            # Like "snapshot", a reload is a full resync — it resets
+            # the ship chain rather than extending it.
+            action = (chaos.ack_action(worker_idx, commit_seq)
+                      if chaos is not None else None)
+            commit_seq += 1
+            try:
+                engine, fib = _artifact_engine(width, factory, message[2],
+                                               [], backend, cache_size)
+            except Exception as exc:  # noqa: BLE001 — report, don't ack
+                result_q.put(("artifact_fail", worker_idx, repr(exc)))
+                return
+            ship_seq = message[1]
+            maybe_ack()
+            continue
         if kind == "delta":
             action = (chaos.ack_action(worker_idx, commit_seq)
                       if chaos is not None else None)
@@ -177,19 +256,7 @@ def _worker_main(worker_idx: int, width: int, factory, snapshot: Snapshot,
                 # Applying would serve a wrong table; never ack.
                 continue
             ship_seq = seq
-            ops = []
-            for bits, length, hop in wire:
-                prefix = Prefix.from_bits(bits, length, width)
-                prev = fib.get(prefix)
-                if hop is None:
-                    if prev is not None:
-                        fib.delete(prefix)
-                    ops.append(DeltaOp(WITHDRAW, prefix, prev_hop=prev))
-                else:
-                    fib.insert(prefix, hop)
-                    ops.append(DeltaOp(ANNOUNCE, prefix,
-                                       next_hop=hop, prev_hop=prev))
-            delta = FibDelta(ops)
+            delta = _apply_wire(fib, wire, width)
             try:
                 algo = engine.algo
                 if algo.supports_delta:
@@ -257,6 +324,7 @@ class ProcessWorkerPool:
         clock=None,
         ship_deltas: bool = True,
         on_ship: Optional[Callable[[str, int], None]] = None,
+        artifact: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -296,6 +364,14 @@ class ProcessWorkerPool:
         self._table: Dict[Tuple[int, int], int] = {
             (bits, length): hop for bits, length, hop in snapshot}
         self._snapshot_dirty = False
+        #: Catalog snapshot children warm-start from (mmap) instead of
+        #: unpickling ``snapshot``; its FIB must equal ``snapshot`` at
+        #: construction.  Forks after commits carry a resync delta —
+        #: the diff from the artifact's base to the current mirror.
+        #: Poisoned (set to None) if a child ever fails to load it.
+        self._artifact_path = artifact
+        self._artifact_base: Dict[Tuple[int, int], int] = (
+            dict(self._table) if artifact else {})
         #: Ship-sequence chain: every shipped snapshot or delta bumps
         #: it; children verify the chain per delta message.
         self._ship_seq = 0
@@ -369,19 +445,41 @@ class ProcessWorkerPool:
             self._snapshot_dirty = False
         return self._snapshot
 
+    def _artifact_resync(self) -> WireDelta:
+        """Net wire ops from the artifact's base table to the current
+        mirror (caller holds ``_lifecycle``): what a warm-started fork
+        must land on the loaded base to reach the serving epoch."""
+        wire: WireDelta = []
+        for key in self._artifact_base:
+            if key not in self._table:
+                wire.append((key[0], key[1], None))
+        for key, hop in self._table.items():
+            if self._artifact_base.get(key) != hop:
+                wire.append((key[0], key[1], hop))
+        wire.sort(key=lambda triple: (triple[0], triple[1]))
+        return wire
+
     def _spawn(self, worker: int) -> None:
         """Fork worker ``worker`` from the latest snapshot (caller
         holds ``_lifecycle`` or runs before any concurrency).  The
         fresh fork is in sync by construction: it carries the current
-        ship sequence and the table every shipped delta summed to."""
+        ship sequence and the table every shipped delta summed to.
+        With an artifact attached, the child mmaps the catalog
+        snapshot and applies the resync delta instead of unpickling
+        the whole table."""
+        if self._artifact_path is not None:
+            snapshot: Snapshot = []
+            artifact = (self._artifact_path, self._artifact_resync())
+        else:
+            snapshot = self._current_snapshot()
+            artifact = None
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(worker, self._width, self._factory,
-                  self._current_snapshot(),
+            args=(worker, self._width, self._factory, snapshot,
                   self._backend, self._cache_size,
                   self._task_qs[worker], self._result_q,
                   self._chaos, self._batch_seqs[worker],
-                  self._commit_seqs[worker], self._ship_seq),
+                  self._commit_seqs[worker], self._ship_seq, artifact),
             name=f"repro-serve-p{worker}", daemon=True)
         self._procs[worker] = proc
         proc.start()
@@ -563,6 +661,46 @@ class ProcessWorkerPool:
             # from self._snapshot (the snapshot it failed to ack).
             self.kill_worker(worker)
 
+    def reload_artifact(self, path: str, snapshot: Snapshot) -> None:
+        """Blue/green flip: every worker becomes the catalog snapshot
+        at ``path`` (whose FIB is ``snapshot``).  Must run with the
+        gate's write side held, exactly like :meth:`on_commit`.
+
+        The parent swaps its artifact reference, FIB mirror and full
+        snapshot *before* shipping the reload, so a worker that dies
+        mid-reload is restarted from the new catalog version — there
+        is no window in which a restart forks the old table.  Workers
+        that hang on the reload ack are killed into that same path.
+        """
+        self._wait_idle()
+        with self._lifecycle:
+            self._ship_seq += 1
+            self._artifact_path = path
+            self._artifact_base = {(bits, length): hop
+                                   for bits, length, hop in snapshot}
+            self._table = dict(self._artifact_base)
+            self._snapshot = sorted(snapshot)
+            self._snapshot_dirty = False
+            message = ("reload", self._ship_seq, path)
+            if self._on_ship is not None:
+                self._on_ship("reload", len(pickle.dumps(message)))
+            with self._lock:
+                self._acked = set()
+                live = [i for i in range(self._n) if self.worker_alive(i)]
+                for worker in live:
+                    self._commit_seqs[worker] += 1
+            for worker in live:
+                self._task_qs[worker].put(message)
+        with self._idle:
+            self._idle.wait_for(
+                lambda: self._acked >= set(
+                    w for w in live if self.worker_alive(w)),
+                timeout=self._ack_timeout_s)
+            laggards = [w for w in live
+                        if w not in self._acked and self.worker_alive(w)]
+        for worker in laggards:
+            self.kill_worker(worker)
+
     def _wait_idle(self) -> None:
         with self._idle:
             if not self._idle.wait_for(lambda: not self._inflight,
@@ -692,6 +830,19 @@ class ProcessWorkerPool:
                 with self._idle:
                     self._acked.add(message[1])
                     self._idle.notify_all()
+                continue
+            if kind == "artifact_fail":
+                # A child could not materialise the catalog snapshot
+                # (corrupt file, digest mismatch, ...).  Poison the
+                # artifact so the supervisor's restart falls back to a
+                # plain snapshot fork instead of crash-looping on the
+                # same broken file; the dead child itself is handled
+                # by the ordinary monitor -> restart path.
+                self._artifact_path = None
+                if self._on_error is not None:
+                    self._on_error(None, ServerError(
+                        f"worker {message[1]} artifact load failed: "
+                        f"{message[2]}"))
                 continue
             batch_id, payload = message[1], message[2]
             with self._lock:

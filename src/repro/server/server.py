@@ -162,6 +162,7 @@ class LookupServer:
         ack_timeout_s: float = 60.0,
         chaos=None,
         ship_deltas: bool = True,
+        artifact: Optional[str] = None,
         sample_rate: float = DEFAULT_SPAN_SAMPLE_RATE,
         span_capacity: int = 65536,
         span_seed: int = 0,
@@ -193,6 +194,8 @@ class LookupServer:
         self.request_deadline_s = request_deadline_s
         self.chaos = chaos
         self._managed = managed
+        self._factory = factory
+        self._width = algo.width
         self._epoch = 0
         self._started = False
         self._closed = False
@@ -308,7 +311,7 @@ class LookupServer:
                 backend=backend, cache_size=cache_size,
                 ack_timeout_s=ack_timeout_s, chaos=chaos,
                 clock=self.clock, ship_deltas=ship_deltas,
-                on_ship=self._note_ship)
+                on_ship=self._note_ship, artifact=artifact)
         if supervise:
             policy = restart_policy if restart_policy is not None \
                 else RestartPolicy(self.clock)
@@ -602,6 +605,57 @@ class LookupServer:
                         self._pool.on_commit(outcome, algo, touched,
                                              snapshot=snapshot)
         self._commits.inc(1, server=self.name, outcome=outcome)
+
+    def reload_artifact(self, loaded) -> int:
+        """Blue/green flip onto a catalog artifact, atomically.
+
+        ``loaded`` is a :class:`~repro.artifact.LoadedArtifact`.  The
+        heavy lifting — materialising the new FIB and (parent-side)
+        algorithm from the snapshot — happens *before* the commit gate
+        is taken, so the old version keeps serving until the new one
+        is ready.  The actual swap then rides the same quiesce path as
+        churn commits: gate write side held, epoch bumped, answer
+        cache cleared, every replica flipped.  Batches in flight when
+        the flip starts finish against the old epoch; batches admitted
+        after it see only the new table — there is no interleaving in
+        which a request observes half of each.
+
+        Thread mode refreshes every engine onto the new algorithm;
+        process mode ships a ``reload`` message so each child mmaps
+        the snapshot itself (and any worker that dies mid-flip is
+        restarted from the *new* catalog version).  A ``managed=``
+        runtime, when present, adopts the new state under the same
+        gate so churn resumes against the loaded base.
+
+        Returns the new serving epoch.
+        """
+        if self._closed:
+            raise ServerError("server is closed")
+        if loaded.width != self._width:
+            raise ServerError(
+                f"artifact width {loaded.width} != serving width "
+                f"{self._width}")
+        new_fib = loaded.fib()
+        new_algo = None
+        if self.mode == "thread" or self._managed is not None:
+            new_algo = loaded.algorithm(factory=self._factory)
+        triples = (loaded.fib_triples() if self.mode == "process" else None)
+        with self.registry.timer("repro_server_quiesce", server=self.name):
+            with self.gate.write():
+                with self._cache_lock:
+                    self._epoch += 1
+                    self._answer_cache.clear()
+                self._epoch_gauge.set(self._epoch, server=self.name)
+                if self.mode == "thread":
+                    self._pool.on_commit("reload", new_algo, None)
+                else:
+                    self._pool.reload_artifact(str(loaded.path), triples)
+                if self._managed is not None:
+                    # adopt() does not re-fire commit listeners — the
+                    # flip is already happening under this gate.
+                    self._managed.adopt(new_algo, new_fib)
+        self._commits.inc(1, server=self.name, outcome="reload")
+        return self._epoch
 
     def _note_ship(self, kind: str, nbytes: int) -> None:
         """ProcessWorkerPool ``on_ship`` observer: payload accounting."""

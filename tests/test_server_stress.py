@@ -1,4 +1,4 @@
-"""Soak test: linearizable serving under concurrent churn.
+"""Soak tests: linearizable serving under concurrent churn and reloads.
 
 N producer threads hammer a :class:`~repro.server.LookupServer` while
 the main thread drives managed churn through a scripted capacity guard
@@ -28,10 +28,12 @@ in CI, the conftest SIGALRM shim offline).
 
 import random
 import threading
+import time
 
 import pytest
 
 from repro.algorithms.hibst import HiBst
+from repro.artifact import ArtifactCatalog
 from repro.control import ChurnGenerator, ManagedFib, RuntimePolicy
 from repro.control.runtime import Health
 from repro.prefix.prefix import Prefix
@@ -169,6 +171,155 @@ def test_serving_is_linearizable_under_churn_and_rollbacks(mode):
     assert server.drained()
     with pytest.raises(ServerError):
         server.submit([1])
+
+
+# ---------------------------------------------------------------------------
+# Blue/green artifact reloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_blue_green_reload_is_linearizable_under_load(mode, tmp_path):
+    """Producers hammer the server while the main thread flips between
+    catalog artifact versions (with churn landed on each loaded base).
+
+    Every request must answer exactly once, entirely within one epoch,
+    and bit-exactly against the oracle *of that epoch* — a reload never
+    loses, duplicates, tears or stales a read, and churn applied after
+    a reload lands on the loaded base, not the pre-reload one.
+    """
+    versions = {}
+    catalog = ArtifactCatalog(str(tmp_path))
+    for seed in (21, 22, 23):
+        fib = build_fib(seed=seed, size=30)
+        versions[catalog.save("soak", HiBst(fib), fib)] = fib
+
+    base = versions["v001"]
+    managed = ManagedFib(lambda fib: HiBst(fib), base)
+    workers = 3 if mode == "thread" else 2
+    server = LookupServer(managed=managed, workers=workers, mode=mode,
+                          max_batch=MAX_BATCH, max_wait_s=0.001)
+    snapshots = {0: oracle_answers(managed.oracle)}
+
+    def record(outcome, algo, touched):
+        snapshots[server.epoch] = oracle_answers(managed.oracle)
+
+    managed.add_commit_listener(record)
+
+    produced = [[] for _ in range(PRODUCERS)]
+    failures = []
+
+    def produce(lane):
+        rng = random.Random(300 + lane)
+        try:
+            for _ in range(REQUESTS_PER_PRODUCER):
+                addresses = [rng.randrange(1 << WIDTH)
+                             for _ in range(REQUEST_SIZE)]
+                produced[lane].append((addresses,
+                                       server.submit(addresses)))
+        except BaseException as exc:  # noqa: BLE001 — surface in the test
+            failures.append(exc)
+
+    with server:
+        threads = [threading.Thread(target=produce, args=(lane,),
+                                    name=f"producer-{lane}")
+                   for lane in range(PRODUCERS)]
+        for thread in threads:
+            thread.start()
+        reloads = 0
+        for cycle, version in enumerate(["v002", "v003", "v001", "v002"]):
+            loaded = catalog.load("soak", version)
+            epoch = server.reload_artifact(loaded)
+            reloads += 1
+            # reload_artifact does not re-fire commit listeners (it is
+            # not a churn commit); record the flipped oracle manually.
+            snapshots[epoch] = oracle_answers(managed.oracle)
+            assert server.epoch == epoch
+            # Churn lands on the *loaded* base — the managed runtime
+            # adopted the artifact's FIB as its new oracle.
+            generator = ChurnGenerator(managed.oracle, seed=40 + cycle)
+            for _ in range(3):
+                managed.apply_batch(list(generator.ops(4)))
+        for thread in threads:
+            thread.join()
+        server.flush()
+
+        assert not failures, failures
+        assert managed.health is not Health.FAILED
+        assert reloads == 4
+
+        checked = 0
+        for lane_requests in produced:
+            assert len(lane_requests) == REQUESTS_PER_PRODUCER
+            for addresses, handle in lane_requests:
+                hops = handle.result(timeout=60)
+                assert handle.deliveries == 1
+                lo, hi = handle.epoch_span
+                assert lo == hi, "request size divides max_batch"
+                expected = snapshots[hi]
+                for address, hop in zip(addresses, hops):
+                    assert hop == expected[address], (
+                        f"stale read at epoch {hi}: address {address} "
+                        f"served {hop}, oracle said {expected[address]}")
+                    checked += 1
+        assert checked == PRODUCERS * REQUESTS_PER_PRODUCER * REQUEST_SIZE
+
+    assert server.drained()
+    counters = server.registry.snapshot()["counters"]
+    commits = counters.get("repro_server_commits_total", {})
+    assert sum(count for labels, count in commits.items()
+               if "reload" in str(labels)) == 4
+
+
+def test_worker_death_mid_reload_restarts_from_new_version(tmp_path):
+    """Chaos: a process worker killed during a blue/green flip must be
+    restarted from the NEW catalog version — the parent swaps its
+    artifact path before shipping, so the re-fork can never resurrect
+    the old table."""
+    catalog = ArtifactCatalog(str(tmp_path))
+    old_fib = build_fib(seed=31, size=30)
+    new_fib = build_fib(seed=32, size=30)
+    catalog.save("chaos", HiBst(old_fib), old_fib)           # v001
+    catalog.save("chaos", HiBst(new_fib), new_fib)           # v002
+    loaded_old = catalog.load("chaos", "v001")
+
+    managed = ManagedFib(lambda fib: HiBst(fib), old_fib)
+    server = LookupServer(managed=managed, workers=2, mode="process",
+                          max_batch=MAX_BATCH, max_wait_s=0.001,
+                          artifact=str(loaded_old.path))
+    addresses = list(range(1 << WIDTH))
+    with server:
+        assert server.lookup_batch(addresses, timeout=60) == \
+            [old_fib.lookup(a) for a in addresses]
+
+        pool = server.pool
+        reload_started = threading.Event()
+
+        def assassin():
+            reload_started.wait(timeout=30)
+            time.sleep(0.002)  # land the SIGTERM inside the flip
+            pool.kill_worker(0)
+
+        killer = threading.Thread(target=assassin, name="assassin")
+        killer.start()
+        loaded_new = catalog.load("chaos", "v002")
+        reload_started.set()
+        epoch = server.reload_artifact(loaded_new)
+        killer.join()
+        assert epoch == 1
+
+        # Supervision restarts the dead worker; the re-fork must mmap
+        # the v002 snapshot the parent installed before shipping.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not pool.worker_alive(0):
+            time.sleep(0.05)
+        assert pool.worker_alive(0), "worker 0 never restarted"
+
+        want = [new_fib.lookup(a) for a in addresses]
+        for _ in range(6):  # enough batches to hit every worker
+            assert server.lookup_batch(addresses, timeout=60) == want
+        assert managed.health is not Health.FAILED
+    assert server.drained()
 
 
 def test_shed_overload_never_hangs_a_caller():
